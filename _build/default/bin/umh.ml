@@ -1,0 +1,268 @@
+(* umh — unified modeling of hybrid real-time control systems.
+   Subcommands: check, simulate, codegen, stereotypes, sched. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_checked path =
+  let source = read_file path in
+  let ast =
+    try Dsl.Parser.parse source with
+    | Dsl.Parser.Parse_error (msg, line, col) ->
+      Printf.eprintf "%s:%d:%d: parse error: %s\n" path line col msg;
+      exit 2
+    | Dsl.Lexer.Lex_error (msg, line, col) ->
+      Printf.eprintf "%s:%d:%d: lexical error: %s\n" path line col msg;
+      exit 2
+  in
+  Dsl.Typecheck.check ast
+
+let report_check path checked =
+  List.iter
+    (fun w -> Printf.printf "%s: warning: %s\n" path w)
+    checked.Dsl.Typecheck.warnings;
+  List.iter
+    (fun e -> Printf.printf "%s: error: %s\n" path e)
+    checked.Dsl.Typecheck.errors;
+  if Dsl.Typecheck.is_ok checked then begin
+    let model = checked.Dsl.Typecheck.model in
+    Printf.printf
+      "%s: model %s OK (%d flowtypes, %d protocols, %d streamers, %d capsules)\n"
+      path model.Dsl.Ast.m_name
+      (List.length model.Dsl.Ast.m_flowtypes)
+      (List.length model.Dsl.Ast.m_protocols)
+      (List.length model.Dsl.Ast.m_streamers)
+      (List.length model.Dsl.Ast.m_capsules);
+    0
+  end
+  else 1
+
+(* ---- check ---- *)
+
+let check_cmd_run path = exit (report_check path (load_checked path))
+
+(* ---- simulate ---- *)
+
+let simulate_run path duration trace_spec csv_out verify =
+  let checked = load_checked path in
+  if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
+  let { Dsl.Elaborate.engine; streamer_roles; _ } =
+    try Dsl.Elaborate.elaborate checked
+    with Dsl.Elaborate.Elab_error msg ->
+      Printf.eprintf "%s: elaboration error: %s\n" path msg;
+      exit 2
+  in
+  let traces =
+    match trace_spec with
+    | Some spec ->
+      (match String.split_on_char '.' spec with
+       | [ role; dport ] ->
+         let trace =
+           try Hybrid.Engine.trace_dport engine ~role ~dport
+           with Invalid_argument _ ->
+             (* composite border or relay port: poll it instead *)
+             Hybrid.Engine.trace_sampled engine ~role ~dport ~period:0.05
+         in
+         [ (spec, trace) ]
+       | _ ->
+         Printf.eprintf "--trace expects role.dport\n";
+         exit 2)
+    | None -> []
+  in
+  Hybrid.Engine.run_until engine duration;
+  let stats = Hybrid.Engine.stats engine in
+  Printf.printf "simulated %s for %gs: %d streamer ticks, %d signals ->streamers, %d ->capsules, %d dropped\n"
+    (Filename.basename path) duration stats.Hybrid.Engine.ticks_total
+    stats.Hybrid.Engine.signals_to_streamers stats.Hybrid.Engine.signals_to_capsules
+    stats.Hybrid.Engine.signals_dropped;
+  List.iter
+    (fun role ->
+       Printf.printf "  %-16s ticks=%d" role (Hybrid.Engine.ticks_of engine role);
+       (match Hybrid.Engine.solver_of engine role with
+        | Some solver ->
+          let y = Hybrid.Solver.state solver in
+          Printf.printf " state=[%s]"
+            (String.concat "; " (List.map (Printf.sprintf "%g") (Array.to_list y)))
+        | None -> ());
+       print_newline ())
+    streamer_roles;
+  (match (verify, traces) with
+   | Some formula_text, (_, trace) :: _ ->
+     let formula =
+       try Dsl.Parser.parse_stl formula_text
+       with Dsl.Parser.Parse_error (msg, _, col) ->
+         Printf.eprintf "--verify: parse error at column %d: %s\n" col msg;
+         exit 2
+     in
+     let ok, robustness = Sigtrace.Stl.check formula trace in
+     Printf.printf "  verify %s: %s (robustness %g)\n" formula_text
+       (if ok then "HOLDS" else "VIOLATED") robustness;
+     if not ok then exit 3
+   | Some _, [] ->
+     Printf.eprintf "--verify needs --trace to name the signal\n";
+     exit 2
+   | None, _ -> ());
+  List.iter
+    (fun (name, trace) ->
+       match csv_out with
+       | Some out ->
+         let oc = open_out out in
+         output_string oc (Sigtrace.Trace.to_csv trace);
+         close_out oc;
+         Printf.printf "  trace %s -> %s (%d samples)\n" name out
+           (Sigtrace.Trace.length trace)
+       | None ->
+         Printf.printf "  trace %s: %d samples, last=%s\n" name
+           (Sigtrace.Trace.length trace)
+           (match Sigtrace.Trace.last_value trace with
+            | Some v -> Printf.sprintf "%g" v
+            | None -> "n/a"))
+    traces
+
+(* ---- codegen ---- *)
+
+let codegen_run path outdir =
+  let checked = load_checked path in
+  if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
+  let files =
+    try Codegen.Cgen.generate checked
+    with Codegen.Cgen.Codegen_error msg ->
+      Printf.eprintf "%s: codegen error: %s\n" path msg;
+      exit 2
+  in
+  if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
+  List.iter
+    (fun { Codegen.Cgen.filename; contents } ->
+       let out = Filename.concat outdir filename in
+       let oc = open_out out in
+       output_string oc contents;
+       close_out oc;
+       Printf.printf "wrote %s (%d bytes)\n" out (String.length contents))
+    files
+
+(* ---- fmt ---- *)
+
+let fmt_run path in_place =
+  let checked = load_checked path in
+  ignore checked;
+  let ast = Dsl.Parser.parse (read_file path) in
+  let printed = Dsl.Pretty.print_model ast in
+  if in_place then begin
+    let oc = open_out path in
+    output_string oc printed;
+    close_out oc;
+    Printf.printf "formatted %s\n" path
+  end
+  else print_string printed
+
+(* ---- stereotypes ---- *)
+
+let stereotypes_run () =
+  Format.printf "Table 1. New stereotypes comparing with UML-RT@.@.";
+  Hybrid.Stereotype.pp_table Format.std_formatter ();
+  Format.printf "@.Details:@.";
+  List.iter
+    (fun st ->
+       Format.printf "  %-10s -> %s@.             %s@."
+         (Hybrid.Stereotype.name st)
+         (Hybrid.Stereotype.implementing_module st)
+         (Hybrid.Stereotype.description st))
+    Hybrid.Stereotype.all
+
+(* ---- sched ---- *)
+
+let sched_run path utilization =
+  let checked = load_checked path in
+  if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
+  let { Dsl.Elaborate.engine; _ } =
+    try Dsl.Elaborate.elaborate checked
+    with Dsl.Elaborate.Elab_error msg ->
+      Printf.eprintf "%s: elaboration error: %s\n" path msg;
+      exit 2
+  in
+  let threads = Hybrid.Engine.thread_set engine in
+  let tasks =
+    Hybrid.Threading.tasks_for
+      ~wcet_of:(fun _ period -> Hybrid.Threading.default_wcet ~utilization period)
+      threads
+  in
+  let report = Hybrid.Threading.analyze tasks in
+  Printf.printf "thread set (%d streamer threads, %.0f%% utilization each):\n"
+    (List.length threads) (utilization *. 100.);
+  List.iter
+    (fun task -> Format.printf "  %a@." Rt.Task.pp task)
+    report.Hybrid.Threading.tasks;
+  Format.printf "%a@." Hybrid.Threading.pp_report report
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let model_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.umh"
+         ~doc:"The .umh model file.")
+
+let check_cmd =
+  let doc = "Parse and typecheck a model (rules R1-R8)." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check_cmd_run $ model_arg)
+
+let simulate_cmd =
+  let doc = "Elaborate and co-simulate a model." in
+  let duration =
+    Arg.(value & opt float 10.0 & info [ "d"; "duration" ] ~docv:"SECONDS"
+           ~doc:"Simulated duration.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"ROLE.DPORT"
+           ~doc:"Record a DPort trace.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the trace as CSV.")
+  in
+  let verify =
+    Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"STL"
+           ~doc:"Check an STL requirement over the traced signal x, e.g. \
+                 'always[60,200] x >= 18.5 and x <= 21.5'. Exit code 3 on \
+                 violation.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify)
+
+let codegen_cmd =
+  let doc = "Generate C sources from a model." in
+  let outdir =
+    Arg.(value & opt string "generated" & info [ "o"; "outdir" ] ~docv:"DIR"
+           ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "codegen" ~doc) Term.(const codegen_run $ model_arg $ outdir)
+
+let fmt_cmd =
+  let doc = "Pretty-print a model (canonical formatting)." in
+  let in_place =
+    Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite the file.")
+  in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const fmt_run $ model_arg $ in_place)
+
+let stereotypes_cmd =
+  let doc = "Print the paper's Table 1 (stereotype registry)." in
+  Cmd.v (Cmd.info "stereotypes" ~doc) Term.(const stereotypes_run $ const ())
+
+let sched_cmd =
+  let doc = "Schedulability analysis of the model's thread assignment." in
+  let utilization =
+    Arg.(value & opt float 0.1 & info [ "u"; "utilization" ] ~docv:"FRACTION"
+           ~doc:"Assumed per-thread utilization for the wcet model.")
+  in
+  Cmd.v (Cmd.info "sched" ~doc) Term.(const sched_run $ model_arg $ utilization)
+
+let main =
+  let doc = "unified modeling of complex real-time control systems (DATE 2005)" in
+  Cmd.group (Cmd.info "umh" ~version:"1.0.0" ~doc)
+    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; stereotypes_cmd; sched_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cruise_control.ml: Array Dataflow Float Hybrid List Ode Plant Printf Sigtrace Statechart String Umlrt

@@ -1,0 +1,1 @@
+examples/dc_motor.ml: Array Control Dataflow Float Hybrid List Ode Plant Printf Sigtrace Statechart Umlrt

@@ -1,0 +1,1 @@
+examples/dc_motor.mli:

@@ -1,0 +1,1 @@
+examples/pendulum.ml: Array Control Dataflow Float Hybrid Ode Plant Printf Sigtrace Statechart String Umlrt

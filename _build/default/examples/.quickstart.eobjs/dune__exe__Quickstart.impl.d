@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hybrid Int Ode Printf Sigtrace Statechart String Umlrt

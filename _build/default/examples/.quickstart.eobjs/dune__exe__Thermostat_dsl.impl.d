@@ -1,0 +1,1 @@
+examples/thermostat_dsl.ml: Codegen Dsl Hybrid List Printf Sigtrace String

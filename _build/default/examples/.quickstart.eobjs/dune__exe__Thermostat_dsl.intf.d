@@ -1,0 +1,1 @@
+examples/thermostat_dsl.mli:

@@ -1,0 +1,1 @@
+examples/water_tank.ml: Array Dataflow Float Hybrid Ode Plant Printf Sigtrace Statechart String Umlrt

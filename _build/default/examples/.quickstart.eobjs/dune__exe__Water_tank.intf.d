@@ -1,0 +1,1 @@
+examples/water_tank.mli:

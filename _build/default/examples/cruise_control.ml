@@ -1,0 +1,207 @@
+(* Cruise control — setpoint changes and disturbances arrive as events;
+   vehicle dynamics and the PI control law run continuously.
+
+   - vehicle streamer: longitudinal dynamics (quadratic drag, rolling
+     resistance, road grade parameter);
+   - cruise streamer: PI law with the integrator as a continuous state
+     (xi' = ref - v), anti-windup by output saturation;
+   - driver capsule: a state machine that raises the setpoint during the
+     trip and gets told when the car holds the target speed.
+
+   Run with: dune exec examples/cruise_control.exe *)
+
+let car = Plant.Vehicle.default
+
+let protocol =
+  Umlrt.Protocol.create "Cruise"
+    ~incoming:
+      [ Umlrt.Protocol.signal
+          ~payload:Dataflow.Flow_type.float_flow "set_speed";
+        Umlrt.Protocol.signal "resume" ]
+    ~outgoing:[ Umlrt.Protocol.signal "at_speed" ]
+
+let road_protocol =
+  Umlrt.Protocol.create "Road"
+    ~incoming:
+      [ Umlrt.Protocol.signal ~payload:Dataflow.Flow_type.float_flow "grade" ]
+    ~outgoing:[]
+
+let vehicle_streamer =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let v = Float.max 0. y.(0) in
+    let force = env.Hybrid.Solver.input "force" in
+    let grade = env.Hybrid.Solver.param "grade" in
+    let slope = car.Plant.Vehicle.mass *. car.Plant.Vehicle.gravity *. sin grade in
+    let dv =
+      (force -. Plant.Vehicle.drag_force car ~speed:v
+       -. Plant.Vehicle.rolling_force car -. slope)
+      /. car.Plant.Vehicle.mass
+    in
+    [| (if y.(0) <= 0. && dv < 0. then 0. else dv) |]
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"grade"
+    (Hybrid.Strategy.set_param_from_payload "grade");
+  Hybrid.Streamer.leaf "vehicle" ~rate:0.02 ~dim:1 ~init:[| 20. |]
+    ~params:[ ("grade", 0.) ]
+    ~dports:[ Hybrid.Streamer.dport_in "force"; Hybrid.Streamer.dport_out "speed" ]
+    ~sports:[ Hybrid.Streamer.sport "road" road_protocol ]
+    ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "speed") ])
+    ~rhs
+
+let cruise_streamer =
+  (* State: the PI integrator. Output: saturated drive force. *)
+  let control (env : Hybrid.Solver.env) y =
+    let v = env.Hybrid.Solver.input "speed" in
+    let p = env.Hybrid.Solver.param in
+    let u = (p "kp" *. (p "ref" -. v)) +. (p "ki" *. y.(0)) in
+    Float.max 0. (Float.min (p "f_max") u)
+  in
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let v = env.Hybrid.Solver.input "speed" in
+    let p = env.Hybrid.Solver.param in
+    let err = p "ref" -. v in
+    (* Conditional integration: freeze while saturated in that direction. *)
+    let u = (p "kp" *. err) +. (p "ki" *. y.(0)) in
+    let saturated_high = u >= p "f_max" && err > 0. in
+    let saturated_low = u <= 0. && err < 0. in
+    [| (if saturated_high || saturated_low then 0. else err) |]
+  in
+  let at_speed_guard =
+    { Hybrid.Streamer.guard_id = "at_speed"; signal = "at_speed";
+      via_sport = "cmd"; direction = Ode.Events.Rising;
+      expr =
+        (fun (env : Hybrid.Solver.env) _t _y ->
+           0.2 -. Float.abs (env.Hybrid.Solver.param "ref"
+                             -. env.Hybrid.Solver.input "speed"));
+      payload = None }
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"set_speed"
+    (Hybrid.Strategy.set_param_from_payload "ref");
+  Hybrid.Streamer.leaf "cruise" ~rate:0.02 ~dim:1 ~init:[| 0. |]
+    ~params:
+      [ ("ref", 20.); ("kp", 900.); ("ki", 120.); ("f_max", 4000.) ]
+    ~dports:[ Hybrid.Streamer.dport_in "speed"; Hybrid.Streamer.dport_out "force" ]
+    ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
+    ~guards:[ at_speed_guard ]
+    ~strategy
+    ~outputs:(fun env _t y -> [ ("force", Dataflow.Value.Float (control env y)) ])
+    ~rhs
+
+let driver =
+  let behavior (services : Umlrt.Capsule.services) =
+    let m = Statechart.Machine.create "driver" in
+    Statechart.Machine.add_state m "Accelerating";
+    Statechart.Machine.add_state m "Cruising";
+    Statechart.Machine.set_initial m "Accelerating";
+    Statechart.Machine.add_transition m ~src:"Accelerating" ~dst:"Cruising"
+      ~trigger:"at_speed" ();
+    Statechart.Machine.add_transition m ~src:"Cruising" ~dst:"Accelerating"
+      ~trigger:"request" ();
+    let i = ref None in
+    let send_set v =
+      services.Umlrt.Capsule.send ~port:"cruise"
+        (Statechart.Event.make ~value:(Dataflow.Value.Float v) "set_speed")
+    in
+    { Umlrt.Capsule.on_start =
+        (fun () ->
+           i := Some (Statechart.Instance.start m ());
+           send_set 25.;
+           (* Trip script: raise the target at t=60, hit a 4% hill at 120. *)
+           services.Umlrt.Capsule.timer_after 60.
+             (Statechart.Event.make ~value:(Dataflow.Value.Float 30.) "bump");
+           services.Umlrt.Capsule.timer_after 120.
+             (Statechart.Event.make ~value:(Dataflow.Value.Float 0.04) "hill"));
+      on_event =
+        (fun ~port:_ event ->
+           match Statechart.Event.signal event with
+           | "bump" ->
+             (match Statechart.Event.float_payload event with
+              | Some v ->
+                send_set v;
+                (match !i with
+                 | Some i ->
+                   ignore (Statechart.Instance.handle i (Statechart.Event.make "request"))
+                 | None -> ());
+                true
+              | None -> false)
+           | "hill" ->
+             (match Statechart.Event.float_payload event with
+              | Some g ->
+                services.Umlrt.Capsule.send ~port:"road"
+                  (Statechart.Event.make ~value:(Dataflow.Value.Float g) "grade");
+                true
+              | None -> false)
+           | _ ->
+             (match !i with
+              | Some i -> Statechart.Instance.handle i event
+              | None -> false));
+      configuration =
+        (fun () ->
+           match !i with Some i -> Statechart.Instance.configuration i | None -> []) }
+  in
+  Umlrt.Capsule.create "driver"
+    ~ports:
+      [ Umlrt.Capsule.port ~conjugated:true "cruise" protocol;
+        Umlrt.Capsule.port ~conjugated:true "road" road_protocol ]
+    ~behavior
+
+let () =
+  let engine = Hybrid.Engine.create ~root:driver () in
+  Hybrid.Engine.add_streamer engine ~role:"vehicle" vehicle_streamer;
+  Hybrid.Engine.add_streamer engine ~role:"cruise" cruise_streamer;
+  Hybrid.Engine.connect_flow_exn engine ~src:("vehicle", "speed")
+    ~dst:("cruise", "speed");
+  Hybrid.Engine.connect_flow_exn engine ~src:("cruise", "force")
+    ~dst:("vehicle", "force");
+  Hybrid.Engine.link_sport_exn engine ~role:"cruise" ~sport:"cmd"
+    ~border_port:"cruise";
+  Hybrid.Engine.link_sport_exn engine ~role:"vehicle" ~sport:"road"
+    ~border_port:"road";
+  let speed = Hybrid.Engine.trace_dport engine ~role:"vehicle" ~dport:"speed" in
+  Hybrid.Engine.run_until engine 180.;
+  Printf.printf "cruise control: 180 simulated seconds (set 25, then 30, then a 4%% hill)\n";
+  let phase name t0 t1 setpoint =
+    let window = Sigtrace.Trace.create ~name () in
+    List.iter
+      (fun (t, v) -> if t >= t0 && t <= t1 then Sigtrace.Trace.record window t v)
+      (Sigtrace.Trace.samples speed);
+    let overshoot =
+      match Sigtrace.Metrics.overshoot ~setpoint window with
+      | Some o -> Printf.sprintf "%.1f%%" (o *. 100.)
+      | None -> "n/a"
+    in
+    let sse =
+      match Sigtrace.Metrics.steady_state_error ~setpoint window with
+      | Some e -> Printf.sprintf "%.3f m/s" e
+      | None -> "n/a"
+    in
+    Printf.printf "  %-22s overshoot=%s steady-state-error=%s\n" name overshoot sse
+  in
+  phase "phase 1 (25 m/s)" 0. 60. 25.;
+  phase "phase 2 (30 m/s)" 60. 120. 30.;
+  phase "phase 3 (hill)" 120. 180. 30.;
+  (match Hybrid.Engine.runtime engine with
+   | Some rt ->
+     (match Umlrt.Runtime.configuration rt "driver" with
+      | Some c -> Printf.printf "  driver state: %s\n" (String.concat "/" c)
+      | None -> ())
+   | None -> ());
+  (* Formal requirement, checked on the recorded trace with the STL
+     monitor: from 30 s on, the speed always returns to within 0.5 m/s of
+     some setpoint (25 or 30) within 20 s. *)
+  let near v = Sigtrace.Stl.within "speed" ~center:v ~tolerance:0.5 in
+  let requirement =
+    Sigtrace.Stl.Always
+      (30., 160.,
+       Sigtrace.Stl.Eventually (0., 20., Sigtrace.Stl.Or (near 25., near 30.)))
+  in
+  let ok, robustness = Sigtrace.Stl.check requirement speed in
+  Printf.printf "  STL %s: %s (robustness %.3f)\n"
+    "always[30,160] eventually[0,20] |v - setpoint| <= 0.5"
+    (if ok then "HOLDS" else "VIOLATED") robustness;
+  let stats = Hybrid.Engine.stats engine in
+  Printf.printf "  signals: %d to streamers, %d to capsules\n"
+    stats.Hybrid.Engine.signals_to_streamers stats.Hybrid.Engine.signals_to_capsules

@@ -1,0 +1,173 @@
+(* DC motor speed regulation with an LQR-designed state feedback law and
+   load-torque disturbances arriving as events.
+
+   - motor streamer: the 2-state electromechanical plant (speed, current);
+   - regulator streamer: u = -K (x - x_ref) + feedforward, with K from
+     Control.Lqr (CARE solved at startup);
+   - operator capsule: steps the speed reference and drops a load torque
+     on the shaft mid-run, via strategies.
+
+   Run with: dune exec examples/dc_motor.exe *)
+
+let motor = Plant.Dc_motor.default
+
+let protocol =
+  Umlrt.Protocol.create "Drive"
+    ~incoming:
+      [ Umlrt.Protocol.signal ~payload:Dataflow.Flow_type.float_flow "set_speed";
+        Umlrt.Protocol.signal ~payload:Dataflow.Flow_type.float_flow "load" ]
+    ~outgoing:[ Umlrt.Protocol.signal "settled" ]
+
+(* LQR design on the linear motor model. *)
+let k_lqr =
+  Control.Lqr.gains
+    ~a:(Plant.Dc_motor.a_matrix motor)
+    ~b:[| 0.; 1. /. motor.Plant.Dc_motor.inductance |]
+    ~q:[| [| 10.; 0. |]; [| 0.; 0.01 |] |]
+    ~r:0.1 ()
+
+let motor_streamer =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let v = env.Hybrid.Solver.input "voltage" in
+    let tau_load = env.Hybrid.Solver.param "load" in
+    let omega = y.(0) in
+    let i = y.(1) in
+    [| ((motor.Plant.Dc_motor.kt *. i)
+        -. (motor.Plant.Dc_motor.damping *. omega) -. tau_load)
+       /. motor.Plant.Dc_motor.inertia;
+       (v -. (motor.Plant.Dc_motor.resistance *. i)
+        -. (motor.Plant.Dc_motor.ke *. omega))
+       /. motor.Plant.Dc_motor.inductance |]
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"load"
+    (Hybrid.Strategy.set_param_from_payload "load");
+  Hybrid.Streamer.leaf "motor" ~rate:0.001 ~dim:2 ~init:[| 0.; 0. |]
+    ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-4))
+    ~params:[ ("load", 0.) ]
+    ~dports:
+      [ Hybrid.Streamer.dport_in "voltage";
+        Hybrid.Streamer.dport_out "omega";
+        Hybrid.Streamer.dport_out "current" ]
+    ~sports:[ Hybrid.Streamer.sport "drive" protocol ]
+    ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "omega"); (1, "current") ])
+    ~rhs
+
+let regulator_streamer =
+  (* Steady-state feedforward voltage for the reference speed plus LQR
+     feedback on the deviation. *)
+  let control (env : Hybrid.Solver.env) =
+    let omega = env.Hybrid.Solver.input "omega" in
+    let current = env.Hybrid.Solver.input "current" in
+    let ref_speed = env.Hybrid.Solver.param "ref" in
+    let denom =
+      (motor.Plant.Dc_motor.resistance *. motor.Plant.Dc_motor.damping)
+      +. (motor.Plant.Dc_motor.kt *. motor.Plant.Dc_motor.ke)
+    in
+    let v_ff = ref_speed *. denom /. motor.Plant.Dc_motor.kt in
+    let i_ref = motor.Plant.Dc_motor.damping *. ref_speed /. motor.Plant.Dc_motor.kt in
+    let u =
+      v_ff
+      -. (k_lqr.(0) *. (omega -. ref_speed))
+      -. (k_lqr.(1) *. (current -. i_ref))
+    in
+    Float.max (-48.) (Float.min 48. u)
+  in
+  let settled_guard =
+    { Hybrid.Streamer.guard_id = "settled"; signal = "settled"; via_sport = "cmd";
+      direction = Ode.Events.Rising;
+      expr =
+        (fun (env : Hybrid.Solver.env) _t _y ->
+           0.5 -. Float.abs (env.Hybrid.Solver.param "ref"
+                             -. env.Hybrid.Solver.input "omega"));
+      payload = None }
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"set_speed"
+    (Hybrid.Strategy.set_param_from_payload "ref");
+  Hybrid.Streamer.leaf "regulator" ~rate:0.001 ~dim:1 ~init:[| 0. |]
+    ~params:[ ("ref", 0.) ]
+    ~dports:
+      [ Hybrid.Streamer.dport_in "omega";
+        Hybrid.Streamer.dport_in "current";
+        Hybrid.Streamer.dport_out "voltage" ]
+    ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
+    ~guards:[ settled_guard ]
+    ~strategy
+    ~outputs:(fun env _t _y -> [ ("voltage", Dataflow.Value.Float (control env)) ])
+    ~rhs:(fun _ _ _ -> [| 0. |])
+
+let operator =
+  let behavior (services : Umlrt.Capsule.services) =
+    let send port signal v =
+      services.Umlrt.Capsule.send ~port
+        (Statechart.Event.make ~value:(Dataflow.Value.Float v) signal)
+    in
+    { Umlrt.Capsule.on_start =
+        (fun () ->
+           send "reg" "set_speed" 150.;
+           services.Umlrt.Capsule.timer_after 1.0
+             (Statechart.Event.make ~value:(Dataflow.Value.Float 0.03) "drop_load");
+           services.Umlrt.Capsule.timer_after 2.0
+             (Statechart.Event.make ~value:(Dataflow.Value.Float 230.) "bump"));
+      on_event =
+        (fun ~port:_ event ->
+           match Statechart.Event.signal event with
+           | "drop_load" ->
+             (match Statechart.Event.float_payload event with
+              | Some tau ->
+                send "mot" "load" tau;
+                true
+              | None -> false)
+           | "bump" ->
+             (match Statechart.Event.float_payload event with
+              | Some v ->
+                send "reg" "set_speed" v;
+                true
+              | None -> false)
+           | "settled" -> true
+           | _ -> false);
+      configuration = (fun () -> [ "operating" ]) }
+  in
+  Umlrt.Capsule.create "operator" ~behavior
+    ~ports:
+      [ Umlrt.Capsule.port ~conjugated:true "reg" protocol;
+        Umlrt.Capsule.port ~conjugated:true "mot" protocol ]
+
+let () =
+  let engine = Hybrid.Engine.create ~root:operator () in
+  Hybrid.Engine.add_streamer engine ~role:"motor" motor_streamer;
+  Hybrid.Engine.add_streamer engine ~role:"regulator" regulator_streamer;
+  Hybrid.Engine.connect_flow_exn engine ~src:("motor", "omega")
+    ~dst:("regulator", "omega");
+  Hybrid.Engine.connect_flow_exn engine ~src:("motor", "current")
+    ~dst:("regulator", "current");
+  Hybrid.Engine.connect_flow_exn engine ~src:("regulator", "voltage")
+    ~dst:("motor", "voltage");
+  Hybrid.Engine.link_sport_exn engine ~role:"regulator" ~sport:"cmd"
+    ~border_port:"reg";
+  Hybrid.Engine.link_sport_exn engine ~role:"motor" ~sport:"drive"
+    ~border_port:"mot";
+  let speed = Hybrid.Engine.trace_dport engine ~role:"motor" ~dport:"omega" in
+  Hybrid.Engine.run_until engine 3.;
+  Printf.printf "dc motor LQR drive: 3 simulated seconds\n";
+  Printf.printf "  lqr gains        : k = [%.3f; %.3f]\n" k_lqr.(0) k_lqr.(1);
+  let at time =
+    match Sigtrace.Trace.value_at speed time with
+    | Some v -> v
+    | None -> nan
+  in
+  Printf.printf "  speed @0.5s      : %7.2f rad/s (ref 150)\n" (at 0.5);
+  Printf.printf "  speed @1.5s      : %7.2f rad/s (after 0.03 Nm load)\n" (at 1.5);
+  Printf.printf "  speed @3.0s      : %7.2f rad/s (ref 230)\n" (at 3.0);
+  let sag =
+    (* worst dip right after the load step at t=1 *)
+    List.fold_left
+      (fun acc (t, v) -> if t > 1.0 && t < 1.3 then Float.min acc v else acc)
+      infinity (Sigtrace.Trace.samples speed)
+  in
+  Printf.printf "  worst sag after load step: %.2f rad/s\n" sag;
+  let stats = Hybrid.Engine.stats engine in
+  Printf.printf "  signals: %d to streamers, %d to capsules\n"
+    stats.Hybrid.Engine.signals_to_streamers stats.Hybrid.Engine.signals_to_capsules

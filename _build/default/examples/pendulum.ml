@@ -1,0 +1,184 @@
+(* Pendulum swing-up and stabilization — the classic mode-switching
+   hybrid control problem the paper's architecture targets.
+
+   Structure (Figure 3 of the paper):
+   - plant streamer: nonlinear pendulum, torque input via DPort, a
+     zero-crossing guard announcing "near upright" via SPort;
+   - controller streamer: energy-pumping swing-up law or state feedback,
+     selected by a mode parameter;
+   - supervisor capsule: Swinging -> Balancing on the near_upright
+     signal, switching the controller through its strategy.
+
+   Run with: dune exec examples/pendulum.exe *)
+
+let plant = Plant.Pendulum.create ~damping:0.005 ()
+let inertia = plant.Plant.Pendulum.mass *. plant.Plant.Pendulum.length ** 2.
+let upright_energy =
+  2. *. plant.Plant.Pendulum.mass *. plant.Plant.Pendulum.gravity
+  *. plant.Plant.Pendulum.length
+
+let protocol =
+  Umlrt.Protocol.create "Supervision"
+    ~incoming:[ Umlrt.Protocol.signal "stabilize"; Umlrt.Protocol.signal "swing" ]
+    ~outgoing:
+      [ Umlrt.Protocol.signal "near_upright"; Umlrt.Protocol.signal "fell" ]
+
+(* Stabilizing gains by pole placement on the upright linearization. *)
+let k_stab =
+  let a = Plant.Pendulum.linearized plant ~upright:true in
+  let b = [| 0.; 1. /. inertia |] in
+  Control.State_feedback.place2 ~a ~b ~poles:(-4., -5.)
+
+let pendulum_streamer =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let u = env.Hybrid.Solver.input "torque" in
+    let theta = y.(0) in
+    let omega = y.(1) in
+    [| omega;
+       (-.(plant.Plant.Pendulum.gravity /. plant.Plant.Pendulum.length) *. sin theta)
+       -. (plant.Plant.Pendulum.damping /. inertia *. omega)
+       +. (u /. inertia) |]
+  in
+  (* Announce the upright neighbourhood: g = margin - |angle error|. *)
+  let upright_guard =
+    { Hybrid.Streamer.guard_id = "upright"; signal = "near_upright";
+      via_sport = "sup"; direction = Ode.Events.Rising;
+      expr =
+        (fun _env _t y ->
+           let err = Float.abs (Float.pi -. Float.abs y.(0)) in
+           let omega_ok = 0.25 -. (0.05 *. Float.abs y.(1)) in
+           Float.min (0.35 -. err) omega_ok);
+      payload = None }
+  in
+  Hybrid.Streamer.leaf "pendulum" ~rate:0.002 ~dim:2 ~init:[| 0.05; 0. |]
+    ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 5e-4))
+    ~dports:
+      [ Hybrid.Streamer.dport_in "torque";
+        Hybrid.Streamer.dport_out "theta";
+        Hybrid.Streamer.dport_out "omega" ]
+    ~sports:[ Hybrid.Streamer.sport "sup" protocol ]
+    ~guards:[ upright_guard ]
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "theta"); (1, "omega") ])
+    ~rhs
+
+(* The controller computes torque from (theta, omega); mode 0 = energy
+   swing-up, mode 1 = state feedback about the upright equilibrium. *)
+let controller_streamer =
+  let torque (env : Hybrid.Solver.env) =
+    let theta = env.Hybrid.Solver.input "theta" in
+    let omega = env.Hybrid.Solver.input "omega" in
+    let mode = env.Hybrid.Solver.param "mode" in
+    let u_max = env.Hybrid.Solver.param "u_max" in
+    let u =
+      if mode < 0.5 then begin
+        (* Energy pumping toward the upright energy level. *)
+        let energy =
+          (0.5 *. inertia *. omega *. omega)
+          +. (plant.Plant.Pendulum.mass *. plant.Plant.Pendulum.gravity
+              *. plant.Plant.Pendulum.length *. (1. -. cos theta))
+        in
+        (* Direct-torque energy pumping: push along the velocity while
+           below the upright energy level. *)
+        let gain = env.Hybrid.Solver.param "k_swing" in
+        gain *. (upright_energy -. energy) *. omega
+      end
+      else begin
+        (* Wrap the angle error into (-pi, pi] around the upright. *)
+        let err =
+          let raw = theta -. (Float.pi *. (if theta >= 0. then 1. else -1.)) in
+          raw
+        in
+        -.((k_stab.(0) *. err) +. (k_stab.(1) *. omega))
+      end
+    in
+    Float.max (-.u_max) (Float.min u_max u)
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"stabilize"
+    (Hybrid.Strategy.set_param_const "mode" 1.);
+  Hybrid.Strategy.on strategy ~signal:"swing"
+    (Hybrid.Strategy.set_param_const "mode" 0.);
+  Hybrid.Streamer.leaf "controller" ~rate:0.002 ~dim:1 ~init:[| 0. |]
+    ~params:[ ("mode", 0.); ("k_swing", 4.0); ("u_max", 0.6) ]
+    ~dports:
+      [ Hybrid.Streamer.dport_in "theta";
+        Hybrid.Streamer.dport_in "omega";
+        Hybrid.Streamer.dport_out "torque" ]
+    ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
+    ~strategy
+    ~outputs:(fun env _t _y -> [ ("torque", Dataflow.Value.Float (torque env)) ])
+    ~rhs:(fun _ _ _ -> [| 0. |])
+
+let supervisor =
+  let behavior (services : Umlrt.Capsule.services) =
+    let m = Statechart.Machine.create "supervisor" in
+    Statechart.Machine.add_state m "Swinging";
+    Statechart.Machine.add_state m "Balancing";
+    Statechart.Machine.set_initial m "Swinging";
+    let send port signal _ _ =
+      services.Umlrt.Capsule.send ~port (Statechart.Event.make signal)
+    in
+    Statechart.Machine.add_transition m ~src:"Swinging" ~dst:"Balancing"
+      ~trigger:"near_upright" ~action:(send "ctl" "stabilize") ();
+    let i = ref None in
+    { Umlrt.Capsule.on_start = (fun () -> i := Some (Statechart.Instance.start m ()));
+      on_event =
+        (fun ~port:_ e ->
+           match !i with Some i -> Statechart.Instance.handle i e | None -> false);
+      configuration =
+        (fun () ->
+           match !i with Some i -> Statechart.Instance.configuration i | None -> []) }
+  in
+  Umlrt.Capsule.create "supervisor"
+    ~ports:
+      [ Umlrt.Capsule.port ~conjugated:true "plant" protocol;
+        Umlrt.Capsule.port ~conjugated:true "ctl" protocol ]
+    ~behavior
+
+let () =
+  let engine = Hybrid.Engine.create ~root:supervisor () in
+  Hybrid.Engine.add_streamer engine ~role:"pendulum" pendulum_streamer;
+  Hybrid.Engine.add_streamer engine ~role:"controller" controller_streamer;
+  Hybrid.Engine.connect_flow_exn engine ~src:("pendulum", "theta")
+    ~dst:("controller", "theta");
+  Hybrid.Engine.connect_flow_exn engine ~src:("pendulum", "omega")
+    ~dst:("controller", "omega");
+  Hybrid.Engine.connect_flow_exn engine ~src:("controller", "torque")
+    ~dst:("pendulum", "torque");
+  Hybrid.Engine.link_sport_exn engine ~role:"pendulum" ~sport:"sup"
+    ~border_port:"plant";
+  Hybrid.Engine.link_sport_exn engine ~role:"controller" ~sport:"cmd"
+    ~border_port:"ctl";
+  let theta_trace = Hybrid.Engine.trace_dport engine ~role:"pendulum" ~dport:"theta" in
+  Hybrid.Engine.run_until engine 30.;
+  let final_mode =
+    match Hybrid.Engine.solver_of engine "controller" with
+    | Some s -> Hybrid.Solver.get_param s "mode"
+    | None -> nan
+  in
+  let final_state =
+    match Hybrid.Engine.solver_of engine "pendulum" with
+    | Some s -> Hybrid.Solver.state s
+    | None -> [||]
+  in
+  Printf.printf "pendulum swing-up: 30 simulated seconds\n";
+  Printf.printf "  controller mode : %s\n"
+    (if final_mode >= 0.5 then "balancing (state feedback)" else "still swinging");
+  (match Hybrid.Engine.runtime engine with
+   | Some rt ->
+     (match Umlrt.Runtime.configuration rt "supervisor" with
+      | Some config ->
+        Printf.printf "  supervisor      : %s\n" (String.concat "/" config)
+      | None -> ())
+   | None -> ());
+  if Array.length final_state = 2 then begin
+    let err = Float.abs (Float.pi -. Float.abs final_state.(0)) in
+    Printf.printf "  final angle     : %.4f rad (%.4f from upright)\n"
+      final_state.(0) err;
+    Printf.printf "  final velocity  : %.4f rad/s\n" final_state.(1)
+  end;
+  (match Sigtrace.Trace.maximum (Sigtrace.Trace.map Float.abs theta_trace) with
+   | Some peak -> Printf.printf "  peak |angle|    : %.3f rad\n" peak
+   | None -> ());
+  Printf.printf "  k_stab          : [%.3f; %.3f] (poles -4, -5)\n"
+    k_stab.(0) k_stab.(1)

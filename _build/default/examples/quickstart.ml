@@ -1,0 +1,106 @@
+(* Quickstart: the paper's architecture in ~80 lines of API code.
+
+   A thermostat — one capsule (event-driven state machine, the
+   time-discrete part) and one streamer (thermal plant solved
+   continuously, the time-continuous part), joined by an SPort link.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let protocol =
+  Umlrt.Protocol.create "Thermo"
+    ~incoming:[ Umlrt.Protocol.signal "heater_on"; Umlrt.Protocol.signal "heater_off" ]
+    ~outgoing:[ Umlrt.Protocol.signal "too_cold"; Umlrt.Protocol.signal "too_hot" ]
+
+(* The streamer: T' = -(T - ambient)/tau + gain * duty, plus two
+   zero-crossing guards that raise signals toward the capsule, and a
+   strategy that lets the capsule flip the duty parameter. *)
+let room =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let p = env.Hybrid.Solver.param in
+    [| (-.(y.(0) -. p "ambient") /. p "tau") +. (p "gain" *. p "duty") |]
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"heater_on"
+    (Hybrid.Strategy.set_param_const "duty" 1.);
+  Hybrid.Strategy.on strategy ~signal:"heater_off"
+    (Hybrid.Strategy.set_param_const "duty" 0.);
+  Hybrid.Streamer.leaf "room" ~rate:0.05 ~dim:1 ~init:[| 20. |]
+    ~params:[ ("duty", 0.); ("ambient", 15.); ("tau", 20.); ("gain", 0.8) ]
+    ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+    ~sports:[ Hybrid.Streamer.sport "ctl" protocol ]
+    ~guards:
+      [ { Hybrid.Streamer.guard_id = "low"; signal = "too_cold"; via_sport = "ctl";
+          direction = Ode.Events.Falling;
+          expr = (fun _ _ y -> y.(0) -. 19.); payload = None };
+        { Hybrid.Streamer.guard_id = "high"; signal = "too_hot"; via_sport = "ctl";
+          direction = Ode.Events.Rising;
+          expr = (fun _ _ y -> y.(0) -. 21.); payload = None } ]
+    ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+    ~rhs
+
+(* The capsule: a two-state machine on the event thread. *)
+let controller =
+  let behavior (services : Umlrt.Capsule.services) =
+    let m = Statechart.Machine.create "thermostat" in
+    Statechart.Machine.add_state m "Idle";
+    Statechart.Machine.add_state m "Heating";
+    Statechart.Machine.set_initial m "Idle";
+    let send signal _ctx _evt =
+      services.Umlrt.Capsule.send ~port:"plant" (Statechart.Event.make signal)
+    in
+    Statechart.Machine.add_transition m ~src:"Idle" ~dst:"Heating"
+      ~trigger:"too_cold" ~action:(send "heater_on") ();
+    Statechart.Machine.add_transition m ~src:"Heating" ~dst:"Idle"
+      ~trigger:"too_hot" ~action:(send "heater_off") ();
+    let i = ref None in
+    { Umlrt.Capsule.on_start = (fun () -> i := Some (Statechart.Instance.start m ()));
+      on_event =
+        (fun ~port:_ e ->
+           match !i with Some i -> Statechart.Instance.handle i e | None -> false);
+      configuration =
+        (fun () ->
+           match !i with Some i -> Statechart.Instance.configuration i | None -> []) }
+  in
+  Umlrt.Capsule.create "controller"
+    ~ports:[ Umlrt.Capsule.port ~conjugated:true "plant" protocol ]
+    ~behavior
+
+let sparkline trace ~buckets =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  match (Sigtrace.Trace.minimum trace, Sigtrace.Trace.maximum trace,
+         Sigtrace.Trace.start_time trace, Sigtrace.Trace.end_time trace)
+  with
+  | Some lo, Some hi, Some t0, Some t1 when hi > lo ->
+    String.init buckets (fun i ->
+        let time = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (buckets - 1)) in
+        match Sigtrace.Trace.value_at trace time with
+        | Some v ->
+          let k = int_of_float ((v -. lo) /. (hi -. lo) *. 7.) in
+          glyphs.(Int.max 0 (Int.min 7 k))
+        | None -> ' ')
+  | _ -> "(empty)"
+
+let () =
+  let engine = Hybrid.Engine.create ~root:controller () in
+  Hybrid.Engine.add_streamer engine ~role:"room" room;
+  Hybrid.Engine.link_sport_exn engine ~role:"room" ~sport:"ctl" ~border_port:"plant";
+  let trace = Hybrid.Engine.trace_dport engine ~role:"room" ~dport:"temp" in
+  Hybrid.Engine.run_until engine 600.;
+  let stats = Hybrid.Engine.stats engine in
+  Printf.printf "thermostat: 600 simulated seconds\n";
+  Printf.printf "  streamer ticks        : %d\n" stats.Hybrid.Engine.ticks_total;
+  Printf.printf "  signals to capsule    : %d\n" stats.Hybrid.Engine.signals_to_capsules;
+  Printf.printf "  signals to streamer   : %d\n" stats.Hybrid.Engine.signals_to_streamers;
+  (match (Sigtrace.Trace.minimum trace, Sigtrace.Trace.maximum trace) with
+   | Some lo, Some hi ->
+     Printf.printf "  temperature range     : %.2f .. %.2f degC\n" lo hi
+   | _ -> ());
+  Printf.printf "  temp   |%s|\n" (sparkline trace ~buckets:72);
+  (match Hybrid.Engine.runtime engine with
+   | Some rt ->
+     (match Umlrt.Runtime.configuration rt "controller" with
+      | Some config ->
+        Printf.printf "  controller state      : %s\n" (String.concat "/" config)
+      | None -> ())
+   | None -> ())

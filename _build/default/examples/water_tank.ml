@@ -1,0 +1,127 @@
+(* Water tank level control with a relay (the paper's relay stereotype)
+   duplicating the level flow to both the controller and a logger.
+
+   - tank streamer: Torricelli drain + controllable inflow;
+   - valve controller streamer: on/off inflow with hysteresis, driven by
+     a supervisor capsule through high/low guards;
+   - logger streamer: integrates |level - setpoint| (a running cost),
+     fed by the SAME flow through a fanout-2 relay.
+
+   Run with: dune exec examples/water_tank.exe *)
+
+let tank = Plant.Water_tank.create ~tank_area:1.5 ~outlet_area:0.008 ()
+
+let protocol =
+  Umlrt.Protocol.create "Tank"
+    ~incoming:[ Umlrt.Protocol.signal "open_valve"; Umlrt.Protocol.signal "close_valve" ]
+    ~outgoing:[ Umlrt.Protocol.signal "level_low"; Umlrt.Protocol.signal "level_high" ]
+
+let tank_streamer =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let level = y.(0) in
+    let q_in =
+      env.Hybrid.Solver.param "valve" *. env.Hybrid.Solver.param "q_max"
+    in
+    let dh = (q_in -. Plant.Water_tank.outflow tank ~level) /. tank.Plant.Water_tank.tank_area in
+    [| (if level <= 0. && dh < 0. then 0. else dh) |]
+  in
+  let guards =
+    [ { Hybrid.Streamer.guard_id = "low"; signal = "level_low"; via_sport = "sup";
+        direction = Ode.Events.Falling;
+        expr = (fun _ _ y -> y.(0) -. 0.9); payload = None };
+      { Hybrid.Streamer.guard_id = "high"; signal = "level_high"; via_sport = "sup";
+        direction = Ode.Events.Rising;
+        expr = (fun _ _ y -> y.(0) -. 1.1); payload = None } ]
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"open_valve"
+    (Hybrid.Strategy.set_param_const "valve" 1.);
+  Hybrid.Strategy.on strategy ~signal:"close_valve"
+    (Hybrid.Strategy.set_param_const "valve" 0.);
+  Hybrid.Streamer.leaf "tank" ~rate:0.1 ~dim:1 ~init:[| 1.0 |]
+    ~params:[ ("valve", 1.); ("q_max", 0.08) ]
+    ~dports:[ Hybrid.Streamer.dport_out "level" ]
+    ~sports:[ Hybrid.Streamer.sport "sup" protocol ]
+    ~guards ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "level") ])
+    ~rhs
+
+(* Running cost: J' = |level - setpoint|. *)
+let logger_streamer =
+  Hybrid.Streamer.leaf "logger" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+    ~params:[ ("setpoint", 1.0) ]
+    ~dports:[ Hybrid.Streamer.dport_in "level"; Hybrid.Streamer.dport_out "cost" ]
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "cost") ])
+    ~rhs:(fun (env : Hybrid.Solver.env) _t _y ->
+        [| Float.abs (env.Hybrid.Solver.input "level"
+                      -. env.Hybrid.Solver.param "setpoint") |])
+
+(* A monitor streamer on the second relay branch: tracks the peak level. *)
+let monitor_streamer =
+  Hybrid.Streamer.leaf "monitor" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+    ~dports:[ Hybrid.Streamer.dport_in "level"; Hybrid.Streamer.dport_out "peak" ]
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "peak") ])
+    ~rhs:(fun (env : Hybrid.Solver.env) _t y ->
+        (* Peak follower: rise instantly (fast pole), never decay. *)
+        let level = env.Hybrid.Solver.input "level" in
+        [| (if level > y.(0) then 50. *. (level -. y.(0)) else 0.) |])
+
+let supervisor =
+  let behavior (services : Umlrt.Capsule.services) =
+    let m = Statechart.Machine.create "tank-supervisor" in
+    Statechart.Machine.add_state m "Filling";
+    Statechart.Machine.add_state m "Draining";
+    Statechart.Machine.set_initial m "Filling";
+    let send signal _ _ =
+      services.Umlrt.Capsule.send ~port:"tank" (Statechart.Event.make signal)
+    in
+    Statechart.Machine.add_transition m ~src:"Filling" ~dst:"Draining"
+      ~trigger:"level_high" ~action:(send "close_valve") ();
+    Statechart.Machine.add_transition m ~src:"Draining" ~dst:"Filling"
+      ~trigger:"level_low" ~action:(send "open_valve") ();
+    let i = ref None in
+    { Umlrt.Capsule.on_start = (fun () -> i := Some (Statechart.Instance.start m ()));
+      on_event =
+        (fun ~port:_ e ->
+           match !i with Some i -> Statechart.Instance.handle i e | None -> false);
+      configuration =
+        (fun () ->
+           match !i with Some i -> Statechart.Instance.configuration i | None -> []) }
+  in
+  Umlrt.Capsule.create "tank-supervisor"
+    ~ports:[ Umlrt.Capsule.port ~conjugated:true "tank" protocol ]
+    ~behavior
+
+let () =
+  let engine = Hybrid.Engine.create ~root:supervisor () in
+  Hybrid.Engine.add_streamer engine ~role:"tank" tank_streamer;
+  Hybrid.Engine.add_streamer engine ~role:"logger" logger_streamer;
+  Hybrid.Engine.add_streamer engine ~role:"monitor" monitor_streamer;
+  (* The relay stereotype: one level flow duplicated to two consumers. *)
+  Hybrid.Engine.add_relay engine ~name:"split" Dataflow.Flow_type.float_flow
+    ~fanout:2;
+  Hybrid.Engine.connect_flow_exn engine ~src:("tank", "level") ~dst:("split", "in");
+  Hybrid.Engine.connect_flow_exn engine ~src:("split", "out1") ~dst:("logger", "level");
+  Hybrid.Engine.connect_flow_exn engine ~src:("split", "out2") ~dst:("monitor", "level");
+  Hybrid.Engine.link_sport_exn engine ~role:"tank" ~sport:"sup" ~border_port:"tank";
+  let level_trace = Hybrid.Engine.trace_dport engine ~role:"tank" ~dport:"level" in
+  Hybrid.Engine.run_until engine 900.;
+  Printf.printf "water tank: 900 simulated seconds, hysteresis band [0.9, 1.1] m\n";
+  (match (Sigtrace.Trace.minimum level_trace, Sigtrace.Trace.maximum level_trace) with
+   | Some lo, Some hi -> Printf.printf "  level range   : %.3f .. %.3f m\n" lo hi
+   | _ -> ());
+  (match Hybrid.Engine.read_dport engine ~role:"logger" ~dport:"cost" with
+   | Some cost -> Printf.printf "  accumulated cost (int |h - 1|): %.2f m*s\n" cost
+   | None -> ());
+  (match Hybrid.Engine.read_dport engine ~role:"monitor" ~dport:"peak" with
+   | Some peak -> Printf.printf "  peak level (via relay branch 2): %.3f m\n" peak
+   | None -> ());
+  let stats = Hybrid.Engine.stats engine in
+  Printf.printf "  valve switches (signals to streamer): %d\n"
+    stats.Hybrid.Engine.signals_to_streamers;
+  (match Hybrid.Engine.runtime engine with
+   | Some rt ->
+     (match Umlrt.Runtime.configuration rt "tank-supervisor" with
+      | Some c -> Printf.printf "  supervisor: %s\n" (String.concat "/" c)
+      | None -> ())
+   | None -> ())

@@ -1,0 +1,1 @@
+lib/baseline/equations_in_state.ml: Array Des Event_server Ode Statechart

@@ -1,0 +1,1 @@
+lib/baseline/equations_in_state.mli: Des Ode

@@ -1,0 +1,1 @@
+lib/baseline/event_server.mli: Des

@@ -1,0 +1,1 @@
+lib/baseline/translation.ml: Array Des List Ode Printf Sigtrace Statechart Umlrt

@@ -1,0 +1,1 @@
+lib/baseline/translation.mli: Ode Sigtrace

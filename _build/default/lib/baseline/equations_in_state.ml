@@ -1,0 +1,69 @@
+type ctx = { mutable attached : bool }
+
+type t = {
+  des : Des.Engine.t;
+  server : Event_server.t;
+  machine_instance : ctx Statechart.Instance.t;
+  scheme : Ode.Fixed.scheme;
+  update_period : float;
+  system : Ode.System.t;
+  mutable y : float array;
+  mutable sim_time : float;
+  mutable updates : int;
+  block_cost : float;
+}
+
+let machine () =
+  let m = Statechart.Machine.create "equations-in-state" in
+  let entry_attach (c : ctx) = c.attached <- true in
+  let exit_detach (c : ctx) = c.attached <- false in
+  Statechart.Machine.add_state m ~entry:entry_attach ~exit:exit_detach "Active";
+  Statechart.Machine.add_state m "Idle";
+  Statechart.Machine.set_initial m "Active";
+  Statechart.Machine.add_transition m ~src:"Active" ~dst:"Idle" ~trigger:"deactivate" ();
+  Statechart.Machine.add_transition m ~src:"Idle" ~dst:"Active" ~trigger:"activate" ();
+  m
+
+let create ?(scheme = Ode.Fixed.Euler) ~update_period ~cost_per_block ~blocks
+    ~handler_cost ~system ~init () =
+  if update_period <= 0. then
+    invalid_arg "Baseline.Equations_in_state.create: update period must be positive";
+  if blocks < 0 then
+    invalid_arg "Baseline.Equations_in_state.create: negative block count";
+  let des = Des.Engine.create () in
+  let server = Event_server.create des ~handler_cost in
+  let ctx = { attached = true } in
+  let machine_instance = Statechart.Instance.start (machine ()) ctx in
+  let t =
+    { des; server; machine_instance; scheme; update_period; system;
+      y = Array.copy init; sim_time = 0.; updates = 0;
+      block_cost = cost_per_block *. float_of_int blocks }
+  in
+  (* Periodic equation update: integrates the attached equations AND
+     occupies the event thread for the recomputation cost. *)
+  ignore
+    (Des.Timer.periodic des ~period:update_period (fun _ ->
+         if ctx.attached then begin
+           let now = Des.Engine.now des in
+           if now > t.sim_time then begin
+             t.y <- Ode.Fixed.integrate t.scheme t.system ~t0:t.sim_time ~t1:now
+                      ~dt:t.update_period t.y;
+             t.sim_time <- now
+           end;
+           t.updates <- t.updates + 1;
+           Event_server.add_busy t.server t.block_cost
+         end));
+  t
+
+let engine t = t.des
+let submit_event t = Event_server.submit t.server
+let run t ~until = ignore (Des.Engine.run_until t.des until)
+let state t = Array.copy t.y
+let event_latencies t = Event_server.event_latencies t.server
+let updates_run t = t.updates
+
+let active_state t = Statechart.Instance.active_leaf t.machine_instance
+
+let set_active t flag =
+  let signal = if flag then "activate" else "deactivate" in
+  ignore (Statechart.Instance.handle t.machine_instance (Statechart.Event.make signal))

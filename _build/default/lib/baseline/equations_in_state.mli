@@ -1,0 +1,43 @@
+(** Baseline (b): directed equations attached to states
+    (Bichler, Radermacher, Schuerr — Real-Time Systems 26, 2004).
+
+    Each state of a capsule carries equations that must be recomputed
+    while the state is active; because "UML is a foundational discrete
+    language", the recomputations execute inside run-to-completion steps
+    on the event thread. The paper's criticism: "this method doesn't work
+    efficiently".
+
+    The harness combines a genuine statechart (states activate/deactivate
+    equation blocks) with the {!Event_server} thread model (equation
+    recomputation blocks the event thread), and also integrates the
+    attached equations so accuracy can be compared. *)
+
+type t
+
+val create :
+  ?scheme:Ode.Fixed.scheme
+  -> update_period:float        (** equations recomputed every period *)
+  -> cost_per_block:float       (** simulated thread time per block per update *)
+  -> blocks:int                 (** equation blocks attached to the active state *)
+  -> handler_cost:float         (** cost of an ordinary control event handler *)
+  -> system:Ode.System.t        (** the equations (integrated at each update) *)
+  -> init:float array
+  -> unit -> t
+
+val engine : t -> Des.Engine.t
+
+val submit_event : t -> unit
+(** An external control event arriving now (it queues behind any ongoing
+    equation recomputation). *)
+
+val run : t -> until:float -> unit
+
+val state : t -> float array
+val event_latencies : t -> float list
+val updates_run : t -> int
+val active_state : t -> string
+(** ["Active"] / ["Idle"] — the statechart state that owns the equations. *)
+
+val set_active : t -> bool -> unit
+(** Drive the statechart: deactivating detaches the equation blocks (no
+    more recomputation load), mirroring equations-per-state semantics. *)

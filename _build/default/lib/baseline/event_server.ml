@@ -1,0 +1,50 @@
+type t = {
+  engine : Des.Engine.t;
+  handler_cost : float;
+  mutable busy_until : float;
+  mutable latencies : float list;  (* reversed *)
+  mutable background_runs : int;
+}
+
+let create engine ~handler_cost =
+  if handler_cost < 0. then
+    invalid_arg "Baseline.Event_server.create: negative handler cost";
+  { engine; handler_cost; busy_until = 0.; latencies = []; background_runs = 0 }
+
+(* FIFO single server: a job arriving at [now] starts at
+   max(now, busy_until) and holds the thread for [cost]. *)
+let serve t ~cost =
+  let now = Des.Engine.now t.engine in
+  let start = Float.max now t.busy_until in
+  let finish = start +. cost in
+  t.busy_until <- finish;
+  finish
+
+let add_background_load t ~period ~cost =
+  if period <= 0. then
+    invalid_arg "Baseline.Event_server.add_background_load: period must be positive";
+  if cost < 0. then
+    invalid_arg "Baseline.Event_server.add_background_load: negative cost";
+  ignore
+    (Des.Timer.periodic t.engine ~period (fun _ ->
+         ignore (serve t ~cost);
+         t.background_runs <- t.background_runs + 1))
+
+let add_busy t cost =
+  if cost < 0. then invalid_arg "Baseline.Event_server.add_busy: negative cost";
+  ignore (serve t ~cost)
+
+let record_completion t ~arrival ~finish =
+  t.latencies <- (finish -. arrival) :: t.latencies
+
+let submit t =
+  let arrival = Des.Engine.now t.engine in
+  let finish = serve t ~cost:t.handler_cost in
+  record_completion t ~arrival ~finish
+
+let submit_at t time =
+  ignore (Des.Engine.schedule_at t.engine ~time (fun () -> submit t))
+
+let event_latencies t = List.rev t.latencies
+let background_jobs_run t = t.background_runs
+let busy_until t = t.busy_until

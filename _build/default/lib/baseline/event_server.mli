@@ -1,0 +1,35 @@
+(** Single-threaded event server with optional background computation —
+    the latency model behind experiment E2.
+
+    UML-RT's run-to-completion means everything on the event thread is
+    serialized. If the continuous equations also run there (baseline (b),
+    equations-in-states), every periodic recomputation blocks incoming
+    control events. This module simulates exactly that server: jobs are
+    served FIFO, one at a time; each job occupies the thread for its
+    cost; an event's latency is completion - arrival. *)
+
+type t
+
+val create : Des.Engine.t -> handler_cost:float -> t
+(** [handler_cost] = execution time of one external event's handler. *)
+
+val add_background_load : t -> period:float -> cost:float -> unit
+(** A recurring job (e.g. "recompute N equation blocks") released every
+    [period], each occupying the thread for [cost]. *)
+
+val add_busy : t -> float -> unit
+(** Occupy the thread for the given cost starting now (or when it next
+    frees up) without recording a latency — ad-hoc background work. *)
+
+val submit : t -> unit
+(** An external control event arrives now. *)
+
+val submit_at : t -> float -> unit
+(** Schedule an arrival at an absolute future time. *)
+
+val event_latencies : t -> float list
+(** Completion - arrival for every finished external event,
+    chronological. *)
+
+val background_jobs_run : t -> int
+val busy_until : t -> float

@@ -1,0 +1,73 @@
+type ctx = {
+  mutable y : float array;
+  mutable now : float;
+  mutable steps : int;
+  scheme : Ode.Fixed.scheme;
+  step : float;
+  system : Ode.System.t;
+  mutable traces : (int * Sigtrace.Trace.t) list;
+}
+
+type t = {
+  engine : Des.Engine.t;
+  runtime : Umlrt.Runtime.t;
+  ctx : ctx;
+}
+
+let tick_signal = "tick"
+
+(* The translated capsule: one state, an internal transition on the
+   periodic tick performing a single fixed-step integration. *)
+let machine () =
+  let m = Statechart.Machine.create "translated-block" in
+  Statechart.Machine.add_state m "Running";
+  Statechart.Machine.set_initial m "Running";
+  let step_action (c : ctx) _event =
+    c.y <- Ode.Fixed.step c.scheme c.system ~t:c.now ~dt:c.step c.y;
+    c.now <- c.now +. c.step;
+    c.steps <- c.steps + 1;
+    List.iter
+      (fun (i, trace) -> Sigtrace.Trace.record trace c.now c.y.(i))
+      c.traces
+  in
+  Statechart.Machine.add_internal m ~state:"Running" ~trigger:tick_signal step_action;
+  m
+
+let create ?(scheme = Ode.Fixed.Euler) ~step ~system ~init () =
+  if step <= 0. then invalid_arg "Baseline.Translation.create: step must be positive";
+  let engine = Des.Engine.create () in
+  let ctx =
+    { y = Array.copy init; now = 0.; steps = 0; scheme; step; system; traces = [] }
+  in
+  let behavior =
+    Umlrt.Capsule.machine_behavior
+      ~make_context:(fun (services : Umlrt.Capsule.services) ->
+          (* The translated capsule drives itself with the Time service. *)
+          services.Umlrt.Capsule.timer_every step (Statechart.Event.make tick_signal);
+          ctx)
+      (machine ())
+  in
+  let capsule = Umlrt.Capsule.create ~behavior "translated-plant" in
+  let runtime = Umlrt.Runtime.create engine capsule in
+  { engine; runtime; ctx }
+
+let run t ~until = ignore (Des.Engine.run_until t.engine until)
+
+let state t = Array.copy t.ctx.y
+let time t = t.ctx.now
+
+let trace t ~component =
+  match List.assoc_opt component t.ctx.traces with
+  | Some trace -> trace
+  | None ->
+    let trace =
+      Sigtrace.Trace.create ~name:(Printf.sprintf "translated[%d]" component) ()
+    in
+    (* Record the initial condition so comparisons start at t0. *)
+    Sigtrace.Trace.record trace t.ctx.now t.ctx.y.(component);
+    t.ctx.traces <- (component, trace) :: t.ctx.traces;
+    trace
+
+let steps_executed t = t.ctx.steps
+let des_events t = Des.Engine.events_executed t.engine
+let _ = fun (t : t) -> t.runtime

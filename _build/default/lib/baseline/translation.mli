@@ -1,0 +1,34 @@
+(** Baseline (a): the translation approach (Kuehl et al., RSP 2001).
+
+    The continuous block is translated into a UML-RT capsule whose state
+    machine steps the discretized equations on a periodic timer — one DES
+    event (timer fire, mailbox delivery, run-to-completion) per
+    integration step. This is what "translate Simulink into UML" yields,
+    and the paper's complaint: "lots of objects and classes may be
+    generated", every step pays event machinery, and accuracy is capped
+    by the event rate.
+
+    The harness runs a real {!Umlrt.Runtime} with a real statechart so
+    the measured overhead is honest. *)
+
+type t
+
+val create :
+  ?scheme:Ode.Fixed.scheme   (** default [Euler], as naive translations do *)
+  -> step:float              (** integration/event period *)
+  -> system:Ode.System.t
+  -> init:float array
+  -> unit -> t
+
+val run : t -> until:float -> unit
+
+val state : t -> float array
+val time : t -> float
+
+val trace : t -> component:int -> Sigtrace.Trace.t
+(** Trace of one state component, recorded at every step (register
+    before [run]). *)
+
+val steps_executed : t -> int
+val des_events : t -> int
+(** Total DES callbacks the translation burned — the overhead metric. *)

@@ -1,0 +1,1 @@
+lib/codegen/cgen.ml: Buffer Dsl Float Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/cgen.mli: Dsl

@@ -1,0 +1,514 @@
+type output = {
+  filename : string;
+  contents : string;
+}
+
+exception Codegen_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+let rec expr_to_c ~resolve = function
+  | Dsl.Expr.Num x ->
+    if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.17g" x
+  | Dsl.Expr.Var name -> resolve name
+  | Dsl.Expr.Payload -> resolve "payload"
+  | Dsl.Expr.Neg e -> Printf.sprintf "(-%s)" (expr_to_c ~resolve e)
+  | Dsl.Expr.Add (a, b) ->
+    Printf.sprintf "(%s + %s)" (expr_to_c ~resolve a) (expr_to_c ~resolve b)
+  | Dsl.Expr.Sub (a, b) ->
+    Printf.sprintf "(%s - %s)" (expr_to_c ~resolve a) (expr_to_c ~resolve b)
+  | Dsl.Expr.Mul (a, b) ->
+    Printf.sprintf "(%s * %s)" (expr_to_c ~resolve a) (expr_to_c ~resolve b)
+  | Dsl.Expr.Div (a, b) ->
+    Printf.sprintf "(%s / %s)" (expr_to_c ~resolve a) (expr_to_c ~resolve b)
+  | Dsl.Expr.Pow (a, b) ->
+    Printf.sprintf "pow(%s, %s)" (expr_to_c ~resolve a) (expr_to_c ~resolve b)
+  | Dsl.Expr.Call (name, args) ->
+    let c_name =
+      match name with
+      | "sin" | "cos" | "tan" | "exp" | "log" | "sqrt" -> name
+      | "abs" -> "fabs"
+      | "min" -> "fmin"
+      | "max" -> "fmax"
+      | "sign" -> "umh_sign"
+      | other -> fail "no C mapping for function %S" other
+    in
+    Printf.sprintf "%s(%s)"
+      c_name
+      (String.concat ", " (List.map (expr_to_c ~resolve) args))
+
+(* ---------- model queries ---------- *)
+
+type sinst = { si_name : string; si_decl : Dsl.Ast.streamer_decl }
+type cinst = { ci_name : string; ci_decl : Dsl.Ast.capsule_decl }
+
+let instances_of checked =
+  let model = checked.Dsl.Typecheck.model in
+  let sys =
+    match model.Dsl.Ast.m_system with
+    | Some s -> s
+    | None -> fail "model has no system block"
+  in
+  let streamers =
+    List.filter_map
+      (function
+        | Dsl.Ast.Istreamer { iname; iclass; _ } ->
+          (match
+             List.find_opt
+               (fun (s : Dsl.Ast.streamer_decl) -> String.equal s.Dsl.Ast.s_name iclass)
+               model.Dsl.Ast.m_streamers
+           with
+           | Some d -> Some { si_name = iname; si_decl = d }
+           | None -> fail "unknown streamer class %S" iclass)
+        | Dsl.Ast.Icapsule _ | Dsl.Ast.Irelay _ -> None)
+      sys.Dsl.Ast.sys_instances
+  in
+  let capsules =
+    List.filter_map
+      (function
+        | Dsl.Ast.Icapsule { iname; iclass; _ } ->
+          (match
+             List.find_opt
+               (fun (c : Dsl.Ast.capsule_decl) -> String.equal c.Dsl.Ast.c_name iclass)
+               model.Dsl.Ast.m_capsules
+           with
+           | Some d -> Some { ci_name = iname; ci_decl = d }
+           | None -> fail "unknown capsule class %S" iclass)
+        | Dsl.Ast.Istreamer _ | Dsl.Ast.Irelay _ -> None)
+      sys.Dsl.Ast.sys_instances
+  in
+  (sys, streamers, capsules)
+
+let all_signals model =
+  let of_proto (p : Dsl.Ast.protocol_decl) =
+    List.map (fun s -> s.Dsl.Ast.sig_name) (p.Dsl.Ast.proto_in @ p.Dsl.Ast.proto_out)
+  in
+  List.sort_uniq String.compare (List.concat_map of_proto model.Dsl.Ast.m_protocols)
+
+let state_index (s : Dsl.Ast.streamer_decl) name =
+  let rec find i = function
+    | [] -> None
+    | (v, _) :: _ when String.equal v name -> Some i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 s.Dsl.Ast.s_states
+
+let in_ports (s : Dsl.Ast.streamer_decl) =
+  List.filter_map
+    (fun (d : Dsl.Ast.dport_decl) ->
+       if d.Dsl.Ast.dp_dir = Some Dsl.Ast.Din then Some d.Dsl.Ast.dp_name else None)
+    s.Dsl.Ast.s_dports
+
+let out_ports (s : Dsl.Ast.streamer_decl) =
+  List.filter_map
+    (fun (d : Dsl.Ast.dport_decl) ->
+       if d.Dsl.Ast.dp_dir = Some Dsl.Ast.Dout then Some d.Dsl.Ast.dp_name else None)
+    s.Dsl.Ast.s_dports
+
+(* Resolver for solver-context expressions: [kind] selects how state
+   variables are addressed (raw x array vs the struct's state). *)
+let solver_resolve (s : Dsl.Ast.streamer_decl) ~state_ref name =
+  if String.equal name "t" then "t"
+  else if String.equal name "payload" then "payload"
+  else
+    match state_index s name with
+    | Some i -> Printf.sprintf "%s[%d]" state_ref i
+    | None ->
+      if List.mem_assoc name s.Dsl.Ast.s_params then Printf.sprintf "s->p_%s" name
+      else if List.mem name (in_ports s) then Printf.sprintf "s->in_%s" name
+      else fail "cannot compile identifier %S" name
+
+(* ---------- per-streamer code ---------- *)
+
+let emit_streamer buf { si_name = n; si_decl = s } =
+  let dim = List.length s.Dsl.Ast.s_states in
+  let nguards = List.length s.Dsl.Ast.s_guards in
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  b "/* streamer instance %s (class %s) */\n" n s.Dsl.Ast.s_name;
+  b "typedef struct {\n  double x[%d];\n" (Int.max 1 dim);
+  List.iter (fun (p, _) -> b "  double p_%s;\n" p) s.Dsl.Ast.s_params;
+  List.iter (fun i -> b "  double in_%s;\n" i) (in_ports s);
+  List.iter (fun o -> b "  double out_%s;\n" o) (out_ports s);
+  if nguards > 0 then b "  double g_prev[%d];\n  int g_primed;\n" nguards;
+  b "} %s_t;\n\nstatic %s_t %s;\n\n" n n n;
+  (* init *)
+  b "static void %s_init(%s_t *s) {\n" n n;
+  List.iteri (fun i (_, v) -> b "  s->x[%d] = %.17g;\n" i v) s.Dsl.Ast.s_states;
+  List.iter (fun (p, v) -> b "  s->p_%s = %.17g;\n" p v) s.Dsl.Ast.s_params;
+  List.iter (fun i -> b "  s->in_%s = 0.0;\n" i) (in_ports s);
+  List.iter (fun o -> b "  s->out_%s = 0.0;\n" o) (out_ports s);
+  if nguards > 0 then b "  s->g_primed = 0;\n";
+  b "}\n\n";
+  (* rhs *)
+  let resolve_x = solver_resolve s ~state_ref:"x" in
+  b "static void %s_rhs(%s_t *s, double t, const double *x, double *dx) {\n" n n;
+  b "  (void)s; (void)t; (void)x;\n";
+  List.iteri
+    (fun i (v, _) ->
+       match List.assoc_opt v s.Dsl.Ast.s_eqs with
+       | Some e -> b "  dx[%d] = %s;\n" i (expr_to_c ~resolve:resolve_x e)
+       | None -> b "  dx[%d] = 0.0;\n" i)
+    s.Dsl.Ast.s_states;
+  b "}\n\n";
+  (* RK4 step *)
+  b "static void %s_step(%s_t *s, double t, double h) {\n" n n;
+  b "  double k1[%d], k2[%d], k3[%d], k4[%d], tmp[%d];\n" dim dim dim dim dim;
+  b "  int i;\n";
+  b "  %s_rhs(s, t, s->x, k1);\n" n;
+  b "  for (i = 0; i < %d; i++) tmp[i] = s->x[i] + 0.5 * h * k1[i];\n" dim;
+  b "  %s_rhs(s, t + 0.5 * h, tmp, k2);\n" n;
+  b "  for (i = 0; i < %d; i++) tmp[i] = s->x[i] + 0.5 * h * k2[i];\n" dim;
+  b "  %s_rhs(s, t + 0.5 * h, tmp, k3);\n" n;
+  b "  for (i = 0; i < %d; i++) tmp[i] = s->x[i] + h * k3[i];\n" dim;
+  b "  %s_rhs(s, t + h, tmp, k4);\n" n;
+  b "  for (i = 0; i < %d; i++)\n" dim;
+  b "    s->x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);\n";
+  b "}\n\n";
+  (* outputs *)
+  let resolve_sx = solver_resolve s ~state_ref:"s->x" in
+  b "static void %s_outputs(%s_t *s, double t) {\n  (void)s; (void)t;\n" n n;
+  List.iter
+    (fun (o, e) -> b "  s->out_%s = %s;\n" o (expr_to_c ~resolve:resolve_sx e))
+    s.Dsl.Ast.s_outputs;
+  b "}\n\n";
+  (* guards *)
+  List.iteri
+    (fun gi (g : Dsl.Ast.guard_decl) ->
+       b "static double %s_guard_%d(%s_t *s, double t) {\n" n gi n;
+       b "  (void)s; (void)t;\n  return %s;\n}\n\n"
+         (expr_to_c ~resolve:resolve_sx g.Dsl.Ast.g_expr))
+    s.Dsl.Ast.s_guards;
+  (* strategies: handle a signal arriving at this streamer *)
+  b "static void %s_signal(%s_t *s, int signal, double payload) {\n" n n;
+  b "  (void)s; (void)signal; (void)payload;\n";
+  List.iter
+    (fun (st : Dsl.Ast.strategy_decl) ->
+       b "  if (signal == SIG_%s) s->p_%s = %s;\n" st.Dsl.Ast.st_signal st.Dsl.Ast.st_param
+         (expr_to_c ~resolve:resolve_sx st.Dsl.Ast.st_expr))
+    s.Dsl.Ast.s_strategies;
+  b "}\n\n"
+
+(* ---------- per-capsule code ---------- *)
+
+let rec leaf_states (st : Dsl.Ast.state_decl) =
+  if st.Dsl.Ast.st_children = [] then [ st ]
+  else List.concat_map leaf_states st.Dsl.Ast.st_children
+
+(* Transitions visible from a leaf state = its own plus its ancestors'. *)
+let rec transitions_for (states : Dsl.Ast.state_decl list) leaf_name
+    (inherited : Dsl.Ast.transition_decl list) =
+  List.concat_map
+    (fun (st : Dsl.Ast.state_decl) ->
+       if String.equal st.Dsl.Ast.st_name leaf_name then
+         st.Dsl.Ast.st_transitions @ inherited
+       else
+         transitions_for st.Dsl.Ast.st_children leaf_name
+           (st.Dsl.Ast.st_transitions @ inherited))
+    states
+
+(* Entering a (possibly composite) state means descending via initials to
+   a leaf. *)
+let rec entry_leaf (states : Dsl.Ast.state_decl list) name =
+  match
+    List.find_opt (fun (st : Dsl.Ast.state_decl) -> String.equal st.Dsl.Ast.st_name name) states
+  with
+  | Some st ->
+    if st.Dsl.Ast.st_children = [] then Some st.Dsl.Ast.st_name
+    else
+      (match st.Dsl.Ast.st_initial with
+       | Some i -> entry_leaf st.Dsl.Ast.st_children i
+       | None -> None)
+  | None ->
+    List.find_map
+      (fun (st : Dsl.Ast.state_decl) -> entry_leaf st.Dsl.Ast.st_children name)
+      states
+
+let emit_capsule buf ~route { ci_name = n; ci_decl = c } =
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let leaves = List.concat_map leaf_states c.Dsl.Ast.c_states in
+  b "/* capsule instance %s (class %s) */\n" n c.Dsl.Ast.c_name;
+  b "typedef enum {\n";
+  List.iter (fun (st : Dsl.Ast.state_decl) -> b "  %s_S_%s,\n" n st.Dsl.Ast.st_name) leaves;
+  b "} %s_state_t;\n\ntypedef struct { %s_state_t state; } %s_t;\n\nstatic %s_t %s;\n\n"
+    n n n n n;
+  let initial_leaf =
+    match c.Dsl.Ast.c_initial with
+    | Some i ->
+      (match entry_leaf c.Dsl.Ast.c_states i with
+       | Some leaf -> leaf
+       | None -> fail "capsule %s: cannot resolve initial leaf" n)
+    | None -> fail "capsule %s: no initial state" n
+  in
+  b "static void %s_init(%s_t *c) { c->state = %s_S_%s; }\n\n" n n n initial_leaf;
+  b "static void %s_handle(%s_t *c, int signal, double payload) {\n" n n;
+  b "  (void)c; (void)signal; (void)payload;\n  switch (c->state) {\n";
+  List.iter
+    (fun (leaf : Dsl.Ast.state_decl) ->
+       b "  case %s_S_%s:\n" n leaf.Dsl.Ast.st_name;
+       List.iter
+         (fun (tr : Dsl.Ast.transition_decl) ->
+            let target_leaf =
+              match entry_leaf c.Dsl.Ast.c_states tr.Dsl.Ast.tr_target with
+              | Some l -> l
+              | None -> tr.Dsl.Ast.tr_target
+            in
+            b "    if (signal == SIG_%s) {\n" tr.Dsl.Ast.tr_trigger;
+            b "      c->state = %s_S_%s;\n" n target_leaf;
+            (match tr.Dsl.Ast.tr_send with
+             | Some (signal, port) -> b "      %s\n" (route ~capsule:n ~port ~signal)
+             | None -> ());
+            b "      return;\n    }\n")
+         (transitions_for c.Dsl.Ast.c_states leaf.Dsl.Ast.st_name []);
+       b "    break;\n")
+    leaves;
+  b "  }\n}\n\n"
+
+(* ---------- whole program ---------- *)
+
+let header_file model_name =
+  { filename = "umh_model.h";
+    contents =
+      Printf.sprintf
+        "/* Generated by umh codegen from model %s. Do not edit. */\n\
+         #ifndef UMH_MODEL_H\n#define UMH_MODEL_H\n\n\
+         void umh_run(double t_end);\n\n#endif\n"
+        model_name }
+
+let generate checked =
+  if not (Dsl.Typecheck.is_ok checked) then
+    fail "model has type errors:\n%s" (String.concat "\n" checked.Dsl.Typecheck.errors);
+  let model = checked.Dsl.Typecheck.model in
+  let sys, streamers, capsules = instances_of checked in
+  List.iter
+    (fun { si_name; si_decl } ->
+       if si_decl.Dsl.Ast.s_contains <> [] then
+         fail
+           "streamer instance %S: composite streamers are not supported by the C generator yet; instantiate the leaves directly"
+           si_name)
+    streamers;
+  let buf = Buffer.create 16_384 in
+  let b fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  b "/* Generated by umh codegen from model %s. Do not edit.\n" model.Dsl.Ast.m_name;
+  b " *\n * Architecture (mirrors the UML-RT streamer extension):\n";
+  b " *  - one struct + RK4 stepper per streamer thread;\n";
+  b " *  - one switch/case state machine per capsule (event thread);\n";
+  b " *  - a deterministic cooperative scheduler stands in for RTOS threads;\n";
+  b " *  - guards use per-tick sign-change detection (tick-quantized events).\n */\n\n";
+  b "#include <stdio.h>\n#include <stdlib.h>\n#include <math.h>\n#include \"umh_model.h\"\n\n";
+  b "static double umh_sign(double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); }\n\n";
+  (* signal ids *)
+  b "enum {\n";
+  List.iter (fun s -> b "  SIG_%s,\n" s) (all_signals model);
+  b "};\n\n";
+  (* links: streamer sport -- capsule port *)
+  let links =
+    List.filter_map
+      (function
+        | Dsl.Ast.Clink { cl_streamer; cl_capsule; _ } -> Some (cl_streamer, cl_capsule)
+        | Dsl.Ast.Cflow _ -> None)
+      sys.Dsl.Ast.sys_connections
+  in
+  (* forward decls so capsules can emit to streamers and vice versa *)
+  List.iter
+    (fun { si_name; _ } ->
+       b "static void %s_dispatch_signal(int signal, double payload);\n" si_name)
+    streamers;
+  List.iter
+    (fun { ci_name; _ } ->
+       b "static void %s_dispatch(int signal, double payload);\n" ci_name)
+    capsules;
+  b "\n";
+  List.iter (emit_streamer buf) streamers;
+  (* Route: capsule port -> linked streamer. *)
+  let route ~capsule ~port ~signal =
+    match
+      List.find_opt
+        (fun ((_, _), (ci, cp)) -> String.equal ci capsule && String.equal cp port)
+        links
+    with
+    | Some ((si, _), _) ->
+      Printf.sprintf "%s_dispatch_signal(SIG_%s, 0.0);" si signal
+    | None -> Printf.sprintf "/* port %s unconnected */ (void)0;" port
+  in
+  List.iter (emit_capsule buf ~route) capsules;
+  (* dispatch shims (defined after the instance structs exist) *)
+  List.iter
+    (fun { si_name; _ } ->
+       b "static void %s_dispatch_signal(int signal, double payload) {\n\
+         \  %s_signal(&%s, signal, payload);\n}\n\n"
+         si_name si_name si_name)
+    streamers;
+  List.iter
+    (fun { ci_name; _ } ->
+       b "static void %s_dispatch(int signal, double payload) {\n\
+         \  %s_handle(&%s, signal, payload);\n}\n\n"
+         ci_name ci_name ci_name)
+    capsules;
+  (* flows: copy output registers to input registers (through relays and
+     capsule junction DPorts, resolved statically). *)
+  let relay_types = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Dsl.Ast.Irelay { iname; _ } -> Hashtbl.replace relay_types iname ()
+      | Dsl.Ast.Icapsule _ | Dsl.Ast.Istreamer _ -> ())
+    sys.Dsl.Ast.sys_instances;
+  let flows =
+    List.filter_map
+      (function
+        | Dsl.Ast.Cflow { cf_src; cf_dst; _ } -> Some (cf_src, cf_dst)
+        | Dsl.Ast.Clink _ -> None)
+      sys.Dsl.Ast.sys_connections
+  in
+  (* A "slot" is a C lvalue for an endpoint; relays/junctions become plain
+     doubles. *)
+  let junctions = Hashtbl.create 8 in
+  List.iter
+    (fun ((si, sp), (di, dp)) ->
+       let add inst port =
+         if Hashtbl.mem relay_types inst
+            || List.exists (fun { ci_name; _ } -> String.equal ci_name inst) capsules
+         then Hashtbl.replace junctions (Printf.sprintf "%s__%s" inst port) ()
+       in
+       add si sp;
+       add di dp)
+    flows;
+  Hashtbl.iter (fun name () -> b "static double J_%s;\n" name) junctions;
+  b "\n";
+  let slot (inst, port) ~producer =
+    if Hashtbl.mem relay_types inst then
+      (* relay: all ports alias one value *)
+      Printf.sprintf "J_%s__in" inst
+    else if List.exists (fun { ci_name; _ } -> String.equal ci_name inst) capsules then
+      Printf.sprintf "J_%s__%s" inst port
+    else if producer then Printf.sprintf "%s.out_%s" inst port
+    else Printf.sprintf "%s.in_%s" inst port
+  in
+  (* Relay input slots must exist even if only outputs were mentioned. *)
+  List.iter
+    (fun ((si, _), _) ->
+       if Hashtbl.mem relay_types si && not (Hashtbl.mem junctions (si ^ "__in"))
+       then begin
+         Hashtbl.replace junctions (si ^ "__in") ();
+         b "static double J_%s__in;\n" si
+       end)
+    flows;
+  b "static void umh_propagate(void) {\n";
+  (* naive fixed-point-free ordering: copy each flow in declaration order
+     twice so junction chains settle (graphs are shallow in practice). *)
+  for _pass = 1 to 2 do
+    List.iter
+      (fun (src, dst) ->
+         b "  %s = %s;\n" (slot dst ~producer:false) (slot src ~producer:true))
+      flows
+  done;
+  b "}\n\n";
+  (* guard dispatch per streamer *)
+  List.iter
+    (fun { si_name = n; si_decl = s } ->
+       if s.Dsl.Ast.s_guards <> [] then begin
+         b "static void %s_check_guards(double t) {\n" n;
+         List.iteri
+           (fun gi (g : Dsl.Ast.guard_decl) ->
+              let target =
+                (* which capsule hears this sport? *)
+                match
+                  List.find_opt
+                    (fun ((si, sp), _) ->
+                       String.equal si n && String.equal sp g.Dsl.Ast.g_sport)
+                    links
+                with
+                | Some (_, (ci, _)) ->
+                  fun payload_c ->
+                    Printf.sprintf "%s_dispatch(SIG_%s, %s);" ci g.Dsl.Ast.g_signal payload_c
+                | None -> fun _payload_c -> "/* unlinked sport */ (void)0;"
+              in
+              let payload_c =
+                match g.Dsl.Ast.g_payload with
+                | None -> "0.0"
+                | Some pe ->
+                  let resolve name =
+                    if String.equal name "t" then "t"
+                    else
+                      match state_index s name with
+                      | Some i -> Printf.sprintf "%s.x[%d]" n i
+                      | None ->
+                        if List.mem_assoc name s.Dsl.Ast.s_params then
+                          Printf.sprintf "%s.p_%s" n name
+                        else if List.mem name (in_ports s) then
+                          Printf.sprintf "%s.in_%s" n name
+                        else fail "cannot compile identifier %S" name
+                  in
+                  expr_to_c ~resolve pe
+              in
+              b "  {\n    double g = %s_guard_%d(&%s, t);\n" n gi n;
+              let fire =
+                match g.Dsl.Ast.g_dir with
+                | Dsl.Ast.Grising -> Printf.sprintf "%s.g_prev[%d] < 0.0 && g >= 0.0" n gi
+                | Dsl.Ast.Gfalling -> Printf.sprintf "%s.g_prev[%d] > 0.0 && g <= 0.0" n gi
+                | Dsl.Ast.Gboth ->
+                  Printf.sprintf
+                    "(%s.g_prev[%d] < 0.0 && g >= 0.0) || (%s.g_prev[%d] > 0.0 && g <= 0.0)"
+                    n gi n gi
+              in
+              b "    if (%s.g_primed && (%s)) { %s }\n" n fire (target payload_c);
+              b "    %s.g_prev[%d] = g;\n  }\n" n gi)
+           s.Dsl.Ast.s_guards;
+         b "  %s.g_primed = 1;\n}\n\n" n
+       end)
+    streamers;
+  (* scheduler *)
+  b "void umh_run(double t_end) {\n";
+  List.iter (fun { si_name; _ } -> b "  %s_init(&%s);\n" si_name si_name) streamers;
+  List.iter (fun { ci_name; _ } -> b "  %s_init(&%s);\n" ci_name ci_name) capsules;
+  b "  double t = 0.0;\n";
+  List.iteri
+    (fun i { si_name = n; si_decl = s } ->
+       let rate = match s.Dsl.Ast.s_rate with Some r -> r | None -> 0.01 in
+       let h =
+         match s.Dsl.Ast.s_method with
+         | Some (Dsl.Ast.Mfixed (_, step)) -> step
+         | Some (Dsl.Ast.Mimplicit step) -> step
+         | Some Dsl.Ast.Madaptive | None -> rate /. 10.
+       in
+       b "  double next_%d = %.17g; const double rate_%d = %.17g; const double h_%d = %.17g;\n"
+         i rate i rate i (Float.min h rate);
+       ignore n)
+    streamers;
+  b "  printf(\"time";
+  List.iter
+    (fun { si_name = n; si_decl = s } ->
+       List.iter (fun o -> b ",%s.%s" n o) (out_ports s))
+    streamers;
+  b "\\n\");\n";
+  b "  while (t < t_end) {\n";
+  b "    double due = t_end; int who = -1;\n";
+  List.iteri
+    (fun i _ -> b "    if (next_%d < due) { due = next_%d; who = %d; }\n" i i i)
+    streamers;
+  b "    if (who < 0) break;\n    t = due;\n";
+  List.iteri
+    (fun i { si_name = n; si_decl = s } ->
+       b "    if (who == %d) {\n" i;
+       b "      double t0 = t - rate_%d;\n      double tt = t0;\n" i;
+       b "      while (tt < t - 1e-15) {\n";
+       b "        double hh = h_%d; if (tt + hh > t) hh = t - tt;\n" i;
+       b "        %s_step(&%s, tt, hh);\n        tt += hh;\n      }\n" n n;
+       b "      %s_outputs(&%s, t);\n      umh_propagate();\n" n n;
+       if s.Dsl.Ast.s_guards <> [] then b "      %s_check_guards(t);\n" n;
+       if i = 0 then begin
+         b "      printf(\"%%.6f\", t);\n";
+         List.iter
+           (fun { si_name = m; si_decl = sd } ->
+              List.iter (fun o -> b "      printf(\",%%.9g\", %s.out_%s);\n" m o)
+                (out_ports sd))
+           streamers;
+         b "      printf(\"\\n\");\n"
+       end;
+       b "      next_%d += rate_%d;\n    }\n" i i)
+    streamers;
+  b "  }\n}\n\n";
+  b "#ifndef UMH_NO_MAIN\nint main(int argc, char **argv) {\n";
+  b "  umh_run(argc > 1 ? atof(argv[1]) : 10.0);\n  return 0;\n}\n#endif\n";
+  [ header_file model.Dsl.Ast.m_name;
+    { filename = "umh_model.c"; contents = Buffer.contents buf } ]

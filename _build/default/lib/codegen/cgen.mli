@@ -1,0 +1,28 @@
+(** C code generation from a checked .umh model — the last stage of the
+    paper's pipeline ("from requirement analysis, model design,
+    simulation, until generation code").
+
+    The generated program mirrors the runtime architecture:
+    - one C struct + step function per streamer thread (RK4 fixed step,
+      parameters, input/output registers, linear-interpolation
+      zero-crossing detection for guards);
+    - one switch/case state machine per capsule on the event thread;
+    - a deterministic cooperative scheduler in [main] standing in for
+      the RTOS threads (each streamer ticks at its declared rate; signal
+      queues connect the two worlds), so the generated code runs anywhere
+      for validation before RTOS deployment. *)
+
+type output = {
+  filename : string;
+  contents : string;
+}
+
+exception Codegen_error of string
+
+val expr_to_c : resolve:(string -> string) -> Dsl.Expr.t -> string
+(** Compile an expression to C syntax; [resolve] maps identifiers to C
+    lvalues. Raises {!Codegen_error} on unresolvable constructs. *)
+
+val generate : Dsl.Typecheck.checked -> output list
+(** [umh_model.h] and [umh_model.c]. Raises {!Codegen_error} when the
+    model has type errors or no system block. *)

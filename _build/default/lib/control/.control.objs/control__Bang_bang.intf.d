@@ -1,0 +1,1 @@
+lib/control/bang_bang.mli:

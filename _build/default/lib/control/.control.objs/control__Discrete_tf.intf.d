@@ -1,0 +1,1 @@
+lib/control/discrete_tf.mli:

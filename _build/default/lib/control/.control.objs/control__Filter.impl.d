@@ -1,0 +1,1 @@
+lib/control/filter.ml: Float Queue

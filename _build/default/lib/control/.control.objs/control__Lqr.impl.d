@@ -1,0 +1,1 @@
+lib/control/lqr.ml: Array Float Ode State_feedback

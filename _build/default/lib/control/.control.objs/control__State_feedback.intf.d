@@ -1,0 +1,1 @@
+lib/control/state_feedback.mli:

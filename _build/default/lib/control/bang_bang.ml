@@ -1,0 +1,29 @@
+type t = {
+  mutable setpoint : float;
+  hysteresis : float;
+  mutable on : bool;
+  mutable switches : int;
+}
+
+let create ?(initially_on = false) ~setpoint ~hysteresis () =
+  if hysteresis < 0. then invalid_arg "Control.Bang_bang.create: negative hysteresis";
+  { setpoint; hysteresis; on = initially_on; switches = 0 }
+
+let setpoint t = t.setpoint
+let set_setpoint t sp = t.setpoint <- sp
+
+let thresholds t = (t.setpoint -. t.hysteresis, t.setpoint +. t.hysteresis)
+
+let update t ~measurement =
+  let low, high = thresholds t in
+  let next =
+    if measurement < low then true
+    else if measurement > high then false
+    else t.on
+  in
+  if next <> t.on then t.switches <- t.switches + 1;
+  t.on <- next;
+  next
+
+let output t = t.on
+let switches t = t.switches

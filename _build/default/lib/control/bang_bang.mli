@@ -1,0 +1,25 @@
+(** Relay (on/off) controller with hysteresis — the thermostat law.
+
+    Turns on below [setpoint - hysteresis], off above
+    [setpoint + hysteresis], and keeps its previous output inside the
+    band. *)
+
+type t
+
+val create : ?initially_on:bool -> setpoint:float -> hysteresis:float -> unit -> t
+(** [hysteresis >= 0]. *)
+
+val setpoint : t -> float
+val set_setpoint : t -> float -> unit
+
+val update : t -> measurement:float -> bool
+(** One decision; also remembers it for the hysteresis band. *)
+
+val output : t -> bool
+(** Last decision. *)
+
+val switches : t -> int
+(** Number of on/off changes so far (chatter metric). *)
+
+val thresholds : t -> float * float
+(** (on-below, off-above). *)

@@ -1,0 +1,50 @@
+type t = {
+  b : float array;
+  a : float array;
+  u_hist : float array;  (* u_(k-1) ... u_(k-m) ring as shift register *)
+  y_hist : float array;
+}
+
+let create ~b ~a =
+  if Array.length b = 0 then invalid_arg "Control.Discrete_tf.create: empty numerator";
+  { b = Array.copy b; a = Array.copy a;
+    u_hist = Array.make (Array.length b) 0.;
+    y_hist = Array.make (Array.length a) 0. }
+
+let integrator ~dt =
+  if dt <= 0. then invalid_arg "Control.Discrete_tf.integrator: dt must be positive";
+  create ~b:[| 0.; dt |] ~a:[| -1. |]
+
+let differentiator ~dt =
+  if dt <= 0. then invalid_arg "Control.Discrete_tf.differentiator: dt must be positive";
+  create ~b:[| 1. /. dt; -1. /. dt |] ~a:[||]
+
+let first_order_lag ~dt ~time_constant =
+  if dt <= 0. || time_constant <= 0. then
+    invalid_arg "Control.Discrete_tf.first_order_lag: dt and tau must be positive";
+  let p = exp (-.dt /. time_constant) in
+  create ~b:[| 0.; 1. -. p |] ~a:[| -.p |]
+
+let step t u =
+  (* Shift u into history position 0 semantics: u_hist.(i) = u_(k-i),
+     so write current u at index 0 after shifting. *)
+  let m = Array.length t.u_hist in
+  if m > 1 then Array.blit t.u_hist 0 t.u_hist 1 (m - 1);
+  t.u_hist.(0) <- u;
+  let y = ref 0. in
+  Array.iteri (fun i bi -> y := !y +. (bi *. t.u_hist.(i))) t.b;
+  Array.iteri (fun j aj -> y := !y -. (aj *. t.y_hist.(j))) t.a;
+  let n = Array.length t.y_hist in
+  if n > 0 then begin
+    if n > 1 then Array.blit t.y_hist 0 t.y_hist 1 (n - 1);
+    t.y_hist.(0) <- !y
+  end;
+  !y
+
+let run t inputs = List.map (step t) inputs
+
+let reset t =
+  Array.fill t.u_hist 0 (Array.length t.u_hist) 0.;
+  Array.fill t.y_hist 0 (Array.length t.y_hist) 0.
+
+let order t = (Array.length t.b - 1, Array.length t.a)

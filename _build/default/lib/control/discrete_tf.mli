@@ -1,0 +1,31 @@
+(** Discrete transfer functions (difference equations).
+
+    This is the time-discrete half of the paper's hybrid picture: the
+    part UML-RT already handles by embedding difference equations in
+    capsule transition actions. [y_k = sum b_i u_(k-i) - sum a_j y_(k-j)]
+    with [a] starting at [a_1]. *)
+
+type t
+
+val create : b:float array -> a:float array -> t
+(** Numerator coefficients [b_0..b_m] and denominator [a_1..a_n]
+    (the implicit [a_0] is 1). [b] must be non-empty. *)
+
+val integrator : dt:float -> t
+(** Forward-Euler integrator [y_k = y_(k-1) + dt * u_(k-1)]. *)
+
+val differentiator : dt:float -> t
+(** Backward difference [(u_k - u_(k-1)) / dt]. *)
+
+val first_order_lag : dt:float -> time_constant:float -> t
+(** Zero-order-hold discretization of [1/(tau s + 1)]. *)
+
+val step : t -> float -> float
+(** Feed one input sample, get the output sample. *)
+
+val run : t -> float list -> float list
+(** Feed a whole sequence (state persists across the call). *)
+
+val reset : t -> unit
+val order : t -> int * int
+(** (numerator length - 1, denominator length). *)

@@ -1,0 +1,92 @@
+module Low_pass = struct
+  type t = {
+    time_constant : float;
+    mutable state : float option;
+  }
+
+  let create ~time_constant =
+    if time_constant <= 0. then
+      invalid_arg "Control.Filter.Low_pass.create: time constant must be positive";
+    { time_constant; state = None }
+
+  let update t ~dt x =
+    if dt <= 0. then invalid_arg "Control.Filter.Low_pass.update: dt must be positive";
+    let y =
+      match t.state with
+      | None -> x
+      | Some prev ->
+        let alpha = dt /. (t.time_constant +. dt) in
+        prev +. (alpha *. (x -. prev))
+    in
+    t.state <- Some y;
+    y
+
+  let value t = t.state
+  let reset t = t.state <- None
+end
+
+module Biquad = struct
+  type t = {
+    b0 : float; b1 : float; b2 : float;
+    a1 : float; a2 : float;
+    mutable x1 : float; mutable x2 : float;
+    mutable y1 : float; mutable y2 : float;
+  }
+
+  let create ~b0 ~b1 ~b2 ~a1 ~a2 =
+    { b0; b1; b2; a1; a2; x1 = 0.; x2 = 0.; y1 = 0.; y2 = 0. }
+
+  let butterworth_lowpass ~cutoff_hz ~sample_rate =
+    if cutoff_hz <= 0. || cutoff_hz >= sample_rate /. 2. then
+      invalid_arg "Control.Filter.Biquad.butterworth_lowpass: cutoff out of range";
+    (* Bilinear transform with frequency pre-warping. *)
+    let omega = Float.pi *. cutoff_hz /. (sample_rate /. 2.) in
+    let k = tan (omega /. 2.) in
+    let q = Float.sqrt 2. /. 2. in
+    let norm = 1. /. (1. +. (k /. q) +. (k *. k)) in
+    let b0 = k *. k *. norm in
+    create ~b0 ~b1:(2. *. b0) ~b2:b0
+      ~a1:(2. *. ((k *. k) -. 1.) *. norm)
+      ~a2:((1. -. (k /. q) +. (k *. k)) *. norm)
+
+  let update t x =
+    let y =
+      (t.b0 *. x) +. (t.b1 *. t.x1) +. (t.b2 *. t.x2)
+      -. (t.a1 *. t.y1) -. (t.a2 *. t.y2)
+    in
+    t.x2 <- t.x1; t.x1 <- x;
+    t.y2 <- t.y1; t.y1 <- y;
+    y
+
+  let reset t =
+    t.x1 <- 0.; t.x2 <- 0.; t.y1 <- 0.; t.y2 <- 0.
+end
+
+module Moving_average = struct
+  type t = {
+    window : int;
+    samples : float Queue.t;
+    mutable sum : float;
+  }
+
+  let create ~window =
+    if window < 1 then invalid_arg "Control.Filter.Moving_average.create: window >= 1";
+    { window; samples = Queue.create (); sum = 0. }
+
+  let update t x =
+    Queue.push x t.samples;
+    t.sum <- t.sum +. x;
+    if Queue.length t.samples > t.window then begin
+      let old = Queue.pop t.samples in
+      t.sum <- t.sum -. old
+    end;
+    t.sum /. float_of_int (Queue.length t.samples)
+
+  let value t =
+    if Queue.is_empty t.samples then None
+    else Some (t.sum /. float_of_int (Queue.length t.samples))
+
+  let reset t =
+    Queue.clear t.samples;
+    t.sum <- 0.
+end

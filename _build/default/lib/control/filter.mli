@@ -1,0 +1,43 @@
+(** Discrete signal filters used in measurement paths. *)
+
+(** First-order low-pass (exponential smoothing against a time
+    constant). *)
+module Low_pass : sig
+  type t
+
+  val create : time_constant:float -> t
+  (** [time_constant > 0]. *)
+
+  val update : t -> dt:float -> float -> float
+  val value : t -> float option
+  val reset : t -> unit
+end
+
+(** Discrete biquad (direct form I), with a Butterworth low-pass
+    designer. *)
+module Biquad : sig
+  type t
+
+  val create :
+    b0:float -> b1:float -> b2:float -> a1:float -> a2:float -> t
+  (** y[k] = b0 x[k] + b1 x[k-1] + b2 x[k-2] - a1 y[k-1] - a2 y[k-2]. *)
+
+  val butterworth_lowpass : cutoff_hz:float -> sample_rate:float -> t
+  (** 2nd-order Butterworth via the bilinear transform;
+      [0 < cutoff < sample_rate/2]. *)
+
+  val update : t -> float -> float
+  val reset : t -> unit
+end
+
+(** Moving average over a fixed window of samples. *)
+module Moving_average : sig
+  type t
+
+  val create : window:int -> t
+  (** [window >= 1]. *)
+
+  val update : t -> float -> float
+  val value : t -> float option
+  val reset : t -> unit
+end

@@ -1,0 +1,140 @@
+exception No_convergence
+
+let dims_of a b q =
+  let n = Array.length a in
+  if n = 0 || Array.exists (fun row -> Array.length row <> n) a then
+    invalid_arg "Control.Lqr: A must be square";
+  if Array.length b <> n then invalid_arg "Control.Lqr: b dimension mismatch";
+  if Array.length q <> n || Array.exists (fun row -> Array.length row <> n) q then
+    invalid_arg "Control.Lqr: Q dimension mismatch";
+  n
+
+let mat_mul n x y =
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (x.(i).(k) *. y.(k).(j))
+          done;
+          !acc))
+
+let transpose n x = Array.init n (fun i -> Array.init n (fun j -> x.(j).(i)))
+
+let mat_vec n x v =
+  Array.init n (fun i ->
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (x.(i).(k) *. v.(k))
+      done;
+      !acc)
+
+let norm_inf_mat x =
+  Array.fold_left
+    (fun acc row ->
+       Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) acc row)
+    0. x
+
+(* CARE residual: A'P + PA - (1/r) (P b)(P b)' + Q. *)
+let care_residual n ~a ~at ~b ~q ~r p =
+  let atp = mat_mul n at p in
+  let pa = mat_mul n p a in
+  let pb = mat_vec n p b in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          atp.(i).(j) +. pa.(i).(j) -. (pb.(i) *. pb.(j) /. r) +. q.(i).(j)))
+
+let cost_matrix_residual ~a ~b ~q ~r ~p =
+  let n = dims_of a b q in
+  norm_inf_mat (care_residual n ~a ~at:(transpose n a) ~b ~q ~r p)
+
+(* Solve the Lyapunov equation Acl' P + P Acl = -W for P by vectorizing
+   into an n^2 x n^2 linear system (fine for control-sized plants).
+   Equation (i,j):  sum_k Acl[k][i] P[k][j] + sum_l Acl[l][j] P[i][l]. *)
+let solve_lyapunov n acl w =
+  let dim = n * n in
+  let idx i j = (i * n) + j in
+  let m = Array.make_matrix dim dim 0. in
+  let rhs = Array.make dim 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let row = idx i j in
+      rhs.(row) <- -.w.(i).(j);
+      for k = 0 to n - 1 do
+        m.(row).(idx k j) <- m.(row).(idx k j) +. acl.(k).(i);
+        m.(row).(idx i k) <- m.(row).(idx i k) +. acl.(k).(j)
+      done
+    done
+  done;
+  let v =
+    try Ode.Linalg.solve m rhs
+    with Failure _ -> raise No_convergence
+  in
+  Array.init n (fun i -> Array.init n (fun j -> v.(idx i j)))
+
+(* Is the (small) matrix Hurwitz? Routh-style checks for n <= 2; larger
+   systems rely on the caller-supplied initial gain instead. *)
+let hurwitz n m =
+  match n with
+  | 1 -> m.(0).(0) < 0.
+  | 2 ->
+    let tr = m.(0).(0) +. m.(1).(1) in
+    let det = (m.(0).(0) *. m.(1).(1)) -. (m.(0).(1) *. m.(1).(0)) in
+    tr < 0. && det > 0.
+  | _ -> false
+
+let initial_gain n ~a ~b =
+  if hurwitz n a then Array.make n 0.
+  else
+    match n with
+    | 2 ->
+      (try State_feedback.place2 ~a ~b ~poles:(-1., -2.)
+       with Failure _ | Invalid_argument _ -> raise No_convergence)
+    | 1 ->
+      if Float.abs b.(0) < 1e-12 then raise No_convergence
+      else [| (a.(0).(0) +. 1.) /. b.(0) |]
+    | _ -> raise No_convergence
+
+(* Kleinman–Newton iteration: with a stabilizing k, solve the Lyapunov
+   equation for the closed loop, update k = (1/r) b' P; quadratic
+   convergence to the stabilizing CARE solution. *)
+let solve_care ?(tol = 1e-10) ?(max_steps = 200) ?dt:_ ~a ~b ~q ~r () =
+  if r <= 0. then invalid_arg "Control.Lqr: r must be positive";
+  let n = dims_of a b q in
+  let at = transpose n a in
+  let k = ref (initial_gain n ~a ~b) in
+  let p = ref q in
+  let rec iterate steps =
+    if steps > max_steps then raise No_convergence;
+    let acl =
+      Array.init n (fun i ->
+          Array.init n (fun j -> a.(i).(j) -. (b.(i) *. !k.(j))))
+    in
+    let w =
+      Array.init n (fun i ->
+          Array.init n (fun j -> q.(i).(j) +. (r *. !k.(i) *. !k.(j))))
+    in
+    let p' = solve_lyapunov n acl w in
+    let pb = mat_vec n p' b in
+    let k' = Array.map (fun v -> v /. r) pb in
+    let delta =
+      Array.fold_left Float.max 0.
+        (Array.mapi (fun i v -> Float.abs (v -. !k.(i))) k')
+    in
+    p := p';
+    k := k';
+    let residual = norm_inf_mat (care_residual n ~a ~at ~b ~q ~r !p) in
+    let scale = 1. +. norm_inf_mat !p in
+    if residual /. scale <= tol || delta <= tol then ()
+    else iterate (steps + 1)
+  in
+  iterate 0;
+  let residual = norm_inf_mat (care_residual n ~a ~at ~b ~q ~r !p) in
+  if Float.is_nan residual || residual /. (1. +. norm_inf_mat !p) > 1e-6 then
+    raise No_convergence;
+  !p
+
+let gains ?tol ~a ~b ~q ~r () =
+  let n = dims_of a b q in
+  let p = solve_care ?tol ~a ~b ~q ~r () in
+  let pb = mat_vec n p b in
+  Array.map (fun v -> v /. r) pb

@@ -1,0 +1,32 @@
+(** Infinite-horizon LQR for single-input linear systems.
+
+    Solves the continuous algebraic Riccati equation
+    [A'P + PA - (1/r) P b b' P + Q = 0] by Kleinman-Newton iteration
+    (each step solves a Lyapunov equation via a dense Kronecker system —
+    fine for control-sized plants), then returns the optimal gain
+    [k = (1/r) b' P]. The initial stabilizing gain is found automatically
+    for plants with up to two states (pole placement); larger unstable
+    plants raise {!No_convergence}. *)
+
+exception No_convergence
+
+val solve_care :
+  ?tol:float -> ?max_steps:int -> ?dt:float
+  -> a:float array array -> b:float array -> q:float array array -> r:float
+  -> unit -> float array array
+(** The stabilizing solution [P] (symmetric positive semi-definite).
+    Defaults: [tol] 1e-10 on the scaled residual, [max_steps] 200 Newton
+    iterations; [dt] is accepted for compatibility and ignored. Raises
+    {!No_convergence} when the iteration fails (e.g. unstabilizable pair)
+    and [Invalid_argument] on dimension mismatches or [r <= 0]. *)
+
+val gains :
+  ?tol:float -> a:float array array -> b:float array -> q:float array array
+  -> r:float -> unit -> float array
+(** The optimal state-feedback row vector [k]; use with
+    {!State_feedback.create}. *)
+
+val cost_matrix_residual :
+  a:float array array -> b:float array -> q:float array array -> r:float
+  -> p:float array array -> float
+(** Infinity norm of the CARE residual at [p] — for verifying solutions. *)

@@ -1,0 +1,65 @@
+type gains = {
+  kp : float;
+  ki : float;
+  kd : float;
+}
+
+type t = {
+  mutable g : gains;
+  output_min : float;
+  output_max : float;
+  derivative_filter : float;
+  mutable integral : float;
+  mutable prev_error : float option;
+  mutable deriv_state : float;
+}
+
+let create ?(output_min = neg_infinity) ?(output_max = infinity)
+    ?(derivative_filter = 0.) g =
+  if output_min > output_max then
+    invalid_arg "Control.Pid.create: output_min > output_max";
+  if derivative_filter < 0. then
+    invalid_arg "Control.Pid.create: negative derivative filter constant";
+  { g; output_min; output_max; derivative_filter;
+    integral = 0.; prev_error = None; deriv_state = 0. }
+
+let gains t = t.g
+let set_gains t g = t.g <- g
+
+let update t ~setpoint ~measurement ~dt =
+  if dt <= 0. then invalid_arg "Control.Pid.update: dt must be positive";
+  let error = setpoint -. measurement in
+  let raw_derivative =
+    match t.prev_error with
+    | None -> 0.
+    | Some prev -> (error -. prev) /. dt
+  in
+  let derivative =
+    if t.derivative_filter <= 0. then raw_derivative
+    else begin
+      (* First-order low-pass on the derivative term. *)
+      let alpha = dt /. (t.derivative_filter +. dt) in
+      t.deriv_state <- t.deriv_state +. (alpha *. (raw_derivative -. t.deriv_state));
+      t.deriv_state
+    end
+  in
+  let candidate_integral = t.integral +. (t.g.ki *. error *. dt) in
+  let unclamped =
+    (t.g.kp *. error) +. candidate_integral +. (t.g.kd *. derivative)
+  in
+  let output = Float.max t.output_min (Float.min t.output_max unclamped) in
+  (* Conditional integration: freeze the integrator while pushing further
+     into saturation, accept it otherwise. *)
+  let saturating =
+    (unclamped > t.output_max && error > 0.) || (unclamped < t.output_min && error < 0.)
+  in
+  if not saturating then t.integral <- candidate_integral;
+  t.prev_error <- Some error;
+  output
+
+let reset t =
+  t.integral <- 0.;
+  t.prev_error <- None;
+  t.deriv_state <- 0.
+
+let integrator t = t.integral

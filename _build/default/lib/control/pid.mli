@@ -1,0 +1,33 @@
+(** Discrete PID controller with clamping anti-windup and filtered
+    derivative. Stateful: one instance per control loop. *)
+
+type gains = {
+  kp : float;
+  ki : float;
+  kd : float;
+}
+
+type t
+
+val create :
+  ?output_min:float -> ?output_max:float
+  -> ?derivative_filter:float
+     (** time constant of the derivative low-pass, 0 = unfiltered *)
+  -> gains -> t
+(** Raises [Invalid_argument] when [output_min > output_max] or the
+    filter constant is negative. *)
+
+val gains : t -> gains
+val set_gains : t -> gains -> unit
+(** Retune on the fly (the integrator state is preserved). *)
+
+val update : t -> setpoint:float -> measurement:float -> dt:float -> float
+(** One control step; [dt > 0]. Output is clamped to the limits, and the
+    integrator only accumulates while the output is unsaturated
+    (conditional integration). *)
+
+val reset : t -> unit
+(** Clear integrator and derivative memory. *)
+
+val integrator : t -> float
+(** Current integrator contribution (diagnostics, windup tests). *)

@@ -1,0 +1,77 @@
+type t = {
+  k : float array;
+  kr : float;
+}
+
+let create ?(kr = 0.) k = { k = Array.copy k; kr }
+
+let gains t = Array.copy t.k
+let reference_gain t = t.kr
+
+let control t ?(reference = 0.) x =
+  if Array.length x <> Array.length t.k then
+    invalid_arg "Control.State_feedback.control: dimension mismatch";
+  let acc = ref (t.kr *. reference) in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc -. (t.k.(i) *. x.(i))
+  done;
+  !acc
+
+let mat_mul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let mat_vec a v =
+  Array.map
+    (fun row ->
+       let acc = ref 0. in
+       Array.iteri (fun i x -> acc := !acc +. (x *. v.(i))) row;
+       !acc)
+    a
+
+(* Ackermann for n = 2: K = [0 1] * Cinv * phi(A) where C = [B, A B] and
+   phi is the desired characteristic polynomial. *)
+let place2 ~a ~b ~poles:(p1, p2) =
+  if Array.length a <> 2 || Array.length b <> 2 then
+    invalid_arg "Control.State_feedback.place2: 2-state systems only";
+  let ab = mat_vec a b in
+  let c = [| [| b.(0); ab.(0) |]; [| b.(1); ab.(1) |] |] in
+  let det = (c.(0).(0) *. c.(1).(1)) -. (c.(0).(1) *. c.(1).(0)) in
+  if Float.abs det < 1e-12 then
+    failwith "Control.State_feedback.place2: uncontrollable pair";
+  let cinv =
+    [| [| c.(1).(1) /. det; -.c.(0).(1) /. det |];
+       [| -.c.(1).(0) /. det; c.(0).(0) /. det |] |]
+  in
+  (* phi(A) = A^2 - (p1+p2) A + p1 p2 I *)
+  let a2 = mat_mul a a in
+  let s = p1 +. p2 in
+  let p = p1 *. p2 in
+  let phi =
+    Array.init 2 (fun i ->
+        Array.init 2 (fun j ->
+            a2.(i).(j) -. (s *. a.(i).(j)) +. (if i = j then p else 0.)))
+  in
+  let last_row_of_cinv = cinv.(1) in
+  Array.init 2 (fun j ->
+      (last_row_of_cinv.(0) *. phi.(0).(j)) +. (last_row_of_cinv.(1) *. phi.(1).(j)))
+
+let closed_loop_matrix ~a ~b ~k =
+  let n = Array.length a in
+  Array.init n (fun i -> Array.init n (fun j -> a.(i).(j) -. (b.(i) *. k.(j))))
+
+let eigenvalues2 m =
+  if Array.length m <> 2 then invalid_arg "Control.State_feedback.eigenvalues2: 2x2 only";
+  let tr = m.(0).(0) +. m.(1).(1) in
+  let det = (m.(0).(0) *. m.(1).(1)) -. (m.(0).(1) *. m.(1).(0)) in
+  let disc = (tr *. tr) -. (4. *. det) in
+  if disc < 0. then None
+  else
+    let root = sqrt disc in
+    Some ((tr +. root) /. 2., (tr -. root) /. 2.)

@@ -1,0 +1,30 @@
+(** Full state feedback [u = -K x + kr * r].
+
+    Includes Ackermann pole placement for 2-state single-input plants
+    (which covers the pendulum, motor and mass–spring models here). *)
+
+type t
+
+val create : ?kr:float -> float array -> t
+(** Gain row vector K; [kr] (reference gain) defaults to 0 (pure
+    regulator). *)
+
+val gains : t -> float array
+val reference_gain : t -> float
+
+val control : t -> ?reference:float -> float array -> float
+(** [u = -K x + kr * r] (reference defaults to 0). Raises
+    [Invalid_argument] on dimension mismatch. *)
+
+val place2 :
+  a:float array array -> b:float array -> poles:float * float -> float array
+(** Ackermann's formula for a 2-state system: the K that puts the
+    closed-loop poles at the two (real) locations. Raises [Failure] when
+    the pair is uncontrollable. *)
+
+val closed_loop_matrix :
+  a:float array array -> b:float array -> k:float array -> float array array
+(** A - B K. *)
+
+val eigenvalues2 : float array array -> (float * float) option
+(** Real eigenvalues of a 2x2 matrix; [None] when they are complex. *)

@@ -1,0 +1,1 @@
+lib/core/check.ml: Dataflow List Printf Streamer String Umlrt

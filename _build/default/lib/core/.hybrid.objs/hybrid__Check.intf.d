@@ -1,0 +1,1 @@
+lib/core/check.mli: Dataflow Streamer Umlrt

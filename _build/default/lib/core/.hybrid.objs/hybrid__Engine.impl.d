@@ -1,0 +1,1 @@
+lib/core/engine.ml: Check Dataflow Des Hashtbl List Ode Option Printf Queue Rt Sigtrace Solver Statechart Strategy Streamer String Time_service Umlrt

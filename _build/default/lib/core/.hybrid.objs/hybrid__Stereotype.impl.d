@@ -1,0 +1,1 @@
+lib/core/stereotype.ml: Format List String

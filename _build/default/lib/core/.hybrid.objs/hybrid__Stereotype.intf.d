@@ -1,0 +1,1 @@
+lib/core/stereotype.mli: Format

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: List Solver Statechart String

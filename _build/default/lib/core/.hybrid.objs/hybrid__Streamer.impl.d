@@ -1,0 +1,1 @@
+lib/core/streamer.ml: Array Dataflow Float List Ode Printf Solver Strategy String Umlrt

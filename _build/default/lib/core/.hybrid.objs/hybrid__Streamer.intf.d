@@ -1,0 +1,1 @@
+lib/core/streamer.mli: Dataflow Ode Solver Strategy Umlrt

@@ -1,0 +1,1 @@
+lib/core/threading.ml: Float Format List Rt

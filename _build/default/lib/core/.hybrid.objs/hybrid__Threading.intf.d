@@ -1,0 +1,1 @@
+lib/core/threading.mli: Format Rt

@@ -1,0 +1,90 @@
+type rule = {
+  id : string;
+  title : string;
+  paper_ref : string;
+}
+
+let rules =
+  [ { id = "R1"; title = "a streamer's behaviour is a solver computing equations";
+      paper_ref = "Sec. 2, streamer stereotype" };
+    { id = "R2"; title = "output DPort flow type must be a subset of the input's";
+      paper_ref = "Sec. 2, DPort connection rule" };
+    { id = "R3"; title = "a relay generates two (or more) similar flows from a flow";
+      paper_ref = "Sec. 2, relay stereotype" };
+    { id = "R4"; title = "streamers communicate with capsules only through SPorts";
+      paper_ref = "Sec. 2, SPort stereotype" };
+    { id = "R5"; title = "capsule DPorts are relay-only; capsules never process data";
+      paper_ref = "Sec. 2, capsule extension" };
+    { id = "R6"; title = "capsules may contain streamers; streamers never contain capsules";
+      paper_ref = "Sec. 2, containment principle" };
+    { id = "R7"; title = "streamers are assigned to threads with positive rates";
+      paper_ref = "Sec. 2, implementation" };
+    { id = "R8"; title = "the Time stereotype is a continuous simulation clock";
+      paper_ref = "Sec. 2, Time stereotype" } ]
+
+let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
+
+let streamer_errors = Streamer.validate
+
+let flow_protocol_prefix = "flow:"
+
+let flow_protocol dtype =
+  Umlrt.Protocol.create
+    ~incoming:[ Umlrt.Protocol.signal ~payload:dtype "data" ]
+    ~outgoing:[ Umlrt.Protocol.signal ~payload:dtype "data" ]
+    (flow_protocol_prefix ^ Dataflow.Flow_type.to_string dtype)
+
+let is_flow_protocol p =
+  let name = Umlrt.Protocol.name p in
+  String.length name >= String.length flow_protocol_prefix
+  && String.equal (String.sub name 0 (String.length flow_protocol_prefix))
+       flow_protocol_prefix
+
+let rec capsule_dport_errors capsule =
+  let own =
+    List.filter_map
+      (fun (p : Umlrt.Capsule.port_decl) ->
+         if is_flow_protocol p.Umlrt.Capsule.protocol
+            && p.Umlrt.Capsule.kind = Umlrt.Capsule.End
+         then
+           Some
+             (Printf.sprintf
+                "R5: capsule %s port %S is a DPort declared End; capsule DPorts must be relay-only"
+                (Umlrt.Capsule.name capsule) p.Umlrt.Capsule.pname)
+         else None)
+      (Umlrt.Capsule.ports capsule)
+  in
+  own
+  @ List.concat_map (fun (_, sub) -> capsule_dport_errors sub)
+      (Umlrt.Capsule.parts capsule)
+
+let relay_fanout_errors relays =
+  List.filter_map
+    (fun (name, _, fanout) ->
+       if fanout < 2 then
+         Some (Printf.sprintf "R3: relay %S has fanout %d, needs >= 2" name fanout)
+       else None)
+    relays
+
+let sport_link_errors ~sport ~border ~role ~sport_name ~border_port =
+  let errors = ref [] in
+  let err s = errors := s :: !errors in
+  (match sport with
+   | None -> err (Printf.sprintf "R4: streamer %s has no SPort %S" role sport_name)
+   | Some _ -> ());
+  (match border with
+   | None -> err (Printf.sprintf "R4: root capsule has no border port %S" border_port)
+   | Some _ -> ());
+  (match (sport, border) with
+   | Some sp, Some bp ->
+     if not (Umlrt.Protocol.equal_name sp.Streamer.protocol bp.Umlrt.Capsule.protocol)
+     then
+       err
+         (Printf.sprintf
+            "R4: SPort %s.%s (protocol %s) linked to border port %S (protocol %s)"
+            role sport_name
+            (Umlrt.Protocol.name sp.Streamer.protocol)
+            border_port
+            (Umlrt.Protocol.name bp.Umlrt.Capsule.protocol))
+   | (Some _ | None), _ -> ());
+  List.rev !errors

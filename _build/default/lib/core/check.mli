@@ -1,0 +1,48 @@
+(** Well-formedness rules of the extension (the executable version of the
+    paper's Figures 2 and 3).
+
+    Each rule is catalogued with its source in the paper; the checkers
+    return human-readable violations. Rule R6 (streamers never contain
+    capsules) is enforced by construction — {!Streamer.t} has no capsule
+    children — and re-checked syntactically by the DSL front end. *)
+
+type rule = {
+  id : string;          (** "R1" … "R8" *)
+  title : string;
+  paper_ref : string;   (** where the paper states it *)
+}
+
+val rules : rule list
+
+val find_rule : string -> rule option
+
+(** {2 Checkers} *)
+
+val streamer_errors : Streamer.t -> string list
+(** R1 (solver present — by construction), R2 (flow-type subset on
+    internal flows), R7 (positive thread rate), port uniqueness, guard
+    SPort validity. Alias of {!Streamer.validate}. *)
+
+val flow_protocol_prefix : string
+(** Capsule-side DPorts are modelled as UML-RT ports whose protocol name
+    carries this prefix (["flow:"]). *)
+
+val flow_protocol : Dataflow.Flow_type.t -> Umlrt.Protocol.t
+(** The protocol standing for a flow type on the capsule side — a single
+    [data] signal whose payload is the flow type. *)
+
+val capsule_dport_errors : Umlrt.Capsule.t -> string list
+(** R5: every flow-typed port of a capsule (recursively) must be declared
+    [Relay] — "in capsules, DPorts are only used as relay ports. No data
+    will be processed by capsules." *)
+
+val relay_fanout_errors :
+  (string * Dataflow.Flow_type.t * int) list -> string list
+(** R3: each relay (name, type, fanout) must have fanout >= 2. *)
+
+val sport_link_errors :
+  sport:Streamer.sport_decl option
+  -> border:Umlrt.Capsule.port_decl option
+  -> role:string -> sport_name:string -> border_port:string -> string list
+(** R4: an SPort link must join an existing SPort to an existing border
+    port speaking the same protocol. *)

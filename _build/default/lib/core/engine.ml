@@ -1,0 +1,544 @@
+exception Invalid_streamer of string list
+exception Invalid_link of string
+
+type sinst = {
+  role : string;
+  def : Streamer.t;                (* the leaf definition *)
+  spec : Streamer.solver_spec;
+  solver : Solver.t;
+  node : Dataflow.Graph.node;
+  channel : (string * Statechart.Event.t) Rt.Channel.t;
+  mutable ticks : int;
+  mutable traces : (string * Sigtrace.Trace.t) list;
+  mutable guard_prev : (string * float) list;
+    (* last end-of-sync guard values, for tick-boundary edge detection of
+       guards that only move between integration intervals (input-driven) *)
+}
+
+type pentry = {
+  pnode : Dataflow.Graph.node;
+  in_name : string option;   (* graph-level input port backing this DPort *)
+  out_name : string option;
+}
+
+type link = {
+  l_role : string;
+  l_sport : string;
+  l_border : string;
+}
+
+type t = {
+  des : Des.Engine.t;
+  clock : Time_service.t;
+  runtime : Umlrt.Runtime.t option;
+  root_class : Umlrt.Capsule.t option;
+  graph : Dataflow.Graph.t;
+  streamers : (string, sinst) Hashtbl.t;
+  mutable roles : string list;  (* reversed creation order, leaves only *)
+  dport_map : (string, pentry) Hashtbl.t;  (* "path:port" -> entry *)
+  nodes_by_name : (string, Dataflow.Graph.node) Hashtbl.t;
+  mutable links : link list;
+  signal_latency : Rt.Channel.latency_model;
+  signal_drop_probability : float;
+  outbox : (string * Statechart.Event.t) Queue.t;
+  mutable started : bool;
+  mutable signals_to_streamers : int;
+  mutable signals_to_capsules : int;
+  mutable signals_dropped : int;
+  mutable seed_counter : int;
+}
+
+type stats = {
+  ticks_total : int;
+  signals_to_streamers : int;
+  signals_to_capsules : int;
+  signals_dropped : int;
+}
+
+let create ?(signal_latency = Rt.Channel.Immediate)
+    ?(signal_drop_probability = 0.) ?(capsule_latency = 0.) ?root () =
+  let des = Des.Engine.create () in
+  let runtime =
+    match root with
+    | Some capsule ->
+      Some (Umlrt.Runtime.create des ~latency:capsule_latency ~defer_start:true capsule)
+    | None -> None
+  in
+  { des; clock = Time_service.create des; runtime; root_class = root;
+    graph = Dataflow.Graph.create (); streamers = Hashtbl.create 16; roles = [];
+    dport_map = Hashtbl.create 64; nodes_by_name = Hashtbl.create 32;
+    links = []; signal_latency; signal_drop_probability;
+    outbox = Queue.create (); started = false;
+    signals_to_streamers = 0; signals_to_capsules = 0; signals_dropped = 0;
+    seed_counter = 0 }
+
+let des t = t.des
+let clock t = t.clock
+let runtime t = t.runtime
+
+let key path port = path ^ ":" ^ port
+
+let register_port t path (d : Streamer.dport_decl) node =
+  let entry =
+    match d.Streamer.direction with
+    | `In -> { pnode = node; in_name = Some d.Streamer.dname; out_name = None }
+    | `Out -> { pnode = node; in_name = None; out_name = Some d.Streamer.dname }
+  in
+  Hashtbl.replace t.dport_map (key path d.Streamer.dname) entry
+
+let find_link t ~role ~sport =
+  List.find_opt
+    (fun l -> String.equal l.l_role role && String.equal l.l_sport sport)
+    t.links
+
+let find_link_by_border t border =
+  List.find_opt (fun l -> String.equal l.l_border border) t.links
+
+(* Streamer -> capsule direction: inject through the linked border port. *)
+let emit_signal t si ~sport event =
+  match Streamer.find_sport si.def sport with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Hybrid.Engine: streamer %s has no SPort %S" si.role sport)
+  | Some sp ->
+    if not (Umlrt.Protocol.can_send sp.Streamer.protocol
+              ~conjugated:sp.Streamer.conjugated (Statechart.Event.signal event))
+    then
+      invalid_arg
+        (Printf.sprintf "Hybrid.Engine: SPort %s.%s cannot send signal %S"
+           si.role sport (Statechart.Event.signal event));
+    (match (find_link t ~role:si.role ~sport, t.runtime) with
+     | Some link, Some rt ->
+       (* Route INWARD from the border port. A plain [inject] would hand
+          unconnected borders back to the environment listener, which
+          would bounce the signal straight back to this streamer. *)
+       let root = Umlrt.Runtime.root_path rt in
+       (match Umlrt.Runtime.resolve rt ~path:root ~port:link.l_border with
+        | Umlrt.Runtime.To_instance (path, port) ->
+          t.signals_to_capsules <- t.signals_to_capsules + 1;
+          ignore (Umlrt.Runtime.deliver_to rt ~path ~port event)
+        | Umlrt.Runtime.To_environment port ->
+          (* Border End port owned by the root's own behaviour? *)
+          (match t.root_class with
+           | Some cls
+             when (match Umlrt.Capsule.find_port cls port with
+                   | Some decl ->
+                     decl.Umlrt.Capsule.kind = Umlrt.Capsule.End
+                     && Umlrt.Capsule.behavior cls <> None
+                   | None -> false) ->
+             t.signals_to_capsules <- t.signals_to_capsules + 1;
+             ignore (Umlrt.Runtime.deliver_to rt ~path:root ~port event)
+           | Some _ | None ->
+             (* Nothing inside listens on this border: true environment. *)
+             Queue.push (port, event) t.outbox)
+        | Umlrt.Runtime.Unconnected ->
+          t.signals_dropped <- t.signals_dropped + 1)
+     | Some _, None | None, _ ->
+       t.signals_dropped <- t.signals_dropped + 1)
+
+let control_of t si =
+  { Strategy.set_param = Solver.set_param si.solver;
+    get_param = Solver.get_param si.solver;
+    get_state = (fun () -> Solver.state si.solver);
+    set_state = Solver.set_state si.solver;
+    set_rhs = Solver.set_rhs si.solver;
+    emit = (fun ~sport event -> emit_signal t si ~sport event);
+    now = (fun () -> Des.Engine.now t.des) }
+
+let guard_decl si id =
+  List.find_opt
+    (fun (g : Streamer.guard_decl) -> String.equal g.Streamer.guard_id id)
+    si.spec.Streamer.guards
+
+let solver_guards si =
+  List.map
+    (fun (g : Streamer.guard_decl) ->
+       { Solver.guard_name = g.Streamer.guard_id;
+         direction = g.Streamer.direction;
+         expr = g.Streamer.expr })
+    si.spec.Streamer.guards
+
+let on_crossing t si (crossing : Ode.Events.crossing) =
+  match guard_decl si crossing.Ode.Events.guard_name with
+  | None -> ()
+  | Some g ->
+    let value =
+      match g.Streamer.payload with
+      | Some f ->
+        f (Solver.env si.solver) crossing.Ode.Events.time crossing.Ode.Events.state
+      | None -> Dataflow.Value.Unit
+    in
+    emit_signal t si ~sport:g.Streamer.via_sport
+      (Statechart.Event.make ~value g.Streamer.signal)
+
+(* Bring the solver's continuous state up to the present, emitting any
+   zero-crossing signals located on the way. Guards whose expression only
+   depends on input DPorts are constant within one integration interval,
+   so their crossings happen invisibly *between* syncs; a tick-boundary
+   edge check against the previous sync's values catches those. *)
+let sync_solver t si =
+  let now = Des.Engine.now t.des in
+  let fired = ref [] in
+  Solver.advance si.solver ~until:now ~guards:(solver_guards si)
+    ~on_crossing:(fun c ->
+        fired := c.Ode.Events.guard_name :: !fired;
+        on_crossing t si c);
+  let env = Solver.env si.solver in
+  let state = Solver.state si.solver in
+  let time = Solver.time si.solver in
+  si.guard_prev <-
+    List.map
+      (fun (g : Streamer.guard_decl) ->
+         let v = g.Streamer.expr env time state in
+         (match List.assoc_opt g.Streamer.guard_id si.guard_prev with
+          | Some prev when not (List.mem g.Streamer.guard_id !fired) ->
+            let ode_guard =
+              Ode.Events.guard ~direction:g.Streamer.direction g.Streamer.guard_id
+                (fun _ _ -> 0.)
+            in
+            if Ode.Events.sign_change ode_guard prev v then
+              on_crossing t si
+                { Ode.Events.guard_name = g.Streamer.guard_id; time; state }
+          | Some _ | None -> ());
+         (g.Streamer.guard_id, v))
+      si.spec.Streamer.guards
+
+let write_outputs t si =
+  let now = Des.Engine.now t.des in
+  let state = Solver.state si.solver in
+  let outs = si.spec.Streamer.outputs (Solver.env si.solver) now state in
+  List.iter
+    (fun (port, value) ->
+       match Dataflow.Graph.output_port si.node port with
+       | Some p -> Dataflow.Port.write p value
+       | None ->
+         invalid_arg
+           (Printf.sprintf "Hybrid.Engine: streamer %s writes unknown DPort %S"
+              si.role port))
+    outs;
+  ignore (Dataflow.Graph.propagate_from t.graph si.node);
+  List.iter
+    (fun (port, trace) ->
+       match Dataflow.Graph.output_port si.node port with
+       | Some p ->
+         (match Dataflow.Port.read_float p with
+          | Some v -> Sigtrace.Trace.record trace now v
+          | None -> ())
+       | None -> ())
+    si.traces
+
+let tick t si =
+  sync_solver t si;
+  write_outputs t si;
+  si.ticks <- si.ticks + 1
+
+(* Capsule -> streamer delivery (after channel latency): synchronize the
+   solver, then let the strategy interpret the signal. *)
+let deliver_to_streamer t si (sport, event) =
+  ignore sport;
+  sync_solver t si;
+  t.signals_to_streamers <- t.signals_to_streamers + 1;
+  if not (Strategy.handle (Streamer.strategy si.def) (control_of t si) event) then
+    t.signals_dropped <- t.signals_dropped + 1
+
+let fresh_seed t =
+  t.seed_counter <- t.seed_counter + 1;
+  0x51e4 + (t.seed_counter * 7919)
+
+let rec instantiate t ~path (def : Streamer.t) =
+  match Streamer.behavior def with
+  | Streamer.Equations spec ->
+    let inputs =
+      List.filter_map
+        (fun (d : Streamer.dport_decl) ->
+           match d.Streamer.direction with
+           | `In -> Some (d.Streamer.dname, d.Streamer.dtype)
+           | `Out -> None)
+        (Streamer.dports def)
+    in
+    let outputs =
+      List.filter_map
+        (fun (d : Streamer.dport_decl) ->
+           match d.Streamer.direction with
+           | `Out -> Some (d.Streamer.dname, d.Streamer.dtype)
+           | `In -> None)
+        (Streamer.dports def)
+    in
+    let node = Dataflow.Graph.add_node t.graph ~name:path ~inputs ~outputs in
+    let input_fn name =
+      match Dataflow.Graph.input_port node name with
+      | Some p -> Dataflow.Port.read_float_default p 0.
+      | None ->
+        failwith
+          (Printf.sprintf "Hybrid.Engine: streamer %s reads unknown DPort %S" path name)
+    in
+    let solver =
+      Solver.create ~method_:spec.Streamer.method_ ~dim:spec.Streamer.dim
+        ~init:spec.Streamer.init ~params:spec.Streamer.params ~input:input_fn
+        ~clock:t.clock ~t0:(Des.Engine.now t.des) spec.Streamer.rhs
+    in
+    let channel =
+      Rt.Channel.create t.des ~model:t.signal_latency
+        ~drop_probability:t.signal_drop_probability ~seed:(fresh_seed t) path
+    in
+    let si =
+      { role = path; def; spec; solver; node; channel; ticks = 0; traces = [];
+        guard_prev = [] }
+    in
+    Des.Mailbox.set_listener (Rt.Channel.mailbox channel)
+      (fun mb ->
+         match Des.Mailbox.pop mb with
+         | Some msg -> deliver_to_streamer t si msg
+         | None -> ());
+    Hashtbl.replace t.streamers path si;
+    t.roles <- path :: t.roles;
+    Hashtbl.replace t.nodes_by_name path node;
+    List.iter (fun d -> register_port t path d node) (Streamer.dports def)
+  | Streamer.Composite { children; internal_flows } ->
+    (* Border DPorts become pass-through junctions; children get dotted
+       role paths; internal flows are wired below. *)
+    List.iter
+      (fun (d : Streamer.dport_decl) ->
+         let jname = key path d.Streamer.dname in
+         let node = Dataflow.Graph.add_junction t.graph ~name:jname d.Streamer.dtype in
+         Hashtbl.replace t.nodes_by_name jname node;
+         Hashtbl.replace t.dport_map (key path d.Streamer.dname)
+           { pnode = node; in_name = Some "in"; out_name = Some "out1" })
+      (Streamer.dports def);
+    List.iter (fun (child, sub) -> instantiate t ~path:(path ^ "." ^ child) sub) children;
+    List.iter
+      (fun ((src : Streamer.endpoint), (dst : Streamer.endpoint)) ->
+         let resolve (ep : Streamer.endpoint) =
+           match ep.Streamer.child with
+           | None -> key path ep.Streamer.port
+           | Some c -> key (path ^ "." ^ c) ep.Streamer.port
+         in
+         let src_entry = Hashtbl.find t.dport_map (resolve src) in
+         let dst_entry = Hashtbl.find t.dport_map (resolve dst) in
+         match (src_entry.out_name, dst_entry.in_name) with
+         | Some sp, Some dp ->
+           Dataflow.Graph.connect_exn t.graph
+             ~src:(src_entry.pnode, sp) ~dst:(dst_entry.pnode, dp)
+         | None, _ | _, None ->
+           invalid_arg
+             (Printf.sprintf "Hybrid.Engine: internal flow in %s has wrong direction" path))
+      internal_flows
+
+let add_streamer t ~role def =
+  if t.started then invalid_arg "Hybrid.Engine.add_streamer: engine already started";
+  if Hashtbl.mem t.nodes_by_name role || Hashtbl.mem t.streamers role then
+    invalid_arg (Printf.sprintf "Hybrid.Engine.add_streamer: duplicate role %S" role);
+  (match Streamer.validate def with
+   | [] -> ()
+   | errors -> raise (Invalid_streamer errors));
+  instantiate t ~path:role def
+
+let add_relay t ~name dtype ~fanout =
+  if Hashtbl.mem t.nodes_by_name name then
+    invalid_arg (Printf.sprintf "Hybrid.Engine.add_relay: duplicate name %S" name);
+  let node = Dataflow.Graph.add_relay t.graph ~name dtype ~fanout in
+  Hashtbl.replace t.nodes_by_name name node
+
+let add_junction t ~name dtype =
+  if Hashtbl.mem t.nodes_by_name name then
+    invalid_arg (Printf.sprintf "Hybrid.Engine.add_junction: duplicate name %S" name);
+  let node = Dataflow.Graph.add_junction t.graph ~name dtype in
+  Hashtbl.replace t.nodes_by_name name node
+
+let lookup_endpoint t (name, port) ~want_output =
+  match Hashtbl.find_opt t.dport_map (key name port) with
+  | Some entry ->
+    let pick = if want_output then entry.out_name else entry.in_name in
+    (match pick with
+     | Some graph_port -> Ok (entry.pnode, graph_port)
+     | None ->
+       Error
+         (Printf.sprintf "%s.%s is not an %s DPort" name port
+            (if want_output then "output" else "input")))
+  | None ->
+    (match Hashtbl.find_opt t.nodes_by_name name with
+     | Some node ->
+       let present =
+         if want_output then Dataflow.Graph.output_port node port
+         else Dataflow.Graph.input_port node port
+       in
+       (match present with
+        | Some _ -> Ok (node, port)
+        | None -> Error (Printf.sprintf "node %s has no %s port %S" name
+                           (if want_output then "output" else "input") port))
+     | None -> Error (Printf.sprintf "unknown flow endpoint %s.%s" name port))
+
+let connect_flow t ~src ~dst =
+  match (lookup_endpoint t src ~want_output:true, lookup_endpoint t dst ~want_output:false) with
+  | Ok s, Ok d ->
+    (match Dataflow.Graph.connect t.graph ~src:s ~dst:d with
+     | Ok () -> Ok ()
+     | Error e -> Error (Dataflow.Graph.error_to_string e))
+  | Error e, _ | _, Error e -> Error e
+
+let connect_flow_exn t ~src ~dst =
+  match connect_flow t ~src ~dst with
+  | Ok () -> ()
+  | Error e -> raise (Invalid_link e)
+
+let link_sport t ~role ~sport ~border_port =
+  let si = Hashtbl.find_opt t.streamers role in
+  let sport_decl =
+    match si with Some s -> Streamer.find_sport s.def sport | None -> None
+  in
+  let border_decl =
+    match t.root_class with
+    | Some cls -> Umlrt.Capsule.find_port cls border_port
+    | None -> None
+  in
+  match si with
+  | None -> Error (Printf.sprintf "R4: unknown streamer role %S" role)
+  | Some _ ->
+    (match Check.sport_link_errors ~sport:sport_decl ~border:border_decl ~role
+             ~sport_name:sport ~border_port with
+     | [] ->
+       t.links <- { l_role = role; l_sport = sport; l_border = border_port } :: t.links;
+       Ok ()
+     | e :: _ -> Error e)
+
+let link_sport_exn t ~role ~sport ~border_port =
+  match link_sport t ~role ~sport ~border_port with
+  | Ok () -> ()
+  | Error e -> raise (Invalid_link e)
+
+let route_border_message t ~port event =
+  match find_link_by_border t port with
+  | Some link ->
+    (match Hashtbl.find_opt t.streamers link.l_role with
+     | Some si -> Rt.Channel.send si.channel (link.l_sport, event)
+     | None -> t.signals_dropped <- t.signals_dropped + 1)
+  | None -> Queue.push (port, event) t.outbox
+
+let prime_guards si =
+  let env = Solver.env si.solver in
+  let state = Solver.state si.solver in
+  let time = Solver.time si.solver in
+  si.guard_prev <-
+    List.map
+      (fun (g : Streamer.guard_decl) ->
+         (g.Streamer.guard_id, g.Streamer.expr env time state))
+      si.spec.Streamer.guards
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    (match t.runtime with
+     | Some rt ->
+       Umlrt.Runtime.set_environment_listener rt (fun ~port event ->
+           route_border_message t ~port event)
+     | None -> ());
+    let leaves = List.rev t.roles in
+    List.iter
+      (fun role ->
+         match Hashtbl.find_opt t.streamers role with
+         | None -> ()
+         | Some si ->
+           write_outputs t si;
+           prime_guards si;
+           ignore
+             (Des.Timer.periodic t.des ~period:(Streamer.rate si.def) (fun _ ->
+                  tick t si)))
+      leaves;
+    (match t.runtime with
+     | Some rt -> Umlrt.Runtime.start_behaviors rt
+     | None -> ())
+  end
+
+let run_until t time =
+  start t;
+  ignore (Des.Engine.run_until t.des time)
+
+let inject t ~port event =
+  match t.runtime with
+  | Some rt -> Umlrt.Runtime.inject rt ~port event
+  | None -> invalid_arg "Hybrid.Engine.inject: engine has no capsule side"
+
+let drain_outbox t =
+  let items = List.of_seq (Queue.to_seq t.outbox) in
+  Queue.clear t.outbox;
+  items
+
+let streamer_roles t = List.rev t.roles
+
+let solver_of t role =
+  Option.map (fun si -> si.solver) (Hashtbl.find_opt t.streamers role)
+
+let ticks_of t role =
+  match Hashtbl.find_opt t.streamers role with
+  | Some si -> si.ticks
+  | None -> 0
+
+let trace_dport t ~role ~dport =
+  match Hashtbl.find_opt t.streamers role with
+  | None -> invalid_arg (Printf.sprintf "Hybrid.Engine.trace_dport: unknown role %S" role)
+  | Some si ->
+    (match List.assoc_opt dport si.traces with
+     | Some trace -> trace
+     | None ->
+       (match Dataflow.Graph.output_port si.node dport with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Hybrid.Engine.trace_dport: %s has no output DPort %S"
+               role dport)
+        | Some _ ->
+          let trace =
+            Sigtrace.Trace.create ~name:(Printf.sprintf "%s.%s" role dport) ()
+          in
+          si.traces <- (dport, trace) :: si.traces;
+          trace))
+
+let read_dport_entry t ~role ~dport =
+  match Hashtbl.find_opt t.dport_map (key role dport) with
+  | None -> None
+  | Some entry ->
+    let port =
+      match entry.out_name with
+      | Some name -> Dataflow.Graph.output_port entry.pnode name
+      | None ->
+        (match entry.in_name with
+         | Some name -> Dataflow.Graph.input_port entry.pnode name
+         | None -> None)
+    in
+    (match port with
+     | Some p -> Dataflow.Port.read_float p
+     | None -> None)
+
+let trace_sampled t ~role ~dport ~period =
+  if period <= 0. then
+    invalid_arg "Hybrid.Engine.trace_sampled: period must be positive";
+  if not (Hashtbl.mem t.dport_map (key role dport)) then
+    invalid_arg
+      (Printf.sprintf "Hybrid.Engine.trace_sampled: unknown DPort %s.%s" role dport);
+  let trace =
+    Sigtrace.Trace.create ~name:(Printf.sprintf "%s.%s (sampled)" role dport) ()
+  in
+  ignore
+    (Des.Timer.periodic t.des ~period (fun _ ->
+         match read_dport_entry t ~role ~dport with
+         | Some v -> Sigtrace.Trace.record trace (Des.Engine.now t.des) v
+         | None -> ()));
+  trace
+
+let read_dport t ~role ~dport = read_dport_entry t ~role ~dport
+
+let thread_set t =
+  List.map
+    (fun role ->
+       match Hashtbl.find_opt t.streamers role with
+       | Some si -> (role, Streamer.rate si.def)
+       | None -> (role, 0.))
+    (streamer_roles t)
+
+let stats t =
+  let ticks_total =
+    Hashtbl.fold (fun _ si acc -> acc + si.ticks) t.streamers 0
+  in
+  { ticks_total;
+    signals_to_streamers = t.signals_to_streamers;
+    signals_to_capsules = t.signals_to_capsules;
+    signals_dropped = t.signals_dropped }

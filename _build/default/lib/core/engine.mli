@@ -1,0 +1,112 @@
+(** The hybrid co-simulation engine — where the paper's architecture runs.
+
+    One {!Des.Engine} carries both worlds:
+    - the {e event thread}: a UML-RT capsule tree executing
+      run-to-completion on signal messages;
+    - one {e streamer thread} per leaf streamer, ticking at its declared
+      rate; each tick integrates the solver from its last sync point
+      (batched, with zero-crossing detection), writes output DPorts and
+      propagates flows.
+
+    Capsules and streamers communicate exclusively through SPort links:
+    a streamer SPort is bound to a {e border port} of the root capsule,
+    and messages travel over an {!Rt.Channel} with a configurable latency
+    model — the "communication mechanism of threads" of the paper.
+    Signals arriving at a streamer first synchronize its solver to the
+    current time, then run its strategy; signals emitted by guards
+    (zero-crossings) are timestamped at the located crossing. *)
+
+exception Invalid_streamer of string list
+exception Invalid_link of string
+
+type t
+
+val create :
+  ?signal_latency:Rt.Channel.latency_model
+  -> ?signal_drop_probability:float
+  -> ?capsule_latency:float
+  -> ?root:Umlrt.Capsule.t
+  -> unit -> t
+(** [signal_latency] applies to capsule->streamer signal channels
+    (default [Immediate]); [signal_drop_probability] (default 0) makes
+    those channels lossy; [capsule_latency] applies to capsule-to-capsule
+    mailboxes. Without a [root] capsule the engine runs the continuous
+    side only. *)
+
+val des : t -> Des.Engine.t
+val clock : t -> Time_service.t
+val runtime : t -> Umlrt.Runtime.t option
+
+val add_streamer : t -> role:string -> Streamer.t -> unit
+(** Validates (raising {!Invalid_streamer}) and instantiates; composite
+    streamers are flattened, children become roles ["role.child"]. *)
+
+val add_relay : t -> name:string -> Dataflow.Flow_type.t -> fanout:int -> unit
+(** A free-standing relay node usable as a flow endpoint (ports ["in"],
+    ["out1"] … ["outN"]). *)
+
+val add_junction : t -> name:string -> Dataflow.Flow_type.t -> unit
+(** A 1-in/1-out pass-through flow node (ports ["in"]/["out1"]) — how a
+    capsule's relay-only DPort participates in the dataflow graph. *)
+
+val connect_flow :
+  t -> src:string * string -> dst:string * string -> (unit, string) result
+(** Connect DPorts: endpoints are (role-or-relay, port). Enforces the
+    paper's subset rule and single-driver inputs. *)
+
+val connect_flow_exn : t -> src:string * string -> dst:string * string -> unit
+
+val link_sport :
+  t -> role:string -> sport:string -> border_port:string -> (unit, string) result
+(** Bind a streamer SPort to a root-capsule border port (both
+    directions). Checked per rule R4. *)
+
+val link_sport_exn : t -> role:string -> sport:string -> border_port:string -> unit
+
+val start : t -> unit
+(** Write initial outputs, arm streamer tick timers, install the border
+    interceptor. Idempotent. *)
+
+val run_until : t -> float -> unit
+(** {!start} if needed, then run the DES until the given time. *)
+
+val inject : t -> port:string -> Statechart.Event.t -> unit
+(** Environment message into a root border port (requires a root). *)
+
+val drain_outbox : t -> (string * Statechart.Event.t) list
+(** Messages that crossed the root border on ports {e not} linked to any
+    streamer — genuinely environment-bound output. *)
+
+val streamer_roles : t -> string list
+(** Flattened leaf roles, in creation order. *)
+
+val solver_of : t -> string -> Solver.t option
+val ticks_of : t -> string -> int
+
+val trace_dport : t -> role:string -> dport:string -> Sigtrace.Trace.t
+(** Register (or fetch) a trace recording this DPort at every tick of its
+    owning streamer (plus the initial sample once started). *)
+
+val trace_sampled :
+  t -> role:string -> dport:string -> period:float -> Sigtrace.Trace.t
+(** Record ANY registered DPort (including composite borders and relay
+    junctions) by polling it every [period] on the simulated clock —
+    use when {!trace_dport} does not apply because the port is not a
+    leaf streamer output. Raises [Invalid_argument] for unknown ports
+    or a non-positive period. *)
+
+val read_dport : t -> role:string -> dport:string -> float option
+(** Current value on any registered DPort (streamer or relay). *)
+
+val thread_set : t -> (string * float) list
+(** (role, tick period) for every leaf streamer — input to
+    {!Threading}. *)
+
+type stats = {
+  ticks_total : int;
+  signals_to_streamers : int;
+  signals_to_capsules : int;
+  signals_dropped : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,78 @@
+type env = {
+  param : string -> float;
+  input : string -> float;
+  clock : Time_service.t;
+}
+
+type rhs = env -> float -> float array -> float array
+
+type guard = {
+  guard_name : string;
+  direction : Ode.Events.direction;
+  expr : env -> float -> float array -> float;
+}
+
+type t = {
+  table : (string, float) Hashtbl.t;
+  env : env;
+  integ : Ode.Integrator.t;
+  dim : int;
+  mutable crossings : int;
+}
+
+let make_system ~dim env rhs =
+  Ode.System.create ~dim (fun time y -> rhs env time y)
+
+let create ?(method_ = Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)) ~dim ~init
+    ~params ~input ~clock ~t0 rhs =
+  if Array.length init <> dim then
+    invalid_arg "Hybrid.Solver.create: init state dimension mismatch";
+  let table = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace table k v) params;
+  let env =
+    { param =
+        (fun name ->
+           match Hashtbl.find_opt table name with
+           | Some v -> v
+           | None -> failwith (Printf.sprintf "Hybrid.Solver: unknown parameter %S" name));
+      input; clock }
+  in
+  let integ = Ode.Integrator.create ~method_ (make_system ~dim env rhs) ~t0 init in
+  { table; env; integ; dim; crossings = 0 }
+
+let env t = t.env
+let time t = Ode.Integrator.time t.integ
+let state t = Ode.Integrator.state t.integ
+let set_state t y = Ode.Integrator.set_state t.integ y
+
+let get_param t name = t.env.param name
+
+let set_param t name v = Hashtbl.replace t.table name v
+
+let params t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+
+let set_rhs t rhs =
+  Ode.Integrator.replace_system t.integ (make_system ~dim:t.dim t.env rhs)
+
+let to_ode_guard t g =
+  Ode.Events.guard ~direction:g.direction g.guard_name
+    (fun time y -> g.expr t.env time y)
+
+let advance t ~until ~guards ~on_crossing =
+  if until > time t then begin
+    let ode_guards = List.map (to_ode_guard t) guards in
+    let rec loop () =
+      match Ode.Integrator.advance_guarded t.integ until ode_guards with
+      | Ode.Integrator.Reached _ -> ()
+      | Ode.Integrator.Interrupted crossing ->
+        t.crossings <- t.crossings + 1;
+        on_crossing crossing;
+        loop ()
+    in
+    loop ()
+  end
+
+let steps_taken t = Ode.Integrator.steps_taken t.integ
+let crossings_seen t = t.crossings

@@ -1,0 +1,69 @@
+(** The [solver] stereotype: the behaviour of a streamer.
+
+    Per the paper, a solver "is responsible for receiving signal from
+    SPorts and data from DPorts and operating system services, modifying
+    parameters, computing equations, and sending out the results". Here
+    it owns the continuous state, a parameter table, the equations (a
+    right-hand side reading parameters and input DPorts at evaluation
+    time), and the numerical integrator that advances them. *)
+
+(** What the equations can see while being evaluated. *)
+type env = {
+  param : string -> float;
+    (** current parameter value; raises [Failure] for unknown names *)
+  input : string -> float;
+    (** last value on the named input DPort (0 before the first write) *)
+  clock : Time_service.t;
+    (** the Time stereotype *)
+}
+
+type rhs = env -> float -> float array -> float array
+(** [rhs env t y] returns dy/dt. *)
+
+type guard = {
+  guard_name : string;
+  direction : Ode.Events.direction;
+  expr : env -> float -> float array -> float;
+}
+
+type t
+
+val create :
+  ?method_:Ode.Integrator.method_
+  -> dim:int
+  -> init:float array
+  -> params:(string * float) list
+  -> input:(string -> float)
+  -> clock:Time_service.t
+  -> t0:float
+  -> rhs -> t
+(** Default method: RK4 with step 1e-3. Raises [Invalid_argument] on
+    dimension mismatches. *)
+
+val env : t -> env
+val time : t -> float
+(** Time the continuous state has been integrated up to. *)
+
+val state : t -> float array
+val set_state : t -> float array -> unit
+
+val get_param : t -> string -> float
+(** Raises [Failure] for unknown parameters. *)
+
+val set_param : t -> string -> float -> unit
+(** Creates the parameter when missing (strategies may introduce modes). *)
+
+val params : t -> (string * float) list
+
+val set_rhs : t -> rhs -> unit
+(** Swap the equations (mode switch); continuous state is preserved. *)
+
+val advance :
+  t -> until:float -> guards:guard list
+  -> on_crossing:(Ode.Events.crossing -> unit) -> unit
+(** Integrate forward to [until], invoking [on_crossing] at each guard
+    zero-crossing (in order) and continuing afterwards. A no-op when
+    [until <= time t]. *)
+
+val steps_taken : t -> int
+val crossings_seen : t -> int

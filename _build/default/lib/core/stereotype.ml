@@ -1,0 +1,76 @@
+type t =
+  | Streamer
+  | DPort
+  | SPort
+  | Flow
+  | Relay
+  | Flow_type
+  | Solver
+  | Strategy
+  | Time
+
+let all =
+  [ Streamer; DPort; SPort; Flow; Relay; Flow_type; Solver; Strategy; Time ]
+
+let paper_count = 8
+
+let name = function
+  | Streamer -> "streamer"
+  | DPort -> "DPort"
+  | SPort -> "SPort"
+  | Flow -> "flow"
+  | Relay -> "relay"
+  | Flow_type -> "flow type"
+  | Solver -> "solver"
+  | Strategy -> "strategy"
+  | Time -> "Time"
+
+let umlrt_counterpart = function
+  | Streamer -> "capsule"
+  | DPort | SPort -> "port"
+  | Flow | Relay -> "connect"
+  | Flow_type -> "protocol"
+  | Solver | Strategy -> "state machine, state"
+  | Time -> "Time service"
+
+let implementing_module = function
+  | Streamer -> "Hybrid.Streamer"
+  | DPort -> "Dataflow.Port"
+  | SPort -> "Hybrid.Streamer (sport declarations) + Rt.Channel"
+  | Flow -> "Dataflow.Graph (connect)"
+  | Relay -> "Dataflow.Graph (add_relay)"
+  | Flow_type -> "Dataflow.Flow_type"
+  | Solver -> "Hybrid.Solver"
+  | Strategy -> "Hybrid.Strategy"
+  | Time -> "Hybrid.Time_service"
+
+let description = function
+  | Streamer ->
+    "capsule-like container whose behaviour is a solver computing equations"
+  | DPort -> "data port carrying typed dataflow (drawn as a circle)"
+  | SPort -> "signal port conveying protocol messages (drawn as a square)"
+  | Flow -> "typed dataflow connection; output type must be a subset of input type"
+  | Relay -> "relay point generating two similar flows from one flow"
+  | Flow_type -> "record of named fields typing a DPort's dataflow"
+  | Solver ->
+    "receives SPort signals and DPort data, modifies parameters, computes equations"
+  | Strategy -> "named reaction selecting how a signal changes the solver"
+  | Time -> "continuous variable usable as the simulation clock"
+
+let of_name s =
+  List.find_opt (fun st -> String.equal (name st) s) all
+
+let table1 () =
+  [ ("capsule", "streamer");
+    ("port", "DPort, SPort");
+    ("connect", "flow, relay");
+    ("protocol", "flow type");
+    ("state machine, state", "solver, strategy");
+    ("Time service", "Time") ]
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-22s | %s@." "UML-RT" "Extension";
+  Format.fprintf ppf "%s@." (String.make 42 '-');
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "%-22s | %s@." a b)
+    (table1 ())

@@ -1,0 +1,46 @@
+type control = {
+  set_param : string -> float -> unit;
+  get_param : string -> float;
+  get_state : unit -> float array;
+  set_state : float array -> unit;
+  set_rhs : Solver.rhs -> unit;
+  emit : sport:string -> Statechart.Event.t -> unit;
+  now : unit -> float;
+}
+
+type handler = control -> Statechart.Event.t -> unit
+
+type t = {
+  mutable handlers : (string * handler) list;  (* reverse registration order *)
+}
+
+let create () = { handlers = [] }
+
+let on t ~signal handler = t.handlers <- (signal, handler) :: t.handlers
+
+let signals t =
+  List.sort_uniq String.compare (List.map fst t.handlers)
+
+let handles t signal = List.mem_assoc signal t.handlers
+
+let handle t control event =
+  let signal = Statechart.Event.signal event in
+  let matching =
+    List.rev
+      (List.filter_map
+         (fun (s, h) -> if String.equal s signal then Some h else None)
+         t.handlers)
+  in
+  List.iter (fun h -> h control event) matching;
+  matching <> []
+
+let set_param_from_payload name control event =
+  match Statechart.Event.float_payload event with
+  | Some v -> control.set_param name v
+  | None -> ()
+
+let set_param_const name v control _event = control.set_param name v
+
+let reset_state y control _event = control.set_state y
+
+let reply ~sport ~make control event = control.emit ~sport (make control event)

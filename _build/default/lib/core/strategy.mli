@@ -1,0 +1,52 @@
+(** The [strategy] stereotype: named reactions mapping SPort signals to
+    solver modifications.
+
+    This is the Strategy pattern from the paper's Figure 1 — the
+    state/event side never touches the equations directly; it sends a
+    signal, and the strategy registered for that signal decides what the
+    solver does (set a parameter, reset state, switch equations,
+    answer back). *)
+
+(** The interface a strategy gets to manipulate its solver and talk
+    back through SPorts. *)
+type control = {
+  set_param : string -> float -> unit;
+  get_param : string -> float;
+  get_state : unit -> float array;
+  set_state : float array -> unit;
+  set_rhs : Solver.rhs -> unit;
+  emit : sport:string -> Statechart.Event.t -> unit;
+  now : unit -> float;
+}
+
+type handler = control -> Statechart.Event.t -> unit
+
+type t
+
+val create : unit -> t
+
+val on : t -> signal:string -> handler -> unit
+(** Register a handler; multiple handlers for one signal run in
+    registration order. *)
+
+val signals : t -> string list
+(** Signals with at least one handler, sorted. *)
+
+val handles : t -> string -> bool
+
+val handle : t -> control -> Statechart.Event.t -> bool
+(** Run every handler registered for the event's signal; [false] when
+    none is registered (the signal is dropped, mirroring UML-RT). *)
+
+(** {2 Canned handlers} *)
+
+val set_param_from_payload : string -> handler
+(** Store the event's numeric payload into the named parameter; events
+    without a numeric payload are ignored. *)
+
+val set_param_const : string -> float -> handler
+
+val reset_state : float array -> handler
+
+val reply : sport:string -> make:(control -> Statechart.Event.t -> Statechart.Event.t) -> handler
+(** Emit a response computed from the incoming event. *)

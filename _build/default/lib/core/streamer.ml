@@ -1,0 +1,205 @@
+type dport_decl = {
+  dname : string;
+  direction : [ `In | `Out ];
+  dtype : Dataflow.Flow_type.t;
+}
+
+let dport_in ?(dtype = Dataflow.Flow_type.float_flow) dname =
+  { dname; direction = `In; dtype }
+
+let dport_out ?(dtype = Dataflow.Flow_type.float_flow) dname =
+  { dname; direction = `Out; dtype }
+
+type sport_decl = {
+  sname : string;
+  protocol : Umlrt.Protocol.t;
+  conjugated : bool;
+}
+
+let sport ?(conjugated = false) sname protocol = { sname; protocol; conjugated }
+
+type guard_decl = {
+  guard_id : string;
+  signal : string;
+  via_sport : string;
+  direction : Ode.Events.direction;
+  expr : Solver.env -> float -> float array -> float;
+  payload : (Solver.env -> float -> float array -> Dataflow.Value.t) option;
+}
+
+type output_map = Solver.env -> float -> float array -> (string * Dataflow.Value.t) list
+
+let state_outputs mapping _env _time y =
+  List.map (fun (i, port) -> (port, Dataflow.Value.Float y.(i))) mapping
+
+type solver_spec = {
+  method_ : Ode.Integrator.method_;
+  dim : int;
+  init : float array;
+  params : (string * float) list;
+  rhs : Solver.rhs;
+  outputs : output_map;
+  guards : guard_decl list;
+}
+
+type endpoint = { child : string option; port : string }
+
+type behavior =
+  | Equations of solver_spec
+  | Composite of {
+      children : (string * t) list;
+      internal_flows : (endpoint * endpoint) list;
+    }
+
+and t = {
+  name : string;
+  rate : float;
+  dports : dport_decl list;
+  sports : sport_decl list;
+  behavior : behavior;
+  strategy : Strategy.t;
+}
+
+let name t = t.name
+let rate t = t.rate
+let dports t = t.dports
+let sports t = t.sports
+let behavior t = t.behavior
+let strategy t = t.strategy
+
+let find_dport t dname = List.find_opt (fun d -> String.equal d.dname dname) t.dports
+let find_sport t sname = List.find_opt (fun s -> String.equal s.sname sname) t.sports
+
+let border port = { child = None; port }
+let child_port child port = { child = Some child; port }
+
+let leaf ?(method_ = Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)) ?(params = [])
+    ?(guards = []) ?strategy ?(sports = []) ?(dports = []) ~rate ~dim ~init
+    ~outputs ~rhs name =
+  if rate <= 0. then invalid_arg "Hybrid.Streamer.leaf: rate must be positive";
+  if dim <= 0 then invalid_arg "Hybrid.Streamer.leaf: dim must be positive";
+  if Array.length init <> dim then
+    invalid_arg "Hybrid.Streamer.leaf: init state dimension mismatch";
+  let strategy = match strategy with Some s -> s | None -> Strategy.create () in
+  { name; rate; dports; sports;
+    behavior = Equations { method_; dim; init = Array.copy init; params; rhs; outputs; guards };
+    strategy }
+
+let rec fastest_rate t =
+  match t.behavior with
+  | Equations _ -> t.rate
+  | Composite { children; _ } ->
+    List.fold_left (fun acc (_, c) -> Float.min acc (fastest_rate c)) t.rate children
+
+let composite ?(sports = []) ?(dports = []) ?rate ~children ~flows name =
+  if children = [] then invalid_arg "Hybrid.Streamer.composite: no children";
+  let rate =
+    match rate with
+    | Some r -> r
+    | None ->
+      List.fold_left (fun acc (_, c) -> Float.min acc (fastest_rate c)) infinity children
+  in
+  if rate <= 0. then invalid_arg "Hybrid.Streamer.composite: rate must be positive";
+  { name; rate; dports; sports;
+    behavior = Composite { children; internal_flows = flows };
+    strategy = Strategy.create () }
+
+let rec leaf_count t =
+  match t.behavior with
+  | Equations _ -> 1
+  | Composite { children; _ } ->
+    List.fold_left (fun acc (_, c) -> acc + leaf_count c) 0 children
+
+let dup_errors what owner names =
+  let sorted = List.sort String.compare names in
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+      let acc =
+        if String.equal a b then
+          Printf.sprintf "streamer %s: duplicate %s %S" owner what a :: acc
+        else acc
+      in
+      walk acc rest
+    | [ _ ] | [] -> acc
+  in
+  walk [] sorted
+
+let endpoint_to_string = function
+  | { child = None; port } -> Printf.sprintf "self.%s" port
+  | { child = Some c; port } -> Printf.sprintf "%s.%s" c port
+
+(* Type and direction of an internal-flow endpoint, viewed from inside the
+   composite: a border In port produces data inward, a border Out port
+   consumes data flowing outward. *)
+let endpoint_info t children ep =
+  match ep.child with
+  | None ->
+    (match find_dport t ep.port with
+     | None -> Error (Printf.sprintf "unknown border DPort %s" (endpoint_to_string ep))
+     | Some d ->
+       let role = match d.direction with `In -> `Produces | `Out -> `Consumes in
+       Ok (role, d.dtype))
+  | Some c ->
+    (match List.assoc_opt c children with
+     | None -> Error (Printf.sprintf "unknown child %S" c)
+     | Some sub ->
+       (match find_dport sub ep.port with
+        | None -> Error (Printf.sprintf "unknown DPort %s" (endpoint_to_string ep))
+        | Some d ->
+          let role = match d.direction with `Out -> `Produces | `In -> `Consumes in
+          Ok (role, d.dtype)))
+
+let rec validate t =
+  let errors = ref [] in
+  let err s = errors := s :: !errors in
+  List.iter err (dup_errors "DPort" t.name (List.map (fun d -> d.dname) t.dports));
+  List.iter err (dup_errors "SPort" t.name (List.map (fun s -> s.sname) t.sports));
+  if t.rate <= 0. then err (Printf.sprintf "streamer %s: non-positive rate" t.name);
+  (match t.behavior with
+   | Equations spec ->
+     if Array.length spec.init <> spec.dim then
+       err (Printf.sprintf "streamer %s: init/dim mismatch" t.name);
+     List.iter
+       (fun g ->
+          if find_sport t g.via_sport = None then
+            err
+              (Printf.sprintf "streamer %s: guard %S emits via unknown SPort %S"
+                 t.name g.guard_id g.via_sport))
+       spec.guards;
+     List.iter
+       (fun g ->
+          match find_sport t g.via_sport with
+          | Some sp ->
+            if not (Umlrt.Protocol.can_send sp.protocol ~conjugated:sp.conjugated g.signal)
+            then
+              err
+                (Printf.sprintf
+                   "streamer %s: guard %S signal %S not sendable on SPort %S"
+                   t.name g.guard_id g.signal g.via_sport)
+          | None -> ())
+       spec.guards
+   | Composite { children; internal_flows } ->
+     List.iter err (dup_errors "child" t.name (List.map fst children));
+     List.iter
+       (fun (src, dst) ->
+          match (endpoint_info t children src, endpoint_info t children dst) with
+          | Error e, _ | _, Error e -> err (Printf.sprintf "streamer %s: %s" t.name e)
+          | Ok (srole, stype), Ok (drole, dtype) ->
+            if srole <> `Produces then
+              err
+                (Printf.sprintf "streamer %s: flow source %s is not a producer"
+                   t.name (endpoint_to_string src));
+            if drole <> `Consumes then
+              err
+                (Printf.sprintf "streamer %s: flow destination %s is not a consumer"
+                   t.name (endpoint_to_string dst));
+            if not (Dataflow.Flow_type.compatible ~src:stype ~dst:dtype) then
+              err
+                (Printf.sprintf
+                   "streamer %s: flow %s -> %s: type %s is not a subset of %s"
+                   t.name (endpoint_to_string src) (endpoint_to_string dst)
+                   (Dataflow.Flow_type.to_string stype)
+                   (Dataflow.Flow_type.to_string dtype)))
+       internal_flows;
+     List.iter (fun (_, c) -> List.iter err (validate c)) children);
+  List.rev !errors

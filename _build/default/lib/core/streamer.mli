@@ -1,0 +1,117 @@
+(** The [streamer] stereotype: the capsule-like container for
+    time-continuous behaviour.
+
+    A streamer has DPorts (typed dataflow) and SPorts (protocol signals).
+    A {e leaf} streamer's behaviour is a solver computing equations at a
+    declared thread rate; a {e composite} streamer contains sub-streamers
+    wired by internal flows, its border DPorts relaying in/out (mirroring
+    how composite capsules relay signal ports). Streamers never contain
+    capsules — rule enforced by this type's construction and re-checked
+    by {!Check}. *)
+
+type dport_decl = {
+  dname : string;
+  direction : [ `In | `Out ];
+  dtype : Dataflow.Flow_type.t;
+}
+
+val dport_in : ?dtype:Dataflow.Flow_type.t -> string -> dport_decl
+(** Default type: scalar float flow. *)
+
+val dport_out : ?dtype:Dataflow.Flow_type.t -> string -> dport_decl
+
+type sport_decl = {
+  sname : string;
+  protocol : Umlrt.Protocol.t;
+  conjugated : bool;
+}
+
+val sport : ?conjugated:bool -> string -> Umlrt.Protocol.t -> sport_decl
+
+type guard_decl = {
+  guard_id : string;
+  signal : string;       (** signal name emitted on crossing *)
+  via_sport : string;    (** SPort carrying the signal *)
+  direction : Ode.Events.direction;
+  expr : Solver.env -> float -> float array -> float;
+  payload : (Solver.env -> float -> float array -> Dataflow.Value.t) option;
+    (** payload built from (env, crossing time, state) *)
+}
+
+type output_map = Solver.env -> float -> float array -> (string * Dataflow.Value.t) list
+(** Which output DPorts to write after each tick: (port, value) pairs. *)
+
+val state_outputs : (int * string) list -> output_map
+(** Map state components to scalar output ports:
+    [state_outputs [(0, "angle"); (1, "speed")]]. *)
+
+type solver_spec = {
+  method_ : Ode.Integrator.method_;
+  dim : int;
+  init : float array;
+  params : (string * float) list;
+  rhs : Solver.rhs;
+  outputs : output_map;
+  guards : guard_decl list;
+}
+
+type endpoint = {
+  child : string option;  (** [None] = this streamer's own border DPort *)
+  port : string;
+}
+
+type behavior =
+  | Equations of solver_spec
+  | Composite of {
+      children : (string * t) list;
+      internal_flows : (endpoint * endpoint) list;
+    }
+
+and t
+
+val leaf :
+  ?method_:Ode.Integrator.method_
+  -> ?params:(string * float) list
+  -> ?guards:guard_decl list
+  -> ?strategy:Strategy.t
+  -> ?sports:sport_decl list
+  -> ?dports:dport_decl list
+  -> rate:float
+  -> dim:int
+  -> init:float array
+  -> outputs:output_map
+  -> rhs:Solver.rhs
+  -> string -> t
+(** Leaf streamer with its own solver. [rate] is the tick period of the
+    thread it is assigned to (seconds, > 0). *)
+
+val composite :
+  ?sports:sport_decl list
+  -> ?dports:dport_decl list
+  -> ?rate:float
+  -> children:(string * t) list
+  -> flows:(endpoint * endpoint) list
+  -> string -> t
+(** Composite streamer. [rate] defaults to the fastest child's rate. *)
+
+val name : t -> string
+val rate : t -> float
+val dports : t -> dport_decl list
+val sports : t -> sport_decl list
+val behavior : t -> behavior
+val strategy : t -> Strategy.t
+val find_dport : t -> string -> dport_decl option
+val find_sport : t -> string -> sport_decl option
+
+val border : string -> endpoint
+val child_port : string -> string -> endpoint
+
+val leaf_count : t -> int
+(** Number of leaf streamers in this subtree. *)
+
+val validate : t -> string list
+(** Structural errors (recursive): duplicate port/child names,
+    non-positive rate, init/dim mismatch, guards naming unknown SPorts,
+    internal flows touching unknown children/ports, direction mismatches
+    on internal flows, DPort flow-type subset violations on internal
+    flows. Empty = well-formed. *)

@@ -1,0 +1,56 @@
+let default_wcet ~utilization period = utilization *. period
+
+let tasks_for ?event_task ?wcet_of threads =
+  let wcet_of =
+    match wcet_of with
+    | Some f -> f
+    | None -> fun _role period -> default_wcet ~utilization:0.1 period
+  in
+  let streamer_tasks =
+    List.map
+      (fun (role, period) ->
+         Rt.Task.create ~period ~wcet:(wcet_of role period) role)
+      threads
+  in
+  match event_task with
+  | Some task -> task :: streamer_tasks
+  | None -> streamer_tasks
+
+type report = {
+  tasks : Rt.Task.t list;
+  utilization : float;
+  rm_verdict : Rt.Rm.verdict;
+  rm_exact : bool;
+  edf_ok : bool;
+  breakdown : float;
+  simulated_misses_rm : int;
+  simulated_misses_edf : int;
+}
+
+let analyze ?sim_horizon tasks =
+  let horizon =
+    match sim_horizon with
+    | Some h -> h
+    | None ->
+      20. *. List.fold_left (fun acc t -> Float.max acc t.Rt.Task.period) 1e-9 tasks
+  in
+  let sim policy = Rt.Sched_sim.miss_count (Rt.Sched_sim.simulate policy tasks ~horizon) in
+  { tasks;
+    utilization = Rt.Task.total_utilization tasks;
+    rm_verdict = Rt.Rm.utilization_test tasks;
+    rm_exact = Rt.Rm.schedulable tasks;
+    edf_ok = Rt.Edf.schedulable tasks;
+    breakdown = (if tasks = [] then 0. else Rt.Rm.breakdown_utilization tasks);
+    simulated_misses_rm = sim Rt.Sched_sim.Fixed_priority;
+    simulated_misses_edf = sim Rt.Sched_sim.Edf }
+
+let verdict_name = function
+  | Rt.Rm.Schedulable -> "schedulable"
+  | Rt.Rm.Inconclusive -> "inconclusive"
+  | Rt.Rm.Overloaded -> "overloaded"
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "tasks=%d U=%.3f rm(LL)=%s rm(exact)=%b edf=%b breakdown=%.2f misses(rm)=%d misses(edf)=%d"
+    (List.length r.tasks) r.utilization (verdict_name r.rm_verdict) r.rm_exact
+    r.edf_ok r.breakdown r.simulated_misses_rm r.simulated_misses_edf

@@ -1,0 +1,36 @@
+(** Thread assignment: turning the hybrid model's threads into a periodic
+    task set and checking it is schedulable (experiment E5).
+
+    The paper: "capsules and streamers are assigned to different threads"
+    — so the deployment is the event thread plus one task per streamer
+    thread. Execution times come from a wcet model (declared, measured,
+    or the default utilization heuristic). *)
+
+val default_wcet : utilization:float -> float -> float
+(** [default_wcet ~utilization period] = [utilization *. period]. *)
+
+val tasks_for :
+  ?event_task:Rt.Task.t
+  -> ?wcet_of:(string -> float -> float)
+  -> (string * float) list  (** (role, tick period) from {!Engine.thread_set} *)
+  -> Rt.Task.t list
+(** Build the deployment's task set. Default wcet model: 10% utilization
+    per streamer thread. *)
+
+type report = {
+  tasks : Rt.Task.t list;
+  utilization : float;
+  rm_verdict : Rt.Rm.verdict;   (** Liu–Layland utilization test *)
+  rm_exact : bool;              (** response-time analysis *)
+  edf_ok : bool;
+  breakdown : float;            (** RM breakdown utilization factor *)
+  simulated_misses_rm : int;    (** deadline misses over a simulated window *)
+  simulated_misses_edf : int;
+}
+
+val analyze : ?sim_horizon:float -> Rt.Task.t list -> report
+(** Full schedulability study of a task set: analytic tests plus a
+    simulated schedule cross-check (default horizon: 20x the longest
+    period). *)
+
+val pp_report : Format.formatter -> report -> unit

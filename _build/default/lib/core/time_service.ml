@@ -1,0 +1,23 @@
+type t = {
+  engine : Des.Engine.t;
+  scale : float;
+  offset : float;
+}
+
+let create ?(scale = 1.) ?(offset = 0.) engine =
+  if scale <= 0. then invalid_arg "Hybrid.Time_service.create: scale must be positive";
+  { engine; scale; offset }
+
+let now t = (t.scale *. Des.Engine.now t.engine) +. t.offset
+let scale t = t.scale
+let offset t = t.offset
+
+let to_engine_time t local = (local -. t.offset) /. t.scale
+
+let derived t ~scale ~offset =
+  if scale <= 0. then invalid_arg "Hybrid.Time_service.derived: scale must be positive";
+  { engine = t.engine; scale = t.scale *. scale; offset = (t.offset *. scale) +. offset }
+
+let wait_until t local callback =
+  let time = to_engine_time t local in
+  ignore (Des.Engine.schedule_at t.engine ~time callback)

@@ -1,0 +1,27 @@
+(** The [Time] stereotype: a continuous variable usable as the simulation
+    clock.
+
+    The paper's motivation: "Timing in UML-RT is unpredictable" — discrete
+    timers only fire as events. The Time stereotype instead exposes the
+    continuous simulated time directly to solvers (and supports affine
+    re-parameterization, e.g. engine seconds -> plant-local time). *)
+
+type t
+
+val create : ?scale:float -> ?offset:float -> Des.Engine.t -> t
+(** Continuous clock reading [scale * engine_time + offset]; [scale]
+    defaults to 1 and must be positive. *)
+
+val now : t -> float
+val scale : t -> float
+val offset : t -> float
+
+val to_engine_time : t -> float -> float
+(** Inverse mapping: local time -> engine time. *)
+
+val derived : t -> scale:float -> offset:float -> t
+(** A further affine re-parameterization of this clock. *)
+
+val wait_until : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback at the given {e local} time (must not be in the
+    local past). *)

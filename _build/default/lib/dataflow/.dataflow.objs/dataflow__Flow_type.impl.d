@@ -1,0 +1,1 @@
+lib/dataflow/flow_type.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Flow_type Hashtbl List Option Port Printf Queue String

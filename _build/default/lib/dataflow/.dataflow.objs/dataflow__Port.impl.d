@@ -1,0 +1,1 @@
+lib/dataflow/port.ml: Flow_type Printf Value

@@ -1,0 +1,1 @@
+lib/dataflow/port.mli: Flow_type Value

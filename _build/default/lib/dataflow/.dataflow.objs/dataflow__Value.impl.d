@@ -1,0 +1,1 @@
+lib/dataflow/value.ml: Array Float Flow_type Format List Printf String

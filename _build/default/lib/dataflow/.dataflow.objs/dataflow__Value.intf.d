@@ -1,0 +1,1 @@
+lib/dataflow/value.mli: Flow_type Format

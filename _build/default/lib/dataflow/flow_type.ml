@@ -1,0 +1,75 @@
+type base = TBool | TInt | TFloat | TVec of int
+
+let base_name = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TVec n -> Printf.sprintf "vec%d" n
+
+let base_equal a b =
+  match (a, b) with
+  | TBool, TBool | TInt, TInt | TFloat, TFloat -> true
+  | TVec n, TVec m -> n = m
+  | (TBool | TInt | TFloat | TVec _), _ -> false
+
+type t = { fields : (string * base) list }  (* sorted by field name *)
+
+let record decls =
+  if decls = [] then invalid_arg "Dataflow.Flow_type.record: empty field list";
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) decls in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Dataflow.Flow_type.record: duplicate field %S" a);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  { fields = sorted }
+
+let scalar base = record [ ("value", base) ]
+let float_flow = scalar TFloat
+
+let fields t = t.fields
+let arity t = List.length t.fields
+let find_field t name = List.assoc_opt name t.fields
+
+let equal a b =
+  List.length a.fields = List.length b.fields
+  && List.for_all2
+       (fun (na, ba) (nb, bb) -> String.equal na nb && base_equal ba bb)
+       a.fields b.fields
+
+let subset a b =
+  List.for_all
+    (fun (name, base) ->
+       match find_field b name with
+       | Some base' -> base_equal base base'
+       | None -> false)
+    a.fields
+
+let compatible ~src ~dst = subset src dst
+
+let union a b =
+  let clash =
+    List.find_opt
+      (fun (name, base) ->
+         match find_field b name with
+         | Some base' -> not (base_equal base base')
+         | None -> false)
+      a.fields
+  in
+  match clash with
+  | Some (name, _) -> Error name
+  | None ->
+    let extra = List.filter (fun (name, _) -> find_field a name = None) b.fields in
+    Ok (record (a.fields @ extra))
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (name, base) -> Format.fprintf ppf "%s: %s" name (base_name base)))
+    t.fields
+
+let to_string t = Format.asprintf "%a" pp t

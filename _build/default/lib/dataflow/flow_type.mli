@@ -1,0 +1,53 @@
+(** Flow types — the paper's stereotype replacing UML-RT protocols on the
+    continuous side.
+
+    A flow type is a record of named base-typed fields. The paper's
+    connection rule is: "To connect two DPorts, the output DPort's flow
+    type must be a subset of the input DPort's flow type." {!compatible}
+    implements exactly that rule. (Classical structural subtyping would
+    use the opposite direction — see DESIGN.md §7 — but we reproduce the
+    paper as written.) *)
+
+type base =
+  | TBool
+  | TInt
+  | TFloat
+  | TVec of int  (** fixed-length float vector *)
+
+val base_name : base -> string
+val base_equal : base -> base -> bool
+
+type t
+(** A flow type: a set of named fields, canonically sorted. *)
+
+val record : (string * base) list -> t
+(** Build from field declarations. Raises [Invalid_argument] on duplicate
+    field names or an empty list. *)
+
+val scalar : base -> t
+(** Single-field record named ["value"] — scalar flows. *)
+
+val float_flow : t
+(** [scalar TFloat], the most common flow. *)
+
+val fields : t -> (string * base) list
+(** Sorted field list. *)
+
+val arity : t -> int
+
+val find_field : t -> string -> base option
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] — every field of [a] appears in [b] with the same base. *)
+
+val compatible : src:t -> dst:t -> bool
+(** The paper's DPort connection rule: [subset src dst]. *)
+
+val union : t -> t -> (t, string) result
+(** Least upper bound; [Error field] when a field name clashes with
+    different bases. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

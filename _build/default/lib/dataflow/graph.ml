@@ -1,0 +1,219 @@
+type node = {
+  name : string;
+  relay : bool;
+  inputs : (string * Port.t) list;
+  outputs : (string * Port.t) list;
+}
+
+type flow = {
+  src_node : node;
+  src_port : string;
+  dst_node : node;
+  dst_port : string;
+}
+
+type t = {
+  mutable node_list : node list;  (* reverse insertion order *)
+  mutable flows : flow list;
+}
+
+type error =
+  | Unknown_port of string * string
+  | Type_mismatch of { src : string; dst : string;
+                       src_type : Flow_type.t; dst_type : Flow_type.t }
+  | Input_already_driven of string * string
+  | Not_an_output of string * string
+  | Not_an_input of string * string
+
+let error_to_string = function
+  | Unknown_port (n, p) -> Printf.sprintf "unknown port %s.%s" n p
+  | Type_mismatch { src; dst; src_type; dst_type } ->
+    Printf.sprintf "flow %s -> %s: output type %s is not a subset of input type %s"
+      src dst (Flow_type.to_string src_type) (Flow_type.to_string dst_type)
+  | Input_already_driven (n, p) -> Printf.sprintf "input %s.%s already has a driver" n p
+  | Not_an_output (n, p) -> Printf.sprintf "%s.%s is not an output port" n p
+  | Not_an_input (n, p) -> Printf.sprintf "%s.%s is not an input port" n p
+
+let create () = { node_list = []; flows = [] }
+
+let mk_ports direction decls =
+  List.map (fun (pname, ty) -> (pname, Port.create ~name:pname direction ty)) decls
+
+let check_fresh t name =
+  if List.exists (fun n -> String.equal n.name name) t.node_list then
+    invalid_arg (Printf.sprintf "Dataflow.Graph.add_node: duplicate node %S" name)
+
+let add_node t ~name ~inputs ~outputs =
+  check_fresh t name;
+  let node = { name; relay = false;
+               inputs = mk_ports Port.In inputs;
+               outputs = mk_ports Port.Out outputs }
+  in
+  t.node_list <- node :: t.node_list;
+  node
+
+let add_relay_node t ~name ty ~fanout =
+  check_fresh t name;
+  let outputs =
+    List.init fanout (fun i ->
+        let pname = Printf.sprintf "out%d" (i + 1) in
+        (pname, Port.create ~name:pname Port.Out ty))
+  in
+  let node = { name; relay = true;
+               inputs = [ ("in", Port.create ~name:"in" Port.In ty) ];
+               outputs }
+  in
+  t.node_list <- node :: t.node_list;
+  node
+
+let add_relay t ~name ty ~fanout =
+  if fanout < 2 then invalid_arg "Dataflow.Graph.add_relay: fanout must be >= 2";
+  add_relay_node t ~name ty ~fanout
+
+let add_junction t ~name ty = add_relay_node t ~name ty ~fanout:1
+
+let is_relay node = node.relay
+let node_name node = node.name
+let nodes t = List.rev t.node_list
+let find_node t name = List.find_opt (fun n -> String.equal n.name name) t.node_list
+
+let input_port node pname = List.assoc_opt pname node.inputs
+let output_port node pname = List.assoc_opt pname node.outputs
+let input_ports node = List.map snd node.inputs
+let output_ports node = List.map snd node.outputs
+
+let connect t ~src:(src_node, src_port) ~dst:(dst_node, dst_port) =
+  match (output_port src_node src_port, input_port dst_node dst_port) with
+  | None, _ ->
+    if input_port src_node src_port <> None then
+      Error (Not_an_output (src_node.name, src_port))
+    else Error (Unknown_port (src_node.name, src_port))
+  | _, None ->
+    if output_port dst_node dst_port <> None then
+      Error (Not_an_input (dst_node.name, dst_port))
+    else Error (Unknown_port (dst_node.name, dst_port))
+  | Some sp, Some dp ->
+    let src_type = Port.flow_type sp in
+    let dst_type = Port.flow_type dp in
+    if not (Flow_type.compatible ~src:src_type ~dst:dst_type) then
+      Error (Type_mismatch
+               { src = Printf.sprintf "%s.%s" src_node.name src_port;
+                 dst = Printf.sprintf "%s.%s" dst_node.name dst_port;
+                 src_type; dst_type })
+    else if
+      List.exists
+        (fun f ->
+           String.equal f.dst_node.name dst_node.name
+           && String.equal f.dst_port dst_port)
+        t.flows
+    then Error (Input_already_driven (dst_node.name, dst_port))
+    else begin
+      t.flows <- { src_node; src_port; dst_node; dst_port } :: t.flows;
+      Ok ()
+    end
+
+let connect_exn t ~src ~dst =
+  match connect t ~src ~dst with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Dataflow.Graph.connect: " ^ error_to_string e)
+
+let flow_count t = List.length t.flows
+
+let unconnected_inputs t =
+  List.concat_map
+    (fun node ->
+       List.filter_map
+         (fun (pname, _) ->
+            let driven =
+              List.exists
+                (fun f ->
+                   String.equal f.dst_node.name node.name
+                   && String.equal f.dst_port pname)
+                t.flows
+            in
+            if driven then None else Some (node.name, pname))
+         node.inputs)
+    (nodes t)
+
+let topo_order t =
+  let all = nodes t in
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indegree n.name 0) all;
+  let edges =
+    (* Node-level dependency edges, deduplicated. *)
+    List.sort_uniq compare
+      (List.map (fun f -> (f.src_node.name, f.dst_node.name)) t.flows)
+  in
+  List.iter
+    (fun (_, dst) ->
+       Hashtbl.replace indegree dst (1 + Option.value ~default:0 (Hashtbl.find_opt indegree dst)))
+    edges;
+  let ready = Queue.create () in
+  List.iter (fun n -> if Hashtbl.find indegree n.name = 0 then Queue.push n ready) all;
+  let order = ref [] in
+  while not (Queue.is_empty ready) do
+    let n = Queue.pop ready in
+    order := n :: !order;
+    List.iter
+      (fun (src, dst) ->
+         if String.equal src n.name then begin
+           let d = Hashtbl.find indegree dst - 1 in
+           Hashtbl.replace indegree dst d;
+           if d = 0 then
+             match find_node t dst with
+             | Some node -> Queue.push node ready
+             | None -> ()
+         end)
+      edges
+  done;
+  let order = List.rev !order in
+  if List.length order = List.length all then Ok order
+  else
+    let placed = List.map (fun n -> n.name) order in
+    Error
+      (List.filter_map
+         (fun n -> if List.mem n.name placed then None else Some n.name)
+         all)
+
+let rec forward t flow writes =
+  match output_port flow.src_node flow.src_port with
+  | None -> writes
+  | Some sp ->
+    (match Port.read sp with
+     | None -> writes
+     | Some v ->
+       (match input_port flow.dst_node flow.dst_port with
+        | None -> writes
+        | Some dp ->
+          Port.write dp v;
+          let writes = writes + 1 in
+          if flow.dst_node.relay then relay_through t flow.dst_node v writes
+          else writes))
+
+and relay_through t relay_node v writes =
+  (* Copy the relayed value to every relay output, then keep flowing. *)
+  let writes =
+    List.fold_left
+      (fun acc (_, port) -> Port.write port v; acc + 1)
+      writes relay_node.outputs
+  in
+  List.fold_left
+    (fun acc f ->
+       if String.equal f.src_node.name relay_node.name then forward t f acc
+       else acc)
+    writes t.flows
+
+let propagate_from t node =
+  List.fold_left
+    (fun acc f ->
+       if String.equal f.src_node.name node.name then forward t f acc else acc)
+    0 t.flows
+
+let propagate_all t =
+  match topo_order t with
+  | Error names ->
+    failwith
+      (Printf.sprintf "Dataflow.Graph.propagate_all: cycle through %s"
+         (String.concat ", " names))
+  | Ok order ->
+    List.fold_left (fun acc n -> acc + propagate_from t n) 0 order

@@ -1,0 +1,72 @@
+(** Dataflow networks: nodes with DPorts, connected by flows and relays.
+
+    This is the structural half of the paper's continuous subsystem — the
+    hybrid engine moves values along the flows; this module owns the
+    wiring and its static rules (type compatibility, single writer per
+    input, acyclicity up to relays). *)
+
+type t
+type node
+
+type error =
+  | Unknown_port of string * string          (** node, port *)
+  | Type_mismatch of { src : string; dst : string;
+                       src_type : Flow_type.t; dst_type : Flow_type.t }
+  | Input_already_driven of string * string  (** node, port *)
+  | Not_an_output of string * string
+  | Not_an_input of string * string
+
+val error_to_string : error -> string
+
+val create : unit -> t
+
+val add_node :
+  t -> name:string
+  -> inputs:(string * Flow_type.t) list
+  -> outputs:(string * Flow_type.t) list
+  -> node
+(** Raises [Invalid_argument] on a duplicate node name. *)
+
+val add_relay : t -> name:string -> Flow_type.t -> fanout:int -> node
+(** The paper's relay stereotype: one input ["in"], [fanout] outputs
+    ["out1"] … ["outN"] of the same flow type, copying on propagation.
+    [fanout >= 2] (the paper: "generates two similar flows from a flow"). *)
+
+val add_junction : t -> name:string -> Flow_type.t -> node
+(** A 1-in/1-out pass-through node with relay (copy-on-propagate)
+    semantics. Not a paper stereotype — an implementation device used to
+    flatten composite streamer borders. Ports are ["in"] and ["out1"]. *)
+
+val is_relay : node -> bool
+val node_name : node -> string
+val nodes : t -> node list
+val find_node : t -> string -> node option
+
+val input_port : node -> string -> Port.t option
+val output_port : node -> string -> Port.t option
+val input_ports : node -> Port.t list
+val output_ports : node -> Port.t list
+
+val connect : t -> src:node * string -> dst:node * string -> (unit, error) result
+(** Add a flow. Enforces the paper's subset rule via
+    {!Flow_type.compatible} and at most one driver per input port. *)
+
+val connect_exn : t -> src:node * string -> dst:node * string -> unit
+
+val flow_count : t -> int
+
+val unconnected_inputs : t -> (string * string) list
+(** (node, port) pairs with no incoming flow — a completeness warning. *)
+
+val topo_order : t -> (node list, string list) result
+(** Kahn's algorithm over node dependencies; [Error names] lists the
+    nodes involved in a cycle. *)
+
+val propagate_from : t -> node -> int
+(** Copy this node's written output values along outgoing flows into the
+    connected input ports, flowing through relays transitively. Returns
+    the number of port writes performed. *)
+
+val propagate_all : t -> int
+(** Propagate from every node in topological order. Raises [Failure] on a
+    cyclic graph. *)

@@ -1,0 +1,40 @@
+type direction = In | Out
+
+let direction_name = function In -> "in" | Out -> "out"
+
+type t = {
+  name : string;
+  direction : direction;
+  flow_type : Flow_type.t;
+  mutable value : Value.t option;
+  mutable writes : int;
+}
+
+let create ~name direction flow_type =
+  { name; direction; flow_type; value = None; writes = 0 }
+
+let name t = t.name
+let direction t = t.direction
+let flow_type t = t.flow_type
+
+let write t v =
+  match Value.normalize v t.flow_type with
+  | Some normalized ->
+    t.value <- Some normalized;
+    t.writes <- t.writes + 1
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Dataflow.Port.write: value %s does not conform to %s on port %S"
+         (Value.to_string v) (Flow_type.to_string t.flow_type) t.name)
+
+let read t = t.value
+
+let read_float t =
+  match t.value with
+  | Some v -> Value.to_float v
+  | None -> None
+
+let read_float_default t default =
+  match read_float t with Some f -> f | None -> default
+
+let writes t = t.writes

@@ -1,0 +1,33 @@
+(** Data ports (DPorts): typed, register-semantics endpoints of flows.
+
+    A DPort holds the most recently written value (continuous signals are
+    sampled, not queued — unlike SPort signal messages, which use
+    {!Des.Mailbox}). *)
+
+type direction = In | Out
+
+val direction_name : direction -> string
+
+type t
+
+val create : name:string -> direction -> Flow_type.t -> t
+val name : t -> string
+val direction : t -> direction
+val flow_type : t -> Flow_type.t
+
+val write : t -> Value.t -> unit
+(** Store a value. Raises [Invalid_argument] when the value does not
+    conform to the port's flow type; the stored value is normalized to
+    exactly the type's fields. *)
+
+val read : t -> Value.t option
+(** Last written (normalized) value, [None] before the first write. *)
+
+val read_float : t -> float option
+(** Convenience for scalar flows: the single numeric field. *)
+
+val read_float_default : t -> float -> float
+(** [read_float] with a default for the never-written case. *)
+
+val writes : t -> int
+(** Number of successful writes. *)

@@ -1,0 +1,112 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Vec of float array
+  | Record of (string * t) list
+
+let unit_ = Unit
+let bool b = Bool b
+let int i = Int i
+let float f = Float f
+let vec v = Vec (Array.copy v)
+
+let record fields =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) fields in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Dataflow.Value.record: duplicate field %S" a);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  Record sorted
+
+let base_of = function
+  | Bool _ -> Some Flow_type.TBool
+  | Int _ -> Some Flow_type.TInt
+  | Float _ -> Some Flow_type.TFloat
+  | Vec v -> Some (Flow_type.TVec (Array.length v))
+  | Unit | Record _ -> None
+
+let field v name =
+  match v with
+  | Record fields -> List.assoc_opt name fields
+  | Bool _ | Int _ | Float _ | Vec _ ->
+    if String.equal name "value" then Some v else None
+  | Unit -> None
+
+let conforms v ty =
+  List.for_all
+    (fun (name, base) ->
+       match field v name with
+       | Some fv ->
+         (match base_of fv with
+          | Some b -> Flow_type.base_equal b base
+          | None -> false)
+       | None -> false)
+    (Flow_type.fields ty)
+
+let normalize v ty =
+  if not (conforms v ty) then None
+  else
+    let project (name, _) =
+      match field v name with
+      | Some fv -> (name, fv)
+      | None -> assert false (* conforms just checked every field *)
+    in
+    Some (Record (List.map project (Flow_type.fields ty)))
+
+let to_float v =
+  match v with
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | Bool b -> Some (if b then 1. else 0.)
+  | Record [ (_, inner) ] ->
+    (match inner with
+     | Float f -> Some f
+     | Int i -> Some (float_of_int i)
+     | Bool b -> Some (if b then 1. else 0.)
+     | Unit | Vec _ | Record _ -> None)
+  | Unit | Vec _ | Record _ -> None
+
+let get_float v =
+  match to_float v with
+  | Some f -> f
+  | None -> invalid_arg "Dataflow.Value.get_float: not a numeric value"
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Vec x, Vec y -> Array.length x = Array.length y && Array.for_all2 Float.equal x y
+  | Record x, Record y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (na, va) (nb, vb) -> String.equal na nb && equal va vb)
+         x y
+  | (Unit | Bool _ | Int _ | Float _ | Vec _ | Record _), _ -> false
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Vec v ->
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf x -> Format.fprintf ppf "%g" x))
+      (Array.to_list v)
+  | Record fields ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf (name, v) -> Format.fprintf ppf "%s = %a" name pp v))
+      fields
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,44 @@
+(** Runtime values carried by flows and signals. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Vec of float array
+  | Record of (string * t) list
+
+val unit_ : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val vec : float array -> t
+val record : (string * t) list -> t
+(** Fields are sorted; duplicates raise [Invalid_argument]. *)
+
+val base_of : t -> Flow_type.base option
+(** Base type of a scalar value; [None] for [Unit] and [Record]. *)
+
+val conforms : t -> Flow_type.t -> bool
+(** [conforms v ty] — [v] provides every field of [ty] with the right
+    base. A scalar value conforms to a single-field type whose field it
+    matches (auto-wrapping, so [Float 1.0] conforms to
+    [Flow_type.float_flow]). *)
+
+val normalize : t -> Flow_type.t -> t option
+(** Project [v] onto [ty]'s fields as a [Record] (wrapping scalars);
+    [None] when it does not conform. *)
+
+val field : t -> string -> t option
+(** Record field lookup; on scalars, ["value"] returns the scalar. *)
+
+val to_float : t -> float option
+(** Numeric view: [Float], [Int], [Bool] (0/1), or a scalar record's
+    single numeric field. *)
+
+val get_float : t -> float
+(** Like {!to_float} but raises [Invalid_argument]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

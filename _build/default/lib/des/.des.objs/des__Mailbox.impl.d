@@ -1,0 +1,1 @@
+lib/des/mailbox.ml: Engine Queue

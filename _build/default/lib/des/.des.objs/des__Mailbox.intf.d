@@ -1,0 +1,1 @@
+lib/des/mailbox.mli: Engine

@@ -1,0 +1,65 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+type handle = Event_queue.handle
+
+let create ?(start = 0.) () =
+  { queue = Event_queue.create (); clock = start; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ?priority ~time callback =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Des.Engine.schedule_at: time %g is before now %g" time t.clock);
+  Event_queue.push t.queue ~time ?priority callback
+
+let schedule t ?priority ~delay callback =
+  if delay < 0. then invalid_arg "Des.Engine.schedule: negative delay";
+  schedule_at t ?priority ~time:(t.clock +. delay) callback
+
+let cancel = Event_queue.cancel
+
+let pending t = Event_queue.length t.queue
+
+let next_time t = Event_queue.peek_time t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, callback) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    callback ();
+    true
+
+let run_until t bound =
+  if bound < t.clock then
+    invalid_arg "Des.Engine.run_until: bound is before the current time";
+  let executed = ref 0 in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= bound ->
+      if step t then begin
+        incr executed;
+        loop ()
+      end
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- bound;
+  !executed
+
+let run_to_completion t ?(max_events = 10_000_000) () =
+  let executed = ref 0 in
+  while step t do
+    incr executed;
+    if !executed > max_events then
+      failwith "Des.Engine.run_to_completion: event budget exhausted (runaway model?)"
+  done;
+  !executed
+
+let events_executed t = t.executed

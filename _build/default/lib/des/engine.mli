@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine: a virtual clock plus an event queue
+    of callbacks. Everything in the repository that needs simulated time —
+    capsule run-to-completion, streamer thread ticks, channel latency —
+    runs on one of these. *)
+
+type t
+
+type handle
+(** Cancellation token for one scheduled callback. *)
+
+val create : ?start:float -> unit -> t
+(** Fresh engine; the clock starts at [start] (default 0). *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val schedule_at : t -> ?priority:int -> time:float -> (unit -> unit) -> handle
+(** Run the callback when the clock reaches [time]. Scheduling in the past
+    raises [Invalid_argument]. Lower priority runs first among equal
+    times; ties break in scheduling order. *)
+
+val schedule : t -> ?priority:int -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] is [schedule_at t ~time:(now t +. delay) f];
+    negative delays raise [Invalid_argument]. *)
+
+val cancel : handle -> unit
+(** Idempotent. *)
+
+val pending : t -> int
+(** Live scheduled callbacks (diagnostics only, O(n)). *)
+
+val next_time : t -> float option
+(** Timestamp of the next pending callback. *)
+
+val step : t -> bool
+(** Execute the next pending callback, advancing the clock to its time.
+    Returns [false] when the queue is empty. *)
+
+val run_until : t -> float -> int
+(** Execute every callback scheduled at or before the bound (including
+    callbacks those callbacks schedule), then advance the clock to the
+    bound. Returns the number of callbacks executed. *)
+
+val run_to_completion : t -> ?max_events:int -> unit -> int
+(** Execute until the queue drains; raises [Failure] if [max_events]
+    (default 10_000_000) is exceeded — a runaway-model backstop. *)
+
+val events_executed : t -> int
+(** Total callbacks executed since creation. *)

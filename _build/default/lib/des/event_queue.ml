@@ -1,0 +1,121 @@
+type entry = {
+  time : float;
+  priority : int;
+  seq : int;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type 'a t = {
+  mutable heap : (entry * 'a) array;  (* prefix [0, size) is the heap *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+(* Cancelled entries stay in the heap until they reach the top (lazy
+   deletion), so [length] walks the array — it is only used by tests and
+   diagnostics, never on the hot path. *)
+let length t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e, _ = t.heap.(i) in
+    if not e.cancelled then incr n
+  done;
+  !n
+
+let before (a, _) (b, _) =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)))
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time ?(priority = 0) payload =
+  if Float.is_nan time then invalid_arg "Des.Event_queue.push: NaN time";
+  let entry = { time; priority; seq = t.next_seq; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 8 (entry, payload)
+  else if t.size >= Array.length t.heap then begin
+    let heap' = Array.make (2 * Array.length t.heap) t.heap.(0) in
+    Array.blit t.heap 0 heap' 0 t.size;
+    t.heap <- heap'
+  end;
+  t.heap.(t.size) <- (entry, payload);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  entry
+
+let cancel entry = entry.cancelled <- true
+let is_cancelled entry = entry.cancelled
+
+let rec drop_cancelled t =
+  if t.size > 0 then begin
+    let top, _ = t.heap.(0) in
+    if top.cancelled then begin
+      t.size <- t.size - 1;
+      t.heap.(0) <- t.heap.(t.size);
+      if t.size > 0 then sift_down t 0;
+      drop_cancelled t
+    end
+  end
+
+let is_empty t =
+  drop_cancelled t;
+  t.size = 0
+
+let peek_time t =
+  drop_cancelled t;
+  if t.size = 0 then None
+  else
+    let e, _ = t.heap.(0) in
+    Some e.time
+
+let pop t =
+  drop_cancelled t;
+  if t.size = 0 then None
+  else begin
+    let e, payload = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (e.time, payload)
+  end
+
+let drain_until t bound =
+  let rec loop acc =
+    match peek_time t with
+    | Some time when time <= bound ->
+      (match pop t with
+       | Some item -> loop (item :: acc)
+       | None -> List.rev acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []

@@ -1,0 +1,34 @@
+(** Priority queue of timestamped events.
+
+    Binary min-heap ordered by (time, priority, insertion sequence), so
+    simultaneous events run in deterministic FIFO order within a priority
+    level. Cancellation is O(1) lazy deletion. *)
+
+type 'a t
+
+type handle
+(** Token for one scheduled entry. *)
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> ?priority:int -> 'a -> handle
+(** Lower [priority] runs first among equal times (default 0). *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling after the entry was popped is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val peek_time : 'a t -> float option
+(** Time of the earliest live entry. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest live entry. *)
+
+val drain_until : 'a t -> float -> (float * 'a) list
+(** Pop every live entry with time <= the bound, earliest first. *)

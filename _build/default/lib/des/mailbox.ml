@@ -1,0 +1,48 @@
+type 'a t = {
+  engine : Engine.t;
+  name : string;
+  mutable latency : float;
+  fifo : 'a Queue.t;
+  mutable listener : ('a t -> unit) option;
+  mutable in_flight : int;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine ?(latency = 0.) name =
+  if latency < 0. then invalid_arg "Des.Mailbox.create: negative latency";
+  { engine; name; latency; fifo = Queue.create (); listener = None;
+    in_flight = 0; sent = 0; delivered = 0 }
+
+let name t = t.name
+let latency t = t.latency
+
+let set_latency t latency =
+  if latency < 0. then invalid_arg "Des.Mailbox.set_latency: negative latency";
+  t.latency <- latency
+
+let set_listener t f = t.listener <- Some f
+let clear_listener t = t.listener <- None
+
+let deliver t msg () =
+  t.in_flight <- t.in_flight - 1;
+  t.delivered <- t.delivered + 1;
+  Queue.push msg t.fifo;
+  match t.listener with
+  | Some f -> f t
+  | None -> ()
+
+let send_delayed t ~delay msg =
+  if delay < 0. then invalid_arg "Des.Mailbox.send_delayed: negative delay";
+  t.sent <- t.sent + 1;
+  t.in_flight <- t.in_flight + 1;
+  ignore (Engine.schedule t.engine ~delay:(t.latency +. delay) (deliver t msg))
+
+let send t msg = send_delayed t ~delay:0. msg
+
+let pop t = if Queue.is_empty t.fifo then None else Some (Queue.pop t.fifo)
+let peek t = if Queue.is_empty t.fifo then None else Some (Queue.peek t.fifo)
+let length t = Queue.length t.fifo
+let in_flight t = t.in_flight
+let sent_total t = t.sent
+let delivered_total t = t.delivered

@@ -1,0 +1,41 @@
+(** Asynchronous message queues with delivery latency.
+
+    This is the "communication mechanism of threads" the paper relies on:
+    capsules and streamers live on different threads and exchange messages
+    through channels with a (configurable) transport delay. A mailbox
+    owns a FIFO of delivered messages; [send] schedules the delivery on
+    the engine after the mailbox's latency. *)
+
+type 'a t
+
+val create : Engine.t -> ?latency:float -> string -> 'a t
+(** [latency] defaults to 0 (same-thread dispatch). *)
+
+val name : 'a t -> string
+val latency : 'a t -> float
+val set_latency : 'a t -> float -> unit
+
+val set_listener : 'a t -> ('a t -> unit) -> unit
+(** Called (at delivery time) each time a message lands in the FIFO. The
+    listener typically schedules the owner's run-to-completion step. *)
+
+val clear_listener : 'a t -> unit
+
+val send : 'a t -> 'a -> unit
+(** Enqueue for delivery after [latency]. *)
+
+val send_delayed : 'a t -> delay:float -> 'a -> unit
+(** Enqueue for delivery after [latency +. delay]. *)
+
+val pop : 'a t -> 'a option
+(** Oldest delivered message, if any. *)
+
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+(** Delivered (not yet popped) messages. *)
+
+val in_flight : 'a t -> int
+(** Sent but not yet delivered. *)
+
+val sent_total : 'a t -> int
+val delivered_total : 'a t -> int

@@ -1,0 +1,57 @@
+type t = { mutable state : int64; mutable spare : float option }
+
+(* SplitMix64-style seeding spreads small integer seeds over the state. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let s = mix (Int64.of_int (seed + 0x9e3779b9)) in
+  { state = (if s = 0L then 0x2545F4914F6CDD1DL else s); spare = None }
+
+let next t =
+  (* xorshift64* *)
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let split t =
+  let s = mix (next t) in
+  { state = (if s = 0L then 0x9e3779b97f4a7c15L else s); spare = None }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Des.Rng.int: bound must be positive";
+  (* Drop to 62 bits so the value stays non-negative as a native int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t =
+  (* 53 high-quality bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let uniform t lo hi =
+  if hi < lo then invalid_arg "Des.Rng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+let exponential t mean =
+  if mean <= 0. then invalid_arg "Des.Rng.exponential: mean must be positive";
+  let u = Float.max 1e-300 (float t) in
+  -.mean *. log u
+
+let gaussian t ?(mu = 0.) ?(sigma = 1.) () =
+  match t.spare with
+  | Some z ->
+    t.spare <- None;
+    mu +. (sigma *. z)
+  | None ->
+    let u1 = Float.max 1e-300 (float t) in
+    let u2 = float t in
+    let r = sqrt (-2. *. log u1) in
+    let theta = 2. *. Float.pi *. u2 in
+    t.spare <- Some (r *. sin theta);
+    mu +. (sigma *. r *. cos theta)

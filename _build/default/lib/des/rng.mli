@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (xorshift64-star).
+
+    Simulations must be reproducible run to run, so nothing in this
+    repository touches [Random]; every stochastic model takes one of
+    these, seeded explicitly. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** Child generator with an independent-looking stream, derived
+    deterministically from the parent's state (the parent advances). *)
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound); [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val exponential : t -> float -> float
+(** Exponential with the given mean (> 0) — inter-arrival times. *)
+
+val gaussian : t -> ?mu:float -> ?sigma:float -> unit -> float
+(** Box–Muller normal deviate (defaults: standard normal). *)

@@ -1,0 +1,61 @@
+type t = {
+  mutable active : bool;
+  mutable fired : int;
+  mutable handle : Engine.handle option;
+}
+
+let cancel t =
+  t.active <- false;
+  (match t.handle with Some h -> Engine.cancel h | None -> ());
+  t.handle <- None
+
+let is_active t = t.active
+let fired t = t.fired
+
+let one_shot engine ~delay callback =
+  if delay < 0. then invalid_arg "Des.Timer.one_shot: negative delay";
+  let t = { active = true; fired = 0; handle = None } in
+  let fire () =
+    if t.active then begin
+      t.fired <- 1;
+      t.active <- false;
+      t.handle <- None;
+      callback ()
+    end
+  in
+  t.handle <- Some (Engine.schedule engine ~delay fire);
+  t
+
+(* The k-th nominal release is [start + phase + k*period]; computing each
+   release from the origin (rather than from the previous firing) avoids
+   cumulative floating-point drift over long runs. *)
+let periodic_impl engine ~phase ~period ~jitter callback =
+  if period <= 0. then invalid_arg "Des.Timer.periodic: period must be positive";
+  if phase < 0. then invalid_arg "Des.Timer.periodic: negative phase";
+  let t = { active = true; fired = 0; handle = None } in
+  let origin = Engine.now engine in
+  let rec arm k =
+    if t.active then begin
+      let nominal = origin +. phase +. (float_of_int k *. period) in
+      let displaced = nominal +. jitter k in
+      let time = Float.max displaced (Engine.now engine) in
+      let fire () =
+        if t.active then begin
+          t.fired <- t.fired + 1;
+          callback k;
+          arm (k + 1)
+        end
+      in
+      t.handle <- Some (Engine.schedule_at engine ~time fire)
+    end
+  in
+  arm 0;
+  t
+
+let periodic engine ?phase ~period callback =
+  let phase = match phase with Some p -> p | None -> period in
+  periodic_impl engine ~phase ~period ~jitter:(fun _ -> 0.) callback
+
+let periodic_jittered engine ?phase ~period ~jitter callback =
+  let phase = match phase with Some p -> p | None -> period in
+  periodic_impl engine ~phase ~period ~jitter callback

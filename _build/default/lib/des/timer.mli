@@ -1,0 +1,30 @@
+(** Timer service on top of the engine — the UML-RT "Time service".
+
+    The paper notes that timing in UML-RT is unpredictable; the extension's
+    [Time] stereotype (a continuous clock) lives in the core library, while
+    this module provides the conventional discrete timers capsules use. *)
+
+type t
+
+val one_shot : Engine.t -> delay:float -> (unit -> unit) -> t
+(** Fire once after [delay]. *)
+
+val periodic : Engine.t -> ?phase:float -> period:float -> (int -> unit) -> t
+(** Fire forever every [period] (first firing after [phase], default one
+    full period), passing the 0-based tick index. Raises
+    [Invalid_argument] when [period <= 0]. *)
+
+val periodic_jittered :
+  Engine.t -> ?phase:float -> period:float -> jitter:(int -> float)
+  -> (int -> unit) -> t
+(** Periodic timer whose k-th firing is displaced by [jitter k] (clamped
+    so time never goes backwards) — models release jitter of an RTOS
+    periodic task. *)
+
+val cancel : t -> unit
+(** Stop the timer; idempotent. Pending firings are dropped. *)
+
+val is_active : t -> bool
+
+val fired : t -> int
+(** Number of firings so far. *)

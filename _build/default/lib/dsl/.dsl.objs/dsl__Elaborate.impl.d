@@ -1,0 +1,1 @@
+lib/dsl/elaborate.ml: Array Ast Dataflow Expr Hybrid List Ode Option Printf Statechart String Typecheck Umlrt

@@ -1,0 +1,1 @@
+lib/dsl/elaborate.mli: Ast Hybrid Rt Typecheck

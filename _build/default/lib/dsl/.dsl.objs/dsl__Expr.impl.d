@@ -1,0 +1,1 @@
+lib/dsl/expr.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Ast Expr Format Lexer List Printf Sigtrace String

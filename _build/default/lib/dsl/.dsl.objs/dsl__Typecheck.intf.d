@@ -1,0 +1,1 @@
+lib/dsl/typecheck.mli: Ast Dataflow Umlrt

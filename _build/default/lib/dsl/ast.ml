@@ -1,0 +1,138 @@
+(** Abstract syntax of the .umh modeling language. Produced by
+    {!Parser}, consumed by {!Typecheck} and {!Elaborate}. Positions are
+    (line, column) of the construct's first token. *)
+
+type pos = { line : int; col : int }
+
+type base_type = TFloat | TInt | TBool | TVec of int
+
+type flowtype_decl = {
+  ft_name : string;
+  ft_fields : (string * base_type) list;
+  ft_pos : pos;
+}
+
+type signal_decl = {
+  sig_name : string;
+  sig_payload : string option;  (** flow type name, or None *)
+}
+
+type protocol_decl = {
+  proto_name : string;
+  proto_in : signal_decl list;
+  proto_out : signal_decl list;
+  proto_pos : pos;
+}
+
+type direction = Din | Dout
+
+type dport_decl = {
+  dp_name : string;
+  dp_dir : direction option;  (** None = declared [relay] (capsule side) *)
+  dp_type : string option;    (** flow type name; None = scalar float *)
+  dp_pos : pos;
+}
+
+type sport_decl = {
+  sp_name : string;
+  sp_proto : string;
+  sp_conjugated : bool;
+  sp_pos : pos;
+}
+
+type guard_dir = Grising | Gfalling | Gboth
+
+type guard_decl = {
+  g_name : string;
+  g_dir : guard_dir;
+  g_expr : Expr.t;
+  g_signal : string;
+  g_payload : Expr.t option;  (** payload expression evaluated at the crossing *)
+  g_sport : string;
+  g_pos : pos;
+}
+
+type method_decl =
+  | Mfixed of string * float   (** scheme name, step *)
+  | Madaptive
+  | Mimplicit of float
+
+type strategy_decl = {
+  st_signal : string;
+  st_param : string;
+  st_expr : Expr.t;   (** may use [payload] *)
+  st_pos : pos;
+}
+
+type internal_endpoint = {
+  ie_child : string option;  (** [None] = this streamer's border DPort ("self") *)
+  ie_port : string;
+}
+
+type streamer_decl = {
+  s_name : string;
+  s_rate : float option;
+  s_method : method_decl option;
+  s_dports : dport_decl list;
+  s_sports : sport_decl list;
+  s_params : (string * float) list;
+  s_states : (string * float) list;   (** state variables with initial values *)
+  s_eqs : (string * Expr.t) list;     (** x' = e, keyed by state variable *)
+  s_outputs : (string * Expr.t) list; (** output DPort = expression *)
+  s_guards : guard_decl list;
+  s_strategies : strategy_decl list;
+  s_contains : (string * string) list;  (** sub-streamers: child role, class *)
+  s_flows : (internal_endpoint * internal_endpoint) list;
+  s_pos : pos;
+}
+
+type transition_decl = {
+  tr_trigger : string;
+  tr_target : string;
+  tr_send : (string * string) option;  (** signal, via port *)
+  tr_pos : pos;
+}
+
+type state_decl = {
+  st_name : string;
+  st_initial : string option;          (** initial child *)
+  st_children : state_decl list;
+  st_transitions : transition_decl list;
+  st_pos : pos;
+}
+
+type capsule_decl = {
+  c_name : string;
+  c_ports : (string * string * bool * bool) list;
+    (** name, protocol, conjugated, relay *)
+  c_dports : dport_decl list;          (** capsule DPorts: must be relay *)
+  c_timers : (string * float) list;
+    (** self-delivered periodic signals: signal name, period *)
+  c_initial : string option;
+  c_states : state_decl list;
+  c_pos : pos;
+}
+
+type instance_decl =
+  | Icapsule of { iname : string; iclass : string; ipos : pos }
+  | Istreamer of { iname : string; iclass : string; icontainer : string option; ipos : pos }
+  | Irelay of { iname : string; itype : string option; ifanout : int; ipos : pos }
+
+type connection_decl =
+  | Cflow of { cf_src : string * string; cf_dst : string * string; cf_pos : pos }
+  | Clink of { cl_streamer : string * string; cl_capsule : string * string; cl_pos : pos }
+
+type system_decl = {
+  sys_instances : instance_decl list;
+  sys_connections : connection_decl list;
+  sys_pos : pos;
+}
+
+type model = {
+  m_name : string;
+  m_flowtypes : flowtype_decl list;
+  m_protocols : protocol_decl list;
+  m_streamers : streamer_decl list;
+  m_capsules : capsule_decl list;
+  m_system : system_decl option;
+}

@@ -1,0 +1,404 @@
+exception Elab_error of string
+
+type elaborated = {
+  engine : Hybrid.Engine.t;
+  capsule_paths : (string * string) list;
+  streamer_roles : string list;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+let method_of = function
+  | None -> Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)
+  | Some (Ast.Mfixed (scheme, step)) ->
+    (match Ode.Fixed.scheme_of_string scheme with
+     | Some s -> Ode.Integrator.Fixed (s, step)
+     | None -> fail "unknown integration scheme %S" scheme)
+  | Some Ast.Madaptive ->
+    Ode.Integrator.Adaptive (Ode.Adaptive.Dormand_prince, Ode.Adaptive.default_control)
+  | Some (Ast.Mimplicit step) -> Ode.Integrator.Implicit (`Backward_euler, step)
+
+let guard_direction = function
+  | Ast.Grising -> Ode.Events.Rising
+  | Ast.Gfalling -> Ode.Events.Falling
+  | Ast.Gboth -> Ode.Events.Both
+
+(* Variable scope inside solver expressions: t, state variables (by
+   position in y), parameters, input DPorts — in that priority order. *)
+let solver_scope (s : Ast.streamer_decl) (env : Hybrid.Solver.env) time y =
+  let state_index name =
+    let rec find i = function
+      | [] -> None
+      | (v, _) :: _ when String.equal v name -> Some i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 s.Ast.s_states
+  in
+  let in_port name =
+    List.exists
+      (fun (d : Ast.dport_decl) ->
+         d.Ast.dp_dir = Some Ast.Din && String.equal d.Ast.dp_name name)
+      s.Ast.s_dports
+  in
+  { Expr.var =
+      (fun name ->
+         if String.equal name "t" then Some time
+         else
+           match state_index name with
+           | Some i -> Some y.(i)
+           | None ->
+             if List.mem_assoc name s.Ast.s_params then
+               Some (env.Hybrid.Solver.param name)
+             else if in_port name then Some (env.Hybrid.Solver.input name)
+             else None);
+    payload = None }
+
+let rec streamer_of_decl checked (s : Ast.streamer_decl) =
+  if s.Ast.s_contains <> [] then composite_of_decl checked s
+  else leaf_of_decl checked s
+
+and composite_of_decl checked (s : Ast.streamer_decl) =
+  let model = checked.Typecheck.model in
+  let children =
+    List.map
+      (fun (child, cls) ->
+         match
+           List.find_opt
+             (fun (x : Ast.streamer_decl) -> String.equal x.Ast.s_name cls)
+             model.Ast.m_streamers
+         with
+         | Some decl -> (child, streamer_of_decl checked decl)
+         | None -> fail "streamer %S: unknown child class %S" s.Ast.s_name cls)
+      s.Ast.s_contains
+  in
+  let flows =
+    List.map
+      (fun ((src : Ast.internal_endpoint), (dst : Ast.internal_endpoint)) ->
+         let conv (ep : Ast.internal_endpoint) =
+           match ep.Ast.ie_child with
+           | None -> Hybrid.Streamer.border ep.Ast.ie_port
+           | Some c -> Hybrid.Streamer.child_port c ep.Ast.ie_port
+         in
+         (conv src, conv dst))
+      s.Ast.s_flows
+  in
+  let dports =
+    List.map
+      (fun (d : Ast.dport_decl) ->
+         let dtype = Typecheck.flow_type_of checked d.Ast.dp_type in
+         match d.Ast.dp_dir with
+         | Some Ast.Din -> Hybrid.Streamer.dport_in ~dtype d.Ast.dp_name
+         | Some Ast.Dout -> Hybrid.Streamer.dport_out ~dtype d.Ast.dp_name
+         | None -> fail "streamer %S: relay DPort %S" s.Ast.s_name d.Ast.dp_name)
+      s.Ast.s_dports
+  in
+  Hybrid.Streamer.composite s.Ast.s_name ?rate:s.Ast.s_rate ~dports ~children
+    ~flows
+
+and leaf_of_decl checked (s : Ast.streamer_decl) =
+  let dim = List.length s.Ast.s_states in
+  let init = Array.of_list (List.map snd s.Ast.s_states) in
+  let rhs env time y =
+    let scope = solver_scope s env time y in
+    Array.of_list
+      (List.map
+         (fun (v, _) ->
+            match List.assoc_opt v s.Ast.s_eqs with
+            | Some e -> Expr.eval scope e
+            | None -> 0.)
+         s.Ast.s_states)
+  in
+  let outputs env time y =
+    let scope = solver_scope s env time y in
+    List.map
+      (fun (port, e) -> (port, Dataflow.Value.Float (Expr.eval scope e)))
+      s.Ast.s_outputs
+  in
+  let dports =
+    List.map
+      (fun (d : Ast.dport_decl) ->
+         let dtype = Typecheck.flow_type_of checked d.Ast.dp_type in
+         match d.Ast.dp_dir with
+         | Some Ast.Din -> Hybrid.Streamer.dport_in ~dtype d.Ast.dp_name
+         | Some Ast.Dout -> Hybrid.Streamer.dport_out ~dtype d.Ast.dp_name
+         | None -> fail "streamer %S: relay DPort %S" s.Ast.s_name d.Ast.dp_name)
+      s.Ast.s_dports
+  in
+  let sports =
+    List.map
+      (fun (sp : Ast.sport_decl) ->
+         match Typecheck.protocol_of checked sp.Ast.sp_proto with
+         | Some proto ->
+           Hybrid.Streamer.sport ~conjugated:sp.Ast.sp_conjugated sp.Ast.sp_name proto
+         | None -> fail "streamer %S: unresolved protocol %S" s.Ast.s_name sp.Ast.sp_proto)
+      s.Ast.s_sports
+  in
+  let guards =
+    List.map
+      (fun (g : Ast.guard_decl) ->
+         { Hybrid.Streamer.guard_id = g.Ast.g_name;
+           signal = g.Ast.g_signal;
+           via_sport = g.Ast.g_sport;
+           direction = guard_direction g.Ast.g_dir;
+           expr =
+             (fun env time y -> Expr.eval (solver_scope s env time y) g.Ast.g_expr);
+           payload =
+             Option.map
+               (fun pe env time y ->
+                  Dataflow.Value.Float (Expr.eval (solver_scope s env time y) pe))
+               g.Ast.g_payload })
+      s.Ast.s_guards
+  in
+  let strategy = Hybrid.Strategy.create () in
+  List.iter
+    (fun (st : Ast.strategy_decl) ->
+       Hybrid.Strategy.on strategy ~signal:st.Ast.st_signal
+         (fun control event ->
+            let y = control.Hybrid.Strategy.get_state () in
+            let scope =
+              { Expr.var =
+                  (fun name ->
+                     if String.equal name "t" then
+                       Some (control.Hybrid.Strategy.now ())
+                     else
+                       let rec find i = function
+                         | [] -> None
+                         | (v, _) :: _ when String.equal v name -> Some y.(i)
+                         | _ :: rest -> find (i + 1) rest
+                       in
+                       match find 0 s.Ast.s_states with
+                       | Some v -> Some v
+                       | None ->
+                         if List.mem_assoc name s.Ast.s_params then
+                           Some (control.Hybrid.Strategy.get_param name)
+                         else None);
+                payload = Statechart.Event.float_payload event }
+            in
+            control.Hybrid.Strategy.set_param st.Ast.st_param
+              (Expr.eval scope st.Ast.st_expr)))
+    s.Ast.s_strategies;
+  let rate =
+    match s.Ast.s_rate with
+    | Some r -> r
+    | None -> fail "streamer %S: missing rate" s.Ast.s_name
+  in
+  Hybrid.Streamer.leaf s.Ast.s_name ~rate ~method_:(method_of s.Ast.s_method)
+    ~dim ~init ~params:s.Ast.s_params ~dports ~sports ~guards ~strategy
+    ~outputs ~rhs
+
+let capsule_class_of checked (c : Ast.capsule_decl) =
+  let ports =
+    List.map
+      (fun (name, proto, conjugated, relay) ->
+         match Typecheck.protocol_of checked proto with
+         | Some p ->
+           Umlrt.Capsule.port ~conjugated
+             ~kind:(if relay then Umlrt.Capsule.Relay else Umlrt.Capsule.End)
+             name p
+         | None -> fail "capsule %S: unresolved protocol %S" c.Ast.c_name proto)
+      c.Ast.c_ports
+  in
+  let behavior =
+    if c.Ast.c_states = [] then None
+    else
+      Some
+        (fun (services : Umlrt.Capsule.services) ->
+           let m = Statechart.Machine.create c.Ast.c_name in
+           let rec add_states ?parent (st : Ast.state_decl) =
+             Statechart.Machine.add_state m ?parent st.Ast.st_name;
+             List.iter (add_states ~parent:st.Ast.st_name) st.Ast.st_children;
+             (match st.Ast.st_initial with
+              | Some i -> Statechart.Machine.set_initial m ~of_:st.Ast.st_name i
+              | None -> ())
+           in
+           List.iter (fun st -> add_states st) c.Ast.c_states;
+           (match c.Ast.c_initial with
+            | Some i -> Statechart.Machine.set_initial m i
+            | None -> ());
+           let rec add_transitions (st : Ast.state_decl) =
+             List.iter
+               (fun (tr : Ast.transition_decl) ->
+                  let action =
+                    match tr.Ast.tr_send with
+                    | None -> None
+                    | Some (signal, port) ->
+                      Some
+                        (fun _ctx _event ->
+                           services.Umlrt.Capsule.send ~port
+                             (Statechart.Event.make signal))
+                  in
+                  Statechart.Machine.add_transition m ~src:st.Ast.st_name
+                    ~dst:tr.Ast.tr_target ~trigger:tr.Ast.tr_trigger ?action ())
+               st.Ast.st_transitions;
+             List.iter add_transitions st.Ast.st_children
+           in
+           List.iter add_transitions c.Ast.c_states;
+           let instance = ref None in
+           { Umlrt.Capsule.on_start =
+               (fun () ->
+                  instance := Some (Statechart.Instance.start m ());
+                  List.iter
+                    (fun (signal, period) ->
+                       services.Umlrt.Capsule.timer_every period
+                         (Statechart.Event.make signal))
+                    c.Ast.c_timers);
+             on_event =
+               (fun ~port:_ event ->
+                  match !instance with
+                  | Some i -> Statechart.Instance.handle i event
+                  | None -> false);
+             configuration =
+               (fun () ->
+                  match !instance with
+                  | Some i -> Statechart.Instance.configuration i
+                  | None -> []) })
+  in
+  Umlrt.Capsule.create ?behavior ~ports c.Ast.c_name
+
+let elaborate ?signal_latency checked =
+  if not (Typecheck.is_ok checked) then
+    fail "model has errors:\n%s" (String.concat "\n" checked.Typecheck.errors);
+  let model = checked.Typecheck.model in
+  let sys =
+    match model.Ast.m_system with
+    | Some s -> s
+    | None -> fail "model %S has no system block" model.Ast.m_name
+  in
+  let capsule_instances =
+    List.filter_map
+      (function
+        | Ast.Icapsule { iname; iclass; _ } ->
+          let decl =
+            List.find_opt
+              (fun (c : Ast.capsule_decl) -> String.equal c.Ast.c_name iclass)
+              model.Ast.m_capsules
+          in
+          (match decl with
+           | Some d -> Some (iname, d)
+           | None -> fail "unknown capsule class %S" iclass)
+        | Ast.Istreamer _ | Ast.Irelay _ -> None)
+      sys.Ast.sys_instances
+  in
+  let streamer_instances =
+    List.filter_map
+      (function
+        | Ast.Istreamer { iname; iclass; _ } ->
+          let decl =
+            List.find_opt
+              (fun (s : Ast.streamer_decl) -> String.equal s.Ast.s_name iclass)
+              model.Ast.m_streamers
+          in
+          (match decl with
+           | Some d -> Some (iname, d)
+           | None -> fail "unknown streamer class %S" iclass)
+        | Ast.Icapsule _ | Ast.Irelay _ -> None)
+      sys.Ast.sys_instances
+  in
+  let relay_instances =
+    List.filter_map
+      (function
+        | Ast.Irelay { iname; itype; ifanout; _ } ->
+          Some (iname, Typecheck.flow_type_of checked itype, ifanout)
+        | Ast.Icapsule _ | Ast.Istreamer _ -> None)
+      sys.Ast.sys_instances
+  in
+  let links =
+    List.filter_map
+      (function
+        | Ast.Clink { cl_streamer; cl_capsule; _ } -> Some (cl_streamer, cl_capsule)
+        | Ast.Cflow _ -> None)
+      sys.Ast.sys_connections
+  in
+  (* Root capsule: capsule instances as parts, one border relay port per
+     SPort link. *)
+  let border_name si sp = Printf.sprintf "l_%s_%s" si sp in
+  let root =
+    if capsule_instances = [] && links = [] then None
+    else begin
+      let borders =
+        List.map
+          (fun ((si, sp), (ci, cp)) ->
+             let cdecl =
+               match List.assoc_opt ci capsule_instances with
+               | Some d -> d
+               | None -> fail "link: unknown capsule instance %S" ci
+             in
+             let _, proto_name, conjugated, _ =
+               match
+                 List.find_opt (fun (n, _, _, _) -> String.equal n cp)
+                   cdecl.Ast.c_ports
+               with
+               | Some p -> p
+               | None -> fail "link: capsule %S has no port %S" ci cp
+             in
+             let proto =
+               match Typecheck.protocol_of checked proto_name with
+               | Some p -> p
+               | None -> fail "link: unresolved protocol %S" proto_name
+             in
+             Umlrt.Capsule.port ~conjugated ~kind:Umlrt.Capsule.Relay
+               (border_name si sp) proto)
+          links
+      in
+      let connectors =
+        List.map
+          (fun ((si, sp), (ci, cp)) ->
+             Umlrt.Capsule.connector
+               ~from_:(Umlrt.Capsule.border (border_name si sp))
+               ~to_:(Umlrt.Capsule.part_port ci cp))
+          links
+      in
+      let parts =
+        List.map (fun (iname, decl) -> (iname, capsule_class_of checked decl))
+          capsule_instances
+      in
+      Some (Umlrt.Capsule.create ~ports:borders ~parts ~connectors "system")
+    end
+  in
+  let engine = Hybrid.Engine.create ?signal_latency ?root () in
+  List.iter
+    (fun (iname, decl) ->
+       Hybrid.Engine.add_streamer engine ~role:iname (streamer_of_decl checked decl))
+    streamer_instances;
+  List.iter
+    (fun (iname, dtype, fanout) ->
+       Hybrid.Engine.add_relay engine ~name:iname dtype ~fanout)
+    relay_instances;
+  (* Capsule relay DPorts become junctions named "<inst>.<dport>". *)
+  List.iter
+    (fun (iname, (decl : Ast.capsule_decl)) ->
+       List.iter
+         (fun (d : Ast.dport_decl) ->
+            Hybrid.Engine.add_junction engine
+              ~name:(Printf.sprintf "%s.%s" iname d.Ast.dp_name)
+              (Typecheck.flow_type_of checked d.Ast.dp_type))
+         decl.Ast.c_dports)
+    capsule_instances;
+  let resolve_flow_endpoint (inst, port) ~as_source =
+    if List.mem_assoc inst capsule_instances then
+      (Printf.sprintf "%s.%s" inst port, (if as_source then "out1" else "in"))
+    else (inst, port)
+  in
+  List.iter
+    (function
+      | Ast.Cflow { cf_src; cf_dst; _ } ->
+        let src = resolve_flow_endpoint cf_src ~as_source:true in
+        let dst = resolve_flow_endpoint cf_dst ~as_source:false in
+        (match Hybrid.Engine.connect_flow engine ~src ~dst with
+         | Ok () -> ()
+         | Error e -> fail "flow: %s" e)
+      | Ast.Clink _ -> ())
+    sys.Ast.sys_connections;
+  List.iter
+    (fun ((si, sp), _) ->
+       match
+         Hybrid.Engine.link_sport engine ~role:si ~sport:sp
+           ~border_port:(border_name si sp)
+       with
+       | Ok () -> ()
+       | Error e -> fail "link: %s" e)
+    links;
+  { engine;
+    capsule_paths =
+      List.map (fun (iname, _) -> (iname, "system/" ^ iname)) capsule_instances;
+    streamer_roles = List.map fst streamer_instances }

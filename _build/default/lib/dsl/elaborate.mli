@@ -1,0 +1,28 @@
+(** Elaboration: a checked .umh model becomes a live {!Hybrid.Engine}.
+
+    - streamer declarations become {!Hybrid.Streamer.leaf} values whose
+      solver evaluates the model's equations with {!Expr.eval};
+    - capsule declarations become {!Umlrt.Capsule} classes whose
+      behaviour is the declared statechart (send actions wired to ports);
+    - the system block becomes a synthesized root capsule containing the
+      capsule instances, with one border relay port per SPort link;
+    - flows, relays and capsule relay-DPorts (as junctions) build the
+      dataflow graph. *)
+
+exception Elab_error of string
+
+type elaborated = {
+  engine : Hybrid.Engine.t;
+  capsule_paths : (string * string) list;
+    (** capsule instance name -> runtime path *)
+  streamer_roles : string list;
+}
+
+val elaborate :
+  ?signal_latency:Rt.Channel.latency_model -> Typecheck.checked -> elaborated
+(** Raises {!Elab_error} when the model has type errors or when an
+    engine-level operation rejects a construct. *)
+
+val streamer_of_decl :
+  Typecheck.checked -> Ast.streamer_decl -> Hybrid.Streamer.t
+(** Build one streamer definition (exposed for tests and codegen). *)

@@ -1,0 +1,112 @@
+type t =
+  | Num of float
+  | Var of string
+  | Payload
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+  | Call of string * t list
+
+let functions =
+  [ ("sin", 1); ("cos", 1); ("tan", 1); ("exp", 1); ("log", 1); ("sqrt", 1);
+    ("abs", 1); ("sign", 1); ("min", 2); ("max", 2) ]
+
+type scope = {
+  var : string -> float option;
+  payload : float option;
+}
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let apply name args =
+  match (name, args) with
+  | "sin", [ x ] -> sin x
+  | "cos", [ x ] -> cos x
+  | "tan", [ x ] -> tan x
+  | "exp", [ x ] -> exp x
+  | "log", [ x ] -> log x
+  | "sqrt", [ x ] -> sqrt x
+  | "abs", [ x ] -> Float.abs x
+  | "sign", [ x ] -> if x > 0. then 1. else if x < 0. then -1. else 0.
+  | "min", [ a; b ] -> Float.min a b
+  | "max", [ a; b ] -> Float.max a b
+  | _, _ -> err "unknown function %s/%d" name (List.length args)
+
+let rec eval scope = function
+  | Num x -> x
+  | Var name ->
+    (match scope.var name with
+     | Some v -> v
+     | None -> err "unknown identifier %S" name)
+  | Payload ->
+    (match scope.payload with
+     | Some v -> v
+     | None -> err "payload used outside a signal handler")
+  | Neg e -> -.eval scope e
+  | Add (a, b) -> eval scope a +. eval scope b
+  | Sub (a, b) -> eval scope a -. eval scope b
+  | Mul (a, b) -> eval scope a *. eval scope b
+  | Div (a, b) -> eval scope a /. eval scope b
+  | Pow (a, b) -> eval scope a ** eval scope b
+  | Call (name, args) -> apply name (List.map (eval scope) args)
+
+let free_vars e =
+  let rec collect acc = function
+    | Num _ | Payload -> acc
+    | Var name -> name :: acc
+    | Neg a -> collect acc a
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Pow (a, b) ->
+      collect (collect acc a) b
+    | Call (_, args) -> List.fold_left collect acc args
+  in
+  List.sort_uniq String.compare (collect [] e)
+
+let rec uses_payload = function
+  | Payload -> true
+  | Num _ | Var _ -> false
+  | Neg a -> uses_payload a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Pow (a, b) ->
+    uses_payload a || uses_payload b
+  | Call (_, args) -> List.exists uses_payload args
+
+(* Shortest decimal form that parses back to exactly the same float, so
+   pretty-printing never changes a model's semantics. *)
+let float_to_string x =
+  let short = Printf.sprintf "%.12g" x in
+  if Float.equal (float_of_string short) x then short
+  else Printf.sprintf "%.17g" x
+
+(* Precedence climbing for printing: higher binds tighter. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Num x -> Format.pp_print_string ppf (float_to_string x)
+  | Var name -> Format.pp_print_string ppf name
+  | Payload -> Format.pp_print_string ppf "payload"
+  | Neg a -> paren 3 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 4) a)
+  | Add (a, b) ->
+    paren 1 (fun ppf -> Format.fprintf ppf "%a + %a" (pp_prec 1) a (pp_prec 2) b)
+  | Sub (a, b) ->
+    paren 1 (fun ppf -> Format.fprintf ppf "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) ->
+    paren 2 (fun ppf -> Format.fprintf ppf "%a * %a" (pp_prec 2) a (pp_prec 3) b)
+  | Div (a, b) ->
+    paren 2 (fun ppf -> Format.fprintf ppf "%a / %a" (pp_prec 2) a (pp_prec 3) b)
+  | Pow (a, b) ->
+    paren 4 (fun ppf -> Format.fprintf ppf "%a ^ %a" (pp_prec 5) a (pp_prec 4) b)
+  | Call (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (pp_prec 0))
+      args
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,38 @@
+(** Arithmetic expressions of the .umh modeling language — used for
+    equations, guards, outputs and strategy assignments. *)
+
+type t =
+  | Num of float
+  | Var of string          (** state variable, parameter, input or [t] *)
+  | Payload               (** the numeric payload of the triggering signal *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+  | Call of string * t list  (** sin, cos, tan, exp, log, sqrt, abs, min, max, sign *)
+
+val functions : (string * int) list
+(** Supported function names with arity. *)
+
+type scope = {
+  var : string -> float option;   (** resolve an identifier *)
+  payload : float option;         (** [None] outside strategy handlers *)
+}
+
+exception Eval_error of string
+
+val eval : scope -> t -> float
+(** Raises {!Eval_error} on unknown identifiers/functions or payload use
+    without a payload. *)
+
+val free_vars : t -> string list
+(** Identifiers referenced, sorted, without duplicates. *)
+
+val uses_payload : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Re-printable concrete syntax (fully parenthesized where needed). *)
+
+val to_string : t -> string

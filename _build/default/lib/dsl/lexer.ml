@@ -1,0 +1,130 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LBRACE | RBRACE
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LEQ
+  | GEQ
+  | SEMI | COLON | COMMA | DOT
+  | ARROW
+  | LINKOP
+  | EQUALS
+  | PLUS | MINUS | STAR | SLASH | CARET
+  | PRIME
+  | EOF
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of string * int * int
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LEQ -> "'<='"
+  | GEQ -> "'>='"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | ARROW -> "'->'"
+  | LINKOP -> "'--'"
+  | EQUALS -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | CARET -> "'^'"
+  | PRIME -> "\"'\""
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let pos = ref 0 in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  let advance () =
+    (if input.[!pos] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some input.[!pos + k] else None in
+  while !pos < n do
+    let c = input.[!pos] in
+    let l = !line and co = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && input.[!pos] <> '\n' do advance () done
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do advance () done;
+      emit (IDENT (String.sub input start (!pos - start))) l co
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !pos in
+      while !pos < n && (is_digit input.[!pos] || input.[!pos] = '.') do advance () done;
+      (* exponent *)
+      if !pos < n && (input.[!pos] = 'e' || input.[!pos] = 'E') then begin
+        advance ();
+        if !pos < n && (input.[!pos] = '+' || input.[!pos] = '-') then advance ();
+        while !pos < n && is_digit input.[!pos] do advance () done
+      end;
+      let text = String.sub input start (!pos - start) in
+      match float_of_string_opt text with
+      | Some f -> emit (NUMBER f) l co
+      | None -> raise (Lex_error (Printf.sprintf "bad number %S" text, l, co))
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok l co in
+      let one tok = advance (); emit tok l co in
+      match (c, peek 1) with
+      | '-', Some '>' -> two ARROW
+      | '-', Some '-' -> two LINKOP
+      | '<', Some '=' -> two LEQ
+      | '>', Some '=' -> two GEQ
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | ',', _ -> one COMMA
+      | '.', _ -> one DOT
+      | '=', _ -> one EQUALS
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '^', _ -> one CARET
+      | '\'', _ -> one PRIME
+      | _, _ ->
+        raise (Lex_error (Printf.sprintf "unexpected character %C" c, l, co))
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !tokens

@@ -1,0 +1,32 @@
+(** Hand-written lexer for the .umh language. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LBRACE | RBRACE
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LEQ         (** <= *)
+  | GEQ         (** >= *)
+  | SEMI | COLON | COMMA | DOT
+  | ARROW       (** -> *)
+  | LINKOP      (** -- *)
+  | EQUALS
+  | PLUS | MINUS | STAR | SLASH | CARET
+  | PRIME       (** ' *)
+  | EOF
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> located list
+(** Whole-input tokenization; [//] comments run to end of line. The
+    result always ends with an [EOF] token. *)
+
+val token_to_string : token -> string

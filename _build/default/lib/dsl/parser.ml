@@ -1,0 +1,710 @@
+exception Parse_error of string * int * int
+
+type state = {
+  tokens : Lexer.located array;
+  mutable index : int;
+}
+
+let current st = st.tokens.(st.index)
+
+let fail st fmt =
+  let tok = current st in
+  Printf.ksprintf
+    (fun msg -> raise (Parse_error (msg, tok.Lexer.line, tok.Lexer.col)))
+    fmt
+
+let pos st =
+  let tok = current st in
+  { Ast.line = tok.Lexer.line; col = tok.Lexer.col }
+
+let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let peek st = (current st).Lexer.token
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    fail st "expected %s but found %s" (Lexer.token_to_string token)
+      (Lexer.token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | other -> fail st "expected an identifier, found %s" (Lexer.token_to_string other)
+
+let keyword st kw =
+  match peek st with
+  | Lexer.IDENT name when String.equal name kw -> advance st
+  | other ->
+    fail st "expected keyword %S, found %s" kw (Lexer.token_to_string other)
+
+let at_keyword st kw =
+  match peek st with
+  | Lexer.IDENT name -> String.equal name kw
+  | Lexer.NUMBER _ | Lexer.LBRACE | Lexer.RBRACE | Lexer.LPAREN | Lexer.RPAREN
+  | Lexer.LBRACKET | Lexer.RBRACKET | Lexer.LEQ | Lexer.GEQ
+  | Lexer.SEMI | Lexer.COLON | Lexer.COMMA | Lexer.DOT | Lexer.ARROW
+  | Lexer.LINKOP | Lexer.EQUALS | Lexer.PLUS | Lexer.MINUS | Lexer.STAR
+  | Lexer.SLASH | Lexer.CARET | Lexer.PRIME | Lexer.EOF -> false
+
+let rec number st =
+  match peek st with
+  | Lexer.NUMBER f ->
+    advance st;
+    f
+  | Lexer.MINUS ->
+    advance st;
+    -.number st
+  | other -> fail st "expected a number, found %s" (Lexer.token_to_string other)
+
+(* ---------- expressions ---------- *)
+
+let rec parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Expr.Add (lhs, parse_multiplicative st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Expr.Sub (lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Expr.Mul (lhs, parse_unary st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Expr.Div (lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+(* Standard precedence: unary minus binds looser than '^'
+   (so [-x ^ 2] is [-(x ^ 2)]), while an exponent may itself carry a
+   unary minus ([x ^ -2]). *)
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    Expr.Neg (parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_primary st in
+  match peek st with
+  | Lexer.CARET ->
+    advance st;
+    (* right-associative *)
+    Expr.Pow (base, parse_unary st)
+  | _ -> base
+
+and parse_primary st =
+  match peek st with
+  | Lexer.NUMBER f ->
+    advance st;
+    Expr.Num f
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_additive st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT "payload" ->
+    advance st;
+    Expr.Payload
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let rec args acc =
+        let a = parse_additive st in
+        match peek st with
+        | Lexer.COMMA ->
+          advance st;
+          args (a :: acc)
+        | _ -> List.rev (a :: acc)
+      in
+      let arguments = if peek st = Lexer.RPAREN then [] else args [] in
+      expect st Lexer.RPAREN;
+      Expr.Call (name, arguments)
+    end
+    else Expr.Var name
+  | other -> fail st "expected an expression, found %s" (Lexer.token_to_string other)
+
+let parse_expression st = parse_additive st
+
+(* ---------- flow types & protocols ---------- *)
+
+let parse_base_type st =
+  match ident st with
+  | "float" -> Ast.TFloat
+  | "int" -> Ast.TInt
+  | "bool" -> Ast.TBool
+  | "vec" -> Ast.TVec (int_of_float (number st))
+  | other -> fail st "unknown base type %S" other
+
+let parse_flowtype st =
+  let p = pos st in
+  keyword st "flowtype";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let rec fields acc =
+    if peek st = Lexer.RBRACE then List.rev acc
+    else begin
+      let fname = ident st in
+      expect st Lexer.COLON;
+      let ty = parse_base_type st in
+      (match peek st with
+       | Lexer.SEMI | Lexer.COMMA -> advance st
+       | _ -> ());
+      fields ((fname, ty) :: acc)
+    end
+  in
+  let fs = fields [] in
+  expect st Lexer.RBRACE;
+  { Ast.ft_name = name; ft_fields = fs; ft_pos = p }
+
+let parse_signal st =
+  let name = ident st in
+  let payload =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let ty = ident st in
+      expect st Lexer.RPAREN;
+      Some ty
+    end
+    else None
+  in
+  { Ast.sig_name = name; sig_payload = payload }
+
+let parse_protocol st =
+  let p = pos st in
+  keyword st "protocol";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let incoming = ref [] in
+  let outgoing = ref [] in
+  while peek st <> Lexer.RBRACE do
+    let dir = ident st in
+    let bucket =
+      match dir with
+      | "in" -> incoming
+      | "out" -> outgoing
+      | other -> fail st "expected 'in' or 'out' in protocol, found %S" other
+    in
+    let rec signals () =
+      bucket := parse_signal st :: !bucket;
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        signals ()
+      end
+    in
+    signals ();
+    expect st Lexer.SEMI
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.proto_name = name; proto_in = List.rev !incoming;
+    proto_out = List.rev !outgoing; proto_pos = p }
+
+(* ---------- streamers ---------- *)
+
+let parse_dport st =
+  let p = pos st in
+  keyword st "dport";
+  let dir =
+    match ident st with
+    | "in" -> Some Ast.Din
+    | "out" -> Some Ast.Dout
+    | "relay" -> None
+    | other -> fail st "expected in/out/relay after dport, found %S" other
+  in
+  let name = ident st in
+  let ty =
+    if peek st = Lexer.COLON then begin
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  expect st Lexer.SEMI;
+  { Ast.dp_name = name; dp_dir = dir; dp_type = ty; dp_pos = p }
+
+let parse_sport st =
+  let p = pos st in
+  keyword st "sport";
+  let name = ident st in
+  expect st Lexer.COLON;
+  let proto = ident st in
+  let conjugated = at_keyword st "conjugated" in
+  if conjugated then advance st;
+  expect st Lexer.SEMI;
+  { Ast.sp_name = name; sp_proto = proto; sp_conjugated = conjugated; sp_pos = p }
+
+let const_value st e =
+  (* Parameters and initial states must be constant. *)
+  match Expr.free_vars e with
+  | [] when not (Expr.uses_payload e) ->
+    (try Expr.eval { Expr.var = (fun _ -> None); payload = None } e
+     with Expr.Eval_error msg -> fail st "bad constant: %s" msg)
+  | _ -> fail st "expected a constant expression"
+
+let parse_streamer st =
+  let p = pos st in
+  keyword st "streamer";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let rate = ref None in
+  let method_ = ref None in
+  let dports = ref [] in
+  let sports = ref [] in
+  let params = ref [] in
+  let states = ref [] in
+  let eqs = ref [] in
+  let outputs = ref [] in
+  let guards = ref [] in
+  let strategies = ref [] in
+  let contains = ref [] in
+  let flows = ref [] in
+  let parse_internal_endpoint () =
+    let owner = ident st in
+    expect st Lexer.DOT;
+    let port = ident st in
+    if String.equal owner "self" then { Ast.ie_child = None; ie_port = port }
+    else { Ast.ie_child = Some owner; ie_port = port }
+  in
+  while peek st <> Lexer.RBRACE do
+    match peek st with
+    | Lexer.IDENT "rate" ->
+      advance st;
+      rate := Some (number st);
+      expect st Lexer.SEMI
+    | Lexer.IDENT "method" ->
+      advance st;
+      (match ident st with
+       | "adaptive" -> method_ := Some Ast.Madaptive
+       | "implicit" ->
+         let step = number st in
+         method_ := Some (Ast.Mimplicit step)
+       | scheme ->
+         let step = number st in
+         method_ := Some (Ast.Mfixed (scheme, step)));
+      expect st Lexer.SEMI
+    | Lexer.IDENT "dport" -> dports := parse_dport st :: !dports
+    | Lexer.IDENT "sport" -> sports := parse_sport st :: !sports
+    | Lexer.IDENT "param" ->
+      advance st;
+      let pname = ident st in
+      expect st Lexer.EQUALS;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      params := (pname, const_value st e) :: !params
+    | Lexer.IDENT "init" ->
+      advance st;
+      let vname = ident st in
+      expect st Lexer.EQUALS;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      states := (vname, const_value st e) :: !states
+    | Lexer.IDENT "eq" ->
+      advance st;
+      let vname = ident st in
+      expect st Lexer.PRIME;
+      expect st Lexer.EQUALS;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      eqs := (vname, e) :: !eqs
+    | Lexer.IDENT "output" ->
+      advance st;
+      let oname = ident st in
+      expect st Lexer.EQUALS;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      outputs := (oname, e) :: !outputs
+    | Lexer.IDENT "guard" ->
+      advance st;
+      let gp = pos st in
+      let gname = ident st in
+      expect st Lexer.COLON;
+      let dir =
+        match ident st with
+        | "rising" -> Ast.Grising
+        | "falling" -> Ast.Gfalling
+        | "both" -> Ast.Gboth
+        | other -> fail st "expected rising/falling/both, found %S" other
+      in
+      let e = parse_expression st in
+      keyword st "emits";
+      let signal = ident st in
+      let payload =
+        if peek st = Lexer.LPAREN then begin
+          advance st;
+          let pe = parse_expression st in
+          expect st Lexer.RPAREN;
+          Some pe
+        end
+        else None
+      in
+      keyword st "via";
+      let sport = ident st in
+      expect st Lexer.SEMI;
+      guards :=
+        { Ast.g_name = gname; g_dir = dir; g_expr = e; g_signal = signal;
+          g_payload = payload; g_sport = sport; g_pos = gp }
+        :: !guards
+    | Lexer.IDENT "contains" ->
+      advance st;
+      let child = ident st in
+      expect st Lexer.COLON;
+      let cls = ident st in
+      expect st Lexer.SEMI;
+      contains := (child, cls) :: !contains
+    | Lexer.IDENT "flow" ->
+      advance st;
+      let src = parse_internal_endpoint () in
+      expect st Lexer.ARROW;
+      let dst = parse_internal_endpoint () in
+      expect st Lexer.SEMI;
+      flows := (src, dst) :: !flows
+    | Lexer.IDENT "when" ->
+      advance st;
+      let sp = pos st in
+      let signal = ident st in
+      keyword st "set";
+      let param = ident st in
+      expect st Lexer.EQUALS;
+      let e = parse_expression st in
+      expect st Lexer.SEMI;
+      strategies :=
+        { Ast.st_signal = signal; st_param = param; st_expr = e; st_pos = sp }
+        :: !strategies
+    | other -> fail st "unexpected %s in streamer body" (Lexer.token_to_string other)
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.s_name = name; s_rate = !rate; s_method = !method_;
+    s_dports = List.rev !dports; s_sports = List.rev !sports;
+    s_params = List.rev !params; s_states = List.rev !states;
+    s_eqs = List.rev !eqs; s_outputs = List.rev !outputs;
+    s_guards = List.rev !guards; s_strategies = List.rev !strategies;
+    s_contains = List.rev !contains; s_flows = List.rev !flows;
+    s_pos = p }
+
+(* ---------- capsules ---------- *)
+
+let rec parse_state st =
+  let p = pos st in
+  keyword st "state";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let initial = ref None in
+  let children = ref [] in
+  let transitions = ref [] in
+  while peek st <> Lexer.RBRACE do
+    match peek st with
+    | Lexer.IDENT "initial" ->
+      advance st;
+      initial := Some (ident st);
+      expect st Lexer.SEMI
+    | Lexer.IDENT "state" -> children := parse_state st :: !children
+    | Lexer.IDENT "on" ->
+      advance st;
+      let tp = pos st in
+      let trigger = ident st in
+      expect st Lexer.ARROW;
+      let target = ident st in
+      let send =
+        if at_keyword st "send" then begin
+          advance st;
+          let signal = ident st in
+          keyword st "via";
+          let port = ident st in
+          Some (signal, port)
+        end
+        else None
+      in
+      expect st Lexer.SEMI;
+      transitions :=
+        { Ast.tr_trigger = trigger; tr_target = target; tr_send = send; tr_pos = tp }
+        :: !transitions
+    | other -> fail st "unexpected %s in state body" (Lexer.token_to_string other)
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.st_name = name; st_initial = !initial;
+    st_children = List.rev !children; st_transitions = List.rev !transitions;
+    st_pos = p }
+
+let parse_capsule st =
+  let p = pos st in
+  keyword st "capsule";
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let ports = ref [] in
+  let dports = ref [] in
+  let timers = ref [] in
+  let initial = ref None in
+  let states = ref [] in
+  while peek st <> Lexer.RBRACE do
+    match peek st with
+    | Lexer.IDENT "timer" ->
+      advance st;
+      let signal = ident st in
+      expect st Lexer.EQUALS;
+      let period = number st in
+      expect st Lexer.SEMI;
+      timers := (signal, period) :: !timers
+    | Lexer.IDENT "port" ->
+      advance st;
+      let pname = ident st in
+      expect st Lexer.COLON;
+      let proto = ident st in
+      let conjugated = at_keyword st "conjugated" in
+      if conjugated then advance st;
+      let relay = at_keyword st "relay" in
+      if relay then advance st;
+      expect st Lexer.SEMI;
+      ports := (pname, proto, conjugated, relay) :: !ports
+    | Lexer.IDENT "dport" -> dports := parse_dport st :: !dports
+    | Lexer.IDENT "statemachine" ->
+      advance st;
+      expect st Lexer.LBRACE;
+      while peek st <> Lexer.RBRACE do
+        match peek st with
+        | Lexer.IDENT "initial" ->
+          advance st;
+          initial := Some (ident st);
+          expect st Lexer.SEMI
+        | Lexer.IDENT "state" -> states := parse_state st :: !states
+        | other ->
+          fail st "unexpected %s in statemachine" (Lexer.token_to_string other)
+      done;
+      expect st Lexer.RBRACE
+    | other -> fail st "unexpected %s in capsule body" (Lexer.token_to_string other)
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.c_name = name; c_ports = List.rev !ports; c_dports = List.rev !dports;
+    c_timers = List.rev !timers; c_initial = !initial;
+    c_states = List.rev !states; c_pos = p }
+
+(* ---------- system ---------- *)
+
+let parse_qualified st =
+  let a = ident st in
+  expect st Lexer.DOT;
+  let b = ident st in
+  (a, b)
+
+let parse_system st =
+  let p = pos st in
+  keyword st "system";
+  expect st Lexer.LBRACE;
+  let instances = ref [] in
+  let connections = ref [] in
+  while peek st <> Lexer.RBRACE do
+    match peek st with
+    | Lexer.IDENT "capsule" ->
+      advance st;
+      let ip = pos st in
+      let iname = ident st in
+      expect st Lexer.COLON;
+      let iclass = ident st in
+      expect st Lexer.SEMI;
+      instances := Ast.Icapsule { iname; iclass; ipos = ip } :: !instances
+    | Lexer.IDENT "streamer" ->
+      advance st;
+      let ip = pos st in
+      let iname = ident st in
+      expect st Lexer.COLON;
+      let iclass = ident st in
+      let container =
+        if at_keyword st "in" then begin
+          advance st;
+          Some (ident st)
+        end
+        else None
+      in
+      expect st Lexer.SEMI;
+      instances :=
+        Ast.Istreamer { iname; iclass; icontainer = container; ipos = ip }
+        :: !instances
+    | Lexer.IDENT "relay" ->
+      advance st;
+      let ip = pos st in
+      let iname = ident st in
+      let ty =
+        if peek st = Lexer.COLON then begin
+          advance st;
+          Some (ident st)
+        end
+        else None
+      in
+      keyword st "fanout";
+      let fanout = int_of_float (number st) in
+      expect st Lexer.SEMI;
+      instances := Ast.Irelay { iname; itype = ty; ifanout = fanout; ipos = ip }
+                   :: !instances
+    | Lexer.IDENT "flow" ->
+      advance st;
+      let cp = pos st in
+      let src = parse_qualified st in
+      expect st Lexer.ARROW;
+      let dst = parse_qualified st in
+      expect st Lexer.SEMI;
+      connections := Ast.Cflow { cf_src = src; cf_dst = dst; cf_pos = cp }
+                     :: !connections
+    | Lexer.IDENT "link" ->
+      advance st;
+      let cp = pos st in
+      let a = parse_qualified st in
+      expect st Lexer.LINKOP;
+      let b = parse_qualified st in
+      expect st Lexer.SEMI;
+      connections := Ast.Clink { cl_streamer = a; cl_capsule = b; cl_pos = cp }
+                     :: !connections
+    | other -> fail st "unexpected %s in system body" (Lexer.token_to_string other)
+  done;
+  expect st Lexer.RBRACE;
+  { Ast.sys_instances = List.rev !instances;
+    sys_connections = List.rev !connections; sys_pos = p }
+
+let parse input =
+  let st = { tokens = Array.of_list (Lexer.tokenize input); index = 0 } in
+  keyword st "model";
+  let name = ident st in
+  let flowtypes = ref [] in
+  let protocols = ref [] in
+  let streamers = ref [] in
+  let capsules = ref [] in
+  let system = ref None in
+  while peek st <> Lexer.EOF do
+    match peek st with
+    | Lexer.IDENT "flowtype" -> flowtypes := parse_flowtype st :: !flowtypes
+    | Lexer.IDENT "protocol" -> protocols := parse_protocol st :: !protocols
+    | Lexer.IDENT "streamer" -> streamers := parse_streamer st :: !streamers
+    | Lexer.IDENT "capsule" -> capsules := parse_capsule st :: !capsules
+    | Lexer.IDENT "system" ->
+      if !system <> None then fail st "duplicate system block";
+      system := Some (parse_system st)
+    | other -> fail st "unexpected %s at top level" (Lexer.token_to_string other)
+  done;
+  { Ast.m_name = name; m_flowtypes = List.rev !flowtypes;
+    m_protocols = List.rev !protocols; m_streamers = List.rev !streamers;
+    m_capsules = List.rev !capsules; m_system = !system }
+
+let parse_expr input =
+  let st = { tokens = Array.of_list (Lexer.tokenize input); index = 0 } in
+  let e = parse_expression st in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | other -> fail st "trailing %s after expression" (Lexer.token_to_string other));
+  e
+
+(* ---------- textual STL (for umh simulate --verify) ---------- *)
+
+let stl_scope v =
+  { Expr.var = (fun name -> if String.equal name "x" then Some v else None);
+    payload = None }
+
+let parse_stl_atom st =
+  let e1 = parse_expression st in
+  let finish op_name rho =
+    let label =
+      Format.asprintf "%a %s" Expr.pp e1 op_name
+    in
+    (label, rho)
+  in
+  match peek st with
+  | Lexer.LEQ ->
+    advance st;
+    let e2 = parse_expression st in
+    let label, rho =
+      finish
+        (Format.asprintf "<= %a" Expr.pp e2)
+        (fun v -> Expr.eval (stl_scope v) e2 -. Expr.eval (stl_scope v) e1)
+    in
+    Sigtrace.Stl.Pred (label, rho)
+  | Lexer.GEQ ->
+    advance st;
+    let e2 = parse_expression st in
+    let label, rho =
+      finish
+        (Format.asprintf ">= %a" Expr.pp e2)
+        (fun v -> Expr.eval (stl_scope v) e1 -. Expr.eval (stl_scope v) e2)
+    in
+    Sigtrace.Stl.Pred (label, rho)
+  | other -> fail st "expected '<=' or '>=' in STL atom, found %s"
+               (Lexer.token_to_string other)
+
+let rec parse_stl_prefix st =
+  match peek st with
+  | Lexer.IDENT "not" ->
+    advance st;
+    Sigtrace.Stl.Not (parse_stl_prefix st)
+  | Lexer.IDENT (("always" | "eventually") as which) ->
+    advance st;
+    expect st Lexer.LBRACKET;
+    let a = number st in
+    expect st Lexer.COMMA;
+    let b = number st in
+    expect st Lexer.RBRACKET;
+    let inner = parse_stl_prefix st in
+    if String.equal which "always" then Sigtrace.Stl.Always (a, b, inner)
+    else Sigtrace.Stl.Eventually (a, b, inner)
+  | Lexer.LPAREN ->
+    (* Could be a parenthesized formula or a parenthesized expression that
+       starts an atom — try the formula first, backtrack on failure. *)
+    let saved = st.index in
+    (try
+       advance st;
+       let f = parse_stl_formula st in
+       expect st Lexer.RPAREN;
+       f
+     with Parse_error _ ->
+       st.index <- saved;
+       parse_stl_atom st)
+  | _ -> parse_stl_atom st
+
+and parse_stl_conj st =
+  let lhs = parse_stl_prefix st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.IDENT "and" ->
+      advance st;
+      loop (Sigtrace.Stl.And (lhs, parse_stl_prefix st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_stl_disj st =
+  let lhs = parse_stl_conj st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.IDENT "or" ->
+      advance st;
+      loop (Sigtrace.Stl.Or (lhs, parse_stl_conj st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_stl_formula st =
+  let lhs = parse_stl_disj st in
+  match peek st with
+  | Lexer.ARROW ->
+    advance st;
+    Sigtrace.Stl.Implies (lhs, parse_stl_disj st)
+  | _ -> lhs
+
+let parse_stl input =
+  let st = { tokens = Array.of_list (Lexer.tokenize input); index = 0 } in
+  let f = parse_stl_formula st in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | other -> fail st "trailing %s after STL formula" (Lexer.token_to_string other));
+  f

@@ -1,0 +1,56 @@
+(** Recursive-descent parser for the .umh modeling language.
+
+    Grammar sketch (contextual keywords, [//] comments):
+    {v
+    model Name
+    flowtype T { field: float; ... }
+    protocol P { in sig1, sig2(T); out sig3; }
+    streamer S {
+      rate 0.05;  method rk4 0.001;
+      dport in u : T;  dport out y;
+      sport ctl : P conjugated;
+      param k = 1.0;  init x = 0.0;
+      eq x' = -k * x + u;
+      output y = x;
+      guard hi : rising (x - 1.0) emits too_hot via ctl;
+      when heater_on set k = payload;
+    }
+    capsule C {
+      port p : P;
+      dport relay t : T;
+      statemachine {
+        initial Idle;
+        state Idle { on too_cold -> Heating send heater_on via p; }
+        state Heating { ... }
+      }
+    }
+    system {
+      capsule ctl : C;  streamer room : S in ctl;
+      relay r : T fanout 2;
+      flow room.y -> r.in;  link room.ctl -- ctl.p;
+    }
+    v} *)
+
+exception Parse_error of string * int * int
+(** message, line, column *)
+
+val parse : string -> Ast.model
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_expr : string -> Expr.t
+(** Parse a standalone expression (for tests and the CLI). *)
+
+val parse_stl : string -> Sigtrace.Stl.formula
+(** Parse a textual STL requirement over the traced signal [x], e.g.
+    ["always[0,10] (x <= 21.5 and x >= 18.5)"] or
+    ["always[30,160] eventually[0,20] x >= 24.5"]. Grammar:
+    {v
+    formula  := disj ('->' disj)?
+    disj     := conj ('or' conj)*
+    conj     := prefix ('and' prefix)*
+    prefix   := 'not' prefix
+              | ('always'|'eventually') '[' num ',' num ']' prefix
+              | '(' formula ')'
+              | expr ('<='|'>=') expr       -- atoms; 'x' is the signal
+    v}
+    Used by [umh simulate --verify]. *)

@@ -1,0 +1,184 @@
+let base_name = function
+  | Ast.TFloat -> "float"
+  | Ast.TInt -> "int"
+  | Ast.TBool -> "bool"
+  | Ast.TVec n -> Printf.sprintf "vec %d" n
+
+let pp_flowtype ppf (d : Ast.flowtype_decl) =
+  Format.fprintf ppf "flowtype %s {@;<1 2>@[<v>" d.Ast.ft_name;
+  List.iter
+    (fun (n, b) -> Format.fprintf ppf "%s: %s;@ " n (base_name b))
+    d.Ast.ft_fields;
+  Format.fprintf ppf "@]@,}@,"
+
+let pp_signal ppf (s : Ast.signal_decl) =
+  match s.Ast.sig_payload with
+  | None -> Format.pp_print_string ppf s.Ast.sig_name
+  | Some ty -> Format.fprintf ppf "%s(%s)" s.Ast.sig_name ty
+
+let pp_protocol ppf (p : Ast.protocol_decl) =
+  Format.fprintf ppf "protocol %s {@;<1 2>@[<v>" p.Ast.proto_name;
+  let side kw = function
+    | [] -> ()
+    | signals ->
+      Format.fprintf ppf "%s %a;@ " kw
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_signal)
+        signals
+  in
+  side "in" p.Ast.proto_in;
+  side "out" p.Ast.proto_out;
+  Format.fprintf ppf "@]@,}@,"
+
+let dport_dir = function
+  | Some Ast.Din -> "in"
+  | Some Ast.Dout -> "out"
+  | None -> "relay"
+
+let pp_dport ppf (d : Ast.dport_decl) =
+  match d.Ast.dp_type with
+  | None -> Format.fprintf ppf "dport %s %s;@ " (dport_dir d.Ast.dp_dir) d.Ast.dp_name
+  | Some ty ->
+    Format.fprintf ppf "dport %s %s : %s;@ " (dport_dir d.Ast.dp_dir) d.Ast.dp_name ty
+
+let guard_dir = function
+  | Ast.Grising -> "rising"
+  | Ast.Gfalling -> "falling"
+  | Ast.Gboth -> "both"
+
+let pp_method ppf = function
+  | Ast.Mfixed (scheme, step) -> Format.fprintf ppf "method %s %g;@ " scheme step
+  | Ast.Madaptive -> Format.fprintf ppf "method adaptive;@ "
+  | Ast.Mimplicit step -> Format.fprintf ppf "method implicit %g;@ " step
+
+let pp_streamer ppf (s : Ast.streamer_decl) =
+  Format.fprintf ppf "streamer %s {@;<1 2>@[<v>" s.Ast.s_name;
+  (match s.Ast.s_rate with
+   | Some r -> Format.fprintf ppf "rate %g;@ " r
+   | None -> ());
+  (match s.Ast.s_method with
+   | Some m -> pp_method ppf m
+   | None -> ());
+  List.iter (pp_dport ppf) s.Ast.s_dports;
+  List.iter
+    (fun (sp : Ast.sport_decl) ->
+       Format.fprintf ppf "sport %s : %s%s;@ " sp.Ast.sp_name sp.Ast.sp_proto
+         (if sp.Ast.sp_conjugated then " conjugated" else ""))
+    s.Ast.s_sports;
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "param %s = %g;@ " n v)
+    s.Ast.s_params;
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "init %s = %g;@ " n v)
+    s.Ast.s_states;
+  List.iter
+    (fun (n, e) -> Format.fprintf ppf "eq %s' = %a;@ " n Expr.pp e)
+    s.Ast.s_eqs;
+  List.iter
+    (fun (n, e) -> Format.fprintf ppf "output %s = %a;@ " n Expr.pp e)
+    s.Ast.s_outputs;
+  List.iter
+    (fun (g : Ast.guard_decl) ->
+       match g.Ast.g_payload with
+       | None ->
+         Format.fprintf ppf "guard %s : %s %a emits %s via %s;@ " g.Ast.g_name
+           (guard_dir g.Ast.g_dir) Expr.pp g.Ast.g_expr g.Ast.g_signal g.Ast.g_sport
+       | Some pe ->
+         Format.fprintf ppf "guard %s : %s %a emits %s(%a) via %s;@ " g.Ast.g_name
+           (guard_dir g.Ast.g_dir) Expr.pp g.Ast.g_expr g.Ast.g_signal Expr.pp pe
+           g.Ast.g_sport)
+    s.Ast.s_guards;
+  List.iter
+    (fun (st : Ast.strategy_decl) ->
+       Format.fprintf ppf "when %s set %s = %a;@ " st.Ast.st_signal st.Ast.st_param
+         Expr.pp st.Ast.st_expr)
+    s.Ast.s_strategies;
+  List.iter
+    (fun (child, cls) -> Format.fprintf ppf "contains %s : %s;@ " child cls)
+    s.Ast.s_contains;
+  let ep ppf (e : Ast.internal_endpoint) =
+    match e.Ast.ie_child with
+    | None -> Format.fprintf ppf "self.%s" e.Ast.ie_port
+    | Some c -> Format.fprintf ppf "%s.%s" c e.Ast.ie_port
+  in
+  List.iter
+    (fun (src, dst) -> Format.fprintf ppf "flow %a -> %a;@ " ep src ep dst)
+    s.Ast.s_flows;
+  Format.fprintf ppf "@]@,}@,"
+
+let rec pp_state ppf (st : Ast.state_decl) =
+  Format.fprintf ppf "state %s {@;<1 2>@[<v>" st.Ast.st_name;
+  (match st.Ast.st_initial with
+   | Some i -> Format.fprintf ppf "initial %s;@ " i
+   | None -> ());
+  List.iter (pp_state ppf) st.Ast.st_children;
+  List.iter
+    (fun (tr : Ast.transition_decl) ->
+       match tr.Ast.tr_send with
+       | None ->
+         Format.fprintf ppf "on %s -> %s;@ " tr.Ast.tr_trigger tr.Ast.tr_target
+       | Some (signal, port) ->
+         Format.fprintf ppf "on %s -> %s send %s via %s;@ " tr.Ast.tr_trigger
+           tr.Ast.tr_target signal port)
+    st.Ast.st_transitions;
+  Format.fprintf ppf "@]@,}@,"
+
+let pp_capsule ppf (c : Ast.capsule_decl) =
+  Format.fprintf ppf "capsule %s {@;<1 2>@[<v>" c.Ast.c_name;
+  List.iter
+    (fun (name, proto, conjugated, relay) ->
+       Format.fprintf ppf "port %s : %s%s%s;@ " name proto
+         (if conjugated then " conjugated" else "")
+         (if relay then " relay" else ""))
+    c.Ast.c_ports;
+  List.iter (pp_dport ppf) c.Ast.c_dports;
+  List.iter
+    (fun (signal, period) -> Format.fprintf ppf "timer %s = %g;@ " signal period)
+    c.Ast.c_timers;
+  if c.Ast.c_states <> [] then begin
+    Format.fprintf ppf "statemachine {@;<1 2>@[<v>";
+    (match c.Ast.c_initial with
+     | Some i -> Format.fprintf ppf "initial %s;@ " i
+     | None -> ());
+    List.iter (pp_state ppf) c.Ast.c_states;
+    Format.fprintf ppf "@]@,}@,"
+  end;
+  Format.fprintf ppf "@]@,}@,"
+
+let pp_system ppf (sys : Ast.system_decl) =
+  Format.fprintf ppf "system {@;<1 2>@[<v>";
+  List.iter
+    (function
+      | Ast.Icapsule { iname; iclass; _ } ->
+        Format.fprintf ppf "capsule %s : %s;@ " iname iclass
+      | Ast.Istreamer { iname; iclass; icontainer; _ } ->
+        (match icontainer with
+         | None -> Format.fprintf ppf "streamer %s : %s;@ " iname iclass
+         | Some c -> Format.fprintf ppf "streamer %s : %s in %s;@ " iname iclass c)
+      | Ast.Irelay { iname; itype; ifanout; _ } ->
+        (match itype with
+         | None -> Format.fprintf ppf "relay %s fanout %d;@ " iname ifanout
+         | Some ty -> Format.fprintf ppf "relay %s : %s fanout %d;@ " iname ty ifanout))
+    sys.Ast.sys_instances;
+  List.iter
+    (function
+      | Ast.Cflow { cf_src = (a, b); cf_dst = (c, d); _ } ->
+        Format.fprintf ppf "flow %s.%s -> %s.%s;@ " a b c d
+      | Ast.Clink { cl_streamer = (a, b); cl_capsule = (c, d); _ } ->
+        Format.fprintf ppf "link %s.%s -- %s.%s;@ " a b c d)
+    sys.Ast.sys_connections;
+  Format.fprintf ppf "@]@,}@,"
+
+let pp_model ppf (m : Ast.model) =
+  Format.fprintf ppf "@[<v>model %s@,@," m.Ast.m_name;
+  List.iter (pp_flowtype ppf) m.Ast.m_flowtypes;
+  List.iter (pp_protocol ppf) m.Ast.m_protocols;
+  List.iter (pp_streamer ppf) m.Ast.m_streamers;
+  List.iter (pp_capsule ppf) m.Ast.m_capsules;
+  (match m.Ast.m_system with
+   | Some sys -> pp_system ppf sys
+   | None -> ());
+  Format.fprintf ppf "@]"
+
+let print_model m = Format.asprintf "%a" pp_model m

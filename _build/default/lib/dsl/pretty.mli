@@ -1,0 +1,6 @@
+(** Pretty-printer for .umh models: output re-parses to an equivalent
+    AST (round-trip property-tested). *)
+
+val print_model : Ast.model -> string
+
+val pp_model : Format.formatter -> Ast.model -> unit

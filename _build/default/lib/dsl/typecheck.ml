@@ -1,0 +1,670 @@
+type checked = {
+  model : Ast.model;
+  flowtypes : (string * Dataflow.Flow_type.t) list;
+  protocols : (string * Umlrt.Protocol.t) list;
+  errors : string list;
+  warnings : string list;
+}
+
+let is_ok c = c.errors = []
+
+let base_of_ast = function
+  | Ast.TFloat -> Dataflow.Flow_type.TFloat
+  | Ast.TInt -> Dataflow.Flow_type.TInt
+  | Ast.TBool -> Dataflow.Flow_type.TBool
+  | Ast.TVec n -> Dataflow.Flow_type.TVec n
+
+let flow_type_of c = function
+  | None -> Dataflow.Flow_type.float_flow
+  | Some name ->
+    (match List.assoc_opt name c.flowtypes with
+     | Some t -> t
+     | None -> Dataflow.Flow_type.float_flow)
+
+let protocol_of c name = List.assoc_opt name c.protocols
+
+let dup_names names =
+  let sorted = List.sort String.compare names in
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+      walk (if String.equal a b then a :: acc else acc) rest
+    | [ _ ] | [] -> List.sort_uniq String.compare acc
+  in
+  walk [] sorted
+
+let check model =
+  let errors = ref [] in
+  let warnings = ref [] in
+  let err (p : Ast.pos) fmt =
+    Printf.ksprintf
+      (fun s -> errors := Printf.sprintf "%d:%d: %s" p.Ast.line p.Ast.col s :: !errors)
+      fmt
+  in
+  let warn (p : Ast.pos) fmt =
+    Printf.ksprintf
+      (fun s -> warnings := Printf.sprintf "%d:%d: %s" p.Ast.line p.Ast.col s :: !warnings)
+      fmt
+  in
+  (* ----- flow types ----- *)
+  List.iter
+    (fun d -> err d.Ast.ft_pos "duplicate flowtype %S" d.Ast.ft_name)
+    (List.filter
+       (fun d -> List.mem d.Ast.ft_name
+           (dup_names (List.map (fun f -> f.Ast.ft_name) model.Ast.m_flowtypes)))
+       model.Ast.m_flowtypes);
+  let flowtypes =
+    List.filter_map
+      (fun d ->
+         try
+           Some (d.Ast.ft_name,
+                 Dataflow.Flow_type.record
+                   (List.map (fun (n, b) -> (n, base_of_ast b)) d.Ast.ft_fields))
+         with Invalid_argument msg ->
+           err d.Ast.ft_pos "flowtype %S: %s" d.Ast.ft_name msg;
+           None)
+      model.Ast.m_flowtypes
+  in
+  let resolve_ft pos = function
+    | None -> Dataflow.Flow_type.float_flow
+    | Some name ->
+      (match List.assoc_opt name flowtypes with
+       | Some t -> t
+       | None ->
+         err pos "unknown flowtype %S" name;
+         Dataflow.Flow_type.float_flow)
+  in
+  (* ----- protocols ----- *)
+  let protocols =
+    List.filter_map
+      (fun (p : Ast.protocol_decl) ->
+         let mk_signal (s : Ast.signal_decl) =
+           let payload =
+             match s.Ast.sig_payload with
+             | None -> None
+             | Some ft -> Some (resolve_ft p.Ast.proto_pos (Some ft))
+           in
+           match payload with
+           | Some ty -> Umlrt.Protocol.signal ~payload:ty s.Ast.sig_name
+           | None -> Umlrt.Protocol.signal s.Ast.sig_name
+         in
+         try
+           Some (p.Ast.proto_name,
+                 Umlrt.Protocol.create p.Ast.proto_name
+                   ~incoming:(List.map mk_signal p.Ast.proto_in)
+                   ~outgoing:(List.map mk_signal p.Ast.proto_out))
+         with Invalid_argument msg ->
+           err p.Ast.proto_pos "protocol %S: %s" p.Ast.proto_name msg;
+           None)
+      model.Ast.m_protocols
+  in
+  let resolve_proto pos name =
+    match List.assoc_opt name protocols with
+    | Some p -> Some p
+    | None ->
+      err pos "unknown protocol %S" name;
+      None
+  in
+  (* ----- streamers ----- *)
+  let find_streamer name =
+    List.find_opt
+      (fun (x : Ast.streamer_decl) -> String.equal x.Ast.s_name name)
+      model.Ast.m_streamers
+  in
+  (* Containment cycles (S contains T contains S) would make flattening
+     diverge; reject them up front. *)
+  let rec has_cycle trail (s : Ast.streamer_decl) =
+    List.exists
+      (fun (_, cls) ->
+         List.mem cls trail
+         ||
+         match find_streamer cls with
+         | Some sub -> has_cycle (cls :: trail) sub
+         | None -> false)
+      s.Ast.s_contains
+  in
+  let check_streamer (s : Ast.streamer_decl) =
+    let composite = s.Ast.s_contains <> [] in
+    (match s.Ast.s_rate with
+     | None when not composite ->
+       err s.Ast.s_pos "streamer %S: missing rate (rule R7)" s.Ast.s_name
+     | Some r when r <= 0. ->
+       err s.Ast.s_pos "streamer %S: rate must be positive (rule R7)" s.Ast.s_name
+     | Some _ | None -> ());
+    if composite then begin
+      if s.Ast.s_states <> [] || s.Ast.s_eqs <> [] || s.Ast.s_guards <> []
+         || s.Ast.s_outputs <> [] || s.Ast.s_strategies <> []
+         || s.Ast.s_params <> []
+      then
+        err s.Ast.s_pos
+          "streamer %S: a composite streamer (contains ...) delegates its behaviour to sub-streamers and cannot carry solver items"
+          s.Ast.s_name;
+      if has_cycle [ s.Ast.s_name ] s then
+        err s.Ast.s_pos "streamer %S: containment cycle" s.Ast.s_name;
+      List.iter
+        (fun (child, cls) ->
+           if find_streamer cls = None then
+             err s.Ast.s_pos "streamer %S: child %S has unknown streamer class %S (rule R6)"
+               s.Ast.s_name child cls)
+        s.Ast.s_contains;
+      (* Internal flows: direction and the R2 subset rule, viewed from
+         inside the composite. *)
+      let endpoint_info (ep : Ast.internal_endpoint) ~as_source =
+        match ep.Ast.ie_child with
+        | None ->
+          (match
+             List.find_opt
+               (fun (d : Ast.dport_decl) -> String.equal d.Ast.dp_name ep.Ast.ie_port)
+               s.Ast.s_dports
+           with
+           | None ->
+             err s.Ast.s_pos "streamer %S: unknown border DPort %S" s.Ast.s_name
+               ep.Ast.ie_port;
+             None
+           | Some d ->
+             let ok =
+               match (d.Ast.dp_dir, as_source) with
+               | Some Ast.Din, true | Some Ast.Dout, false -> true
+               | _, _ -> false
+             in
+             if not ok then begin
+               err s.Ast.s_pos "streamer %S: border DPort %S used against its direction"
+                 s.Ast.s_name ep.Ast.ie_port;
+               None
+             end
+             else Some (resolve_ft d.Ast.dp_pos d.Ast.dp_type))
+        | Some child ->
+          (match List.assoc_opt child s.Ast.s_contains with
+           | None ->
+             err s.Ast.s_pos "streamer %S: flow references unknown child %S" s.Ast.s_name
+               child;
+             None
+           | Some cls ->
+             (match find_streamer cls with
+              | None -> None
+              | Some sub ->
+                (match
+                   List.find_opt
+                     (fun (d : Ast.dport_decl) ->
+                        String.equal d.Ast.dp_name ep.Ast.ie_port)
+                     sub.Ast.s_dports
+                 with
+                 | None ->
+                   err s.Ast.s_pos "streamer %S: child %S has no DPort %S" s.Ast.s_name
+                     child ep.Ast.ie_port;
+                   None
+                 | Some d ->
+                   let ok =
+                     match (d.Ast.dp_dir, as_source) with
+                     | Some Ast.Dout, true | Some Ast.Din, false -> true
+                     | _, _ -> false
+                   in
+                   if not ok then begin
+                     err s.Ast.s_pos
+                       "streamer %S: child DPort %s.%s used against its direction"
+                       s.Ast.s_name child ep.Ast.ie_port;
+                     None
+                   end
+                   else Some (resolve_ft d.Ast.dp_pos d.Ast.dp_type))))
+      in
+      List.iter
+        (fun (src, dst) ->
+           match (endpoint_info src ~as_source:true, endpoint_info dst ~as_source:false)
+           with
+           | Some st_, Some dt ->
+             if not (Dataflow.Flow_type.compatible ~src:st_ ~dst:dt) then
+               err s.Ast.s_pos
+                 "streamer %S: internal flow violates the subset rule (rule R2)"
+                 s.Ast.s_name
+           | _, _ -> ())
+        s.Ast.s_flows
+    end
+    else begin
+      if s.Ast.s_flows <> [] then
+        err s.Ast.s_pos "streamer %S: flows require sub-streamers (contains ...)"
+          s.Ast.s_name
+    end;
+    List.iter
+      (fun n -> err s.Ast.s_pos "streamer %S: duplicate DPort %S" s.Ast.s_name n)
+      (dup_names (List.map (fun d -> d.Ast.dp_name) s.Ast.s_dports));
+    List.iter
+      (fun (d : Ast.dport_decl) ->
+         ignore (resolve_ft d.Ast.dp_pos d.Ast.dp_type);
+         if d.Ast.dp_dir = None then
+           err d.Ast.dp_pos
+             "streamer %S: DPort %S declared relay — relay DPorts belong to capsules"
+             s.Ast.s_name d.Ast.dp_name)
+      s.Ast.s_dports;
+    List.iter
+      (fun (sp : Ast.sport_decl) -> ignore (resolve_proto sp.Ast.sp_pos sp.Ast.sp_proto))
+      s.Ast.s_sports;
+    if s.Ast.s_states = [] && not composite then
+      err s.Ast.s_pos "streamer %S: no state variables (a solver needs equations, rule R1)"
+        s.Ast.s_name;
+    (* Every equation must target a declared state variable. *)
+    List.iter
+      (fun (v, _) ->
+         if not (List.mem_assoc v s.Ast.s_states) then
+           err s.Ast.s_pos "streamer %S: equation for undeclared state %S" s.Ast.s_name v)
+      s.Ast.s_eqs;
+    List.iter
+      (fun (v, _) ->
+         if not (List.mem_assoc v s.Ast.s_eqs) then
+           warn s.Ast.s_pos "streamer %S: state %S has no equation (derivative 0)"
+             s.Ast.s_name v)
+      s.Ast.s_states;
+    (* Name scope for expressions: states, params, input DPorts, t. *)
+    let in_ports =
+      List.filter_map
+        (fun (d : Ast.dport_decl) ->
+           if d.Ast.dp_dir = Some Ast.Din then Some d.Ast.dp_name else None)
+        s.Ast.s_dports
+    in
+    let out_ports =
+      List.filter_map
+        (fun (d : Ast.dport_decl) ->
+           if d.Ast.dp_dir = Some Ast.Dout then Some d.Ast.dp_name else None)
+        s.Ast.s_dports
+    in
+    let known =
+      ("t" :: List.map fst s.Ast.s_states)
+      @ List.map fst s.Ast.s_params @ in_ports
+    in
+    let check_expr what e ~payload_ok =
+      List.iter
+        (fun v ->
+           if not (List.mem v known) then
+             err s.Ast.s_pos "streamer %S: %s references unknown name %S"
+               s.Ast.s_name what v)
+        (Expr.free_vars e);
+      if (not payload_ok) && Expr.uses_payload e then
+        err s.Ast.s_pos "streamer %S: %s cannot use 'payload'" s.Ast.s_name what
+    in
+    List.iter
+      (fun (v, e) -> check_expr (Printf.sprintf "equation %s'" v) e ~payload_ok:false)
+      s.Ast.s_eqs;
+    List.iter
+      (fun (o, e) ->
+         if not (List.mem o out_ports) then
+           err s.Ast.s_pos "streamer %S: output targets unknown out DPort %S"
+             s.Ast.s_name o;
+         check_expr (Printf.sprintf "output %s" o) e ~payload_ok:false)
+      s.Ast.s_outputs;
+    List.iter
+      (fun o ->
+         if (not composite) && not (List.mem_assoc o s.Ast.s_outputs) then
+           warn s.Ast.s_pos "streamer %S: out DPort %S is never written"
+             s.Ast.s_name o)
+      out_ports;
+    List.iter
+      (fun (g : Ast.guard_decl) ->
+         check_expr (Printf.sprintf "guard %s" g.Ast.g_name) g.Ast.g_expr
+           ~payload_ok:false;
+         (match g.Ast.g_payload with
+          | Some pe ->
+            check_expr (Printf.sprintf "guard %s payload" g.Ast.g_name) pe
+              ~payload_ok:false
+          | None -> ());
+         match
+           List.find_opt
+             (fun (sp : Ast.sport_decl) -> String.equal sp.Ast.sp_name g.Ast.g_sport)
+             s.Ast.s_sports
+         with
+         | None ->
+           err g.Ast.g_pos "streamer %S: guard %S emits via unknown SPort %S (rule R4)"
+             s.Ast.s_name g.Ast.g_name g.Ast.g_sport
+         | Some sp ->
+           (match List.assoc_opt sp.Ast.sp_proto protocols with
+            | Some proto ->
+              if not (Umlrt.Protocol.can_send proto ~conjugated:sp.Ast.sp_conjugated
+                        g.Ast.g_signal)
+              then
+                err g.Ast.g_pos
+                  "streamer %S: SPort %S cannot send signal %S (rule R4)"
+                  s.Ast.s_name g.Ast.g_sport g.Ast.g_signal
+            | None -> ()))
+      s.Ast.s_guards;
+    List.iter
+      (fun (st : Ast.strategy_decl) ->
+         if not (List.mem_assoc st.Ast.st_param s.Ast.s_params) then
+           err st.Ast.st_pos "streamer %S: strategy sets unknown parameter %S"
+             s.Ast.s_name st.Ast.st_param;
+         List.iter
+           (fun v ->
+              if not (List.mem v known) then
+                err st.Ast.st_pos
+                  "streamer %S: strategy expression references unknown name %S"
+                  s.Ast.s_name v)
+           (Expr.free_vars st.Ast.st_expr);
+         let receivable =
+           List.exists
+             (fun (sp : Ast.sport_decl) ->
+                match List.assoc_opt sp.Ast.sp_proto protocols with
+                | Some proto ->
+                  Umlrt.Protocol.can_receive proto ~conjugated:sp.Ast.sp_conjugated
+                    st.Ast.st_signal
+                | None -> false)
+             s.Ast.s_sports
+         in
+         if not receivable then
+           warn st.Ast.st_pos
+             "streamer %S: no SPort can receive signal %S handled by a strategy"
+             s.Ast.s_name st.Ast.st_signal)
+      s.Ast.s_strategies
+  in
+  List.iter check_streamer model.Ast.m_streamers;
+  (* ----- capsules ----- *)
+  let check_capsule (c : Ast.capsule_decl) =
+    List.iter
+      (fun n -> err c.Ast.c_pos "capsule %S: duplicate port %S" c.Ast.c_name n)
+      (dup_names
+         (List.map (fun (n, _, _, _) -> n) c.Ast.c_ports
+          @ List.map (fun (d : Ast.dport_decl) -> d.Ast.dp_name) c.Ast.c_dports));
+    List.iter
+      (fun (_, proto, _, _) -> ignore (resolve_proto c.Ast.c_pos proto))
+      c.Ast.c_ports;
+    List.iter
+      (fun (d : Ast.dport_decl) ->
+         ignore (resolve_ft d.Ast.dp_pos d.Ast.dp_type);
+         if d.Ast.dp_dir <> None then
+           err d.Ast.dp_pos
+             "capsule %S: DPort %S must be declared relay — capsules never process data (rule R5)"
+             c.Ast.c_name d.Ast.dp_name)
+      c.Ast.c_dports;
+    List.iter
+      (fun (signal, period) ->
+         if period <= 0. then
+           err c.Ast.c_pos "capsule %S: timer %S has non-positive period"
+             c.Ast.c_name signal)
+      c.Ast.c_timers;
+    (* State machine structure. *)
+    let rec all_states (st : Ast.state_decl) =
+      st.Ast.st_name :: List.concat_map all_states st.Ast.st_children
+    in
+    let state_names = List.concat_map all_states c.Ast.c_states in
+    List.iter
+      (fun n -> err c.Ast.c_pos "capsule %S: duplicate state %S" c.Ast.c_name n)
+      (dup_names state_names);
+    if c.Ast.c_states <> [] then begin
+      match c.Ast.c_initial with
+      | None -> err c.Ast.c_pos "capsule %S: statemachine has no initial state" c.Ast.c_name
+      | Some i ->
+        if not (List.exists (fun (s : Ast.state_decl) -> String.equal s.Ast.st_name i)
+                  c.Ast.c_states)
+        then
+          err c.Ast.c_pos "capsule %S: initial %S is not a top-level state" c.Ast.c_name i
+    end;
+    let rec check_state (st : Ast.state_decl) =
+      (match st.Ast.st_initial with
+       | Some i when
+           not (List.exists (fun (ch : Ast.state_decl) -> String.equal ch.Ast.st_name i)
+                  st.Ast.st_children) ->
+         err st.Ast.st_pos "capsule %S: state %S: initial %S is not a direct child"
+           c.Ast.c_name st.Ast.st_name i
+       | Some _ | None -> ());
+      if st.Ast.st_children <> [] && st.Ast.st_initial = None then
+        err st.Ast.st_pos "capsule %S: composite state %S has no initial child"
+          c.Ast.c_name st.Ast.st_name;
+      List.iter
+        (fun (tr : Ast.transition_decl) ->
+           if not (List.mem tr.Ast.tr_target state_names) then
+             err tr.Ast.tr_pos "capsule %S: transition targets unknown state %S"
+               c.Ast.c_name tr.Ast.tr_target;
+           match tr.Ast.tr_send with
+           | None -> ()
+           | Some (signal, port) ->
+             (match
+                List.find_opt (fun (n, _, _, _) -> String.equal n port) c.Ast.c_ports
+              with
+              | None ->
+                err tr.Ast.tr_pos "capsule %S: send via unknown port %S" c.Ast.c_name port
+              | Some (_, proto, conjugated, _) ->
+                (match List.assoc_opt proto protocols with
+                 | Some p ->
+                   if not (Umlrt.Protocol.can_send p ~conjugated signal) then
+                     err tr.Ast.tr_pos "capsule %S: port %S cannot send signal %S"
+                       c.Ast.c_name port signal
+                 | None -> ())))
+        st.Ast.st_transitions;
+      List.iter check_state st.Ast.st_children
+    in
+    List.iter check_state c.Ast.c_states;
+    (* Timers that no transition listens to are dead weight. *)
+    let rec triggers_of (st : Ast.state_decl) =
+      List.map (fun (tr : Ast.transition_decl) -> tr.Ast.tr_trigger)
+        st.Ast.st_transitions
+      @ List.concat_map triggers_of st.Ast.st_children
+    in
+    let all_triggers = List.concat_map triggers_of c.Ast.c_states in
+    List.iter
+      (fun (signal, _) ->
+         if not (List.mem signal all_triggers) then
+           warn c.Ast.c_pos "capsule %S: timer %S triggers no transition"
+             c.Ast.c_name signal)
+      c.Ast.c_timers;
+    (* Reachability / determinism smells via the statechart analyzer —
+       only when the machine is structurally valid. *)
+    if c.Ast.c_states <> [] && c.Ast.c_initial <> None then begin
+      let m = Statechart.Machine.create c.Ast.c_name in
+      let ok = ref true in
+      let rec add ?parent (st : Ast.state_decl) =
+        (try Statechart.Machine.add_state m ?parent st.Ast.st_name
+         with Invalid_argument _ -> ok := false);
+        List.iter (add ~parent:st.Ast.st_name) st.Ast.st_children;
+        match st.Ast.st_initial with
+        | Some i ->
+          (try Statechart.Machine.set_initial m ~of_:st.Ast.st_name i
+           with Invalid_argument _ -> ok := false)
+        | None -> ()
+      in
+      List.iter (fun st -> add st) c.Ast.c_states;
+      (match c.Ast.c_initial with
+       | Some i ->
+         (try Statechart.Machine.set_initial m i
+          with Invalid_argument _ -> ok := false)
+       | None -> ok := false);
+      let rec add_transitions (st : Ast.state_decl) =
+        List.iter
+          (fun (tr : Ast.transition_decl) ->
+             try
+               Statechart.Machine.add_transition m ~src:st.Ast.st_name
+                 ~dst:tr.Ast.tr_target ~trigger:tr.Ast.tr_trigger ()
+             with Invalid_argument _ -> ok := false)
+          st.Ast.st_transitions;
+        List.iter add_transitions st.Ast.st_children
+      in
+      List.iter add_transitions c.Ast.c_states;
+      if !ok && Statechart.Machine.validate m = [] then begin
+        let report = Statechart.Analysis.analyze m in
+        List.iter
+          (fun s ->
+             warn c.Ast.c_pos "capsule %S: state %S is unreachable" c.Ast.c_name s)
+          report.Statechart.Analysis.unreachable;
+        List.iter
+          (fun (state, trigger) ->
+             warn c.Ast.c_pos
+               "capsule %S: state %S has several unguarded transitions on %S (only the first fires)"
+               c.Ast.c_name state trigger)
+          report.Statechart.Analysis.nondeterministic
+      end
+    end
+  in
+  List.iter check_capsule model.Ast.m_capsules;
+  (* ----- system ----- *)
+  (match model.Ast.m_system with
+   | None -> ()
+   | Some sys ->
+     let inames =
+       List.map
+         (function
+           | Ast.Icapsule { iname; _ } | Ast.Istreamer { iname; _ }
+           | Ast.Irelay { iname; _ } -> iname)
+         sys.Ast.sys_instances
+     in
+     List.iter
+       (fun n -> err sys.Ast.sys_pos "duplicate instance %S" n)
+       (dup_names inames);
+     let capsule_inst name =
+       List.find_map
+         (function
+           | Ast.Icapsule { iname; iclass; _ } when String.equal iname name ->
+             List.find_opt
+               (fun (c : Ast.capsule_decl) -> String.equal c.Ast.c_name iclass)
+               model.Ast.m_capsules
+           | Ast.Icapsule _ | Ast.Istreamer _ | Ast.Irelay _ -> None)
+         sys.Ast.sys_instances
+     in
+     let streamer_inst name =
+       List.find_map
+         (function
+           | Ast.Istreamer { iname; iclass; _ } when String.equal iname name ->
+             List.find_opt
+               (fun (s : Ast.streamer_decl) -> String.equal s.Ast.s_name iclass)
+               model.Ast.m_streamers
+           | Ast.Icapsule _ | Ast.Istreamer _ | Ast.Irelay _ -> None)
+         sys.Ast.sys_instances
+     in
+     let relay_inst name =
+       List.find_map
+         (function
+           | Ast.Irelay { iname; itype; ifanout; _ } when String.equal iname name ->
+             Some (itype, ifanout)
+           | Ast.Icapsule _ | Ast.Istreamer _ | Ast.Irelay _ -> None)
+         sys.Ast.sys_instances
+     in
+     List.iter
+       (function
+         | Ast.Icapsule { iclass; ipos; iname = _ } ->
+           if not (List.exists
+                     (fun (c : Ast.capsule_decl) -> String.equal c.Ast.c_name iclass)
+                     model.Ast.m_capsules)
+           then err ipos "unknown capsule class %S" iclass
+         | Ast.Istreamer { iclass; icontainer; ipos; iname = _ } ->
+           if not (List.exists
+                     (fun (s : Ast.streamer_decl) -> String.equal s.Ast.s_name iclass)
+                     model.Ast.m_streamers)
+           then err ipos "unknown streamer class %S" iclass;
+           (match icontainer with
+            | None -> ()
+            | Some container ->
+              if streamer_inst container <> None then
+                err ipos
+                  "streamer instance contained in streamer %S — streamers never contain capsules' peers this way; containment parent must be a capsule (rule R6)"
+                  container
+              else if capsule_inst container = None then
+                err ipos "containment parent %S is not a capsule instance (rule R6)" container)
+         | Ast.Irelay { itype; ifanout; ipos; iname = _ } ->
+           ignore (resolve_ft ipos itype);
+           if ifanout < 2 then
+             err ipos "relay fanout must be >= 2 (rule R3)")
+       sys.Ast.sys_instances;
+     (* Flow endpoints: producer/consumer role plus flow type. *)
+     let endpoint_info pos (inst, port) ~as_source =
+       match streamer_inst inst with
+       | Some s ->
+         (match
+            List.find_opt
+              (fun (d : Ast.dport_decl) -> String.equal d.Ast.dp_name port)
+              s.Ast.s_dports
+          with
+          | None ->
+            err pos "streamer instance %S has no DPort %S" inst port;
+            None
+          | Some d ->
+            let ty = resolve_ft d.Ast.dp_pos d.Ast.dp_type in
+            (match (d.Ast.dp_dir, as_source) with
+             | Some Ast.Dout, true | Some Ast.Din, false -> Some ty
+             | Some Ast.Dout, false ->
+               err pos "flow destination %s.%s is an output DPort" inst port;
+               None
+             | Some Ast.Din, true ->
+               err pos "flow source %s.%s is an input DPort" inst port;
+               None
+             | None, _ -> None))
+       | None ->
+         (match relay_inst inst with
+          | Some (ty, fanout) ->
+            let ty = resolve_ft pos ty in
+            if as_source then begin
+              (* must be outK *)
+              let ok =
+                String.length port > 3
+                && String.equal (String.sub port 0 3) "out"
+                && (match int_of_string_opt (String.sub port 3 (String.length port - 3)) with
+                    | Some k -> k >= 1 && k <= fanout
+                    | None -> false)
+              in
+              if ok then Some ty
+              else begin
+                err pos "relay %S has no output port %S" inst port;
+                None
+              end
+            end
+            else if String.equal port "in" then Some ty
+            else begin
+              err pos "relay %S has no input port %S" inst port;
+              None
+            end
+          | None ->
+            (match capsule_inst inst with
+             | Some c ->
+               (match
+                  List.find_opt
+                    (fun (d : Ast.dport_decl) -> String.equal d.Ast.dp_name port)
+                    c.Ast.c_dports
+                with
+                | Some d -> Some (resolve_ft d.Ast.dp_pos d.Ast.dp_type)
+                | None ->
+                  err pos "capsule instance %S has no DPort %S" inst port;
+                  None)
+             | None ->
+               err pos "unknown instance %S in flow" inst;
+               None))
+     in
+     let driven = Hashtbl.create 16 in
+     List.iter
+       (function
+         | Ast.Cflow { cf_src; cf_dst; cf_pos } ->
+           let src_ty = endpoint_info cf_pos cf_src ~as_source:true in
+           let dst_ty = endpoint_info cf_pos cf_dst ~as_source:false in
+           (match (src_ty, dst_ty) with
+            | Some s, Some d ->
+              if not (Dataflow.Flow_type.compatible ~src:s ~dst:d) then
+                err cf_pos
+                  "flow %s.%s -> %s.%s: output type %s is not a subset of input type %s (rule R2)"
+                  (fst cf_src) (snd cf_src) (fst cf_dst) (snd cf_dst)
+                  (Dataflow.Flow_type.to_string s) (Dataflow.Flow_type.to_string d)
+            | _, _ -> ());
+           let dkey = Printf.sprintf "%s.%s" (fst cf_dst) (snd cf_dst) in
+           if Hashtbl.mem driven dkey then
+             err cf_pos "input %s already has a driver" dkey
+           else Hashtbl.replace driven dkey ()
+         | Ast.Clink { cl_streamer = (si, sp); cl_capsule = (ci, cp); cl_pos } ->
+           (match streamer_inst si with
+            | None -> err cl_pos "link: %S is not a streamer instance" si
+            | Some s ->
+              (match
+                 List.find_opt
+                   (fun (x : Ast.sport_decl) -> String.equal x.Ast.sp_name sp)
+                   s.Ast.s_sports
+               with
+               | None -> err cl_pos "link: streamer %S has no SPort %S (rule R4)" si sp
+               | Some sport ->
+                 (match capsule_inst ci with
+                  | None -> err cl_pos "link: %S is not a capsule instance" ci
+                  | Some c ->
+                    (match
+                       List.find_opt (fun (n, _, _, _) -> String.equal n cp) c.Ast.c_ports
+                     with
+                     | None -> err cl_pos "link: capsule %S has no port %S" ci cp
+                     | Some (_, proto, conjugated, _) ->
+                       if not (String.equal proto sport.Ast.sp_proto) then
+                         err cl_pos
+                           "link %s.%s -- %s.%s: protocols %S and %S differ (rule R4)"
+                           si sp ci cp sport.Ast.sp_proto proto;
+                       if Bool.equal conjugated sport.Ast.sp_conjugated then
+                         err cl_pos
+                           "link %s.%s -- %s.%s: exactly one end must be conjugated"
+                           si sp ci cp)))))
+       sys.Ast.sys_connections);
+  { model; flowtypes; protocols;
+    errors = List.rev !errors; warnings = List.rev !warnings }

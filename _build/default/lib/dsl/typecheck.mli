@@ -1,0 +1,24 @@
+(** Static semantics of .umh models: name resolution plus the paper's
+    well-formedness rules (R2 flow-type subsets, R4 SPort/protocol
+    compatibility, R5 relay-only capsule DPorts, R6 capsules-contain-
+    streamers-only, R7 positive thread rates). *)
+
+type checked = {
+  model : Ast.model;
+  flowtypes : (string * Dataflow.Flow_type.t) list;
+  protocols : (string * Umlrt.Protocol.t) list;
+  errors : string list;
+  warnings : string list;
+}
+
+val check : Ast.model -> checked
+
+val is_ok : checked -> bool
+(** No errors (warnings allowed). *)
+
+val flow_type_of : checked -> string option -> Dataflow.Flow_type.t
+(** Resolve an optional flow-type name ([None] = scalar float). Falls
+    back to scalar float for unresolved names (an error was already
+    recorded). *)
+
+val protocol_of : checked -> string -> Umlrt.Protocol.t option

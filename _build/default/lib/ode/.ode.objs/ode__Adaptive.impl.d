@@ -1,0 +1,1 @@
+lib/ode/adaptive.ml: Array Float Linalg List System

@@ -1,0 +1,1 @@
+lib/ode/dense.ml: Array Float Linalg System

@@ -1,0 +1,1 @@
+lib/ode/events.ml: Dense List

@@ -1,0 +1,1 @@
+lib/ode/events.mli: Dense

@@ -1,0 +1,1 @@
+lib/ode/fixed.ml: Float Linalg List System

@@ -1,0 +1,1 @@
+lib/ode/fixed.mli: System

@@ -1,0 +1,1 @@
+lib/ode/implicit.ml: Array Float Linalg System

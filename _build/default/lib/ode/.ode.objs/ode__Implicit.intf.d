@@ -1,0 +1,1 @@
+lib/ode/implicit.mli: System

@@ -1,0 +1,1 @@
+lib/ode/integrator.ml: Adaptive Array Dense Events Fixed Float Implicit Linalg Printf System

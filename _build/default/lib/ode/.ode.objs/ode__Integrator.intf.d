@@ -1,0 +1,1 @@
+lib/ode/integrator.mli: Adaptive Events Fixed System

@@ -1,0 +1,1 @@
+lib/ode/linalg.ml: Array Float List Printf

@@ -1,0 +1,1 @@
+lib/ode/system.ml: Array Linalg Printf

@@ -1,0 +1,160 @@
+type scheme = Dormand_prince | Fehlberg
+
+let scheme_name = function
+  | Dormand_prince -> "dormand-prince"
+  | Fehlberg -> "fehlberg"
+
+type control = {
+  rtol : float;
+  atol : float;
+  dt_min : float;
+  dt_max : float;
+  safety : float;
+  max_steps : int;
+}
+
+let default_control =
+  { rtol = 1e-6; atol = 1e-9; dt_min = 1e-12; dt_max = infinity;
+    safety = 0.9; max_steps = 1_000_000 }
+
+type stats = { accepted : int; rejected : int; last_dt : float }
+
+exception Step_underflow of float
+exception Too_many_steps of float
+
+(* Butcher tableau of an embedded pair: [a] the strictly lower-triangular
+   stage matrix, [c] the abscissae, [b_high]/[b_low] the two weight rows,
+   [order_low] the order of the less accurate member (drives step control). *)
+type tableau = {
+  a : float array array;
+  c : float array;
+  b_high : float array;
+  b_low : float array;
+  order_low : int;
+}
+
+let dormand_prince = {
+  c = [| 0.; 1. /. 5.; 3. /. 10.; 4. /. 5.; 8. /. 9.; 1.; 1. |];
+  a = [|
+    [||];
+    [| 1. /. 5. |];
+    [| 3. /. 40.; 9. /. 40. |];
+    [| 44. /. 45.; -56. /. 15.; 32. /. 9. |];
+    [| 19372. /. 6561.; -25360. /. 2187.; 64448. /. 6561.; -212. /. 729. |];
+    [| 9017. /. 3168.; -355. /. 33.; 46732. /. 5247.; 49. /. 176.;
+       -5103. /. 18656. |];
+    [| 35. /. 384.; 0.; 500. /. 1113.; 125. /. 192.; -2187. /. 6784.;
+       11. /. 84. |];
+  |];
+  b_high = [| 35. /. 384.; 0.; 500. /. 1113.; 125. /. 192.;
+              -2187. /. 6784.; 11. /. 84.; 0. |];
+  b_low = [| 5179. /. 57600.; 0.; 7571. /. 16695.; 393. /. 640.;
+             -92097. /. 339200.; 187. /. 2100.; 1. /. 40. |];
+  order_low = 4;
+}
+
+let fehlberg = {
+  c = [| 0.; 1. /. 4.; 3. /. 8.; 12. /. 13.; 1.; 1. /. 2. |];
+  a = [|
+    [||];
+    [| 1. /. 4. |];
+    [| 3. /. 32.; 9. /. 32. |];
+    [| 1932. /. 2197.; -7200. /. 2197.; 7296. /. 2197. |];
+    [| 439. /. 216.; -8.; 3680. /. 513.; -845. /. 4104. |];
+    [| -8. /. 27.; 2.; -3544. /. 2565.; 1859. /. 4104.; -11. /. 40. |];
+  |];
+  b_high = [| 16. /. 135.; 0.; 6656. /. 12825.; 28561. /. 56430.;
+              -9. /. 50.; 2. /. 55. |];
+  b_low = [| 25. /. 216.; 0.; 1408. /. 2565.; 2197. /. 4104.; -1. /. 5.; 0. |];
+  order_low = 4;
+}
+
+let tableau_of = function
+  | Dormand_prince -> dormand_prince
+  | Fehlberg -> fehlberg
+
+let stages tbl sys ~t ~dt y =
+  let n = Array.length tbl.c in
+  let k = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let yi = Linalg.copy y in
+    for j = 0 to i - 1 do
+      Linalg.axpy_into ~dst:yi (dt *. tbl.a.(i).(j)) k.(j)
+    done;
+    k.(i) <- System.eval sys (t +. (tbl.c.(i) *. dt)) yi
+  done;
+  k
+
+let combine tbl k ~dt y row =
+  let acc = Linalg.copy y in
+  Array.iteri (fun i b -> if b <> 0. then Linalg.axpy_into ~dst:acc (dt *. b) k.(i)) row;
+  ignore tbl;
+  acc
+
+(* Weighted RMS of the difference of the two solutions against the mixed
+   absolute/relative tolerance; <= 1 means the step passes. *)
+let error_norm ~rtol ~atol y y_high y_low =
+  let n = Array.length y in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let scale = atol +. (rtol *. Float.max (Float.abs y.(i)) (Float.abs y_high.(i))) in
+    let e = (y_high.(i) -. y_low.(i)) /. scale in
+    acc := !acc +. (e *. e)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let step scheme sys ~t ~dt y =
+  if dt <= 0. then invalid_arg "Ode.Adaptive.step: dt must be positive";
+  let tbl = tableau_of scheme in
+  let k = stages tbl sys ~t ~dt y in
+  let y_high = combine tbl k ~dt y tbl.b_high in
+  let y_low = combine tbl k ~dt y tbl.b_low in
+  let err = error_norm ~rtol:default_control.rtol ~atol:default_control.atol y y_high y_low in
+  (y_high, err)
+
+let drive ?(scheme = Dormand_prince) ?(control = default_control) sys ~t0 ~t1 y0 ~record ~init =
+  if t1 < t0 then invalid_arg "Ode.Adaptive: t1 must be >= t0";
+  let tbl = tableau_of scheme in
+  let expo = -1. /. float_of_int (tbl.order_low + 1) in
+  let initial_dt =
+    let span = t1 -. t0 in
+    if span = 0. then control.dt_min
+    else Float.min control.dt_max (span /. 100.)
+  in
+  let rec loop acc t y dt accepted rejected =
+    if t >= t1 -. (1e-12 *. Float.max 1. (Float.abs t1)) then
+      (acc, y, { accepted; rejected; last_dt = dt })
+    else if accepted + rejected >= control.max_steps then raise (Too_many_steps t)
+    else begin
+      let h = Float.min dt (t1 -. t) in
+      let k = stages tbl sys ~t ~dt:h y in
+      let y_high = combine tbl k ~dt:h y tbl.b_high in
+      let y_low = combine tbl k ~dt:h y tbl.b_low in
+      let err = error_norm ~rtol:control.rtol ~atol:control.atol y y_high y_low in
+      if err <= 1. then begin
+        let t' = t +. h in
+        let grow = if err = 0. then 5. else Float.min 5. (control.safety *. (err ** expo)) in
+        let dt' = Float.min control.dt_max (h *. Float.max 0.2 grow) in
+        loop (record acc t' y_high) t' y_high dt' (accepted + 1) rejected
+      end else begin
+        let shrink = Float.max 0.1 (control.safety *. (err ** expo)) in
+        let dt' = h *. shrink in
+        if dt' < control.dt_min then raise (Step_underflow t);
+        loop acc t y dt' accepted (rejected + 1)
+      end
+    end
+  in
+  loop init t0 (Linalg.copy y0) initial_dt 0 0
+
+let integrate ?scheme ?control sys ~t0 ~t1 y0 =
+  let (), y, stats =
+    drive ?scheme ?control sys ~t0 ~t1 y0 ~init:() ~record:(fun () _ _ -> ())
+  in
+  (y, stats)
+
+let trajectory ?scheme ?control sys ~t0 ~t1 y0 =
+  let record acc t y = (t, Linalg.copy y) :: acc in
+  let acc, _, stats =
+    drive ?scheme ?control sys ~t0 ~t1 y0 ~init:[ (t0, Linalg.copy y0) ] ~record
+  in
+  (List.rev acc, stats)

@@ -1,0 +1,54 @@
+(** Adaptive embedded Runge–Kutta methods with PI-style step control.
+
+    Used by streamer solvers when the plant stiffness is unknown: the
+    solver keeps the local error under [rtol]/[atol] and reports its own
+    work, so the hybrid engine can batch integration between discrete
+    events without guessing a step size. *)
+
+type scheme =
+  | Dormand_prince  (** RK5(4)7M, the MATLAB [ode45] pair *)
+  | Fehlberg        (** RKF4(5) *)
+
+val scheme_name : scheme -> string
+
+type control = {
+  rtol : float;       (** relative tolerance (default 1e-6) *)
+  atol : float;       (** absolute tolerance (default 1e-9) *)
+  dt_min : float;     (** smallest accepted step (default 1e-12) *)
+  dt_max : float;     (** largest accepted step (default infinity) *)
+  safety : float;     (** step-growth safety factor (default 0.9) *)
+  max_steps : int;    (** hard cap on accepted+rejected steps (default 1_000_000) *)
+}
+
+val default_control : control
+
+type stats = {
+  accepted : int;
+  rejected : int;
+  last_dt : float;  (** step size in force when integration finished *)
+}
+
+exception Step_underflow of float
+(** Raised (with the current time) when error control would need a step
+    below [dt_min]. *)
+
+exception Too_many_steps of float
+(** Raised (with the current time) when [max_steps] is exhausted. *)
+
+val step :
+  scheme -> System.t -> t:float -> dt:float -> float array
+  -> float array * float
+(** [step scheme sys ~t ~dt y] performs one raw embedded step and returns
+    [(y_high, err_norm)] where [err_norm] is the weighted RMS error
+    estimate against tolerance 1 — values <= 1 mean "acceptable" under the
+    default control. *)
+
+val integrate :
+  ?scheme:scheme -> ?control:control -> System.t
+  -> t0:float -> t1:float -> float array -> float array * stats
+(** Integrate from [t0] to [t1], adapting the step. *)
+
+val trajectory :
+  ?scheme:scheme -> ?control:control -> System.t
+  -> t0:float -> t1:float -> float array -> (float * float array) list * stats
+(** Same, returning every accepted mesh point including [t0]. *)

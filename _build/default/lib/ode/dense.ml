@@ -1,0 +1,50 @@
+type t = {
+  t0 : float;
+  t1 : float;
+  y0 : float array;
+  y1 : float array;
+  f0 : float array;
+  f1 : float array;
+}
+
+let create ~t0 ~y0 ~f0 ~t1 ~y1 ~f1 =
+  if t1 <= t0 then invalid_arg "Ode.Dense.create: t1 must be > t0";
+  let n = Array.length y0 in
+  if Array.length y1 <> n || Array.length f0 <> n || Array.length f1 <> n then
+    invalid_arg "Ode.Dense.create: dimension mismatch";
+  { t0; t1; y0 = Linalg.copy y0; y1 = Linalg.copy y1;
+    f0 = Linalg.copy f0; f1 = Linalg.copy f1 }
+
+let of_system sys ~t0 ~y0 ~t1 ~y1 =
+  create ~t0 ~y0 ~f0:(System.eval sys t0 y0) ~t1 ~y1 ~f1:(System.eval sys t1 y1)
+
+let span t = (t.t0, t.t1)
+
+(* Standard cubic Hermite basis on the normalized coordinate s in [0,1]. *)
+let basis s =
+  let s2 = s *. s in
+  let s3 = s2 *. s in
+  let h00 = (2. *. s3) -. (3. *. s2) +. 1. in
+  let h10 = s3 -. (2. *. s2) +. s in
+  let h01 = (-2. *. s3) +. (3. *. s2) in
+  let h11 = s3 -. s2 in
+  (h00, h10, h01, h11)
+
+let clamp_s t time =
+  let s = (time -. t.t0) /. (t.t1 -. t.t0) in
+  Float.max 0. (Float.min 1. s)
+
+let eval t time =
+  let h = t.t1 -. t.t0 in
+  let s = clamp_s t time in
+  let h00, h10, h01, h11 = basis s in
+  Array.init (Array.length t.y0) (fun i ->
+      (h00 *. t.y0.(i)) +. (h10 *. h *. t.f0.(i))
+      +. (h01 *. t.y1.(i)) +. (h11 *. h *. t.f1.(i)))
+
+let eval_component t i time =
+  let h = t.t1 -. t.t0 in
+  let s = clamp_s t time in
+  let h00, h10, h01, h11 = basis s in
+  (h00 *. t.y0.(i)) +. (h10 *. h *. t.f0.(i))
+  +. (h01 *. t.y1.(i)) +. (h11 *. h *. t.f1.(i))

@@ -1,0 +1,26 @@
+(** Dense output between integration mesh points.
+
+    Cubic Hermite interpolation over one step, using the derivative values
+    the integrator already computed. Third-order accurate, which matches
+    the accuracy the zero-crossing locator needs. *)
+
+type t
+(** An interpolant over one step [t0, t1]. *)
+
+val create :
+  t0:float -> y0:float array -> f0:float array
+  -> t1:float -> y1:float array -> f1:float array -> t
+(** Build the interpolant from both endpoints and their derivatives.
+    Raises [Invalid_argument] if [t1 <= t0] or dimensions differ. *)
+
+val of_system : System.t -> t0:float -> y0:float array -> t1:float -> y1:float array -> t
+(** Convenience: evaluate the system's right-hand side at both endpoints. *)
+
+val span : t -> float * float
+(** The interval the interpolant covers. *)
+
+val eval : t -> float -> float array
+(** [eval interp t] for [t] within the span (clamped outside). *)
+
+val eval_component : t -> int -> float -> float
+(** Single state component, avoiding the array allocation. *)

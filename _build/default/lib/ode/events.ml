@@ -1,0 +1,53 @@
+type direction = Rising | Falling | Both
+
+type guard = {
+  name : string;
+  direction : direction;
+  expr : float -> float array -> float;
+}
+
+let guard ?(direction = Both) name expr = { name; direction; expr }
+
+type crossing = {
+  guard_name : string;
+  time : float;
+  state : float array;
+}
+
+let sign_change g g0 g1 =
+  match g.direction with
+  | Rising -> g0 < 0. && g1 >= 0.
+  | Falling -> g0 > 0. && g1 <= 0.
+  | Both -> (g0 < 0. && g1 >= 0.) || (g0 > 0. && g1 <= 0.)
+
+let locate ?tol ?(max_bisect = 80) g interp =
+  let t0, t1 = Dense.span interp in
+  let tol = match tol with Some t -> t | None -> 1e-10 *. (t1 -. t0) in
+  let value time = g.expr time (Dense.eval interp time) in
+  let g0 = value t0 in
+  let g1 = value t1 in
+  if not (sign_change g g0 g1) then None
+  else begin
+    (* Bisection keeps the sign-change bracket [lo, hi]; the crossing is
+       reported at [hi] so that the post-event guard value is on the far
+       side of zero and the event does not immediately retrigger. *)
+    let rec bisect lo glo hi iter =
+      if hi -. lo <= tol || iter >= max_bisect then hi
+      else
+        let mid = (lo +. hi) /. 2. in
+        let gmid = value mid in
+        if sign_change g glo gmid then bisect lo glo mid (iter + 1)
+        else bisect mid gmid hi (iter + 1)
+    in
+    let time = bisect t0 g0 t1 0 in
+    Some { guard_name = g.name; time; state = Dense.eval interp time }
+  end
+
+let first_crossing ?tol guards interp =
+  let best acc candidate =
+    match (acc, candidate) with
+    | None, c -> c
+    | a, None -> a
+    | Some a, Some b -> if b.time < a.time then Some b else Some a
+  in
+  List.fold_left (fun acc g -> best acc (locate ?tol g interp)) None guards

@@ -1,0 +1,38 @@
+(** Zero-crossing (state-event) detection and location.
+
+    Guards are scalar functions of the continuous state; when a guard's
+    sign changes across an integration step the engine must locate the
+    crossing time to deliver the discrete signal at the right instant —
+    this is how streamers raise SPort signals toward capsules. *)
+
+type direction = Rising | Falling | Both
+
+type guard = {
+  name : string;
+  direction : direction;
+  expr : float -> float array -> float;  (** g(t, y); crossing means g = 0 *)
+}
+
+val guard : ?direction:direction -> string -> (float -> float array -> float) -> guard
+(** Build a guard (default direction [Both]). *)
+
+type crossing = {
+  guard_name : string;
+  time : float;
+  state : float array;
+}
+
+val sign_change : guard -> float -> float -> bool
+(** [sign_change g g0 g1] — does the value pair represent a crossing in the
+    guard's direction? Exact zeros at the step start do not retrigger. *)
+
+val locate :
+  ?tol:float -> ?max_bisect:int -> guard -> Dense.t -> crossing option
+(** Locate the first crossing of the guard inside the interpolant's span
+    by bisection on the dense output; [tol] is the time tolerance
+    (default 1e-10 of the span). Returns [None] when there is no sign
+    change over the step. *)
+
+val first_crossing :
+  ?tol:float -> guard list -> Dense.t -> crossing option
+(** Earliest crossing among all guards over the step, if any. *)

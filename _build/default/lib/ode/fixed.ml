@@ -1,0 +1,76 @@
+type scheme = Euler | Midpoint | Heun | Rk4
+
+let order = function
+  | Euler -> 1
+  | Midpoint | Heun -> 2
+  | Rk4 -> 4
+
+let scheme_name = function
+  | Euler -> "euler"
+  | Midpoint -> "midpoint"
+  | Heun -> "heun"
+  | Rk4 -> "rk4"
+
+let scheme_of_string = function
+  | "euler" -> Some Euler
+  | "midpoint" -> Some Midpoint
+  | "heun" -> Some Heun
+  | "rk4" -> Some Rk4
+  | _ -> None
+
+let all_schemes = [ Euler; Midpoint; Heun; Rk4 ]
+
+let step scheme sys ~t ~dt y =
+  if dt <= 0. then invalid_arg "Ode.Fixed.step: dt must be positive";
+  let f = System.eval sys in
+  match scheme with
+  | Euler ->
+    Linalg.axpy dt (f t y) y
+  | Midpoint ->
+    let k1 = f t y in
+    let mid = Linalg.axpy (dt /. 2.) k1 y in
+    Linalg.axpy dt (f (t +. (dt /. 2.)) mid) y
+  | Heun ->
+    let k1 = f t y in
+    let predictor = Linalg.axpy dt k1 y in
+    let k2 = f (t +. dt) predictor in
+    Linalg.axpy (dt /. 2.) (Linalg.add k1 k2) y
+  | Rk4 ->
+    let half = dt /. 2. in
+    let k1 = f t y in
+    let k2 = f (t +. half) (Linalg.axpy half k1 y) in
+    let k3 = f (t +. half) (Linalg.axpy half k2 y) in
+    let k4 = f (t +. dt) (Linalg.axpy dt k3 y) in
+    let incr =
+      Linalg.weighted_sum [ (1., k1); (2., k2); (2., k3); (1., k4) ]
+    in
+    Linalg.axpy (dt /. 6.) incr y
+
+(* Walks the uniform mesh, shortening the final step so the trajectory lands
+   exactly on [t1] even when [t1 - t0] is not a multiple of [dt]. *)
+let fold scheme sys ~t0 ~t1 ~dt y0 ~init ~record =
+  if dt <= 0. then invalid_arg "Ode.Fixed: dt must be positive";
+  if t1 < t0 then invalid_arg "Ode.Fixed: t1 must be >= t0";
+  let eps = 1e-12 *. Float.max 1. (Float.abs t1) in
+  let rec loop acc t y =
+    if t >= t1 -. eps then (acc, y)
+    else
+      let h = Float.min dt (t1 -. t) in
+      let y' = step scheme sys ~t ~dt:h y in
+      let t' = t +. h in
+      loop (record acc t' y') t' y'
+  in
+  loop init t0 y0
+
+let integrate scheme sys ~t0 ~t1 ~dt y0 =
+  if t1 = t0 then Linalg.copy y0
+  else
+    let (), y = fold scheme sys ~t0 ~t1 ~dt y0 ~init:() ~record:(fun () _ _ -> ()) in
+    y
+
+let trajectory scheme sys ~t0 ~t1 ~dt y0 =
+  let record acc t y = (t, Linalg.copy y) :: acc in
+  let acc, _ =
+    fold scheme sys ~t0 ~t1 ~dt y0 ~init:[ (t0, Linalg.copy y0) ] ~record
+  in
+  List.rev acc

@@ -1,0 +1,36 @@
+(** Fixed-step explicit Runge–Kutta methods.
+
+    These are the workhorses of the streamer solvers: cheap, predictable
+    cost per step, which is what a rate-driven real-time thread wants. *)
+
+type scheme =
+  | Euler      (** forward Euler, order 1 *)
+  | Midpoint   (** explicit midpoint, order 2 *)
+  | Heun       (** Heun / trapezoidal predictor-corrector, order 2 *)
+  | Rk4        (** classic Runge–Kutta, order 4 *)
+
+val order : scheme -> int
+(** Classical order of accuracy. *)
+
+val scheme_name : scheme -> string
+(** Lower-case printable name, e.g. ["rk4"]. *)
+
+val scheme_of_string : string -> scheme option
+(** Inverse of {!scheme_name}. *)
+
+val all_schemes : scheme list
+(** Every scheme, in increasing order of accuracy. *)
+
+val step : scheme -> System.t -> t:float -> dt:float -> float array -> float array
+(** One step of the scheme from state [y] at time [t], returning the state
+    at [t +. dt]. Raises [Invalid_argument] if [dt <= 0]. *)
+
+val integrate :
+  scheme -> System.t -> t0:float -> t1:float -> dt:float -> float array -> float array
+(** Advance from [t0] to [t1] in uniform steps of at most [dt] (the final
+    step is shortened to land exactly on [t1]). *)
+
+val trajectory :
+  scheme -> System.t -> t0:float -> t1:float -> dt:float -> float array
+  -> (float * float array) list
+(** Like {!integrate} but returning every mesh point including [t0]. *)

@@ -1,0 +1,70 @@
+type config = {
+  newton_tol : float;
+  max_newton : int;
+  fd_epsilon : float;
+}
+
+let default_config = { newton_tol = 1e-10; max_newton = 25; fd_epsilon = 1e-7 }
+
+exception No_convergence of float
+
+(* Newton solve of [g(y) = 0] starting from [y0], with a forward-difference
+   Jacobian rebuilt at every iteration (dimensions are tiny). *)
+let newton config ~target_time g y0 =
+  let n = Array.length y0 in
+  let rec iterate y iter =
+    let r = g y in
+    if Linalg.norm_inf r <= config.newton_tol then y
+    else if iter >= config.max_newton then raise (No_convergence target_time)
+    else begin
+      let jac =
+        Array.init n (fun i ->
+            let yp = Linalg.copy y in
+            let h = config.fd_epsilon *. Float.max 1. (Float.abs y.(i)) in
+            yp.(i) <- yp.(i) +. h;
+            let rp = g yp in
+            Array.init n (fun j -> (rp.(j) -. r.(j)) /. h))
+      in
+      (* [jac] above is column-major (row i = dg/dy_i); transpose to rows. *)
+      let jt = Array.init n (fun i -> Array.init n (fun j -> jac.(j).(i))) in
+      let delta = Linalg.solve jt (Linalg.scale (-1.) r) in
+      iterate (Linalg.add y delta) (iter + 1)
+    end
+  in
+  iterate y0 0
+
+let backward_euler_step ?(config = default_config) sys ~t ~dt y =
+  if dt <= 0. then invalid_arg "Ode.Implicit.backward_euler_step: dt must be positive";
+  let t1 = t +. dt in
+  let g y1 = Linalg.sub (Linalg.sub y1 y) (Linalg.scale dt (System.eval sys t1 y1)) in
+  (* Explicit Euler predictor gives Newton a warm start. *)
+  let predictor = Linalg.axpy dt (System.eval sys t y) y in
+  newton config ~target_time:t1 g predictor
+
+let trapezoidal_step ?(config = default_config) sys ~t ~dt y =
+  if dt <= 0. then invalid_arg "Ode.Implicit.trapezoidal_step: dt must be positive";
+  let t1 = t +. dt in
+  let f0 = System.eval sys t y in
+  let base = Linalg.axpy (dt /. 2.) f0 y in
+  let g y1 =
+    Linalg.sub (Linalg.sub y1 base) (Linalg.scale (dt /. 2.) (System.eval sys t1 y1))
+  in
+  let predictor = Linalg.axpy dt f0 y in
+  newton config ~target_time:t1 g predictor
+
+let integrate ?config method_ sys ~t0 ~t1 ~dt y0 =
+  if dt <= 0. then invalid_arg "Ode.Implicit.integrate: dt must be positive";
+  if t1 < t0 then invalid_arg "Ode.Implicit.integrate: t1 must be >= t0";
+  let stepper =
+    match method_ with
+    | `Backward_euler -> backward_euler_step ?config sys
+    | `Trapezoidal -> trapezoidal_step ?config sys
+  in
+  let eps = 1e-12 *. Float.max 1. (Float.abs t1) in
+  let rec loop t y =
+    if t >= t1 -. eps then y
+    else
+      let h = Float.min dt (t1 -. t) in
+      loop (t +. h) (stepper ~t ~dt:h y)
+  in
+  loop t0 (Linalg.copy y0)

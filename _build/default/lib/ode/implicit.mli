@@ -1,0 +1,30 @@
+(** Implicit (A-stable) steppers for stiff plants.
+
+    Newton iteration with a finite-difference Jacobian; suitable for the
+    small state dimensions (<= ~20) that control plants have. *)
+
+type config = {
+  newton_tol : float;    (** residual infinity-norm tolerance (default 1e-10) *)
+  max_newton : int;      (** Newton iterations per step (default 25) *)
+  fd_epsilon : float;    (** finite-difference perturbation (default 1e-7) *)
+}
+
+val default_config : config
+
+exception No_convergence of float
+(** Raised (with the step's target time) when Newton fails to converge. *)
+
+val backward_euler_step :
+  ?config:config -> System.t -> t:float -> dt:float -> float array -> float array
+(** One backward-Euler step: solves [y1 = y0 + dt * f(t+dt, y1)]. *)
+
+val trapezoidal_step :
+  ?config:config -> System.t -> t:float -> dt:float -> float array -> float array
+(** One trapezoidal (Crank–Nicolson) step:
+    [y1 = y0 + dt/2 * (f(t, y0) + f(t+dt, y1))]. *)
+
+val integrate :
+  ?config:config
+  -> [ `Backward_euler | `Trapezoidal ]
+  -> System.t -> t0:float -> t1:float -> dt:float -> float array -> float array
+(** Uniform-mesh integration, final step shortened to land on [t1]. *)

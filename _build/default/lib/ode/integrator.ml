@@ -1,0 +1,111 @@
+type method_ =
+  | Fixed of Fixed.scheme * float
+  | Adaptive of Adaptive.scheme * Adaptive.control
+  | Implicit of [ `Backward_euler | `Trapezoidal ] * float
+
+let method_name = function
+  | Fixed (s, dt) -> Printf.sprintf "fixed:%s@%g" (Fixed.scheme_name s) dt
+  | Adaptive (s, _) -> Printf.sprintf "adaptive:%s" (Adaptive.scheme_name s)
+  | Implicit (`Backward_euler, dt) -> Printf.sprintf "implicit:backward-euler@%g" dt
+  | Implicit (`Trapezoidal, dt) -> Printf.sprintf "implicit:trapezoidal@%g" dt
+
+type t = {
+  mutable sys : System.t;
+  method_ : method_;
+  mutable now : float;
+  mutable y : float array;
+  mutable steps : int;
+}
+
+let create ?(method_ = Fixed (Fixed.Rk4, 1e-3)) sys ~t0 y0 =
+  if Array.length y0 <> System.dim sys then
+    invalid_arg "Ode.Integrator.create: state dimension mismatch";
+  { sys; method_; now = t0; y = Linalg.copy y0; steps = 0 }
+
+let time t = t.now
+let state t = Linalg.copy t.y
+
+let set_state t y =
+  if Array.length y <> System.dim t.sys then
+    invalid_arg "Ode.Integrator.set_state: state dimension mismatch";
+  t.y <- Linalg.copy y
+
+let system t = t.sys
+
+let replace_system t sys =
+  if System.dim sys <> System.dim t.sys then
+    invalid_arg "Ode.Integrator.replace_system: dimension mismatch";
+  t.sys <- sys
+
+let steps_taken t = t.steps
+
+type outcome =
+  | Reached of float
+  | Interrupted of Events.crossing
+
+(* One raw step of whatever method is configured, of size at most [limit],
+   returning (t', y'). *)
+let raw_step t ~limit =
+  let h_of dt = Float.min dt limit in
+  match t.method_ with
+  | Fixed (scheme, dt) ->
+    let h = h_of dt in
+    let y' = Fixed.step scheme t.sys ~t:t.now ~dt:h t.y in
+    (t.now +. h, y')
+  | Implicit (m, dt) ->
+    let h = h_of dt in
+    let y' =
+      match m with
+      | `Backward_euler -> Implicit.backward_euler_step t.sys ~t:t.now ~dt:h t.y
+      | `Trapezoidal -> Implicit.trapezoidal_step t.sys ~t:t.now ~dt:h t.y
+    in
+    (t.now +. h, y')
+  | Adaptive (scheme, control) ->
+    let y', stats =
+      Adaptive.integrate ~scheme ~control t.sys ~t0:t.now ~t1:(t.now +. limit) t.y
+    in
+    ignore stats;
+    (t.now +. limit, y')
+
+let eps_for target = 1e-12 *. Float.max 1. (Float.abs target)
+
+let advance t target =
+  if target < t.now then invalid_arg "Ode.Integrator.advance: target in the past";
+  let eps = eps_for target in
+  while t.now < target -. eps do
+    let t', y' = raw_step t ~limit:(target -. t.now) in
+    t.now <- t';
+    t.y <- y';
+    t.steps <- t.steps + 1
+  done;
+  t.now <- target;
+  Reached target
+
+let advance_guarded t target guards =
+  if target < t.now then invalid_arg "Ode.Integrator.advance_guarded: target in the past";
+  if guards = [] then advance t target
+  else begin
+    let eps = eps_for target in
+    let result = ref None in
+    while !result = None && t.now < target -. eps do
+      let t0 = t.now in
+      let y0 = t.y in
+      let t1, y1 = raw_step t ~limit:(target -. t.now) in
+      let interp = Dense.of_system t.sys ~t0 ~y0 ~t1 ~y1 in
+      match Events.first_crossing guards interp with
+      | Some crossing ->
+        t.now <- crossing.Events.time;
+        t.y <- Linalg.copy crossing.Events.state;
+        t.steps <- t.steps + 1;
+        result := Some (Interrupted crossing)
+      | None ->
+        t.now <- t1;
+        t.y <- y1;
+        t.steps <- t.steps + 1
+    done;
+    match !result with
+    | Some outcome -> outcome
+    | None ->
+      t.now <- target;
+      Reached target
+  end

@@ -1,0 +1,40 @@
+(** Stateful integration driver: the numerical engine behind a streamer's
+    solver. Holds current time/state, advances on demand, stops early at
+    zero crossings. *)
+
+type method_ =
+  | Fixed of Fixed.scheme * float        (** scheme and its step size *)
+  | Adaptive of Adaptive.scheme * Adaptive.control
+  | Implicit of [ `Backward_euler | `Trapezoidal ] * float
+
+val method_name : method_ -> string
+
+type t
+
+val create : ?method_:method_ -> System.t -> t0:float -> float array -> t
+(** Default method is [Fixed (Rk4, 1e-3)]. *)
+
+val time : t -> float
+val state : t -> float array
+(** A copy of the current state. *)
+
+val set_state : t -> float array -> unit
+(** Replace the continuous state (used by strategies on mode switches). *)
+
+val system : t -> System.t
+
+val replace_system : t -> System.t -> unit
+(** Swap the equations (strategy switch); dimension must match. *)
+
+val steps_taken : t -> int
+
+type outcome =
+  | Reached of float                     (** advanced to the requested time *)
+  | Interrupted of Events.crossing       (** stopped at a zero crossing *)
+
+val advance : t -> float -> outcome
+(** [advance t target] integrates up to [target] (>= current time). *)
+
+val advance_guarded : t -> float -> Events.guard list -> outcome
+(** Like {!advance} but stops at the earliest guard crossing; the
+    integrator's clock and state are left exactly at the crossing. *)

@@ -1,0 +1,101 @@
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Ode.Linalg.%s: dimension mismatch (%d vs %d)"
+                   name (Array.length a) (Array.length b))
+
+let copy = Array.copy
+
+let add a b =
+  check_dims "add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale k v = Array.map (fun x -> k *. x) v
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let axpy_into ~dst a x =
+  check_dims "axpy_into" dst x;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. (a *. x.(i))
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+let lerp s a b =
+  check_dims "lerp" a b;
+  Array.init (Array.length a) (fun i -> ((1. -. s) *. a.(i)) +. (s *. b.(i)))
+
+let weighted_sum = function
+  | [] -> invalid_arg "Ode.Linalg.weighted_sum: empty list"
+  | (k0, v0) :: rest ->
+    let acc = scale k0 v0 in
+    List.iter (fun (k, v) -> axpy_into ~dst:acc k v) rest;
+    acc
+
+let mat_vec m v =
+  Array.map (fun row -> dot row v) m
+
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Ode.Linalg.solve: square matrix required";
+  (* Augmented working copies; partial pivoting keeps the elimination stable. *)
+  let m = Array.init n (fun i ->
+      if Array.length a.(i) <> n then
+        invalid_arg "Ode.Linalg.solve: square matrix required";
+      Array.copy a.(i))
+  in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-300 then failwith "Ode.Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0. then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done;
+        x.(row) <- x.(row) -. (factor *. x.(col))
+      end
+    done
+  done;
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let approx_equal ?(tol = 1e-9) a b =
+  Array.length a = Array.length b && norm_inf (sub a b) <= tol

@@ -1,0 +1,53 @@
+(** Small dense linear-algebra helpers used by the integrators.
+
+    All vectors are [float array]; all operations allocate a fresh result
+    unless the name says otherwise ([axpy_into], [blit]). Matrices are
+    [float array array] in row-major order. *)
+
+val copy : float array -> float array
+(** Fresh copy of a vector. *)
+
+val add : float array -> float array -> float array
+(** Elementwise sum. Raises [Invalid_argument] on dimension mismatch. *)
+
+val sub : float array -> float array -> float array
+(** Elementwise difference. *)
+
+val scale : float -> float array -> float array
+(** [scale k v] is [k * v]. *)
+
+val axpy : float -> float array -> float array -> float array
+(** [axpy a x y] is [a*x + y]. *)
+
+val axpy_into : dst:float array -> float -> float array -> unit
+(** [axpy_into ~dst a x] performs [dst <- dst + a*x] in place. *)
+
+val dot : float array -> float array -> float
+(** Inner product. *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val norm_inf : float array -> float
+(** Maximum absolute component; 0 for the empty vector. *)
+
+val lerp : float -> float array -> float array -> float array
+(** [lerp s a b] is [(1-s)*a + s*b]. *)
+
+val weighted_sum : (float * float array) list -> float array
+(** Sum of scaled vectors. Raises [Invalid_argument] on the empty list. *)
+
+val mat_vec : float array array -> float array -> float array
+(** Matrix-vector product. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. Raises [Failure] if [a] is (numerically) singular.
+    [a] and [b] are not modified. *)
+
+val identity : int -> float array array
+(** Identity matrix of the given order. *)
+
+val approx_equal : ?tol:float -> float array -> float array -> bool
+(** True when the two vectors agree within [tol] (default [1e-9]) in
+    the infinity norm. *)

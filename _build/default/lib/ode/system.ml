@@ -1,0 +1,38 @@
+type t = {
+  dim : int;
+  rhs : float -> float array -> float array;
+  evals : int ref;
+}
+
+let create ~dim rhs =
+  if dim <= 0 then invalid_arg "Ode.System.create: dimension must be positive";
+  { dim; rhs; evals = ref 0 }
+
+let dim t = t.dim
+
+let eval t time y =
+  if Array.length y <> t.dim then
+    invalid_arg
+      (Printf.sprintf "Ode.System.eval: state has dimension %d, expected %d"
+         (Array.length y) t.dim);
+  incr t.evals;
+  let dy = t.rhs time y in
+  if Array.length dy <> t.dim then
+    invalid_arg
+      (Printf.sprintf
+         "Ode.System.eval: right-hand side returned dimension %d, expected %d"
+         (Array.length dy) t.dim);
+  dy
+
+let eval_count t = !(t.evals)
+
+let linear a =
+  let n = Array.length a in
+  create ~dim:n (fun _t y -> Linalg.mat_vec a y)
+
+let affine a b =
+  let n = Array.length b in
+  create ~dim:n (fun _t y -> Linalg.add (Linalg.mat_vec a y) b)
+
+let map_state t enc dec =
+  create ~dim:t.dim (fun time y -> dec (eval t time (enc y)))

@@ -1,0 +1,34 @@
+(** First-order ODE systems [y' = f(t, y)].
+
+    Higher-order equations are expected to be rewritten into first-order
+    form by the caller (the [plant] library does this for every model). *)
+
+type t
+(** An ODE system with a fixed dimension. *)
+
+val create : dim:int -> (float -> float array -> float array) -> t
+(** [create ~dim rhs] wraps [rhs t y] returning dy/dt. Raises
+    [Invalid_argument] if [dim <= 0]. *)
+
+val dim : t -> int
+(** State-space dimension. *)
+
+val eval : t -> float -> float array -> float array
+(** [eval sys t y] evaluates the right-hand side, checking that both the
+    argument and the result have dimension [dim sys]. *)
+
+val eval_count : t -> int
+(** Number of right-hand-side evaluations since creation — used by the
+    benches to report work done by each method. *)
+
+val linear : float array array -> t
+(** [linear a] is the autonomous linear system [y' = A y]. *)
+
+val affine : float array array -> float array -> t
+(** [affine a b] is [y' = A y + b]. *)
+
+val map_state : t -> (float array -> float array) -> (float array -> float array) -> t
+(** [map_state sys enc dec] conjugates the system by a change of
+    coordinates: states presented to the result are [enc]-oded before
+    evaluation and derivatives are [dec]-oded after. Dimensions must be
+    preserved. *)

@@ -1,0 +1,1 @@
+lib/plant/mass_spring.ml: Array Ode

@@ -1,0 +1,1 @@
+lib/plant/pendulum.ml: Array Ode

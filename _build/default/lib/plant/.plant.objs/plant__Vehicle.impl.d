@@ -1,0 +1,1 @@
+lib/plant/vehicle.ml: Array Float Ode

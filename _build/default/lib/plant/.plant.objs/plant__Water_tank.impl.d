@@ -1,0 +1,1 @@
+lib/plant/water_tank.ml: Array Float Ode

@@ -1,0 +1,43 @@
+type t = {
+  inertia : float;
+  damping : float;
+  kt : float;
+  ke : float;
+  resistance : float;
+  inductance : float;
+}
+
+let default =
+  { inertia = 1e-3; damping = 1e-4; kt = 0.05; ke = 0.05;
+    resistance = 1.; inductance = 0.5e-3 }
+
+let create ?(inertia = default.inertia) ?(damping = default.damping)
+    ?(kt = default.kt) ?(ke = default.ke) ?(resistance = default.resistance)
+    ?(inductance = default.inductance) () =
+  if inertia <= 0. then invalid_arg "Plant.Dc_motor.create: inertia must be positive";
+  if damping < 0. then invalid_arg "Plant.Dc_motor.create: negative damping";
+  if kt <= 0. || ke <= 0. then invalid_arg "Plant.Dc_motor.create: constants must be positive";
+  if resistance <= 0. then invalid_arg "Plant.Dc_motor.create: resistance must be positive";
+  if inductance <= 0. then invalid_arg "Plant.Dc_motor.create: inductance must be positive";
+  { inertia; damping; kt; ke; resistance; inductance }
+
+let system p ~voltage ?(load = fun _ _ -> 0.) () =
+  Ode.System.create ~dim:2 (fun time y ->
+      let omega = y.(0) in
+      let i = y.(1) in
+      let v = voltage time y in
+      let tau_load = load time y in
+      [| ((p.kt *. i) -. (p.damping *. omega) -. tau_load) /. p.inertia;
+         (v -. (p.resistance *. i) -. (p.ke *. omega)) /. p.inductance |])
+
+let system_const p ~voltage = system p ~voltage:(fun _ _ -> voltage) ()
+
+let steady_state p ~voltage =
+  let denom = (p.resistance *. p.damping) +. (p.kt *. p.ke) in
+  let omega = p.kt *. voltage /. denom in
+  let current = p.damping *. voltage /. denom in
+  (omega, current)
+
+let a_matrix p =
+  [| [| -.(p.damping /. p.inertia); p.kt /. p.inertia |];
+     [| -.(p.ke /. p.inductance); -.(p.resistance /. p.inductance) |] |]

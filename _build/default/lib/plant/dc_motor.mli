@@ -1,0 +1,31 @@
+(** Brushed DC motor, electrical + mechanical dynamics.
+
+    State [| omega; current |] (rad/s, A); dynamics
+    [omega' = (kt*i - b*omega - load)/J],
+    [i' = (v - R*i - ke*omega)/L]. *)
+
+type t = {
+  inertia : float;     (** J, kg m^2 *)
+  damping : float;     (** b, N m s *)
+  kt : float;          (** torque constant, N m / A *)
+  ke : float;          (** back-EMF constant, V s / rad *)
+  resistance : float;  (** R, ohm *)
+  inductance : float;  (** L, H *)
+}
+
+val default : t
+val create :
+  ?inertia:float -> ?damping:float -> ?kt:float -> ?ke:float
+  -> ?resistance:float -> ?inductance:float -> unit -> t
+
+val system :
+  t -> voltage:(float -> float array -> float)
+  -> ?load:(float -> float array -> float) -> unit -> Ode.System.t
+
+val system_const : t -> voltage:float -> Ode.System.t
+
+val steady_state : t -> voltage:float -> float * float
+(** (omega, current) equilibrium under constant voltage, zero load. *)
+
+val a_matrix : t -> float array array
+(** The linear state matrix (the plant is linear) — for LQR/pole tests. *)

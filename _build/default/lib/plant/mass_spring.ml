@@ -1,0 +1,51 @@
+type t = {
+  mass : float;
+  stiffness : float;
+  damping : float;
+}
+
+let default = { mass = 1.0; stiffness = 40.0; damping = 2.0 }
+
+let create ?(mass = default.mass) ?(stiffness = default.stiffness)
+    ?(damping = default.damping) () =
+  if mass <= 0. then invalid_arg "Plant.Mass_spring.create: mass must be positive";
+  if stiffness <= 0. then invalid_arg "Plant.Mass_spring.create: stiffness must be positive";
+  if damping < 0. then invalid_arg "Plant.Mass_spring.create: negative damping";
+  { mass; stiffness; damping }
+
+let system p ~force =
+  Ode.System.create ~dim:2 (fun time y ->
+      let x = y.(0) in
+      let v = y.(1) in
+      let f = force time y in
+      [| v; ((-.p.stiffness *. x) -. (p.damping *. v) +. f) /. p.mass |])
+
+let system_free p = system p ~force:(fun _ _ -> 0.)
+
+let natural_frequency p = sqrt (p.stiffness /. p.mass)
+
+let damping_ratio p = p.damping /. (2. *. sqrt (p.stiffness *. p.mass))
+
+let free_response p ~x0 ~v0 time =
+  let wn = natural_frequency p in
+  let zeta = damping_ratio p in
+  if zeta < 1. -. 1e-12 then begin
+    let wd = wn *. sqrt (1. -. (zeta *. zeta)) in
+    let a = x0 in
+    let b = (v0 +. (zeta *. wn *. x0)) /. wd in
+    exp (-.zeta *. wn *. time) *. ((a *. cos (wd *. time)) +. (b *. sin (wd *. time)))
+  end
+  else if zeta <= 1. +. 1e-12 then begin
+    (* Critically damped: x = (a + b t) e^{-wn t}. *)
+    let a = x0 in
+    let b = v0 +. (wn *. x0) in
+    (a +. (b *. time)) *. exp (-.wn *. time)
+  end
+  else begin
+    let s = wn *. sqrt ((zeta *. zeta) -. 1.) in
+    let r1 = (-.zeta *. wn) +. s in
+    let r2 = (-.zeta *. wn) -. s in
+    let c2 = ((r1 *. x0) -. v0) /. (r1 -. r2) in
+    let c1 = x0 -. c2 in
+    (c1 *. exp (r1 *. time)) +. (c2 *. exp (r2 *. time))
+  end

@@ -1,0 +1,24 @@
+(** Mass–spring–damper.
+
+    State [| position; velocity |]; dynamics
+    [x'' = (-k x - c x' + force)/m]. The underdamped free response has a
+    closed form used as an accuracy reference. *)
+
+type t = {
+  mass : float;
+  stiffness : float;  (** k, N/m *)
+  damping : float;    (** c, N s/m *)
+}
+
+val default : t
+val create : ?mass:float -> ?stiffness:float -> ?damping:float -> unit -> t
+
+val system : t -> force:(float -> float array -> float) -> Ode.System.t
+val system_free : t -> Ode.System.t
+
+val natural_frequency : t -> float
+val damping_ratio : t -> float
+
+val free_response : t -> x0:float -> v0:float -> float -> float
+(** Analytic position at time [t] of the free response (any damping
+    regime: under-, critically- or over-damped). *)

@@ -1,0 +1,49 @@
+type t = {
+  mass : float;
+  length : float;
+  damping : float;
+  gravity : float;
+}
+
+let default = { mass = 0.2; length = 0.5; damping = 0.01; gravity = 9.81 }
+
+let create ?(mass = default.mass) ?(length = default.length)
+    ?(damping = default.damping) ?(gravity = default.gravity) () =
+  if mass <= 0. then invalid_arg "Plant.Pendulum.create: mass must be positive";
+  if length <= 0. then invalid_arg "Plant.Pendulum.create: length must be positive";
+  if gravity <= 0. then invalid_arg "Plant.Pendulum.create: gravity must be positive";
+  if damping < 0. then invalid_arg "Plant.Pendulum.create: negative damping";
+  { mass; length; damping; gravity }
+
+let inertia p = p.mass *. p.length *. p.length
+
+let system p ~torque =
+  Ode.System.create ~dim:2 (fun time y ->
+      let theta = y.(0) in
+      let omega = y.(1) in
+      let u = torque time y in
+      [| omega;
+         (-.(p.gravity /. p.length) *. sin theta)
+         -. (p.damping /. inertia p *. omega)
+         +. (u /. inertia p) |])
+
+let system_free p = system p ~torque:(fun _ _ -> 0.)
+
+let linearized p ~upright =
+  (* d(sin theta)/dtheta at 0 is +1, at pi is -1. *)
+  let sign = if upright then 1. else -1. in
+  [| [| 0.; 1. |];
+     [| sign *. (p.gravity /. p.length); -.(p.damping /. inertia p) |] |]
+
+let small_angle_solution p ~theta0 time =
+  if p.damping <> 0. then
+    invalid_arg "Plant.Pendulum.small_angle_solution: damping must be 0";
+  let omega_n = sqrt (p.gravity /. p.length) in
+  theta0 *. cos (omega_n *. time)
+
+let energy p y =
+  let theta = y.(0) in
+  let omega = y.(1) in
+  let kinetic = 0.5 *. inertia p *. omega *. omega in
+  let potential = p.mass *. p.gravity *. p.length *. (1. -. cos theta) in
+  kinetic +. potential

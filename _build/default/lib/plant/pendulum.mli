@@ -1,0 +1,40 @@
+(** Pendulum with viscous friction and a torque input.
+
+    State [| theta; omega |] (rad, rad/s); dynamics
+    [theta'' = -(g/l) sin theta - (b/(m l^2)) theta' + u/(m l^2)].
+    The inverted equilibrium is [theta = pi]. *)
+
+type t = {
+  mass : float;        (** kg *)
+  length : float;      (** m *)
+  damping : float;     (** N m s / rad *)
+  gravity : float;     (** m/s^2 *)
+}
+
+val default : t
+(** 0.2 kg, 0.5 m, light damping, g = 9.81. *)
+
+val create : ?mass:float -> ?length:float -> ?damping:float -> ?gravity:float -> unit -> t
+(** Raises [Invalid_argument] on non-positive mass/length/gravity or
+    negative damping. *)
+
+val system : t -> torque:(float -> float array -> float) -> Ode.System.t
+(** Nonlinear dynamics; [torque t state] is the control input. *)
+
+val system_free : t -> Ode.System.t
+(** Zero input. *)
+
+val linearized : t -> upright:bool -> float array array
+(** Jacobian at hanging ([theta = 0]) or upright ([theta = pi])
+    equilibrium — the A matrix used by state-feedback design. *)
+
+val small_angle_solution : t -> theta0:float -> float -> float
+(** Analytic angle at time [t] of the {e undamped, linearized} hanging
+    pendulum released at rest from [theta0]: used as a reference in
+    accuracy experiments (damping must be 0). Raises [Invalid_argument]
+    if the plant has damping. *)
+
+val energy : t -> float array -> float
+(** Mechanical energy (taking the hanging position as zero potential) —
+    conserved by the free undamped pendulum, a good property-test
+    invariant. *)

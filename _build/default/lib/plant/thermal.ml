@@ -1,0 +1,34 @@
+type t = {
+  ambient : float;
+  time_constant : float;
+  heater_power : float;
+  capacity : float;
+}
+
+let default =
+  { ambient = 15.; time_constant = 1800.; heater_power = 2000.; capacity = 200_000. }
+
+let create ?(ambient = default.ambient) ?(time_constant = default.time_constant)
+    ?(heater_power = default.heater_power) ?(capacity = default.capacity) () =
+  if time_constant <= 0. then invalid_arg "Plant.Thermal.create: time constant must be positive";
+  if heater_power < 0. then invalid_arg "Plant.Thermal.create: negative heater power";
+  if capacity <= 0. then invalid_arg "Plant.Thermal.create: capacity must be positive";
+  { ambient; time_constant; heater_power; capacity }
+
+let clamp01 u = Float.max 0. (Float.min 1. u)
+
+let system p ~heater =
+  Ode.System.create ~dim:1 (fun time y ->
+      let temp = y.(0) in
+      let u = clamp01 (heater time y) in
+      [| (-.(temp -. p.ambient) /. p.time_constant)
+         +. (p.heater_power /. p.capacity *. u) |])
+
+let system_const p ~duty = system p ~heater:(fun _ _ -> duty)
+
+let equilibrium p ~duty =
+  p.ambient +. (clamp01 duty *. p.heater_power *. p.time_constant /. p.capacity)
+
+let analytic_const p ~duty ~t0_temp time =
+  let t_inf = equilibrium p ~duty in
+  t_inf +. ((t0_temp -. t_inf) *. exp (-.time /. p.time_constant))

@@ -1,0 +1,29 @@
+(** First-order thermal plant: a heated room.
+
+    State [| temperature |] (deg C); dynamics
+    [T' = -(T - ambient)/tau + (power/capacity) * u] where [u] in [0,1]
+    is the heater command. The classic thermostat plant. *)
+
+type t = {
+  ambient : float;       (** deg C *)
+  time_constant : float; (** s *)
+  heater_power : float;  (** W *)
+  capacity : float;      (** J/K *)
+}
+
+val default : t
+val create :
+  ?ambient:float -> ?time_constant:float -> ?heater_power:float
+  -> ?capacity:float -> unit -> t
+
+val system : t -> heater:(float -> float array -> float) -> Ode.System.t
+(** [heater t state] should return the duty command in [0,1] (clamped). *)
+
+val system_const : t -> duty:float -> Ode.System.t
+
+val analytic_const : t -> duty:float -> t0_temp:float -> float -> float
+(** Exact solution under a constant duty cycle — the reference for the
+    accuracy experiment E1. *)
+
+val equilibrium : t -> duty:float -> float
+(** Steady-state temperature under a constant duty cycle. *)

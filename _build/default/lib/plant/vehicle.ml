@@ -1,0 +1,43 @@
+type t = {
+  mass : float;
+  drag_coeff : float;
+  frontal_area : float;
+  air_density : float;
+  rolling_coeff : float;
+  gravity : float;
+}
+
+let default =
+  { mass = 1500.; drag_coeff = 0.32; frontal_area = 2.2; air_density = 1.225;
+    rolling_coeff = 0.012; gravity = 9.81 }
+
+let create ?(mass = default.mass) ?(drag_coeff = default.drag_coeff)
+    ?(frontal_area = default.frontal_area) ?(air_density = default.air_density)
+    ?(rolling_coeff = default.rolling_coeff) ?(gravity = default.gravity) () =
+  if mass <= 0. then invalid_arg "Plant.Vehicle.create: mass must be positive";
+  if drag_coeff < 0. || frontal_area <= 0. || air_density <= 0. then
+    invalid_arg "Plant.Vehicle.create: invalid aerodynamic parameters";
+  if rolling_coeff < 0. then invalid_arg "Plant.Vehicle.create: negative rolling coefficient";
+  if gravity <= 0. then invalid_arg "Plant.Vehicle.create: gravity must be positive";
+  { mass; drag_coeff; frontal_area; air_density; rolling_coeff; gravity }
+
+let drag_force p ~speed =
+  0.5 *. p.air_density *. p.drag_coeff *. p.frontal_area *. speed *. speed
+
+let rolling_force p = p.mass *. p.gravity *. p.rolling_coeff
+
+let system p ~drive_force ?(grade = fun _ -> 0.) () =
+  Ode.System.create ~dim:1 (fun time y ->
+      let v = Float.max 0. y.(0) in
+      let f = drive_force time y in
+      let slope = p.mass *. p.gravity *. sin (grade time) in
+      let dv = (f -. drag_force p ~speed:v -. rolling_force p -. slope) /. p.mass in
+      if y.(0) <= 0. && dv < 0. then [| 0. |] else [| dv |])
+
+let force_for_speed p ~speed = drag_force p ~speed +. rolling_force p
+
+let top_speed p ~drive_force =
+  let available = drive_force -. rolling_force p in
+  if available <= 0. then 0.
+  else
+    sqrt (available /. (0.5 *. p.air_density *. p.drag_coeff *. p.frontal_area))

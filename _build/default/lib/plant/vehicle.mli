@@ -1,0 +1,35 @@
+(** Longitudinal vehicle dynamics for cruise control.
+
+    State [| speed |] (m/s); dynamics
+    [v' = (drive_force - 0.5 rho Cd A v^2 - m g Cr - m g sin(grade))/m],
+    with speed clamped at 0 (no reversing under drag). *)
+
+type t = {
+  mass : float;          (** kg *)
+  drag_coeff : float;    (** Cd *)
+  frontal_area : float;  (** m^2 *)
+  air_density : float;   (** kg/m^3 *)
+  rolling_coeff : float; (** Cr *)
+  gravity : float;
+}
+
+val default : t
+(** A mid-size car: 1500 kg, Cd 0.32, A 2.2 m^2. *)
+
+val create :
+  ?mass:float -> ?drag_coeff:float -> ?frontal_area:float -> ?air_density:float
+  -> ?rolling_coeff:float -> ?gravity:float -> unit -> t
+
+val system :
+  t -> drive_force:(float -> float array -> float)
+  -> ?grade:(float -> float)  (** road grade angle in rad, by time *)
+  -> unit -> Ode.System.t
+
+val drag_force : t -> speed:float -> float
+val rolling_force : t -> float
+
+val force_for_speed : t -> speed:float -> float
+(** Drive force that holds the given speed on flat road. *)
+
+val top_speed : t -> drive_force:float -> float
+(** Equilibrium speed on flat road under the constant force. *)

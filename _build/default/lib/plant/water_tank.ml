@@ -1,0 +1,39 @@
+type t = {
+  tank_area : float;
+  outlet_area : float;
+  gravity : float;
+  max_level : float;
+}
+
+let default =
+  { tank_area = 1.0; outlet_area = 0.01; gravity = 9.81; max_level = 2.0 }
+
+let create ?(tank_area = default.tank_area) ?(outlet_area = default.outlet_area)
+    ?(gravity = default.gravity) ?(max_level = default.max_level) () =
+  if tank_area <= 0. then invalid_arg "Plant.Water_tank.create: tank area must be positive";
+  if outlet_area < 0. then invalid_arg "Plant.Water_tank.create: negative outlet area";
+  if gravity <= 0. then invalid_arg "Plant.Water_tank.create: gravity must be positive";
+  if max_level <= 0. then invalid_arg "Plant.Water_tank.create: max level must be positive";
+  { tank_area; outlet_area; gravity; max_level }
+
+let outflow p ~level =
+  let h = Float.max 0. level in
+  p.outlet_area *. sqrt (2. *. p.gravity *. h)
+
+let system p ~inflow =
+  Ode.System.create ~dim:1 (fun time y ->
+      let level = y.(0) in
+      let q_in = Float.max 0. (inflow time y) in
+      let dh = (q_in -. outflow p ~level) /. p.tank_area in
+      (* Empty tank cannot drain further; the derivative clamps at 0. *)
+      if level <= 0. && dh < 0. then [| 0. |] else [| dh |])
+
+let system_const p ~inflow = system p ~inflow:(fun _ _ -> inflow)
+
+let equilibrium_level p ~inflow =
+  if p.outlet_area = 0. then infinity
+  else begin
+    let q = Float.max 0. inflow in
+    let v = q /. p.outlet_area in
+    v *. v /. (2. *. p.gravity)
+  end

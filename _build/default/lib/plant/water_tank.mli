@@ -1,0 +1,28 @@
+(** Gravity-drained water tank with a controllable inflow.
+
+    State [| level |] (m); dynamics (Torricelli)
+    [h' = (q_in - outlet_area * sqrt(2 g h)) / tank_area], with the level
+    clamped at 0 (the tank cannot go negative). The nonlinearity and the
+    non-smooth empty-tank corner exercise the solvers. *)
+
+type t = {
+  tank_area : float;    (** m^2 *)
+  outlet_area : float;  (** m^2 *)
+  gravity : float;      (** m/s^2 *)
+  max_level : float;    (** overflow level, m *)
+}
+
+val default : t
+val create :
+  ?tank_area:float -> ?outlet_area:float -> ?gravity:float -> ?max_level:float
+  -> unit -> t
+
+val system : t -> inflow:(float -> float array -> float) -> Ode.System.t
+(** [inflow t state] in m^3/s (negative inflow is clamped to 0). *)
+
+val system_const : t -> inflow:float -> Ode.System.t
+
+val equilibrium_level : t -> inflow:float -> float
+(** Level at which outflow balances the constant inflow. *)
+
+val outflow : t -> level:float -> float

@@ -1,0 +1,1 @@
+lib/rt/edf.ml: Float List Task

@@ -1,0 +1,1 @@
+lib/rt/edf.mli: Task

@@ -1,0 +1,1 @@
+lib/rt/rm.ml: Float List String Task

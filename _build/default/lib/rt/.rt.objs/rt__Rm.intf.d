@@ -1,0 +1,1 @@
+lib/rt/rm.mli: Task

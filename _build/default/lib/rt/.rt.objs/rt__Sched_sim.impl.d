@@ -1,0 +1,1 @@
+lib/rt/sched_sim.ml: Float List Rm String Task

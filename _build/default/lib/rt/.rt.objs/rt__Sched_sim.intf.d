@@ -1,0 +1,1 @@
+lib/rt/sched_sim.mli: Task

@@ -1,0 +1,1 @@
+lib/rt/workload.ml: Des Float List Printf Task

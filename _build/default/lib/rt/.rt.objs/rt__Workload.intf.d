@@ -1,0 +1,1 @@
+lib/rt/workload.mli: Des Task

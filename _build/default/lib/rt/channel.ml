@@ -1,0 +1,59 @@
+type latency_model =
+  | Immediate
+  | Constant of float
+  | Uniform of float * float
+  | Gaussian of { mu : float; sigma : float }
+
+let model_name = function
+  | Immediate -> "immediate"
+  | Constant c -> Printf.sprintf "constant(%g)" c
+  | Uniform (lo, hi) -> Printf.sprintf "uniform(%g,%g)" lo hi
+  | Gaussian { mu; sigma } -> Printf.sprintf "gaussian(%g,%g)" mu sigma
+
+let sample model rng =
+  match model with
+  | Immediate -> 0.
+  | Constant c -> Float.max 0. c
+  | Uniform (lo, hi) -> Float.max 0. (Des.Rng.uniform rng lo hi)
+  | Gaussian { mu; sigma } -> Float.max 0. (Des.Rng.gaussian rng ~mu ~sigma ())
+
+type 'a t = {
+  name : string;
+  mailbox : 'a Des.Mailbox.t;
+  model : latency_model;
+  drop_probability : float;
+  rng : Des.Rng.t;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable last : float option;
+  mutable latency_sum : float;
+}
+
+let create engine ?(model = Immediate) ?(drop_probability = 0.) ?(seed = 0x5eed)
+    name =
+  if drop_probability < 0. || drop_probability >= 1. then
+    invalid_arg "Rt.Channel.create: drop probability must be in [0, 1)";
+  { name; mailbox = Des.Mailbox.create engine name; model; drop_probability;
+    rng = Des.Rng.create seed; sent = 0; dropped = 0; last = None;
+    latency_sum = 0. }
+
+let name t = t.name
+let mailbox t = t.mailbox
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  if t.drop_probability > 0. && Des.Rng.float t.rng < t.drop_probability then
+    t.dropped <- t.dropped + 1
+  else begin
+    let latency = sample t.model t.rng in
+    t.last <- Some latency;
+    t.latency_sum <- t.latency_sum +. latency;
+    Des.Mailbox.send_delayed t.mailbox ~delay:latency msg
+  end
+
+let sent t = t.sent
+let dropped t = t.dropped
+let last_latency t = t.last
+
+let mean_latency t =
+  if t.sent = 0 then None else Some (t.latency_sum /. float_of_int t.sent)

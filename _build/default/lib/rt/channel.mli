@@ -1,0 +1,42 @@
+(** Inter-thread communication channels with a latency model.
+
+    The paper's capsules and streamers run on different threads and talk
+    through "the communication mechanism of threads"; real channels have
+    transport delay and jitter, which this module models on top of
+    {!Des.Mailbox}. *)
+
+type latency_model =
+  | Immediate                                  (** zero-latency dispatch *)
+  | Constant of float
+  | Uniform of float * float                   (** [lo, hi) *)
+  | Gaussian of { mu : float; sigma : float }  (** clamped at 0 *)
+
+val model_name : latency_model -> string
+
+val sample : latency_model -> Des.Rng.t -> float
+(** One latency draw, always >= 0. *)
+
+type 'a t
+
+val create :
+  Des.Engine.t -> ?model:latency_model -> ?drop_probability:float
+  -> ?seed:int -> string -> 'a t
+(** Default model [Immediate]; [drop_probability] (default 0) makes the
+    channel lossy — dropped messages never reach the mailbox; [seed]
+    (default 0x5eed) feeds the jitter/loss RNG so runs are
+    reproducible. *)
+
+val name : 'a t -> string
+val mailbox : 'a t -> 'a Des.Mailbox.t
+(** The receiving end; attach a listener or poll it. *)
+
+val send : 'a t -> 'a -> unit
+(** Deliver after a freshly sampled latency. *)
+
+val sent : 'a t -> int
+
+val dropped : 'a t -> int
+(** Messages lost to [drop_probability]. *)
+
+val last_latency : 'a t -> float option
+val mean_latency : 'a t -> float option

@@ -1,0 +1,56 @@
+let utilization_test tasks = Task.total_utilization tasks <= 1. +. 1e-12
+
+let demand_bound tasks t =
+  List.fold_left
+    (fun acc task ->
+       let open Task in
+       let jobs = Float.floor ((t -. task.deadline) /. task.period) +. 1. in
+       if jobs <= 0. then acc else acc +. (jobs *. task.wcet))
+    0. tasks
+
+let check_points tasks ~horizon =
+  let points =
+    List.concat_map
+      (fun task ->
+         let open Task in
+         let rec collect k acc =
+           let d = task.deadline +. (float_of_int k *. task.period) in
+           if d > horizon then acc else collect (k + 1) (d :: acc)
+         in
+         collect 0 [])
+      tasks
+  in
+  List.sort_uniq Float.compare points
+
+let implicit_deadlines tasks =
+  List.for_all (fun t -> Float.abs (t.Task.deadline -. t.Task.period) < 1e-12) tasks
+
+let schedulable ?horizon tasks =
+  if tasks = [] then true
+  else if not (utilization_test tasks) then false
+  else if implicit_deadlines tasks then true
+  else begin
+    let u = Task.total_utilization tasks in
+    let la =
+      (* Busy-period style bound for constrained deadlines; guard the
+         division when utilization approaches 1. *)
+      if u >= 1. -. 1e-9 then
+        List.fold_left (fun acc t -> acc +. t.Task.period) 0. tasks *. 4.
+      else
+        List.fold_left
+          (fun acc t -> acc +. ((t.Task.period -. t.Task.deadline) *. Task.utilization t))
+          0. tasks
+        /. (1. -. u)
+    in
+    let max_period =
+      List.fold_left (fun acc t -> Float.max acc t.Task.period) 0. tasks
+    in
+    let bound =
+      match horizon with
+      | Some h -> h
+      | None -> Float.max la (2. *. max_period)
+    in
+    List.for_all
+      (fun t -> demand_bound tasks t <= t +. 1e-9)
+      (check_points tasks ~horizon:bound)
+  end

@@ -1,0 +1,17 @@
+(** Earliest-deadline-first analysis. *)
+
+val utilization_test : Task.t list -> bool
+(** Exact for implicit deadlines (D = T): U <= 1. *)
+
+val demand_bound : Task.t list -> float -> float
+(** Processor demand [dbf(t)]: total execution released and due within
+    any window of length [t] (synchronous release). *)
+
+val check_points : Task.t list -> horizon:float -> float list
+(** Absolute deadlines up to the horizon — where [dbf] can jump. *)
+
+val schedulable : ?horizon:float -> Task.t list -> bool
+(** Processor-demand criterion: [dbf(t) <= t] at every deadline up to the
+    horizon (default: min(hyperperiod-ish bound, busy-period bound
+    La = sum (T - D) U / (1 - U)); falls back to the utilization test
+    when U >= 1 or deadlines are implicit). *)

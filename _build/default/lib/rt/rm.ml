@@ -1,0 +1,73 @@
+let priorities tasks =
+  List.mapi (fun i t -> (t, i)) (List.sort Task.compare_by_period tasks)
+
+let utilization_bound n =
+  if n <= 0 then 0.
+  else
+    let nf = float_of_int n in
+    nf *. ((2. ** (1. /. nf)) -. 1.)
+
+type verdict = Schedulable | Inconclusive | Overloaded
+
+let utilization_test tasks =
+  let u = Task.total_utilization tasks in
+  if u <= utilization_bound (List.length tasks) +. 1e-12 then Schedulable
+  else if u > 1. +. 1e-12 then Overloaded
+  else Inconclusive
+
+let higher_priority tasks task =
+  List.filter
+    (fun other ->
+       Task.compare_by_period other task < 0)
+    tasks
+
+(* Classic fixed-point iteration R_{k+1} = C + sum_j ceil(R_k / T_j) C_j. *)
+let response_time tasks task =
+  if not (List.exists (fun t -> String.equal t.Task.name task.Task.name) tasks) then
+    invalid_arg "Rt.Rm.response_time: task not in the set";
+  let hp = higher_priority tasks task in
+  let interference r =
+    List.fold_left
+      (fun acc j -> acc +. (Float.of_int (int_of_float (Float.ceil (r /. j.Task.period))) *. j.Task.wcet))
+      0. hp
+  in
+  let rec iterate r iters =
+    if iters > 10_000 then None
+    else
+      let r' = task.Task.wcet +. interference r in
+      if r' > task.Task.deadline +. 1e-12 then None
+      else if Float.abs (r' -. r) <= 1e-12 then Some r'
+      else iterate r' (iters + 1)
+  in
+  iterate task.Task.wcet 0
+
+let schedulable tasks =
+  List.for_all (fun t -> response_time tasks t <> None) tasks
+
+let scale_tasks k tasks =
+  List.map
+    (fun t ->
+       (* Inflate wcet; clamp so the Task invariants hold during search. *)
+       let wcet = t.Task.wcet *. k in
+       if wcet > t.Task.deadline then { t with Task.wcet = t.Task.deadline +. 1. }
+       else { t with Task.wcet })
+    tasks
+
+let breakdown_utilization ?(tolerance = 1e-4) tasks =
+  if tasks = [] then invalid_arg "Rt.Rm.breakdown_utilization: empty task set";
+  let feasible k =
+    let scaled = scale_tasks k tasks in
+    List.for_all (fun t -> t.Task.wcet <= t.Task.deadline) scaled && schedulable scaled
+  in
+  if not (feasible 1e-9) then 0.
+  else begin
+    let rec grow hi = if feasible hi && hi < 1e6 then grow (hi *. 2.) else hi in
+    let hi = grow 1. in
+    let rec bisect lo hi =
+      if hi -. lo <= tolerance then lo
+      else
+        let mid = (lo +. hi) /. 2. in
+        if feasible mid then bisect mid hi else bisect lo mid
+    in
+    if feasible hi then hi else bisect 1e-9 hi
+  end

@@ -1,0 +1,29 @@
+(** Rate-monotonic fixed-priority analysis. *)
+
+val priorities : Task.t list -> (Task.t * int) list
+(** Rate-monotonic priority assignment: 0 is the highest priority
+    (shortest period). Deterministic tiebreak by name. *)
+
+val utilization_bound : int -> float
+(** Liu & Layland bound [n (2^(1/n) - 1)]; 0 for [n <= 0]. *)
+
+type verdict = Schedulable | Inconclusive | Overloaded
+
+val utilization_test : Task.t list -> verdict
+(** [Schedulable] when U <= the LL bound, [Overloaded] when U > 1,
+    [Inconclusive] in between (the exact test below decides). *)
+
+val response_time : Task.t list -> Task.t -> float option
+(** Exact response-time analysis for the given task under RM priorities
+    among [tasks] (which must contain it). [None] when the fixed-point
+    iteration exceeds the deadline (unschedulable). Assumes phases are
+    ignored (critical-instant analysis). *)
+
+val schedulable : Task.t list -> bool
+(** Every task's worst-case response time meets its deadline. *)
+
+val breakdown_utilization :
+  ?tolerance:float -> Task.t list -> float
+(** Largest uniform scaling factor [k] such that inflating every wcet by
+    [k] keeps the set RM-schedulable (binary search, default tolerance
+    1e-4). Values > 1 mean headroom. *)

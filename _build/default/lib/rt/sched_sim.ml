@@ -1,0 +1,130 @@
+type policy = Fixed_priority | Edf
+
+type segment = {
+  task : string;
+  job : int;
+  start : float;
+  finish : float;
+}
+
+type miss = {
+  miss_task : string;
+  miss_job : int;
+  miss_deadline : float;
+  completion : float option;
+}
+
+type result = {
+  segments : segment list;
+  misses : miss list;
+  busy_time : float;
+  horizon : float;
+}
+
+type job = {
+  jtask : Task.t;
+  jindex : int;
+  release : float;
+  abs_deadline : float;
+  priority : int;            (* RM priority for fixed-priority policy *)
+  mutable remaining : float;
+}
+
+let jobs_of tasks ~horizon =
+  let prio = Rm.priorities tasks in
+  let priority_of task =
+    match List.find_opt (fun (t, _) -> String.equal t.Task.name task.Task.name) prio with
+    | Some (_, p) -> p
+    | None -> max_int
+  in
+  List.concat_map
+    (fun task ->
+       let open Task in
+       let p = priority_of task in
+       let rec gen k acc =
+         let release = task.phase +. (float_of_int k *. task.period) in
+         if release >= horizon then acc
+         else
+           gen (k + 1)
+             ({ jtask = task; jindex = k; release;
+                abs_deadline = release +. task.deadline;
+                priority = p; remaining = task.wcet }
+              :: acc)
+       in
+       gen 0 [])
+    tasks
+
+let pick policy ready =
+  let better a b =
+    match policy with
+    | Fixed_priority ->
+      if a.priority <> b.priority then a.priority < b.priority
+      else a.release < b.release
+    | Edf ->
+      if a.abs_deadline <> b.abs_deadline then a.abs_deadline < b.abs_deadline
+      else String.compare a.jtask.Task.name b.jtask.Task.name < 0
+  in
+  match ready with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun best j -> if better j best then j else best) first rest)
+
+let simulate policy tasks ~horizon =
+  if horizon <= 0. then invalid_arg "Rt.Sched_sim.simulate: horizon must be positive";
+  let all = jobs_of tasks ~horizon in
+  let segments = ref [] in
+  let busy = ref 0. in
+  let eps = 1e-12 in
+  let rec loop now =
+    if now >= horizon -. eps then ()
+    else begin
+      let ready = List.filter (fun j -> j.release <= now +. eps && j.remaining > eps) all in
+      let next_release =
+        List.fold_left
+          (fun acc j -> if j.release > now +. eps then Float.min acc j.release else acc)
+          infinity all
+      in
+      match pick policy ready with
+      | None ->
+        if next_release = infinity then () else loop (Float.min next_release horizon)
+      | Some j ->
+        let completion = now +. j.remaining in
+        let finish = Float.min (Float.min completion next_release) horizon in
+        let ran = finish -. now in
+        j.remaining <- j.remaining -. ran;
+        busy := !busy +. ran;
+        segments := { task = j.jtask.Task.name; job = j.jindex; start = now; finish }
+                    :: !segments;
+        loop finish
+    end
+  in
+  loop 0.;
+  let completion_of j =
+    (* Completion = finish of the job's last segment when fully executed. *)
+    if j.remaining > eps then None
+    else
+      List.fold_left
+        (fun acc seg ->
+           if String.equal seg.task j.jtask.Task.name && seg.job = j.jindex then
+             match acc with
+             | Some f -> Some (Float.max f seg.finish)
+             | None -> Some seg.finish
+           else acc)
+        None !segments
+  in
+  let misses =
+    List.filter_map
+      (fun j ->
+         if j.abs_deadline > horizon +. eps then None
+         else
+           match completion_of j with
+           | Some f when f <= j.abs_deadline +. eps -> None
+           | (Some _ | None) as completion ->
+             Some { miss_task = j.jtask.Task.name; miss_job = j.jindex;
+                    miss_deadline = j.abs_deadline; completion })
+      all
+  in
+  { segments = List.rev !segments; misses; busy_time = !busy; horizon }
+
+let miss_count r = List.length r.misses
+let utilization_observed r = r.busy_time /. r.horizon

@@ -1,0 +1,35 @@
+(** Preemptive uniprocessor schedule simulation.
+
+    Event-driven (releases and completions), continuous time. Used to
+    cross-check the analytic RM/EDF tests and to visualize where a thread
+    assignment starts missing deadlines. *)
+
+type policy = Fixed_priority | Edf
+
+type segment = {
+  task : string;
+  job : int;        (** 0-based job index of that task *)
+  start : float;
+  finish : float;
+}
+
+type miss = {
+  miss_task : string;
+  miss_job : int;
+  miss_deadline : float;
+  completion : float option;  (** [None] = still unfinished at the horizon *)
+}
+
+type result = {
+  segments : segment list;   (** chronological execution timeline *)
+  misses : miss list;
+  busy_time : float;
+  horizon : float;
+}
+
+val simulate : policy -> Task.t list -> horizon:float -> result
+(** Raises [Invalid_argument] on a non-positive horizon. Jobs released
+    before the horizon are tracked to completion or recorded as misses. *)
+
+val miss_count : result -> int
+val utilization_observed : result -> float

@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  period : float;
+  wcet : float;
+  deadline : float;
+  phase : float;
+}
+
+let create ?deadline ?(phase = 0.) ~period ~wcet name =
+  let deadline = match deadline with Some d -> d | None -> period in
+  if wcet <= 0. then invalid_arg "Rt.Task.create: wcet must be positive";
+  if deadline < wcet then invalid_arg "Rt.Task.create: deadline must be >= wcet";
+  if period < deadline then invalid_arg "Rt.Task.create: period must be >= deadline";
+  if phase < 0. then invalid_arg "Rt.Task.create: negative phase";
+  { name; period; wcet; deadline; phase }
+
+let utilization t = t.wcet /. t.period
+
+let total_utilization tasks =
+  List.fold_left (fun acc t -> acc +. utilization t) 0. tasks
+
+let rate t = 1. /. t.period
+
+let compare_by_period a b =
+  match Float.compare a.period b.period with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s(T=%g C=%g D=%g)" t.name t.period t.wcet t.deadline

@@ -1,0 +1,32 @@
+(** Periodic real-time task model.
+
+    When the hybrid engine assigns capsules and streamers to threads, each
+    thread becomes one of these tasks (period = thread rate, wcet = the
+    measured/declared computation per activation) so that schedulability
+    can be checked before trusting a deployment. *)
+
+type t = {
+  name : string;
+  period : float;
+  wcet : float;     (** worst-case execution time per job *)
+  deadline : float; (** relative deadline, <= period *)
+  phase : float;    (** first release offset *)
+}
+
+val create : ?deadline:float -> ?phase:float -> period:float -> wcet:float -> string -> t
+(** [deadline] defaults to [period], [phase] to 0. Raises
+    [Invalid_argument] unless [0 < wcet <= deadline <= period] and
+    [phase >= 0]. *)
+
+val utilization : t -> float
+(** [wcet /. period]. *)
+
+val total_utilization : t list -> float
+
+val rate : t -> float
+(** [1. /. period]. *)
+
+val compare_by_period : t -> t -> int
+(** Rate-monotonic order (shorter period first, name as tiebreak). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+let uunifast rng ~n ~total_utilization =
+  if n < 1 then invalid_arg "Rt.Workload.uunifast: n must be >= 1";
+  if total_utilization <= 0. then
+    invalid_arg "Rt.Workload.uunifast: utilization must be positive";
+  (* Bini & Buttazzo: sum_{i+1} = sum_i * u^(1/(n-i)). *)
+  let rec draw i sum acc =
+    if i = n then List.rev (sum :: acc)
+    else begin
+      let next =
+        sum *. (Des.Rng.float rng ** (1. /. float_of_int (n - i)))
+      in
+      draw (i + 1) next ((sum -. next) :: acc)
+    end
+  in
+  draw 1 total_utilization []
+
+let random_task_set rng ~n ~total_utilization ?(period_range = (0.001, 1.0))
+    ?(constrained_deadlines = false) () =
+  let lo, hi = period_range in
+  if lo <= 0. || hi <= lo then
+    invalid_arg "Rt.Workload.random_task_set: bad period range";
+  let utilizations = uunifast rng ~n ~total_utilization in
+  List.mapi
+    (fun i u ->
+       (* Log-uniform period; cap per-task utilization just under 1 so
+          the Task invariants hold even for overloaded targets. *)
+       let period = lo *. ((hi /. lo) ** Des.Rng.float rng) in
+       let u = Float.min u 0.999 in
+       let wcet = Float.max 1e-9 (u *. period) in
+       let deadline =
+         if constrained_deadlines then begin
+           let slack = period -. wcet in
+           wcet +. (slack /. 2.) +. Des.Rng.uniform rng 0. (slack /. 2.)
+         end
+         else period
+       in
+       Task.create ~deadline ~period ~wcet (Printf.sprintf "t%d" i))
+    utilizations
+
+let acceptance_ratio rng ~n ~total_utilization ~sets ~test =
+  if sets <= 0 then invalid_arg "Rt.Workload.acceptance_ratio: sets must be positive";
+  let accepted = ref 0 in
+  for _ = 1 to sets do
+    let tasks = random_task_set rng ~n ~total_utilization () in
+    if test tasks then incr accepted
+  done;
+  float_of_int !accepted /. float_of_int sets

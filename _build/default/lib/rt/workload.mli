@@ -1,0 +1,28 @@
+(** Random periodic workload generation for schedulability experiments.
+
+    UUniFast (Bini & Buttazzo) draws task utilizations uniformly over the
+    simplex summing to a target; combined with log-uniform periods it is
+    the standard way to generate unbiased task sets for acceptance-ratio
+    plots (experiment E5b). *)
+
+val uunifast : Des.Rng.t -> n:int -> total_utilization:float -> float list
+(** [n >= 1] utilizations, each > 0, summing to [total_utilization]
+    (which must be positive). Deterministic in the RNG state. *)
+
+val random_task_set :
+  Des.Rng.t -> n:int -> total_utilization:float
+  -> ?period_range:float * float
+  -> ?constrained_deadlines:bool
+  -> unit -> Task.t list
+(** Task set with UUniFast utilizations and log-uniform periods from
+    [period_range] (default 0.001 .. 1.0 s). With
+    [constrained_deadlines] (default false), deadlines are drawn
+    uniformly in [wcet + 0.5 (period - wcet), period]. Task utilizations
+    are capped below 1 by construction only when
+    [total_utilization <= n]. *)
+
+val acceptance_ratio :
+  Des.Rng.t -> n:int -> total_utilization:float -> sets:int
+  -> test:(Task.t list -> bool) -> float
+(** Fraction of [sets] random task sets accepted by the given
+    schedulability test. *)

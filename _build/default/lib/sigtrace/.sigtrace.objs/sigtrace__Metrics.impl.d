@@ -1,0 +1,1 @@
+lib/sigtrace/metrics.ml: Array Float Format Int List Trace

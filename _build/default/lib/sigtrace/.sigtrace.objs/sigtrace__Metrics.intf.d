@@ -1,0 +1,1 @@
+lib/sigtrace/metrics.mli: Format Trace

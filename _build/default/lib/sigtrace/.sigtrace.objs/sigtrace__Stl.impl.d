@@ -1,0 +1,1 @@
+lib/sigtrace/stl.ml: Float Format List Printf Trace

@@ -1,0 +1,1 @@
+lib/sigtrace/stl.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/sigtrace/trace.ml: Array Buffer Float Int List Printf

@@ -1,0 +1,1 @@
+lib/sigtrace/trace.mli:

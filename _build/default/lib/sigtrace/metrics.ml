@@ -1,0 +1,103 @@
+let paired_errors ~reference trace =
+  List.filter_map
+    (fun (time, v) ->
+       match Trace.value_at reference time with
+       | Some r -> Some (v -. r)
+       | None -> None)
+    (Trace.samples trace)
+
+let rmse ~reference trace =
+  match paired_errors ~reference trace with
+  | [] -> None
+  | errs ->
+    let n = float_of_int (List.length errs) in
+    let ss = List.fold_left (fun acc e -> acc +. (e *. e)) 0. errs in
+    Some (sqrt (ss /. n))
+
+let max_abs_error ~reference trace =
+  match paired_errors ~reference trace with
+  | [] -> None
+  | errs -> Some (List.fold_left (fun acc e -> Float.max acc (Float.abs e)) 0. errs)
+
+let overshoot ~setpoint trace =
+  if Trace.is_empty trace || setpoint = 0. then None
+  else begin
+    let sign = if setpoint >= 0. then 1. else -1. in
+    let peak =
+      List.fold_left
+        (fun acc (_, v) -> Float.max acc ((v -. setpoint) *. sign))
+        0. (Trace.samples trace)
+    in
+    Some (Float.max 0. peak /. Float.abs setpoint)
+  end
+
+let settling_time ~setpoint ~band trace =
+  if Trace.is_empty trace then None
+  else begin
+    let tolerance = Float.abs setpoint *. band in
+    let outside (_, v) = Float.abs (v -. setpoint) > tolerance in
+    (* Last out-of-band sample decides; settled from the next sample on. *)
+    let rec scan last_bad = function
+      | [] -> last_bad
+      | ((time, _) as s) :: rest ->
+        scan (if outside s then Some time else last_bad) rest
+    in
+    match scan None (Trace.samples trace) with
+    | None -> Trace.start_time trace
+    | Some last_bad ->
+      let next_ok =
+        List.find_opt (fun (time, _) -> time > last_bad) (Trace.samples trace)
+      in
+      (match next_ok with
+       | Some (time, _) -> Some time
+       | None -> None (* never settles within the trace *))
+  end
+
+let steady_state_error ~setpoint ?window trace =
+  match (Trace.start_time trace, Trace.end_time trace) with
+  | Some t0, Some t1 ->
+    let window =
+      match window with Some w -> w | None -> Float.max 1e-9 ((t1 -. t0) *. 0.1)
+    in
+    let cutoff = t1 -. window in
+    let tail = List.filter (fun (time, _) -> time >= cutoff) (Trace.samples trace) in
+    (match tail with
+     | [] -> None
+     | _ ->
+       let n = float_of_int (List.length tail) in
+       let sum =
+         List.fold_left (fun acc (_, v) -> acc +. Float.abs (v -. setpoint)) 0. tail
+       in
+       Some (sum /. n))
+  | _, _ -> None
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize = function
+  | [] -> None
+  | samples ->
+    let sorted = List.sort Float.compare samples in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let percentile p =
+      let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+      arr.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+    in
+    let sum = Array.fold_left ( +. ) 0. arr in
+    Some
+      { count = n; mean = sum /. float_of_int n;
+        min = arr.(0); max = arr.(n - 1);
+        p50 = percentile 0.5; p95 = percentile 0.95; p99 = percentile 0.99 }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.6g min=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g"
+    s.count s.mean s.min s.p50 s.p95 s.p99 s.max

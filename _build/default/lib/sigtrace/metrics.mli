@@ -1,0 +1,38 @@
+(** Quantitative comparison of traces and latency samples — the numbers
+    EXPERIMENTS.md reports. *)
+
+val rmse : reference:Trace.t -> Trace.t -> float option
+(** Root-mean-square error of the trace against the reference, sampled at
+    the trace's own timestamps that fall inside the reference's span.
+    [None] when there is no overlap. *)
+
+val max_abs_error : reference:Trace.t -> Trace.t -> float option
+
+val overshoot : setpoint:float -> Trace.t -> float option
+(** Peak excursion beyond the setpoint, as a fraction of the setpoint
+    magnitude (0 when never exceeded). [None] on empty traces or a zero
+    setpoint. *)
+
+val settling_time : setpoint:float -> band:float -> Trace.t -> float option
+(** First time after which the signal stays within [band] (fractional) of
+    the setpoint until the end of the trace. *)
+
+val steady_state_error : setpoint:float -> ?window:float -> Trace.t -> float option
+(** Mean |value - setpoint| over the trailing [window] (default: last 10%
+    of the span). *)
+
+(** Summary statistics of a latency (or any scalar) sample set. *)
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on the empty list. Percentiles by nearest-rank. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,86 @@
+type formula =
+  | Pred of string * (float -> float)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Always of float * float * formula
+  | Eventually of float * float * formula
+
+let ge name bound = Pred (Printf.sprintf "%s >= %g" name bound, fun v -> v -. bound)
+let le name bound = Pred (Printf.sprintf "%s <= %g" name bound, fun v -> bound -. v)
+
+let within name ~center ~tolerance =
+  Pred
+    (Printf.sprintf "|%s - %g| <= %g" name center tolerance,
+     fun v -> tolerance -. Float.abs (v -. center))
+
+(* Sample instants of the trace that fall inside [lo, hi], with the
+   (interpolated) endpoints added so short windows still see data. *)
+let window_times trace lo hi =
+  match (Trace.start_time trace, Trace.end_time trace) with
+  | Some t0, Some t1 ->
+    let lo = Float.max lo t0 in
+    let hi = Float.min hi t1 in
+    if hi < lo then []
+    else begin
+      let inner =
+        List.filter_map
+          (fun (t, _) -> if t > lo && t < hi then Some t else None)
+          (Trace.samples trace)
+      in
+      let times = (lo :: inner) @ (if hi > lo then [ hi ] else []) in
+      List.sort_uniq Float.compare times
+    end
+  | _, _ -> []
+
+let rec robustness f trace time =
+  match f with
+  | Pred (_, rho) ->
+    (match Trace.value_at trace time with
+     | Some v -> rho v
+     | None -> neg_infinity)
+  | Not g -> -.robustness g trace time
+  | And (g, h) -> Float.min (robustness g trace time) (robustness h trace time)
+  | Or (g, h) -> Float.max (robustness g trace time) (robustness h trace time)
+  | Implies (g, h) ->
+    Float.max (-.robustness g trace time) (robustness h trace time)
+  | Always (a, b, g) ->
+    (match window_times trace (time +. a) (time +. b) with
+     | [] -> neg_infinity
+     | times ->
+       List.fold_left
+         (fun acc t -> Float.min acc (robustness g trace t))
+         infinity times)
+  | Eventually (a, b, g) ->
+    (match window_times trace (time +. a) (time +. b) with
+     | [] -> neg_infinity
+     | times ->
+       List.fold_left
+         (fun acc t -> Float.max acc (robustness g trace t))
+         neg_infinity times)
+
+let holds f trace time = robustness f trace time >= 0.
+
+let check f trace =
+  match Trace.start_time trace with
+  | Some t0 ->
+    let r = robustness f trace t0 in
+    (r >= 0., r)
+  | None -> (false, neg_infinity)
+
+let first_violation f trace =
+  List.find_map
+    (fun (t, _) -> if robustness f trace t < 0. then Some t else None)
+    (Trace.samples trace)
+
+let rec pp_formula ppf = function
+  | Pred (name, _) -> Format.pp_print_string ppf name
+  | Not g -> Format.fprintf ppf "not (%a)" pp_formula g
+  | And (g, h) -> Format.fprintf ppf "(%a and %a)" pp_formula g pp_formula h
+  | Or (g, h) -> Format.fprintf ppf "(%a or %a)" pp_formula g pp_formula h
+  | Implies (g, h) -> Format.fprintf ppf "(%a -> %a)" pp_formula g pp_formula h
+  | Always (a, b, g) ->
+    Format.fprintf ppf "always[%g,%g] (%a)" a b pp_formula g
+  | Eventually (a, b, g) ->
+    Format.fprintf ppf "eventually[%g,%g] (%a)" a b pp_formula g

@@ -1,0 +1,47 @@
+(** Signal Temporal Logic (bounded, quantitative) over recorded traces.
+
+    Verifies control-level requirements offline: "after the setpoint
+    step, the speed settles within 5 s and never overshoots by more than
+    10%". Quantitative (robustness) semantics: a positive value means the
+    property holds with that margin, negative means violated by that
+    much. Formulas are evaluated on the trace's own sample grid with
+    linear interpolation at window endpoints. *)
+
+type formula =
+  | Pred of string * (float -> float)
+      (** named atomic predicate: robustness of the signal value —
+          [fun v -> 1. -. abs_float v] means "|x| <= 1" with margin *)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Always of float * float * formula
+      (** [Always (a, b, f)]: f holds at every instant of [t+a, t+b] *)
+  | Eventually of float * float * formula
+      (** f holds at some instant of [t+a, t+b] *)
+
+val ge : string -> float -> formula
+(** [ge name bound]: signal >= bound. *)
+
+val le : string -> float -> formula
+(** signal <= bound. *)
+
+val within : string -> center:float -> tolerance:float -> formula
+(** |signal - center| <= tolerance. *)
+
+val robustness : formula -> Trace.t -> float -> float
+(** Robustness at the given absolute time. Windows that extend beyond the
+    trace are clipped to recorded data; an empty window yields
+    [neg_infinity] (no evidence = violated). *)
+
+val holds : formula -> Trace.t -> float -> bool
+(** [robustness >= 0]. *)
+
+val check : formula -> Trace.t -> bool * float
+(** Evaluate at the trace's start time: (verdict, robustness). Empty
+    traces are violations. *)
+
+val first_violation : formula -> Trace.t -> float option
+(** Earliest sample time at which the formula is violated, if any. *)
+
+val pp_formula : Format.formatter -> formula -> unit

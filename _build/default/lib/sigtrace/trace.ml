@@ -1,0 +1,124 @@
+type t = {
+  name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create ?(name = "signal") () =
+  { name; times = [||]; values = [||]; size = 0 }
+
+let name t = t.name
+
+let record t time value =
+  if t.size > 0 && time < t.times.(t.size - 1) then
+    invalid_arg
+      (Printf.sprintf "Sigtrace.Trace.record(%s): time %g before last sample %g"
+         t.name time t.times.(t.size - 1));
+  if t.size >= Array.length t.times then begin
+    let cap = Int.max 16 (2 * Array.length t.times) in
+    let times' = Array.make cap 0. in
+    let values' = Array.make cap 0. in
+    Array.blit t.times 0 times' 0 t.size;
+    Array.blit t.values 0 values' 0 t.size;
+    t.times <- times';
+    t.values <- values'
+  end;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- value;
+  t.size <- t.size + 1
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let start_time t = if t.size = 0 then None else Some t.times.(0)
+let end_time t = if t.size = 0 then None else Some t.times.(t.size - 1)
+
+let samples t =
+  List.init t.size (fun i -> (t.times.(i), t.values.(i)))
+
+(* Binary search for the greatest index with times.(i) <= time. *)
+let index_before t time =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if t.times.(mid) <= time then search mid hi else search lo (mid - 1)
+  in
+  search 0 (t.size - 1)
+
+let value_at t time =
+  if t.size = 0 then None
+  else if time < t.times.(0) || time > t.times.(t.size - 1) then None
+  else begin
+    let i = index_before t time in
+    if i = t.size - 1 || Float.equal t.times.(i) time then Some t.values.(i)
+    else begin
+      let t0 = t.times.(i) and t1 = t.times.(i + 1) in
+      let v0 = t.values.(i) and v1 = t.values.(i + 1) in
+      if t1 = t0 then Some v1
+      else
+        let s = (time -. t0) /. (t1 -. t0) in
+        Some (((1. -. s) *. v0) +. (s *. v1))
+    end
+  end
+
+let last_value t = if t.size = 0 then None else Some t.values.(t.size - 1)
+
+let map f t =
+  let out = create ~name:t.name () in
+  for i = 0 to t.size - 1 do
+    record out t.times.(i) (f t.values.(i))
+  done;
+  out
+
+let resample t ~dt =
+  if dt <= 0. then invalid_arg "Sigtrace.Trace.resample: dt must be positive";
+  let out = create ~name:t.name () in
+  (match (start_time t, end_time t) with
+   | Some t0, Some t1 ->
+     let rec step time =
+       if time <= t1 +. 1e-12 then begin
+         (match value_at t (Float.min time t1) with
+          | Some v -> record out time v
+          | None -> ());
+         step (time +. dt)
+       end
+     in
+     step t0
+   | _, _ -> ());
+  out
+
+let fold_values f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.values.(i)
+  done;
+  !acc
+
+let minimum t =
+  if t.size = 0 then None else Some (fold_values Float.min infinity t)
+
+let maximum t =
+  if t.size = 0 then None else Some (fold_values Float.max neg_infinity t)
+
+let mean t =
+  if t.size = 0 then None
+  else if t.size = 1 then Some t.values.(0)
+  else begin
+    let area = ref 0. in
+    for i = 0 to t.size - 2 do
+      let dt = t.times.(i + 1) -. t.times.(i) in
+      area := !area +. (dt *. ((t.values.(i) +. t.values.(i + 1)) /. 2.))
+    done;
+    let span = t.times.(t.size - 1) -. t.times.(0) in
+    if span <= 0. then Some t.values.(0) else Some (!area /. span)
+  end
+
+let to_csv t =
+  let buf = Buffer.create (16 * (t.size + 1)) in
+  Buffer.add_string buf "time,value\n";
+  for i = 0 to t.size - 1 do
+    Buffer.add_string buf (Printf.sprintf "%.9g,%.9g\n" t.times.(i) t.values.(i))
+  done;
+  Buffer.contents buf

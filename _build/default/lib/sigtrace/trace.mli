@@ -1,0 +1,42 @@
+(** Scalar signal traces: timestamped samples of one model variable.
+
+    Samples must be appended in non-decreasing time order. Lookup between
+    samples is linear interpolation. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val record : t -> float -> float -> unit
+(** [record tr time value]. Raises [Invalid_argument] when time goes
+    backwards. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val start_time : t -> float option
+val end_time : t -> float option
+
+val samples : t -> (float * float) list
+(** Chronological (time, value) pairs. *)
+
+val value_at : t -> float -> float option
+(** Linear interpolation; [None] outside the recorded span or on an
+    empty trace. *)
+
+val last_value : t -> float option
+
+val map : (float -> float) -> t -> t
+(** Pointwise transform of the values. *)
+
+val resample : t -> dt:float -> t
+(** Uniform grid over the trace's span by interpolation. *)
+
+val minimum : t -> float option
+val maximum : t -> float option
+val mean : t -> float option
+(** Time-weighted mean over the span (trapezoidal). *)
+
+val to_csv : t -> string
+(** Two-column [time,value] CSV with a header line. *)

@@ -1,0 +1,1 @@
+lib/statechart/analysis.ml: Format Hashtbl List Machine Queue String

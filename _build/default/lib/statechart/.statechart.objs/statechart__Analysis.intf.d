@@ -1,0 +1,1 @@
+lib/statechart/analysis.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/statechart/event.ml: Dataflow Format

@@ -1,0 +1,1 @@
+lib/statechart/event.mli: Dataflow Format

@@ -1,0 +1,1 @@
+lib/statechart/instance.ml: Event Hashtbl List Machine String

@@ -1,0 +1,1 @@
+lib/statechart/instance.mli: Event Machine

@@ -1,0 +1,1 @@
+lib/statechart/machine.ml: Event Hashtbl List Printf String

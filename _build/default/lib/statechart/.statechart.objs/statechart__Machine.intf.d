@@ -1,0 +1,1 @@
+lib/statechart/machine.mli: Event

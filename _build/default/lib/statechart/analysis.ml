@@ -1,0 +1,101 @@
+type report = {
+  reachable : string list;
+  unreachable : string list;
+  dead_transitions : (string * string) list;
+  nondeterministic : (string * string) list;
+  sink_states : string list;
+}
+
+let rec ancestors m s =
+  match Machine.Repr.state_parent m s with
+  | None -> [ s ]
+  | Some p -> s :: ancestors m p
+
+(* Entering [s] activates its ancestors and its initial-descent chain. *)
+let enter_closure m s =
+  let rec descend s acc =
+    match Machine.initial_of m (Some s) with
+    | Some child -> descend child (child :: acc)
+    | None -> acc
+  in
+  ancestors m s @ descend s []
+
+let analyze m =
+  let all = Machine.state_names m in
+  let reachable = Hashtbl.create 16 in
+  let pending = Queue.create () in
+  let mark s =
+    if not (Hashtbl.mem reachable s) then begin
+      Hashtbl.replace reachable s ();
+      Queue.push s pending
+    end
+  in
+  (match Machine.initial_of m None with
+   | Some top -> List.iter mark (enter_closure m top)
+   | None -> ());
+  while not (Queue.is_empty pending) do
+    let s = Queue.pop pending in
+    List.iter
+      (fun (tr : _ Machine.Repr.transition) ->
+         match tr.Machine.Repr.dst with
+         | Some d -> List.iter mark (enter_closure m d)
+         | None -> ())
+      (Machine.Repr.outgoing m s)
+  done;
+  let is_reachable s = Hashtbl.mem reachable s in
+  let unreachable = List.filter (fun s -> not (is_reachable s)) all in
+  let dead_transitions =
+    List.concat_map
+      (fun s ->
+         if is_reachable s then []
+         else
+           List.map
+             (fun (tr : _ Machine.Repr.transition) -> (s, tr.Machine.Repr.trigger))
+             (Machine.Repr.outgoing m s))
+      all
+  in
+  let nondeterministic =
+    List.concat_map
+      (fun s ->
+         let outgoing = Machine.Repr.outgoing m s in
+         let triggers =
+           List.sort_uniq String.compare
+             (List.map (fun tr -> tr.Machine.Repr.trigger) outgoing)
+         in
+         List.filter_map
+           (fun trigger ->
+              let unguarded =
+                List.filter
+                  (fun tr ->
+                     String.equal tr.Machine.Repr.trigger trigger
+                     && tr.Machine.Repr.guard = None)
+                  outgoing
+              in
+              if List.length unguarded >= 2 then Some (s, trigger) else None)
+           triggers)
+      all
+  in
+  let sink_states =
+    List.filter
+      (fun s ->
+         is_reachable s
+         && (not (Machine.is_composite m s))
+         && List.for_all
+              (fun a -> Machine.Repr.outgoing m a = [])
+              (ancestors m s))
+      all
+  in
+  { reachable = List.sort String.compare (List.filter is_reachable all);
+    unreachable = List.sort String.compare unreachable;
+    dead_transitions;
+    nondeterministic;
+    sink_states = List.sort String.compare sink_states }
+
+let pp_report ppf r =
+  let pp_list = Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string in
+  Format.fprintf ppf "@[<v>reachable: @[%a@]@," pp_list r.reachable;
+  Format.fprintf ppf "unreachable: @[%a@]@," pp_list r.unreachable;
+  Format.fprintf ppf "dead transitions: %d@," (List.length r.dead_transitions);
+  Format.fprintf ppf "nondeterministic (state, trigger): %d@,"
+    (List.length r.nondeterministic);
+  Format.fprintf ppf "sink states: @[%a@]@]" pp_list r.sink_states

@@ -1,0 +1,25 @@
+(** Static analysis of state machines: reachability, dead transitions,
+    nondeterminism. Used by the DSL checker to warn about model smells
+    before simulation. *)
+
+type report = {
+  reachable : string list;
+    (** states reachable from the initial configuration (sorted) *)
+  unreachable : string list;
+    (** declared but never enterable *)
+  dead_transitions : (string * string) list;
+    (** (source state, trigger) of transitions whose source is unreachable *)
+  nondeterministic : (string * string) list;
+    (** (state, trigger) pairs with several unguarded transitions — only
+        the first can ever fire *)
+  sink_states : string list;
+    (** reachable leaf states with no outgoing or inherited transitions *)
+}
+
+val analyze : 'ctx Machine.t -> report
+(** The machine must pass {!Machine.validate}; analysis is conservative:
+    guards are treated as always-true (so "reachable" over-approximates
+    and "nondeterministic" flags guard-disambiguated pairs too — those
+    are reported only when {e neither} transition has a guard). *)
+
+val pp_report : Format.formatter -> report -> unit

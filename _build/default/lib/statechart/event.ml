@@ -1,0 +1,17 @@
+type t = {
+  signal : string;
+  value : Dataflow.Value.t;
+}
+
+let make ?(value = Dataflow.Value.Unit) signal = { signal; value }
+
+let signal t = t.signal
+let value t = t.value
+let float_payload t = Dataflow.Value.to_float t.value
+
+let pp ppf t =
+  match t.value with
+  | Dataflow.Value.Unit -> Format.pp_print_string ppf t.signal
+  | v -> Format.fprintf ppf "%s(%a)" t.signal Dataflow.Value.pp v
+
+let to_string t = Format.asprintf "%a" pp t

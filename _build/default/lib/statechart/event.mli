@@ -1,0 +1,18 @@
+(** Events processed by state machines: a signal name plus a payload. *)
+
+type t = {
+  signal : string;
+  value : Dataflow.Value.t;
+}
+
+val make : ?value:Dataflow.Value.t -> string -> t
+(** Payload defaults to [Unit]. *)
+
+val signal : t -> string
+val value : t -> Dataflow.Value.t
+
+val float_payload : t -> float option
+(** Numeric view of the payload (see {!Dataflow.Value.to_float}). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

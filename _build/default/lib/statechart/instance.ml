@@ -1,0 +1,155 @@
+type 'ctx t = {
+  machine : 'ctx Machine.t;
+  ctx : 'ctx;
+  mutable leaf : string;
+  history : (string, string) Hashtbl.t;  (* composite -> last active leaf inside it *)
+  mutable taken : int;
+  mutable seen : int;
+  mutable dropped : int;
+}
+
+exception Invalid_machine of string list
+
+let machine t = t.machine
+let context t = t.ctx
+
+(* [state; parent; ...; top-level state] *)
+let rec chain_up m s =
+  match Machine.Repr.state_parent m s with
+  | None -> [ s ]
+  | Some p -> s :: chain_up m p
+
+let run_entry t s =
+  match Machine.Repr.state_entry t.machine s with
+  | Some f -> f t.ctx
+  | None -> ()
+
+let run_exit t s =
+  match Machine.Repr.state_exit t.machine s with
+  | Some f -> f t.ctx
+  | None -> ()
+
+(* Descend from [s] to a leaf, running entry actions of every state
+   strictly below [s]; [s]'s own entry has already run. History wins over
+   the initial child when the composite recorded one. *)
+let rec descend t s =
+  let m = t.machine in
+  let stored =
+    if Machine.has_history m s then Hashtbl.find_opt t.history s else None
+  in
+  match stored with
+  | Some leaf when Machine.Repr.exists m leaf ->
+    (* Enter the chain from just below [s] down to the stored leaf. *)
+    let below = List.rev (chain_up m leaf) in
+    let rec drop_to = function
+      | x :: rest when String.equal x s -> rest
+      | _ :: rest -> drop_to rest
+      | [] -> []
+    in
+    let to_enter = drop_to below in
+    List.iter (fun st -> run_entry t st) to_enter;
+    if to_enter = [] then s else leaf
+  | Some _ | None ->
+    (match Machine.initial_of m (Some s) with
+     | Some child ->
+       run_entry t child;
+       descend t child
+     | None -> s)
+
+let start m ctx =
+  (match Machine.validate m with
+   | [] -> ()
+   | errors -> raise (Invalid_machine errors));
+  let top =
+    match Machine.initial_of m None with
+    | Some s -> s
+    | None -> raise (Invalid_machine [ "no top-level initial state" ])
+  in
+  let t = { machine = m; ctx; leaf = top; history = Hashtbl.create 4;
+            taken = 0; seen = 0; dropped = 0 }
+  in
+  run_entry t top;
+  t.leaf <- descend t top;
+  t
+
+let active_leaf t = t.leaf
+let configuration t = List.rev (chain_up t.machine t.leaf)
+let is_in t s = List.exists (String.equal s) (chain_up t.machine t.leaf)
+
+let transitions_taken t = t.taken
+let events_seen t = t.seen
+let events_dropped t = t.dropped
+
+(* Least common ancestor for an external transition src -> dst: the
+   deepest state that strictly contains both ends. A common ancestor equal
+   to either end is itself exited and re-entered (external semantics), so
+   we step to its parent. *)
+let transition_lca m ~src ~dst =
+  let anc_src = chain_up m src in
+  let anc_dst = chain_up m dst in
+  let common = List.find_opt (fun s -> List.exists (String.equal s) anc_dst) anc_src in
+  match common with
+  | None -> None
+  | Some c ->
+    if String.equal c src || String.equal c dst then Machine.Repr.state_parent m c
+    else Some c
+
+let fire_external t event tr dst =
+  let m = t.machine in
+  let lca = transition_lca m ~src:tr.Machine.Repr.src ~dst in
+  let below_lca s =
+    match lca with
+    | None -> true
+    | Some l -> not (String.equal s l)
+  in
+  (* Exit from the active leaf up to (excluding) the LCA. *)
+  let rec exit_chain s =
+    if below_lca s then begin
+      if Machine.has_history m s then Hashtbl.replace t.history s t.leaf;
+      run_exit t s;
+      match Machine.Repr.state_parent m s with
+      | Some p -> exit_chain p
+      | None -> ()
+    end
+  in
+  exit_chain t.leaf;
+  (match tr.Machine.Repr.action with
+   | Some f -> f t.ctx event
+   | None -> ());
+  (* Enter from just below the LCA down to dst. *)
+  let enter_chain = List.rev (List.filter below_lca (chain_up m dst)) in
+  List.iter (fun s -> run_entry t s) enter_chain;
+  t.leaf <- descend t dst;
+  t.taken <- t.taken + 1
+
+let fire_internal t event tr =
+  (match tr.Machine.Repr.action with
+   | Some f -> f t.ctx event
+   | None -> ());
+  t.taken <- t.taken + 1
+
+let handle t event =
+  t.seen <- t.seen + 1;
+  let m = t.machine in
+  let enabled tr =
+    String.equal tr.Machine.Repr.trigger (Event.signal event)
+    && (match tr.Machine.Repr.guard with
+        | Some g -> g t.ctx event
+        | None -> true)
+  in
+  let rec search = function
+    | [] -> None
+    | s :: outer ->
+      (match List.find_opt enabled (Machine.Repr.outgoing m s) with
+       | Some tr -> Some tr
+       | None -> search outer)
+  in
+  match search (chain_up m t.leaf) with
+  | Some tr ->
+    (match tr.Machine.Repr.dst with
+     | Some dst -> fire_external t event tr dst
+     | None -> fire_internal t event tr);
+    true
+  | None ->
+    t.dropped <- t.dropped + 1;
+    false

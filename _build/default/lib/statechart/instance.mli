@@ -1,0 +1,36 @@
+(** Running instance of a {!Machine}: the UML-RT run-to-completion
+    interpreter.
+
+    One event is processed at a time; at most one transition (searched
+    from the innermost active state outward, declaration order within a
+    state) fires per event. External transitions exit up to the least
+    common ancestor and re-enter; composites marked with history restore
+    their last active descendant. *)
+
+type 'ctx t
+
+exception Invalid_machine of string list
+(** Raised by {!start} when {!Machine.validate} reports errors. *)
+
+val start : 'ctx Machine.t -> 'ctx -> 'ctx t
+(** Enter the initial configuration (running entry actions top-down). *)
+
+val machine : 'ctx t -> 'ctx Machine.t
+val context : 'ctx t -> 'ctx
+
+val active_leaf : 'ctx t -> string
+(** Innermost active state. *)
+
+val configuration : 'ctx t -> string list
+(** Active states from outermost to innermost. *)
+
+val is_in : 'ctx t -> string -> bool
+(** Is the given state in the active configuration? *)
+
+val handle : 'ctx t -> Event.t -> bool
+(** Process one event to completion. Returns [false] when no transition
+    was enabled (the event is dropped, per UML-RT semantics). *)
+
+val transitions_taken : 'ctx t -> int
+val events_seen : 'ctx t -> int
+val events_dropped : 'ctx t -> int

@@ -1,0 +1,145 @@
+type 'ctx guard = 'ctx -> Event.t -> bool
+type 'ctx action = 'ctx -> Event.t -> unit
+
+type 'ctx transition = {
+  src : string;
+  dst : string option;
+  trigger : string;
+  guard : 'ctx guard option;
+  action : 'ctx action option;
+}
+
+type 'ctx state = {
+  parent : string option;
+  entry : ('ctx -> unit) option;
+  exit : ('ctx -> unit) option;
+  history : bool;
+  mutable initial : string option;
+}
+
+type 'ctx t = {
+  name : string;
+  states : (string, 'ctx state) Hashtbl.t;
+  mutable order : string list;       (* reverse declaration order *)
+  mutable transitions : 'ctx transition list;  (* reverse declaration order *)
+  mutable top_initial : string option;
+}
+
+let create name =
+  { name; states = Hashtbl.create 16; order = []; transitions = [];
+    top_initial = None }
+
+let name t = t.name
+
+let find t s = Hashtbl.find_opt t.states s
+
+let require t s context =
+  match find t s with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Statechart.Machine.%s: unknown state %S" context s)
+
+let add_state t ?parent ?entry ?exit ?(history = false) state_name =
+  if Hashtbl.mem t.states state_name then
+    invalid_arg (Printf.sprintf "Statechart.Machine.add_state: duplicate state %S" state_name);
+  (match parent with
+   | Some p -> ignore (require t p "add_state(parent)")
+   | None -> ());
+  Hashtbl.replace t.states state_name
+    { parent; entry; exit; history; initial = None };
+  t.order <- state_name :: t.order
+
+let set_initial t ?of_ state_name =
+  let st = require t state_name "set_initial" in
+  match of_ with
+  | None ->
+    if st.parent <> None then
+      invalid_arg "Statechart.Machine.set_initial: top initial must be a top-level state";
+    t.top_initial <- Some state_name
+  | Some comp ->
+    let parent_state = require t comp "set_initial(of_)" in
+    if st.parent <> Some comp then
+      invalid_arg
+        (Printf.sprintf
+           "Statechart.Machine.set_initial: %S is not a direct child of %S"
+           state_name comp);
+    parent_state.initial <- Some state_name
+
+let add_transition t ~src ~dst ~trigger ?guard ?action () =
+  ignore (require t src "add_transition(src)");
+  ignore (require t dst "add_transition(dst)");
+  t.transitions <- { src; dst = Some dst; trigger; guard; action } :: t.transitions
+
+let add_internal t ~state ~trigger ?guard action =
+  ignore (require t state "add_internal");
+  t.transitions <- { src = state; dst = None; trigger; guard; action = Some action }
+                   :: t.transitions
+
+let state_names t = List.rev t.order
+
+let children t s =
+  List.filter
+    (fun candidate ->
+       match find t candidate with
+       | Some st -> st.parent = Some s
+       | None -> false)
+    (state_names t)
+
+let parent t s = match find t s with Some st -> st.parent | None -> None
+
+let initial_of t = function
+  | None -> t.top_initial
+  | Some s -> (match find t s with Some st -> st.initial | None -> None)
+
+let is_composite t s = children t s <> []
+let has_history t s = match find t s with Some st -> st.history | None -> false
+let transition_count t = List.length t.transitions
+
+let triggers_of t s =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun tr -> if String.equal tr.src s then Some tr.trigger else None)
+       t.transitions)
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if t.order = [] then err "machine %S has no states" t.name;
+  (match t.top_initial with
+   | None -> if t.order <> [] then err "machine %S has no top-level initial state" t.name
+   | Some s ->
+     (match find t s with
+      | None -> err "top initial %S is not a declared state" s
+      | Some st -> if st.parent <> None then err "top initial %S is not top-level" s));
+  List.iter
+    (fun s ->
+       if is_composite t s && initial_of t (Some s) = None && not (has_history t s) then
+         err "composite state %S has no initial child" s)
+    (state_names t);
+  List.iter
+    (fun tr ->
+       if find t tr.src = None then err "transition from unknown state %S" tr.src;
+       match tr.dst with
+       | Some d when find t d = None -> err "transition to unknown state %S" d
+       | Some _ | None -> ())
+    t.transitions;
+  List.rev !errors
+
+module Repr = struct
+  type nonrec 'ctx transition = 'ctx transition = {
+    src : string;
+    dst : string option;
+    trigger : string;
+    guard : 'ctx guard option;
+    action : 'ctx action option;
+  }
+
+  let state_parent = parent
+  let state_entry t s = match find t s with Some st -> st.entry | None -> None
+  let state_exit t s = match find t s with Some st -> st.exit | None -> None
+
+  let outgoing t s =
+    List.rev
+      (List.filter (fun tr -> String.equal tr.src s) t.transitions)
+
+  let exists t s = Hashtbl.mem t.states s
+end

@@ -1,0 +1,81 @@
+(** Hierarchical state machine definitions (the behaviour of a UML-RT
+    capsule). A machine is a static description — build it once, then run
+    any number of {!Instance}s over contexts of type ['ctx].
+
+    Single-region hierarchy: composite states contain child states, each
+    composite (and the machine itself) names an initial child, and a
+    composite may record (deep) history. *)
+
+type 'ctx t
+
+type 'ctx guard = 'ctx -> Event.t -> bool
+type 'ctx action = 'ctx -> Event.t -> unit
+
+val create : string -> 'ctx t
+(** Fresh machine with the given name and no states. *)
+
+val name : 'ctx t -> string
+
+val add_state :
+  'ctx t -> ?parent:string -> ?entry:('ctx -> unit) -> ?exit:('ctx -> unit)
+  -> ?history:bool -> string -> unit
+(** Declare a state. [parent] must already exist; [history] makes the
+    state restore its last active descendant when re-entered through a
+    transition targeting it. Raises [Invalid_argument] on duplicates or
+    unknown parents. *)
+
+val set_initial : 'ctx t -> ?of_:string -> string -> unit
+(** Set the initial child of composite [of_] (or of the machine when
+    omitted). The initial state must be a direct child of [of_]. *)
+
+val add_transition :
+  'ctx t -> src:string -> dst:string -> trigger:string
+  -> ?guard:'ctx guard -> ?action:'ctx action -> unit -> unit
+(** External transition: exits up to the least common ancestor, runs the
+    action, enters down to [dst]. Declaration order is priority order
+    among same-source transitions. *)
+
+val add_internal :
+  'ctx t -> state:string -> trigger:string
+  -> ?guard:'ctx guard -> 'ctx action -> unit
+(** Internal transition: the action runs without exiting/entering any
+    state. *)
+
+val state_names : 'ctx t -> string list
+(** All declared states, in declaration order. *)
+
+val children : 'ctx t -> string -> string list
+val parent : 'ctx t -> string -> string option
+val initial_of : 'ctx t -> string option -> string option
+(** [initial_of m (Some s)] is composite [s]'s initial child;
+    [initial_of m None] the machine's top initial state. *)
+
+val is_composite : 'ctx t -> string -> bool
+val has_history : 'ctx t -> string -> bool
+val transition_count : 'ctx t -> int
+
+val triggers_of : 'ctx t -> string -> string list
+(** Triggers handled (somewhere) in the given state, outermost rules
+    excluded — used by reachability checks and the DSL validator. *)
+
+val validate : 'ctx t -> string list
+(** Structural errors: no states, missing initials on composites actually
+    targeted or initial-reachable, transitions touching unknown states.
+    Empty list means the machine is runnable. *)
+
+(** Internal representation shared with {!Instance} — not for users. *)
+module Repr : sig
+  type 'ctx transition = {
+    src : string;
+    dst : string option;  (* None = internal *)
+    trigger : string;
+    guard : 'ctx guard option;
+    action : 'ctx action option;
+  }
+
+  val state_parent : 'ctx t -> string -> string option
+  val state_entry : 'ctx t -> string -> ('ctx -> unit) option
+  val state_exit : 'ctx t -> string -> ('ctx -> unit) option
+  val outgoing : 'ctx t -> string -> 'ctx transition list
+  val exists : 'ctx t -> string -> bool
+end

@@ -1,0 +1,1 @@
+lib/umlrt/capsule.ml: List Printf Protocol Statechart String

@@ -1,0 +1,1 @@
+lib/umlrt/capsule.mli: Protocol Statechart

@@ -1,0 +1,1 @@
+lib/umlrt/protocol.ml: Dataflow Format List Printf String

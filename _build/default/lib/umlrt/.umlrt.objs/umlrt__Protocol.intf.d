@@ -1,0 +1,1 @@
+lib/umlrt/protocol.mli: Dataflow Format

@@ -1,0 +1,1 @@
+lib/umlrt/runtime.ml: Capsule Des Hashtbl List Printf Protocol Queue Statechart String

@@ -1,0 +1,1 @@
+lib/umlrt/runtime.mli: Capsule Des Statechart

@@ -1,0 +1,152 @@
+type port_kind = End | Relay
+
+type port_decl = {
+  pname : string;
+  protocol : Protocol.t;
+  conjugated : bool;
+  kind : port_kind;
+}
+
+let port ?(conjugated = false) ?(kind = End) pname protocol =
+  { pname; protocol; conjugated; kind }
+
+type services = {
+  send : port:string -> Statechart.Event.t -> unit;
+  timer_after : float -> Statechart.Event.t -> unit;
+  timer_every : float -> Statechart.Event.t -> unit;
+  now : unit -> float;
+}
+
+type behavior = {
+  on_start : unit -> unit;
+  on_event : port:string -> Statechart.Event.t -> bool;
+  configuration : unit -> string list;
+}
+
+type behavior_factory = services -> behavior
+
+let machine_behavior ~make_context machine services =
+  let ctx = make_context services in
+  let instance = ref None in
+  {
+    on_start =
+      (fun () -> instance := Some (Statechart.Instance.start machine ctx));
+    on_event =
+      (fun ~port:_ event ->
+         match !instance with
+         | Some i -> Statechart.Instance.handle i event
+         | None -> false);
+    configuration =
+      (fun () ->
+         match !instance with
+         | Some i -> Statechart.Instance.configuration i
+         | None -> []);
+  }
+
+type endpoint = { part : string option; port : string }
+
+type connector = { from_ : endpoint; to_ : endpoint }
+
+let connector ~from_ ~to_ = { from_; to_ }
+let border port = { part = None; port }
+let part_port part port = { part = Some part; port }
+
+type t = {
+  name : string;
+  ports : port_decl list;
+  behavior : behavior_factory option;
+  parts : (string * t) list;
+  connectors : connector list;
+}
+
+let check_unique what name names =
+  let sorted = List.sort String.compare names in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg
+          (Printf.sprintf "Umlrt.Capsule.create(%s): duplicate %s %S" name what a);
+      walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk sorted
+
+let create ?(ports = []) ?behavior ?(parts = []) ?(connectors = []) name =
+  check_unique "port" name (List.map (fun p -> p.pname) ports);
+  check_unique "part" name (List.map fst parts);
+  { name; ports; behavior; parts; connectors }
+
+let name t = t.name
+let ports t = t.ports
+let find_port t pname = List.find_opt (fun p -> String.equal p.pname pname) t.ports
+let behavior t = t.behavior
+let parts t = t.parts
+let connectors t = t.connectors
+
+let endpoint_to_string = function
+  | { part = None; port } -> Printf.sprintf "self.%s" port
+  | { part = Some part; port } -> Printf.sprintf "%s.%s" part port
+
+(* Resolve an endpoint of a connector declared inside [t] to its port
+   declaration, or None when the part/port does not exist. *)
+let resolve_endpoint t ep =
+  match ep.part with
+  | None -> find_port t ep.port
+  | Some part ->
+    (match List.assoc_opt part t.parts with
+     | None -> None
+     | Some sub -> find_port sub ep.port)
+
+let rec validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let check_connector c =
+    let a = resolve_endpoint t c.from_ in
+    let b = resolve_endpoint t c.to_ in
+    (match a with
+     | None -> err "%s: connector end %s does not exist" t.name (endpoint_to_string c.from_)
+     | Some _ -> ());
+    (match b with
+     | None -> err "%s: connector end %s does not exist" t.name (endpoint_to_string c.to_)
+     | Some _ -> ());
+    match (a, b) with
+    | Some pa, Some pb ->
+      if not (Protocol.equal_name pa.protocol pb.protocol) then
+        err "%s: connector %s -- %s joins protocols %s and %s" t.name
+          (endpoint_to_string c.from_) (endpoint_to_string c.to_)
+          (Protocol.name pa.protocol) (Protocol.name pb.protocol);
+      let a_border = c.from_.part = None in
+      let b_border = c.to_.part = None in
+      (match (a_border, b_border) with
+       | false, false ->
+         if pa.conjugated = pb.conjugated then
+           err "%s: sibling connector %s -- %s needs exactly one conjugated end"
+             t.name (endpoint_to_string c.from_) (endpoint_to_string c.to_)
+       | true, false | false, true ->
+         if pa.conjugated <> pb.conjugated then
+           err "%s: border connector %s -- %s must keep the same conjugation"
+             t.name (endpoint_to_string c.from_) (endpoint_to_string c.to_)
+       | true, true ->
+         err "%s: connector %s -- %s joins two border ports of the same capsule"
+           t.name (endpoint_to_string c.from_) (endpoint_to_string c.to_));
+      (* A border port used as pass-through for parts must be a relay
+         unless this capsule's behaviour is meant to receive it. *)
+      let check_border_end border_flag (ep : endpoint) (p : port_decl) =
+        if border_flag && p.kind = End && t.behavior = None && t.parts <> [] then
+          err "%s: border End port %s has no behaviour to terminate messages"
+            t.name (endpoint_to_string ep)
+      in
+      check_border_end a_border c.from_ pa;
+      check_border_end b_border c.to_ pb
+    | None, _ | _, None -> ()
+  in
+  List.iter check_connector t.connectors;
+  (* End ports on a behaviour-less leaf capsule can never be served. *)
+  if t.behavior = None && t.parts = [] then
+    List.iter
+      (fun p ->
+         if p.kind = End then
+           err "%s: End port %s on a capsule without behaviour" t.name p.pname)
+      t.ports;
+  let sub_errors = List.concat_map (fun (_, sub) -> validate sub) t.parts in
+  List.rev !errors @ sub_errors

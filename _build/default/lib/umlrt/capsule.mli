@@ -1,0 +1,92 @@
+(** UML-RT capsule classes: ports, optional behaviour, sub-capsule parts
+    and connectors.
+
+    A capsule class is a static description; {!Runtime} instantiates the
+    tree. Behaviour is supplied as a factory receiving the runtime
+    {!services} (send, timers, clock), so each instance owns independent
+    state. *)
+
+type port_kind =
+  | End    (** terminates messages at this capsule's behaviour *)
+  | Relay  (** forwards between the inside and the outside *)
+
+type port_decl = {
+  pname : string;
+  protocol : Protocol.t;
+  conjugated : bool;
+  kind : port_kind;
+}
+
+val port : ?conjugated:bool -> ?kind:port_kind -> string -> Protocol.t -> port_decl
+(** Defaults: base role, [End]. *)
+
+type services = {
+  send : port:string -> Statechart.Event.t -> unit;
+    (** emit a signal through one of this capsule's ports *)
+  timer_after : float -> Statechart.Event.t -> unit;
+    (** deliver the event to this capsule once, after the delay *)
+  timer_every : float -> Statechart.Event.t -> unit;
+    (** deliver the event periodically *)
+  now : unit -> float;
+    (** current simulated time *)
+}
+
+type behavior = {
+  on_start : unit -> unit;
+  on_event : port:string -> Statechart.Event.t -> bool;
+    (** run-to-completion step; [false] = event dropped *)
+  configuration : unit -> string list;
+    (** active state configuration, for inspection *)
+}
+
+type behavior_factory = services -> behavior
+
+val machine_behavior :
+  make_context:(services -> 'ctx) -> 'ctx Statechart.Machine.t -> behavior_factory
+(** Standard behaviour: a statechart over a context built from the
+    services. Incoming events are fed to {!Statechart.Instance.handle}
+    (the receiving port is exposed to actions via the event payload
+    untouched; port-specific routing belongs in distinct signal names,
+    as in UML-RT practice). *)
+
+type endpoint = {
+  part : string option;  (** [None] = this capsule's own border port *)
+  port : string;
+}
+
+type connector = {
+  from_ : endpoint;
+  to_ : endpoint;
+}
+
+val connector : from_:endpoint -> to_:endpoint -> connector
+val border : string -> endpoint
+val part_port : string -> string -> endpoint
+(** [part_port part port]. *)
+
+type t
+
+val create :
+  ?ports:port_decl list
+  -> ?behavior:behavior_factory
+  -> ?parts:(string * t) list
+  -> ?connectors:connector list
+  -> string -> t
+(** Raises [Invalid_argument] on duplicate port or part names. *)
+
+val name : t -> string
+val ports : t -> port_decl list
+val find_port : t -> string -> port_decl option
+val behavior : t -> behavior_factory option
+val parts : t -> (string * t) list
+val connectors : t -> connector list
+
+val validate : t -> string list
+(** Structural rules, checked recursively:
+    - connector endpoints must name existing parts/ports;
+    - both ends must speak the same protocol (by name);
+    - between sibling parts, exactly one end is conjugated;
+    - between a part and its container's border port, conjugations match;
+    - an [End] border port on a capsule {e with} parts and behaviour is
+      allowed; an [End] port may not be used as a pass-through.
+    Empty list = well-formed. *)

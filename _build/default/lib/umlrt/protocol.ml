@@ -1,0 +1,60 @@
+type signal_decl = {
+  signal : string;
+  payload : Dataflow.Flow_type.t option;
+}
+
+type t = {
+  name : string;
+  incoming : signal_decl list;
+  outgoing : signal_decl list;
+}
+
+let check_unique name direction decls =
+  let sorted = List.sort (fun a b -> String.compare a.signal b.signal) decls in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a.signal b.signal then
+        invalid_arg
+          (Printf.sprintf "Umlrt.Protocol.create(%s): duplicate %s signal %S"
+             name direction a.signal);
+      walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk sorted
+
+let create ?(incoming = []) ?(outgoing = []) name =
+  check_unique name "incoming" incoming;
+  check_unique name "outgoing" outgoing;
+  { name; incoming; outgoing }
+
+let signal ?payload signal = { signal; payload }
+
+let name t = t.name
+let incoming t = t.incoming
+let outgoing t = t.outgoing
+
+let mem decls s = List.exists (fun d -> String.equal d.signal s) decls
+
+let can_send t ~conjugated s =
+  if conjugated then mem t.incoming s else mem t.outgoing s
+
+let can_receive t ~conjugated s =
+  if conjugated then mem t.outgoing s else mem t.incoming s
+
+let payload_of t s =
+  let find decls = List.find_opt (fun d -> String.equal d.signal s) decls in
+  match find t.outgoing with
+  | Some d -> d.payload
+  | None -> (match find t.incoming with Some d -> d.payload | None -> None)
+
+let equal_name a b = String.equal a.name b.name
+
+let pp ppf t =
+  let pp_side ppf decls =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf d -> Format.pp_print_string ppf d.signal)
+      ppf decls
+  in
+  Format.fprintf ppf "protocol %s { out: %a; in: %a }" t.name pp_side t.outgoing
+    pp_side t.incoming

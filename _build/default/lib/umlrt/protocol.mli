@@ -1,0 +1,35 @@
+(** UML-RT protocols: named sets of signals exchanged over ports.
+
+    A protocol is written from the {e base} role's perspective:
+    [outgoing] are the signals the base side may send, [incoming] those
+    it may receive. The conjugate role swaps the two sets. *)
+
+type signal_decl = {
+  signal : string;
+  payload : Dataflow.Flow_type.t option;  (** [None] = no payload *)
+}
+
+type t
+
+val create :
+  ?incoming:signal_decl list -> ?outgoing:signal_decl list -> string -> t
+(** Raises [Invalid_argument] when a signal name appears twice within a
+    direction. (A name may legitimately appear in both directions.) *)
+
+val signal : ?payload:Dataflow.Flow_type.t -> string -> signal_decl
+
+val name : t -> string
+val incoming : t -> signal_decl list
+val outgoing : t -> signal_decl list
+
+val can_send : t -> conjugated:bool -> string -> bool
+(** May a port with this protocol and conjugation emit the signal? *)
+
+val can_receive : t -> conjugated:bool -> string -> bool
+
+val payload_of : t -> string -> Dataflow.Flow_type.t option
+(** Declared payload of the signal in either direction. *)
+
+val equal_name : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

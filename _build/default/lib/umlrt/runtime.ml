@@ -1,0 +1,234 @@
+exception Invalid_model of string list
+
+type instance = {
+  path : string;
+  klass : Capsule.t;
+  mailbox : (string * Statechart.Event.t) Des.Mailbox.t;
+  mutable behavior : Capsule.behavior option;
+}
+
+type target =
+  | To_instance of string * string
+  | To_environment of string
+  | Unconnected
+
+type t = {
+  engine : Des.Engine.t;
+  root_path : string;
+  instances : (string, instance) Hashtbl.t;
+  mutable order : string list;  (* instantiation order, reversed *)
+  mutable links : ((string * string) * (string * string)) list;
+  outbox : (string * Statechart.Event.t) Queue.t;
+  mutable env_listener : (port:string -> Statechart.Event.t -> unit) option;
+  mutable pending_starts : Capsule.behavior list;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let engine t = t.engine
+
+let instance_paths t = List.rev t.order
+
+let find_instance t path = Hashtbl.find_opt t.instances path
+
+let port_decl t (path, port) =
+  match find_instance t path with
+  | None -> None
+  | Some inst -> Capsule.find_port inst.klass port
+
+let partners t node ~excluding =
+  List.filter_map
+    (fun (a, b) ->
+       if a = node && Some b <> excluding then Some b
+       else if b = node && Some a <> excluding then Some a
+       else None)
+    t.links
+
+let is_root_border t (path, port) =
+  String.equal path t.root_path && port_decl t (path, port) <> None
+
+(* Follow the connector chain starting at [start]; [prev] is where we came
+   from (so a relay continues through its other side). *)
+let rec walk t ~prev cur =
+  match port_decl t cur with
+  | None -> Unconnected
+  | Some decl ->
+    (match decl.Capsule.kind with
+     | Capsule.End ->
+       let path, port = cur in
+       (match find_instance t path with
+        | Some inst when inst.behavior <> None -> To_instance (path, port)
+        | Some _ | None ->
+          if is_root_border t cur then To_environment port else Unconnected)
+     | Capsule.Relay ->
+       (match partners t cur ~excluding:prev with
+        | next :: _ -> walk t ~prev:(Some cur) next
+        | [] ->
+          let _, port = cur in
+          if is_root_border t cur then To_environment port else Unconnected))
+
+let resolve_from t start =
+  match partners t start ~excluding:None with
+  | next :: _ -> walk t ~prev:(Some start) next
+  | [] ->
+    (* A border relay port with no link on either side, or an end port
+       never wired: the message has nowhere to go. *)
+    if is_root_border t start then To_environment (snd start) else Unconnected
+
+let resolve t ~path ~port = resolve_from t (path, port)
+
+let to_environment t port event =
+  match t.env_listener with
+  | Some f -> f ~port event
+  | None -> Queue.push (port, event) t.outbox
+
+let deliver_target t event = function
+  | To_instance (path, port) ->
+    (match find_instance t path with
+     | Some inst -> Des.Mailbox.send inst.mailbox (port, event)
+     | None -> t.dropped <- t.dropped + 1)
+  | To_environment port -> to_environment t port event
+  | Unconnected -> t.dropped <- t.dropped + 1
+
+let send_from t inst ~port event =
+  match Capsule.find_port inst.klass port with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Umlrt.Runtime.send: capsule %s has no port %S" inst.path port)
+  | Some decl ->
+    if not (Protocol.can_send decl.Capsule.protocol
+              ~conjugated:decl.Capsule.conjugated (Statechart.Event.signal event))
+    then
+      invalid_arg
+        (Printf.sprintf "Umlrt.Runtime.send: port %s.%s cannot send signal %S"
+           inst.path port (Statechart.Event.signal event));
+    t.sent <- t.sent + 1;
+    deliver_target t event (resolve_from t (inst.path, port))
+
+(* Each delivery invokes the listener once; popping exactly one message
+   gives one run-to-completion step per mailbox event. *)
+let on_delivery t inst mailbox =
+  match Des.Mailbox.pop mailbox with
+  | None -> ()
+  | Some (port, event) ->
+    (match inst.behavior with
+     | Some b ->
+       t.delivered <- t.delivered + 1;
+       if not (b.Capsule.on_event ~port event) then t.dropped <- t.dropped + 1
+     | None ->
+       if String.equal inst.path t.root_path then to_environment t port event
+       else t.dropped <- t.dropped + 1)
+
+let self_port = "^timer"
+
+let services_for t inst =
+  {
+    Capsule.send = (fun ~port event -> send_from t inst ~port event);
+    timer_after =
+      (fun delay event ->
+         ignore
+           (Des.Timer.one_shot t.engine ~delay (fun () ->
+                Des.Mailbox.send inst.mailbox (self_port, event))));
+    timer_every =
+      (fun period event ->
+         ignore
+           (Des.Timer.periodic t.engine ~period (fun _ ->
+                Des.Mailbox.send inst.mailbox (self_port, event))));
+    now = (fun () -> Des.Engine.now t.engine);
+  }
+
+let rec instantiate t ~latency ~path klass =
+  let mailbox = Des.Mailbox.create t.engine ~latency path in
+  let inst = { path; klass; mailbox; behavior = None } in
+  Hashtbl.replace t.instances path inst;
+  t.order <- path :: t.order;
+  Des.Mailbox.set_listener mailbox (fun mb -> on_delivery t inst mb);
+  (* Register this capsule's connectors as links between concrete ports. *)
+  let endpoint_node (ep : Capsule.endpoint) =
+    match ep.Capsule.part with
+    | None -> (path, ep.Capsule.port)
+    | Some part -> (path ^ "/" ^ part, ep.Capsule.port)
+  in
+  List.iter
+    (fun (c : Capsule.connector) ->
+       t.links <- (endpoint_node c.Capsule.from_, endpoint_node c.Capsule.to_) :: t.links)
+    (Capsule.connectors klass);
+  List.iter
+    (fun (part, sub) -> instantiate t ~latency ~path:(path ^ "/" ^ part) sub)
+    (Capsule.parts klass)
+
+let start_behaviors t =
+  let pending = t.pending_starts in
+  t.pending_starts <- [];
+  List.iter (fun b -> b.Capsule.on_start ()) pending
+
+let create engine ?(latency = 0.) ?(defer_start = false) root =
+  (match Capsule.validate root with
+   | [] -> ()
+   | errors -> raise (Invalid_model errors));
+  let t =
+    { engine; root_path = Capsule.name root; instances = Hashtbl.create 16;
+      order = []; links = []; outbox = Queue.create (); env_listener = None;
+      pending_starts = []; sent = 0; delivered = 0; dropped = 0 }
+  in
+  instantiate t ~latency ~path:t.root_path root;
+  (* Create behaviours parent-first, then start them in the same order. *)
+  t.pending_starts <-
+    List.filter_map
+      (fun path ->
+         match find_instance t path with
+         | None -> None
+         | Some inst ->
+           (match Capsule.behavior inst.klass with
+            | Some factory ->
+              let b = factory (services_for t inst) in
+              inst.behavior <- Some b;
+              Some b
+            | None -> None))
+      (instance_paths t);
+  if not defer_start then start_behaviors t;
+  t
+
+let configuration t path =
+  match find_instance t path with
+  | Some { behavior = Some b; _ } -> Some (b.Capsule.configuration ())
+  | Some { behavior = None; _ } | None -> None
+
+let root_path t = t.root_path
+
+let deliver_to t ~path ~port event =
+  match find_instance t path with
+  | Some inst ->
+    t.sent <- t.sent + 1;
+    Des.Mailbox.send inst.mailbox (port, event);
+    true
+  | None -> false
+
+let inject t ~port event =
+  match port_decl t (t.root_path, port) with
+  | None ->
+    invalid_arg (Printf.sprintf "Umlrt.Runtime.inject: root has no port %S" port)
+  | Some decl ->
+    t.sent <- t.sent + 1;
+    (match decl.Capsule.kind with
+     | Capsule.End ->
+       (* Border End port: the root's own behaviour receives it. *)
+       (match find_instance t t.root_path with
+        | Some inst when inst.behavior <> None ->
+          Des.Mailbox.send inst.mailbox (port, event)
+        | Some _ | None -> t.dropped <- t.dropped + 1)
+     | Capsule.Relay ->
+       deliver_target t event (resolve_from t (t.root_path, port)))
+
+let set_environment_listener t f = t.env_listener <- Some f
+let clear_environment_listener t = t.env_listener <- None
+
+let drain_outbox t =
+  let items = List.of_seq (Queue.to_seq t.outbox) in
+  Queue.clear t.outbox;
+  items
+
+type stats = { sent : int; delivered : int; dropped : int }
+
+let stats (t : t) = { sent = t.sent; delivered = t.delivered; dropped = t.dropped }

@@ -1,0 +1,75 @@
+(** UML-RT runtime: instantiates a capsule tree on a DES engine, wires
+    connectors (resolving relay chains end-to-end), and dispatches signal
+    messages with run-to-completion semantics.
+
+    Messages that leave the root capsule's border land in the runtime's
+    {e outbox} (the environment); {!inject} pushes environment messages in
+    through a root border port. *)
+
+exception Invalid_model of string list
+(** Raised by {!create} when {!Capsule.validate} reports errors. *)
+
+type t
+
+val create : Des.Engine.t -> ?latency:float -> ?defer_start:bool -> Capsule.t -> t
+(** Instantiate and wire the tree; every capsule mailbox gets the given
+    delivery [latency] (default 0). Behaviours' [on_start] run
+    immediately, in instantiation order (parent before parts) — unless
+    [defer_start] is set, in which case the caller must invoke
+    {!start_behaviors} once the environment is wired. *)
+
+val start_behaviors : t -> unit
+(** Run pending [on_start] callbacks (no-op when already started). *)
+
+val engine : t -> Des.Engine.t
+
+val instance_paths : t -> string list
+(** All instance paths; the root's path is the class name, parts are
+    [parent/partname]. *)
+
+val configuration : t -> string -> string list option
+(** Active statechart configuration of the instance at the path, [None]
+    for unknown paths or behaviour-less capsules. *)
+
+val root_path : t -> string
+(** The root instance's path (the root capsule's class name). *)
+
+val inject : t -> port:string -> Statechart.Event.t -> unit
+(** Send a message from the environment into the named root border
+    port. Raises [Invalid_argument] for unknown ports. *)
+
+val deliver_to : t -> path:string -> port:string -> Statechart.Event.t -> bool
+(** Push a message directly into the mailbox of the instance at [path]
+    (as if its [port] received it); [false] when the path is unknown.
+    Used by the hybrid engine after it resolved a route itself. *)
+
+val drain_outbox : t -> (string * Statechart.Event.t) list
+(** Messages that reached the environment since the last drain, oldest
+    first; the outbox is emptied. *)
+
+val set_environment_listener :
+  t -> (port:string -> Statechart.Event.t -> unit) -> unit
+(** Intercept environment-bound messages at the moment they cross the
+    root border instead of queueing them in the outbox. The hybrid engine
+    uses this to route capsule signals into streamer SPorts with correct
+    timing. *)
+
+val clear_environment_listener : t -> unit
+
+type stats = {
+  sent : int;       (** messages emitted by behaviours or injection *)
+  delivered : int;  (** messages consumed by a behaviour *)
+  dropped : int;    (** unconnected port, or behaviour had no transition *)
+}
+
+val stats : t -> stats
+
+(** How a message sent from a given port is routed. *)
+type target =
+  | To_instance of string * string  (** instance path, port *)
+  | To_environment of string        (** root border port *)
+  | Unconnected
+
+val resolve : t -> path:string -> port:string -> target
+(** Follow connectors (through relays) from the given port to its
+    final destination — exposed for tests and the model checker. *)

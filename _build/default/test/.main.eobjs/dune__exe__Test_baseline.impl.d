@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Des Float List Ode Printf Sigtrace

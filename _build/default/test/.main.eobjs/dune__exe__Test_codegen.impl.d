@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Buffer Codegen Dsl Filename List Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Control Float Gen List Ode Plant Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dataflow Des Float Hybrid List Ode Option Printf QCheck QCheck_alcotest Rt Sigtrace Statechart String Umlrt

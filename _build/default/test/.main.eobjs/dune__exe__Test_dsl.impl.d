@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Array Codegen Dsl Filename Float Hybrid List Printf QCheck QCheck_alcotest Sigtrace String Sys Umlrt

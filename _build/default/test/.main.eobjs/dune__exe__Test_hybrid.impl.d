@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Array Dataflow Float Hybrid List Ode Printf Sigtrace Statechart Umlrt

@@ -1,0 +1,1 @@
+test/test_plant.ml: Alcotest Array Float Ode Plant Printf

@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Des Float List Printf QCheck QCheck_alcotest Rt String

@@ -1,0 +1,1 @@
+test/test_sigtrace.ml: Alcotest Float Gen List Printf QCheck QCheck_alcotest Sigtrace

@@ -1,0 +1,1 @@
+test/test_statechart.ml: Alcotest Dataflow Gen List QCheck QCheck_alcotest Statechart

@@ -1,0 +1,1 @@
+test/test_umlrt.ml: Alcotest Des List Printf Statechart String Umlrt

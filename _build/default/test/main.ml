@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "umh"
+    [ ("ode", Test_ode.suite);
+      ("des", Test_des.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("statechart", Test_statechart.suite);
+      ("rt", Test_rt.suite);
+      ("umlrt", Test_umlrt.suite);
+      ("sigtrace", Test_sigtrace.suite);
+      ("plant", Test_plant.suite);
+      ("control", Test_control.suite);
+      ("baseline", Test_baseline.suite);
+      ("hybrid-engine", Test_hybrid.suite);
+      ("hybrid-core", Test_core.suite);
+      ("dsl", Test_dsl.suite);
+      ("codegen", Test_codegen.suite) ]

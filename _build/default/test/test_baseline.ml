@@ -1,0 +1,166 @@
+(* Baseline tests: the translation approach really pays one DES event per
+   integration step; the equations-in-states approach really blocks the
+   event thread; accuracy relationships hold. *)
+
+let decay = Ode.System.create ~dim:1 (fun _t y -> [| -.y.(0) |])
+
+let test_translation_steps_are_events () =
+  let t =
+    Baseline.Translation.create ~step:0.01 ~system:decay ~init:[| 1. |] ()
+  in
+  Baseline.Translation.run t ~until:1.;
+  Alcotest.(check int) "100 integration steps" 100
+    (Baseline.Translation.steps_executed t);
+  (* Every step costs at least two DES callbacks (timer + mailbox). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d DES events >= 2/step" (Baseline.Translation.des_events t))
+    true
+    (Baseline.Translation.des_events t >= 2 * Baseline.Translation.steps_executed t)
+
+let test_translation_euler_accuracy () =
+  let t =
+    Baseline.Translation.create ~step:0.01 ~system:decay ~init:[| 1. |] ()
+  in
+  Baseline.Translation.run t ~until:1.;
+  let y = Baseline.Translation.state t in
+  (* Euler at dt = 0.01: error ~ 2e-3. It IS close, but measurably worse
+     than RK4 at the same step. *)
+  let err = Float.abs (y.(0) -. exp (-1.)) in
+  Alcotest.(check bool) (Printf.sprintf "euler error %.2e in (1e-4, 1e-2)" err)
+    true
+    (err > 1e-4 && err < 1e-2)
+
+let test_translation_scheme_option () =
+  let t =
+    Baseline.Translation.create ~scheme:Ode.Fixed.Rk4 ~step:0.01 ~system:decay
+      ~init:[| 1. |] ()
+  in
+  Baseline.Translation.run t ~until:1.;
+  let err = Float.abs ((Baseline.Translation.state t).(0) -. exp (-1.)) in
+  Alcotest.(check bool) "rk4 translation accurate" true (err < 1e-9)
+
+let test_translation_trace () =
+  let t =
+    Baseline.Translation.create ~step:0.1 ~system:decay ~init:[| 1. |] ()
+  in
+  let trace = Baseline.Translation.trace t ~component:0 in
+  Baseline.Translation.run t ~until:1.;
+  Alcotest.(check int) "initial + 10 samples" 11 (Sigtrace.Trace.length trace)
+
+let test_event_server_latency_under_load () =
+  let e = Des.Engine.create () in
+  let server = Baseline.Event_server.create e ~handler_cost:0.001 in
+  (* Background equations: every 10 ms, 8 ms of thread time. *)
+  Baseline.Event_server.add_background_load server ~period:0.01 ~cost:0.008;
+  for k = 1 to 50 do
+    Baseline.Event_server.submit_at server (0.0005 +. (0.01 *. float_of_int k))
+  done;
+  ignore (Des.Engine.run_until e 2.);
+  let latencies = Baseline.Event_server.event_latencies server in
+  Alcotest.(check int) "all served" 50 (List.length latencies);
+  match Sigtrace.Metrics.summarize latencies with
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mean latency %.4f suffers from blocking" s.Sigtrace.Metrics.mean)
+      true
+      (s.Sigtrace.Metrics.mean > 0.004)
+  | None -> Alcotest.fail "non-empty"
+
+let test_event_server_fast_without_load () =
+  let e = Des.Engine.create () in
+  let server = Baseline.Event_server.create e ~handler_cost:0.001 in
+  for k = 1 to 50 do
+    Baseline.Event_server.submit_at server (0.01 *. float_of_int k)
+  done;
+  ignore (Des.Engine.run_until e 2.);
+  match Sigtrace.Metrics.summarize (Baseline.Event_server.event_latencies server) with
+  | Some s ->
+    Alcotest.(check (float 1e-9)) "latency = handler cost" 0.001 s.Sigtrace.Metrics.mean
+  | None -> Alcotest.fail "non-empty"
+
+let test_event_server_fifo_backlog () =
+  (* Two arrivals while busy: second waits for first. *)
+  let e = Des.Engine.create () in
+  let server = Baseline.Event_server.create e ~handler_cost:1.0 in
+  Baseline.Event_server.submit_at server 0.;
+  Baseline.Event_server.submit_at server 0.1;
+  ignore (Des.Engine.run_until e 5.);
+  match Baseline.Event_server.event_latencies server with
+  | [ l1; l2 ] ->
+    Alcotest.(check (float 1e-9)) "first: service only" 1.0 l1;
+    Alcotest.(check (float 1e-9)) "second: waits 0.9 then 1.0" 1.9 l2
+  | other -> Alcotest.fail (Printf.sprintf "expected 2, got %d" (List.length other))
+
+let test_equations_in_state_blocks_events () =
+  let make blocks =
+    Baseline.Equations_in_state.create ~update_period:0.01 ~cost_per_block:0.002
+      ~blocks ~handler_cost:0.0005 ~system:decay ~init:[| 1. |] ()
+  in
+  let run_one sys_t =
+    let engine = Baseline.Equations_in_state.engine sys_t in
+    for k = 1 to 40 do
+      ignore
+        (Des.Engine.schedule_at engine ~time:(0.0203 *. float_of_int k)
+           (fun () -> Baseline.Equations_in_state.submit_event sys_t))
+    done;
+    Baseline.Equations_in_state.run sys_t ~until:1.;
+    match
+      Sigtrace.Metrics.summarize (Baseline.Equations_in_state.event_latencies sys_t)
+    with
+    | Some s -> s.Sigtrace.Metrics.mean
+    | None -> 0.
+  in
+  let light = run_one (make 0) in
+  let heavy = run_one (make 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency grows with equation load (%.5f -> %.5f)" light heavy)
+    true
+    (heavy > light)
+
+let test_equations_in_state_integrates () =
+  let t =
+    Baseline.Equations_in_state.create ~update_period:0.001 ~cost_per_block:0.
+      ~blocks:1 ~handler_cost:0. ~system:decay ~init:[| 1. |] ()
+  in
+  Baseline.Equations_in_state.run t ~until:1.;
+  let y = Baseline.Equations_in_state.state t in
+  Alcotest.(check bool)
+    (Printf.sprintf "euler-at-update-rate accuracy (%.4f)" y.(0))
+    true
+    (Float.abs (y.(0) -. exp (-1.)) < 0.01)
+
+let test_equations_in_state_statechart () =
+  let t =
+    Baseline.Equations_in_state.create ~update_period:0.01 ~cost_per_block:0.001
+      ~blocks:2 ~handler_cost:0.001 ~system:decay ~init:[| 1. |] ()
+  in
+  Alcotest.(check string) "starts Active" "Active"
+    (Baseline.Equations_in_state.active_state t);
+  Baseline.Equations_in_state.run t ~until:0.5;
+  let updates_active = Baseline.Equations_in_state.updates_run t in
+  Baseline.Equations_in_state.set_active t false;
+  Alcotest.(check string) "deactivated" "Idle"
+    (Baseline.Equations_in_state.active_state t);
+  Baseline.Equations_in_state.run t ~until:1.0;
+  Alcotest.(check int) "no updates while Idle (equations detached)"
+    updates_active
+    (Baseline.Equations_in_state.updates_run t)
+
+let suite =
+  [ Alcotest.test_case "translation: one event per step" `Quick
+      test_translation_steps_are_events;
+    Alcotest.test_case "translation: euler accuracy band" `Quick
+      test_translation_euler_accuracy;
+    Alcotest.test_case "translation: scheme option" `Quick test_translation_scheme_option;
+    Alcotest.test_case "translation: traces" `Quick test_translation_trace;
+    Alcotest.test_case "event server: blocking load" `Quick
+      test_event_server_latency_under_load;
+    Alcotest.test_case "event server: unloaded baseline" `Quick
+      test_event_server_fast_without_load;
+    Alcotest.test_case "event server: FIFO backlog" `Quick test_event_server_fifo_backlog;
+    Alcotest.test_case "equations-in-state: blocks events" `Quick
+      test_equations_in_state_blocks_events;
+    Alcotest.test_case "equations-in-state: integrates" `Quick
+      test_equations_in_state_integrates;
+    Alcotest.test_case "equations-in-state: statechart detaches" `Quick
+      test_equations_in_state_statechart ]

@@ -1,0 +1,153 @@
+(* Code-generation tests: the generated C must be structurally complete,
+   compile with the system C compiler, and — when executed — regulate the
+   thermostat the same way the simulator does. *)
+
+let thermostat_model = {umh|
+model Thermostat
+protocol Thermo {
+  in heater_on, heater_off;
+  out too_cold, too_hot;
+}
+streamer Room {
+  rate 0.05;
+  method rk4 0.005;
+  dport out temp;
+  sport ctl : Thermo;
+  param duty = 0.0;
+  init T = 20.0;
+  eq T' = -(T - 15.0) / 20.0 + 0.8 * duty;
+  output temp = T;
+  guard low : falling (T - 19.0) emits too_cold via ctl;
+  guard high : rising (T - 21.0) emits too_hot via ctl;
+  when heater_on set duty = 1.0;
+  when heater_off set duty = 0.0;
+}
+capsule Controller {
+  port plant : Thermo conjugated;
+  statemachine {
+    initial Idle;
+    state Idle { on too_cold -> Heating send heater_on via plant; }
+    state Heating { on too_hot -> Idle send heater_off via plant; }
+  }
+}
+system {
+  capsule ctl : Controller;
+  streamer room : Room in ctl;
+  link room.ctl -- ctl.plant;
+}
+|umh}
+
+let generate () =
+  let checked = Dsl.Typecheck.check (Dsl.Parser.parse thermostat_model) in
+  Codegen.Cgen.generate checked
+
+let contains hay needle =
+  let ln = String.length needle in
+  let lh = String.length hay in
+  let rec scan i =
+    if i + ln > lh then false
+    else if String.equal (String.sub hay i ln) needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let c_source () =
+  match generate () with
+  | [ _; { Codegen.Cgen.filename = "umh_model.c"; contents } ] -> contents
+  | _ -> Alcotest.fail "expected header + source"
+
+let test_outputs_two_files () =
+  let files = generate () in
+  Alcotest.(check (list string)) "filenames" [ "umh_model.h"; "umh_model.c" ]
+    (List.map (fun o -> o.Codegen.Cgen.filename) files)
+
+let test_structure () =
+  let src = c_source () in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true
+         (contains src needle))
+    [ "typedef struct"; "room_rhs"; "room_step"; "room_outputs";
+      "room_guard_0"; "room_signal"; "ctl_handle"; "SIG_too_cold";
+      "SIG_heater_on"; "umh_run"; "ctl_S_Idle"; "ctl_S_Heating" ]
+
+let test_expr_to_c () =
+  let e = Dsl.Parser.parse_expr "-(a + 2) * max(b, 3) ^ 2" in
+  let resolve = function
+    | "a" -> "s->a"
+    | "b" -> "s->b"
+    | other -> Alcotest.fail ("unexpected identifier " ^ other)
+  in
+  Alcotest.(check string) "compiled expression"
+    "((-(s->a + 2.0)) * pow(fmax(s->b, 3.0), 2.0))"
+    (Codegen.Cgen.expr_to_c ~resolve e)
+
+let run_command cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let have_cc () =
+  match run_command "cc --version" with
+  | Unix.WEXITED 0, _ -> true
+  | _, _ -> false
+
+let test_compiles_and_regulates () =
+  if not (have_cc ()) then ()
+  else begin
+    let dir = Filename.temp_file "umhgen" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    List.iter
+      (fun { Codegen.Cgen.filename; contents } ->
+         let oc = open_out (Filename.concat dir filename) in
+         output_string oc contents;
+         close_out oc)
+      (generate ());
+    let exe = Filename.concat dir "model" in
+    (match
+       run_command
+         (Printf.sprintf "cc -O1 -o %s %s -lm" exe
+            (Filename.concat dir "umh_model.c"))
+     with
+     | Unix.WEXITED 0, _ -> ()
+     | _, log -> Alcotest.fail ("generated C failed to compile:\n" ^ log));
+    let status, csv = run_command (exe ^ " 400") in
+    (match status with
+     | Unix.WEXITED 0 -> ()
+     | _ -> Alcotest.fail "generated binary crashed");
+    (* Parse CSV rows: time,room.temp — after settling, the band holds. *)
+    let lines = String.split_on_char '\n' csv in
+    let late_temps =
+      List.filter_map
+        (fun line ->
+           match String.split_on_char ',' line with
+           | [ time; temp ] ->
+             (match (float_of_string_opt time, float_of_string_opt temp) with
+              | Some t, Some v when t > 100. -> Some v
+              | _, _ -> None)
+           | _ -> None)
+        lines
+    in
+    Alcotest.(check bool) "enough samples" true (List.length late_temps > 100);
+    List.iter
+      (fun temp ->
+         Alcotest.(check bool)
+           (Printf.sprintf "generated-code temp %g in band" temp)
+           true
+           (temp > 18.4 && temp < 21.6))
+      late_temps
+  end
+
+let suite =
+  [ Alcotest.test_case "two output files" `Quick test_outputs_two_files;
+    Alcotest.test_case "structural completeness" `Quick test_structure;
+    Alcotest.test_case "expression compilation" `Quick test_expr_to_c;
+    Alcotest.test_case "generated C compiles and regulates" `Slow
+      test_compiles_and_regulates ]

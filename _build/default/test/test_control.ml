@@ -1,0 +1,329 @@
+(* Controller tests: PID behaviour incl. anti-windup, bang-bang
+   hysteresis, pole placement, filters, difference equations. *)
+
+(* ---- PID ---- *)
+
+let test_pid_proportional () =
+  let pid = Control.Pid.create { Control.Pid.kp = 2.; ki = 0.; kd = 0. } in
+  let u = Control.Pid.update pid ~setpoint:10. ~measurement:7. ~dt:0.1 in
+  Alcotest.(check (float 1e-12)) "u = kp * e" 6. u
+
+let test_pid_integral_accumulates () =
+  let pid = Control.Pid.create { Control.Pid.kp = 0.; ki = 1.; kd = 0. } in
+  ignore (Control.Pid.update pid ~setpoint:1. ~measurement:0. ~dt:0.5);
+  let u = Control.Pid.update pid ~setpoint:1. ~measurement:0. ~dt:0.5 in
+  Alcotest.(check (float 1e-12)) "two steps of 0.5" 1.0 u
+
+let test_pid_derivative () =
+  let pid = Control.Pid.create { Control.Pid.kp = 0.; ki = 0.; kd = 1. } in
+  ignore (Control.Pid.update pid ~setpoint:0. ~measurement:0. ~dt:0.1);
+  let u = Control.Pid.update pid ~setpoint:0. ~measurement:(-0.5) ~dt:0.1 in
+  (* error went 0 -> 0.5 in 0.1s: derivative 5 *)
+  Alcotest.(check (float 1e-9)) "kd * de/dt" 5. u
+
+let test_pid_output_clamped () =
+  let pid =
+    Control.Pid.create ~output_min:(-1.) ~output_max:1.
+      { Control.Pid.kp = 100.; ki = 0.; kd = 0. }
+  in
+  Alcotest.(check (float 1e-12)) "clamped high" 1.
+    (Control.Pid.update pid ~setpoint:10. ~measurement:0. ~dt:0.1);
+  Alcotest.(check (float 1e-12)) "clamped low" (-1.)
+    (Control.Pid.update pid ~setpoint:(-10.) ~measurement:0. ~dt:0.1)
+
+let test_pid_anti_windup () =
+  (* Saturated for a long time: integrator must not wind up. *)
+  let pid =
+    Control.Pid.create ~output_min:0. ~output_max:1.
+      { Control.Pid.kp = 0.; ki = 10.; kd = 0. }
+  in
+  for _ = 1 to 1000 do
+    ignore (Control.Pid.update pid ~setpoint:100. ~measurement:0. ~dt:0.01)
+  done;
+  let wound = Control.Pid.integrator pid in
+  Alcotest.(check bool)
+    (Printf.sprintf "integrator %.2f stays near the limit" wound)
+    true
+    (wound <= 11.);
+  (* After the error reverses, recovery is quick (few steps, not 1000). *)
+  let rec recover n =
+    let u = Control.Pid.update pid ~setpoint:0. ~measurement:10. ~dt:0.01 in
+    if u <= 0.001 || n > 50 then n else recover (n + 1)
+  in
+  Alcotest.(check bool) "recovers fast" true (recover 0 <= 50)
+
+let test_pid_closed_loop () =
+  (* PID on the thermal plant: must settle to the setpoint. *)
+  let plant = Plant.Thermal.default in
+  let pid =
+    Control.Pid.create ~output_min:0. ~output_max:1.
+      { Control.Pid.kp = 0.5; ki = 0.001; kd = 0. }
+  in
+  let dt = 10. in
+  let temp = ref 15. in
+  for _ = 1 to 2000 do
+    let duty = Control.Pid.update pid ~setpoint:20. ~measurement:!temp ~dt in
+    let y =
+      Ode.Fixed.integrate Ode.Fixed.Rk4 (Plant.Thermal.system_const plant ~duty)
+        ~t0:0. ~t1:dt ~dt:1. [| !temp |]
+    in
+    temp := y.(0)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "settled at %.2f ~ 20" !temp)
+    true
+    (Float.abs (!temp -. 20.) < 0.2)
+
+let test_pid_reset () =
+  let pid = Control.Pid.create { Control.Pid.kp = 0.; ki = 1.; kd = 0. } in
+  ignore (Control.Pid.update pid ~setpoint:1. ~measurement:0. ~dt:1.);
+  Control.Pid.reset pid;
+  Alcotest.(check (float 0.)) "integrator cleared" 0. (Control.Pid.integrator pid)
+
+(* ---- bang-bang ---- *)
+
+let test_bang_bang_hysteresis () =
+  let bb = Control.Bang_bang.create ~setpoint:20. ~hysteresis:1. () in
+  Alcotest.(check bool) "below band -> on" true
+    (Control.Bang_bang.update bb ~measurement:18.);
+  Alcotest.(check bool) "inside band keeps on" true
+    (Control.Bang_bang.update bb ~measurement:20.5);
+  Alcotest.(check bool) "above band -> off" false
+    (Control.Bang_bang.update bb ~measurement:21.5);
+  Alcotest.(check bool) "inside band keeps off" false
+    (Control.Bang_bang.update bb ~measurement:19.5);
+  Alcotest.(check int) "two switches" 2 (Control.Bang_bang.switches bb)
+
+let test_bang_bang_zero_hysteresis_chatters () =
+  let bb = Control.Bang_bang.create ~setpoint:0. ~hysteresis:0. () in
+  let flips = ref 0 in
+  let prev = ref (Control.Bang_bang.output bb) in
+  List.iter
+    (fun v ->
+       let o = Control.Bang_bang.update bb ~measurement:v in
+       if o <> !prev then incr flips;
+       prev := o)
+    [ 0.1; -0.1; 0.1; -0.1; 0.1; -0.1 ];
+  Alcotest.(check bool) "chatters on every sample" true (!flips >= 5)
+
+(* ---- state feedback ---- *)
+
+let test_place2_places_poles () =
+  let a = [| [| 0.; 1. |]; [| 2.; -0.5 |] |] in
+  let b = [| 0.; 1. |] in
+  let k = Control.State_feedback.place2 ~a ~b ~poles:(-3., -7.) in
+  let acl = Control.State_feedback.closed_loop_matrix ~a ~b ~k in
+  match Control.State_feedback.eigenvalues2 acl with
+  | Some (l1, l2) ->
+    let sorted = if l1 < l2 then (l1, l2) else (l2, l1) in
+    Alcotest.(check (float 1e-6)) "fast pole" (-7.) (fst sorted);
+    Alcotest.(check (float 1e-6)) "slow pole" (-3.) (snd sorted)
+  | None -> Alcotest.fail "real poles expected"
+
+let test_place2_uncontrollable () =
+  (* b in the kernel of controllability: [1;0] with a diagonal A gives
+     C = [b, A b] rank 1. *)
+  let a = [| [| 1.; 0. |]; [| 0.; 2. |] |] in
+  let b = [| 1.; 0. |] in
+  Alcotest.(check bool) "uncontrollable detected" true
+    (try ignore (Control.State_feedback.place2 ~a ~b ~poles:(-1., -2.)); false
+     with Failure _ -> true)
+
+let test_state_feedback_stabilizes_pendulum () =
+  let p = Plant.Pendulum.create ~damping:0.01 () in
+  let inertia = p.Plant.Pendulum.mass *. p.Plant.Pendulum.length ** 2. in
+  let a = Plant.Pendulum.linearized p ~upright:true in
+  let b = [| 0.; 1. /. inertia |] in
+  let k = Control.State_feedback.place2 ~a ~b ~poles:(-3., -6.) in
+  let fb = Control.State_feedback.create k in
+  (* Nonlinear sim from 0.3 rad off upright. *)
+  let sys =
+    Plant.Pendulum.system p ~torque:(fun _t y ->
+        Control.State_feedback.control fb [| y.(0) -. Float.pi; y.(1) |])
+  in
+  let y = Ode.Fixed.integrate Ode.Fixed.Rk4 sys ~t0:0. ~t1:8. ~dt:1e-3
+      [| Float.pi -. 0.3; 0. |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "angle error %.4f small" (Float.abs (y.(0) -. Float.pi)))
+    true
+    (Float.abs (y.(0) -. Float.pi) < 1e-2)
+
+(* ---- filters ---- *)
+
+let test_low_pass_converges () =
+  let f = Control.Filter.Low_pass.create ~time_constant:1. in
+  let y = ref 0. in
+  for _ = 1 to 1000 do
+    y := Control.Filter.Low_pass.update f ~dt:0.01 1.
+  done;
+  Alcotest.(check bool) "converges to input" true (Float.abs (!y -. 1.) < 1e-3)
+
+let test_low_pass_smooths () =
+  let f = Control.Filter.Low_pass.create ~time_constant:10. in
+  ignore (Control.Filter.Low_pass.update f ~dt:0.01 0.);
+  let y = Control.Filter.Low_pass.update f ~dt:0.01 100. in
+  Alcotest.(check bool) "step heavily attenuated" true (y < 1.)
+
+let test_biquad_butterworth_dc_gain () =
+  let f = Control.Filter.Biquad.butterworth_lowpass ~cutoff_hz:10. ~sample_rate:1000. in
+  let y = ref 0. in
+  for _ = 1 to 5000 do
+    y := Control.Filter.Biquad.update f 1.
+  done;
+  Alcotest.(check bool) "unity DC gain" true (Float.abs (!y -. 1.) < 1e-6)
+
+let test_biquad_attenuates_high_freq () =
+  let f = Control.Filter.Biquad.butterworth_lowpass ~cutoff_hz:10. ~sample_rate:1000. in
+  (* 250 Hz tone at 1 kHz sampling: far above cutoff. *)
+  let peak = ref 0. in
+  for i = 0 to 2000 do
+    let x = sin (2. *. Float.pi *. 250. *. float_of_int i /. 1000.) in
+    let y = Control.Filter.Biquad.update f x in
+    if i > 500 then peak := Float.max !peak (Float.abs y)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "attenuated to %.4f" !peak)
+    true (!peak < 0.01)
+
+let test_moving_average () =
+  let f = Control.Filter.Moving_average.create ~window:3 in
+  ignore (Control.Filter.Moving_average.update f 1.);
+  ignore (Control.Filter.Moving_average.update f 2.);
+  Alcotest.(check (float 1e-12)) "partial window" 2.
+    (Control.Filter.Moving_average.update f 3.);
+  Alcotest.(check (float 1e-12)) "window slides" 3.
+    (Control.Filter.Moving_average.update f 4.)
+
+(* ---- difference equations ---- *)
+
+let test_tf_integrator () =
+  let tf = Control.Discrete_tf.integrator ~dt:0.1 in
+  let out = Control.Discrete_tf.run tf [ 1.; 1.; 1.; 1. ] in
+  (* Forward Euler: y_k = y_{k-1} + dt * u_{k-1}: 0, .1, .2, .3 *)
+  Alcotest.(check (list (float 1e-12))) "ramp" [ 0.; 0.1; 0.2; 0.3 ] out
+
+let test_tf_differentiator () =
+  let tf = Control.Discrete_tf.differentiator ~dt:0.5 in
+  let out = Control.Discrete_tf.run tf [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check (list (float 1e-12))) "slope 2" [ 0.; 2.; 2.; 2. ] out
+
+let test_tf_first_order_lag_matches_continuous () =
+  let dt = 0.01 and tau = 0.5 in
+  let tf = Control.Discrete_tf.first_order_lag ~dt ~time_constant:tau in
+  let y = ref 0. in
+  for _ = 1 to 100 do
+    y := Control.Discrete_tf.step tf 1.
+  done;
+  (* ZOH discretization is exact at samples; the numerator delay means
+     y_k responds to u_(k-1), so after 100 steps y = 1 - p^99. *)
+  let pole = exp (-.dt /. tau) in
+  let expected = 1. -. (pole ** 99.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.6f ~ %.6f" !y expected)
+    true
+    (Float.abs (!y -. expected) < 1e-9)
+
+let test_tf_reset () =
+  let tf = Control.Discrete_tf.integrator ~dt:1. in
+  ignore (Control.Discrete_tf.run tf [ 1.; 1.; 1. ]);
+  Control.Discrete_tf.reset tf;
+  Alcotest.(check (float 1e-12)) "starts from zero" 0. (Control.Discrete_tf.step tf 1.)
+
+(* qcheck: discrete first-order lag is BIBO: bounded input -> output
+   bounded by the same bound. *)
+let prop_lag_bibo =
+  QCheck.Test.make ~count:100 ~name:"first-order lag is BIBO stable"
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range (-5.) 5.))
+    (fun inputs ->
+       let tf = Control.Discrete_tf.first_order_lag ~dt:0.1 ~time_constant:0.3 in
+       let outs = Control.Discrete_tf.run tf inputs in
+       List.for_all (fun y -> Float.abs y <= 5. +. 1e-9) outs)
+
+let suite =
+  [ Alcotest.test_case "pid: proportional" `Quick test_pid_proportional;
+    Alcotest.test_case "pid: integral" `Quick test_pid_integral_accumulates;
+    Alcotest.test_case "pid: derivative" `Quick test_pid_derivative;
+    Alcotest.test_case "pid: output clamping" `Quick test_pid_output_clamped;
+    Alcotest.test_case "pid: anti-windup" `Quick test_pid_anti_windup;
+    Alcotest.test_case "pid: closed loop on thermal plant" `Quick test_pid_closed_loop;
+    Alcotest.test_case "pid: reset" `Quick test_pid_reset;
+    Alcotest.test_case "bang-bang: hysteresis" `Quick test_bang_bang_hysteresis;
+    Alcotest.test_case "bang-bang: chatter without hysteresis" `Quick
+      test_bang_bang_zero_hysteresis_chatters;
+    Alcotest.test_case "place2: pole placement" `Quick test_place2_places_poles;
+    Alcotest.test_case "place2: uncontrollable pair" `Quick test_place2_uncontrollable;
+    Alcotest.test_case "state feedback stabilizes pendulum" `Quick
+      test_state_feedback_stabilizes_pendulum;
+    Alcotest.test_case "low-pass: convergence" `Quick test_low_pass_converges;
+    Alcotest.test_case "low-pass: smoothing" `Quick test_low_pass_smooths;
+    Alcotest.test_case "biquad: DC gain" `Quick test_biquad_butterworth_dc_gain;
+    Alcotest.test_case "biquad: stop band" `Quick test_biquad_attenuates_high_freq;
+    Alcotest.test_case "moving average" `Quick test_moving_average;
+    Alcotest.test_case "tf: integrator" `Quick test_tf_integrator;
+    Alcotest.test_case "tf: differentiator" `Quick test_tf_differentiator;
+    Alcotest.test_case "tf: ZOH lag exactness" `Quick
+      test_tf_first_order_lag_matches_continuous;
+    Alcotest.test_case "tf: reset" `Quick test_tf_reset;
+    QCheck_alcotest.to_alcotest prop_lag_bibo ]
+
+(* ---- LQR ---- *)
+
+let test_lqr_double_integrator () =
+  (* Classic: A = [[0,1],[0,0]], b = [0,1], Q = I, r = 1 gives
+     P = [[sqrt 3, 1], [1, sqrt 3]] and k = [1, sqrt 3]. *)
+  let a = [| [| 0.; 1. |]; [| 0.; 0. |] |] in
+  let b = [| 0.; 1. |] in
+  let q = [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let k = Control.Lqr.gains ~a ~b ~q ~r:1. () in
+  Alcotest.(check bool)
+    (Printf.sprintf "k = [%.4f; %.4f] ~ [1; sqrt 3]" k.(0) k.(1))
+    true
+    (Float.abs (k.(0) -. 1.) < 1e-3 && Float.abs (k.(1) -. sqrt 3.) < 1e-3)
+
+let test_lqr_residual_small () =
+  let a = [| [| 0.; 1. |]; [| 4.; -0.2 |] |] in
+  let b = [| 0.; 2. |] in
+  let q = [| [| 5.; 0. |]; [| 0.; 1. |] |] in
+  let p = Control.Lqr.solve_care ~a ~b ~q ~r:0.5 () in
+  Alcotest.(check bool) "CARE residual below tolerance" true
+    (Control.Lqr.cost_matrix_residual ~a ~b ~q ~r:0.5 ~p < 1e-8);
+  (* Symmetric solution. *)
+  Alcotest.(check (float 1e-9)) "symmetric" p.(0).(1) p.(1).(0)
+
+let test_lqr_stabilizes () =
+  (* Unstable plant (upright pendulum linearization): LQR must yield a
+     closed loop with strictly negative eigenvalues. *)
+  let plant = Plant.Pendulum.default in
+  let inertia = plant.Plant.Pendulum.mass *. plant.Plant.Pendulum.length ** 2. in
+  let a = Plant.Pendulum.linearized plant ~upright:true in
+  let b = [| 0.; 1. /. inertia |] in
+  let q = [| [| 10.; 0. |]; [| 0.; 1. |] |] in
+  let k = Control.Lqr.gains ~a ~b ~q ~r:1. () in
+  let acl = Control.State_feedback.closed_loop_matrix ~a ~b ~k in
+  match Control.State_feedback.eigenvalues2 acl with
+  | Some (l1, l2) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "poles %.3f, %.3f in the left half plane" l1 l2)
+      true
+      (l1 < 0. && l2 < 0.)
+  | None ->
+    (* complex pair: check the trace (sum of real parts) is negative *)
+    let tr = acl.(0).(0) +. acl.(1).(1) in
+    Alcotest.(check bool) "complex poles, negative real part" true (tr < 0.)
+
+let test_lqr_validation () =
+  Alcotest.(check bool) "r <= 0 rejected" true
+    (try
+       ignore
+         (Control.Lqr.gains ~a:[| [| 0. |] |] ~b:[| 1. |] ~q:[| [| 1. |] |] ~r:0. ());
+       false
+     with Invalid_argument _ -> true)
+
+let lqr_suite =
+  [ Alcotest.test_case "lqr: double integrator closed form" `Quick
+      test_lqr_double_integrator;
+    Alcotest.test_case "lqr: CARE residual" `Quick test_lqr_residual_small;
+    Alcotest.test_case "lqr: stabilizes unstable plant" `Quick test_lqr_stabilizes;
+    Alcotest.test_case "lqr: validation" `Quick test_lqr_validation ]
+
+let suite = suite @ lqr_suite

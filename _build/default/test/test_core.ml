@@ -1,0 +1,489 @@
+(* Core library unit tests beyond the engine integration suite:
+   Time service, stereotype registry, rule checkers, thread assignment,
+   the solver in isolation, and engine edge cases (latency models,
+   environment outbox, alternative integration methods). *)
+
+let check_float tol = Alcotest.(check (float tol))
+
+(* ---- Time service (R8) ---- *)
+
+let test_time_service_affine () =
+  let des = Des.Engine.create () in
+  let clock = Hybrid.Time_service.create ~scale:2. ~offset:1. des in
+  check_float 1e-12 "at t=0" 1. (Hybrid.Time_service.now clock);
+  ignore (Des.Engine.run_until des 5.);
+  check_float 1e-12 "at t=5" 11. (Hybrid.Time_service.now clock);
+  check_float 1e-12 "inverse" 5. (Hybrid.Time_service.to_engine_time clock 11.)
+
+let test_time_service_derived () =
+  let des = Des.Engine.create () in
+  let base = Hybrid.Time_service.create des in
+  let local = Hybrid.Time_service.derived base ~scale:10. ~offset:3. in
+  ignore (Des.Engine.run_until des 2.);
+  check_float 1e-12 "derived clock" 23. (Hybrid.Time_service.now local)
+
+let test_time_service_wait_until () =
+  let des = Des.Engine.create () in
+  let clock = Hybrid.Time_service.create ~scale:2. des in
+  let fired_at = ref (-1.) in
+  Hybrid.Time_service.wait_until clock 6. (fun () -> fired_at := Des.Engine.now des);
+  ignore (Des.Engine.run_until des 10.);
+  check_float 1e-12 "local 6 = engine 3" 3. !fired_at
+
+let test_time_service_validation () =
+  let des = Des.Engine.create () in
+  Alcotest.(check bool) "zero scale rejected" true
+    (try ignore (Hybrid.Time_service.create ~scale:0. des); false
+     with Invalid_argument _ -> true)
+
+(* ---- stereotype registry (Table 1) ---- *)
+
+let test_stereotype_registry () =
+  Alcotest.(check int) "nine names" 9 (List.length Hybrid.Stereotype.all);
+  Alcotest.(check int) "paper count" 8 Hybrid.Stereotype.paper_count;
+  Alcotest.(check int) "six merged rows" 6 (List.length (Hybrid.Stereotype.table1 ()));
+  List.iter
+    (fun st ->
+       Alcotest.(check bool)
+         (Hybrid.Stereotype.name st ^ " roundtrips")
+         true
+         (Hybrid.Stereotype.of_name (Hybrid.Stereotype.name st) = Some st);
+       Alcotest.(check bool) "has module" true
+         (String.length (Hybrid.Stereotype.implementing_module st) > 0))
+    Hybrid.Stereotype.all;
+  Alcotest.(check (option reject)) "unknown name" None
+    (Option.map ignore (Hybrid.Stereotype.of_name "nonsense"))
+
+let test_table1_matches_paper () =
+  Alcotest.(check (list (pair string string))) "exact paper rows"
+    [ ("capsule", "streamer");
+      ("port", "DPort, SPort");
+      ("connect", "flow, relay");
+      ("protocol", "flow type");
+      ("state machine, state", "solver, strategy");
+      ("Time service", "Time") ]
+    (Hybrid.Stereotype.table1 ())
+
+(* ---- rule checkers ---- *)
+
+let test_check_rule_catalogue () =
+  Alcotest.(check int) "eight rules" 8 (List.length Hybrid.Check.rules);
+  List.iteri
+    (fun i rule ->
+       Alcotest.(check string)
+         (Printf.sprintf "rule id %d" (i + 1))
+         (Printf.sprintf "R%d" (i + 1))
+         rule.Hybrid.Check.id)
+    Hybrid.Check.rules;
+  Alcotest.(check bool) "lookup" true (Hybrid.Check.find_rule "R5" <> None);
+  Alcotest.(check bool) "unknown" true (Hybrid.Check.find_rule "R9" = None)
+
+let test_check_capsule_dports () =
+  let flow_proto = Hybrid.Check.flow_protocol Dataflow.Flow_type.float_flow in
+  let bad =
+    Umlrt.Capsule.create "C"
+      ~behavior:(fun _ ->
+          { Umlrt.Capsule.on_start = (fun () -> ());
+            on_event = (fun ~port:_ _ -> true);
+            configuration = (fun () -> []) })
+      ~ports:[ Umlrt.Capsule.port "d" flow_proto ]
+  in
+  (match Hybrid.Check.capsule_dport_errors bad with
+   | [ msg ] ->
+     Alcotest.(check bool) "mentions R5" true
+       (String.length msg > 2 && String.equal (String.sub msg 0 2) "R5")
+   | other -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length other)));
+  (* Nested parts are checked recursively. *)
+  let nested =
+    Umlrt.Capsule.create "Outer" ~parts:[ ("inner", bad) ]
+  in
+  Alcotest.(check int) "recursive check" 1
+    (List.length (Hybrid.Check.capsule_dport_errors nested))
+
+(* ---- threading ---- *)
+
+let test_threading_tasks () =
+  let tasks =
+    Hybrid.Threading.tasks_for
+      ~event_task:(Rt.Task.create ~period:0.005 ~wcet:0.0005 "events")
+      ~wcet_of:(fun _ period -> period /. 20.)
+      [ ("a", 0.01); ("b", 0.002) ]
+  in
+  Alcotest.(check int) "event + 2 streamers" 3 (List.length tasks);
+  check_float 1e-12 "wcet model applied" 0.0005
+    (List.find (fun t -> t.Rt.Task.name = "a") tasks).Rt.Task.wcet
+
+let test_threading_analyze_consistency () =
+  let tasks =
+    Hybrid.Threading.tasks_for ~wcet_of:(fun _ p -> 0.05 *. p)
+      [ ("a", 0.01); ("b", 0.004); ("c", 0.001) ]
+  in
+  let r = Hybrid.Threading.analyze tasks in
+  check_float 1e-9 "utilization" 0.15 r.Hybrid.Threading.utilization;
+  Alcotest.(check bool) "RM exact ok" true r.Hybrid.Threading.rm_exact;
+  Alcotest.(check int) "no simulated misses" 0 r.Hybrid.Threading.simulated_misses_rm;
+  Alcotest.(check bool) "breakdown > 1" true (r.Hybrid.Threading.breakdown > 1.)
+
+(* ---- solver in isolation ---- *)
+
+let make_solver ?method_ () =
+  let clock = Hybrid.Time_service.create (Des.Engine.create ()) in
+  Hybrid.Solver.create ?method_ ~dim:1 ~init:[| 1. |]
+    ~params:[ ("k", 1.) ] ~input:(fun _ -> 0.) ~clock ~t0:0.
+    (fun env _t y -> [| -.(env.Hybrid.Solver.param "k") *. y.(0) |])
+
+let test_solver_advance_and_params () =
+  let s = make_solver () in
+  Hybrid.Solver.advance s ~until:1. ~guards:[] ~on_crossing:(fun _ -> ());
+  Alcotest.(check bool) "e^-1" true
+    (Float.abs ((Hybrid.Solver.state s).(0) -. exp (-1.)) < 1e-6);
+  (* Parameter change affects subsequent integration immediately. *)
+  Hybrid.Solver.set_param s "k" 0.;
+  Hybrid.Solver.advance s ~until:2. ~guards:[] ~on_crossing:(fun _ -> ());
+  Alcotest.(check bool) "frozen after k=0" true
+    (Float.abs ((Hybrid.Solver.state s).(0) -. exp (-1.)) < 1e-6)
+
+let test_solver_unknown_param () =
+  let s = make_solver () in
+  Alcotest.(check bool) "unknown parameter raises" true
+    (try ignore (Hybrid.Solver.get_param s "nope"); false with Failure _ -> true);
+  (* set_param creates it. *)
+  Hybrid.Solver.set_param s "nope" 3.;
+  check_float 1e-12 "created" 3. (Hybrid.Solver.get_param s "nope")
+
+let test_solver_set_rhs_preserves_state () =
+  let s = make_solver () in
+  Hybrid.Solver.advance s ~until:1. ~guards:[] ~on_crossing:(fun _ -> ());
+  let before = (Hybrid.Solver.state s).(0) in
+  Hybrid.Solver.set_rhs s (fun _ _ _ -> [| 1. |]);
+  check_float 1e-12 "state preserved across rhs swap" before
+    (Hybrid.Solver.state s).(0);
+  Hybrid.Solver.advance s ~until:2. ~guards:[] ~on_crossing:(fun _ -> ());
+  Alcotest.(check bool) "new dynamics active" true
+    (Float.abs ((Hybrid.Solver.state s).(0) -. (before +. 1.)) < 1e-6)
+
+let test_solver_guard_crossings_counted () =
+  let s = make_solver () in
+  let guards =
+    [ { Hybrid.Solver.guard_name = "half"; direction = Ode.Events.Falling;
+        expr = (fun _ _ y -> y.(0) -. 0.5) } ]
+  in
+  let times = ref [] in
+  Hybrid.Solver.advance s ~until:2. ~guards
+    ~on_crossing:(fun c -> times := c.Ode.Events.time :: !times);
+  Alcotest.(check int) "one crossing" 1 (List.length !times);
+  Alcotest.(check int) "counter" 1 (Hybrid.Solver.crossings_seen s);
+  (match !times with
+   | [ t ] ->
+     Alcotest.(check bool)
+       (Printf.sprintf "located at ln 2 (got %.6f)" t)
+       true
+       (Float.abs (t -. Float.log 2.) < 1e-6)
+   | _ -> Alcotest.fail "one crossing")
+
+let test_solver_adaptive_method () =
+  let s =
+    make_solver
+      ~method_:(Ode.Integrator.Adaptive
+                  (Ode.Adaptive.Dormand_prince,
+                   { Ode.Adaptive.default_control with rtol = 1e-10; atol = 1e-12 }))
+      ()
+  in
+  Hybrid.Solver.advance s ~until:2. ~guards:[] ~on_crossing:(fun _ -> ());
+  Alcotest.(check bool) "adaptive accuracy" true
+    (Float.abs ((Hybrid.Solver.state s).(0) -. exp (-2.)) < 1e-9)
+
+let test_solver_implicit_method () =
+  let s = make_solver ~method_:(Ode.Integrator.Implicit (`Backward_euler, 1e-3)) () in
+  Hybrid.Solver.advance s ~until:1. ~guards:[] ~on_crossing:(fun _ -> ());
+  Alcotest.(check bool) "implicit accuracy (order 1)" true
+    (Float.abs ((Hybrid.Solver.state s).(0) -. exp (-1.)) < 1e-3)
+
+(* ---- engine edge cases ---- *)
+
+let simple_protocol =
+  Umlrt.Protocol.create "Simple"
+    ~incoming:[ Umlrt.Protocol.signal "poke" ]
+    ~outgoing:[ Umlrt.Protocol.signal "report" ]
+
+let reporting_streamer =
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"poke"
+    (Hybrid.Strategy.reply ~sport:"sp" ~make:(fun control _ ->
+         Statechart.Event.make
+           ~value:(Dataflow.Value.Float (control.Hybrid.Strategy.now ()))
+           "report"));
+  Hybrid.Streamer.leaf "reporter" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+    ~sports:[ Hybrid.Streamer.sport "sp" simple_protocol ]
+    ~strategy
+    ~outputs:(fun _ _ _ -> [])
+    ~rhs:(fun _ _ _ -> [| 0. |])
+
+(* Root with a relay border port so signals pass in/out unchanged. *)
+let relay_root =
+  Umlrt.Capsule.create "shell"
+    ~ports:
+      [ Umlrt.Capsule.port ~kind:Umlrt.Capsule.Relay "hole" simple_protocol ]
+
+let test_engine_outbox_for_unlinked () =
+  (* A border message whose port is NOT linked to any streamer must land
+     in the engine outbox (environment). *)
+  let engine = Hybrid.Engine.create ~root:relay_root () in
+  Hybrid.Engine.add_streamer engine ~role:"reporter" reporting_streamer;
+  Hybrid.Engine.start engine;
+  Hybrid.Engine.inject engine ~port:"hole" (Statechart.Event.make "poke");
+  Hybrid.Engine.run_until engine 1.;
+  (* hole is unconnected inside: resolves back to the environment. *)
+  match Hybrid.Engine.drain_outbox engine with
+  | [ (port, e) ] ->
+    Alcotest.(check string) "came back out" "hole" port;
+    Alcotest.(check string) "same signal" "poke" (Statechart.Event.signal e)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1, got %d" (List.length other))
+
+let test_engine_signal_latency_model () =
+  (* Signals to streamers pass through an Rt.Channel with the configured
+     latency: the strategy observes engine time >= injection + latency. *)
+  let engine =
+    Hybrid.Engine.create ~signal_latency:(Rt.Channel.Constant 0.25)
+      ~root:relay_root ()
+  in
+  Hybrid.Engine.add_streamer engine ~role:"reporter" reporting_streamer;
+  Hybrid.Engine.link_sport_exn engine ~role:"reporter" ~sport:"sp"
+    ~border_port:"hole";
+  Hybrid.Engine.start engine;
+  Hybrid.Engine.inject engine ~port:"hole" (Statechart.Event.make "poke");
+  Hybrid.Engine.run_until engine 1.;
+  (* The strategy replied with a report carrying its delivery time. *)
+  match Hybrid.Engine.drain_outbox engine with
+  | [ (_, e) ] ->
+    (match Statechart.Event.float_payload e with
+     | Some received_at ->
+       Alcotest.(check bool)
+         (Printf.sprintf "delivered after latency (%.3f)" received_at)
+         true
+         (received_at >= 0.25 -. 1e-9)
+     | None -> Alcotest.fail "payload expected")
+  | other -> Alcotest.fail (Printf.sprintf "expected 1, got %d" (List.length other))
+
+let test_engine_rejects_duplicates_and_late_adds () =
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"s" reporting_streamer;
+  Alcotest.(check bool) "duplicate role" true
+    (try Hybrid.Engine.add_streamer engine ~role:"s" reporting_streamer; false
+     with Invalid_argument _ -> true);
+  Hybrid.Engine.start engine;
+  Alcotest.(check bool) "add after start" true
+    (try Hybrid.Engine.add_streamer engine ~role:"t" reporting_streamer; false
+     with Invalid_argument _ -> true)
+
+let test_engine_invalid_links_reported () =
+  let engine = Hybrid.Engine.create ~root:relay_root () in
+  Hybrid.Engine.add_streamer engine ~role:"reporter" reporting_streamer;
+  (match Hybrid.Engine.link_sport engine ~role:"ghost" ~sport:"sp"
+           ~border_port:"hole" with
+   | Error msg -> Alcotest.(check bool) "unknown role" true (String.length msg > 0)
+   | Ok () -> Alcotest.fail "unknown role accepted");
+  (match Hybrid.Engine.link_sport engine ~role:"reporter" ~sport:"nope"
+           ~border_port:"hole" with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "unknown sport accepted");
+  match Hybrid.Engine.connect_flow engine ~src:("reporter", "nope")
+          ~dst:("reporter", "alsono") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown flow endpoints accepted"
+
+let test_engine_guard_payload_api () =
+  (* Guard payload carries a value computed from env + crossing state. *)
+  let s =
+    Hybrid.Streamer.leaf "ramp" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~sports:[ Hybrid.Streamer.sport "sp" simple_protocol ]
+      ~guards:
+        [ { Hybrid.Streamer.guard_id = "g"; signal = "report"; via_sport = "sp";
+            direction = Ode.Events.Rising;
+            expr = (fun _ _ y -> y.(0) -. 0.5);
+            payload =
+              Some (fun _env _t y -> Dataflow.Value.Float (y.(0) *. 10.)) } ]
+      ~outputs:(fun _ _ _ -> [])
+      ~rhs:(fun _ _ _ -> [| 1. |])
+  in
+  let engine = Hybrid.Engine.create ~root:relay_root () in
+  Hybrid.Engine.add_streamer engine ~role:"ramp" s;
+  Hybrid.Engine.link_sport_exn engine ~role:"ramp" ~sport:"sp" ~border_port:"hole";
+  Hybrid.Engine.run_until engine 1.;
+  match Hybrid.Engine.drain_outbox engine with
+  | [ (_, e) ] ->
+    (match Statechart.Event.float_payload e with
+     | Some v ->
+       Alcotest.(check bool)
+         (Printf.sprintf "payload 10*x at crossing (got %g)" v)
+         true
+         (Float.abs (v -. 5.) < 0.01)
+     | None -> Alcotest.fail "payload expected")
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 report, got %d" (List.length other))
+
+(* qcheck: for random hysteresis bands, the regulated thermostat stays in
+   (and just around) the band after settling. *)
+let prop_thermostat_band =
+  QCheck.Test.make ~count:15 ~name:"thermostat respects random hysteresis bands"
+    QCheck.(pair (float_range 17.5 19.) (float_range 20.5 22.))
+    (fun (low, high) ->
+       QCheck.assume (high -. low > 0.6);
+       let proto =
+         Umlrt.Protocol.create "T"
+           ~incoming:[ Umlrt.Protocol.signal "on_"; Umlrt.Protocol.signal "off_" ]
+           ~outgoing:[ Umlrt.Protocol.signal "cold"; Umlrt.Protocol.signal "hot" ]
+       in
+       let strategy = Hybrid.Strategy.create () in
+       Hybrid.Strategy.on strategy ~signal:"on_"
+         (Hybrid.Strategy.set_param_const "duty" 1.);
+       Hybrid.Strategy.on strategy ~signal:"off_"
+         (Hybrid.Strategy.set_param_const "duty" 0.);
+       let room =
+         Hybrid.Streamer.leaf "room" ~rate:0.05 ~dim:1
+           ~init:[| (low +. high) /. 2. |]
+           ~params:[ ("duty", 0.) ]
+           ~sports:[ Hybrid.Streamer.sport "sp" proto ]
+           ~guards:
+             [ { Hybrid.Streamer.guard_id = "lo"; signal = "cold"; via_sport = "sp";
+                 direction = Ode.Events.Falling;
+                 expr = (fun _ _ y -> y.(0) -. low); payload = None };
+               { Hybrid.Streamer.guard_id = "hi"; signal = "hot"; via_sport = "sp";
+                 direction = Ode.Events.Rising;
+                 expr = (fun _ _ y -> y.(0) -. high); payload = None } ]
+           ~strategy
+           ~outputs:(fun _ _ _ -> [])
+           ~rhs:(fun (env : Hybrid.Solver.env) _ y ->
+               [| (-.(y.(0) -. 15.) /. 20.) +. (0.8 *. env.Hybrid.Solver.param "duty") |])
+       in
+       let behavior (services : Umlrt.Capsule.services) =
+         { Umlrt.Capsule.on_start = (fun () -> ());
+           on_event =
+             (fun ~port e ->
+                let reply =
+                  match Statechart.Event.signal e with
+                  | "cold" -> Some "on_"
+                  | "hot" -> Some "off_"
+                  | _ -> None
+                in
+                (match reply with
+                 | Some r -> services.Umlrt.Capsule.send ~port (Statechart.Event.make r)
+                 | None -> ());
+                reply <> None);
+           configuration = (fun () -> []) }
+       in
+       let root =
+         Umlrt.Capsule.create "ctl" ~behavior
+           ~ports:[ Umlrt.Capsule.port ~conjugated:true "p" proto ]
+       in
+       let engine = Hybrid.Engine.create ~root () in
+       Hybrid.Engine.add_streamer engine ~role:"room" room;
+       Hybrid.Engine.link_sport_exn engine ~role:"room" ~sport:"sp" ~border_port:"p";
+       Hybrid.Engine.run_until engine 300.;
+       match Hybrid.Engine.solver_of engine "room" with
+       | Some s ->
+         let temp = (Hybrid.Solver.state s).(0) in
+         temp > low -. 0.5 && temp < high +. 0.5
+       | None -> false)
+
+let suite =
+  [ Alcotest.test_case "time service: affine clock" `Quick test_time_service_affine;
+    Alcotest.test_case "time service: derived clocks" `Quick test_time_service_derived;
+    Alcotest.test_case "time service: wait_until" `Quick test_time_service_wait_until;
+    Alcotest.test_case "time service: validation" `Quick test_time_service_validation;
+    Alcotest.test_case "stereotypes: registry invariants" `Quick test_stereotype_registry;
+    Alcotest.test_case "stereotypes: Table 1 exact" `Quick test_table1_matches_paper;
+    Alcotest.test_case "check: rule catalogue" `Quick test_check_rule_catalogue;
+    Alcotest.test_case "check: capsule DPorts (R5)" `Quick test_check_capsule_dports;
+    Alcotest.test_case "threading: task construction" `Quick test_threading_tasks;
+    Alcotest.test_case "threading: analyze consistency" `Quick
+      test_threading_analyze_consistency;
+    Alcotest.test_case "solver: advance + live params" `Quick test_solver_advance_and_params;
+    Alcotest.test_case "solver: unknown params" `Quick test_solver_unknown_param;
+    Alcotest.test_case "solver: rhs swap keeps state" `Quick
+      test_solver_set_rhs_preserves_state;
+    Alcotest.test_case "solver: guard crossings" `Quick test_solver_guard_crossings_counted;
+    Alcotest.test_case "solver: adaptive method" `Quick test_solver_adaptive_method;
+    Alcotest.test_case "solver: implicit method" `Quick test_solver_implicit_method;
+    Alcotest.test_case "engine: outbox for unlinked ports" `Quick
+      test_engine_outbox_for_unlinked;
+    Alcotest.test_case "engine: signal channel latency" `Quick
+      test_engine_signal_latency_model;
+    Alcotest.test_case "engine: duplicate/late adds" `Quick
+      test_engine_rejects_duplicates_and_late_adds;
+    Alcotest.test_case "engine: invalid links reported" `Quick
+      test_engine_invalid_links_reported;
+    Alcotest.test_case "engine: guard payloads (API)" `Quick test_engine_guard_payload_api;
+    QCheck_alcotest.to_alcotest prop_thermostat_band ]
+
+(* ---- determinism: two identical runs, identical traces ---- *)
+
+let test_engine_deterministic () =
+  let run () =
+    let engine =
+      Hybrid.Engine.create
+        ~signal_latency:(Rt.Channel.Gaussian { mu = 0.01; sigma = 0.005 }) ()
+    in
+    let s =
+      Hybrid.Streamer.leaf "osc" ~rate:0.01 ~dim:2 ~init:[| 1.; 0. |]
+        ~dports:[ Hybrid.Streamer.dport_out "x" ]
+        ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+        ~rhs:(fun _ _ y -> [| y.(1); -.y.(0) |])
+    in
+    Hybrid.Engine.add_streamer engine ~role:"osc" s;
+    let trace = Hybrid.Engine.trace_dport engine ~role:"osc" ~dport:"x" in
+    Hybrid.Engine.run_until engine 5.;
+    Sigtrace.Trace.samples trace
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iter2
+    (fun (t1, v1) (t2, v2) ->
+       Alcotest.(check (float 0.)) "same time" t1 t2;
+       Alcotest.(check (float 0.)) "same value" v1 v2)
+    a b
+
+let determinism_suite =
+  [ Alcotest.test_case "engine: bit-identical reruns" `Quick test_engine_deterministic ]
+
+let suite = suite @ determinism_suite
+
+(* ---- sampled traces on composite borders ---- *)
+
+let test_trace_sampled_junction () =
+  let child =
+    Hybrid.Streamer.leaf "inner" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out "out" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "out") ])
+      ~rhs:(fun _ _ _ -> [| 1. |])
+  in
+  let comp =
+    Hybrid.Streamer.composite "box"
+      ~dports:[ Hybrid.Streamer.dport_out "y" ]
+      ~children:[ ("i", child) ]
+      ~flows:[ (Hybrid.Streamer.child_port "i" "out", Hybrid.Streamer.border "y") ]
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"box" comp;
+  let trace = Hybrid.Engine.trace_sampled engine ~role:"box" ~dport:"y" ~period:0.1 in
+  Hybrid.Engine.run_until engine 1.;
+  Alcotest.(check bool) "sampled ~10 points" true
+    (Sigtrace.Trace.length trace >= 9);
+  (match Sigtrace.Trace.last_value trace with
+   | Some v ->
+     Alcotest.(check bool)
+       (Printf.sprintf "ramp through border (got %g)" v)
+       true
+       (Float.abs (v -. 1.) < 0.05)
+   | None -> Alcotest.fail "has samples");
+  Alcotest.(check bool) "unknown port rejected" true
+    (try
+       ignore (Hybrid.Engine.trace_sampled engine ~role:"box" ~dport:"zz" ~period:0.1);
+       false
+     with Invalid_argument _ -> true)
+
+let sampled_suite =
+  [ Alcotest.test_case "engine: sampled traces on borders" `Quick
+      test_trace_sampled_junction ]
+
+let suite = suite @ sampled_suite

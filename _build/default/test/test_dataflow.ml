@@ -1,0 +1,286 @@
+(* Dataflow substrate tests: flow types (incl. the paper's subset rule),
+   values, register-semantics ports, graphs, relays, topological order
+   and propagation. *)
+
+open Dataflow
+
+let scalar = Flow_type.float_flow
+let rich = Flow_type.record [ ("value", Flow_type.TFloat); ("quality", Flow_type.TInt) ]
+
+(* ---- flow types ---- *)
+
+let test_record_sorted_and_unique () =
+  let t = Flow_type.record [ ("b", Flow_type.TInt); ("a", Flow_type.TFloat) ] in
+  Alcotest.(check (list string)) "sorted fields" [ "a"; "b" ]
+    (List.map fst (Flow_type.fields t));
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Dataflow.Flow_type.record: duplicate field \"a\"")
+    (fun () -> ignore (Flow_type.record [ ("a", Flow_type.TInt); ("a", Flow_type.TFloat) ]))
+
+let test_subset_relation () =
+  Alcotest.(check bool) "scalar subset of rich" true (Flow_type.subset scalar rich);
+  Alcotest.(check bool) "rich not subset of scalar" false (Flow_type.subset rich scalar);
+  Alcotest.(check bool) "reflexive" true (Flow_type.subset rich rich);
+  (* Same field name, different base: not a subset. *)
+  let scalar_int = Flow_type.scalar Flow_type.TInt in
+  Alcotest.(check bool) "base mismatch" false (Flow_type.subset scalar_int scalar)
+
+let test_paper_compatibility_direction () =
+  (* "the output DPort's flow type must be a subset of the input DPort's
+     flow type" — compatible means src subset dst. *)
+  Alcotest.(check bool) "scalar output -> rich input" true
+    (Flow_type.compatible ~src:scalar ~dst:rich);
+  Alcotest.(check bool) "rich output -> scalar input rejected" false
+    (Flow_type.compatible ~src:rich ~dst:scalar)
+
+let test_union () =
+  (match Flow_type.union scalar rich with
+   | Ok u -> Alcotest.(check int) "union has 2 fields" 2 (Flow_type.arity u)
+   | Error _ -> Alcotest.fail "compatible union");
+  let clash = Flow_type.scalar Flow_type.TInt in
+  (match Flow_type.union scalar clash with
+   | Error field -> Alcotest.(check string) "clash on value" "value" field
+   | Ok _ -> Alcotest.fail "clashing union must fail")
+
+let test_vec_base () =
+  let v3 = Flow_type.scalar (Flow_type.TVec 3) in
+  let v4 = Flow_type.scalar (Flow_type.TVec 4) in
+  Alcotest.(check bool) "vec lengths distinguish" false (Flow_type.subset v3 v4)
+
+(* qcheck: subset is a partial order (reflexive + transitive on randomly
+   built record types over a small field universe). *)
+let flow_type_gen =
+  let open QCheck.Gen in
+  let field =
+    oneofl [ ("a", Flow_type.TFloat); ("b", Flow_type.TInt);
+             ("c", Flow_type.TBool); ("d", Flow_type.TFloat) ]
+  in
+  map
+    (fun fields ->
+       let unique =
+         List.sort_uniq (fun (x, _) (y, _) -> String.compare x y) fields
+       in
+       Flow_type.record unique)
+    (list_size (int_range 1 4) field)
+
+let prop_subset_reflexive =
+  QCheck.Test.make ~count:100 ~name:"flow-type subset is reflexive"
+    (QCheck.make flow_type_gen)
+    (fun t -> Flow_type.subset t t)
+
+let prop_subset_transitive =
+  QCheck.Test.make ~count:200 ~name:"flow-type subset is transitive"
+    (QCheck.make (QCheck.Gen.triple flow_type_gen flow_type_gen flow_type_gen))
+    (fun (a, b, c) ->
+       (not (Flow_type.subset a b && Flow_type.subset b c)) || Flow_type.subset a c)
+
+(* ---- values ---- *)
+
+let test_value_conforms () =
+  Alcotest.(check bool) "float conforms to scalar" true
+    (Value.conforms (Value.Float 1.) scalar);
+  Alcotest.(check bool) "int does not conform to float flow" false
+    (Value.conforms (Value.Int 1) scalar);
+  let v = Value.record [ ("value", Value.Float 1.); ("quality", Value.Int 3) ] in
+  Alcotest.(check bool) "record conforms to rich" true (Value.conforms v rich);
+  Alcotest.(check bool) "record conforms to scalar (width subtyping)" true
+    (Value.conforms v scalar)
+
+let test_value_normalize_projects () =
+  let v = Value.record [ ("value", Value.Float 2.); ("quality", Value.Int 9) ] in
+  match Value.normalize v scalar with
+  | Some (Value.Record fields) ->
+    Alcotest.(check int) "projected to 1 field" 1 (List.length fields)
+  | Some _ | None -> Alcotest.fail "normalization should project"
+
+let test_value_to_float () =
+  Alcotest.(check (option (float 0.))) "float" (Some 2.5) (Value.to_float (Value.Float 2.5));
+  Alcotest.(check (option (float 0.))) "int" (Some 3.) (Value.to_float (Value.Int 3));
+  Alcotest.(check (option (float 0.))) "bool" (Some 1.) (Value.to_float (Value.Bool true));
+  Alcotest.(check (option (float 0.))) "unit" None (Value.to_float Value.Unit)
+
+let test_value_printing () =
+  Alcotest.(check string) "record syntax" "{a = 1; b = true}"
+    (Value.to_string (Value.record [ ("a", Value.Int 1); ("b", Value.Bool true) ]))
+
+(* ---- ports ---- *)
+
+let test_port_register_semantics () =
+  let p = Port.create ~name:"x" Port.In scalar in
+  Alcotest.(check (option (float 0.))) "empty before write" None (Port.read_float p);
+  Port.write p (Value.Float 1.);
+  Port.write p (Value.Float 2.);
+  Alcotest.(check (option (float 0.))) "latest value wins" (Some 2.)
+    (Port.read_float p);
+  Alcotest.(check int) "write count" 2 (Port.writes p)
+
+let test_port_type_checked () =
+  let p = Port.create ~name:"x" Port.In scalar in
+  Alcotest.(check bool) "bad write raises" true
+    (try
+       Port.write p (Value.Int 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- graphs ---- *)
+
+let mk_source g name = Graph.add_node g ~name ~inputs:[] ~outputs:[ ("out", scalar) ]
+let mk_sink g name = Graph.add_node g ~name ~inputs:[ ("in", scalar) ] ~outputs:[]
+
+let test_graph_connect_and_propagate () =
+  let g = Graph.create () in
+  let src = mk_source g "src" in
+  let dst = mk_sink g "dst" in
+  Graph.connect_exn g ~src:(src, "out") ~dst:(dst, "in");
+  (match Graph.output_port src "out" with
+   | Some p -> Port.write p (Value.Float 7.)
+   | None -> Alcotest.fail "port exists");
+  ignore (Graph.propagate_from g src);
+  (match Graph.input_port dst "in" with
+   | Some p -> Alcotest.(check (option (float 0.))) "value moved" (Some 7.)
+                 (Port.read_float p)
+   | None -> Alcotest.fail "port exists")
+
+let test_graph_rejects_type_mismatch () =
+  let g = Graph.create () in
+  let src = Graph.add_node g ~name:"src" ~inputs:[] ~outputs:[ ("out", rich) ] in
+  let dst = mk_sink g "dst" in
+  match Graph.connect g ~src:(src, "out") ~dst:(dst, "in") with
+  | Error (Graph.Type_mismatch _) -> ()
+  | Error e -> Alcotest.fail (Graph.error_to_string e)
+  | Ok () -> Alcotest.fail "superset -> scalar must be rejected"
+
+let test_graph_single_driver () =
+  let g = Graph.create () in
+  let a = mk_source g "a" in
+  let b = mk_source g "b" in
+  let dst = mk_sink g "dst" in
+  Graph.connect_exn g ~src:(a, "out") ~dst:(dst, "in");
+  match Graph.connect g ~src:(b, "out") ~dst:(dst, "in") with
+  | Error (Graph.Input_already_driven _) -> ()
+  | Error e -> Alcotest.fail (Graph.error_to_string e)
+  | Ok () -> Alcotest.fail "two drivers must be rejected"
+
+let test_graph_direction_checks () =
+  let g = Graph.create () in
+  let a = mk_source g "a" in
+  let b = mk_sink g "b" in
+  (match Graph.connect g ~src:(b, "in") ~dst:(a, "out") with
+   | Error (Graph.Not_an_output _ | Graph.Unknown_port _) -> ()
+   | Error e -> Alcotest.fail (Graph.error_to_string e)
+   | Ok () -> Alcotest.fail "reversed connect must fail")
+
+let test_relay_fanout_rule () =
+  let g = Graph.create () in
+  Alcotest.(check bool) "fanout 1 rejected (rule R3)" true
+    (try
+       ignore (Graph.add_relay g ~name:"r" scalar ~fanout:1);
+       false
+     with Invalid_argument _ -> true);
+  let r = Graph.add_relay g ~name:"r2" scalar ~fanout:3 in
+  Alcotest.(check int) "three outputs" 3 (List.length (Graph.output_ports r));
+  Alcotest.(check bool) "is relay" true (Graph.is_relay r)
+
+let test_relay_copies () =
+  let g = Graph.create () in
+  let src = mk_source g "src" in
+  let r = Graph.add_relay g ~name:"r" scalar ~fanout:2 in
+  let s1 = mk_sink g "s1" in
+  let s2 = mk_sink g "s2" in
+  Graph.connect_exn g ~src:(src, "out") ~dst:(r, "in");
+  Graph.connect_exn g ~src:(r, "out1") ~dst:(s1, "in");
+  Graph.connect_exn g ~src:(r, "out2") ~dst:(s2, "in");
+  (match Graph.output_port src "out" with
+   | Some p -> Port.write p (Value.Float 3.5)
+   | None -> Alcotest.fail "port");
+  ignore (Graph.propagate_from g src);
+  let read node =
+    match Graph.input_port node "in" with
+    | Some p -> Port.read_float p
+    | None -> None
+  in
+  Alcotest.(check (option (float 0.))) "branch 1" (Some 3.5) (read s1);
+  Alcotest.(check (option (float 0.))) "branch 2" (Some 3.5) (read s2)
+
+let test_topo_order () =
+  let g = Graph.create () in
+  let a = mk_source g "a" in
+  let b = Graph.add_node g ~name:"b" ~inputs:[ ("in", scalar) ]
+      ~outputs:[ ("out", scalar) ] in
+  let c = mk_sink g "c" in
+  Graph.connect_exn g ~src:(a, "out") ~dst:(b, "in");
+  Graph.connect_exn g ~src:(b, "out") ~dst:(c, "in");
+  match Graph.topo_order g with
+  | Ok order ->
+    Alcotest.(check (list string)) "a before b before c" [ "a"; "b"; "c" ]
+      (List.map Graph.node_name order)
+  | Error _ -> Alcotest.fail "acyclic"
+
+let test_cycle_detected () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~name:"a" ~inputs:[ ("in", scalar) ]
+      ~outputs:[ ("out", scalar) ] in
+  let b = Graph.add_node g ~name:"b" ~inputs:[ ("in", scalar) ]
+      ~outputs:[ ("out", scalar) ] in
+  Graph.connect_exn g ~src:(a, "out") ~dst:(b, "in");
+  Graph.connect_exn g ~src:(b, "out") ~dst:(a, "in");
+  match Graph.topo_order g with
+  | Error names ->
+    Alcotest.(check (list string)) "both in cycle" [ "a"; "b" ]
+      (List.sort String.compare names)
+  | Ok _ -> Alcotest.fail "cycle must be reported"
+
+let test_unconnected_inputs () =
+  let g = Graph.create () in
+  let _ = mk_sink g "lonely" in
+  Alcotest.(check (list (pair string string))) "reported"
+    [ ("lonely", "in") ] (Graph.unconnected_inputs g)
+
+let suite =
+  [ Alcotest.test_case "flow types: sorted, unique" `Quick test_record_sorted_and_unique;
+    Alcotest.test_case "flow types: subset relation" `Quick test_subset_relation;
+    Alcotest.test_case "flow types: paper rule direction" `Quick
+      test_paper_compatibility_direction;
+    Alcotest.test_case "flow types: union" `Quick test_union;
+    Alcotest.test_case "flow types: vec lengths" `Quick test_vec_base;
+    QCheck_alcotest.to_alcotest prop_subset_reflexive;
+    QCheck_alcotest.to_alcotest prop_subset_transitive;
+    Alcotest.test_case "values: conformance" `Quick test_value_conforms;
+    Alcotest.test_case "values: normalization projects" `Quick test_value_normalize_projects;
+    Alcotest.test_case "values: numeric view" `Quick test_value_to_float;
+    Alcotest.test_case "values: printing" `Quick test_value_printing;
+    Alcotest.test_case "ports: register semantics" `Quick test_port_register_semantics;
+    Alcotest.test_case "ports: type checking" `Quick test_port_type_checked;
+    Alcotest.test_case "graph: connect and propagate" `Quick test_graph_connect_and_propagate;
+    Alcotest.test_case "graph: type mismatch rejected" `Quick test_graph_rejects_type_mismatch;
+    Alcotest.test_case "graph: single driver per input" `Quick test_graph_single_driver;
+    Alcotest.test_case "graph: direction checks" `Quick test_graph_direction_checks;
+    Alcotest.test_case "relay: fanout rule R3" `Quick test_relay_fanout_rule;
+    Alcotest.test_case "relay: duplicates flows" `Quick test_relay_copies;
+    Alcotest.test_case "graph: topological order" `Quick test_topo_order;
+    Alcotest.test_case "graph: cycle detection" `Quick test_cycle_detected;
+    Alcotest.test_case "graph: unconnected inputs" `Quick test_unconnected_inputs ]
+
+let test_junction_pass_through () =
+  let g = Graph.create () in
+  let src = mk_source g "src" in
+  let j = Graph.add_junction g ~name:"j" scalar in
+  let dst = mk_sink g "dst" in
+  Graph.connect_exn g ~src:(src, "out") ~dst:(j, "in");
+  Graph.connect_exn g ~src:(j, "out1") ~dst:(dst, "in");
+  (match Graph.output_port src "out" with
+   | Some p -> Port.write p (Value.Float 9.)
+   | None -> Alcotest.fail "port");
+  ignore (Graph.propagate_from g src);
+  (match Graph.input_port dst "in" with
+   | Some p ->
+     Alcotest.(check (option (float 0.))) "value passes through" (Some 9.)
+       (Port.read_float p)
+   | None -> Alcotest.fail "port");
+  Alcotest.(check bool) "junction is relay-like" true (Graph.is_relay j)
+
+let junction_suite =
+  [ Alcotest.test_case "junction: 1-in/1-out pass-through" `Quick
+      test_junction_pass_through ]
+
+let suite = suite @ junction_suite

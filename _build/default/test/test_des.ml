@@ -1,0 +1,239 @@
+(* Discrete-event kernel tests: queue ordering, cancellation, engine
+   semantics, mailbox latency, timers, deterministic RNG. *)
+
+let test_queue_orders_by_time () =
+  let q = Des.Event_queue.create () in
+  ignore (Des.Event_queue.push q ~time:3. "c");
+  ignore (Des.Event_queue.push q ~time:1. "a");
+  ignore (Des.Event_queue.push q ~time:2. "b");
+  let order =
+    List.init 3 (fun _ ->
+        match Des.Event_queue.pop q with
+        | Some (_, x) -> x
+        | None -> "?")
+  in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_queue_fifo_within_time () =
+  let q = Des.Event_queue.create () in
+  ignore (Des.Event_queue.push q ~time:1. "first");
+  ignore (Des.Event_queue.push q ~time:1. "second");
+  ignore (Des.Event_queue.push q ~time:1. "third");
+  let order =
+    List.init 3 (fun _ ->
+        match Des.Event_queue.pop q with Some (_, x) -> x | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order at equal times"
+    [ "first"; "second"; "third" ] order
+
+let test_queue_priority () =
+  let q = Des.Event_queue.create () in
+  ignore (Des.Event_queue.push q ~time:1. ~priority:5 "low");
+  ignore (Des.Event_queue.push q ~time:1. ~priority:0 "high");
+  (match Des.Event_queue.pop q with
+   | Some (_, x) -> Alcotest.(check string) "priority first" "high" x
+   | None -> Alcotest.fail "non-empty")
+
+let test_queue_cancellation () =
+  let q = Des.Event_queue.create () in
+  let h = Des.Event_queue.push q ~time:1. "cancelled" in
+  ignore (Des.Event_queue.push q ~time:2. "kept");
+  Des.Event_queue.cancel h;
+  Alcotest.(check bool) "handle knows" true (Des.Event_queue.is_cancelled h);
+  Alcotest.(check int) "length excludes cancelled" 1 (Des.Event_queue.length q);
+  (match Des.Event_queue.pop q with
+   | Some (_, x) -> Alcotest.(check string) "skips cancelled" "kept" x
+   | None -> Alcotest.fail "non-empty")
+
+let test_queue_drain_until () =
+  let q = Des.Event_queue.create () in
+  List.iter (fun t -> ignore (Des.Event_queue.push q ~time:t t)) [ 0.5; 1.5; 2.5 ];
+  let drained = Des.Event_queue.drain_until q 2.0 in
+  Alcotest.(check int) "two drained" 2 (List.length drained);
+  Alcotest.(check int) "one left" 1 (Des.Event_queue.length q)
+
+let test_queue_nan_rejected () =
+  let q = Des.Event_queue.create () in
+  Alcotest.check_raises "NaN time"
+    (Invalid_argument "Des.Event_queue.push: NaN time")
+    (fun () -> ignore (Des.Event_queue.push q ~time:Float.nan ()))
+
+(* qcheck: popping a random batch always yields non-decreasing times. *)
+let prop_pop_sorted =
+  QCheck.Test.make ~count:200 ~name:"event queue pops in time order"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun times ->
+       let q = Des.Event_queue.create () in
+       List.iter (fun t -> ignore (Des.Event_queue.push q ~time:t t)) times;
+       let rec drain last =
+         match Des.Event_queue.pop q with
+         | None -> true
+         | Some (t, _) -> t >= last && drain t
+       in
+       drain neg_infinity)
+
+let test_engine_clock_advances () =
+  let e = Des.Engine.create () in
+  let seen = ref [] in
+  ignore (Des.Engine.schedule e ~delay:2. (fun () -> seen := 2 :: !seen));
+  ignore (Des.Engine.schedule e ~delay:1. (fun () -> seen := 1 :: !seen));
+  let n = Des.Engine.run_until e 5. in
+  Alcotest.(check int) "two executed" 2 n;
+  Alcotest.(check (list int)) "in order" [ 2; 1 ] !seen;
+  Alcotest.(check (float 1e-12)) "clock at bound" 5. (Des.Engine.now e)
+
+let test_engine_event_schedules_event () =
+  let e = Des.Engine.create () in
+  let fired = ref 0. in
+  ignore
+    (Des.Engine.schedule e ~delay:1. (fun () ->
+         ignore (Des.Engine.schedule e ~delay:1. (fun () -> fired := Des.Engine.now e))));
+  ignore (Des.Engine.run_until e 3.);
+  Alcotest.(check (float 1e-12)) "cascaded event at t=2" 2. !fired
+
+let test_engine_past_rejected () =
+  let e = Des.Engine.create ~start:10. () in
+  Alcotest.check_raises "past scheduling"
+    (Invalid_argument "Des.Engine.schedule_at: time 5 is before now 10")
+    (fun () -> ignore (Des.Engine.schedule_at e ~time:5. (fun () -> ())))
+
+let test_engine_cancel () =
+  let e = Des.Engine.create () in
+  let fired = ref false in
+  let h = Des.Engine.schedule e ~delay:1. (fun () -> fired := true) in
+  Des.Engine.cancel h;
+  ignore (Des.Engine.run_until e 2.);
+  Alcotest.(check bool) "cancelled callback did not run" false !fired
+
+let test_engine_runaway_guard () =
+  let e = Des.Engine.create () in
+  let rec loop () = ignore (Des.Engine.schedule e ~delay:0.001 loop) in
+  loop ();
+  Alcotest.check_raises "budget"
+    (Failure "Des.Engine.run_to_completion: event budget exhausted (runaway model?)")
+    (fun () -> ignore (Des.Engine.run_to_completion e ~max_events:100 ()))
+
+let test_mailbox_latency () =
+  let e = Des.Engine.create () in
+  let mb = Des.Mailbox.create e ~latency:0.5 "m" in
+  let delivery_time = ref (-1.) in
+  Des.Mailbox.set_listener mb (fun _ -> delivery_time := Des.Engine.now e);
+  Des.Mailbox.send mb "hello";
+  Alcotest.(check int) "in flight before delivery" 1 (Des.Mailbox.in_flight mb);
+  ignore (Des.Engine.run_until e 1.);
+  Alcotest.(check (float 1e-12)) "delivered at latency" 0.5 !delivery_time;
+  Alcotest.(check (option string)) "message available" (Some "hello")
+    (Des.Mailbox.pop mb);
+  Alcotest.(check int) "counters" 1 (Des.Mailbox.delivered_total mb)
+
+let test_mailbox_fifo () =
+  let e = Des.Engine.create () in
+  let mb = Des.Mailbox.create e "m" in
+  Des.Mailbox.send mb 1;
+  Des.Mailbox.send mb 2;
+  ignore (Des.Engine.run_until e 1.);
+  Alcotest.(check (option int)) "first" (Some 1) (Des.Mailbox.pop mb);
+  Alcotest.(check (option int)) "second" (Some 2) (Des.Mailbox.pop mb);
+  Alcotest.(check (option int)) "empty" None (Des.Mailbox.pop mb)
+
+let test_timer_periodic () =
+  let e = Des.Engine.create () in
+  let ticks = ref [] in
+  let timer = Des.Timer.periodic e ~period:1. (fun k -> ticks := k :: !ticks) in
+  ignore (Des.Engine.run_until e 3.5);
+  Alcotest.(check (list int)) "three ticks" [ 2; 1; 0 ] !ticks;
+  Des.Timer.cancel timer;
+  ignore (Des.Engine.run_until e 10.);
+  Alcotest.(check int) "no ticks after cancel" 3 (Des.Timer.fired timer)
+
+let test_timer_no_drift () =
+  (* Releases computed from the origin: after 1000 periods of 0.1 the
+     firing time is exactly 100.0, not 100.0 +- accumulated error. *)
+  let e = Des.Engine.create () in
+  let last = ref 0. in
+  ignore (Des.Timer.periodic e ~period:0.1 (fun _ -> last := Des.Engine.now e));
+  ignore (Des.Engine.run_until e 100.01);
+  Alcotest.(check (float 1e-9)) "firing 1000 at t=100" 100. !last
+
+let test_timer_phase () =
+  let e = Des.Engine.create () in
+  let first = ref (-1.) in
+  ignore
+    (Des.Timer.periodic e ~phase:0.25 ~period:1. (fun _ ->
+         if !first < 0. then first := Des.Engine.now e));
+  ignore (Des.Engine.run_until e 2.);
+  Alcotest.(check (float 1e-12)) "first at phase" 0.25 !first
+
+let test_timer_one_shot () =
+  let e = Des.Engine.create () in
+  let count = ref 0 in
+  ignore (Des.Timer.one_shot e ~delay:1. (fun () -> incr count));
+  ignore (Des.Engine.run_until e 5.);
+  Alcotest.(check int) "fires exactly once" 1 !count
+
+let test_rng_deterministic () =
+  let a = Des.Rng.create 42 in
+  let b = Des.Rng.create 42 in
+  let seq r = List.init 10 (fun _ -> Des.Rng.float r) in
+  Alcotest.(check (list (float 0.))) "same seed, same stream" (seq a) (seq b)
+
+let test_rng_seeds_differ () =
+  let a = Des.Rng.create 1 in
+  let b = Des.Rng.create 2 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Des.Rng.float a <> Des.Rng.float b)
+
+let prop_rng_range =
+  QCheck.Test.make ~count:100 ~name:"rng float in [0,1)"
+    QCheck.small_int
+    (fun seed ->
+       let r = Des.Rng.create seed in
+       List.for_all (fun _ -> let v = Des.Rng.float r in v >= 0. && v < 1.)
+         (List.init 100 Fun.id))
+
+let prop_rng_int_bound =
+  QCheck.Test.make ~count:100 ~name:"rng int respects bound"
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+       let r = Des.Rng.create seed in
+       List.for_all (fun _ -> let v = Des.Rng.int r bound in v >= 0 && v < bound)
+         (List.init 50 Fun.id))
+
+let test_rng_gaussian_moments () =
+  let r = Des.Rng.create 7 in
+  let n = 20_000 in
+  let samples = List.init n (fun _ -> Des.Rng.gaussian r ()) in
+  let mean = List.fold_left ( +. ) 0. samples /. float_of_int n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples
+    /. float_of_int n
+  in
+  Alcotest.(check bool) (Printf.sprintf "mean %.3f ~ 0" mean) true
+    (Float.abs mean < 0.03);
+  Alcotest.(check bool) (Printf.sprintf "variance %.3f ~ 1" var) true
+    (Float.abs (var -. 1.) < 0.05)
+
+let suite =
+  [ Alcotest.test_case "queue: time order" `Quick test_queue_orders_by_time;
+    Alcotest.test_case "queue: FIFO at equal times" `Quick test_queue_fifo_within_time;
+    Alcotest.test_case "queue: priority" `Quick test_queue_priority;
+    Alcotest.test_case "queue: cancellation" `Quick test_queue_cancellation;
+    Alcotest.test_case "queue: drain_until" `Quick test_queue_drain_until;
+    Alcotest.test_case "queue: NaN rejected" `Quick test_queue_nan_rejected;
+    QCheck_alcotest.to_alcotest prop_pop_sorted;
+    Alcotest.test_case "engine: clock and ordering" `Quick test_engine_clock_advances;
+    Alcotest.test_case "engine: cascading events" `Quick test_engine_event_schedules_event;
+    Alcotest.test_case "engine: past rejected" `Quick test_engine_past_rejected;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: runaway guard" `Quick test_engine_runaway_guard;
+    Alcotest.test_case "mailbox: latency" `Quick test_mailbox_latency;
+    Alcotest.test_case "mailbox: FIFO" `Quick test_mailbox_fifo;
+    Alcotest.test_case "timer: periodic + cancel" `Quick test_timer_periodic;
+    Alcotest.test_case "timer: no cumulative drift" `Quick test_timer_no_drift;
+    Alcotest.test_case "timer: phase" `Quick test_timer_phase;
+    Alcotest.test_case "timer: one-shot" `Quick test_timer_one_shot;
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed separation" `Quick test_rng_seeds_differ;
+    QCheck_alcotest.to_alcotest prop_rng_range;
+    QCheck_alcotest.to_alcotest prop_rng_int_bound;
+    Alcotest.test_case "rng: gaussian moments" `Quick test_rng_gaussian_moments ]

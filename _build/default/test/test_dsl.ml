@@ -1,0 +1,577 @@
+(* DSL pipeline tests: lexer, parser, expressions, typechecker rules
+   (R2-R7), elaboration, end-to-end simulation of a textual model. *)
+
+let thermostat_model = {umh|
+model Thermostat
+
+// scalar temperature flow
+flowtype Temp { value: float }
+
+protocol Thermo {
+  in heater_on, heater_off;
+  out too_cold, too_hot;
+}
+
+streamer Room {
+  rate 0.05;
+  method rk4 0.005;
+  dport out temp : Temp;
+  sport ctl : Thermo;
+  param duty = 0.0;
+  param ambient = 15.0;
+  param tau = 20.0;
+  param gain = 0.8;
+  init T = 20.0;
+  eq T' = -(T - ambient) / tau + gain * duty;
+  output temp = T;
+  guard low : falling (T - 19.0) emits too_cold via ctl;
+  guard high : rising (T - 21.0) emits too_hot via ctl;
+  when heater_on set duty = 1.0;
+  when heater_off set duty = 0.0;
+}
+
+capsule Controller {
+  port plant : Thermo conjugated;
+  statemachine {
+    initial Idle;
+    state Idle { on too_cold -> Heating send heater_on via plant; }
+    state Heating { on too_hot -> Idle send heater_off via plant; }
+  }
+}
+
+system {
+  capsule ctl : Controller;
+  streamer room : Room in ctl;
+  link room.ctl -- ctl.plant;
+}
+|umh}
+
+let parse_checked source =
+  let ast = Dsl.Parser.parse source in
+  Dsl.Typecheck.check ast
+
+let test_expr_parse_eval () =
+  let e = Dsl.Parser.parse_expr "2 + 3 * 4 ^ 2 - min(1, 2)" in
+  let v =
+    Dsl.Expr.eval { Dsl.Expr.var = (fun _ -> None); payload = None } e
+  in
+  Alcotest.(check (float 1e-9)) "precedence" 49. v
+
+let test_expr_vars_and_payload () =
+  let e = Dsl.Parser.parse_expr "a * payload + sin(t)" in
+  Alcotest.(check (list string)) "free vars" [ "a"; "t" ] (Dsl.Expr.free_vars e);
+  Alcotest.(check bool) "uses payload" true (Dsl.Expr.uses_payload e);
+  let scope =
+    { Dsl.Expr.var =
+        (fun n -> if n = "a" then Some 2. else if n = "t" then Some 0. else None);
+      payload = Some 3. }
+  in
+  Alcotest.(check (float 1e-9)) "eval with payload" 6. (Dsl.Expr.eval scope e)
+
+let test_expr_roundtrip () =
+  let original = "-(a + b) * c ^ (d - 1) / max(x, 2)" in
+  let e = Dsl.Parser.parse_expr original in
+  let printed = Dsl.Expr.to_string e in
+  let e2 = Dsl.Parser.parse_expr printed in
+  Alcotest.(check string) "pretty output re-parses equal"
+    (Dsl.Expr.to_string e2) printed
+
+let test_parse_thermostat () =
+  let ast = Dsl.Parser.parse thermostat_model in
+  Alcotest.(check string) "model name" "Thermostat" ast.Dsl.Ast.m_name;
+  Alcotest.(check int) "one streamer" 1 (List.length ast.Dsl.Ast.m_streamers);
+  Alcotest.(check int) "one capsule" 1 (List.length ast.Dsl.Ast.m_capsules);
+  Alcotest.(check bool) "has system" true (ast.Dsl.Ast.m_system <> None)
+
+let test_check_thermostat_ok () =
+  let checked = parse_checked thermostat_model in
+  Alcotest.(check (list string)) "no errors" [] checked.Dsl.Typecheck.errors
+
+let contains_substring hay needle =
+  let ln = String.length needle in
+  let lh = String.length hay in
+  let rec scan i =
+    if i + ln > lh then false
+    else if String.equal (String.sub hay i ln) needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_check_rejects_bad_rate () =
+  let source = {umh|
+model M
+streamer S { rate -1.0; init x = 0.0; eq x' = 1.0; }
+|umh} in
+  let checked = parse_checked source in
+  Alcotest.(check bool) "R7 violation reported" true
+    (List.exists
+       (fun e -> contains_substring e "rate must be positive")
+       checked.Dsl.Typecheck.errors)
+
+let expect_error source needle =
+  let checked = parse_checked source in
+  Alcotest.(check bool)
+    (Printf.sprintf "error mentioning %S" needle)
+    true
+    (List.exists (fun e -> contains_substring e needle) checked.Dsl.Typecheck.errors)
+
+let test_rule_r5_capsule_dport () =
+  expect_error {umh|
+model M
+capsule C { dport in x; }
+|umh} "rule R5"
+
+let test_rule_r6_containment () =
+  expect_error {umh|
+model M
+streamer S { rate 0.1; init x = 0.0; eq x' = 0.0; }
+system {
+  streamer a : S;
+  streamer b : S in a;
+}
+|umh} "rule R6"
+
+let test_rule_r2_flow_subset () =
+  expect_error {umh|
+model M
+flowtype Rich { value: float; quality: int }
+streamer P { rate 0.1; dport out x : Rich; init s = 0.0; eq s' = 0.0; output x = s; }
+streamer C { rate 0.1; dport in u; init s = 0.0; eq s' = u; }
+system {
+  streamer p : P;
+  streamer c : C;
+  flow p.x -> c.u;
+}
+|umh} "rule R2"
+
+let test_rule_r4_link_protocols () =
+  expect_error {umh|
+model M
+protocol A { out ping; }
+protocol B { in pong; }
+streamer S { rate 0.1; sport sp : A; init x = 0.0; eq x' = 0.0; }
+capsule C { port p : B; statemachine { initial I; state I { } } }
+system {
+  capsule ctl : C;
+  streamer s : S;
+  link s.sp -- ctl.p;
+}
+|umh} "rule R4"
+
+let test_unknown_identifier_in_eq () =
+  expect_error {umh|
+model M
+streamer S { rate 0.1; init x = 0.0; eq x' = nosuchvar + 1.0; }
+|umh} "unknown name"
+
+let test_elaborate_and_simulate () =
+  let checked = parse_checked thermostat_model in
+  let { Dsl.Elaborate.engine; streamer_roles; capsule_paths } =
+    Dsl.Elaborate.elaborate checked
+  in
+  Alcotest.(check (list string)) "streamer role" [ "room" ] streamer_roles;
+  Alcotest.(check (list (pair string string))) "capsule path"
+    [ ("ctl", "system/ctl") ] capsule_paths;
+  let trace = Hybrid.Engine.trace_dport engine ~role:"room" ~dport:"temp" in
+  Hybrid.Engine.run_until engine 400.;
+  let late = List.filter (fun (t, _) -> t > 100.) (Sigtrace.Trace.samples trace) in
+  Alcotest.(check bool) "simulated long enough" true (List.length late > 50);
+  List.iter
+    (fun (_, temp) ->
+       Alcotest.(check bool) (Printf.sprintf "temp %g in band" temp) true
+         (temp > 18.5 && temp < 21.5))
+    late
+
+let test_pretty_roundtrip () =
+  let ast = Dsl.Parser.parse thermostat_model in
+  let printed = Dsl.Pretty.print_model ast in
+  let ast2 = Dsl.Parser.parse printed in
+  let printed2 = Dsl.Pretty.print_model ast2 in
+  Alcotest.(check string) "pretty-print fixpoint" printed printed2;
+  (* And the reprinted model still elaborates and runs. *)
+  let checked = Dsl.Typecheck.check ast2 in
+  Alcotest.(check (list string)) "reprinted model checks" []
+    checked.Dsl.Typecheck.errors
+
+let test_parse_error_position () =
+  try
+    ignore (Dsl.Parser.parse "model M\nstreamer S { rate }");
+    Alcotest.fail "expected a parse error"
+  with Dsl.Parser.Parse_error (_, line, _) ->
+    Alcotest.(check int) "error on line 2" 2 line
+
+let composite_model = {umh|
+model Chain
+
+streamer Integrator {
+  rate 0.01;
+  dport in u;
+  dport out y;
+  init x = 0.0;
+  eq x' = u;
+  output y = x;
+}
+
+streamer Block {
+  dport in u;
+  dport out y;
+  contains stage1 : Integrator;
+  contains stage2 : Integrator;
+  flow self.u -> stage1.u;
+  flow stage1.y -> stage2.u;
+  flow stage2.y -> self.y;
+}
+
+streamer One {
+  rate 0.01;
+  dport out c;
+  init x = 0.0;
+  eq x' = 0.0;
+  output c = 1.0;
+}
+
+system {
+  streamer src : One;
+  streamer blk : Block;
+  flow src.c -> blk.u;
+}
+|umh}
+
+let test_composite_streamer_dsl () =
+  let checked = parse_checked composite_model in
+  Alcotest.(check (list string)) "no errors" [] checked.Dsl.Typecheck.errors;
+  let { Dsl.Elaborate.engine; _ } = Dsl.Elaborate.elaborate checked in
+  Alcotest.(check (list string)) "flattened children"
+    [ "src"; "blk.stage1"; "blk.stage2" ]
+    (Hybrid.Engine.streamer_roles engine);
+  Hybrid.Engine.run_until engine 2.;
+  (* Double integrator of 1: stage1 ~ t, stage2 ~ t^2/2. *)
+  match Hybrid.Engine.read_dport engine ~role:"blk" ~dport:"y" with
+  | Some y ->
+    Alcotest.(check bool)
+      (Printf.sprintf "t^2/2 at t=2 (got %g)" y)
+      true
+      (Float.abs (y -. 2.) < 0.1)
+  | None -> Alcotest.fail "composite border output readable"
+
+let test_composite_rejects_solver_items () =
+  expect_error {umh|
+model M
+streamer Leaf { rate 0.1; init x = 0.0; eq x' = 0.0; }
+streamer Bad {
+  contains c : Leaf;
+  init x = 0.0;
+  eq x' = 0.0;
+}
+|umh} "cannot carry solver items"
+
+let test_containment_cycle_rejected () =
+  expect_error {umh|
+model M
+streamer A { dport in u; contains b : B; flow self.u -> b.u; }
+streamer B { dport in u; contains a : A; flow self.u -> a.u; }
+|umh} "containment cycle"
+
+let test_composite_flow_direction_checked () =
+  expect_error {umh|
+model M
+streamer Leaf { rate 0.1; dport out y; init x = 0.0; eq x' = 0.0; output y = x; }
+streamer Bad {
+  dport out z;
+  contains c : Leaf;
+  flow self.z -> c.y;
+}
+|umh} "against its direction"
+
+let test_guard_payload_roundtrip () =
+  let source = {umh|
+model Payloaded
+protocol Report { out level_high(F); in ack; }
+flowtype F { value: float }
+streamer Tank {
+  rate 0.01;
+  init h = 0.0;
+  eq h' = 1.0;
+  guard hi : rising (h - 0.5) emits level_high(h * 2.0) via sup;
+  sport sup : Report;
+}
+capsule Monitor {
+  port tank : Report conjugated;
+  statemachine {
+    initial Watching;
+    state Watching { on level_high -> Alarmed; }
+    state Alarmed { }
+  }
+}
+system {
+  capsule mon : Monitor;
+  streamer tank : Tank in mon;
+  link tank.sup -- mon.tank;
+}
+|umh} in
+  let checked = parse_checked source in
+  Alcotest.(check (list string)) "payload model checks" []
+    checked.Dsl.Typecheck.errors;
+  let { Dsl.Elaborate.engine; _ } = Dsl.Elaborate.elaborate checked in
+  Hybrid.Engine.run_until engine 1.;
+  (match Hybrid.Engine.runtime engine with
+   | Some rt ->
+     (match Umlrt.Runtime.configuration rt "system/mon" with
+      | Some config ->
+        Alcotest.(check (list string)) "capsule saw the payloaded signal"
+          [ "Alarmed" ] config
+      | None -> Alcotest.fail "monitor configuration")
+   | None -> Alcotest.fail "runtime exists");
+  (* The generated C carries the payload expression to the dispatch. *)
+  let c =
+    List.find
+      (fun o -> String.equal o.Codegen.Cgen.filename "umh_model.c")
+      (Codegen.Cgen.generate checked)
+  in
+  Alcotest.(check bool) "payload expression compiled" true
+    (contains_substring c.Codegen.Cgen.contents "mon_dispatch(SIG_level_high, (tank.x[0] * 2.0))")
+
+let test_guard_payload_scope_checked () =
+  expect_error {umh|
+model M
+protocol P { out sig(F); }
+flowtype F { value: float }
+streamer S {
+  rate 0.1;
+  init x = 0.0;
+  eq x' = 0.0;
+  sport p : P;
+  guard g : rising x emits sig(nosuch + 1.0) via p;
+}
+|umh} "unknown name"
+
+let test_codegen_rejects_composite () =
+  let checked = parse_checked composite_model in
+  Alcotest.(check bool) "codegen error mentions composite" true
+    (try
+       ignore (Codegen.Cgen.generate checked);
+       false
+     with Codegen.Cgen.Codegen_error msg -> contains_substring msg "composite")
+
+let suite =
+  [ Alcotest.test_case "expression precedence" `Quick test_expr_parse_eval;
+    Alcotest.test_case "expression vars and payload" `Quick test_expr_vars_and_payload;
+    Alcotest.test_case "expression print/parse roundtrip" `Quick test_expr_roundtrip;
+    Alcotest.test_case "parse thermostat model" `Quick test_parse_thermostat;
+    Alcotest.test_case "thermostat model typechecks" `Quick test_check_thermostat_ok;
+    Alcotest.test_case "R7: negative rate rejected" `Quick test_check_rejects_bad_rate;
+    Alcotest.test_case "R5: capsule in-DPort rejected" `Quick test_rule_r5_capsule_dport;
+    Alcotest.test_case "R6: streamer-in-streamer rejected" `Quick test_rule_r6_containment;
+    Alcotest.test_case "R2: flow superset rejected" `Quick test_rule_r2_flow_subset;
+    Alcotest.test_case "R4: protocol mismatch rejected" `Quick test_rule_r4_link_protocols;
+    Alcotest.test_case "unknown identifier rejected" `Quick test_unknown_identifier_in_eq;
+    Alcotest.test_case "elaborate + simulate thermostat" `Quick test_elaborate_and_simulate;
+    Alcotest.test_case "pretty-printer fixpoint" `Quick test_pretty_roundtrip;
+    Alcotest.test_case "parse errors carry positions" `Quick test_parse_error_position;
+    Alcotest.test_case "composite streamers in the DSL" `Quick test_composite_streamer_dsl;
+    Alcotest.test_case "composite rejects solver items" `Quick
+      test_composite_rejects_solver_items;
+    Alcotest.test_case "containment cycle rejected" `Quick test_containment_cycle_rejected;
+    Alcotest.test_case "composite flow directions" `Quick
+      test_composite_flow_direction_checked;
+    Alcotest.test_case "guard payloads end-to-end" `Quick test_guard_payload_roundtrip;
+    Alcotest.test_case "guard payload scope checked" `Quick
+      test_guard_payload_scope_checked;
+    Alcotest.test_case "codegen rejects composite streamers" `Quick
+      test_codegen_rejects_composite ]
+
+(* qcheck: random expression trees survive print -> parse -> print. *)
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun f -> Dsl.Expr.Num (Float.abs f)) (float_bound_exclusive 100.);
+        oneofl [ Dsl.Expr.Var "x"; Dsl.Expr.Var "k"; Dsl.Expr.Var "t";
+                 Dsl.Expr.Payload ] ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (1, map (fun e -> Dsl.Expr.Neg e) (tree (depth - 1)));
+          (2, map2 (fun a b -> Dsl.Expr.Add (a, b)) (tree (depth - 1)) (tree (depth - 1)));
+          (2, map2 (fun a b -> Dsl.Expr.Sub (a, b)) (tree (depth - 1)) (tree (depth - 1)));
+          (2, map2 (fun a b -> Dsl.Expr.Mul (a, b)) (tree (depth - 1)) (tree (depth - 1)));
+          (1, map2 (fun a b -> Dsl.Expr.Div (a, b)) (tree (depth - 1)) (tree (depth - 1)));
+          (1, map2 (fun a b -> Dsl.Expr.Pow (a, b)) (tree (depth - 1)) (tree (depth - 1)));
+          (1, map (fun a -> Dsl.Expr.Call ("sin", [ a ])) (tree (depth - 1)));
+          (1, map2 (fun a b -> Dsl.Expr.Call ("max", [ a; b ]))
+               (tree (depth - 1)) (tree (depth - 1))) ]
+  in
+  tree 4
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"random expressions roundtrip via printer"
+    (QCheck.make expr_gen)
+    (fun e ->
+       let printed = Dsl.Expr.to_string e in
+       let reparsed = Dsl.Parser.parse_expr printed in
+       String.equal (Dsl.Expr.to_string reparsed) printed)
+
+(* And printing preserves evaluation, not only syntax. *)
+let prop_expr_eval_preserved =
+  QCheck.Test.make ~count:300 ~name:"printing preserves expression value"
+    (QCheck.make expr_gen)
+    (fun e ->
+       let scope =
+         { Dsl.Expr.var =
+             (fun n ->
+                match n with
+                | "x" -> Some 0.7
+                | "k" -> Some 1.3
+                | "t" -> Some 2.1
+                | _ -> None);
+           payload = Some 0.4 }
+       in
+       let v1 = Dsl.Expr.eval scope e in
+       let v2 = Dsl.Expr.eval scope (Dsl.Parser.parse_expr (Dsl.Expr.to_string e)) in
+       (Float.is_nan v1 && Float.is_nan v2)
+       || Float.equal v1 v2
+       || Float.abs (v1 -. v2) <= 1e-9 *. Float.max 1. (Float.abs v1))
+
+let qcheck_suite =
+  [ QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_expr_eval_preserved ]
+
+let suite = suite @ qcheck_suite
+
+(* Capsule timers: a purely time-driven duty-cycle controller. *)
+let test_capsule_timers () =
+  let source = {umh|
+model DutyCycle
+protocol Duty { in go_high, go_low; }
+streamer Plant {
+  rate 0.05;
+  param u = 0.0;
+  init x = 0.0;
+  eq x' = u - 0.1 * x;
+  when go_high set u = 1.0;
+  when go_low set u = 0.0;
+  sport ctl : Duty;
+}
+capsule Clocked {
+  port plant : Duty conjugated;
+  timer tick = 1.0;
+  statemachine {
+    initial Low;
+    state Low { on tick -> High send go_high via plant; }
+    state High { on tick -> Low send go_low via plant; }
+  }
+}
+system {
+  capsule clk : Clocked;
+  streamer p : Plant in clk;
+  link p.ctl -- clk.plant;
+}
+|umh} in
+  let checked = parse_checked source in
+  Alcotest.(check (list string)) "timer model checks" []
+    checked.Dsl.Typecheck.errors;
+  let { Dsl.Elaborate.engine; _ } = Dsl.Elaborate.elaborate checked in
+  Hybrid.Engine.run_until engine 10.5;
+  (* Ten ticks -> ten toggles: five whole on/off cycles delivered. *)
+  let stats = Hybrid.Engine.stats engine in
+  Alcotest.(check int) "ten strategy activations" 10
+    stats.Hybrid.Engine.signals_to_streamers;
+  match Hybrid.Engine.solver_of engine "p" with
+  | Some s ->
+    Alcotest.(check bool) "plant actually integrated the duty cycle" true
+      ((Hybrid.Solver.state s).(0) > 0.5)
+  | None -> Alcotest.fail "plant exists"
+
+let test_timer_warnings_and_errors () =
+  expect_error {umh|
+model M
+capsule C { timer t = -1.0; statemachine { initial I; state I { } } }
+|umh} "non-positive period";
+  let checked = parse_checked {umh|
+model M
+capsule C { timer unused = 1.0; statemachine { initial I; state I { } } }
+|umh} in
+  Alcotest.(check bool) "unused timer warned" true
+    (List.exists
+       (fun w -> contains_substring w "triggers no transition")
+       checked.Dsl.Typecheck.warnings)
+
+let timer_suite =
+  [ Alcotest.test_case "capsule timers drive duty cycles" `Quick test_capsule_timers;
+    Alcotest.test_case "timer validation and warnings" `Quick
+      test_timer_warnings_and_errors ]
+
+let suite = suite @ timer_suite
+
+(* The .umh model files shipped in examples/ must keep parsing, checking
+   and elaborating (declared as dune test deps, read from the source tree). *)
+let test_shipped_models () =
+  let read path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  List.iter
+    (fun name ->
+       let path = Filename.concat "../examples/models" name in
+       if Sys.file_exists path then begin
+         let checked = parse_checked (read path) in
+         Alcotest.(check (list string)) (name ^ " has no errors") []
+           checked.Dsl.Typecheck.errors;
+         let { Dsl.Elaborate.engine; _ } = Dsl.Elaborate.elaborate checked in
+         Hybrid.Engine.run_until engine 1.;
+         Alcotest.(check bool) (name ^ " simulates") true
+           ((Hybrid.Engine.stats engine).Hybrid.Engine.ticks_total > 0)
+       end
+       else Alcotest.fail (path ^ " missing from test deps"))
+    [ "thermostat.umh"; "filter_chain.umh" ]
+
+let shipped_suite =
+  [ Alcotest.test_case "shipped .umh models stay valid" `Quick test_shipped_models ]
+
+let suite = suite @ shipped_suite
+
+(* Textual STL parsing (used by umh simulate --verify). *)
+let test_stl_syntax () =
+  let tr = Sigtrace.Trace.create () in
+  for i = 0 to 100 do
+    let t = float_of_int i /. 10. in
+    Sigtrace.Trace.record tr t (sin t)
+  done;
+  let checks =
+    [ ("always[0,10] x <= 1", true);
+      ("always[0,10] x <= 0.5", false);
+      ("eventually[0,2] x >= 0.99", true);
+      ("always[0,10] (x <= 1 and x >= -1)", true);
+      ("not (always[0,10] x <= 0.5)", true);
+      ("always[0,10] x <= 0.5 or always[0,10] x >= -1", true);
+      ("always[0,10] x >= 2 -> always[0,10] x <= -2", true);
+      ("eventually[0,10] (x >= 0.9 and x <= 1.1)", true);
+      ("always[0,10] 2 * x <= 2", true) ]
+  in
+  List.iter
+    (fun (text, expected) ->
+       let formula = Dsl.Parser.parse_stl text in
+       let ok, _ = Sigtrace.Stl.check formula tr in
+       Alcotest.(check bool) text expected ok)
+    checks
+
+let test_stl_syntax_errors () =
+  List.iter
+    (fun text ->
+       Alcotest.(check bool) ("rejects " ^ text) true
+         (try ignore (Dsl.Parser.parse_stl text); false
+          with Dsl.Parser.Parse_error _ | Dsl.Lexer.Lex_error _ -> true))
+    [ "always[0] x <= 1"; "x < 1"; "always[0,10]"; "x <= 1 extra" ]
+
+let stl_syntax_suite =
+  [ Alcotest.test_case "textual STL parses and evaluates" `Quick test_stl_syntax;
+    Alcotest.test_case "textual STL rejects malformed input" `Quick
+      test_stl_syntax_errors ]
+
+let suite = suite @ stl_syntax_suite

@@ -1,0 +1,318 @@
+(* Integration tests of the core hybrid engine: the paper's architecture
+   end-to-end — capsule state machine on the event thread, streamer solver
+   on its own thread, SPort signals both ways, DPort flows, zero-crossing
+   guards. *)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* A thermostat: a capsule with a bang-bang state machine (Heating/Idle)
+   linked to a thermal-plant streamer. The streamer reports temperature
+   crossings through guards; the capsule switches the heater parameter
+   through a strategy. *)
+
+let temp_protocol =
+  Umlrt.Protocol.create "Thermo"
+    ~incoming:
+      [ Umlrt.Protocol.signal "too_cold"; Umlrt.Protocol.signal "too_hot" ]
+    ~outgoing:
+      [ Umlrt.Protocol.signal "heater_on"; Umlrt.Protocol.signal "heater_off" ]
+
+(* Thermal plant as a streamer: T' = -(T - ambient)/tau + gain * u, with
+   u the "duty" parameter the strategy controls. Guards fire when the
+   temperature crosses the low/high thresholds. *)
+let thermal_streamer ~low ~high =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let duty = env.Hybrid.Solver.param "duty" in
+    let ambient = env.Hybrid.Solver.param "ambient" in
+    let tau = env.Hybrid.Solver.param "tau" in
+    let gain = env.Hybrid.Solver.param "gain" in
+    [| (-.(y.(0) -. ambient) /. tau) +. (gain *. duty) |]
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"heater_on"
+    (Hybrid.Strategy.set_param_const "duty" 1.);
+  Hybrid.Strategy.on strategy ~signal:"heater_off"
+    (Hybrid.Strategy.set_param_const "duty" 0.);
+  let guards =
+    [ { Hybrid.Streamer.guard_id = "low"; signal = "too_cold"; via_sport = "ctl";
+        direction = Ode.Events.Falling;
+        expr = (fun _env _t y -> y.(0) -. low); payload = None };
+      { Hybrid.Streamer.guard_id = "high"; signal = "too_hot"; via_sport = "ctl";
+        direction = Ode.Events.Rising;
+        expr = (fun _env _t y -> y.(0) -. high); payload = None } ]
+  in
+  Hybrid.Streamer.leaf "room"
+    ~rate:0.05
+    ~dim:1 ~init:[| 20.0 |]
+    ~params:[ ("duty", 0.); ("ambient", 15.); ("tau", 20.); ("gain", 0.8) ]
+    ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+    ~sports:[ Hybrid.Streamer.sport ~conjugated:true "ctl" temp_protocol ]
+    ~guards ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+    ~rhs
+
+let make_thermostat_engine () =
+  let behavior (services : Umlrt.Capsule.services) =
+    (* Transitions capture [services] so actions can send; built per
+       instance on a fresh machine to keep instances independent. *)
+    let m = Statechart.Machine.create "thermostat" in
+    Statechart.Machine.add_state m "Idle";
+    Statechart.Machine.add_state m "Heating";
+    Statechart.Machine.set_initial m "Idle";
+    let send signal _ctx _event =
+      services.Umlrt.Capsule.send ~port:"plant" (Statechart.Event.make signal)
+    in
+    Statechart.Machine.add_transition m ~src:"Idle" ~dst:"Heating"
+      ~trigger:"too_cold" ~action:(send "heater_on") ();
+    Statechart.Machine.add_transition m ~src:"Heating" ~dst:"Idle"
+      ~trigger:"too_hot" ~action:(send "heater_off") ();
+    let instance = ref None in
+    { Umlrt.Capsule.on_start = (fun () -> instance := Some (Statechart.Instance.start m ()));
+      on_event =
+        (fun ~port:_ event ->
+           match !instance with
+           | Some i -> Statechart.Instance.handle i event
+           | None -> false);
+      configuration =
+        (fun () ->
+           match !instance with
+           | Some i -> Statechart.Instance.configuration i
+           | None -> []) }
+  in
+  let root =
+    Umlrt.Capsule.create "controller"
+      ~ports:[ Umlrt.Capsule.port "plant" temp_protocol ]
+      ~behavior
+  in
+  let engine = Hybrid.Engine.create ~root () in
+  Hybrid.Engine.add_streamer engine ~role:"room" (thermal_streamer ~low:19. ~high:21.);
+  Hybrid.Engine.link_sport_exn engine ~role:"room" ~sport:"ctl" ~border_port:"plant";
+  engine
+
+let test_thermostat_regulates () =
+  let engine = make_thermostat_engine () in
+  let trace = Hybrid.Engine.trace_dport engine ~role:"room" ~dport:"temp" in
+  Hybrid.Engine.run_until engine 600.;
+  (* After settling, temperature must stay inside (and at most a hair
+     beyond) the hysteresis band. *)
+  let late =
+    List.filter (fun (t, _) -> t > 100.) (Sigtrace.Trace.samples trace)
+  in
+  Alcotest.(check bool) "has late samples" true (List.length late > 100);
+  List.iter
+    (fun (_, temp) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "temp %g within band" temp)
+         true
+         (temp > 18.5 && temp < 21.5))
+    late;
+  let stats = Hybrid.Engine.stats engine in
+  Alcotest.(check bool) "streamer got signals" true
+    (stats.Hybrid.Engine.signals_to_streamers > 2);
+  Alcotest.(check bool) "capsule got signals" true
+    (stats.Hybrid.Engine.signals_to_capsules > 2)
+
+let test_thermostat_state_follows () =
+  let engine = make_thermostat_engine () in
+  Hybrid.Engine.run_until engine 600.;
+  match Hybrid.Engine.runtime engine with
+  | None -> Alcotest.fail "engine has a runtime"
+  | Some rt ->
+    (match Umlrt.Runtime.configuration rt "controller" with
+     | Some config ->
+       Alcotest.(check bool) "controller in a known state" true
+         (List.mem "Idle" config || List.mem "Heating" config)
+     | None -> Alcotest.fail "controller has a configuration")
+
+let test_crossing_times_located () =
+  (* Starting at 18 with the heater off, the room would cool toward 15;
+     the too_cold guard at 19 must never fire (Falling crossing needs to
+     reach 19 from above — we start below), so turn it around: start hot. *)
+  let engine = make_thermostat_engine () in
+  let solver =
+    match Hybrid.Engine.solver_of engine "room" with
+    | Some s -> s
+    | None -> Alcotest.fail "room solver exists"
+  in
+  Hybrid.Solver.set_state solver [| 22. |];
+  Hybrid.Engine.run_until engine 120.;
+  (* From 22 cooling down, the 21-crossing (Rising) does not fire, but the
+     19-crossing (Falling) does -> heater turns on. *)
+  check_float "duty is on after falling crossing" 1.
+    (Hybrid.Solver.get_param solver "duty")
+
+let test_flow_between_streamers () =
+  (* Producer streamer integrates x' = 1 (a ramp); consumer computes
+     y' = input, so y(t) ~ t^2/2. Checks DPort flows move data. *)
+  let producer =
+    Hybrid.Streamer.leaf "producer" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out "x" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+      ~rhs:(fun _env _t _y -> [| 1. |])
+  in
+  let consumer =
+    Hybrid.Streamer.leaf "consumer" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_in "u"; Hybrid.Streamer.dport_out "y" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "y") ])
+      ~rhs:(fun (env : Hybrid.Solver.env) _t _y -> [| env.Hybrid.Solver.input "u" |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"p" producer;
+  Hybrid.Engine.add_streamer engine ~role:"c" consumer;
+  Hybrid.Engine.connect_flow_exn engine ~src:("p", "x") ~dst:("c", "u");
+  Hybrid.Engine.run_until engine 2.;
+  (match Hybrid.Engine.read_dport engine ~role:"p" ~dport:"x" with
+   | Some x -> check_float "ramp reaches 2" 2. x
+   | None -> Alcotest.fail "producer output readable");
+  (match Hybrid.Engine.read_dport engine ~role:"c" ~dport:"y" with
+   | Some y ->
+     Alcotest.(check bool)
+       (Printf.sprintf "integrated ramp ~ 2 (got %g)" y)
+       true
+       (Float.abs (y -. 2.) < 0.05)
+   | None -> Alcotest.fail "consumer output readable")
+
+let test_relay_duplicates_flow () =
+  let producer =
+    Hybrid.Streamer.leaf "src" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out "x" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+      ~rhs:(fun _ _ _ -> [| 1. |])
+  in
+  let sink name =
+    Hybrid.Streamer.leaf name ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_in "u"; Hybrid.Streamer.dport_out "y" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "y") ])
+      ~rhs:(fun (env : Hybrid.Solver.env) _ _ -> [| env.Hybrid.Solver.input "u" |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"s" producer;
+  Hybrid.Engine.add_streamer engine ~role:"a" (sink "a");
+  Hybrid.Engine.add_streamer engine ~role:"b" (sink "b");
+  Hybrid.Engine.add_relay engine ~name:"r" Dataflow.Flow_type.float_flow ~fanout:2;
+  Hybrid.Engine.connect_flow_exn engine ~src:("s", "x") ~dst:("r", "in");
+  Hybrid.Engine.connect_flow_exn engine ~src:("r", "out1") ~dst:("a", "u");
+  Hybrid.Engine.connect_flow_exn engine ~src:("r", "out2") ~dst:("b", "u");
+  Hybrid.Engine.run_until engine 1.;
+  let va = Hybrid.Engine.read_dport engine ~role:"a" ~dport:"y" in
+  let vb = Hybrid.Engine.read_dport engine ~role:"b" ~dport:"y" in
+  match (va, vb) with
+  | Some a, Some b ->
+    check_float "both relay branches deliver the same flow" a b;
+    Alcotest.(check bool) "flow actually integrated" true (a > 0.3)
+  | _, _ -> Alcotest.fail "both sinks readable"
+
+let test_composite_streamer_flattens () =
+  (* Composite: border input "u" -> child integrator -> border output "y". *)
+  let child =
+    Hybrid.Streamer.leaf "integ" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_in "in"; Hybrid.Streamer.dport_out "out" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "out") ])
+      ~rhs:(fun (env : Hybrid.Solver.env) _ _ -> [| env.Hybrid.Solver.input "in" |])
+  in
+  let comp =
+    Hybrid.Streamer.composite "block"
+      ~dports:[ Hybrid.Streamer.dport_in "u"; Hybrid.Streamer.dport_out "y" ]
+      ~children:[ ("i", child) ]
+      ~flows:
+        [ (Hybrid.Streamer.border "u", Hybrid.Streamer.child_port "i" "in");
+          (Hybrid.Streamer.child_port "i" "out", Hybrid.Streamer.border "y") ]
+  in
+  let source =
+    Hybrid.Streamer.leaf "one" ~rate:0.01 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out "x" ]
+      ~outputs:(fun _ _ _ -> [ ("x", Dataflow.Value.Float 1.) ])
+      ~rhs:(fun _ _ _ -> [| 0. |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"src" source;
+  Hybrid.Engine.add_streamer engine ~role:"blk" comp;
+  Alcotest.(check (list string)) "composite flattens to leaf roles"
+    [ "src"; "blk.i" ] (Hybrid.Engine.streamer_roles engine);
+  Hybrid.Engine.connect_flow_exn engine ~src:("src", "x") ~dst:("blk", "u");
+  Hybrid.Engine.run_until engine 1.;
+  match Hybrid.Engine.read_dport engine ~role:"blk" ~dport:"y" with
+  | Some y ->
+    Alcotest.(check bool)
+      (Printf.sprintf "integrates the constant through the border (got %g)" y)
+      true
+      (Float.abs (y -. 1.) < 0.05)
+  | None -> Alcotest.fail "composite border output readable"
+
+let test_flow_type_subset_rule () =
+  let rich =
+    Dataflow.Flow_type.record
+      [ ("value", Dataflow.Flow_type.TFloat); ("quality", Dataflow.Flow_type.TInt) ]
+  in
+  let producer =
+    Hybrid.Streamer.leaf "p" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out "x" ]  (* scalar float flow *)
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+      ~rhs:(fun _ _ _ -> [| 0. |])
+  in
+  let consumer_rich =
+    Hybrid.Streamer.leaf "c" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_in ~dtype:rich "u" ]
+      ~outputs:(fun _ _ _ -> [])
+      ~rhs:(fun _ _ _ -> [| 0. |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"p" producer;
+  Hybrid.Engine.add_streamer engine ~role:"c" consumer_rich;
+  (* Paper rule: output's type must be a subset of the input's. The scalar
+     {value: float} IS a subset of {value: float; quality: int}: allowed. *)
+  (match Hybrid.Engine.connect_flow engine ~src:("p", "x") ~dst:("c", "u") with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("subset connection should be accepted: " ^ e));
+  (* And the reverse direction must be rejected. *)
+  let producer_rich =
+    Hybrid.Streamer.leaf "pr" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out ~dtype:rich "x" ]
+      ~outputs:(fun _ _ _ -> [])
+      ~rhs:(fun _ _ _ -> [| 0. |])
+  in
+  let consumer_scalar =
+    Hybrid.Streamer.leaf "cs" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_in "u" ]
+      ~outputs:(fun _ _ _ -> [])
+      ~rhs:(fun _ _ _ -> [| 0. |])
+  in
+  Hybrid.Engine.add_streamer engine ~role:"pr" producer_rich;
+  Hybrid.Engine.add_streamer engine ~role:"cs" consumer_scalar;
+  match Hybrid.Engine.connect_flow engine ~src:("pr", "x") ~dst:("cs", "u") with
+  | Ok () -> Alcotest.fail "superset -> scalar must be rejected"
+  | Error _ -> ()
+
+let test_streamer_validation () =
+  Alcotest.check_raises "init/dim mismatch"
+    (Invalid_argument "Hybrid.Streamer.leaf: init state dimension mismatch")
+    (fun () ->
+       ignore
+         (Hybrid.Streamer.leaf "bad" ~rate:0.1 ~dim:2 ~init:[| 0. |]
+            ~outputs:(fun _ _ _ -> [])
+            ~rhs:(fun _ _ _ -> [| 0.; 0. |])))
+
+let test_stats_and_ticks () =
+  let s =
+    Hybrid.Streamer.leaf "s" ~rate:0.1 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_out "x" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+      ~rhs:(fun _ _ _ -> [| 1. |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"s" s;
+  Hybrid.Engine.run_until engine 1.0;
+  let ticks = Hybrid.Engine.ticks_of engine "s" in
+  Alcotest.(check bool) (Printf.sprintf "about 10 ticks (got %d)" ticks) true
+    (ticks >= 9 && ticks <= 11)
+
+let suite =
+  [ Alcotest.test_case "thermostat regulates within band" `Quick test_thermostat_regulates;
+    Alcotest.test_case "thermostat capsule state tracks plant" `Quick test_thermostat_state_follows;
+    Alcotest.test_case "zero-crossing guard fires strategies" `Quick test_crossing_times_located;
+    Alcotest.test_case "flows carry data between streamers" `Quick test_flow_between_streamers;
+    Alcotest.test_case "relay duplicates one flow into two" `Quick test_relay_duplicates_flow;
+    Alcotest.test_case "composite streamer flattens and relays" `Quick test_composite_streamer_flattens;
+    Alcotest.test_case "flow-type subset rule (paper direction)" `Quick test_flow_type_subset_rule;
+    Alcotest.test_case "leaf validation rejects bad dims" `Quick test_streamer_validation;
+    Alcotest.test_case "ticks follow the declared rate" `Quick test_stats_and_ticks ]

@@ -1,0 +1,293 @@
+(* Numerical substrate tests: convergence orders, analytic comparisons,
+   adaptive error control, implicit stability, dense output, and
+   zero-crossing location. Includes qcheck properties on Linalg. *)
+
+let check_float tol = Alcotest.(check (float tol))
+
+(* y' = -y, y(0) = 1: exact e^{-t}. *)
+let decay = Ode.System.create ~dim:1 (fun _t y -> [| -.y.(0) |])
+
+(* Harmonic oscillator: y'' = -y as a 2-system; exact (cos t, -sin t). *)
+let oscillator =
+  Ode.System.create ~dim:2 (fun _t y -> [| y.(1); -.y.(0) |])
+
+(* ---- Linalg ---- *)
+
+let test_linalg_solve () =
+  let a = [| [| 4.; 1. |]; [| 1.; 3. |] |] in
+  let b = [| 1.; 2. |] in
+  let x = Ode.Linalg.solve a b in
+  let residual = Ode.Linalg.sub (Ode.Linalg.mat_vec a x) b in
+  Alcotest.(check bool) "residual small" true (Ode.Linalg.norm_inf residual < 1e-12)
+
+let test_linalg_solve_pivoting () =
+  (* Leading zero forces a row swap. *)
+  let a = [| [| 0.; 1. |]; [| 2.; 0. |] |] in
+  let x = Ode.Linalg.solve a [| 3.; 4. |] in
+  check_float 1e-12 "x0" 2. x.(0);
+  check_float 1e-12 "x1" 3. x.(1)
+
+let test_linalg_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular"
+    (Failure "Ode.Linalg.solve: singular matrix")
+    (fun () -> ignore (Ode.Linalg.solve a [| 1.; 1. |]))
+
+let test_linalg_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Ode.Linalg.add: dimension mismatch (2 vs 3)")
+    (fun () -> ignore (Ode.Linalg.add [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+(* qcheck: solve really inverts for random well-conditioned systems. *)
+let prop_solve_inverts =
+  QCheck.Test.make ~count:100 ~name:"linalg solve then multiply is identity"
+    QCheck.(array_of_size (Gen.return 3) (float_bound_exclusive 10.))
+    (fun x ->
+       QCheck.assume (Array.for_all (fun v -> Float.abs v < 10.) x);
+       (* Diagonally dominant matrix: always solvable. *)
+       let a =
+         Array.init 3 (fun i ->
+             Array.init 3 (fun j -> if i = j then 20. else float_of_int ((i + (2 * j)) mod 3)))
+       in
+       let b = Ode.Linalg.mat_vec a x in
+       let x' = Ode.Linalg.solve a b in
+       Ode.Linalg.approx_equal ~tol:1e-8 x x')
+
+let prop_lerp_endpoints =
+  QCheck.Test.make ~count:100 ~name:"lerp hits endpoints"
+    QCheck.(pair (array_of_size (Gen.return 4) (float_bound_exclusive 100.))
+              (array_of_size (Gen.return 4) (float_bound_exclusive 100.)))
+    (fun (a, b) ->
+       Ode.Linalg.approx_equal (Ode.Linalg.lerp 0. a b) a
+       && Ode.Linalg.approx_equal (Ode.Linalg.lerp 1. a b) b)
+
+(* ---- fixed-step methods ---- *)
+
+let error_at scheme dt =
+  let y = Ode.Fixed.integrate scheme decay ~t0:0. ~t1:1. ~dt [| 1. |] in
+  Float.abs (y.(0) -. exp (-1.))
+
+let test_convergence_order scheme () =
+  (* Halving dt must reduce error by ~2^order. *)
+  let e1 = error_at scheme 0.02 in
+  let e2 = error_at scheme 0.01 in
+  let observed = Float.log (e1 /. e2) /. Float.log 2. in
+  let expected = float_of_int (Ode.Fixed.order scheme) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: observed order %.2f ~ %g"
+       (Ode.Fixed.scheme_name scheme) observed expected)
+    true
+    (Float.abs (observed -. expected) < 0.35)
+
+let test_rk4_oscillator_energy () =
+  let y = Ode.Fixed.integrate Ode.Fixed.Rk4 oscillator ~t0:0. ~t1:20. ~dt:0.01 [| 1.; 0. |] in
+  let energy = (y.(0) *. y.(0)) +. (y.(1) *. y.(1)) in
+  Alcotest.(check bool) "energy drift < 1e-6" true (Float.abs (energy -. 1.) < 1e-6)
+
+let test_trajectory_mesh () =
+  let traj = Ode.Fixed.trajectory Ode.Fixed.Euler decay ~t0:0. ~t1:1. ~dt:0.25 [| 1. |] in
+  let times = List.map fst traj in
+  Alcotest.(check int) "5 mesh points" 5 (List.length times);
+  check_float 1e-12 "ends exactly at t1" 1. (List.nth times 4)
+
+let test_final_partial_step () =
+  (* t1 - t0 not a multiple of dt: the final step is shortened. *)
+  let y = Ode.Fixed.integrate Ode.Fixed.Rk4 decay ~t0:0. ~t1:1. ~dt:0.3 [| 1. |] in
+  Alcotest.(check bool) "accurate despite ragged mesh" true
+    (Float.abs (y.(0) -. exp (-1.)) < 1e-4)
+
+let test_bad_dt_rejected () =
+  Alcotest.check_raises "dt <= 0"
+    (Invalid_argument "Ode.Fixed.step: dt must be positive")
+    (fun () -> ignore (Ode.Fixed.step Ode.Fixed.Euler decay ~t:0. ~dt:0. [| 1. |]))
+
+(* ---- adaptive methods ---- *)
+
+let test_adaptive_accuracy scheme () =
+  let control = { Ode.Adaptive.default_control with rtol = 1e-9; atol = 1e-12 } in
+  let y, stats = Ode.Adaptive.integrate ~scheme ~control decay ~t0:0. ~t1:2. [| 1. |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s within 1e-8" (Ode.Adaptive.scheme_name scheme))
+    true
+    (Float.abs (y.(0) -. exp (-2.)) < 1e-8);
+  Alcotest.(check bool) "took steps" true (stats.Ode.Adaptive.accepted > 0)
+
+let test_adaptive_adapts () =
+  (* Stiff-ish: y' = -50 (y - cos t). Loose tolerance must use far fewer
+     steps than tight tolerance. *)
+  let sys = Ode.System.create ~dim:1 (fun t y -> [| -50. *. (y.(0) -. cos t) |]) in
+  let steps control =
+    let _, stats = Ode.Adaptive.integrate ~control sys ~t0:0. ~t1:3. [| 0. |] in
+    stats.Ode.Adaptive.accepted + stats.Ode.Adaptive.rejected
+  in
+  let loose = steps { Ode.Adaptive.default_control with rtol = 1e-3; atol = 1e-6 } in
+  let tight = steps { Ode.Adaptive.default_control with rtol = 1e-10; atol = 1e-13 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "loose %d < tight %d" loose tight)
+    true (loose < tight)
+
+let test_adaptive_rejections_counted () =
+  let sys =
+    (* A sharp transient at the start forces rejections of optimistic steps. *)
+    Ode.System.create ~dim:1 (fun t y -> [| -1000. *. y.(0) *. exp (-10. *. t) |])
+  in
+  let _, stats =
+    Ode.Adaptive.integrate
+      ~control:{ Ode.Adaptive.default_control with rtol = 1e-8; atol = 1e-10 }
+      sys ~t0:0. ~t1:1. [| 1. |]
+  in
+  Alcotest.(check bool) "some rejected" true (stats.Ode.Adaptive.rejected >= 0)
+
+(* ---- implicit methods ---- *)
+
+let test_backward_euler_stiff_stable () =
+  (* lambda = -1e4, dt far beyond the explicit stability limit. *)
+  let sys = Ode.System.create ~dim:1 (fun _t y -> [| -1e4 *. y.(0) |]) in
+  let y = Ode.Implicit.integrate `Backward_euler sys ~t0:0. ~t1:1. ~dt:0.01 [| 1. |] in
+  Alcotest.(check bool) "decays (no blow-up)" true (Float.abs y.(0) < 1e-3)
+
+let test_explicit_euler_stiff_unstable () =
+  (* Contrast: explicit Euler at the same step explodes. *)
+  let sys = Ode.System.create ~dim:1 (fun _t y -> [| -1e4 *. y.(0) |]) in
+  let y = Ode.Fixed.integrate Ode.Fixed.Euler sys ~t0:0. ~t1:0.1 ~dt:0.01 [| 1. |] in
+  Alcotest.(check bool) "blows up" true (Float.abs y.(0) > 1e3)
+
+let test_trapezoidal_second_order () =
+  let e dt =
+    let y = Ode.Implicit.integrate `Trapezoidal decay ~t0:0. ~t1:1. ~dt [| 1. |] in
+    Float.abs (y.(0) -. exp (-1.))
+  in
+  let order = Float.log (e 0.02 /. e 0.01) /. Float.log 2. in
+  Alcotest.(check bool) (Printf.sprintf "order %.2f ~ 2" order) true
+    (Float.abs (order -. 2.) < 0.3)
+
+(* ---- dense output & events ---- *)
+
+let test_dense_matches_solution () =
+  let t0 = 0. and t1 = 0.5 in
+  let y0 = [| 1. |] in
+  let y1 = [| exp (-0.5) |] in
+  let interp = Ode.Dense.of_system decay ~t0 ~y0 ~t1 ~y1 in
+  let mid = Ode.Dense.eval interp 0.25 in
+  Alcotest.(check bool) "cubic Hermite within 5e-4" true
+    (Float.abs (mid.(0) -. exp (-0.25)) < 5e-4)
+
+let test_zero_crossing_location () =
+  (* Oscillator starting at (1, 0): y0 crosses zero at t = pi/2. *)
+  let integ =
+    Ode.Integrator.create ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.01))
+      oscillator ~t0:0. [| 1.; 0. |]
+  in
+  let guard = Ode.Events.guard ~direction:Ode.Events.Falling "y0" (fun _t y -> y.(0)) in
+  (match Ode.Integrator.advance_guarded integ 3. [ guard ] with
+   | Ode.Integrator.Interrupted crossing ->
+     Alcotest.(check bool)
+       (Printf.sprintf "crossing at %.6f ~ pi/2" crossing.Ode.Events.time)
+       true
+       (Float.abs (crossing.Ode.Events.time -. (Float.pi /. 2.)) < 1e-4)
+   | Ode.Integrator.Reached _ -> Alcotest.fail "expected a crossing")
+
+let test_direction_filtering () =
+  (* Rising-only guard must not fire on a falling crossing. *)
+  let integ =
+    Ode.Integrator.create ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.01))
+      oscillator ~t0:0. [| 1.; 0. |]
+  in
+  let guard = Ode.Events.guard ~direction:Ode.Events.Rising "y0" (fun _t y -> y.(0)) in
+  (match Ode.Integrator.advance_guarded integ 2. [ guard ] with
+   | Ode.Integrator.Reached _ -> ()
+   | Ode.Integrator.Interrupted c ->
+     Alcotest.fail (Printf.sprintf "unexpected crossing at %g" c.Ode.Events.time))
+
+let test_first_of_many_guards () =
+  let integ =
+    Ode.Integrator.create ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.01))
+      oscillator ~t0:0. [| 1.; 0. |]
+  in
+  (* y0 falls through 0.5 before it falls through 0. *)
+  let g_half = Ode.Events.guard ~direction:Ode.Events.Falling "half" (fun _ y -> y.(0) -. 0.5) in
+  let g_zero = Ode.Events.guard ~direction:Ode.Events.Falling "zero" (fun _ y -> y.(0)) in
+  (match Ode.Integrator.advance_guarded integ 3. [ g_zero; g_half ] with
+   | Ode.Integrator.Interrupted c ->
+     Alcotest.(check string) "earliest guard wins" "half" c.Ode.Events.guard_name
+   | Ode.Integrator.Reached _ -> Alcotest.fail "expected a crossing")
+
+let test_integrator_advance_exact () =
+  let integ = Ode.Integrator.create decay ~t0:0. [| 1. |] in
+  ignore (Ode.Integrator.advance integ 1.);
+  check_float 1e-12 "clock lands exactly" 1. (Ode.Integrator.time integ);
+  Alcotest.(check bool) "value accurate" true
+    (Float.abs ((Ode.Integrator.state integ).(0) -. exp (-1.)) < 1e-9)
+
+let test_integrator_rejects_past () =
+  let integ = Ode.Integrator.create decay ~t0:1. [| 1. |] in
+  Alcotest.check_raises "past target"
+    (Invalid_argument "Ode.Integrator.advance: target in the past")
+    (fun () -> ignore (Ode.Integrator.advance integ 0.5))
+
+let test_eval_count () =
+  let sys = Ode.System.create ~dim:1 (fun _t y -> [| -.y.(0) |]) in
+  ignore (Ode.Fixed.integrate Ode.Fixed.Rk4 sys ~t0:0. ~t1:1. ~dt:0.1 [| 1. |]);
+  Alcotest.(check int) "4 evals per RK4 step" 40 (Ode.System.eval_count sys)
+
+let suite =
+  [ Alcotest.test_case "linalg: gaussian elimination" `Quick test_linalg_solve;
+    Alcotest.test_case "linalg: partial pivoting" `Quick test_linalg_solve_pivoting;
+    Alcotest.test_case "linalg: singular detection" `Quick test_linalg_singular;
+    Alcotest.test_case "linalg: dimension checks" `Quick test_linalg_dim_mismatch;
+    QCheck_alcotest.to_alcotest prop_solve_inverts;
+    QCheck_alcotest.to_alcotest prop_lerp_endpoints;
+    Alcotest.test_case "euler order 1" `Quick (test_convergence_order Ode.Fixed.Euler);
+    Alcotest.test_case "midpoint order 2" `Quick (test_convergence_order Ode.Fixed.Midpoint);
+    Alcotest.test_case "heun order 2" `Quick (test_convergence_order Ode.Fixed.Heun);
+    Alcotest.test_case "rk4 order 4" `Quick (test_convergence_order Ode.Fixed.Rk4);
+    Alcotest.test_case "rk4 conserves oscillator energy" `Quick test_rk4_oscillator_energy;
+    Alcotest.test_case "trajectory mesh points" `Quick test_trajectory_mesh;
+    Alcotest.test_case "ragged final step" `Quick test_final_partial_step;
+    Alcotest.test_case "dt validation" `Quick test_bad_dt_rejected;
+    Alcotest.test_case "dormand-prince accuracy" `Quick
+      (test_adaptive_accuracy Ode.Adaptive.Dormand_prince);
+    Alcotest.test_case "fehlberg accuracy" `Quick
+      (test_adaptive_accuracy Ode.Adaptive.Fehlberg);
+    Alcotest.test_case "step control adapts to tolerance" `Quick test_adaptive_adapts;
+    Alcotest.test_case "rejection accounting" `Quick test_adaptive_rejections_counted;
+    Alcotest.test_case "backward euler A-stable" `Quick test_backward_euler_stiff_stable;
+    Alcotest.test_case "explicit euler unstable on stiff" `Quick
+      test_explicit_euler_stiff_unstable;
+    Alcotest.test_case "trapezoidal order 2" `Quick test_trapezoidal_second_order;
+    Alcotest.test_case "dense output accuracy" `Quick test_dense_matches_solution;
+    Alcotest.test_case "zero crossing located at pi/2" `Quick test_zero_crossing_location;
+    Alcotest.test_case "crossing direction filter" `Quick test_direction_filtering;
+    Alcotest.test_case "earliest guard wins" `Quick test_first_of_many_guards;
+    Alcotest.test_case "integrator lands exactly" `Quick test_integrator_advance_exact;
+    Alcotest.test_case "integrator rejects past targets" `Quick test_integrator_rejects_past;
+    Alcotest.test_case "rhs evaluation counting" `Quick test_eval_count ]
+
+(* qcheck: RK4 integrates polynomials of degree <= 3 exactly (its local
+   truncation error starts at the 5th derivative of degree-4 terms). *)
+let prop_rk4_exact_on_cubics =
+  QCheck.Test.make ~count:100 ~name:"rk4 exact on cubic polynomials"
+    QCheck.(quad (float_range (-2.) 2.) (float_range (-2.) 2.)
+              (float_range (-2.) 2.) (float_range (-2.) 2.))
+    (fun (a, b, c, d) ->
+       (* y' = a t^3... wait: integrate y' = p(t): y(t) = P(t). *)
+       let sys =
+         Ode.System.create ~dim:1 (fun t _ ->
+             [| (a *. t *. t *. t) +. (b *. t *. t) +. (c *. t) +. d |])
+       in
+       let y = Ode.Fixed.integrate Ode.Fixed.Rk4 sys ~t0:0. ~t1:1. ~dt:0.1 [| 0. |] in
+       let exact = (a /. 4.) +. (b /. 3.) +. (c /. 2.) +. d in
+       Float.abs (y.(0) -. exact) < 1e-10)
+
+(* Wrong-dimension right-hand sides are caught at evaluation. *)
+let test_bad_rhs_dimension () =
+  let sys = Ode.System.create ~dim:2 (fun _ _ -> [| 0. |]) in
+  Alcotest.(check bool) "dimension mismatch raises" true
+    (try ignore (Ode.System.eval sys 0. [| 0.; 0. |]); false
+     with Invalid_argument _ -> true)
+
+let extra_suite =
+  [ QCheck_alcotest.to_alcotest prop_rk4_exact_on_cubics;
+    Alcotest.test_case "rhs dimension checked" `Quick test_bad_rhs_dimension ]
+
+let suite = suite @ extra_suite

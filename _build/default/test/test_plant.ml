@@ -1,0 +1,205 @@
+(* Plant model tests: equilibria, analytic solutions, invariants
+   (energy conservation), parameter validation. *)
+
+let rk4 sys ~t1 ~dt y0 = Ode.Fixed.integrate Ode.Fixed.Rk4 sys ~t0:0. ~t1 ~dt y0
+
+(* ---- pendulum ---- *)
+
+let test_pendulum_small_angle () =
+  let p = Plant.Pendulum.create ~damping:0. () in
+  let theta0 = 0.05 in
+  let y = rk4 (Plant.Pendulum.system_free p) ~t1:2. ~dt:1e-3 [| theta0; 0. |] in
+  let expected = Plant.Pendulum.small_angle_solution p ~theta0 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.5f ~ %.5f (linearized)" y.(0) expected)
+    true
+    (Float.abs (y.(0) -. expected) < 2e-4)
+
+let test_pendulum_energy_conserved () =
+  let p = Plant.Pendulum.create ~damping:0. () in
+  let y0 = [| 1.0; 0. |] in
+  let e0 = Plant.Pendulum.energy p y0 in
+  let y = rk4 (Plant.Pendulum.system_free p) ~t1:10. ~dt:1e-3 y0 in
+  let e1 = Plant.Pendulum.energy p y in
+  Alcotest.(check bool) "energy drift < 1e-8" true (Float.abs (e1 -. e0) < 1e-8)
+
+let test_pendulum_damping_dissipates () =
+  let p = Plant.Pendulum.create ~damping:0.05 () in
+  let y0 = [| 1.0; 0. |] in
+  let e0 = Plant.Pendulum.energy p y0 in
+  let y = rk4 (Plant.Pendulum.system_free p) ~t1:10. ~dt:1e-3 y0 in
+  Alcotest.(check bool) "energy strictly decreases" true
+    (Plant.Pendulum.energy p y < e0)
+
+let test_pendulum_linearization_signs () =
+  let p = Plant.Pendulum.default in
+  let hanging = Plant.Pendulum.linearized p ~upright:false in
+  let upright = Plant.Pendulum.linearized p ~upright:true in
+  Alcotest.(check bool) "hanging is stable (negative stiffness term)" true
+    (hanging.(1).(0) < 0.);
+  Alcotest.(check bool) "upright is unstable (positive stiffness term)" true
+    (upright.(1).(0) > 0.)
+
+let test_pendulum_validation () =
+  Alcotest.(check bool) "zero mass rejected" true
+    (try ignore (Plant.Pendulum.create ~mass:0. ()); false
+     with Invalid_argument _ -> true)
+
+(* ---- thermal ---- *)
+
+let test_thermal_analytic_match () =
+  let p = Plant.Thermal.default in
+  let sys = Plant.Thermal.system_const p ~duty:0.6 in
+  let y = rk4 sys ~t1:3600. ~dt:1. [| 18. |] in
+  let expected = Plant.Thermal.analytic_const p ~duty:0.6 ~t0_temp:18. 3600. in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.4f ~ %.4f" y.(0) expected)
+    true
+    (Float.abs (y.(0) -. expected) < 1e-6)
+
+let test_thermal_equilibrium () =
+  let p = Plant.Thermal.default in
+  let eq = Plant.Thermal.equilibrium p ~duty:1. in
+  let y = rk4 (Plant.Thermal.system_const p ~duty:1.) ~t1:(20. *. p.Plant.Thermal.time_constant)
+      ~dt:10. [| 0. |] in
+  Alcotest.(check bool) "converges to equilibrium" true (Float.abs (y.(0) -. eq) < 0.01)
+
+let test_thermal_duty_clamped () =
+  let p = Plant.Thermal.default in
+  (* duty 5.0 behaves exactly like duty 1.0 *)
+  let a = rk4 (Plant.Thermal.system_const p ~duty:5.) ~t1:100. ~dt:1. [| 20. |] in
+  let b = rk4 (Plant.Thermal.system_const p ~duty:1.) ~t1:100. ~dt:1. [| 20. |] in
+  Alcotest.(check (float 1e-12)) "clamped" b.(0) a.(0)
+
+(* ---- dc motor ---- *)
+
+let test_motor_steady_state () =
+  let m = Plant.Dc_motor.default in
+  let omega_ss, current_ss = Plant.Dc_motor.steady_state m ~voltage:12. in
+  (* Mechanical time constant ~ J / (b + kt*ke/R) ~ 0.4 s; 5 s settles. *)
+  let y = rk4 (Plant.Dc_motor.system_const m ~voltage:12.) ~t1:5. ~dt:1e-5 [| 0.; 0. |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "omega %.2f ~ %.2f" y.(0) omega_ss)
+    true
+    (Float.abs (y.(0) -. omega_ss) < 0.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "current %.4f ~ %.4f" y.(1) current_ss)
+    true
+    (Float.abs (y.(1) -. current_ss) < 1e-2)
+
+let test_motor_load_slows () =
+  let m = Plant.Dc_motor.default in
+  let free = rk4 (Plant.Dc_motor.system_const m ~voltage:12.) ~t1:2. ~dt:1e-5 [| 0.; 0. |] in
+  let loaded =
+    rk4
+      (Plant.Dc_motor.system m ~voltage:(fun _ _ -> 12.) ~load:(fun _ _ -> 0.02) ())
+      ~t1:2. ~dt:1e-5 [| 0.; 0. |]
+  in
+  Alcotest.(check bool) "load reduces speed" true (loaded.(0) < free.(0))
+
+(* ---- water tank ---- *)
+
+let test_tank_equilibrium () =
+  let p = Plant.Water_tank.default in
+  let q = 0.02 in
+  let eq = Plant.Water_tank.equilibrium_level p ~inflow:q in
+  let y = rk4 (Plant.Water_tank.system_const p ~inflow:q) ~t1:3000. ~dt:0.5 [| 0.5 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "level %.4f ~ %.4f" y.(0) eq)
+    true
+    (Float.abs (y.(0) -. eq) < 1e-3)
+
+let test_tank_never_negative () =
+  let p = Plant.Water_tank.default in
+  let y = rk4 (Plant.Water_tank.system_const p ~inflow:0.) ~t1:5000. ~dt:0.05 [| 0.3 |] in
+  (* The square-root corner at the empty tank lets a fixed step overshoot
+     by at most one step's outflow; beyond that the derivative clamps. *)
+  Alcotest.(check bool) "level >= -1e-3 (one-step overshoot max)" true
+    (y.(0) >= -1e-3)
+
+(* ---- mass-spring ---- *)
+
+let test_mass_spring_underdamped_analytic () =
+  let p = Plant.Mass_spring.default in
+  Alcotest.(check bool) "underdamped" true (Plant.Mass_spring.damping_ratio p < 1.);
+  let y = rk4 (Plant.Mass_spring.system_free p) ~t1:3. ~dt:1e-4 [| 0.1; 0. |] in
+  let expected = Plant.Mass_spring.free_response p ~x0:0.1 ~v0:0. 3. in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.6f ~ %.6f" y.(0) expected)
+    true
+    (Float.abs (y.(0) -. expected) < 1e-6)
+
+let test_mass_spring_overdamped_analytic () =
+  let p = Plant.Mass_spring.create ~damping:20. () in
+  Alcotest.(check bool) "overdamped" true (Plant.Mass_spring.damping_ratio p > 1.);
+  let y = rk4 (Plant.Mass_spring.system_free p) ~t1:2. ~dt:1e-4 [| 0.1; 0. |] in
+  let expected = Plant.Mass_spring.free_response p ~x0:0.1 ~v0:0. 2. in
+  Alcotest.(check bool) "matches closed form" true (Float.abs (y.(0) -. expected) < 1e-6)
+
+let test_mass_spring_critical_analytic () =
+  let k = 40. and m = 1. in
+  let c = 2. *. sqrt (k *. m) in
+  let p = Plant.Mass_spring.create ~mass:m ~stiffness:k ~damping:c () in
+  let y = rk4 (Plant.Mass_spring.system_free p) ~t1:1. ~dt:1e-4 [| 0.1; 0.5 |] in
+  let expected = Plant.Mass_spring.free_response p ~x0:0.1 ~v0:0.5 1. in
+  Alcotest.(check bool) "critically damped closed form" true
+    (Float.abs (y.(0) -. expected) < 1e-6)
+
+(* ---- vehicle ---- *)
+
+let test_vehicle_top_speed () =
+  let v = Plant.Vehicle.default in
+  let force = 2000. in
+  let expected = Plant.Vehicle.top_speed v ~drive_force:force in
+  let y =
+    rk4 (Plant.Vehicle.system v ~drive_force:(fun _ _ -> force) ()) ~t1:600. ~dt:0.05
+      [| 0.1 |]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "speed %.2f ~ %.2f" y.(0) expected)
+    true
+    (Float.abs (y.(0) -. expected) < 0.05)
+
+let test_vehicle_force_balance () =
+  let v = Plant.Vehicle.default in
+  let speed = 30. in
+  let force = Plant.Vehicle.force_for_speed v ~speed in
+  let y =
+    rk4 (Plant.Vehicle.system v ~drive_force:(fun _ _ -> force) ()) ~t1:60. ~dt:0.05
+      [| speed |]
+  in
+  Alcotest.(check bool) "holds the speed" true (Float.abs (y.(0) -. speed) < 1e-6)
+
+let test_vehicle_hill_slows () =
+  let v = Plant.Vehicle.default in
+  let force = Plant.Vehicle.force_for_speed v ~speed:30. in
+  let y =
+    rk4
+      (Plant.Vehicle.system v ~drive_force:(fun _ _ -> force)
+         ~grade:(fun _ -> 0.05) ())
+      ~t1:60. ~dt:0.05 [| 30. |]
+  in
+  Alcotest.(check bool) "uphill drops speed" true (y.(0) < 29.)
+
+let suite =
+  [ Alcotest.test_case "pendulum: small-angle analytic" `Quick test_pendulum_small_angle;
+    Alcotest.test_case "pendulum: energy conserved" `Quick test_pendulum_energy_conserved;
+    Alcotest.test_case "pendulum: damping dissipates" `Quick test_pendulum_damping_dissipates;
+    Alcotest.test_case "pendulum: linearization signs" `Quick
+      test_pendulum_linearization_signs;
+    Alcotest.test_case "pendulum: validation" `Quick test_pendulum_validation;
+    Alcotest.test_case "thermal: analytic solution" `Quick test_thermal_analytic_match;
+    Alcotest.test_case "thermal: equilibrium" `Quick test_thermal_equilibrium;
+    Alcotest.test_case "thermal: duty clamped" `Quick test_thermal_duty_clamped;
+    Alcotest.test_case "motor: steady state" `Quick test_motor_steady_state;
+    Alcotest.test_case "motor: load torque" `Quick test_motor_load_slows;
+    Alcotest.test_case "tank: Torricelli equilibrium" `Quick test_tank_equilibrium;
+    Alcotest.test_case "tank: level never negative" `Quick test_tank_never_negative;
+    Alcotest.test_case "mass-spring: underdamped" `Quick
+      test_mass_spring_underdamped_analytic;
+    Alcotest.test_case "mass-spring: overdamped" `Quick test_mass_spring_overdamped_analytic;
+    Alcotest.test_case "mass-spring: critically damped" `Quick
+      test_mass_spring_critical_analytic;
+    Alcotest.test_case "vehicle: top speed" `Quick test_vehicle_top_speed;
+    Alcotest.test_case "vehicle: force balance" `Quick test_vehicle_force_balance;
+    Alcotest.test_case "vehicle: hills" `Quick test_vehicle_hill_slows ]

@@ -1,0 +1,275 @@
+(* Real-time substrate tests: task model, RM utilization/RTA, EDF demand
+   bound, schedule simulation cross-checks, channel latency models. *)
+
+let task = Rt.Task.create
+
+let test_task_invariants () =
+  Alcotest.(check bool) "wcet > deadline rejected" true
+    (try ignore (task ~period:1. ~wcet:2. "t"); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "deadline > period rejected" true
+    (try ignore (task ~deadline:2. ~period:1. ~wcet:0.1 "t"); false
+     with Invalid_argument _ -> true);
+  let t = task ~period:10. ~wcet:2. "t" in
+  Alcotest.(check (float 1e-12)) "implicit deadline" 10. t.Rt.Task.deadline;
+  Alcotest.(check (float 1e-12)) "utilization" 0.2 (Rt.Task.utilization t)
+
+let test_ll_bound () =
+  Alcotest.(check (float 1e-12)) "n=1" 1. (Rt.Rm.utilization_bound 1);
+  Alcotest.(check (float 1e-4)) "n=2" 0.8284 (Rt.Rm.utilization_bound 2);
+  Alcotest.(check bool) "monotone decreasing to ln 2" true
+    (Rt.Rm.utilization_bound 100 > 0.693
+     && Rt.Rm.utilization_bound 100 < Rt.Rm.utilization_bound 2)
+
+let test_rm_priorities () =
+  let fast = task ~period:1. ~wcet:0.1 "fast" in
+  let slow = task ~period:10. ~wcet:1. "slow" in
+  match Rt.Rm.priorities [ slow; fast ] with
+  | [ (a, 0); (b, 1) ] ->
+    Alcotest.(check string) "fast is highest" "fast" a.Rt.Task.name;
+    Alcotest.(check string) "slow is lowest" "slow" b.Rt.Task.name
+  | _ -> Alcotest.fail "two priorities"
+
+let test_rta_classic () =
+  (* Classic example: T=(7,2), (12,3), (20,5): all schedulable under RM;
+     fixed-point response times 2, 5, 12. *)
+  let t1 = task ~period:7. ~wcet:2. "t1" in
+  let t2 = task ~period:12. ~wcet:3. "t2" in
+  let t3 = task ~period:20. ~wcet:5. "t3" in
+  let tasks = [ t1; t2; t3 ] in
+  let r name t =
+    match Rt.Rm.response_time tasks t with
+    | Some r -> r
+    | None -> Alcotest.fail (name ^ " should be schedulable")
+  in
+  Alcotest.(check (float 1e-9)) "R1" 2. (r "t1" t1);
+  Alcotest.(check (float 1e-9)) "R2" 5. (r "t2" t2);
+  Alcotest.(check (float 1e-9)) "R3" 12. (r "t3" t3);
+  Alcotest.(check bool) "set schedulable" true (Rt.Rm.schedulable tasks)
+
+let test_rta_unschedulable () =
+  let tasks =
+    [ task ~period:2. ~wcet:1. "a";
+      task ~period:3. ~wcet:1.5 "b" ]  (* U = 1.0, RM misses *)
+  in
+  Alcotest.(check bool) "b misses under RM" false (Rt.Rm.schedulable tasks)
+
+let test_utilization_test_bands () =
+  let sched = [ task ~period:10. ~wcet:1. "a" ] in
+  Alcotest.(check bool) "trivial set" true
+    (Rt.Rm.utilization_test sched = Rt.Rm.Schedulable);
+  let over =
+    [ task ~period:1. ~wcet:0.7 "a"; task ~period:2. ~wcet:0.9 "b" ]
+  in
+  Alcotest.(check bool) "over 1.0" true (Rt.Rm.utilization_test over = Rt.Rm.Overloaded)
+
+let test_breakdown () =
+  let tasks = [ task ~period:10. ~wcet:1. "a"; task ~period:20. ~wcet:2. "b" ] in
+  let k = Rt.Rm.breakdown_utilization tasks in
+  Alcotest.(check bool) (Printf.sprintf "breakdown %.2f > 1" k) true (k > 1.);
+  (* At the breakdown factor the set is still schedulable. *)
+  let scaled =
+    List.map (fun t -> { t with Rt.Task.wcet = t.Rt.Task.wcet *. k }) tasks
+  in
+  Alcotest.(check bool) "still schedulable at k" true (Rt.Rm.schedulable scaled)
+
+let test_edf_utilization () =
+  (* Non-harmonic U = 1.0 with implicit deadlines: EDF yes, RM no. *)
+  let tasks = [ task ~period:2. ~wcet:1. "a"; task ~period:3. ~wcet:1.5 "b" ] in
+  Alcotest.(check bool) "EDF schedulable at U=1" true (Rt.Edf.schedulable tasks);
+  Alcotest.(check bool) "RM not" false (Rt.Rm.schedulable tasks)
+
+let test_edf_demand_bound () =
+  let tasks = [ task ~period:4. ~wcet:1. "a"; task ~period:6. ~wcet:2. "b" ] in
+  (* dbf(6) = floor((6-4)/4 +1)*1 + floor((6-6)/6 +1)*2 = 2*1? no:
+     jobs of a with deadline <= 6: released at 0,4 -> deadlines 4,8: only 1.
+     dbf(6) = 1 + 2 = 3. *)
+  Alcotest.(check (float 1e-9)) "dbf(6)" 3. (Rt.Edf.demand_bound tasks 6.);
+  Alcotest.(check (float 1e-9)) "dbf(12)" (3. +. 4.) (Rt.Edf.demand_bound tasks 12.)
+
+let test_edf_constrained_deadlines () =
+  (* Constrained deadlines where EDF fails despite U < 1. *)
+  let tasks =
+    [ task ~deadline:1. ~period:4. ~wcet:1. "a";
+      task ~deadline:1.5 ~period:4. ~wcet:1. "b" ]
+  in
+  Alcotest.(check bool) "demand criterion rejects" false (Rt.Edf.schedulable tasks)
+
+let test_sim_matches_rta () =
+  let tasks =
+    [ task ~period:7. ~wcet:2. "t1";
+      task ~period:12. ~wcet:3. "t2";
+      task ~period:20. ~wcet:5. "t3" ]
+  in
+  let result = Rt.Sched_sim.simulate Rt.Sched_sim.Fixed_priority tasks ~horizon:420. in
+  Alcotest.(check int) "no misses (RTA says schedulable)" 0
+    (Rt.Sched_sim.miss_count result);
+  let u = Rt.Sched_sim.utilization_observed result in
+  let expected = Rt.Task.total_utilization tasks in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed utilization %.3f ~ %.3f" u expected)
+    true
+    (Float.abs (u -. expected) < 0.02)
+
+let test_sim_detects_overload_misses () =
+  let tasks = [ task ~period:2. ~wcet:1. "a"; task ~period:3. ~wcet:1.5 "b" ] in
+  let rm = Rt.Sched_sim.simulate Rt.Sched_sim.Fixed_priority tasks ~horizon:60. in
+  Alcotest.(check bool) "RM sim misses" true (Rt.Sched_sim.miss_count rm > 0);
+  let edf = Rt.Sched_sim.simulate Rt.Sched_sim.Edf tasks ~horizon:60. in
+  Alcotest.(check int) "EDF sim meets (U = 1)" 0 (Rt.Sched_sim.miss_count edf)
+
+let test_sim_preemption () =
+  (* Low-priority long job is preempted by the fast task: its segments
+     are split. *)
+  let tasks = [ task ~period:2. ~wcet:0.5 "fast"; task ~period:10. ~wcet:3. "slow" ] in
+  let result = Rt.Sched_sim.simulate Rt.Sched_sim.Fixed_priority tasks ~horizon:10. in
+  let slow_segments =
+    List.filter (fun s -> String.equal s.Rt.Sched_sim.task "slow") result.Rt.Sched_sim.segments
+  in
+  Alcotest.(check bool) "slow job split into several segments" true
+    (List.length slow_segments > 1);
+  Alcotest.(check int) "no misses" 0 (Rt.Sched_sim.miss_count result)
+
+let test_channel_models () =
+  let rng = Des.Rng.create 11 in
+  Alcotest.(check (float 0.)) "immediate" 0. (Rt.Channel.sample Rt.Channel.Immediate rng);
+  Alcotest.(check (float 0.)) "constant" 0.5
+    (Rt.Channel.sample (Rt.Channel.Constant 0.5) rng);
+  let u = Rt.Channel.sample (Rt.Channel.Uniform (0.1, 0.2)) rng in
+  Alcotest.(check bool) "uniform in range" true (u >= 0.1 && u < 0.2);
+  let g = Rt.Channel.sample (Rt.Channel.Gaussian { mu = -1.; sigma = 0.1 }) rng in
+  Alcotest.(check bool) "gaussian clamped at 0" true (g >= 0.)
+
+let test_channel_delivery () =
+  let e = Des.Engine.create () in
+  let ch = Rt.Channel.create e ~model:(Rt.Channel.Constant 0.25) "c" in
+  let delivered_at = ref (-1.) in
+  Des.Mailbox.set_listener (Rt.Channel.mailbox ch)
+    (fun _ -> delivered_at := Des.Engine.now e);
+  Rt.Channel.send ch "msg";
+  ignore (Des.Engine.run_until e 1.);
+  Alcotest.(check (float 1e-12)) "arrives after model latency" 0.25 !delivered_at;
+  Alcotest.(check (option (float 1e-12))) "mean latency" (Some 0.25)
+    (Rt.Channel.mean_latency ch)
+
+(* qcheck: simulated RM schedule of a random harmonic task set with
+   U <= ln 2 never misses (harmonic + under LL bound => schedulable). *)
+let prop_low_utilization_schedulable =
+  QCheck.Test.make ~count:50 ~name:"U<=0.69 harmonic sets never miss under RM"
+    QCheck.(pair (int_range 1 4) (int_range 1 9))
+    (fun (n, wpct) ->
+       let tasks =
+         List.init n (fun i ->
+             let period = 2. ** float_of_int i in
+             let wcet = period *. (float_of_int wpct /. 100.) in
+             task ~period ~wcet (Printf.sprintf "t%d" i))
+       in
+       QCheck.assume (Rt.Task.total_utilization tasks <= 0.69);
+       let sim = Rt.Sched_sim.simulate Rt.Sched_sim.Fixed_priority tasks ~horizon:64. in
+       Rt.Sched_sim.miss_count sim = 0 && Rt.Rm.schedulable tasks)
+
+let suite =
+  [ Alcotest.test_case "task invariants" `Quick test_task_invariants;
+    Alcotest.test_case "Liu-Layland bound" `Quick test_ll_bound;
+    Alcotest.test_case "RM priority assignment" `Quick test_rm_priorities;
+    Alcotest.test_case "response-time analysis (classic set)" `Quick test_rta_classic;
+    Alcotest.test_case "RTA detects unschedulable" `Quick test_rta_unschedulable;
+    Alcotest.test_case "utilization test bands" `Quick test_utilization_test_bands;
+    Alcotest.test_case "breakdown utilization" `Quick test_breakdown;
+    Alcotest.test_case "EDF at U=1 vs RM" `Quick test_edf_utilization;
+    Alcotest.test_case "EDF demand bound" `Quick test_edf_demand_bound;
+    Alcotest.test_case "EDF constrained deadlines" `Quick test_edf_constrained_deadlines;
+    Alcotest.test_case "simulation agrees with RTA" `Quick test_sim_matches_rta;
+    Alcotest.test_case "simulation finds overload misses" `Quick
+      test_sim_detects_overload_misses;
+    Alcotest.test_case "simulation preempts" `Quick test_sim_preemption;
+    Alcotest.test_case "channel latency models" `Quick test_channel_models;
+    Alcotest.test_case "channel delivery timing" `Quick test_channel_delivery;
+    QCheck_alcotest.to_alcotest prop_low_utilization_schedulable ]
+
+(* ---- workload generation ---- *)
+
+let test_uunifast_sums () =
+  let rng = Des.Rng.create 3 in
+  List.iter
+    (fun u ->
+       let us = Rt.Workload.uunifast rng ~n:8 ~total_utilization:u in
+       Alcotest.(check int) "eight tasks" 8 (List.length us);
+       let sum = List.fold_left ( +. ) 0. us in
+       Alcotest.(check bool)
+         (Printf.sprintf "sums to %.2f (got %.6f)" u sum)
+         true
+         (Float.abs (sum -. u) < 1e-9);
+       List.iter
+         (fun x -> Alcotest.(check bool) "positive share" true (x > 0.))
+         us)
+    [ 0.3; 0.7; 0.95 ]
+
+let test_random_task_set_valid () =
+  let rng = Des.Rng.create 9 in
+  let tasks =
+    Rt.Workload.random_task_set rng ~n:10 ~total_utilization:0.8
+      ~constrained_deadlines:true ()
+  in
+  Alcotest.(check int) "ten tasks" 10 (List.length tasks);
+  List.iter
+    (fun t ->
+       let open Rt.Task in
+       Alcotest.(check bool) "wcet <= deadline <= period" true
+         (t.wcet <= t.deadline && t.deadline <= t.period);
+       Alcotest.(check bool) "period in range" true
+         (t.period >= 0.001 && t.period <= 1.0))
+    tasks;
+  Alcotest.(check bool) "total utilization ~ 0.8" true
+    (Float.abs (Rt.Task.total_utilization tasks -. 0.8) < 1e-6)
+
+let test_workload_deterministic () =
+  let a = Rt.Workload.uunifast (Des.Rng.create 5) ~n:4 ~total_utilization:0.5 in
+  let b = Rt.Workload.uunifast (Des.Rng.create 5) ~n:4 ~total_utilization:0.5 in
+  Alcotest.(check (list (float 0.))) "same seed same set" a b
+
+let test_acceptance_ratio_monotone () =
+  (* RM acceptance must (weakly) decrease as utilization grows. *)
+  let ratio u =
+    Rt.Workload.acceptance_ratio (Des.Rng.create 1) ~n:5 ~total_utilization:u
+      ~sets:60 ~test:Rt.Rm.schedulable
+  in
+  let low = ratio 0.5 in
+  let high = ratio 0.95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio(0.5)=%.2f >= ratio(0.95)=%.2f" low high)
+    true (low >= high);
+  Alcotest.(check bool) "low utilization mostly accepted" true (low > 0.8)
+
+let workload_suite =
+  [ Alcotest.test_case "workload: uunifast sums" `Quick test_uunifast_sums;
+    Alcotest.test_case "workload: valid task sets" `Quick test_random_task_set_valid;
+    Alcotest.test_case "workload: deterministic" `Quick test_workload_deterministic;
+    Alcotest.test_case "workload: acceptance monotone" `Quick
+      test_acceptance_ratio_monotone ]
+
+let suite = suite @ workload_suite
+
+let test_channel_drops () =
+  let e = Des.Engine.create () in
+  let ch = Rt.Channel.create e ~drop_probability:0.5 ~seed:7 "lossy" in
+  for _ = 1 to 1000 do
+    Rt.Channel.send ch ()
+  done;
+  ignore (Des.Engine.run_until e 1.);
+  let dropped = Rt.Channel.dropped ch in
+  Alcotest.(check bool)
+    (Printf.sprintf "~half dropped (%d/1000)" dropped)
+    true
+    (dropped > 400 && dropped < 600);
+  Alcotest.(check int) "delivered = sent - dropped"
+    (1000 - dropped)
+    (Des.Mailbox.delivered_total (Rt.Channel.mailbox ch));
+  Alcotest.(check bool) "p = 1 rejected" true
+    (try ignore (Rt.Channel.create e ~drop_probability:1. "bad"); false
+     with Invalid_argument _ -> true)
+
+let drop_suite =
+  [ Alcotest.test_case "channel: drop probability" `Quick test_channel_drops ]
+
+let suite = suite @ drop_suite

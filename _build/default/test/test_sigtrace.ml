@@ -1,0 +1,214 @@
+(* Trace and metrics tests. *)
+
+let mk samples =
+  let tr = Sigtrace.Trace.create ~name:"t" () in
+  List.iter (fun (t, v) -> Sigtrace.Trace.record tr t v) samples;
+  tr
+
+let test_record_and_interpolate () =
+  let tr = mk [ (0., 0.); (1., 10.); (2., 20.) ] in
+  Alcotest.(check (option (float 1e-9))) "between samples" (Some 5.)
+    (Sigtrace.Trace.value_at tr 0.5);
+  Alcotest.(check (option (float 1e-9))) "on a sample" (Some 10.)
+    (Sigtrace.Trace.value_at tr 1.);
+  Alcotest.(check (option (float 1e-9))) "outside span" None
+    (Sigtrace.Trace.value_at tr 3.)
+
+let test_time_monotonicity_enforced () =
+  let tr = mk [ (1., 1.) ] in
+  Alcotest.(check bool) "backwards time rejected" true
+    (try Sigtrace.Trace.record tr 0.5 2.; false with Invalid_argument _ -> true)
+
+let test_stats () =
+  let tr = mk [ (0., 1.); (1., 3.); (2., 2.) ] in
+  Alcotest.(check (option (float 1e-9))) "min" (Some 1.) (Sigtrace.Trace.minimum tr);
+  Alcotest.(check (option (float 1e-9))) "max" (Some 3.) (Sigtrace.Trace.maximum tr);
+  (* trapezoidal mean: areas (1+3)/2 + (3+2)/2 = 2 + 2.5 over span 2 -> 2.25 *)
+  Alcotest.(check (option (float 1e-9))) "time-weighted mean" (Some 2.25)
+    (Sigtrace.Trace.mean tr)
+
+let test_resample () =
+  let tr = mk [ (0., 0.); (2., 4.) ] in
+  let r = Sigtrace.Trace.resample tr ~dt:0.5 in
+  Alcotest.(check int) "5 samples" 5 (Sigtrace.Trace.length r);
+  Alcotest.(check (option (float 1e-9))) "interpolated" (Some 1.)
+    (Sigtrace.Trace.value_at r 0.5)
+
+let test_csv () =
+  let tr = mk [ (0., 1.5) ] in
+  Alcotest.(check string) "csv format" "time,value\n0,1.5\n" (Sigtrace.Trace.to_csv tr)
+
+let test_rmse_and_maxerr () =
+  let reference = mk [ (0., 0.); (1., 1.); (2., 2.) ] in
+  let measured = mk [ (0., 0.1); (1., 1.1); (2., 1.9) ] in
+  (match Sigtrace.Metrics.rmse ~reference measured with
+   | Some r -> Alcotest.(check bool) (Printf.sprintf "rmse %.4f ~ 0.1" r) true
+                 (Float.abs (r -. 0.1) < 1e-9)
+   | None -> Alcotest.fail "overlapping traces");
+  Alcotest.(check (option (float 1e-9))) "max error" (Some 0.1)
+    (Sigtrace.Metrics.max_abs_error ~reference measured)
+
+let test_rmse_no_overlap () =
+  let reference = mk [ (0., 0.); (1., 1.) ] in
+  let late = mk [ (5., 0.); (6., 1.) ] in
+  Alcotest.(check (option (float 0.))) "no overlap" None
+    (Sigtrace.Metrics.rmse ~reference late)
+
+let test_overshoot () =
+  let tr = mk [ (0., 0.); (1., 1.3); (2., 1.); (3., 1.) ] in
+  (match Sigtrace.Metrics.overshoot ~setpoint:1. tr with
+   | Some o -> Alcotest.(check (float 1e-9)) "30% overshoot" 0.3 o
+   | None -> Alcotest.fail "defined");
+  let no = mk [ (0., 0.); (1., 0.9) ] in
+  Alcotest.(check (option (float 1e-9))) "no overshoot is 0" (Some 0.)
+    (Sigtrace.Metrics.overshoot ~setpoint:1. no)
+
+let test_settling_time () =
+  (* Within 5% of 1.0 from t=2 onwards. *)
+  let tr = mk [ (0., 0.); (1., 1.2); (2., 1.02); (3., 1.01); (4., 1.0) ] in
+  match Sigtrace.Metrics.settling_time ~setpoint:1. ~band:0.05 tr with
+  | Some t -> Alcotest.(check (float 1e-9)) "settles at 2" 2. t
+  | None -> Alcotest.fail "settles"
+
+let test_never_settles () =
+  let tr = mk [ (0., 0.); (1., 2.); (2., 0.); (3., 2.) ] in
+  Alcotest.(check (option (float 0.))) "oscillation never settles" None
+    (Sigtrace.Metrics.settling_time ~setpoint:1. ~band:0.05 tr)
+
+let test_summary () =
+  match Sigtrace.Metrics.summarize [ 3.; 1.; 2.; 5.; 4. ] with
+  | Some s ->
+    Alcotest.(check int) "count" 5 s.Sigtrace.Metrics.count;
+    Alcotest.(check (float 1e-9)) "mean" 3. s.Sigtrace.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "p50" 3. s.Sigtrace.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "max" 5. s.Sigtrace.Metrics.max;
+    Alcotest.(check (float 1e-9)) "p95 (nearest rank)" 5. s.Sigtrace.Metrics.p95
+  | None -> Alcotest.fail "non-empty"
+
+let test_summary_empty () =
+  Alcotest.(check bool) "empty list" true (Sigtrace.Metrics.summarize [] = None)
+
+(* qcheck: value_at inside the span always lies between the trace's min
+   and max (linear interpolation cannot overshoot). *)
+let prop_interpolation_bounded =
+  QCheck.Test.make ~count:200 ~name:"interpolation stays within [min,max]"
+    QCheck.(list_of_size Gen.(int_range 2 20) (float_bound_exclusive 100.))
+    (fun values ->
+       let tr = Sigtrace.Trace.create () in
+       List.iteri (fun i v -> Sigtrace.Trace.record tr (float_of_int i) v) values;
+       match (Sigtrace.Trace.minimum tr, Sigtrace.Trace.maximum tr) with
+       | Some lo, Some hi ->
+         List.for_all
+           (fun k ->
+              let time = float_of_int (List.length values - 1) *. k /. 10. in
+              match Sigtrace.Trace.value_at tr time with
+              | Some v -> v >= lo -. 1e-9 && v <= hi +. 1e-9
+              | None -> false)
+           (List.init 11 float_of_int)
+       | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "record + interpolate" `Quick test_record_and_interpolate;
+    Alcotest.test_case "monotone time enforced" `Quick test_time_monotonicity_enforced;
+    Alcotest.test_case "min/max/mean" `Quick test_stats;
+    Alcotest.test_case "resample" `Quick test_resample;
+    Alcotest.test_case "csv export" `Quick test_csv;
+    Alcotest.test_case "rmse + max error" `Quick test_rmse_and_maxerr;
+    Alcotest.test_case "rmse without overlap" `Quick test_rmse_no_overlap;
+    Alcotest.test_case "overshoot" `Quick test_overshoot;
+    Alcotest.test_case "settling time" `Quick test_settling_time;
+    Alcotest.test_case "never settles" `Quick test_never_settles;
+    Alcotest.test_case "latency summary" `Quick test_summary;
+    Alcotest.test_case "summary of empty" `Quick test_summary_empty;
+    QCheck_alcotest.to_alcotest prop_interpolation_bounded ]
+
+(* ---- STL monitor ---- *)
+
+let sine_trace () =
+  let tr = Sigtrace.Trace.create ~name:"sine" () in
+  for i = 0 to 1000 do
+    let t = float_of_int i /. 100. in
+    Sigtrace.Trace.record tr t (sin t)
+  done;
+  tr
+
+let test_stl_always_bound () =
+  let tr = sine_trace () in
+  let ok, r = Sigtrace.Stl.check (Sigtrace.Stl.Always (0., 10., Sigtrace.Stl.le "x" 1.)) tr in
+  Alcotest.(check bool) "sine <= 1 always" true ok;
+  Alcotest.(check bool) "tight margin" true (r >= 0. && r < 0.01);
+  let bad, rbad =
+    Sigtrace.Stl.check (Sigtrace.Stl.Always (0., 10., Sigtrace.Stl.le "x" 0.5)) tr
+  in
+  Alcotest.(check bool) "sine <= 0.5 fails" false bad;
+  Alcotest.(check bool) "robustness ~ -0.5" true (Float.abs (rbad +. 0.5) < 0.01)
+
+let test_stl_eventually () =
+  let tr = sine_trace () in
+  let ok, _ =
+    Sigtrace.Stl.check (Sigtrace.Stl.Eventually (0., 2., Sigtrace.Stl.ge "x" 0.99)) tr
+  in
+  Alcotest.(check bool) "reaches ~1 within 2s" true ok;
+  let too_soon, _ =
+    Sigtrace.Stl.check (Sigtrace.Stl.Eventually (0., 0.5, Sigtrace.Stl.ge "x" 0.99)) tr
+  in
+  Alcotest.(check bool) "not within 0.5s" false too_soon
+
+let test_stl_response_property () =
+  (* Settling requirement on a first-order step response:
+     always (eventually within 5, |x - 1| <= 0.05). *)
+  let tr = Sigtrace.Trace.create () in
+  for i = 0 to 1000 do
+    let t = float_of_int i /. 100. in
+    Sigtrace.Trace.record tr t (1. -. exp (-.t))
+  done;
+  let settle =
+    Sigtrace.Stl.Eventually (0., 5., Sigtrace.Stl.within "x" ~center:1. ~tolerance:0.05)
+  in
+  let ok, _ = Sigtrace.Stl.check (Sigtrace.Stl.Always (0., 4., settle)) tr in
+  Alcotest.(check bool) "settles from any start point" true ok
+
+let test_stl_first_violation () =
+  let tr = Sigtrace.Trace.create () in
+  List.iter (fun (t, v) -> Sigtrace.Trace.record tr t v)
+    [ (0., 0.); (1., 0.); (2., 2.); (3., 0.) ];
+  match Sigtrace.Stl.first_violation (Sigtrace.Stl.le "x" 1.) tr with
+  | Some t -> Alcotest.(check (float 1e-9)) "violated at t=2" 2. t
+  | None -> Alcotest.fail "violation exists"
+
+let test_stl_empty_window () =
+  let tr = sine_trace () in
+  let ok, r =
+    Sigtrace.Stl.check (Sigtrace.Stl.Always (20., 30., Sigtrace.Stl.le "x" 1.)) tr
+  in
+  Alcotest.(check bool) "window beyond trace is a violation" false ok;
+  Alcotest.(check bool) "neg infinity" true (r = neg_infinity)
+
+(* qcheck: De Morgan-ish semantics — robustness of Not f is the negation,
+   And is the min, at every sample of a random trace. *)
+let prop_stl_semantics =
+  QCheck.Test.make ~count:100 ~name:"STL robustness algebra (not/and)"
+    QCheck.(list_of_size Gen.(int_range 2 20) (float_range (-2.) 2.))
+    (fun values ->
+       let tr = Sigtrace.Trace.create () in
+       List.iteri (fun i v -> Sigtrace.Trace.record tr (float_of_int i) v) values;
+       let f = Sigtrace.Stl.le "x" 0.5 in
+       let g = Sigtrace.Stl.ge "x" (-0.5) in
+       List.for_all
+         (fun (t, _) ->
+            let rf = Sigtrace.Stl.robustness f tr t in
+            let rg = Sigtrace.Stl.robustness g tr t in
+            let rnot = Sigtrace.Stl.robustness (Sigtrace.Stl.Not f) tr t in
+            let rand_ = Sigtrace.Stl.robustness (Sigtrace.Stl.And (f, g)) tr t in
+            Float.equal rnot (-.rf) && Float.equal rand_ (Float.min rf rg))
+         (Sigtrace.Trace.samples tr))
+
+let stl_suite =
+  [ Alcotest.test_case "stl: always bound" `Quick test_stl_always_bound;
+    Alcotest.test_case "stl: eventually" `Quick test_stl_eventually;
+    Alcotest.test_case "stl: settling response" `Quick test_stl_response_property;
+    Alcotest.test_case "stl: first violation" `Quick test_stl_first_violation;
+    Alcotest.test_case "stl: empty window" `Quick test_stl_empty_window;
+    QCheck_alcotest.to_alcotest prop_stl_semantics ]
+
+let suite = suite @ stl_suite

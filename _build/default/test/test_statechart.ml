@@ -1,0 +1,322 @@
+(* Hierarchical state machine tests: run-to-completion, LCA-based
+   transitions, entry/exit ordering, internal transitions, guards,
+   history, validation. *)
+
+type log_ctx = { mutable log : string list }
+
+let log ctx entry = ctx.log <- entry :: ctx.log
+let log_of ctx = List.rev ctx.log
+
+let event = Statechart.Event.make
+
+(* A machine with a composite state to exercise hierarchy:
+   Off, On{Low, High} with transitions between everything. *)
+let lamp ?(history = false) () =
+  let m = Statechart.Machine.create "lamp" in
+  Statechart.Machine.add_state m "Off"
+    ~entry:(fun c -> log c "enter:Off") ~exit:(fun c -> log c "exit:Off");
+  Statechart.Machine.add_state m "On" ~history
+    ~entry:(fun c -> log c "enter:On") ~exit:(fun c -> log c "exit:On");
+  Statechart.Machine.add_state m "Low" ~parent:"On"
+    ~entry:(fun c -> log c "enter:Low") ~exit:(fun c -> log c "exit:Low");
+  Statechart.Machine.add_state m "High" ~parent:"On"
+    ~entry:(fun c -> log c "enter:High") ~exit:(fun c -> log c "exit:High");
+  Statechart.Machine.set_initial m "Off";
+  Statechart.Machine.set_initial m ~of_:"On" "Low";
+  Statechart.Machine.add_transition m ~src:"Off" ~dst:"On" ~trigger:"power" ();
+  Statechart.Machine.add_transition m ~src:"On" ~dst:"Off" ~trigger:"power" ();
+  Statechart.Machine.add_transition m ~src:"Low" ~dst:"High" ~trigger:"brighter" ();
+  Statechart.Machine.add_transition m ~src:"High" ~dst:"Low" ~trigger:"dimmer" ();
+  m
+
+let start machine = Statechart.Instance.start machine { log = [] }
+
+let test_initial_configuration () =
+  let i = start (lamp ()) in
+  Alcotest.(check (list string)) "starts in Off" [ "Off" ]
+    (Statechart.Instance.configuration i);
+  Alcotest.(check (list string)) "entry ran" [ "enter:Off" ]
+    (log_of (Statechart.Instance.context i))
+
+let test_enters_initial_child () =
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  Alcotest.(check (list string)) "On/Low" [ "On"; "Low" ]
+    (Statechart.Instance.configuration i);
+  Alcotest.(check bool) "is_in composite" true (Statechart.Instance.is_in i "On")
+
+let test_entry_exit_order () =
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  Alcotest.(check (list string)) "exit then enter, outermost-in"
+    [ "enter:Off"; "exit:Off"; "enter:On"; "enter:Low" ]
+    (log_of (Statechart.Instance.context i))
+
+let test_composite_exit_order () =
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  (Statechart.Instance.context i).log <- [];
+  ignore (Statechart.Instance.handle i (event "power"));
+  Alcotest.(check (list string)) "innermost exits first"
+    [ "exit:Low"; "exit:On"; "enter:Off" ]
+    (log_of (Statechart.Instance.context i))
+
+let test_inner_transition_does_not_exit_composite () =
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  (Statechart.Instance.context i).log <- [];
+  ignore (Statechart.Instance.handle i (event "brighter"));
+  Alcotest.(check (list string)) "composite not exited"
+    [ "exit:Low"; "enter:High" ]
+    (log_of (Statechart.Instance.context i))
+
+let test_composite_handles_for_child () =
+  (* "power" is defined on On; while in On/High it must still fire. *)
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  ignore (Statechart.Instance.handle i (event "brighter"));
+  Alcotest.(check bool) "in High" true (Statechart.Instance.is_in i "High");
+  Alcotest.(check bool) "power handled from child" true
+    (Statechart.Instance.handle i (event "power"));
+  Alcotest.(check (list string)) "back to Off" [ "Off" ]
+    (Statechart.Instance.configuration i)
+
+let test_unhandled_event_dropped () =
+  let i = start (lamp ()) in
+  Alcotest.(check bool) "dimmer not handled in Off" false
+    (Statechart.Instance.handle i (event "dimmer"));
+  Alcotest.(check int) "dropped counted" 1 (Statechart.Instance.events_dropped i)
+
+let test_history_restores_substate () =
+  let i = start (lamp ~history:true ()) in
+  ignore (Statechart.Instance.handle i (event "power"));     (* On/Low *)
+  ignore (Statechart.Instance.handle i (event "brighter")); (* On/High *)
+  ignore (Statechart.Instance.handle i (event "power"));     (* Off, records High *)
+  ignore (Statechart.Instance.handle i (event "power"));     (* On + history *)
+  Alcotest.(check (list string)) "history restored High" [ "On"; "High" ]
+    (Statechart.Instance.configuration i)
+
+let test_no_history_reenters_initial () =
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  ignore (Statechart.Instance.handle i (event "brighter"));
+  ignore (Statechart.Instance.handle i (event "power"));
+  ignore (Statechart.Instance.handle i (event "power"));
+  Alcotest.(check (list string)) "initial child again" [ "On"; "Low" ]
+    (Statechart.Instance.configuration i)
+
+let test_guards () =
+  let m = Statechart.Machine.create "guarded" in
+  Statechart.Machine.add_state m "A";
+  Statechart.Machine.add_state m "B";
+  Statechart.Machine.add_state m "C";
+  Statechart.Machine.set_initial m "A";
+  (* Two transitions on the same trigger; the guard picks by payload. *)
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"B" ~trigger:"go"
+    ~guard:(fun _ e ->
+        match Statechart.Event.float_payload e with
+        | Some v -> v > 0.
+        | None -> false)
+    ();
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"C" ~trigger:"go" ();
+  let i = Statechart.Instance.start m { log = [] } in
+  ignore
+    (Statechart.Instance.handle i
+       (Statechart.Event.make ~value:(Dataflow.Value.Float (-1.)) "go"));
+  Alcotest.(check (list string)) "guard false -> second transition" [ "C" ]
+    (Statechart.Instance.configuration i)
+
+let test_guard_priority_order () =
+  let m = Statechart.Machine.create "prio" in
+  Statechart.Machine.add_state m "A";
+  Statechart.Machine.add_state m "B";
+  Statechart.Machine.add_state m "C";
+  Statechart.Machine.set_initial m "A";
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"B" ~trigger:"go" ();
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"C" ~trigger:"go" ();
+  let i = Statechart.Instance.start m { log = [] } in
+  ignore (Statechart.Instance.handle i (event "go"));
+  Alcotest.(check (list string)) "declaration order wins" [ "B" ]
+    (Statechart.Instance.configuration i)
+
+let test_internal_transition () =
+  let m = Statechart.Machine.create "internal" in
+  Statechart.Machine.add_state m "A"
+    ~entry:(fun c -> log c "enter:A") ~exit:(fun c -> log c "exit:A");
+  Statechart.Machine.set_initial m "A";
+  Statechart.Machine.add_internal m ~state:"A" ~trigger:"poke"
+    (fun c _ -> log c "action");
+  let i = Statechart.Instance.start m { log = [] } in
+  ignore (Statechart.Instance.handle i (event "poke"));
+  Alcotest.(check (list string)) "no exit/entry around internal action"
+    [ "enter:A"; "action" ]
+    (log_of (Statechart.Instance.context i))
+
+let test_self_transition_external () =
+  let m = Statechart.Machine.create "self" in
+  Statechart.Machine.add_state m "A"
+    ~entry:(fun c -> log c "enter") ~exit:(fun c -> log c "exit");
+  Statechart.Machine.set_initial m "A";
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"A" ~trigger:"reset" ();
+  let i = Statechart.Instance.start m { log = [] } in
+  (Statechart.Instance.context i).log <- [];
+  ignore (Statechart.Instance.handle i (event "reset"));
+  Alcotest.(check (list string)) "self-transition exits and re-enters"
+    [ "exit"; "enter" ]
+    (log_of (Statechart.Instance.context i))
+
+let test_transition_action_sees_payload () =
+  let m = Statechart.Machine.create "payload" in
+  Statechart.Machine.add_state m "A";
+  Statechart.Machine.add_state m "B";
+  Statechart.Machine.set_initial m "A";
+  let seen = ref nan in
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"B" ~trigger:"go"
+    ~action:(fun _ e ->
+        match Statechart.Event.float_payload e with
+        | Some v -> seen := v
+        | None -> ())
+    ();
+  let i = Statechart.Instance.start m { log = [] } in
+  ignore
+    (Statechart.Instance.handle i
+       (Statechart.Event.make ~value:(Dataflow.Value.Float 42.) "go"));
+  Alcotest.(check (float 0.)) "payload delivered" 42. !seen
+
+let test_validation_catches_errors () =
+  let m = Statechart.Machine.create "broken" in
+  Statechart.Machine.add_state m "A";
+  (* no initial *)
+  Alcotest.(check bool) "missing initial reported" true
+    (Statechart.Machine.validate m <> []);
+  Alcotest.(check bool) "start raises" true
+    (try
+       ignore (Statechart.Instance.start m { log = [] });
+       false
+     with Statechart.Instance.Invalid_machine _ -> true)
+
+let test_validation_composite_initial () =
+  let m = Statechart.Machine.create "composite" in
+  Statechart.Machine.add_state m "P";
+  Statechart.Machine.add_state m "C" ~parent:"P";
+  Statechart.Machine.set_initial m "P";
+  (* P has a child but no initial child *)
+  Alcotest.(check bool) "composite initial required" true
+    (List.exists
+       (fun e -> e = "composite state \"P\" has no initial child")
+       (Statechart.Machine.validate m))
+
+let test_counters () =
+  let i = start (lamp ()) in
+  ignore (Statechart.Instance.handle i (event "power"));
+  ignore (Statechart.Instance.handle i (event "nonsense"));
+  Alcotest.(check int) "seen" 2 (Statechart.Instance.events_seen i);
+  Alcotest.(check int) "taken" 1 (Statechart.Instance.transitions_taken i);
+  Alcotest.(check int) "dropped" 1 (Statechart.Instance.events_dropped i)
+
+(* qcheck: random event sequences never corrupt the configuration — the
+   active leaf is always a declared state and the configuration is a
+   parent chain. *)
+let prop_configuration_wellformed =
+  QCheck.Test.make ~count:200 ~name:"random events keep configuration well-formed"
+    QCheck.(list_of_size Gen.(int_range 0 50)
+              (oneofl [ "power"; "brighter"; "dimmer"; "junk" ]))
+    (fun events ->
+       let m = lamp ~history:true () in
+       let i = Statechart.Instance.start m { log = [] } in
+       List.iter (fun e -> ignore (Statechart.Instance.handle i (event e))) events;
+       let config = Statechart.Instance.configuration i in
+       let states = Statechart.Machine.state_names m in
+       config <> []
+       && List.for_all (fun s -> List.mem s states) config
+       &&
+       (* consecutive elements are parent/child pairs *)
+       let rec chain = function
+         | a :: (b :: _ as rest) ->
+           Statechart.Machine.parent m b = Some a && chain rest
+         | [ _ ] | [] -> true
+       in
+       chain config)
+
+let suite =
+  [ Alcotest.test_case "initial configuration" `Quick test_initial_configuration;
+    Alcotest.test_case "enters initial child" `Quick test_enters_initial_child;
+    Alcotest.test_case "entry/exit ordering" `Quick test_entry_exit_order;
+    Alcotest.test_case "composite exit ordering" `Quick test_composite_exit_order;
+    Alcotest.test_case "inner transition stays in composite" `Quick
+      test_inner_transition_does_not_exit_composite;
+    Alcotest.test_case "composite handles child events" `Quick
+      test_composite_handles_for_child;
+    Alcotest.test_case "unhandled events dropped" `Quick test_unhandled_event_dropped;
+    Alcotest.test_case "deep history" `Quick test_history_restores_substate;
+    Alcotest.test_case "no history -> initial child" `Quick test_no_history_reenters_initial;
+    Alcotest.test_case "guards select transitions" `Quick test_guards;
+    Alcotest.test_case "declaration order priority" `Quick test_guard_priority_order;
+    Alcotest.test_case "internal transitions" `Quick test_internal_transition;
+    Alcotest.test_case "self-transition is external" `Quick test_self_transition_external;
+    Alcotest.test_case "payload reaches actions" `Quick test_transition_action_sees_payload;
+    Alcotest.test_case "validation: missing initial" `Quick test_validation_catches_errors;
+    Alcotest.test_case "validation: composite initial" `Quick
+      test_validation_composite_initial;
+    Alcotest.test_case "event counters" `Quick test_counters;
+    QCheck_alcotest.to_alcotest prop_configuration_wellformed ]
+
+(* ---- static analysis ---- *)
+
+let test_analysis_reachability () =
+  let m = Statechart.Machine.create "a" in
+  Statechart.Machine.add_state m "A";
+  Statechart.Machine.add_state m "B";
+  Statechart.Machine.add_state m "Orphan";
+  Statechart.Machine.set_initial m "A";
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"B" ~trigger:"go" ();
+  Statechart.Machine.add_transition m ~src:"Orphan" ~dst:"A" ~trigger:"back" ();
+  let r = Statechart.Analysis.analyze m in
+  Alcotest.(check (list string)) "reachable" [ "A"; "B" ]
+    r.Statechart.Analysis.reachable;
+  Alcotest.(check (list string)) "unreachable" [ "Orphan" ]
+    r.Statechart.Analysis.unreachable;
+  Alcotest.(check (list (pair string string))) "dead transitions"
+    [ ("Orphan", "back") ] r.Statechart.Analysis.dead_transitions
+
+let test_analysis_hierarchy_reachability () =
+  (* Entering a composite reaches its initial chain; a transition from a
+     child reaches a sibling subtree. *)
+  let m = lamp () in
+  let r = Statechart.Analysis.analyze m in
+  Alcotest.(check (list string)) "all lamp states reachable"
+    [ "High"; "Low"; "Off"; "On" ] r.Statechart.Analysis.reachable
+
+let test_analysis_nondeterminism () =
+  let m = Statechart.Machine.create "n" in
+  Statechart.Machine.add_state m "A";
+  Statechart.Machine.add_state m "B";
+  Statechart.Machine.set_initial m "A";
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"B" ~trigger:"go" ();
+  Statechart.Machine.add_transition m ~src:"A" ~dst:"A" ~trigger:"go" ();
+  (* Guarded pairs are not flagged. *)
+  Statechart.Machine.add_transition m ~src:"B" ~dst:"A" ~trigger:"back"
+    ~guard:(fun _ _ -> true) ();
+  Statechart.Machine.add_transition m ~src:"B" ~dst:"B" ~trigger:"back" ();
+  let r = Statechart.Analysis.analyze m in
+  Alcotest.(check (list (pair string string))) "only unguarded pair flagged"
+    [ ("A", "go") ] r.Statechart.Analysis.nondeterministic
+
+let test_analysis_sinks () =
+  let m = Statechart.Machine.create "s" in
+  Statechart.Machine.add_state m "Run";
+  Statechart.Machine.add_state m "Done";
+  Statechart.Machine.set_initial m "Run";
+  Statechart.Machine.add_transition m ~src:"Run" ~dst:"Done" ~trigger:"finish" ();
+  let r = Statechart.Analysis.analyze m in
+  Alcotest.(check (list string)) "Done is a sink" [ "Done" ]
+    r.Statechart.Analysis.sink_states
+
+let analysis_suite =
+  [ Alcotest.test_case "analysis: reachability" `Quick test_analysis_reachability;
+    Alcotest.test_case "analysis: hierarchical reachability" `Quick
+      test_analysis_hierarchy_reachability;
+    Alcotest.test_case "analysis: nondeterminism" `Quick test_analysis_nondeterminism;
+    Alcotest.test_case "analysis: sink states" `Quick test_analysis_sinks ]
+
+let suite = suite @ analysis_suite
