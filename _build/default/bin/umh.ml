@@ -47,7 +47,15 @@ let check_cmd_run path = exit (report_check path (load_checked path))
 
 (* ---- simulate ---- *)
 
-let simulate_run path duration trace_spec csv_out verify =
+let simulate_run path duration trace_spec csv_out verify show_stats =
+  (* [--trace FILE.json] means a Chrome trace of the whole run;
+     [--trace ROLE.DPORT] keeps its original meaning (signal trace). *)
+  let chrome_out, trace_spec =
+    match trace_spec with
+    | Some spec when Filename.check_suffix spec ".json" -> (Some spec, None)
+    | other -> (None, other)
+  in
+  if chrome_out <> None then Obs.Tracer.set_enabled true;
   let checked = load_checked path in
   if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
   let { Dsl.Elaborate.engine; streamer_roles; _ } =
@@ -121,7 +129,22 @@ let simulate_run path duration trace_spec csv_out verify =
            (match Sigtrace.Trace.last_value trace with
             | Some v -> Printf.sprintf "%g" v
             | None -> "n/a"))
-    traces
+    traces;
+  (match chrome_out with
+   | Some out ->
+     Obs.Tracer.set_enabled false;
+     Obs.Export.write_file out ~metrics:Obs.Metrics.default Obs.Tracer.default;
+     let tracer = Obs.Tracer.default in
+     Printf.printf
+       "  chrome trace -> %s (%d events, %d dropped, categories: %s)\n  \
+        open it at https://ui.perfetto.dev or chrome://tracing\n"
+       out (Obs.Tracer.length tracer) (Obs.Tracer.dropped tracer)
+       (String.concat ", " (Obs.Tracer.categories tracer))
+   | None -> ());
+  if show_stats then begin
+    Printf.printf "  runtime metrics:\n";
+    Format.printf "%a@?" Obs.Metrics.pp Obs.Metrics.default
+  end
 
 (* ---- codegen ---- *)
 
@@ -217,8 +240,16 @@ let simulate_cmd =
            ~doc:"Simulated duration.")
   in
   let trace =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"ROLE.DPORT"
-           ~doc:"Record a DPort trace.")
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"ROLE.DPORT|FILE.json"
+           ~doc:"Record a DPort signal trace (ROLE.DPORT), or — when the \
+                 argument ends in .json — a Chrome trace-event file of the \
+                 whole run (DES dispatch, capsule RTC steps, streamer ticks, \
+                 solver advances), viewable in Perfetto.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the runtime metrics registry (counters, gauges, \
+                 histograms) after the run.")
   in
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
@@ -231,7 +262,7 @@ let simulate_cmd =
                  violation.")
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify)
+    Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats)
 
 let codegen_cmd =
   let doc = "Generate C sources from a model." in
@@ -265,4 +296,10 @@ let main =
   Cmd.group (Cmd.info "umh" ~version:"1.0.0" ~doc)
     [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; stereotypes_cmd; sched_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Usage errors (unknown subcommand, bad flags) print to stderr and exit 2
+   — cmdliner's default for these is 124, which scripts read as a timeout. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> exit 0
+  | Error `Parse | Error `Term -> exit 2
+  | Error `Exn -> exit 3

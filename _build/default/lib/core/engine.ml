@@ -55,6 +55,13 @@ type stats = {
   signals_dropped : int;
 }
 
+(* Process-wide observability of the hybrid execution layer. *)
+let m_ticks = Obs.Metrics.counter "hybrid.ticks"
+let m_flow_samples = Obs.Metrics.counter "hybrid.flow_samples"
+let m_to_streamers = Obs.Metrics.counter "hybrid.signals_to_streamers"
+let m_to_capsules = Obs.Metrics.counter "hybrid.signals_to_capsules"
+let m_dropped = Obs.Metrics.counter "hybrid.signals_dropped"
+
 let create ?(signal_latency = Rt.Channel.Immediate)
     ?(signal_drop_probability = 0.) ?(capsule_latency = 0.) ?root () =
   let des = Des.Engine.create () in
@@ -94,6 +101,18 @@ let find_link t ~role ~sport =
 let find_link_by_border t border =
   List.find_opt (fun l -> String.equal l.l_border border) t.links
 
+let drop_signal (t : t) =
+  t.signals_dropped <- t.signals_dropped + 1;
+  Obs.Metrics.incr m_dropped
+
+let note_signal_to_capsule (t : t) si event =
+  t.signals_to_capsules <- t.signals_to_capsules + 1;
+  Obs.Metrics.incr m_to_capsules;
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant ~track:si.role ~cat:"hybrid" ~name:"signal_to_capsule"
+      ~args:[ ("signal", Obs.Tracer.Str (Statechart.Event.signal event)) ]
+      ~sim_time:(Des.Engine.now t.des) ()
+
 (* Streamer -> capsule direction: inject through the linked border port. *)
 let emit_signal t si ~sport event =
   match Streamer.find_sport si.def sport with
@@ -115,7 +134,7 @@ let emit_signal t si ~sport event =
        let root = Umlrt.Runtime.root_path rt in
        (match Umlrt.Runtime.resolve rt ~path:root ~port:link.l_border with
         | Umlrt.Runtime.To_instance (path, port) ->
-          t.signals_to_capsules <- t.signals_to_capsules + 1;
+          note_signal_to_capsule t si event;
           ignore (Umlrt.Runtime.deliver_to rt ~path ~port event)
         | Umlrt.Runtime.To_environment port ->
           (* Border End port owned by the root's own behaviour? *)
@@ -126,15 +145,13 @@ let emit_signal t si ~sport event =
                      decl.Umlrt.Capsule.kind = Umlrt.Capsule.End
                      && Umlrt.Capsule.behavior cls <> None
                    | None -> false) ->
-             t.signals_to_capsules <- t.signals_to_capsules + 1;
+             note_signal_to_capsule t si event;
              ignore (Umlrt.Runtime.deliver_to rt ~path:root ~port event)
            | Some _ | None ->
              (* Nothing inside listens on this border: true environment. *)
              Queue.push (port, event) t.outbox)
-        | Umlrt.Runtime.Unconnected ->
-          t.signals_dropped <- t.signals_dropped + 1)
-     | Some _, None | None, _ ->
-       t.signals_dropped <- t.signals_dropped + 1)
+        | Umlrt.Runtime.Unconnected -> drop_signal t)
+     | Some _, None | None, _ -> drop_signal t)
 
 let control_of t si =
   { Strategy.set_param = Solver.set_param si.solver;
@@ -179,10 +196,21 @@ let on_crossing t si (crossing : Ode.Events.crossing) =
 let sync_solver t si =
   let now = Des.Engine.now t.des in
   let fired = ref [] in
-  Solver.advance si.solver ~until:now ~guards:(solver_guards si)
-    ~on_crossing:(fun c ->
-        fired := c.Ode.Events.guard_name :: !fired;
-        on_crossing t si c);
+  let advance () =
+    Solver.advance si.solver ~until:now ~guards:(solver_guards si)
+      ~on_crossing:(fun c ->
+          fired := c.Ode.Events.guard_name :: !fired;
+          on_crossing t si c)
+  in
+  if Obs.Tracer.enabled () then begin
+    let steps_before = Solver.steps_taken si.solver in
+    let start = Obs.Tracer.now_ns () in
+    advance ();
+    Obs.Tracer.complete ~track:si.role ~cat:"ode" ~name:"solver.advance"
+      ~args:[ ("steps", Obs.Tracer.Int (Solver.steps_taken si.solver - steps_before)) ]
+      ~sim_time:now ~start_ns:start ()
+  end
+  else advance ();
   let env = Solver.env si.solver in
   let state = Solver.state si.solver in
   let time = Solver.time si.solver in
@@ -225,12 +253,23 @@ let write_outputs t si =
           | Some v -> Sigtrace.Trace.record trace now v
           | None -> ())
        | None -> ())
-    si.traces
+    si.traces;
+  Obs.Metrics.add m_flow_samples (List.length outs)
 
 let tick t si =
-  sync_solver t si;
-  write_outputs t si;
-  si.ticks <- si.ticks + 1
+  if Obs.Tracer.enabled () then begin
+    let start = Obs.Tracer.now_ns () in
+    sync_solver t si;
+    write_outputs t si;
+    Obs.Tracer.complete ~track:si.role ~cat:"hybrid" ~name:"tick"
+      ~sim_time:(Des.Engine.now t.des) ~start_ns:start ()
+  end
+  else begin
+    sync_solver t si;
+    write_outputs t si
+  end;
+  si.ticks <- si.ticks + 1;
+  Obs.Metrics.incr m_ticks
 
 (* Capsule -> streamer delivery (after channel latency): synchronize the
    solver, then let the strategy interpret the signal. *)
@@ -238,8 +277,13 @@ let deliver_to_streamer t si (sport, event) =
   ignore sport;
   sync_solver t si;
   t.signals_to_streamers <- t.signals_to_streamers + 1;
+  Obs.Metrics.incr m_to_streamers;
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant ~track:si.role ~cat:"hybrid" ~name:"signal_to_streamer"
+      ~args:[ ("signal", Obs.Tracer.Str (Statechart.Event.signal event)) ]
+      ~sim_time:(Des.Engine.now t.des) ();
   if not (Strategy.handle (Streamer.strategy si.def) (control_of t si) event) then
-    t.signals_dropped <- t.signals_dropped + 1
+    drop_signal t
 
 let fresh_seed t =
   t.seed_counter <- t.seed_counter + 1;
@@ -411,7 +455,7 @@ let route_border_message t ~port event =
   | Some link ->
     (match Hashtbl.find_opt t.streamers link.l_role with
      | Some si -> Rt.Channel.send si.channel (link.l_sport, event)
-     | None -> t.signals_dropped <- t.signals_dropped + 1)
+     | None -> drop_signal t)
   | None -> Queue.push (port, event) t.outbox
 
 let prime_guards si =

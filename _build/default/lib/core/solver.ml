@@ -60,6 +60,8 @@ let to_ode_guard t g =
   Ode.Events.guard ~direction:g.direction g.guard_name
     (fun time y -> g.expr t.env time y)
 
+let m_crossings = Obs.Metrics.counter "ode.guard_crossings"
+
 let advance t ~until ~guards ~on_crossing =
   if until > time t then begin
     let ode_guards = List.map (to_ode_guard t) guards in
@@ -68,6 +70,12 @@ let advance t ~until ~guards ~on_crossing =
       | Ode.Integrator.Reached _ -> ()
       | Ode.Integrator.Interrupted crossing ->
         t.crossings <- t.crossings + 1;
+        Obs.Metrics.incr m_crossings;
+        if Obs.Tracer.enabled () then
+          Obs.Tracer.instant ~cat:"ode" ~name:"crossing"
+            ~args:
+              [ ("guard", Obs.Tracer.Str crossing.Ode.Events.guard_name) ]
+            ~sim_time:crossing.Ode.Events.time ();
         on_crossing crossing;
         loop ()
     in

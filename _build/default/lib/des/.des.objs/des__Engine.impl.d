@@ -1,1 +1,1 @@
-lib/des/engine.ml: Event_queue Printf
+lib/des/engine.ml: Event_queue Obs Printf

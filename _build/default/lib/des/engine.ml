@@ -6,16 +6,26 @@ type t = {
 
 type handle = Event_queue.handle
 
+(* Process-wide observability: one event counter and a queue-depth gauge
+   (the gauge tracks the engine that scheduled/dispatched most recently,
+   which is the only engine in every CLI and bench entry point). *)
+let m_events = Obs.Metrics.counter "des.events_executed"
+let m_depth = Obs.Metrics.gauge "des.queue_depth"
+
 let create ?(start = 0.) () =
   { queue = Event_queue.create (); clock = start; executed = 0 }
 
 let now t = t.clock
 
+let queue_depth t = Event_queue.live_count t.queue
+
 let schedule_at t ?priority ~time callback =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Des.Engine.schedule_at: time %g is before now %g" time t.clock);
-  Event_queue.push t.queue ~time ?priority callback
+  let h = Event_queue.push t.queue ~time ?priority callback in
+  Obs.Metrics.set m_depth (float_of_int (Event_queue.live_count t.queue));
+  h
 
 let schedule t ?priority ~delay callback =
   if delay < 0. then invalid_arg "Des.Engine.schedule: negative delay";
@@ -33,7 +43,18 @@ let step t =
   | Some (time, callback) ->
     t.clock <- time;
     t.executed <- t.executed + 1;
-    callback ();
+    Obs.Metrics.incr m_events;
+    let depth = Event_queue.live_count t.queue in
+    Obs.Metrics.set m_depth (float_of_int depth);
+    if Obs.Tracer.enabled () then begin
+      let start = Obs.Tracer.now_ns () in
+      callback ();
+      Obs.Tracer.complete ~cat:"des" ~name:"dispatch" ~sim_time:time
+        ~start_ns:start ();
+      Obs.Tracer.sample ~cat:"des" ~name:"queue_depth" ~sim_time:time
+        (float_of_int depth)
+    end
+    else callback ();
     true
 
 let run_until t bound =

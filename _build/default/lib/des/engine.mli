@@ -29,6 +29,10 @@ val cancel : handle -> unit
 val pending : t -> int
 (** Live scheduled callbacks (diagnostics only, O(n)). *)
 
+val queue_depth : t -> int
+(** Same value as [pending], maintained incrementally — O(1). This is
+    what the "des.queue_depth" gauge and trace counter report. *)
+
 val next_time : t -> float option
 (** Timestamp of the next pending callback. *)
 

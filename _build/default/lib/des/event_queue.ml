@@ -3,6 +3,8 @@ type entry = {
   priority : int;
   seq : int;
   mutable cancelled : bool;
+  mutable popped : bool;
+  live : int ref;  (* the owning queue's live-entry counter *)
 }
 
 type handle = entry
@@ -11,9 +13,12 @@ type 'a t = {
   mutable heap : (entry * 'a) array;  (* prefix [0, size) is the heap *)
   mutable size : int;
   mutable next_seq : int;
+  live : int ref;  (* live (scheduled, not cancelled, not popped) entries *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; live = ref 0 }
+
+let live_count t = !(t.live)
 
 (* Cancelled entries stay in the heap until they reach the top (lazy
    deletion), so [length] walks the array — it is only used by tests and
@@ -58,8 +63,12 @@ let rec sift_down t i =
 
 let push t ~time ?(priority = 0) payload =
   if Float.is_nan time then invalid_arg "Des.Event_queue.push: NaN time";
-  let entry = { time; priority; seq = t.next_seq; cancelled = false } in
+  let entry =
+    { time; priority; seq = t.next_seq; cancelled = false; popped = false;
+      live = t.live }
+  in
   t.next_seq <- t.next_seq + 1;
+  incr t.live;
   if Array.length t.heap = 0 then t.heap <- Array.make 8 (entry, payload)
   else if t.size >= Array.length t.heap then begin
     let heap' = Array.make (2 * Array.length t.heap) t.heap.(0) in
@@ -71,7 +80,12 @@ let push t ~time ?(priority = 0) payload =
   sift_up t (t.size - 1);
   entry
 
-let cancel entry = entry.cancelled <- true
+let cancel entry =
+  if not entry.cancelled && not entry.popped then begin
+    entry.cancelled <- true;
+    decr entry.live
+  end
+
 let is_cancelled entry = entry.cancelled
 
 let rec drop_cancelled t =
@@ -106,6 +120,8 @@ let pop t =
       t.heap.(0) <- t.heap.(t.size);
       sift_down t 0
     end;
+    e.popped <- true;
+    decr t.live;
     Some (e.time, payload)
   end
 

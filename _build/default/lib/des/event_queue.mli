@@ -12,7 +12,11 @@ type handle
 val create : unit -> 'a t
 
 val length : 'a t -> int
-(** Live (non-cancelled) entries. *)
+(** Live (non-cancelled) entries, by walking the heap — O(n), the ground
+    truth [live_count] is checked against in tests. *)
+
+val live_count : 'a t -> int
+(** Same value as [length], maintained incrementally — O(1). *)
 
 val is_empty : 'a t -> bool
 

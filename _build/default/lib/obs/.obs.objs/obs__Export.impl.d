@@ -1,0 +1,1 @@
+lib/obs/export.ml: Clock Fun Hashtbl Json List Metrics Tracer

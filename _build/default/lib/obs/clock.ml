@@ -1,0 +1,9 @@
+(* The epoch is fixed at the first use of the module, so every tracer and
+   metric in the process shares one timeline. *)
+let epoch = Unix.gettimeofday ()
+
+let now_ns () =
+  let dt = Unix.gettimeofday () -. epoch in
+  if dt <= 0. then 0 else int_of_float (dt *. 1e9)
+
+let ns_to_us ns = float_of_int ns /. 1e3

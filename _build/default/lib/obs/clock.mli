@@ -1,0 +1,11 @@
+(** Wall-clock time for instrumentation, as integer nanoseconds since an
+    arbitrary process-local epoch (so values stay small and subtraction is
+    exact). *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the epoch. Monotone in practice on the scales
+    instrumentation cares about; never negative. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds to (fractional) microseconds — the unit Chrome trace
+    files use. *)

@@ -1,0 +1,93 @@
+let pid = 1
+
+let phase_string = function
+  | Tracer.Begin -> "B"
+  | Tracer.End -> "E"
+  | Tracer.Complete -> "X"
+  | Tracer.Instant -> "i"
+  | Tracer.Sample -> "C"
+
+let arg_json = function
+  | Tracer.Int i -> Json.Int i
+  | Tracer.Float f -> Json.Float f
+  | Tracer.Str s -> Json.Str s
+  | Tracer.Bool b -> Json.Bool b
+
+(* Track name -> tid, in order of first appearance; "" (the engine/main
+   track) is always tid 0. *)
+let track_ids events =
+  let table = Hashtbl.create 16 in
+  Hashtbl.replace table "" 0;
+  let order = ref [ "" ] in
+  List.iter
+    (fun (ev : Tracer.event) ->
+       if not (Hashtbl.mem table ev.Tracer.track) then begin
+         Hashtbl.replace table ev.Tracer.track (Hashtbl.length table);
+         order := ev.Tracer.track :: !order
+       end)
+    events;
+  (table, List.rev !order)
+
+let event_json tids (ev : Tracer.event) =
+  let base =
+    [ ("name", Json.Str ev.Tracer.name);
+      ("cat", Json.Str ev.Tracer.cat);
+      ("ph", Json.Str (phase_string ev.Tracer.phase));
+      ("ts", Json.Float (Clock.ns_to_us ev.Tracer.ts_ns));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int (try Hashtbl.find tids ev.Tracer.track with Not_found -> 0)) ]
+  in
+  let dur =
+    match ev.Tracer.phase with
+    | Tracer.Complete -> [ ("dur", Json.Float (Clock.ns_to_us ev.Tracer.dur_ns)) ]
+    | _ -> []
+  in
+  let scope =
+    match ev.Tracer.phase with
+    | Tracer.Instant -> [ ("s", Json.Str "t") ]  (* thread-scoped tick *)
+    | _ -> []
+  in
+  let args =
+    ("t_sim", Json.Float ev.Tracer.sim_time)
+    :: List.map (fun (k, v) -> (k, arg_json v)) ev.Tracer.args
+  in
+  Json.Obj (base @ dur @ scope @ [ ("args", Json.Obj args) ])
+
+let thread_metadata name tid =
+  Json.Obj
+    [ ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args",
+       Json.Obj [ ("name", Json.Str (if name = "" then "engine" else name)) ]) ]
+
+let to_chrome_trace ?metrics tracer =
+  let events = Tracer.events tracer in
+  let tids, order = track_ids events in
+  let metadata =
+    List.map (fun name -> thread_metadata name (Hashtbl.find tids name)) order
+  in
+  let other =
+    [ ("generator", Json.Str "umh-obs");
+      ("events_recorded", Json.Int (Tracer.recorded tracer));
+      ("events_dropped", Json.Int (Tracer.dropped tracer)) ]
+    @ (match metrics with
+       | Some registry -> [ ("metrics", Metrics.to_json registry) ]
+       | None -> [])
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (metadata @ List.map (event_json tids) events));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj other) ]
+
+let to_chrome_trace_string ?metrics tracer =
+  Json.to_string (to_chrome_trace ?metrics tracer)
+
+let write_file path ?metrics tracer =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc (to_chrome_trace_string ?metrics tracer);
+       output_char oc '\n')

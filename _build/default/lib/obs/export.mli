@@ -1,0 +1,17 @@
+(** Chrome trace-event JSON export (the format chrome://tracing and
+    Perfetto open directly).
+
+    Each distinct event track (capsule instance path or streamer role)
+    becomes a named thread row; timestamps are wall-clock microseconds,
+    and each event carries the simulated time in its [args.t_sim]. *)
+
+val to_chrome_trace : ?metrics:Metrics.t -> Tracer.t -> Json.t
+(** An object with a [traceEvents] array (thread-name metadata first,
+    then the recorded events, oldest first) and an [otherData] section
+    holding the generator name, drop counts and, when [metrics] is given,
+    the full metrics dump. *)
+
+val to_chrome_trace_string : ?metrics:Metrics.t -> Tracer.t -> string
+
+val write_file : string -> ?metrics:Metrics.t -> Tracer.t -> unit
+(** Write {!to_chrome_trace_string} to a file. *)

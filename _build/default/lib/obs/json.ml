@@ -1,0 +1,242 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- emission ---- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_nan f || Float.abs f = infinity then Buffer.add_string buf "null"
+  else begin
+    (* Shortest decimal that round-trips. *)
+    let s15 = Printf.sprintf "%.15g" f in
+    let s = if float_of_string s15 = f then s15 else Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s;
+    (* "%g" may print an integer-valued float without a mark that keeps it
+       a float on re-read ("3" rather than "3.0"). *)
+    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+      Buffer.add_string buf ".0"
+  end
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | Str s -> add_escaped buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+         if i > 0 then Buffer.add_char buf ',';
+         to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         add_escaped buf k;
+         Buffer.add_char buf ':';
+         to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some got when got = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  if
+    cur.pos + String.length word <= String.length cur.src
+    && String.sub cur.src cur.pos (String.length word) = word
+  then begin
+    cur.pos <- cur.pos + String.length word;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur; Buffer.contents buf
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+       | Some '"' -> Buffer.add_char buf '"'; advance cur
+       | Some '\\' -> Buffer.add_char buf '\\'; advance cur
+       | Some '/' -> Buffer.add_char buf '/'; advance cur
+       | Some 'b' -> Buffer.add_char buf '\b'; advance cur
+       | Some 'f' -> Buffer.add_char buf '\012'; advance cur
+       | Some 'n' -> Buffer.add_char buf '\n'; advance cur
+       | Some 'r' -> Buffer.add_char buf '\r'; advance cur
+       | Some 't' -> Buffer.add_char buf '\t'; advance cur
+       | Some 'u' ->
+         advance cur;
+         if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
+         let hex = String.sub cur.src cur.pos 4 in
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with Failure _ -> fail cur "bad \\u escape"
+         in
+         cur.pos <- cur.pos + 4;
+         utf8_of_code buf code
+       | _ -> fail cur "bad escape");
+      loop ()
+    | Some c -> Buffer.add_char buf c; advance cur; loop ()
+  in
+  loop ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek cur with
+    | Some ('0' .. '9' | '-' | '+') -> advance cur; loop ()
+    | Some ('.' | 'e' | 'E') -> is_float := true; advance cur; loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail cur "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      (* Integer literal too big for native int: keep it as a float. *)
+      (match float_of_string_opt text with
+       | Some f -> Float f
+       | None -> fail cur "bad number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then (advance cur; List [])
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' -> advance cur; items (v :: acc)
+        | Some ']' -> advance cur; List (List.rev (v :: acc))
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      items []
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then (advance cur; Obj [])
+    else begin
+      let field () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' -> advance cur; fields (kv :: acc)
+        | Some '}' -> advance cur; Obj (List.rev (kv :: acc))
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      fields []
+    end
+  | Some ('0' .. '9' | '-') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List items -> items | _ -> []
+
+let string_value = function Str s -> Some s | _ -> None

@@ -1,0 +1,204 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable gvalue : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;   (* strictly increasing upper bounds *)
+  buckets : int array;    (* length bounds + 1; last is overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let default = create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let mismatch name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S is a %s, not a %s" name
+       (kind_name existing) wanted)
+
+let counter ?(registry = default) name =
+  match Hashtbl.find_opt registry.table name with
+  | Some (Counter c) -> c
+  | Some m -> mismatch name m "counter"
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace registry.table name (Counter c);
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+
+let gauge ?(registry = default) name =
+  match Hashtbl.find_opt registry.table name with
+  | Some (Gauge g) -> g
+  | Some m -> mismatch name m "gauge"
+  | None ->
+    let g = { g_name = name; gvalue = 0. } in
+    Hashtbl.replace registry.table name (Gauge g);
+    g
+
+let set g v = g.gvalue <- v
+let gauge_value g = g.gvalue
+
+let log_bounds ~lo ~hi ~per_decade =
+  if lo <= 0. || hi <= lo then invalid_arg "Obs.Metrics.log_bounds: need 0 < lo < hi";
+  if per_decade < 1 then invalid_arg "Obs.Metrics.log_bounds: per_decade must be >= 1";
+  let step = 1. /. float_of_int per_decade in
+  let n =
+    int_of_float (Float.ceil ((Float.log10 hi -. Float.log10 lo) /. step)) + 1
+  in
+  Array.init n (fun i -> 10. ** (Float.log10 lo +. (float_of_int i *. step)))
+
+let default_bounds = log_bounds ~lo:1e-9 ~hi:1e3 ~per_decade:3
+
+let validate_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Obs.Metrics.histogram: empty bucket bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Obs.Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram ?(registry = default) ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt registry.table name with
+  | Some (Histogram h) -> h
+  | Some m -> mismatch name m "histogram"
+  | None ->
+    validate_bounds bounds;
+    let h =
+      { h_name = name; bounds = Array.copy bounds;
+        buckets = Array.make (Array.length bounds + 1) 0;
+        h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity }
+    in
+    Hashtbl.replace registry.table name (Histogram h);
+    h
+
+(* First bucket whose upper bound admits [v] (binary search; the bounds
+   array is small but this keeps observe O(log n) regardless). *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then search lo mid else search (mid + 1) hi
+  in
+  search 0 n (* n = overflow bucket *)
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let quantile h q =
+  if h.h_count = 0 then nan
+  else begin
+    let rank =
+      Int.max 1
+        (Int.min h.h_count
+           (int_of_float (Float.ceil (q *. float_of_int h.h_count))))
+    in
+    let rec walk i seen =
+      if i >= Array.length h.buckets then h.h_max
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then
+          (if i < Array.length h.bounds then h.bounds.(i) else h.h_max)
+        else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ m ->
+       match m with
+       | Counter c -> c.count <- 0
+       | Gauge g -> g.gvalue <- 0.
+       | Histogram h ->
+         Array.fill h.buckets 0 (Array.length h.buckets) 0;
+         h.h_count <- 0;
+         h.h_sum <- 0.;
+         h.h_min <- infinity;
+         h.h_max <- neg_infinity)
+    registry.table
+
+let metrics registry =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.table [])
+
+let pp ppf registry =
+  List.iter
+    (fun (_, m) ->
+       match m with
+       | Counter c -> Format.fprintf ppf "%-32s counter   %d@." c.c_name c.count
+       | Gauge g -> Format.fprintf ppf "%-32s gauge     %g@." g.g_name g.gvalue
+       | Histogram h ->
+         if h.h_count = 0 then
+           Format.fprintf ppf "%-32s histogram (empty)@." h.h_name
+         else
+           Format.fprintf ppf
+             "%-32s histogram n=%d mean=%.3g min=%.3g p50<=%.3g p95<=%.3g max=%.3g@."
+             h.h_name h.h_count
+             (h.h_sum /. float_of_int h.h_count)
+             h.h_min (quantile h 0.5) (quantile h 0.95) h.h_max)
+    (metrics registry)
+
+let histogram_json h =
+  let finite f = if Float.is_nan f || Float.abs f = infinity then Json.Null else Json.Float f in
+  Json.Obj
+    [ ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("min", finite h.h_min);
+      ("max", finite h.h_max);
+      ("p50", finite (quantile h 0.5));
+      ("p95", finite (quantile h 0.95));
+      ("buckets",
+       Json.List
+         (List.concat
+            (List.mapi
+               (fun i count ->
+                  if count = 0 then []
+                  else
+                    let le =
+                      if i < Array.length h.bounds then Json.Float h.bounds.(i)
+                      else Json.Str "+inf"
+                    in
+                    [ Json.Obj [ ("le", le); ("count", Json.Int count) ] ])
+               (Array.to_list h.buckets)))) ]
+
+let to_json registry =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+          ( name,
+            match m with
+            | Counter c -> Json.Int c.count
+            | Gauge g -> Json.Float g.gvalue
+            | Histogram h -> histogram_json h ))
+       (metrics registry))

@@ -1,0 +1,70 @@
+(** Named runtime metrics: counters, gauges and fixed-bucket histograms.
+
+    A registry maps names to metric instances; [counter]/[gauge]/
+    [histogram] are get-or-create, so instrumented modules can declare
+    their metrics at module-initialisation time and call sites pay only a
+    field update per event. Everything lives in {!default} unless an
+    explicit registry is passed. *)
+
+type counter
+type gauge
+type histogram
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry used by the instrumented runtime layers. *)
+
+val counter : ?registry:t -> string -> counter
+(** Get or create. Raises [Invalid_argument] if the name is already bound
+    to a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : ?registry:t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val log_bounds : lo:float -> hi:float -> per_decade:int -> float array
+(** Logarithmically spaced histogram bucket bounds covering [lo, hi]
+    inclusive, [per_decade] buckets per factor of ten. Both bounds must be
+    positive, [lo < hi]. *)
+
+val histogram : ?registry:t -> ?bounds:float array -> string -> histogram
+(** [bounds] are strictly increasing bucket upper bounds; an implicit
+    overflow bucket catches everything above the last. The default covers
+    1e-9 .. 1e3 at 3 buckets per decade (good for seconds-valued
+    durations and step sizes). [bounds] is ignored when the histogram
+    already exists. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: upper bound of the bucket holding
+    the q-th observation (nearest-rank over buckets); [nan] when empty. *)
+
+val reset : t -> unit
+(** Zero every metric in the registry (histogram buckets included). *)
+
+val metrics : t -> (string * metric) list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump, one metric per line, sorted by name. *)
+
+val to_json : t -> Json.t
+(** [Obj] keyed by metric name; counters as ints, gauges as floats,
+    histograms as [{count; sum; min; max; p50; p95; buckets}]. *)

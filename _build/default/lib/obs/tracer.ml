@@ -1,0 +1,105 @@
+type phase = Begin | End | Complete | Instant | Sample
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ts_ns : int;
+  dur_ns : int;
+  sim_time : float;
+  cat : string;
+  name : string;
+  phase : phase;
+  track : string;
+  args : (string * arg) list;
+}
+
+type t = {
+  buf : event option array;
+  mutable next : int;      (* next write position *)
+  mutable filled : int;    (* events currently held *)
+  mutable overwritten : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 262_144) () =
+  if capacity < 1 then invalid_arg "Obs.Tracer.create: capacity must be >= 1";
+  { buf = Array.make capacity None; next = 0; filled = 0; overwritten = 0;
+    total = 0 }
+
+let default = create ()
+
+let flag = ref false
+
+let enabled () = !flag
+let set_enabled on = flag := on
+
+let now_ns = Clock.now_ns
+
+let push t ev =
+  let capacity = Array.length t.buf in
+  if t.filled = capacity then t.overwritten <- t.overwritten + 1
+  else t.filled <- t.filled + 1;
+  t.buf.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod capacity;
+  t.total <- t.total + 1
+
+let emit ?(tracer = default) ?(track = "") ?(args = []) ?(dur_ns = 0)
+    ~cat ~name ~sim_time phase =
+  if !flag then
+    push tracer
+      { ts_ns = Clock.now_ns (); dur_ns; sim_time; cat; name; phase; track; args }
+
+let complete ?(tracer = default) ?(track = "") ?(args = []) ~cat ~name
+    ~sim_time ~start_ns () =
+  if !flag then
+    push tracer
+      { ts_ns = start_ns; dur_ns = Clock.now_ns () - start_ns; sim_time;
+        cat; name; phase = Complete; track; args }
+
+let instant ?(tracer = default) ?(track = "") ?(args = []) ~cat ~name
+    ~sim_time () =
+  if !flag then
+    push tracer
+      { ts_ns = Clock.now_ns (); dur_ns = 0; sim_time; cat; name;
+        phase = Instant; track; args }
+
+let sample ?(tracer = default) ~cat ~name ~sim_time value =
+  if !flag then
+    push tracer
+      { ts_ns = Clock.now_ns (); dur_ns = 0; sim_time; cat; name;
+        phase = Sample; track = ""; args = [ ("value", Float value) ] }
+
+let with_span ?(tracer = default) ?(track = "") ~cat ~name ~sim_time f =
+  if !flag then begin
+    let start = Clock.now_ns () in
+    let result = f () in
+    complete ~tracer ~track ~cat ~name ~sim_time ~start_ns:start ();
+    result
+  end
+  else f ()
+
+let length t = t.filled
+let dropped t = t.overwritten
+let recorded t = t.total
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.filled <- 0;
+  t.overwritten <- 0;
+  t.total <- 0
+
+let events t =
+  let capacity = Array.length t.buf in
+  let start = (t.next - t.filled + capacity) mod capacity in
+  List.init t.filled (fun i ->
+      match t.buf.((start + i) mod capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let categories t =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun ev -> if not (Hashtbl.mem seen ev.cat) then Hashtbl.add seen ev.cat ())
+    (events t);
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])

@@ -1,0 +1,93 @@
+(** Structured execution tracing: a bounded ring buffer of timestamped
+    events recorded by the runtime layers (DES dispatch, UML-RT
+    run-to-completion steps, streamer ticks, solver advances).
+
+    Tracing is off by default. The global {!enabled} flag gates every
+    instrumented hot path — when disabled, instrumentation costs a single
+    branch. When the buffer fills, the oldest events are overwritten (and
+    counted in {!dropped}), so a long run keeps its most recent window. *)
+
+type phase =
+  | Begin          (** opening half of a duration span *)
+  | End            (** closing half of a duration span *)
+  | Complete       (** span with an explicit duration *)
+  | Instant        (** point event *)
+  | Sample         (** counter/gauge sample (graphed as a track) *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event = {
+  ts_ns : int;        (** wall-clock start, ns since the process epoch *)
+  dur_ns : int;       (** duration for [Complete]; 0 otherwise *)
+  sim_time : float;   (** simulated time when the event was recorded *)
+  cat : string;       (** subsystem: "des", "umlrt", "hybrid", "ode", ... *)
+  name : string;
+  phase : phase;
+  track : string;     (** capsule instance path / streamer role; "" = engine *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer holding at most [capacity] events (default 262144). *)
+
+val default : t
+(** The process-wide tracer the instrumented layers record into. *)
+
+val enabled : unit -> bool
+(** Global flag; initially [false]. *)
+
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int
+(** Alias of {!Clock.now_ns}, for call sites timing a span start. *)
+
+val emit :
+  ?tracer:t -> ?track:string -> ?args:(string * arg) list -> ?dur_ns:int ->
+  cat:string -> name:string -> sim_time:float -> phase -> unit
+(** Record one event (timestamped now unless [dur_ns] is given together
+    with a [Complete] phase via {!complete}). No-op when tracing is
+    disabled. *)
+
+val complete :
+  ?tracer:t -> ?track:string -> ?args:(string * arg) list ->
+  cat:string -> name:string -> sim_time:float -> start_ns:int -> unit -> unit
+(** A [Complete] span that started at [start_ns] (from {!now_ns}) and
+    ends now. No-op when tracing is disabled. *)
+
+val instant :
+  ?tracer:t -> ?track:string -> ?args:(string * arg) list ->
+  cat:string -> name:string -> sim_time:float -> unit -> unit
+
+val sample :
+  ?tracer:t -> cat:string -> name:string -> sim_time:float -> float -> unit
+(** A [Sample] of a numeric series (exported as a Chrome counter track). *)
+
+val with_span :
+  ?tracer:t -> ?track:string -> cat:string -> name:string ->
+  sim_time:float -> (unit -> 'a) -> 'a
+(** Run the thunk inside a [Complete] span; when tracing is disabled the
+    thunk runs with no other overhead than the flag check. Exceptions
+    propagate (the span is not recorded in that case). *)
+
+val length : t -> int
+(** Events currently held. *)
+
+val dropped : t -> int
+(** Events overwritten since creation (or the last {!clear}). *)
+
+val recorded : t -> int
+(** Total events recorded since creation (or the last {!clear}). *)
+
+val clear : t -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val categories : t -> string list
+(** Distinct categories present, sorted. *)

@@ -19,6 +19,16 @@ let default_control =
 
 type stats = { accepted : int; rejected : int; last_dt : float }
 
+(* Process-wide step-control observability, aggregated across every
+   adaptive integration in the run. *)
+let m_accepted = Obs.Metrics.counter "ode.adaptive.steps_accepted"
+let m_rejected = Obs.Metrics.counter "ode.adaptive.steps_rejected"
+
+let m_dt =
+  Obs.Metrics.histogram
+    ~bounds:(Obs.Metrics.log_bounds ~lo:1e-12 ~hi:1e3 ~per_decade:3)
+    "ode.adaptive.step_size"
+
 exception Step_underflow of float
 exception Too_many_steps of float
 
@@ -135,11 +145,14 @@ let drive ?(scheme = Dormand_prince) ?(control = default_control) sys ~t0 ~t1 y0
         let t' = t +. h in
         let grow = if err = 0. then 5. else Float.min 5. (control.safety *. (err ** expo)) in
         let dt' = Float.min control.dt_max (h *. Float.max 0.2 grow) in
+        Obs.Metrics.incr m_accepted;
+        Obs.Metrics.observe m_dt h;
         loop (record acc t' y_high) t' y_high dt' (accepted + 1) rejected
       end else begin
         let shrink = Float.max 0.1 (control.safety *. (err ** expo)) in
         let dt' = h *. shrink in
         if dt' < control.dt_min then raise (Step_underflow t);
+        Obs.Metrics.incr m_rejected;
         loop acc t y dt' accepted (rejected + 1)
       end
     end

@@ -1,1 +1,1 @@
-lib/sigtrace/trace.ml: Array Buffer Float Int List Printf
+lib/sigtrace/trace.ml: Array Buffer Float Int List Printf String

@@ -40,3 +40,8 @@ val mean : t -> float option
 
 val to_csv : t -> string
 (** Two-column [time,value] CSV with a header line. *)
+
+val of_csv : ?name:string -> string -> t
+(** Inverse of {!to_csv}: parses two-column [time,value] CSV, skipping
+    the header line and blank lines. Raises [Invalid_argument] on a
+    malformed line or when times go backwards. *)

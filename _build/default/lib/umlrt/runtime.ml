@@ -26,6 +26,13 @@ type t = {
   mutable dropped : int;
 }
 
+(* Process-wide observability of capsule messaging. *)
+let m_sent = Obs.Metrics.counter "umlrt.signals_sent"
+let m_delivered = Obs.Metrics.counter "umlrt.signals_delivered"
+let m_dropped = Obs.Metrics.counter "umlrt.signals_dropped"
+let m_rtc = Obs.Metrics.counter "umlrt.rtc_steps"
+let m_unhandled = Obs.Metrics.counter "umlrt.events_unhandled"
+
 let engine t = t.engine
 
 let instance_paths t = List.rev t.order
@@ -83,13 +90,17 @@ let to_environment t port event =
   | Some f -> f ~port event
   | None -> Queue.push (port, event) t.outbox
 
+let drop t =
+  t.dropped <- t.dropped + 1;
+  Obs.Metrics.incr m_dropped
+
 let deliver_target t event = function
   | To_instance (path, port) ->
     (match find_instance t path with
      | Some inst -> Des.Mailbox.send inst.mailbox (port, event)
-     | None -> t.dropped <- t.dropped + 1)
+     | None -> drop t)
   | To_environment port -> to_environment t port event
-  | Unconnected -> t.dropped <- t.dropped + 1
+  | Unconnected -> drop t
 
 let send_from t inst ~port event =
   match Capsule.find_port inst.klass port with
@@ -104,6 +115,13 @@ let send_from t inst ~port event =
         (Printf.sprintf "Umlrt.Runtime.send: port %s.%s cannot send signal %S"
            inst.path port (Statechart.Event.signal event));
     t.sent <- t.sent + 1;
+    Obs.Metrics.incr m_sent;
+    if Obs.Tracer.enabled () then
+      Obs.Tracer.instant ~track:inst.path ~cat:"umlrt" ~name:"send"
+        ~args:
+          [ ("port", Obs.Tracer.Str port);
+            ("signal", Obs.Tracer.Str (Statechart.Event.signal event)) ]
+        ~sim_time:(Des.Engine.now t.engine) ();
     deliver_target t event (resolve_from t (inst.path, port))
 
 (* Each delivery invokes the listener once; popping exactly one message
@@ -115,10 +133,29 @@ let on_delivery t inst mailbox =
     (match inst.behavior with
      | Some b ->
        t.delivered <- t.delivered + 1;
-       if not (b.Capsule.on_event ~port event) then t.dropped <- t.dropped + 1
+       Obs.Metrics.incr m_delivered;
+       Obs.Metrics.incr m_rtc;
+       let handled =
+         if Obs.Tracer.enabled () then begin
+           let start = Obs.Tracer.now_ns () in
+           let handled = b.Capsule.on_event ~port event in
+           Obs.Tracer.complete ~track:inst.path ~cat:"umlrt" ~name:"rtc"
+             ~args:
+               [ ("port", Obs.Tracer.Str port);
+                 ("signal", Obs.Tracer.Str (Statechart.Event.signal event));
+                 ("handled", Obs.Tracer.Bool handled) ]
+             ~sim_time:(Des.Engine.now t.engine) ~start_ns:start ();
+           handled
+         end
+         else b.Capsule.on_event ~port event
+       in
+       if not handled then begin
+         t.dropped <- t.dropped + 1;
+         Obs.Metrics.incr m_unhandled
+       end
      | None ->
        if String.equal inst.path t.root_path then to_environment t port event
-       else t.dropped <- t.dropped + 1)
+       else drop t)
 
 let self_port = "^timer"
 
@@ -201,6 +238,7 @@ let deliver_to t ~path ~port event =
   match find_instance t path with
   | Some inst ->
     t.sent <- t.sent + 1;
+    Obs.Metrics.incr m_sent;
     Des.Mailbox.send inst.mailbox (port, event);
     true
   | None -> false
@@ -211,13 +249,14 @@ let inject t ~port event =
     invalid_arg (Printf.sprintf "Umlrt.Runtime.inject: root has no port %S" port)
   | Some decl ->
     t.sent <- t.sent + 1;
+    Obs.Metrics.incr m_sent;
     (match decl.Capsule.kind with
      | Capsule.End ->
        (* Border End port: the root's own behaviour receives it. *)
        (match find_instance t t.root_path with
         | Some inst when inst.behavior <> None ->
           Des.Mailbox.send inst.mailbox (port, event)
-        | Some _ | None -> t.dropped <- t.dropped + 1)
+        | Some _ | None -> drop t)
      | Capsule.Relay ->
        deliver_target t event (resolve_from t (t.root_path, port)))
 

@@ -1,1 +1,1 @@
-test/main.ml: Alcotest Test_baseline Test_codegen Test_control Test_core Test_dataflow Test_des Test_dsl Test_hybrid Test_ode Test_plant Test_rt Test_sigtrace Test_statechart Test_umlrt
+test/main.ml: Alcotest Test_baseline Test_codegen Test_control Test_core Test_dataflow Test_des Test_dsl Test_hybrid Test_obs Test_ode Test_plant Test_rt Test_sigtrace Test_statechart Test_umlrt

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Dataflow Float Fun Hybrid List Obs Ode Option Printf Statechart String Sys Umlrt

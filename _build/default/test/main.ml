@@ -13,4 +13,5 @@ let () =
       ("hybrid-engine", Test_hybrid.suite);
       ("hybrid-core", Test_core.suite);
       ("dsl", Test_dsl.suite);
-      ("codegen", Test_codegen.suite) ]
+      ("codegen", Test_codegen.suite);
+      ("obs", Test_obs.suite) ]

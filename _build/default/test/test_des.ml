@@ -113,6 +113,38 @@ let test_engine_runaway_guard () =
     (Failure "Des.Engine.run_to_completion: event budget exhausted (runaway model?)")
     (fun () -> ignore (Des.Engine.run_to_completion e ~max_events:100 ()))
 
+(* The O(1) incremental queue-depth gauge must track the O(n) ground
+   truth through every schedule / cancel / double-cancel / step. *)
+let test_engine_queue_depth_tracks_pending () =
+  let e = Des.Engine.create () in
+  let agree label =
+    Alcotest.(check int) label (Des.Engine.pending e) (Des.Engine.queue_depth e)
+  in
+  agree "empty";
+  let h1 = Des.Engine.schedule e ~delay:1. (fun () -> ()) in
+  let _h2 = Des.Engine.schedule e ~delay:2. (fun () -> ()) in
+  let h3 = Des.Engine.schedule e ~delay:3. (fun () -> ()) in
+  agree "three scheduled";
+  Alcotest.(check int) "depth 3" 3 (Des.Engine.queue_depth e);
+  Des.Engine.cancel h1;
+  agree "after cancel";
+  Des.Engine.cancel h1;
+  agree "cancel is idempotent";
+  Alcotest.(check int) "depth 2" 2 (Des.Engine.queue_depth e);
+  ignore (Des.Engine.step e);
+  agree "after step";
+  Des.Engine.cancel h3;
+  agree "cancel after step";
+  ignore (Des.Engine.run_until e 10.);
+  agree "drained";
+  Alcotest.(check int) "depth 0" 0 (Des.Engine.queue_depth e);
+  (* Cancelling an already-executed handle must not corrupt the count. *)
+  let h4 = Des.Engine.schedule e ~delay:1. (fun () -> ()) in
+  ignore (Des.Engine.run_until e 12.);
+  Des.Engine.cancel h4;
+  agree "cancel of executed handle is a no-op";
+  Alcotest.(check int) "still 0" 0 (Des.Engine.queue_depth e)
+
 let test_mailbox_latency () =
   let e = Des.Engine.create () in
   let mb = Des.Mailbox.create e ~latency:0.5 "m" in
@@ -226,6 +258,8 @@ let suite =
     Alcotest.test_case "engine: past rejected" `Quick test_engine_past_rejected;
     Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
     Alcotest.test_case "engine: runaway guard" `Quick test_engine_runaway_guard;
+    Alcotest.test_case "engine: queue depth gauge" `Quick
+      test_engine_queue_depth_tracks_pending;
     Alcotest.test_case "mailbox: latency" `Quick test_mailbox_latency;
     Alcotest.test_case "mailbox: FIFO" `Quick test_mailbox_fifo;
     Alcotest.test_case "timer: periodic + cancel" `Quick test_timer_periodic;

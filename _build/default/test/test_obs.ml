@@ -1,0 +1,270 @@
+(* Observability tests: JSON round-trips, the metrics registry, the
+   tracer ring buffer, and Chrome-trace export from an instrumented
+   hybrid run. *)
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  let value =
+    Obs.Json.Obj
+      [ ("null", Obs.Json.Null);
+        ("bool", Obs.Json.Bool true);
+        ("int", Obs.Json.Int (-42));
+        ("float", Obs.Json.Float 1.5);
+        ("str", Obs.Json.Str "a \"quoted\"\nline\twith \\ stuff");
+        ("list", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Str "x"; Obs.Json.Null ]);
+        ("nested", Obs.Json.Obj [ ("k", Obs.Json.List []) ]) ]
+  in
+  Alcotest.(check bool) "value survives emit + parse" true
+    (Obs.Json.of_string (Obs.Json.to_string value) = value)
+
+let test_json_parse_basics () =
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Obs.Json.of_string "  { \"a\" : [ 1 , 2.5 , true ] }  "
+     = Obs.Json.Obj
+         [ ("a", Obs.Json.List
+              [ Obs.Json.Int 1; Obs.Json.Float 2.5; Obs.Json.Bool true ]) ]);
+  Alcotest.(check bool) "unicode escape" true
+    (Obs.Json.of_string "\"\\u0041\"" = Obs.Json.Str "A");
+  Alcotest.(check bool) "non-finite floats emit null" true
+    (Obs.Json.to_string (Obs.Json.Float Float.nan) = "null")
+
+let test_json_parse_errors () =
+  let rejects s =
+    try ignore (Obs.Json.of_string s); false with Obs.Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage" true (rejects "1 2");
+  Alcotest.(check bool) "unterminated string" true (rejects "\"abc");
+  Alcotest.(check bool) "bare word" true (rejects "flase");
+  Alcotest.(check bool) "unclosed object" true (rejects "{\"a\":1")
+
+let test_json_accessors () =
+  let v = Obs.Json.of_string "{\"a\":{\"b\":[\"x\",\"y\"]}}" in
+  let inner = Option.bind (Obs.Json.member "a" v) (Obs.Json.member "b") in
+  (match inner with
+   | Some l ->
+     Alcotest.(check (list string)) "member + to_list" [ "x"; "y" ]
+       (List.filter_map Obs.Json.string_value (Obs.Json.to_list l))
+   | None -> Alcotest.fail "member chain");
+  Alcotest.(check bool) "missing member" true (Obs.Json.member "z" v = None)
+
+(* ---- Metrics ---- *)
+
+let test_metrics_get_or_create () =
+  let reg = Obs.Metrics.create () in
+  let a = Obs.Metrics.counter ~registry:reg "hits" in
+  let b = Obs.Metrics.counter ~registry:reg "hits" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.add b 2;
+  Alcotest.(check int) "same counter behind one name" 3 (Obs.Metrics.value a);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try ignore (Obs.Metrics.gauge ~registry:reg "hits"); false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram () =
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram ~registry:reg ~bounds:[| 1.; 10.; 100. |] "lat"
+  in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 0.7; 5.; 50.; 500. ];
+  Alcotest.(check int) "count" 5 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 556.2 (Obs.Metrics.histogram_sum h);
+  (* Nearest-rank over buckets: the 3rd of 5 observations sits in the
+     (1,10] bucket, so p50 reports that bucket's upper bound. *)
+  Alcotest.(check (float 1e-9)) "p50 bucket bound" 10. (Obs.Metrics.quantile h 0.5);
+  Alcotest.(check bool) "p99 in overflow reports max" true
+    (Obs.Metrics.quantile h 0.99 = 500.);
+  Alcotest.(check bool) "empty histogram has nan quantiles" true
+    (Float.is_nan
+       (Obs.Metrics.quantile (Obs.Metrics.histogram ~registry:reg "empty") 0.5))
+
+let test_metrics_reset_and_json () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~registry:reg "n" in
+  let g = Obs.Metrics.gauge ~registry:reg "depth" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.set g 7.;
+  (match Obs.Json.member "n" (Obs.Metrics.to_json reg) with
+   | Some (Obs.Json.Int 1) -> ()
+   | _ -> Alcotest.fail "counter in json dump");
+  Obs.Metrics.reset reg;
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Metrics.value c);
+  Alcotest.(check (float 0.)) "gauge zeroed" 0. (Obs.Metrics.gauge_value g)
+
+(* ---- Tracer ring ---- *)
+
+let with_tracing f =
+  Obs.Tracer.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Tracer.set_enabled false) f
+
+let test_tracer_disabled_records_nothing () =
+  let tr = Obs.Tracer.create ~capacity:8 () in
+  Obs.Tracer.set_enabled false;
+  Obs.Tracer.instant ~tracer:tr ~cat:"t" ~name:"x" ~sim_time:0. ();
+  ignore (Obs.Tracer.with_span ~tracer:tr ~cat:"t" ~name:"y" ~sim_time:0.
+            (fun () -> 42));
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Tracer.length tr);
+  Alcotest.(check int) "nothing counted" 0 (Obs.Tracer.recorded tr)
+
+let test_tracer_ring_overflow () =
+  let tr = Obs.Tracer.create ~capacity:4 () in
+  with_tracing (fun () ->
+      for i = 1 to 6 do
+        Obs.Tracer.instant ~tracer:tr ~cat:"t" ~name:(string_of_int i)
+          ~sim_time:(float_of_int i) ()
+      done);
+  Alcotest.(check int) "ring holds capacity" 4 (Obs.Tracer.length tr);
+  Alcotest.(check int) "two overwritten" 2 (Obs.Tracer.dropped tr);
+  Alcotest.(check int) "all six counted" 6 (Obs.Tracer.recorded tr);
+  Alcotest.(check (list string)) "oldest first, newest kept"
+    [ "3"; "4"; "5"; "6" ]
+    (List.map (fun e -> e.Obs.Tracer.name) (Obs.Tracer.events tr));
+  Obs.Tracer.clear tr;
+  Alcotest.(check int) "clear empties" 0 (Obs.Tracer.length tr)
+
+let test_tracer_span_duration () =
+  let tr = Obs.Tracer.create ~capacity:8 () in
+  with_tracing (fun () ->
+      Obs.Tracer.with_span ~tracer:tr ~cat:"t" ~name:"work" ~sim_time:1.
+        (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0.))));
+  match Obs.Tracer.events tr with
+  | [ e ] ->
+    Alcotest.(check bool) "complete phase" true (e.Obs.Tracer.phase = Obs.Tracer.Complete);
+    Alcotest.(check bool) "non-negative duration" true (e.Obs.Tracer.dur_ns >= 0);
+    Alcotest.(check (float 0.)) "sim time kept" 1. e.Obs.Tracer.sim_time
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length es))
+
+(* ---- Chrome trace from an instrumented run ---- *)
+
+(* A miniature cruise control: vehicle + PI controller streamers
+   exchanging flows, a driver capsule raising the setpoint, and an
+   at-speed guard signalling back — touching the DES, UML-RT, hybrid and
+   ODE instrumentation in one run. *)
+let cruise_engine () =
+  let protocol =
+    Umlrt.Protocol.create "Cruise"
+      ~incoming:
+        [ Umlrt.Protocol.signal ~payload:Dataflow.Flow_type.float_flow
+            "set_speed" ]
+      ~outgoing:[ Umlrt.Protocol.signal "at_speed" ]
+  in
+  let vehicle =
+    Hybrid.Streamer.leaf "vehicle" ~rate:0.05 ~dim:1 ~init:[| 0. |]
+      ~dports:
+        [ Hybrid.Streamer.dport_in "force"; Hybrid.Streamer.dport_out "speed" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "speed") ])
+      ~rhs:(fun (env : Hybrid.Solver.env) _t y ->
+          [| (env.Hybrid.Solver.input "force" -. (0.5 *. y.(0))) /. 10. |])
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"set_speed"
+    (Hybrid.Strategy.set_param_from_payload "ref");
+  let cruise =
+    Hybrid.Streamer.leaf "cruise" ~rate:0.05 ~dim:1 ~init:[| 0. |]
+      ~params:[ ("ref", 5.); ("kp", 8.); ("ki", 2.) ]
+      ~dports:
+        [ Hybrid.Streamer.dport_in "speed"; Hybrid.Streamer.dport_out "force" ]
+      ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
+      ~guards:
+        [ { Hybrid.Streamer.guard_id = "at_speed"; signal = "at_speed";
+            via_sport = "cmd"; direction = Ode.Events.Rising;
+            expr =
+              (fun (env : Hybrid.Solver.env) _t _y ->
+                 0.2
+                 -. Float.abs
+                      (env.Hybrid.Solver.param "ref"
+                       -. env.Hybrid.Solver.input "speed"));
+            payload = None } ]
+      ~strategy
+      ~outputs:(fun (env : Hybrid.Solver.env) _t y ->
+          let p = env.Hybrid.Solver.param in
+          let err = p "ref" -. env.Hybrid.Solver.input "speed" in
+          [ ("force", Dataflow.Value.Float ((p "kp" *. err) +. (p "ki" *. y.(0)))) ])
+      ~rhs:(fun (env : Hybrid.Solver.env) _t _y ->
+          [| env.Hybrid.Solver.param "ref" -. env.Hybrid.Solver.input "speed" |])
+  in
+  let driver =
+    Umlrt.Capsule.create "driver"
+      ~ports:[ Umlrt.Capsule.port ~conjugated:true "cruise" protocol ]
+      ~behavior:(fun (services : Umlrt.Capsule.services) ->
+          { Umlrt.Capsule.on_start =
+              (fun () ->
+                 services.Umlrt.Capsule.send ~port:"cruise"
+                   (Statechart.Event.make ~value:(Dataflow.Value.Float 5.)
+                      "set_speed"));
+            on_event =
+              (fun ~port:_ event ->
+                 String.equal (Statechart.Event.signal event) "at_speed");
+            configuration = (fun () -> []) })
+  in
+  let engine = Hybrid.Engine.create ~root:driver () in
+  Hybrid.Engine.add_streamer engine ~role:"vehicle" vehicle;
+  Hybrid.Engine.add_streamer engine ~role:"cruise" cruise;
+  Hybrid.Engine.connect_flow_exn engine ~src:("vehicle", "speed")
+    ~dst:("cruise", "speed");
+  Hybrid.Engine.connect_flow_exn engine ~src:("cruise", "force")
+    ~dst:("vehicle", "force");
+  Hybrid.Engine.link_sport_exn engine ~role:"cruise" ~sport:"cmd"
+    ~border_port:"cruise";
+  engine
+
+let test_chrome_trace_export () =
+  Obs.Tracer.clear Obs.Tracer.default;
+  with_tracing (fun () ->
+      Hybrid.Engine.run_until (cruise_engine ()) 5.);
+  let cats = Obs.Tracer.categories Obs.Tracer.default in
+  Alcotest.(check bool)
+    (Printf.sprintf "des+hybrid+ode+umlrt all traced (got: %s)"
+       (String.concat ", " cats))
+    true
+    (List.for_all (fun c -> List.mem c cats) [ "des"; "hybrid"; "ode"; "umlrt" ]);
+  let parsed =
+    Obs.Json.of_string
+      (Obs.Export.to_chrome_trace_string ~metrics:Obs.Metrics.default
+         Obs.Tracer.default)
+  in
+  let events =
+    match Obs.Json.member "traceEvents" parsed with
+    | Some l -> Obs.Json.to_list l
+    | None -> []
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "non-empty traceEvents (%d)" (List.length events))
+    true
+    (List.length events > 0);
+  let field name e = Option.bind (Obs.Json.member name e) Obs.Json.string_value in
+  let parsed_cats =
+    List.sort_uniq String.compare (List.filter_map (field "cat") events)
+  in
+  Alcotest.(check bool) "three or more categories in the file" true
+    (List.length parsed_cats >= 3);
+  Alcotest.(check bool) "streamer roles become named tracks" true
+    (List.exists
+       (fun e ->
+          field "name" e = Some "thread_name"
+          && (match Obs.Json.member "args" e with
+              | Some args ->
+                (match Obs.Json.member "name" args with
+                 | Some (Obs.Json.Str "cruise") -> true
+                 | _ -> false)
+              | None -> false))
+       events);
+  Alcotest.(check bool) "metrics dump rides along" true
+    (Option.bind (Obs.Json.member "otherData" parsed) (Obs.Json.member "metrics")
+     <> None);
+  Obs.Tracer.clear Obs.Tracer.default
+
+let suite =
+  [ Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json: accessors" `Quick test_json_accessors;
+    Alcotest.test_case "metrics: get-or-create" `Quick test_metrics_get_or_create;
+    Alcotest.test_case "metrics: histogram" `Quick test_metrics_histogram;
+    Alcotest.test_case "metrics: reset + json dump" `Quick test_metrics_reset_and_json;
+    Alcotest.test_case "tracer: disabled is silent" `Quick
+      test_tracer_disabled_records_nothing;
+    Alcotest.test_case "tracer: ring overflow" `Quick test_tracer_ring_overflow;
+    Alcotest.test_case "tracer: span duration" `Quick test_tracer_span_duration;
+    Alcotest.test_case "chrome trace from a cruise run" `Quick
+      test_chrome_trace_export ]

@@ -1,0 +1,35 @@
+(** Minimal self-contained JSON: enough to emit and re-read Chrome trace
+    files and metric dumps without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (no insignificant whitespace). Non-finite floats are emitted
+    as [null] — JSON has no representation for them. *)
+
+exception Parse_error of string
+(** Carries a human-readable message with a byte offset. *)
+
+val of_string : string -> t
+(** Strict parser for the grammar [to_string] emits (plus arbitrary
+    whitespace). Numbers without [. e E] parse as [Int], others as
+    [Float]. Raises {!Parse_error} on malformed input or trailing
+    garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields or non-objects. *)
+
+val to_list : t -> t list
+(** Elements of a [List]; [[]] on anything else. *)
+
+val string_value : t -> string option
+(** The payload of a [Str]; [None] otherwise. *)

@@ -115,6 +115,34 @@ let mean t =
     if span <= 0. then Some t.values.(0) else Some (!area /. span)
   end
 
+let of_csv ?name csv =
+  let t = create ?name () in
+  let parse_line lineno line =
+    match String.index_opt line ',' with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Sigtrace.Trace.of_csv: line %d: missing comma" lineno)
+    | Some i ->
+      let field s =
+        match float_of_string_opt (String.trim s) with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Sigtrace.Trace.of_csv: line %d: bad number %S"
+               lineno s)
+      in
+      let time = field (String.sub line 0 i) in
+      let value = field (String.sub line (i + 1) (String.length line - i - 1)) in
+      record t time value
+  in
+  List.iteri
+    (fun k line ->
+       let line = String.trim line in
+       if line <> "" && not (k = 0 && String.equal line "time,value") then
+         parse_line (k + 1) line)
+    (String.split_on_char '\n' csv);
+  t
+
 let to_csv t =
   let buf = Buffer.create (16 * (t.size + 1)) in
   Buffer.add_string buf "time,value\n";

@@ -88,6 +88,48 @@ let test_summary () =
 let test_summary_empty () =
   Alcotest.(check bool) "empty list" true (Sigtrace.Metrics.summarize [] = None)
 
+(* Nearest-rank percentiles at the smallest sample counts: with one
+   element every percentile is that element; with two, p50 is the first
+   (rank ceil(0.5*2) = 1) and p95/p99 the second (rank 2). *)
+let test_summary_singleton () =
+  match Sigtrace.Metrics.summarize [ 7. ] with
+  | Some s ->
+    Alcotest.(check int) "count" 1 s.Sigtrace.Metrics.count;
+    Alcotest.(check (float 1e-9)) "p50" 7. s.Sigtrace.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "p95" 7. s.Sigtrace.Metrics.p95;
+    Alcotest.(check (float 1e-9)) "p99" 7. s.Sigtrace.Metrics.p99;
+    Alcotest.(check (float 1e-9)) "min = max" s.Sigtrace.Metrics.min
+      s.Sigtrace.Metrics.max
+  | None -> Alcotest.fail "non-empty"
+
+let test_summary_pair () =
+  match Sigtrace.Metrics.summarize [ 10.; 2. ] with
+  | Some s ->
+    Alcotest.(check int) "count" 2 s.Sigtrace.Metrics.count;
+    Alcotest.(check (float 1e-9)) "mean" 6. s.Sigtrace.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "p50 is the lower element" 2.
+      s.Sigtrace.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "p95 is the upper element" 10.
+      s.Sigtrace.Metrics.p95;
+    Alcotest.(check (float 1e-9)) "p99 is the upper element" 10.
+      s.Sigtrace.Metrics.p99
+  | None -> Alcotest.fail "non-empty"
+
+let test_csv_roundtrip () =
+  let tr = mk [ (0., 1.5); (0.25, -3.); (1.5, 0.) ] in
+  let back = Sigtrace.Trace.of_csv ~name:"t" (Sigtrace.Trace.to_csv tr) in
+  Alcotest.(check string) "name kept" "t" (Sigtrace.Trace.name back);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "samples survive"
+    (Sigtrace.Trace.samples tr) (Sigtrace.Trace.samples back)
+
+let test_csv_rejects_garbage () =
+  Alcotest.(check bool) "missing comma rejected" true
+    (try ignore (Sigtrace.Trace.of_csv "time,value\n1.0\n"); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-numeric rejected" true
+    (try ignore (Sigtrace.Trace.of_csv "1.0,abc\n"); false
+     with Invalid_argument _ -> true)
+
 (* qcheck: value_at inside the span always lies between the trace's min
    and max (linear interpolation cannot overshoot). *)
 let prop_interpolation_bounded =
@@ -120,6 +162,10 @@ let suite =
     Alcotest.test_case "never settles" `Quick test_never_settles;
     Alcotest.test_case "latency summary" `Quick test_summary;
     Alcotest.test_case "summary of empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary of one element" `Quick test_summary_singleton;
+    Alcotest.test_case "summary of two elements" `Quick test_summary_pair;
+    Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv rejects garbage" `Quick test_csv_rejects_garbage;
     QCheck_alcotest.to_alcotest prop_interpolation_bounded ]
 
 (* ---- STL monitor ---- *)
