@@ -1,5 +1,5 @@
 (* umh — unified modeling of hybrid real-time control systems.
-   Subcommands: check, simulate, codegen, stereotypes, sched. *)
+   Subcommands: check, simulate, codegen, fmt, lint, stereotypes, sched. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -8,25 +8,24 @@ let read_file path =
   close_in ic;
   s
 
-let load_checked path =
-  let source = read_file path in
-  let ast =
-    try Dsl.Parser.parse source with
-    | Dsl.Parser.Parse_error (msg, line, col) ->
-      Printf.eprintf "%s:%d:%d: parse error: %s\n" path line col msg;
-      exit 2
-    | Dsl.Lexer.Lex_error (msg, line, col) ->
-      Printf.eprintf "%s:%d:%d: lexical error: %s\n" path line col msg;
-      exit 2
-  in
-  Dsl.Typecheck.check ast
+let parse_model path source =
+  try Dsl.Parser.parse source with
+  | Dsl.Parser.Parse_error (msg, line, col) ->
+    Printf.eprintf "%s:%d:%d: parse error: %s\n" path line col msg;
+    exit 2
+  | Dsl.Lexer.Lex_error (msg, line, col) ->
+    Printf.eprintf "%s:%d:%d: lexical error: %s\n" path line col msg;
+    exit 2
 
+let load_checked path = Dsl.Typecheck.check (parse_model path (read_file path))
+
+(* Diagnostics go to stderr; only the OK summary belongs on stdout. *)
 let report_check path checked =
   List.iter
-    (fun w -> Printf.printf "%s: warning: %s\n" path w)
+    (fun w -> Printf.eprintf "%s: warning: %s\n" path w)
     checked.Dsl.Typecheck.warnings;
   List.iter
-    (fun e -> Printf.printf "%s: error: %s\n" path e)
+    (fun e -> Printf.eprintf "%s: error: %s\n" path e)
     checked.Dsl.Typecheck.errors;
   if Dsl.Typecheck.is_ok checked then begin
     let model = checked.Dsl.Typecheck.model in
@@ -170,17 +169,62 @@ let codegen_run path outdir =
 (* ---- fmt ---- *)
 
 let fmt_run path in_place =
-  let checked = load_checked path in
-  ignore checked;
-  let ast = Dsl.Parser.parse (read_file path) in
+  let ast = parse_model path (read_file path) in
+  let checked = Dsl.Typecheck.check ast in
+  if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
   let printed = Dsl.Pretty.print_model ast in
   if in_place then begin
-    let oc = open_out path in
-    output_string oc printed;
-    close_out oc;
+    (* Write to a temp file in the same directory, then rename over the
+       original, so an interrupted write can't truncate the model. *)
+    let tmp, oc =
+      Filename.open_temp_file ~temp_dir:(Filename.dirname path)
+        ~mode:[ Open_binary ] ".umh_fmt" ".tmp"
+    in
+    (try
+       output_string oc printed;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path;
     Printf.printf "formatted %s\n" path
   end
   else print_string printed
+
+(* ---- lint ---- *)
+
+let lint_run paths format select ignore werror =
+  let split_codes l =
+    List.concat_map
+      (fun s ->
+         List.filter_map
+           (fun c -> match String.trim c with "" -> None | c -> Some c)
+           (String.split_on_char ',' s))
+      l
+  in
+  let options =
+    { Lint.Linter.select = split_codes select; ignore = split_codes ignore;
+      werror }
+  in
+  (match Lint.Linter.unknown_codes options with
+   | [] -> ()
+   | bad ->
+     Printf.eprintf
+       "umh lint: unknown diagnostic code%s %s (see `umh lint --format json` \
+        for the registry)\n"
+       (if List.length bad = 1 then "" else "s")
+       (String.concat ", " bad);
+     exit 2);
+  let reports =
+    List.map
+      (fun p -> Lint.Linter.apply_options options (Lint.Linter.lint_file p))
+      paths
+  in
+  (match format with
+   | `Text -> print_string (Lint.Linter.to_text reports)
+   | `Json -> print_endline (Obs.Json.to_string (Lint.Linter.to_json reports)));
+  exit (if Lint.Linter.gates reports then 1 else 0)
 
 (* ---- stereotypes ---- *)
 
@@ -279,6 +323,37 @@ let fmt_cmd =
   in
   Cmd.v (Cmd.info "fmt" ~doc) Term.(const fmt_run $ model_arg $ in_place)
 
+let lint_cmd =
+  let doc =
+    "Run every registered static analysis over one or more models: \
+     well-formedness (R1-R8), algebraic loops, statechart reachability / \
+     determinism, orphan DPorts, unused declarations, SPort wiring, rate \
+     consistency and schedulability. Exits 0 when clean, 1 on findings \
+     (errors or warnings), 2 on usage errors."
+  in
+  let models =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"MODEL.umh"
+           ~doc:"Model files to lint.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+           & info [ "format" ] ~docv:"text|json" ~doc:"Output format.")
+  in
+  let select =
+    Arg.(value & opt_all string [] & info [ "select" ] ~docv:"CODES"
+           ~doc:"Only report these comma-separated codes (repeatable).")
+  in
+  let ignore =
+    Arg.(value & opt_all string [] & info [ "ignore" ] ~docv:"CODES"
+           ~doc:"Suppress these comma-separated codes (repeatable).")
+  in
+  let werror =
+    Arg.(value & flag & info [ "werror" ]
+           ~doc:"Report surviving warnings as errors.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint_run $ models $ format $ select $ ignore $ werror)
+
 let stereotypes_cmd =
   let doc = "Print the paper's Table 1 (stereotype registry)." in
   Cmd.v (Cmd.info "stereotypes" ~doc) Term.(const stereotypes_run $ const ())
@@ -294,7 +369,8 @@ let sched_cmd =
 let main =
   let doc = "unified modeling of complex real-time control systems (DATE 2005)" in
   Cmd.group (Cmd.info "umh" ~version:"1.0.0" ~doc)
-    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; stereotypes_cmd; sched_cmd ]
+    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; lint_cmd; stereotypes_cmd;
+      sched_cmd ]
 
 (* Usage errors (unknown subcommand, bad flags) print to stderr and exit 2
    — cmdliner's default for these is 124, which scripts read as a timeout. *)

@@ -135,6 +135,27 @@ let unconnected_inputs t =
          node.inputs)
     (nodes t)
 
+let unconnected_outputs t =
+  List.concat_map
+    (fun node ->
+       List.filter_map
+         (fun (pname, _) ->
+            let consumed =
+              List.exists
+                (fun f ->
+                   String.equal f.src_node.name node.name
+                   && String.equal f.src_port pname)
+                t.flows
+            in
+            if consumed then None else Some (node.name, pname))
+         node.outputs)
+    (nodes t)
+
+let flow_list t =
+  List.rev_map
+    (fun f -> ((f.src_node.name, f.src_port), (f.dst_node.name, f.dst_port)))
+    t.flows
+
 let topo_order t =
   let all = nodes t in
   let indegree = Hashtbl.create 16 in

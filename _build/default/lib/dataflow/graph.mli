@@ -58,6 +58,14 @@ val flow_count : t -> int
 val unconnected_inputs : t -> (string * string) list
 (** (node, port) pairs with no incoming flow — a completeness warning. *)
 
+val unconnected_outputs : t -> (string * string) list
+(** The dual: (node, port) output pairs feeding no flow — their values
+    are computed every tick and never consumed. *)
+
+val flow_list : t -> ((string * string) * (string * string)) list
+(** Every flow as ((src node, src port), (dst node, dst port)), in
+    insertion order — the structural view used by static analyses. *)
+
 val topo_order : t -> (node list, string list) result
 (** Kahn's algorithm over node dependencies; [Error names] lists the
     nodes involved in a cycle. *)

@@ -1,1 +1,1 @@
-lib/dsl/typecheck.ml: Ast Bool Dataflow Expr Hashtbl List Printf Statechart String Umlrt
+lib/dsl/typecheck.ml: Ast Bool Dataflow Expr Hashtbl List Printf String Umlrt

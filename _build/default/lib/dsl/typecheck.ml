@@ -1,12 +1,18 @@
+type message = { at : Ast.pos; text : string }
+
 type checked = {
   model : Ast.model;
   flowtypes : (string * Dataflow.Flow_type.t) list;
   protocols : (string * Umlrt.Protocol.t) list;
+  error_messages : message list;
+  warning_messages : message list;
   errors : string list;
   warnings : string list;
 }
 
 let is_ok c = c.errors = []
+
+let render_message m = Printf.sprintf "%d:%d: %s" m.at.Ast.line m.at.Ast.col m.text
 
 let base_of_ast = function
   | Ast.TFloat -> Dataflow.Flow_type.TFloat
@@ -36,14 +42,10 @@ let check model =
   let errors = ref [] in
   let warnings = ref [] in
   let err (p : Ast.pos) fmt =
-    Printf.ksprintf
-      (fun s -> errors := Printf.sprintf "%d:%d: %s" p.Ast.line p.Ast.col s :: !errors)
-      fmt
+    Printf.ksprintf (fun s -> errors := { at = p; text = s } :: !errors) fmt
   in
   let warn (p : Ast.pos) fmt =
-    Printf.ksprintf
-      (fun s -> warnings := Printf.sprintf "%d:%d: %s" p.Ast.line p.Ast.col s :: !warnings)
-      fmt
+    Printf.ksprintf (fun s -> warnings := { at = p; text = s } :: !warnings) fmt
   in
   (* ----- flow types ----- *)
   List.iter
@@ -441,52 +443,9 @@ let check model =
            warn c.Ast.c_pos "capsule %S: timer %S triggers no transition"
              c.Ast.c_name signal)
       c.Ast.c_timers;
-    (* Reachability / determinism smells via the statechart analyzer —
-       only when the machine is structurally valid. *)
-    if c.Ast.c_states <> [] && c.Ast.c_initial <> None then begin
-      let m = Statechart.Machine.create c.Ast.c_name in
-      let ok = ref true in
-      let rec add ?parent (st : Ast.state_decl) =
-        (try Statechart.Machine.add_state m ?parent st.Ast.st_name
-         with Invalid_argument _ -> ok := false);
-        List.iter (add ~parent:st.Ast.st_name) st.Ast.st_children;
-        match st.Ast.st_initial with
-        | Some i ->
-          (try Statechart.Machine.set_initial m ~of_:st.Ast.st_name i
-           with Invalid_argument _ -> ok := false)
-        | None -> ()
-      in
-      List.iter (fun st -> add st) c.Ast.c_states;
-      (match c.Ast.c_initial with
-       | Some i ->
-         (try Statechart.Machine.set_initial m i
-          with Invalid_argument _ -> ok := false)
-       | None -> ok := false);
-      let rec add_transitions (st : Ast.state_decl) =
-        List.iter
-          (fun (tr : Ast.transition_decl) ->
-             try
-               Statechart.Machine.add_transition m ~src:st.Ast.st_name
-                 ~dst:tr.Ast.tr_target ~trigger:tr.Ast.tr_trigger ()
-             with Invalid_argument _ -> ok := false)
-          st.Ast.st_transitions;
-        List.iter add_transitions st.Ast.st_children
-      in
-      List.iter add_transitions c.Ast.c_states;
-      if !ok && Statechart.Machine.validate m = [] then begin
-        let report = Statechart.Analysis.analyze m in
-        List.iter
-          (fun s ->
-             warn c.Ast.c_pos "capsule %S: state %S is unreachable" c.Ast.c_name s)
-          report.Statechart.Analysis.unreachable;
-        List.iter
-          (fun (state, trigger) ->
-             warn c.Ast.c_pos
-               "capsule %S: state %S has several unguarded transitions on %S (only the first fires)"
-               c.Ast.c_name state trigger)
-          report.Statechart.Analysis.nondeterministic
-      end
-    end
+    (* Reachability / determinism / dead-transition smells live in
+       [Lint.Rules] (codes UMH020-UMH023), which runs the statechart
+       analyzer with per-state source spans. *)
   in
   List.iter check_capsule model.Ast.m_capsules;
   (* ----- system ----- *)
@@ -666,5 +625,8 @@ let check model =
                            "link %s.%s -- %s.%s: exactly one end must be conjugated"
                            si sp ci cp)))))
        sys.Ast.sys_connections);
-  { model; flowtypes; protocols;
-    errors = List.rev !errors; warnings = List.rev !warnings }
+  let error_messages = List.rev !errors in
+  let warning_messages = List.rev !warnings in
+  { model; flowtypes; protocols; error_messages; warning_messages;
+    errors = List.map render_message error_messages;
+    warnings = List.map render_message warning_messages }

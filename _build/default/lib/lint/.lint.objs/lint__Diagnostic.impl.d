@@ -1,0 +1,1 @@
+lib/lint/diagnostic.ml: Obs Printf Stdlib String

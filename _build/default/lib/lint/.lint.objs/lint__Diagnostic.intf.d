@@ -1,0 +1,1 @@
+lib/lint/diagnostic.mli: Obs

@@ -1,0 +1,1 @@
+lib/lint/linter.mli: Diagnostic Obs

@@ -1,0 +1,1 @@
+lib/lint/rules.ml: Ast Dataflow Diagnostic Dsl Hybrid List Option Printf Statechart String Typecheck

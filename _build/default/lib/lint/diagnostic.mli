@@ -1,0 +1,43 @@
+(** One linter finding: a stable diagnostic code, a severity, a message,
+    and (when the construct came from source text) a [file:line:col]
+    span. Codes are stable across releases — CI configurations select and
+    ignore by code — and each code carries the paper rule or figure it
+    enforces (see {!Rules.registry}). *)
+
+type severity = Error | Warning | Info
+
+type span = { file : string; line : int; col : int }
+
+type t = {
+  code : string;        (** stable code, ["UMH001"] ... *)
+  severity : severity;
+  message : string;
+  span : span option;
+  rule : string option; (** paper rule reference, e.g. ["R2"] *)
+}
+
+val make :
+  ?span:span -> ?rule:string -> code:string -> severity:severity -> string -> t
+
+val makef :
+  ?span:span -> ?rule:string -> code:string -> severity:severity
+  -> ('a, unit, string, t) format4 -> 'a
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val is_error : t -> bool
+val gates : t -> bool
+(** Errors and warnings gate ([umh lint] exits 1); info findings do not. *)
+
+val promote_warning : t -> t
+(** [--werror]: warnings become errors; errors and infos are unchanged. *)
+
+val compare : t -> t -> int
+(** Source order: (file, line, col), then severity (errors first), then
+    code. Spanless diagnostics sort before positioned ones. *)
+
+val to_string : t -> string
+(** ["file:line:col: severity[CODE] message (rule R2)"]. *)
+
+val to_json : t -> Obs.Json.t

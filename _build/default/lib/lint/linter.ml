@@ -1,0 +1,155 @@
+type options = {
+  select : string list;
+  ignore : string list;
+  werror : bool;
+}
+
+let default_options = { select = []; ignore = []; werror = false }
+
+let unknown_codes o =
+  List.filter
+    (fun c -> not (Rules.is_known_code c))
+    (o.select @ o.ignore)
+
+type report = {
+  file : string;
+  diagnostics : Diagnostic.t list;
+}
+
+(* Typecheck messages embed their paper reference as "(rule R4)"; lift
+   it into the structured [rule] field. *)
+let rule_ref text =
+  let n = String.length text in
+  let rec scan i =
+    if i + 5 > n then None
+    else if String.sub text i 5 = "rule " then begin
+      let j = ref (i + 5) in
+      while !j < n && (text.[!j] = 'R' || (text.[!j] >= '0' && text.[!j] <= '9')) do
+        incr j
+      done;
+      if !j > i + 6 then Some (String.sub text (i + 5) (!j - i - 5)) else scan (i + 1)
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let front_end_diag file (m : Rules.meta) (msg : Dsl.Typecheck.message) =
+  Diagnostic.make
+    ~span:{ Diagnostic.file; line = msg.Dsl.Typecheck.at.Dsl.Ast.line;
+            col = msg.Dsl.Typecheck.at.Dsl.Ast.col }
+    ?rule:(rule_ref msg.Dsl.Typecheck.text)
+    ~code:m.Rules.code ~severity:m.Rules.severity msg.Dsl.Typecheck.text
+
+let syntax_diag file msg line col =
+  Diagnostic.make
+    ~span:{ Diagnostic.file; line; col }
+    ~code:Rules.meta_syntax.Rules.code
+    ~severity:Rules.meta_syntax.Rules.severity msg
+
+let lint_source ~file source =
+  let diagnostics =
+    match Dsl.Parser.parse source with
+    | exception Dsl.Parser.Parse_error (msg, line, col) ->
+      [ syntax_diag file ("parse error: " ^ msg) line col ]
+    | exception Dsl.Lexer.Lex_error (msg, line, col) ->
+      [ syntax_diag file ("lexical error: " ^ msg) line col ]
+    | ast ->
+      let checked = Dsl.Typecheck.check ast in
+      let front =
+        List.map
+          (front_end_diag file Rules.meta_typecheck)
+          checked.Dsl.Typecheck.error_messages
+        @ List.map
+            (front_end_diag file Rules.meta_typecheck_warn)
+            checked.Dsl.Typecheck.warning_messages
+      in
+      if not (Dsl.Typecheck.is_ok checked) then front
+      else
+        let input = { Rules.file; checked } in
+        front
+        @ List.concat_map (fun (_, check) -> check input) Rules.semantic
+  in
+  { file; diagnostics = List.sort Diagnostic.compare diagnostics }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~file:path (read_file path)
+
+let apply_options o r =
+  let keep d =
+    (o.select = [] || List.mem d.Diagnostic.code o.select)
+    && not (List.mem d.Diagnostic.code o.ignore)
+  in
+  let promote = if o.werror then Diagnostic.promote_warning else Fun.id in
+  { r with diagnostics = List.map promote (List.filter keep r.diagnostics) }
+
+let gates reports =
+  List.exists (fun r -> List.exists Diagnostic.gates r.diagnostics) reports
+
+let summary reports =
+  List.fold_left
+    (fun acc r ->
+       List.fold_left
+         (fun (e, w, i) d ->
+            match d.Diagnostic.severity with
+            | Diagnostic.Error -> (e + 1, w, i)
+            | Diagnostic.Warning -> (e, w + 1, i)
+            | Diagnostic.Info -> (e, w, i + 1))
+         acc r.diagnostics)
+    (0, 0, 0) reports
+
+let to_text reports =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+       List.iter
+         (fun d ->
+            Buffer.add_string buf (Diagnostic.to_string d);
+            Buffer.add_char buf '\n')
+         r.diagnostics)
+    reports;
+  let e, w, i = summary reports in
+  if e + w + i = 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d file%s clean\n" (List.length reports)
+         (if List.length reports = 1 then "" else "s"))
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "%d error%s, %d warning%s, %d info\n" e
+         (if e = 1 then "" else "s") w (if w = 1 then "" else "s") i);
+  Buffer.contents buf
+
+let to_json reports =
+  let rules =
+    List.map
+      (fun (m : Rules.meta) ->
+         Obs.Json.Obj
+           [ ("code", Obs.Json.Str m.Rules.code);
+             ("severity", Obs.Json.Str (Diagnostic.severity_name m.Rules.severity));
+             ("title", Obs.Json.Str m.Rules.title);
+             ("paper", Obs.Json.Str m.Rules.paper) ])
+      Rules.registry
+  in
+  let files =
+    List.map
+      (fun r ->
+         Obs.Json.Obj
+           [ ("file", Obs.Json.Str r.file);
+             ("diagnostics",
+              Obs.Json.List (List.map Diagnostic.to_json r.diagnostics)) ])
+      reports
+  in
+  let e, w, i = summary reports in
+  Obs.Json.Obj
+    [ ("rules", Obs.Json.List rules);
+      ("files", Obs.Json.List files);
+      ("summary",
+       Obs.Json.Obj
+         [ ("errors", Obs.Json.Int e);
+           ("warnings", Obs.Json.Int w);
+           ("infos", Obs.Json.Int i);
+           ("gating", Obs.Json.Bool (gates reports)) ]) ]

@@ -1,0 +1,47 @@
+(** The lint driver: parse + typecheck a model, map front-end messages
+    onto stable codes (UMH001-UMH003), run every registered semantic rule
+    (see {!Rules.semantic}), then filter/promote per the command-line
+    options and render as text or JSON. *)
+
+type options = {
+  select : string list;  (** keep only these codes (empty = all) *)
+  ignore : string list;  (** drop these codes *)
+  werror : bool;         (** promote surviving warnings to errors *)
+}
+
+val default_options : options
+
+val unknown_codes : options -> string list
+(** Codes mentioned in [select]/[ignore] that no rule registers —
+    a usage error ([umh lint] exits 2). *)
+
+type report = {
+  file : string;
+  diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
+}
+
+val lint_source : file:string -> string -> report
+(** Lint source text. Parse and lexical errors become a single [UMH001]
+    diagnostic; well-formedness errors/warnings become [UMH002]/[UMH003];
+    semantic rules run only when the model typechecks cleanly. *)
+
+val lint_file : string -> report
+(** {!lint_source} on the file's contents. *)
+
+val apply_options : options -> report -> report
+(** Select/ignore filtering, then [--werror] promotion. *)
+
+val gates : report list -> bool
+(** True when any surviving diagnostic is an error or warning — the
+    findings exit code ([umh lint] exits 1). *)
+
+val summary : report list -> int * int * int
+(** (errors, warnings, infos) across all reports. *)
+
+val to_text : report list -> string
+(** One {!Diagnostic.to_string} line per finding, grouped per file in
+    source order, followed by a one-line summary. *)
+
+val to_json : report list -> Obs.Json.t
+(** [{ "rules": [registry...], "files": [{file, diagnostics}...],
+      "summary": {errors, warnings, infos, gating} }]. *)

@@ -1,0 +1,694 @@
+open Dsl
+
+type input = {
+  file : string;
+  checked : Typecheck.checked;
+}
+
+type meta = {
+  code : string;
+  severity : Diagnostic.severity;
+  title : string;
+  paper : string;
+}
+
+let span_of file (p : Ast.pos) =
+  { Diagnostic.file; line = p.Ast.line; col = p.Ast.col }
+
+let diag input (m : meta) ?pos ?rule fmt =
+  Diagnostic.makef
+    ?span:(Option.map (span_of input.file) pos)
+    ?rule ~code:m.code ~severity:m.severity fmt
+
+(* ---------------------------------------------------------------- *)
+(* Shared model helpers                                             *)
+(* ---------------------------------------------------------------- *)
+
+let find_streamer (model : Ast.model) name =
+  List.find_opt
+    (fun (s : Ast.streamer_decl) -> String.equal s.Ast.s_name name)
+    model.Ast.m_streamers
+
+let find_capsule (model : Ast.model) name =
+  List.find_opt
+    (fun (c : Ast.capsule_decl) -> String.equal c.Ast.c_name name)
+    model.Ast.m_capsules
+
+let is_leaf (s : Ast.streamer_decl) = s.Ast.s_contains = []
+
+let rec capsule_triggers (st : Ast.state_decl) =
+  List.map (fun (tr : Ast.transition_decl) -> tr.Ast.tr_trigger)
+    st.Ast.st_transitions
+  @ List.concat_map capsule_triggers st.Ast.st_children
+
+(* ---------------------------------------------------------------- *)
+(* The elaborated dataflow graph, built structurally                 *)
+(* ---------------------------------------------------------------- *)
+
+(* Mirror of [Dsl.Elaborate] / [Hybrid.Engine] flattening, without
+   instantiating solvers: composite streamers flatten into "role.child"
+   leaves, every composite border DPort and capsule relay DPort becomes a
+   1-in/1-out junction node named "owner.port". Alongside the graph we
+   keep the tick period of each leaf node and a source position for each
+   port and each flow, so findings can carry file:line:col spans. *)
+type built = {
+  graph : Dataflow.Graph.t;
+  periods : (string * float) list;                 (* leaf role -> period *)
+  port_pos : ((string * string) * Ast.pos) list;   (* (node, port) -> decl *)
+  flow_pos : ((string * string) * Ast.pos) list;   (* (dst node, dst port) *)
+}
+
+let build_graph input =
+  let model = input.checked.Typecheck.model in
+  match model.Ast.m_system with
+  | None -> None
+  | Some sys ->
+    let g = Dataflow.Graph.create () in
+    let periods = ref [] in
+    let port_pos = ref [] in
+    let flow_pos = ref [] in
+    let ft name = Typecheck.flow_type_of input.checked name in
+    let record node port pos = port_pos := ((node, port), pos) :: !port_pos in
+    let connect ~pos ~src ~dst =
+      match
+        ( Dataflow.Graph.find_node g (fst src),
+          Dataflow.Graph.find_node g (fst dst) )
+      with
+      | Some sn, Some dn ->
+        (* Structural errors here (type subset, double drivers) were
+           already reported by the typechecker as UMH002. *)
+        (match Dataflow.Graph.connect g ~src:(sn, snd src) ~dst:(dn, snd dst) with
+         | Ok () -> flow_pos := ((fst dst, snd dst), pos) :: !flow_pos
+         | Error _ -> ())
+      | _, _ -> ()
+    in
+    let rec add_streamer role (s : Ast.streamer_decl) =
+      if is_leaf s then begin
+        let dir d (x : Ast.dport_decl) = x.Ast.dp_dir = Some d in
+        let ports d =
+          List.filter_map
+            (fun (x : Ast.dport_decl) ->
+               if dir d x then Some (x.Ast.dp_name, ft x.Ast.dp_type) else None)
+            s.Ast.s_dports
+        in
+        ignore
+          (Dataflow.Graph.add_node g ~name:role ~inputs:(ports Ast.Din)
+             ~outputs:(ports Ast.Dout));
+        List.iter
+          (fun (x : Ast.dport_decl) -> record role x.Ast.dp_name x.Ast.dp_pos)
+          s.Ast.s_dports;
+        match s.Ast.s_rate with
+        | Some r when r > 0. -> periods := (role, r) :: !periods
+        | Some _ | None -> ()
+      end
+      else begin
+        List.iter
+          (fun (child, cls) ->
+             match find_streamer model cls with
+             | Some sub -> add_streamer (role ^ "." ^ child) sub
+             | None -> ())
+          s.Ast.s_contains;
+        List.iter
+          (fun (x : Ast.dport_decl) ->
+             let name = role ^ "." ^ x.Ast.dp_name in
+             ignore (Dataflow.Graph.add_junction g ~name (ft x.Ast.dp_type));
+             record name "in" x.Ast.dp_pos;
+             record name "out1" x.Ast.dp_pos)
+          s.Ast.s_dports;
+        let resolve (ep : Ast.internal_endpoint) ~as_source =
+          match ep.Ast.ie_child with
+          | None ->
+            Some (role ^ "." ^ ep.Ast.ie_port, if as_source then "out1" else "in")
+          | Some child ->
+            (match List.assoc_opt child s.Ast.s_contains with
+             | None -> None
+             | Some cls ->
+               (match find_streamer model cls with
+                | None -> None
+                | Some sub ->
+                  if is_leaf sub then Some (role ^ "." ^ child, ep.Ast.ie_port)
+                  else
+                    Some
+                      ( role ^ "." ^ child ^ "." ^ ep.Ast.ie_port,
+                        if as_source then "out1" else "in" )))
+        in
+        List.iter
+          (fun (se, de) ->
+             match (resolve se ~as_source:true, resolve de ~as_source:false) with
+             | Some src, Some dst -> connect ~pos:s.Ast.s_pos ~src ~dst
+             | _, _ -> ())
+          s.Ast.s_flows
+      end
+    in
+    let streamer_class iname =
+      List.find_map
+        (function
+          | Ast.Istreamer { iname = n; iclass; _ } when String.equal n iname ->
+            find_streamer model iclass
+          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
+        sys.Ast.sys_instances
+    in
+    let capsule_class iname =
+      List.find_map
+        (function
+          | Ast.Icapsule { iname = n; iclass; _ } when String.equal n iname ->
+            find_capsule model iclass
+          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
+        sys.Ast.sys_instances
+    in
+    let is_relay iname =
+      List.exists
+        (function
+          | Ast.Irelay { iname = n; _ } -> String.equal n iname
+          | Ast.Istreamer _ | Ast.Icapsule _ -> false)
+        sys.Ast.sys_instances
+    in
+    List.iter
+      (function
+        | Ast.Istreamer { iname; iclass; _ } ->
+          (match find_streamer model iclass with
+           | Some d -> add_streamer iname d
+           | None -> ())
+        | Ast.Irelay { iname; itype; ifanout; ipos } ->
+          if ifanout >= 2 then begin
+            ignore (Dataflow.Graph.add_relay g ~name:iname (ft itype) ~fanout:ifanout);
+            record iname "in" ipos;
+            for k = 1 to ifanout do
+              record iname (Printf.sprintf "out%d" k) ipos
+            done
+          end
+        | Ast.Icapsule { iname; iclass; _ } ->
+          (match find_capsule model iclass with
+           | None -> ()
+           | Some c ->
+             List.iter
+               (fun (x : Ast.dport_decl) ->
+                  let name = iname ^ "." ^ x.Ast.dp_name in
+                  ignore (Dataflow.Graph.add_junction g ~name (ft x.Ast.dp_type));
+                  record name "in" x.Ast.dp_pos;
+                  record name "out1" x.Ast.dp_pos)
+               c.Ast.c_dports))
+      sys.Ast.sys_instances;
+    let resolve_sys (inst, port) ~as_source =
+      match streamer_class inst with
+      | Some s ->
+        if is_leaf s then Some (inst, port)
+        else Some (inst ^ "." ^ port, if as_source then "out1" else "in")
+      | None ->
+        if is_relay inst then Some (inst, port)
+        else if capsule_class inst <> None then
+          Some (inst ^ "." ^ port, if as_source then "out1" else "in")
+        else None
+    in
+    List.iter
+      (function
+        | Ast.Cflow { cf_src; cf_dst; cf_pos } ->
+          (match
+             ( resolve_sys cf_src ~as_source:true,
+               resolve_sys cf_dst ~as_source:false )
+           with
+           | Some src, Some dst -> connect ~pos:cf_pos ~src ~dst
+           | _, _ -> ())
+        | Ast.Clink _ -> ())
+      sys.Ast.sys_connections;
+    Some
+      { graph = g; periods = !periods; port_pos = !port_pos;
+        flow_pos = !flow_pos }
+
+(* Computed once per lint run: the driver passes each rule the same
+   input value, so a keyed memo of size 1 is enough. *)
+let memo_graph : (input * built option) option ref = ref None
+
+let graph_of input =
+  match !memo_graph with
+  | Some (k, v) when k == input -> v
+  | _ ->
+    let v = try build_graph input with Invalid_argument _ -> None in
+    memo_graph := Some (input, v);
+    v
+
+(* ---------------------------------------------------------------- *)
+(* UMH01x — dataflow graph                                          *)
+(* ---------------------------------------------------------------- *)
+
+let meta_loop =
+  { code = "UMH010"; severity = Diagnostic.Error;
+    title = "algebraic loop in the dataflow graph";
+    paper = "Fig. 3 (flows are directed; propagation needs an order)" }
+
+let check_loop input =
+  match graph_of input with
+  | None -> []
+  | Some b ->
+    (match Dataflow.Graph.topo_order b.graph with
+     | Ok _ -> []
+     | Error names ->
+       let pos =
+         List.find_map
+           (fun ((dst, _), pos) ->
+              if List.mem dst names then Some pos else None)
+           b.flow_pos
+       in
+       [ diag input meta_loop ?pos ~rule:"R2"
+           "algebraic loop through %s — every dataflow cycle needs a state \
+            (integrator) to break the instantaneous dependency"
+           (String.concat " -> " names) ])
+
+let meta_orphan_in =
+  { code = "UMH011"; severity = Diagnostic.Warning;
+    title = "unconnected DPort input";
+    paper = "Fig. 2 (DPorts carry flows between streamers)" }
+
+let check_orphan_inputs input =
+  match graph_of input with
+  | None -> []
+  | Some b ->
+    List.map
+      (fun (node, port) ->
+         let pos = List.assoc_opt (node, port) b.port_pos in
+         diag input meta_orphan_in ?pos ~rule:"R2"
+           "DPort input %s.%s has no driving flow — it reads as a constant 0"
+           node port)
+      (Dataflow.Graph.unconnected_inputs b.graph)
+
+let meta_orphan_out =
+  { code = "UMH012"; severity = Diagnostic.Info;
+    title = "unconnected DPort output";
+    paper = "Fig. 2 (DPorts carry flows between streamers)" }
+
+let check_orphan_outputs input =
+  match graph_of input with
+  | None -> []
+  | Some b ->
+    List.map
+      (fun (node, port) ->
+         let pos = List.assoc_opt (node, port) b.port_pos in
+         diag input meta_orphan_out ?pos ~rule:"R2"
+           "DPort output %s.%s is computed every tick but never consumed"
+           node port)
+      (Dataflow.Graph.unconnected_outputs b.graph)
+
+(* ---------------------------------------------------------------- *)
+(* UMH02x — capsule statecharts                                     *)
+(* ---------------------------------------------------------------- *)
+
+let rec state_positions (st : Ast.state_decl) =
+  (st.Ast.st_name, st.Ast.st_pos)
+  :: List.concat_map state_positions st.Ast.st_children
+
+let rec transition_positions (st : Ast.state_decl) =
+  List.map
+    (fun (tr : Ast.transition_decl) ->
+       ((st.Ast.st_name, tr.Ast.tr_trigger), tr.Ast.tr_pos))
+    st.Ast.st_transitions
+  @ List.concat_map transition_positions st.Ast.st_children
+
+(* Rebuild the declared statechart as a [Statechart.Machine] — the same
+   construction [Dsl.Elaborate] performs, minus actions — and analyze it.
+   Structurally broken machines were already rejected by the typechecker,
+   so construction failures simply skip the analysis. *)
+let analyze_capsule (c : Ast.capsule_decl) =
+  if c.Ast.c_states = [] || c.Ast.c_initial = None then None
+  else
+    try
+      let m = Statechart.Machine.create c.Ast.c_name in
+      let rec add ?parent (st : Ast.state_decl) =
+        Statechart.Machine.add_state m ?parent st.Ast.st_name;
+        List.iter (add ~parent:st.Ast.st_name) st.Ast.st_children;
+        match st.Ast.st_initial with
+        | Some i -> Statechart.Machine.set_initial m ~of_:st.Ast.st_name i
+        | None -> ()
+      in
+      List.iter (fun st -> add st) c.Ast.c_states;
+      (match c.Ast.c_initial with
+       | Some i -> Statechart.Machine.set_initial m i
+       | None -> ());
+      let rec add_transitions (st : Ast.state_decl) =
+        List.iter
+          (fun (tr : Ast.transition_decl) ->
+             Statechart.Machine.add_transition m ~src:st.Ast.st_name
+               ~dst:tr.Ast.tr_target ~trigger:tr.Ast.tr_trigger ())
+          st.Ast.st_transitions;
+        List.iter add_transitions st.Ast.st_children
+      in
+      List.iter add_transitions c.Ast.c_states;
+      if Statechart.Machine.validate m = [] then
+        Some (Statechart.Analysis.analyze m)
+      else None
+    with Invalid_argument _ -> None
+
+let over_capsules input f =
+  List.concat_map
+    (fun (c : Ast.capsule_decl) ->
+       match analyze_capsule c with
+       | None -> []
+       | Some report ->
+         let spos = List.concat_map state_positions c.Ast.c_states in
+         let tpos = List.concat_map transition_positions c.Ast.c_states in
+         f c report ~state_pos:(fun s -> List.assoc_opt s spos)
+           ~trans_pos:(fun key -> List.assoc_opt key tpos))
+    input.checked.Typecheck.model.Ast.m_capsules
+
+let meta_unreachable =
+  { code = "UMH020"; severity = Diagnostic.Warning;
+    title = "unreachable state";
+    paper = "§3 (capsule behaviour is a statechart)" }
+
+let check_unreachable input =
+  over_capsules input
+    (fun c report ~state_pos ~trans_pos:_ ->
+       List.map
+         (fun s ->
+            diag input meta_unreachable ?pos:(state_pos s)
+              "capsule %S: state %S can never be entered from the initial \
+               configuration"
+              c.Ast.c_name s)
+         report.Statechart.Analysis.unreachable)
+
+let meta_dead =
+  { code = "UMH021"; severity = Diagnostic.Warning;
+    title = "dead transition";
+    paper = "§3 (capsule behaviour is a statechart)" }
+
+let check_dead_transitions input =
+  over_capsules input
+    (fun c report ~state_pos:_ ~trans_pos ->
+       List.map
+         (fun (s, trigger) ->
+            diag input meta_dead ?pos:(trans_pos (s, trigger))
+              "capsule %S: transition on %S can never fire — its source \
+               state %S is unreachable"
+              c.Ast.c_name trigger s)
+         report.Statechart.Analysis.dead_transitions)
+
+let meta_nondet =
+  { code = "UMH022"; severity = Diagnostic.Warning;
+    title = "nondeterministic trigger";
+    paper = "§3 (run-to-completion picks the first match)" }
+
+let check_nondeterminism input =
+  over_capsules input
+    (fun c report ~state_pos ~trans_pos:_ ->
+       List.map
+         (fun (s, trigger) ->
+            diag input meta_nondet ?pos:(state_pos s)
+              "capsule %S: state %S has several unguarded transitions on %S \
+               — only the first ever fires"
+              c.Ast.c_name s trigger)
+         report.Statechart.Analysis.nondeterministic)
+
+let meta_sink =
+  { code = "UMH023"; severity = Diagnostic.Info;
+    title = "sink state";
+    paper = "§3 (capsule behaviour is a statechart)" }
+
+let check_sinks input =
+  over_capsules input
+    (fun c report ~state_pos ~trans_pos:_ ->
+       List.map
+         (fun s ->
+            diag input meta_sink ?pos:(state_pos s)
+              "capsule %S: state %S has no outgoing or inherited transitions \
+               — once entered the capsule is inert"
+              c.Ast.c_name s)
+         report.Statechart.Analysis.sink_states)
+
+(* ---------------------------------------------------------------- *)
+(* UMH03x — declaration hygiene                                     *)
+(* ---------------------------------------------------------------- *)
+
+let meta_unused_ft =
+  { code = "UMH030"; severity = Diagnostic.Warning;
+    title = "unused flowtype";
+    paper = "Table 1 (flow type specializes protocol)" }
+
+let check_unused_flowtypes input =
+  let model = input.checked.Typecheck.model in
+  let dport_types dports =
+    List.filter_map (fun (d : Ast.dport_decl) -> d.Ast.dp_type) dports
+  in
+  let used =
+    List.concat_map
+      (fun (s : Ast.streamer_decl) -> dport_types s.Ast.s_dports)
+      model.Ast.m_streamers
+    @ List.concat_map
+        (fun (c : Ast.capsule_decl) -> dport_types c.Ast.c_dports)
+        model.Ast.m_capsules
+    @ List.concat_map
+        (fun (p : Ast.protocol_decl) ->
+           List.filter_map
+             (fun (s : Ast.signal_decl) -> s.Ast.sig_payload)
+             (p.Ast.proto_in @ p.Ast.proto_out))
+        model.Ast.m_protocols
+    @ (match model.Ast.m_system with
+       | None -> []
+       | Some sys ->
+         List.filter_map
+           (function
+             | Ast.Irelay { itype; _ } -> itype
+             | Ast.Icapsule _ | Ast.Istreamer _ -> None)
+           sys.Ast.sys_instances)
+  in
+  List.filter_map
+    (fun (ftd : Ast.flowtype_decl) ->
+       if List.mem ftd.Ast.ft_name used then None
+       else
+         Some
+           (diag input meta_unused_ft ~pos:ftd.Ast.ft_pos
+              "flowtype %S is declared but no DPort, relay or signal payload \
+               uses it"
+              ftd.Ast.ft_name))
+    model.Ast.m_flowtypes
+
+let meta_unused_proto =
+  { code = "UMH031"; severity = Diagnostic.Warning;
+    title = "unused protocol";
+    paper = "Table 1 (SPorts speak protocols)" }
+
+let check_unused_protocols input =
+  let model = input.checked.Typecheck.model in
+  let used =
+    List.concat_map
+      (fun (s : Ast.streamer_decl) ->
+         List.map (fun (sp : Ast.sport_decl) -> sp.Ast.sp_proto) s.Ast.s_sports)
+      model.Ast.m_streamers
+    @ List.concat_map
+        (fun (c : Ast.capsule_decl) ->
+           List.map (fun (_, proto, _, _) -> proto) c.Ast.c_ports)
+        model.Ast.m_capsules
+  in
+  List.filter_map
+    (fun (p : Ast.protocol_decl) ->
+       if List.mem p.Ast.proto_name used then None
+       else
+         Some
+           (diag input meta_unused_proto ~pos:p.Ast.proto_pos
+              "protocol %S is declared but no SPort or capsule port speaks it"
+              p.Ast.proto_name))
+    model.Ast.m_protocols
+
+let meta_unlinked_sport =
+  { code = "UMH032"; severity = Diagnostic.Warning;
+    title = "unlinked SPort";
+    paper = "R4 (streamers talk to capsules only via SPort links)" }
+
+let check_unlinked_sports input =
+  let model = input.checked.Typecheck.model in
+  match model.Ast.m_system with
+  | None -> []
+  | Some sys ->
+    let linked iname sport =
+      List.exists
+        (function
+          | Ast.Clink { cl_streamer = (si, sp); _ } ->
+            String.equal si iname && String.equal sp sport
+          | Ast.Cflow _ -> false)
+        sys.Ast.sys_connections
+    in
+    List.concat_map
+      (function
+        | Ast.Istreamer { iname; iclass; _ } ->
+          (match find_streamer model iclass with
+           | None -> []
+           | Some s ->
+             List.filter_map
+               (fun (sp : Ast.sport_decl) ->
+                  if linked iname sp.Ast.sp_name then None
+                  else
+                    Some
+                      (diag input meta_unlinked_sport ~pos:sp.Ast.sp_pos
+                         ~rule:"R4"
+                         "SPort %s.%s is not linked to any capsule port — \
+                          emitted signals are dropped and strategies never \
+                          trigger"
+                         iname sp.Ast.sp_name))
+               s.Ast.s_sports)
+        | Ast.Icapsule _ | Ast.Irelay _ -> [])
+      sys.Ast.sys_instances
+
+let meta_unheard_signal =
+  { code = "UMH033"; severity = Diagnostic.Warning;
+    title = "guard signal unhandled by peer";
+    paper = "R4 (SPort signals drive the peer statechart)" }
+
+let check_unheard_signals input =
+  let model = input.checked.Typecheck.model in
+  match model.Ast.m_system with
+  | None -> []
+  | Some sys ->
+    let streamer_class iname =
+      List.find_map
+        (function
+          | Ast.Istreamer { iname = n; iclass; _ } when String.equal n iname ->
+            find_streamer model iclass
+          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
+        sys.Ast.sys_instances
+    in
+    let capsule_class iname =
+      List.find_map
+        (function
+          | Ast.Icapsule { iname = n; iclass; _ } when String.equal n iname ->
+            find_capsule model iclass
+          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
+        sys.Ast.sys_instances
+    in
+    List.concat_map
+      (function
+        | Ast.Clink { cl_streamer = (si, sp); cl_capsule = (ci, _); _ } ->
+          (match (streamer_class si, capsule_class ci) with
+           | Some s, Some c ->
+             let triggers = List.concat_map capsule_triggers c.Ast.c_states in
+             List.filter_map
+               (fun (g : Ast.guard_decl) ->
+                  if
+                    (not (String.equal g.Ast.g_sport sp))
+                    || List.mem g.Ast.g_signal triggers
+                  then None
+                  else
+                    Some
+                      (diag input meta_unheard_signal ~pos:g.Ast.g_pos
+                         ~rule:"R4"
+                         "signal %S emitted via %s.%s is never a trigger in \
+                          capsule %S — the crossing is detected and then \
+                          ignored"
+                         g.Ast.g_signal si sp c.Ast.c_name))
+               s.Ast.s_guards
+           | _, _ -> [])
+        | Ast.Cflow _ -> [])
+      sys.Ast.sys_connections
+
+(* ---------------------------------------------------------------- *)
+(* UMH04x — deployment                                              *)
+(* ---------------------------------------------------------------- *)
+
+let meta_rate =
+  { code = "UMH040"; severity = Diagnostic.Warning;
+    title = "rate mismatch on a flow";
+    paper = "§5 (one thread per streamer, declared tick rates)" }
+
+let check_rates input =
+  match graph_of input with
+  | None -> []
+  | Some b ->
+    let flows = Dataflow.Graph.flow_list b.graph in
+    (* Walk back through relays/junctions to the leaf streamer that
+       actually produces the samples arriving at a node. *)
+    let rec producer visited node =
+      if List.mem node visited then None
+      else
+        match List.assoc_opt node b.periods with
+        | Some p -> Some (node, p)
+        | None ->
+          (match
+             List.find_opt (fun (_, (dn, _)) -> String.equal dn node) flows
+           with
+           | Some ((sn, _), _) -> producer (node :: visited) sn
+           | None -> None)
+    in
+    List.filter_map
+      (fun ((sn, _), (dn, dp)) ->
+         match List.assoc_opt dn b.periods with
+         | None -> None
+         | Some consumer_period ->
+           (match producer [ dn ] sn with
+            | Some (pn, producer_period)
+              when producer_period < consumer_period *. (1. -. 1e-9) ->
+              let pos = List.assoc_opt (dn, dp) b.flow_pos in
+              Some
+                (diag input meta_rate ?pos
+                   "fast producer into slow consumer: %s ticks every %gs but \
+                    %s reads %s.%s only every %gs — intermediate samples are \
+                    overwritten unread"
+                   pn producer_period dn dn dp consumer_period)
+            | Some _ | None -> None))
+      flows
+
+let meta_sched =
+  { code = "UMH041"; severity = Diagnostic.Warning;
+    title = "thread set may be unschedulable";
+    paper = "§5 / E5 (capsules and streamers on different threads)" }
+
+let check_schedulability input =
+  match graph_of input with
+  | None -> []
+  | Some b ->
+    if b.periods = [] then []
+    else
+      let tasks = Hybrid.Threading.tasks_for (List.rev b.periods) in
+      let r = Hybrid.Threading.analyze tasks in
+      if r.Hybrid.Threading.rm_exact && r.Hybrid.Threading.edf_ok
+         && r.Hybrid.Threading.utilization <= 1.0
+      then []
+      else
+        let pos =
+          match input.checked.Typecheck.model.Ast.m_system with
+          | Some sys -> Some sys.Ast.sys_pos
+          | None -> None
+        in
+        [ diag input meta_sched ?pos
+            "deployment of %d streamer threads may be unschedulable under \
+             the default wcet model: U=%.2f, RM response-time analysis %s, \
+             EDF %s (try `umh sched` with measured wcets)"
+            (List.length b.periods) r.Hybrid.Threading.utilization
+            (if r.Hybrid.Threading.rm_exact then "passes" else "fails")
+            (if r.Hybrid.Threading.edf_ok then "passes" else "fails") ]
+
+(* ---------------------------------------------------------------- *)
+(* Registry                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let meta_syntax =
+  { code = "UMH001"; severity = Diagnostic.Error;
+    title = "syntax error"; paper = "textual front end" }
+
+let meta_typecheck =
+  { code = "UMH002"; severity = Diagnostic.Error;
+    title = "well-formedness violation"; paper = "rules R1-R8, Figs. 2-3" }
+
+let meta_typecheck_warn =
+  { code = "UMH003"; severity = Diagnostic.Warning;
+    title = "well-formedness warning"; paper = "rules R1-R8, Figs. 2-3" }
+
+let semantic =
+  [ (meta_loop, check_loop);
+    (meta_orphan_in, check_orphan_inputs);
+    (meta_orphan_out, check_orphan_outputs);
+    (meta_unreachable, check_unreachable);
+    (meta_dead, check_dead_transitions);
+    (meta_nondet, check_nondeterminism);
+    (meta_sink, check_sinks);
+    (meta_unused_ft, check_unused_flowtypes);
+    (meta_unused_proto, check_unused_protocols);
+    (meta_unlinked_sport, check_unlinked_sports);
+    (meta_unheard_signal, check_unheard_signals);
+    (meta_rate, check_rates);
+    (meta_sched, check_schedulability) ]
+
+let registry =
+  meta_syntax :: meta_typecheck :: meta_typecheck_warn
+  :: List.map fst semantic
+
+let find_meta code =
+  List.find_opt (fun m -> String.equal m.code code) registry
+
+let is_known_code code = find_meta code <> None

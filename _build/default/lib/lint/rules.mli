@@ -1,0 +1,45 @@
+(** The linter's rule registry: every stable diagnostic code with its
+    default severity, one-line title and paper reference, plus the
+    cross-layer semantic checks that run once a model typechecks.
+
+    Codes are grouped by layer:
+    - [UMH00x] front end (syntax, well-formedness rules R1-R8);
+    - [UMH01x] elaborated dataflow graph (loops, orphan DPorts);
+    - [UMH02x] capsule statecharts ({!Statechart.Analysis} wired to the
+      DSL path);
+    - [UMH03x] declaration hygiene (unused flow types / protocols,
+      unlinked or unheard SPort signals);
+    - [UMH04x] deployment (streamer thread rates, schedulability via
+      {!Hybrid.Threading}). *)
+
+type input = {
+  file : string;
+  checked : Dsl.Typecheck.checked;
+}
+
+type meta = {
+  code : string;
+  severity : Diagnostic.severity;  (** default severity (before [--werror]) *)
+  title : string;
+  paper : string;                  (** paper rule / figure the code enforces *)
+}
+
+(** Front-end metas applied by the driver: [UMH001] parse / lexical
+    error, [UMH002] well-formedness error, [UMH003] well-formedness
+    warning. *)
+
+val meta_syntax : meta
+val meta_typecheck : meta
+val meta_typecheck_warn : meta
+
+val registry : meta list
+(** Every stable code the linter can emit, including the front-end codes
+    (UMH001-UMH003) applied by the driver rather than by {!semantic}. *)
+
+val find_meta : string -> meta option
+val is_known_code : string -> bool
+
+val semantic : (meta * (input -> Diagnostic.t list)) list
+(** The cross-layer analyses. They assume [Dsl.Typecheck.is_ok]; the
+    driver skips them otherwise (garbage models would only produce
+    noise on top of their type errors). *)

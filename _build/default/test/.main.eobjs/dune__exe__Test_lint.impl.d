@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Filename Lint List Obs Option String

@@ -13,5 +13,6 @@ let () =
       ("hybrid-engine", Test_hybrid.suite);
       ("hybrid-core", Test_core.suite);
       ("dsl", Test_dsl.suite);
+      ("lint", Test_lint.suite);
       ("codegen", Test_codegen.suite);
       ("obs", Test_obs.suite) ]

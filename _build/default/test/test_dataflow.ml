@@ -236,6 +236,17 @@ let test_unconnected_inputs () =
   Alcotest.(check (list (pair string string))) "reported"
     [ ("lonely", "in") ] (Graph.unconnected_inputs g)
 
+let test_unconnected_outputs () =
+  (* Dual of unconnected_inputs: a connected src/dst pair contributes
+     nothing, the lonely source's output is reported. *)
+  let g = Graph.create () in
+  let src = mk_source g "src" in
+  let dst = mk_sink g "dst" in
+  let _ = mk_source g "lonely" in
+  Graph.connect_exn g ~src:(src, "out") ~dst:(dst, "in");
+  Alcotest.(check (list (pair string string))) "reported"
+    [ ("lonely", "out") ] (Graph.unconnected_outputs g)
+
 let suite =
   [ Alcotest.test_case "flow types: sorted, unique" `Quick test_record_sorted_and_unique;
     Alcotest.test_case "flow types: subset relation" `Quick test_subset_relation;
@@ -259,7 +270,8 @@ let suite =
     Alcotest.test_case "relay: duplicates flows" `Quick test_relay_copies;
     Alcotest.test_case "graph: topological order" `Quick test_topo_order;
     Alcotest.test_case "graph: cycle detection" `Quick test_cycle_detected;
-    Alcotest.test_case "graph: unconnected inputs" `Quick test_unconnected_inputs ]
+    Alcotest.test_case "graph: unconnected inputs" `Quick test_unconnected_inputs;
+    Alcotest.test_case "graph: unconnected outputs" `Quick test_unconnected_outputs ]
 
 let test_junction_pass_through () =
   let g = Graph.create () in

@@ -1,0 +1,172 @@
+(* The lint subsystem: diagnostic codes, the rule registry, golden runs
+   over the seeded-bad models in test/models/ (dune test deps), and the
+   JSON rendering consumed by tooling. *)
+
+let lint path = Lint.Linter.lint_file path
+
+let codes r =
+  List.sort_uniq String.compare
+    (List.map (fun d -> d.Lint.Diagnostic.code) r.Lint.Linter.diagnostics)
+
+let find_code r code =
+  List.find_opt
+    (fun d -> String.equal d.Lint.Diagnostic.code code)
+    r.Lint.Linter.diagnostics
+
+let check_span name = function
+  | Some { Lint.Diagnostic.span = Some s; _ } ->
+    Alcotest.(check bool) (name ^ " span points into the file") true
+      (s.Lint.Diagnostic.line > 0 && s.Lint.Diagnostic.col > 0)
+  | Some { Lint.Diagnostic.span = None; _ } ->
+    Alcotest.fail (name ^ " diagnostic lacks a span")
+  | None -> Alcotest.fail (name ^ " diagnostic missing")
+
+(* ---- registry ---- *)
+
+let test_registry () =
+  let codes = List.map (fun m -> m.Lint.Rules.code) Lint.Rules.registry in
+  let uniq = List.sort_uniq String.compare codes in
+  Alcotest.(check bool) "at least 8 distinct codes" true (List.length uniq >= 8);
+  Alcotest.(check int) "codes are unique" (List.length codes)
+    (List.length uniq);
+  List.iter
+    (fun c ->
+       Alcotest.(check bool) (c ^ " is stable-prefixed") true
+         (String.length c = 6 && String.sub c 0 3 = "UMH"))
+    codes;
+  Alcotest.(check bool) "lookup round-trips" true
+    (List.for_all (fun c -> Lint.Rules.is_known_code c) codes);
+  Alcotest.(check bool) "unknown code rejected" false
+    (Lint.Rules.is_known_code "UMH999")
+
+(* ---- golden runs over seeded-bad models ---- *)
+
+let golden name expected_code =
+  let r = lint (Filename.concat "models" name) in
+  check_span expected_code (find_code r expected_code);
+  Alcotest.(check bool) (name ^ " gates (exit 1)") true
+    (Lint.Linter.gates [ r ])
+
+let test_algebraic_loop () =
+  let r = lint "models/algebraic_loop.umh" in
+  (match find_code r "UMH010" with
+   | Some d ->
+     Alcotest.(check string) "severity" "error"
+       (Lint.Diagnostic.severity_name d.Lint.Diagnostic.severity)
+   | None -> Alcotest.fail "UMH010 missing");
+  golden "algebraic_loop.umh" "UMH010"
+
+let test_unreachable_state () =
+  let r = lint "models/unreachable_state.umh" in
+  Alcotest.(check bool) "dead transition rides along" true
+    (find_code r "UMH021" <> None);
+  golden "unreachable_state.umh" "UMH020"
+
+let test_orphan_dport () =
+  let r = lint "models/orphan_dport.umh" in
+  (* The unconnected output is informational — it must be reported but
+     must not gate on its own. *)
+  (match find_code r "UMH012" with
+   | Some d ->
+     Alcotest.(check bool) "UMH012 does not gate" false
+       (Lint.Diagnostic.gates d)
+   | None -> Alcotest.fail "UMH012 missing");
+  golden "orphan_dport.umh" "UMH011"
+
+let test_rate_mismatch () = golden "rate_mismatch.umh" "UMH040"
+
+let test_examples_clean () =
+  List.iter
+    (fun name ->
+       let r = lint (Filename.concat "../examples/models" name) in
+       Alcotest.(check bool) (name ^ " has no gating findings") false
+         (Lint.Linter.gates [ r ]))
+    [ "thermostat.umh"; "filter_chain.umh" ]
+
+(* ---- front-end mapping ---- *)
+
+let test_syntax_diag () =
+  let r = Lint.Linter.lint_source ~file:"bad.umh" "model" in
+  Alcotest.(check (list string)) "single UMH001" [ "UMH001" ] (codes r);
+  check_span "UMH001" (find_code r "UMH001")
+
+let test_typecheck_diag () =
+  (* A relay with fanout 1 violates R3; the message's "(rule R3)" is
+     lifted into the structured rule field. *)
+  let src =
+    "model M\nflowtype T { value: float }\nsystem { relay r : T fanout 1; }\n"
+  in
+  let r = Lint.Linter.lint_source ~file:"m.umh" src in
+  match find_code r "UMH002" with
+  | Some d ->
+    Alcotest.(check (option string)) "paper rule" (Some "R3")
+      d.Lint.Diagnostic.rule
+  | None -> Alcotest.fail "UMH002 missing"
+
+(* ---- options ---- *)
+
+let test_options () =
+  let r = lint "models/orphan_dport.umh" in
+  let with_opts o = Lint.Linter.apply_options o r in
+  let only_012 =
+    with_opts { Lint.Linter.default_options with select = [ "UMH012" ] }
+  in
+  Alcotest.(check (list string)) "select keeps only UMH012" [ "UMH012" ]
+    (codes only_012);
+  Alcotest.(check bool) "info alone does not gate" false
+    (Lint.Linter.gates [ only_012 ]);
+  let ignored =
+    with_opts { Lint.Linter.default_options with ignore = [ "UMH011" ] }
+  in
+  Alcotest.(check bool) "ignoring the warning un-gates" false
+    (Lint.Linter.gates [ ignored ]);
+  let werror =
+    with_opts { Lint.Linter.default_options with werror = true }
+  in
+  (match find_code werror "UMH011" with
+   | Some d -> Alcotest.(check bool) "warning promoted" true
+                 (Lint.Diagnostic.is_error d)
+   | None -> Alcotest.fail "UMH011 missing");
+  Alcotest.(check (list string)) "bad code flagged for usage error"
+    [ "UMH999" ]
+    (Lint.Linter.unknown_codes
+       { Lint.Linter.default_options with select = [ "UMH999"; "UMH010" ] })
+
+(* ---- JSON ---- *)
+
+let test_json () =
+  let mem k j =
+    match Obs.Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing JSON key " ^ k)
+  in
+  let r = lint "models/unreachable_state.umh" in
+  let json = Lint.Linter.to_json [ r ] in
+  let parsed = Obs.Json.of_string (Obs.Json.to_string json) in
+  let rules = Obs.Json.to_list (mem "rules" parsed) in
+  Alcotest.(check bool) "registry serialized (>= 8 rules)" true
+    (List.length rules >= 8);
+  let files = Obs.Json.to_list (mem "files" parsed) in
+  Alcotest.(check int) "one file entry" 1 (List.length files);
+  let diags = Obs.Json.to_list (mem "diagnostics" (List.hd files)) in
+  Alcotest.(check bool) "diagnostics carry code and line" true
+    (List.exists
+       (fun d ->
+          Obs.Json.member "code" d
+          |> Option.map Obs.Json.string_value |> Option.join
+          = Some "UMH020"
+          && Obs.Json.member "line" d <> None)
+       diags)
+
+let suite =
+  [ Alcotest.test_case "registry: stable codes" `Quick test_registry;
+    Alcotest.test_case "golden: algebraic loop" `Quick test_algebraic_loop;
+    Alcotest.test_case "golden: unreachable state" `Quick test_unreachable_state;
+    Alcotest.test_case "golden: orphan dport" `Quick test_orphan_dport;
+    Alcotest.test_case "golden: rate mismatch" `Quick test_rate_mismatch;
+    Alcotest.test_case "shipped examples lint clean" `Quick test_examples_clean;
+    Alcotest.test_case "front end: syntax -> UMH001" `Quick test_syntax_diag;
+    Alcotest.test_case "front end: R3 -> UMH002 + rule ref" `Quick
+      test_typecheck_diag;
+    Alcotest.test_case "options: select/ignore/werror" `Quick test_options;
+    Alcotest.test_case "json: registry + spans round-trip" `Quick test_json ]

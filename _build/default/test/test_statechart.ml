@@ -312,11 +312,52 @@ let test_analysis_sinks () =
   Alcotest.(check (list string)) "Done is a sink" [ "Done" ]
     r.Statechart.Analysis.sink_states
 
+let test_analysis_hierarchy_sinks () =
+  (* A leaf with no transitions of its own is not a sink while an
+     ancestor can still leave (inherited transitions count); it is one
+     only when the whole ancestor chain is inert. *)
+  let m = Statechart.Machine.create "h" in
+  Statechart.Machine.add_state m "On";
+  Statechart.Machine.add_state m ~parent:"On" "Idle";
+  Statechart.Machine.add_state m ~parent:"On" "Busy";
+  Statechart.Machine.add_state m "Off";
+  Statechart.Machine.set_initial m "On";
+  Statechart.Machine.set_initial m ~of_:"On" "Idle";
+  Statechart.Machine.add_transition m ~src:"Idle" ~dst:"Busy" ~trigger:"work" ();
+  Statechart.Machine.add_transition m ~src:"On" ~dst:"Off" ~trigger:"off" ();
+  let r = Statechart.Analysis.analyze m in
+  Alcotest.(check (list string)) "Busy inherits On's exit; only Off is inert"
+    [ "Off" ] r.Statechart.Analysis.sink_states
+
+let test_analysis_hierarchy_nondet () =
+  (* A child overriding a parent's trigger is priority, not
+     nondeterminism; a guarded same-trigger pair is a decision, not a
+     race. Neither may be flagged. *)
+  let m = Statechart.Machine.create "h2" in
+  Statechart.Machine.add_state m "P";
+  Statechart.Machine.add_state m ~parent:"P" "C";
+  Statechart.Machine.add_state m "Q";
+  Statechart.Machine.set_initial m "P";
+  Statechart.Machine.set_initial m ~of_:"P" "C";
+  Statechart.Machine.add_transition m ~src:"P" ~dst:"Q" ~trigger:"go" ();
+  Statechart.Machine.add_transition m ~src:"C" ~dst:"Q" ~trigger:"go" ();
+  Statechart.Machine.add_transition m ~src:"C" ~dst:"Q" ~trigger:"maybe"
+    ~guard:(fun _ _ -> true) ();
+  Statechart.Machine.add_transition m ~src:"C" ~dst:"P" ~trigger:"maybe"
+    ~guard:(fun _ _ -> false) ();
+  let r = Statechart.Analysis.analyze m in
+  Alcotest.(check (list (pair string string))) "nothing flagged" []
+    r.Statechart.Analysis.nondeterministic
+
 let analysis_suite =
   [ Alcotest.test_case "analysis: reachability" `Quick test_analysis_reachability;
     Alcotest.test_case "analysis: hierarchical reachability" `Quick
       test_analysis_hierarchy_reachability;
     Alcotest.test_case "analysis: nondeterminism" `Quick test_analysis_nondeterminism;
-    Alcotest.test_case "analysis: sink states" `Quick test_analysis_sinks ]
+    Alcotest.test_case "analysis: sink states" `Quick test_analysis_sinks;
+    Alcotest.test_case "analysis: hierarchical sinks" `Quick
+      test_analysis_hierarchy_sinks;
+    Alcotest.test_case "analysis: hierarchical nondeterminism" `Quick
+      test_analysis_hierarchy_nondet ]
 
 let suite = suite @ analysis_suite

@@ -3,13 +3,20 @@
     compatibility, R5 relay-only capsule DPorts, R6 capsules-contain-
     streamers-only, R7 positive thread rates). *)
 
+type message = { at : Ast.pos; text : string }
+(** A positioned finding — the structured form consumed by [Lint]. *)
+
 type checked = {
   model : Ast.model;
   flowtypes : (string * Dataflow.Flow_type.t) list;
   protocols : (string * Umlrt.Protocol.t) list;
-  errors : string list;
-  warnings : string list;
+  error_messages : message list;
+  warning_messages : message list;
+  errors : string list;    (** [error_messages] rendered ["line:col: text"] *)
+  warnings : string list;  (** [warning_messages] rendered likewise *)
 }
+
+val render_message : message -> string
 
 val check : Ast.model -> checked
 

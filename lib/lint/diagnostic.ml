@@ -1,0 +1,67 @@
+type severity = Error | Warning | Info
+
+type span = { file : string; line : int; col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  span : span option;
+  rule : string option;
+}
+
+let make ?span ?rule ~code ~severity message =
+  { code; severity; message; span; rule }
+
+let makef ?span ?rule ~code ~severity fmt =
+  Printf.ksprintf (make ?span ?rule ~code ~severity) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let is_error d = d.severity = Error
+let gates d = match d.severity with Error | Warning -> true | Info -> false
+
+let promote_warning d =
+  match d.severity with Warning -> { d with severity = Error } | Error | Info -> d
+
+let compare a b =
+  let span_key = function
+    | None -> ("", 0, 0)
+    | Some s -> (s.file, s.line, s.col)
+  in
+  let c = Stdlib.compare (span_key a.span) (span_key b.span) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c else String.compare a.code b.code
+
+let to_string d =
+  let where =
+    match d.span with
+    | Some s -> Printf.sprintf "%s:%d:%d: " s.file s.line s.col
+    | None -> ""
+  in
+  let rule = match d.rule with Some r -> Printf.sprintf " (rule %s)" r | None -> "" in
+  Printf.sprintf "%s%s[%s] %s%s" where (severity_name d.severity) d.code d.message rule
+
+let to_json d =
+  let base =
+    [ ("code", Obs.Json.Str d.code);
+      ("severity", Obs.Json.Str (severity_name d.severity));
+      ("message", Obs.Json.Str d.message) ]
+  in
+  let span =
+    match d.span with
+    | None -> []
+    | Some s ->
+      [ ("file", Obs.Json.Str s.file);
+        ("line", Obs.Json.Int s.line);
+        ("col", Obs.Json.Int s.col) ]
+  in
+  let rule = match d.rule with None -> [] | Some r -> [ ("rule", Obs.Json.Str r) ] in
+  Obs.Json.Obj (base @ span @ rule)
