@@ -1,0 +1,54 @@
+(* CI validator for the bench harness's --json output: parses the file
+   and checks the sections the perf trajectory relies on are present and
+   well-shaped. Exits non-zero (failing the dune runtest alias) when the
+   report is missing, unparseable, or structurally wrong. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_json: " ^ s); exit 1) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e -> fail "cannot read %s: %s" path e
+
+let require_float name = function
+  | Some (Obs.Json.Float _ | Obs.Json.Int _) -> ()
+  | Some _ -> fail "field %S is not a number" name
+  | None -> fail "missing field %S" name
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_json FILE" in
+  let json =
+    match Obs.Json.of_string (read_file path) with
+    | j -> j
+    | exception Obs.Json.Parse_error msg -> fail "%s: %s" path msg
+  in
+  (* e3: at least one point carrying the scaling metric *)
+  let e3 =
+    match Obs.Json.member "e3" json with
+    | Some j -> j
+    | None -> fail "missing section \"e3\""
+  in
+  let points =
+    match Obs.Json.member "points" e3 with
+    | Some (Obs.Json.List (_ :: _ as pts)) -> pts
+    | Some _ -> fail "\"e3\".points is not a non-empty list"
+    | None -> fail "missing \"e3\".points"
+  in
+  List.iter
+    (fun p -> require_float "us_per_streamer_sec" (Obs.Json.member "us_per_streamer_sec" p))
+    points;
+  (* e4: the three timings and the overhead factors *)
+  let e4 =
+    match Obs.Json.member "e4" json with
+    | Some j -> j
+    | None -> fail "missing section \"e4\""
+  in
+  List.iter
+    (fun field -> require_float field (Obs.Json.member field e4))
+    [ "raw_ms"; "hybrid_ms"; "translation_ms"; "hybrid_over_raw";
+      "translation_over_raw" ];
+  Printf.printf "check_json: %s ok (%d e3 points)\n" path (List.length points)

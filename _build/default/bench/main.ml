@@ -7,7 +7,9 @@
 
    Run everything:        dune exec bench/main.exe
    Run one section:       dune exec bench/main.exe -- e1 e3
-   List sections:         dune exec bench/main.exe -- --list *)
+   List sections:         dune exec bench/main.exe -- --list
+   Machine-readable:      dune exec bench/main.exe -- e3 e4 --json out.json
+   Reduced CI workload:   add --quick *)
 
 let section_header id title =
   Printf.printf "\n=== %s: %s ===\n" id title
@@ -16,6 +18,15 @@ let wall f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
+
+(* Sections append machine-readable results here; [--json FILE] dumps
+   them as one object. [--quick] shrinks the workloads so the JSON shape
+   can be exercised in CI without paying full benchmark time. *)
+let quick = ref false
+let json_report : (string * Obs.Json.t) list ref = ref []
+
+let record_json name j =
+  json_report := (name, j) :: List.remove_assoc name !json_report
 
 (* ------------------------------------------------------------------ *)
 (* Shared model pieces                                                  *)
@@ -43,6 +54,10 @@ let thermal_streamer ~rate ~internal_dt =
     ~params:[ ("duty", 1.) ]
     ~dports:[ Hybrid.Streamer.dport_out "temp" ]
     ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+    ~rhs_into:(fun (env : Hybrid.Solver.env) _tcell y dy ->
+        dy.(0) <-
+          (-.(y.(0) -. thermal_ambient) /. thermal_tau)
+          +. (thermal_gain *. env.Hybrid.Solver.param "duty"))
     ~rhs:(fun (env : Hybrid.Solver.env) t y ->
         thermal_rhs (env.Hybrid.Solver.param "duty") t y)
 
@@ -148,7 +163,8 @@ let run_figure2 () =
   (* R1: solver with equations *)
   let ok_streamer =
     Hybrid.Streamer.leaf "s" ~rate:0.1 ~dim:1 ~init:[| 0. |]
-      ~outputs:(fun _ _ _ -> []) ~rhs:(fun _ _ _ -> [| 0. |])
+      ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
+      ~rhs:(fun _ _ _ -> [| 0. |])
   in
   accept "R1 streamer behaviour is a solver" (Hybrid.Check.streamer_errors ok_streamer);
   reject "R1 streamer without state variables"
@@ -230,8 +246,8 @@ let run_figure3 () =
   let child =
     Hybrid.Streamer.leaf "gain" ~rate:0.01 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_in "in"; Hybrid.Streamer.dport_out "out" ]
-      ~outputs:(fun (env : Hybrid.Solver.env) _ _ ->
-          [ ("out", Dataflow.Value.Float (2. *. env.Hybrid.Solver.input "in")) ])
+      ~outputs:(Hybrid.Streamer.output_fn (fun (env : Hybrid.Solver.env) _ _ ->
+          [ ("out", Dataflow.Value.Float (2. *. env.Hybrid.Solver.input "in")) ]))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   let composite =
@@ -245,14 +261,16 @@ let run_figure3 () =
   let source =
     Hybrid.Streamer.leaf "src" ~rate:0.01 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_out "x" ]
-      ~outputs:(fun _ t _ -> [ ("x", Dataflow.Value.Float (sin t)) ])
+      ~outputs:
+        (Hybrid.Streamer.output_fn (fun _ t _ ->
+             [ ("x", Dataflow.Value.Float (sin t)) ]))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   let sink name =
     Hybrid.Streamer.leaf name ~rate:0.01 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_in "u"; Hybrid.Streamer.dport_out "copy" ]
-      ~outputs:(fun (env : Hybrid.Solver.env) _ _ ->
-          [ ("copy", Dataflow.Value.Float (env.Hybrid.Solver.input "u")) ])
+      ~outputs:(Hybrid.Streamer.output_fn (fun (env : Hybrid.Solver.env) _ _ ->
+          [ ("copy", Dataflow.Value.Float (env.Hybrid.Solver.input "u")) ]))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   let engine = Hybrid.Engine.create () in
@@ -402,19 +420,34 @@ let e3_engine n =
 
 let run_e3 () =
   section_header "E3" "scaling — wall-clock cost vs number of streamer threads";
-  Printf.printf "each streamer: 100 Hz thread, RK4 at 2 ms, 10 simulated seconds\n\n";
+  let horizon = if !quick then 2. else 10. in
+  let sizes = if !quick then [ 1; 4; 16 ] else [ 1; 4; 16; 64; 256 ] in
+  Printf.printf "each streamer: 100 Hz thread, RK4 at 2 ms, %g simulated seconds\n\n"
+    horizon;
   Printf.printf "%10s | %10s | %12s | %18s\n" "streamers" "ticks" "wall (ms)"
     "us per streamer-sec";
   Printf.printf "%s\n" (String.make 60 '-');
-  List.iter
-    (fun n ->
-       let engine = e3_engine n in
-       let (), elapsed = wall (fun () -> Hybrid.Engine.run_until engine 10.) in
-       let stats = Hybrid.Engine.stats engine in
-       Printf.printf "%10d | %10d | %12.1f | %18.2f\n" n
-         stats.Hybrid.Engine.ticks_total (elapsed *. 1e3)
-         (elapsed *. 1e6 /. (float_of_int n *. 10.)))
-    [ 1; 4; 16; 64; 256 ];
+  let points =
+    List.map
+      (fun n ->
+         let engine = e3_engine n in
+         let (), elapsed = wall (fun () -> Hybrid.Engine.run_until engine horizon) in
+         let stats = Hybrid.Engine.stats engine in
+         let us_per = elapsed *. 1e6 /. (float_of_int n *. horizon) in
+         Printf.printf "%10d | %10d | %12.1f | %18.2f\n" n
+           stats.Hybrid.Engine.ticks_total (elapsed *. 1e3) us_per;
+         Obs.Json.Obj
+           [ ("streamers", Obs.Json.Int n);
+             ("ticks", Obs.Json.Int stats.Hybrid.Engine.ticks_total);
+             ("wall_ms", Obs.Json.Float (elapsed *. 1e3));
+             ("us_per_streamer_sec", Obs.Json.Float us_per) ])
+      sizes
+  in
+  record_json "e3"
+    (Obs.Json.Obj
+       [ ("horizon_s", Obs.Json.Float horizon);
+         ("unit", Obs.Json.Str "us_per_streamer_sec");
+         ("points", Obs.Json.List points) ]);
   Printf.printf
     "\nClaim check: cost per streamer-second stays roughly flat — the\n\
      architecture scales linearly in the number of streamer threads.\n"
@@ -426,7 +459,7 @@ let run_e3 () =
 let run_e4 () =
   section_header "E4" "overhead — hybrid engine vs raw ODE integration";
   let dt = 1e-3 in
-  let horizon = 60. in
+  let horizon = if !quick then 5. else 60. in
   let _, raw_time =
     wall (fun () ->
         ignore
@@ -454,6 +487,15 @@ let run_e4 () =
     (hybrid_time *. 1e3) (hybrid_time /. raw_time);
   Printf.printf "  %-38s %10.2f ms  (x%.2f)\n" "translation (DES event per step)"
     (translation_time *. 1e3) (translation_time /. raw_time);
+  record_json "e4"
+    (Obs.Json.Obj
+       [ ("horizon_s", Obs.Json.Float horizon);
+         ("dt", Obs.Json.Float dt);
+         ("raw_ms", Obs.Json.Float (raw_time *. 1e3));
+         ("hybrid_ms", Obs.Json.Float (hybrid_time *. 1e3));
+         ("translation_ms", Obs.Json.Float (translation_time *. 1e3));
+         ("hybrid_over_raw", Obs.Json.Float (hybrid_time /. raw_time));
+         ("translation_over_raw", Obs.Json.Float (translation_time /. raw_time)) ]);
   Printf.printf
     "\nClaim check: the unified model's overhead over raw integration is a\n\
      small constant factor; the translation baseline pays the event machinery\n\
@@ -824,7 +866,6 @@ let run_obs () =
 
 let micro_tests () =
   let open Bechamel in
-  let thermal = thermal_system ~duty:1. in
   let t1 =
     Test.make ~name:"table1-stereotype-registry"
       (Staged.stage (fun () ->
@@ -881,9 +922,18 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Dataflow.Graph.propagate_from g src)))
   in
   let e1 =
+    (* The steady-state step kernel: in-place rhs + preallocated
+       workspace, i.e. exactly what a guard-free engine tick runs. *)
+    let sys =
+      Ode.System.create_inplace ~dim:1 (fun _tcell y dy ->
+          dy.(0) <-
+            (-.(y.(0) -. thermal_ambient) /. thermal_tau) +. thermal_gain)
+    in
+    let ws = Ode.Fixed.workspace ~dim:1 in
+    let y = [| 18. |] in
     Test.make ~name:"e1-rk4-step"
       (Staged.stage (fun () ->
-           ignore (Ode.Fixed.step Ode.Fixed.Rk4 thermal ~t:0. ~dt:1e-3 [| 18. |])))
+           Ode.Fixed.step_into Ode.Fixed.Rk4 sys ~ws ~t:0. ~dt:1e-3 y))
   in
   let e2 =
     let e = Des.Engine.create () in
@@ -903,13 +953,18 @@ let micro_tests () =
     let solver =
       Hybrid.Solver.create ~dim:1 ~init:[| 18. |] ~params:[ ("duty", 1.) ]
         ~input:(fun _ -> 0.) ~clock ~t0:0.
+        ~rhs_into:(fun (env : Hybrid.Solver.env) _tcell y dy ->
+            dy.(0) <-
+              (-.(y.(0) -. thermal_ambient) /. thermal_tau)
+              +. (thermal_gain *. env.Hybrid.Solver.param "duty"))
         (fun env t y -> thermal_rhs (env.Hybrid.Solver.param "duty") t y)
     in
+    Hybrid.Solver.set_guards solver [];
     let target = ref 0. in
     Test.make ~name:"e4-solver-advance-one-tick"
       (Staged.stage (fun () ->
            target := !target +. 0.05;
-           Hybrid.Solver.advance solver ~until:!target ~guards:[]
+           Hybrid.Solver.advance_prepared solver ~until:!target
              ~on_crossing:(fun _ -> ())))
   in
   let e5 =
@@ -946,9 +1001,13 @@ let run_micro () =
        in
        rows := (name, est) :: !rows)
     results;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   List.iter
     (fun (name, est) -> Printf.printf "  %-42s %14.1f ns/run\n" name est)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
+    sorted;
+  record_json "micro"
+    (Obs.Json.Obj
+       (List.map (fun (name, est) -> (name, Obs.Json.Float est)) sorted));
   Printf.printf "(monotonic clock, OLS fit over runs, 0.5 s quota each)\n"
 
 (* ------------------------------------------------------------------ *)
@@ -970,16 +1029,35 @@ let sections =
     ("obs", run_obs);
     ("micro", run_micro) ]
 
+let write_json_report path =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (Obs.Json.Obj (List.rev !json_report)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) sections
-  | [] ->
+  let rec parse names json = function
+    | [] -> (List.rev names, json)
+    | "--quick" :: rest ->
+      quick := true;
+      parse names json rest
+    | "--json" :: path :: rest -> parse names (Some path) rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a file argument\n";
+      exit 2
+    | name :: rest -> parse (name :: names) json rest
+  in
+  match parse [] None args with
+  | [ "--list" ], _ -> List.iter (fun (name, _) -> print_endline name) sections
+  | [], json ->
     Printf.printf
       "umh experiment harness — reproducing every exhibit of the paper\n\
        (DATE 2005, \"Unified Modeling of Complex Real-Time Control Systems\")\n";
-    List.iter (fun (_, run) -> run ()) sections
-  | names ->
+    List.iter (fun (_, run) -> run ()) sections;
+    Option.iter write_json_report json
+  | names, json ->
     List.iter
       (fun name ->
          match List.assoc_opt name sections with
@@ -987,4 +1065,5 @@ let () =
          | None ->
            Printf.eprintf "unknown section %S (try --list)\n" name;
            exit 2)
-      names
+      names;
+    Option.iter write_json_report json

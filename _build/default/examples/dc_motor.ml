@@ -95,7 +95,9 @@ let regulator_streamer =
     ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
     ~guards:[ settled_guard ]
     ~strategy
-    ~outputs:(fun env _t _y -> [ ("voltage", Dataflow.Value.Float (control env)) ])
+    ~outputs:
+      (Hybrid.Streamer.output_fn (fun env _t _y ->
+           [ ("voltage", Dataflow.Value.Float (control env)) ]))
     ~rhs:(fun _ _ _ -> [| 0. |])
 
 let operator =

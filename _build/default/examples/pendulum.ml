@@ -106,7 +106,9 @@ let controller_streamer =
         Hybrid.Streamer.dport_out "torque" ]
     ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
     ~strategy
-    ~outputs:(fun env _t _y -> [ ("torque", Dataflow.Value.Float (torque env)) ])
+    ~outputs:
+      (Hybrid.Streamer.output_fn (fun env _t _y ->
+           [ ("torque", Dataflow.Value.Float (torque env)) ]))
     ~rhs:(fun _ _ _ -> [| 0. |])
 
 let supervisor =

@@ -1,18 +1,30 @@
 exception Invalid_streamer of string list
 exception Invalid_link of string
 
+(* How a streamer's outputs reach its graph ports, decided once at
+   instantiation. [Out_fast] holds pre-resolved (state index, port,
+   float cell) triples so a steady-state tick writes outputs with plain
+   array stores — no closure call, no Value.t, no port-name lookup. *)
+type outplan =
+  | Out_fn of Streamer.output_fn
+  | Out_fast of (int * Dataflow.Port.t * float array) array
+
 type sinst = {
   role : string;
   def : Streamer.t;                (* the leaf definition *)
   spec : Streamer.solver_spec;
   solver : Solver.t;
   node : Dataflow.Graph.node;
+  outplan : outplan;
   channel : (string * Statechart.Event.t) Rt.Channel.t;
   mutable ticks : int;
   mutable traces : (string * Sigtrace.Trace.t) list;
-  mutable guard_prev : (string * float) list;
+  garr : Streamer.guard_decl array;  (* spec.guards, indexable *)
+  gprev : float array;
     (* last end-of-sync guard values, for tick-boundary edge detection of
        guards that only move between integration intervals (input-driven) *)
+  gfired : bool array;               (* per-sync scratch: fired during ODE advance *)
+  mutable gprimed : bool;            (* gprev holds real values (set by start) *)
 }
 
 type pentry = {
@@ -167,13 +179,13 @@ let guard_decl si id =
     (fun (g : Streamer.guard_decl) -> String.equal g.Streamer.guard_id id)
     si.spec.Streamer.guards
 
-let solver_guards si =
+let solver_guards (spec : Streamer.solver_spec) =
   List.map
     (fun (g : Streamer.guard_decl) ->
        { Solver.guard_name = g.Streamer.guard_id;
          direction = g.Streamer.direction;
          expr = g.Streamer.expr })
-    si.spec.Streamer.guards
+    spec.Streamer.guards
 
 let on_crossing t si (crossing : Ode.Events.crossing) =
   match guard_decl si crossing.Ode.Events.guard_name with
@@ -188,73 +200,115 @@ let on_crossing t si (crossing : Ode.Events.crossing) =
     emit_signal t si ~sport:g.Streamer.via_sport
       (Statechart.Event.make ~value g.Streamer.signal)
 
+let ignore_crossing (_ : Ode.Events.crossing) = ()
+
 (* Bring the solver's continuous state up to the present, emitting any
    zero-crossing signals located on the way. Guards whose expression only
    depends on input DPorts are constant within one integration interval,
    so their crossings happen invisibly *between* syncs; a tick-boundary
-   edge check against the previous sync's values catches those. *)
+   edge check against the previous sync's values catches those.
+
+   The solver carries its guard closures pre-compiled (set at
+   instantiation), and the guard bookkeeping lives in flat arrays, so
+   the guard-free steady state allocates nothing here. *)
 let sync_solver t si =
   let now = Des.Engine.now t.des in
-  let fired = ref [] in
-  let advance () =
-    Solver.advance si.solver ~until:now ~guards:(solver_guards si)
-      ~on_crossing:(fun c ->
-          fired := c.Ode.Events.guard_name :: !fired;
-          on_crossing t si c)
-  in
-  if Obs.Tracer.enabled () then begin
-    let steps_before = Solver.steps_taken si.solver in
-    let start = Obs.Tracer.now_ns () in
-    advance ();
-    Obs.Tracer.complete ~track:si.role ~cat:"ode" ~name:"solver.advance"
-      ~args:[ ("steps", Obs.Tracer.Int (Solver.steps_taken si.solver - steps_before)) ]
-      ~sim_time:now ~start_ns:start ()
+  let ng = Array.length si.garr in
+  if ng = 0 then begin
+    if Obs.Tracer.enabled () then begin
+      let steps_before = Solver.steps_taken si.solver in
+      let start = Obs.Tracer.now_ns () in
+      Solver.advance_prepared si.solver ~until:now ~on_crossing:ignore_crossing;
+      Obs.Tracer.complete ~track:si.role ~cat:"ode" ~name:"solver.advance"
+        ~args:[ ("steps", Obs.Tracer.Int (Solver.steps_taken si.solver - steps_before)) ]
+        ~sim_time:now ~start_ns:start ()
+    end
+    else Solver.advance_prepared si.solver ~until:now ~on_crossing:ignore_crossing
   end
-  else advance ();
-  let env = Solver.env si.solver in
-  let state = Solver.state si.solver in
-  let time = Solver.time si.solver in
-  si.guard_prev <-
-    List.map
-      (fun (g : Streamer.guard_decl) ->
-         let v = g.Streamer.expr env time state in
-         (match List.assoc_opt g.Streamer.guard_id si.guard_prev with
-          | Some prev when not (List.mem g.Streamer.guard_id !fired) ->
-            let ode_guard =
-              Ode.Events.guard ~direction:g.Streamer.direction g.Streamer.guard_id
-                (fun _ _ -> 0.)
-            in
-            if Ode.Events.sign_change ode_guard prev v then
-              on_crossing t si
-                { Ode.Events.guard_name = g.Streamer.guard_id; time; state }
-          | Some _ | None -> ());
-         (g.Streamer.guard_id, v))
-      si.spec.Streamer.guards
+  else begin
+    Array.fill si.gfired 0 ng false;
+    let advance () =
+      Solver.advance_prepared si.solver ~until:now
+        ~on_crossing:(fun c ->
+            let name = c.Ode.Events.guard_name in
+            for i = 0 to ng - 1 do
+              if String.equal si.garr.(i).Streamer.guard_id name then
+                si.gfired.(i) <- true
+            done;
+            on_crossing t si c)
+    in
+    if Obs.Tracer.enabled () then begin
+      let steps_before = Solver.steps_taken si.solver in
+      let start = Obs.Tracer.now_ns () in
+      advance ();
+      Obs.Tracer.complete ~track:si.role ~cat:"ode" ~name:"solver.advance"
+        ~args:[ ("steps", Obs.Tracer.Int (Solver.steps_taken si.solver - steps_before)) ]
+        ~sim_time:now ~start_ns:start ()
+    end
+    else advance ();
+    let env = Solver.env si.solver in
+    let state = Solver.state_view si.solver in
+    let time = Solver.time si.solver in
+    for i = 0 to ng - 1 do
+      let g = si.garr.(i) in
+      let v = g.Streamer.expr env time state in
+      if si.gprimed && not si.gfired.(i)
+         && Ode.Events.sign_change_dir g.Streamer.direction si.gprev.(i) v
+      then
+        on_crossing t si
+          { Ode.Events.guard_name = g.Streamer.guard_id; time;
+            state = Solver.state si.solver };
+      si.gprev.(i) <- v
+    done;
+    si.gprimed <- true
+  end
+
+let record_traces t si =
+  match si.traces with
+  | [] -> ()
+  | traces ->
+    let now = Des.Engine.now t.des in
+    List.iter
+      (fun (port, trace) ->
+         match Dataflow.Graph.output_port si.node port with
+         | Some p ->
+           (match Dataflow.Port.read_float p with
+            | Some v -> Sigtrace.Trace.record trace now v
+            | None -> ())
+         | None -> ())
+      traces
 
 let write_outputs t si =
-  let now = Des.Engine.now t.des in
-  let state = Solver.state si.solver in
-  let outs = si.spec.Streamer.outputs (Solver.env si.solver) now state in
-  List.iter
-    (fun (port, value) ->
-       match Dataflow.Graph.output_port si.node port with
-       | Some p -> Dataflow.Port.write p value
-       | None ->
-         invalid_arg
-           (Printf.sprintf "Hybrid.Engine: streamer %s writes unknown DPort %S"
-              si.role port))
-    outs;
-  ignore (Dataflow.Graph.propagate_from t.graph si.node);
-  List.iter
-    (fun (port, trace) ->
-       match Dataflow.Graph.output_port si.node port with
-       | Some p ->
-         (match Dataflow.Port.read_float p with
-          | Some v -> Sigtrace.Trace.record trace now v
-          | None -> ())
-       | None -> ())
-    si.traces;
-  Obs.Metrics.add m_flow_samples (List.length outs)
+  match si.outplan with
+  | Out_fast cells ->
+    (* Pre-resolved state->port triples: plain float stores, then the
+       compiled routing plan. Zero allocation when no traces are on. *)
+    let y = Solver.state_view si.solver in
+    let n = Array.length cells in
+    for i = 0 to n - 1 do
+      let (idx, p, cell) = cells.(i) in
+      cell.(0) <- y.(idx);
+      Dataflow.Port.note_float_write p
+    done;
+    ignore (Dataflow.Graph.propagate_from t.graph si.node);
+    record_traces t si;
+    Obs.Metrics.add m_flow_samples n
+  | Out_fn f ->
+    let now = Des.Engine.now t.des in
+    let state = Solver.state si.solver in
+    let outs = f (Solver.env si.solver) now state in
+    List.iter
+      (fun (port, value) ->
+         match Dataflow.Graph.output_port si.node port with
+         | Some p -> Dataflow.Port.write p value
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Hybrid.Engine: streamer %s writes unknown DPort %S"
+                si.role port))
+      outs;
+    ignore (Dataflow.Graph.propagate_from t.graph si.node);
+    record_traces t si;
+    Obs.Metrics.add m_flow_samples (List.length outs)
 
 let tick t si =
   if Obs.Tracer.enabled () then begin
@@ -309,25 +363,71 @@ let rec instantiate t ~path (def : Streamer.t) =
         (Streamer.dports def)
     in
     let node = Dataflow.Graph.add_node t.graph ~name:path ~inputs ~outputs in
-    let input_fn name =
+    (* Input DPort reads resolve the port handle once per distinct name:
+       a pointer-equality cache keyed on the name (rhs closures pass the
+       same string literal every evaluation) bypasses the graph lookup on
+       the hot path. *)
+    let input_cache = ref [||] in
+    let resolve_input name =
       match Dataflow.Graph.input_port node name with
-      | Some p -> Dataflow.Port.read_float_default p 0.
+      | Some p ->
+        let arr = !input_cache in
+        if Array.length arr < 64 then
+          input_cache := Array.append arr [| (name, p) |];
+        p
       | None ->
         failwith
           (Printf.sprintf "Hybrid.Engine: streamer %s reads unknown DPort %S" path name)
     in
+    let input_fn name =
+      let arr = !input_cache in
+      let n = Array.length arr in
+      let rec scan i =
+        if i >= n then Dataflow.Port.read_float_default (resolve_input name) 0.
+        else begin
+          let (k, p) = arr.(i) in
+          if k == name then Dataflow.Port.read_float_default p 0. else scan (i + 1)
+        end
+      in
+      scan 0
+    in
     let solver =
-      Solver.create ~method_:spec.Streamer.method_ ~dim:spec.Streamer.dim
+      Solver.create ~method_:spec.Streamer.method_
+        ?rhs_into:spec.Streamer.rhs_into ~dim:spec.Streamer.dim
         ~init:spec.Streamer.init ~params:spec.Streamer.params ~input:input_fn
         ~clock:t.clock ~t0:(Des.Engine.now t.des) spec.Streamer.rhs
+    in
+    Solver.set_guards solver (solver_guards spec);
+    let outplan =
+      match spec.Streamer.outputs with
+      | Streamer.Output_fn f -> Out_fn f
+      | Streamer.Output_states mapping ->
+        let resolved =
+          Array.map
+            (fun (idx, pname) ->
+               match Dataflow.Graph.output_port node pname with
+               | Some p when Dataflow.Port.is_scalar_float p ->
+                 Some (idx, p, Dataflow.Port.fcell p)
+               | Some _ | None -> None)
+            mapping
+        in
+        if Array.for_all Option.is_some resolved then
+          Out_fast (Array.map Option.get resolved)
+        else
+          (* Unknown or non-scalar port: fall back to the boxed path so
+             the historical error/coercion behaviour is preserved. *)
+          Out_fn (Streamer.run_output_map spec.Streamer.outputs)
     in
     let channel =
       Rt.Channel.create t.des ~model:t.signal_latency
         ~drop_probability:t.signal_drop_probability ~seed:(fresh_seed t) path
     in
+    let ng = List.length spec.Streamer.guards in
     let si =
-      { role = path; def; spec; solver; node; channel; ticks = 0; traces = [];
-        guard_prev = [] }
+      { role = path; def; spec; solver; node; outplan; channel; ticks = 0;
+        traces = []; garr = Array.of_list spec.Streamer.guards;
+        gprev = Array.make ng 0.; gfired = Array.make ng false;
+        gprimed = false }
     in
     Des.Mailbox.set_listener (Rt.Channel.mailbox channel)
       (fun mb ->
@@ -459,14 +559,16 @@ let route_border_message t ~port event =
   | None -> Queue.push (port, event) t.outbox
 
 let prime_guards si =
-  let env = Solver.env si.solver in
-  let state = Solver.state si.solver in
-  let time = Solver.time si.solver in
-  si.guard_prev <-
-    List.map
-      (fun (g : Streamer.guard_decl) ->
-         (g.Streamer.guard_id, g.Streamer.expr env time state))
-      si.spec.Streamer.guards
+  let ng = Array.length si.garr in
+  if ng > 0 then begin
+    let env = Solver.env si.solver in
+    let state = Solver.state_view si.solver in
+    let time = Solver.time si.solver in
+    for i = 0 to ng - 1 do
+      si.gprev.(i) <- si.garr.(i).Streamer.expr env time state
+    done;
+    si.gprimed <- true
+  end
 
 let start t =
   if not t.started then begin
@@ -496,6 +598,12 @@ let start t =
 let run_until t time =
   start t;
   ignore (Des.Engine.run_until t.des time)
+
+let tick_now t ~role =
+  match Hashtbl.find t.streamers role with
+  | si -> tick t si
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "Hybrid.Engine.tick_now: unknown role %S" role)
 
 let inject t ~port event =
   match t.runtime with

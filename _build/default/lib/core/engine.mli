@@ -70,6 +70,13 @@ val start : t -> unit
 val run_until : t -> float -> unit
 (** {!start} if needed, then run the DES until the given time. *)
 
+val tick_now : t -> role:string -> unit
+(** Run one tick of the named streamer immediately: sync its solver to
+    the current DES time, then write and propagate its outputs. This is
+    exactly what the periodic tick timer does; exposed so harnesses
+    (e.g. allocation tests and benchmarks) can drive a tick without
+    scheduling. Raises [Invalid_argument] for unknown roles. *)
+
 val inject : t -> port:string -> Statechart.Event.t -> unit
 (** Environment message into a root border port (requires a root). *)
 

@@ -5,6 +5,7 @@ type env = {
 }
 
 type rhs = env -> float -> float array -> float array
+type rhs_into = env -> float array -> float array -> float array -> unit
 
 type guard = {
   guard_name : string;
@@ -12,46 +13,89 @@ type guard = {
   expr : env -> float -> float array -> float;
 }
 
+(* Parameters live in [float ref] cells so the hot path can read a value
+   with one load instead of a hashtable probe. [interned] is a small
+   physical-equality cache over the cells: OCaml string literals are
+   physically constant, so an rhs that asks for [param "duty"] every
+   evaluation hits the same pointer each time and resolves with a short
+   [==] scan — no hashing, no allocation. *)
 type t = {
-  table : (string, float) Hashtbl.t;
+  table : (string, float ref) Hashtbl.t;
   env : env;
   integ : Ode.Integrator.t;
   dim : int;
+  mutable prepared_guards : guard list;
+  mutable prepared_ode : Ode.Events.guard list;
   mutable crossings : int;
 }
 
-let make_system ~dim env rhs =
-  Ode.System.create ~dim (fun time y -> rhs env time y)
+let max_interned = 64
 
-let create ?(method_ = Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)) ~dim ~init
-    ~params ~input ~clock ~t0 rhs =
+let make_system ~dim ?rhs_into env rhs =
+  match rhs_into with
+  | None -> Ode.System.create ~dim (fun time y -> rhs env time y)
+  | Some f ->
+    Ode.System.create ~dim
+      ~rhs_into:(fun tcell y dy -> f env tcell y dy)
+      (fun time y ->
+         let dy = Array.make dim 0. in
+         f env [| time |] y dy;
+         dy)
+
+let create ?(method_ = Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)) ?rhs_into
+    ~dim ~init ~params ~input ~clock ~t0 rhs =
   if Array.length init <> dim then
     invalid_arg "Hybrid.Solver.create: init state dimension mismatch";
   let table = Hashtbl.create 8 in
-  List.iter (fun (k, v) -> Hashtbl.replace table k v) params;
-  let env =
-    { param =
-        (fun name ->
-           match Hashtbl.find_opt table name with
-           | Some v -> v
-           | None -> failwith (Printf.sprintf "Hybrid.Solver: unknown parameter %S" name));
-      input; clock }
+  List.iter (fun (k, v) -> Hashtbl.replace table k (ref v)) params;
+  (* The interning cache is owned by the env closure; [set_param] stays
+     coherent with it because both share the same ref cells. *)
+  let interned_box = ref [||] in
+  let lookup name =
+    match Hashtbl.find_opt table name with
+    | Some r ->
+      let arr = !interned_box in
+      if Array.length arr < max_interned then
+        interned_box := Array.append arr [| (name, r) |];
+      r
+    | None ->
+      failwith (Printf.sprintf "Hybrid.Solver: unknown parameter %S" name)
   in
-  let integ = Ode.Integrator.create ~method_ (make_system ~dim env rhs) ~t0 init in
-  { table; env; integ; dim; crossings = 0 }
+  let param name =
+    let arr = !interned_box in
+    let n = Array.length arr in
+    let rec scan i =
+      if i >= n then !(lookup name)
+      else begin
+        let (k, r) = arr.(i) in
+        if k == name then !r else scan (i + 1)
+      end
+    in
+    scan 0
+  in
+  let env = { param; input; clock } in
+  let integ =
+    Ode.Integrator.create ~method_ (make_system ~dim ?rhs_into env rhs) ~t0 init
+  in
+  { table; env; integ; dim;
+    prepared_guards = []; prepared_ode = []; crossings = 0 }
 
 let env t = t.env
 let time t = Ode.Integrator.time t.integ
 let state t = Ode.Integrator.state t.integ
+let state_view t = Ode.Integrator.state_view t.integ
 let set_state t y = Ode.Integrator.set_state t.integ y
 
 let get_param t name = t.env.param name
 
-let set_param t name v = Hashtbl.replace t.table name v
+let set_param t name v =
+  match Hashtbl.find_opt t.table name with
+  | Some r -> r := v    (* cell mutation keeps interned caches coherent *)
+  | None -> Hashtbl.replace t.table name (ref v)
 
 let params t =
   List.sort (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+    (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.table [])
 
 let set_rhs t rhs =
   Ode.Integrator.replace_system t.integ (make_system ~dim:t.dim t.env rhs)
@@ -62,24 +106,42 @@ let to_ode_guard t g =
 
 let m_crossings = Obs.Metrics.counter "ode.guard_crossings"
 
+let note_crossing t crossing =
+  t.crossings <- t.crossings + 1;
+  Obs.Metrics.incr m_crossings;
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant ~cat:"ode" ~name:"crossing"
+      ~args:[ ("guard", Obs.Tracer.Str crossing.Ode.Events.guard_name) ]
+      ~sim_time:crossing.Ode.Events.time ()
+
+let advance_with_ode_guards t ~until ~ode_guards ~on_crossing =
+  let rec loop () =
+    match Ode.Integrator.advance_guarded t.integ until ode_guards with
+    | Ode.Integrator.Reached _ -> ()
+    | Ode.Integrator.Interrupted crossing ->
+      note_crossing t crossing;
+      on_crossing crossing;
+      loop ()
+  in
+  loop ()
+
 let advance t ~until ~guards ~on_crossing =
   if until > time t then begin
     let ode_guards = List.map (to_ode_guard t) guards in
-    let rec loop () =
-      match Ode.Integrator.advance_guarded t.integ until ode_guards with
-      | Ode.Integrator.Reached _ -> ()
-      | Ode.Integrator.Interrupted crossing ->
-        t.crossings <- t.crossings + 1;
-        Obs.Metrics.incr m_crossings;
-        if Obs.Tracer.enabled () then
-          Obs.Tracer.instant ~cat:"ode" ~name:"crossing"
-            ~args:
-              [ ("guard", Obs.Tracer.Str crossing.Ode.Events.guard_name) ]
-            ~sim_time:crossing.Ode.Events.time ();
-        on_crossing crossing;
-        loop ()
-    in
-    loop ()
+    advance_with_ode_guards t ~until ~ode_guards ~on_crossing
+  end
+
+let set_guards t guards =
+  t.prepared_guards <- guards;
+  t.prepared_ode <- List.map (to_ode_guard t) guards
+
+let prepared_guards t = t.prepared_guards
+
+let advance_prepared t ~until ~on_crossing =
+  if until > time t then begin
+    match t.prepared_ode with
+    | [] -> Ode.Integrator.advance_to t.integ until
+    | ode_guards -> advance_with_ode_guards t ~until ~ode_guards ~on_crossing
   end
 
 let steps_taken t = Ode.Integrator.steps_taken t.integ

@@ -10,7 +10,11 @@
 (** What the equations can see while being evaluated. *)
 type env = {
   param : string -> float;
-    (** current parameter value; raises [Failure] for unknown names *)
+    (** current parameter value; raises [Failure] for unknown names.
+        Parameters are stored in mutable cells, and repeated lookups with
+        a physically-equal name (the common case: a string literal inside
+        the rhs) resolve through a pointer-equality cache without hashing
+        or allocation. *)
   input : string -> float;
     (** last value on the named input DPort (0 before the first write) *)
   clock : Time_service.t;
@@ -19,6 +23,12 @@ type env = {
 
 type rhs = env -> float -> float array -> float array
 (** [rhs env t y] returns dy/dt. *)
+
+type rhs_into = env -> float array -> float array -> float array -> unit
+(** [rhs_into env tcell y dy] writes dy/dt into [dy]; the evaluation time
+    is [tcell.(0)]. Time travels through the 1-element cell so no boxed
+    float crosses the call boundary — with this form a steady-state
+    fixed-step advance performs zero heap allocation. *)
 
 type guard = {
   guard_name : string;
@@ -30,6 +40,7 @@ type t
 
 val create :
   ?method_:Ode.Integrator.method_
+  -> ?rhs_into:rhs_into
   -> dim:int
   -> init:float array
   -> params:(string * float) list
@@ -38,32 +49,60 @@ val create :
   -> t0:float
   -> rhs -> t
 (** Default method: RK4 with step 1e-3. Raises [Invalid_argument] on
-    dimension mismatches. *)
+    dimension mismatches. When [rhs_into] is given it becomes the hot
+    path ({!advance_prepared} steps without allocating) and [rhs] is kept
+    as the boxed fallback for dense output and implicit methods. *)
 
 val env : t -> env
 val time : t -> float
 (** Time the continuous state has been integrated up to. *)
 
 val state : t -> float array
+
+val state_view : t -> float array
+(** The live state array, without copying — read-only by convention, and
+    invalidated by {!set_state}. For hot paths that must not allocate. *)
+
 val set_state : t -> float array -> unit
 
 val get_param : t -> string -> float
 (** Raises [Failure] for unknown parameters. *)
 
 val set_param : t -> string -> float -> unit
-(** Creates the parameter when missing (strategies may introduce modes). *)
+(** Creates the parameter when missing (strategies may introduce modes).
+    Existing parameters are updated in place, so cached lookups keep
+    observing new values. *)
 
 val params : t -> (string * float) list
 
 val set_rhs : t -> rhs -> unit
-(** Swap the equations (mode switch); continuous state is preserved. *)
+(** Swap the equations (mode switch); continuous state is preserved.
+    The in-place rhs, if any, is dropped: the swapped-in equations run
+    on the boxed path. *)
 
 val advance :
   t -> until:float -> guards:guard list
   -> on_crossing:(Ode.Events.crossing -> unit) -> unit
 (** Integrate forward to [until], invoking [on_crossing] at each guard
     zero-crossing (in order) and continuing afterwards. A no-op when
-    [until <= time t]. *)
+    [until <= time t]. Builds the ODE-level guard closures on every
+    call; steady-state drivers should prefer {!set_guards} +
+    {!advance_prepared}. *)
+
+val set_guards : t -> guard list -> unit
+(** Install the guard set consulted by {!advance_prepared}, compiling the
+    ODE-level closures once instead of per advance. *)
+
+val prepared_guards : t -> guard list
+(** The guards installed by {!set_guards} (empty initially). *)
+
+val advance_prepared :
+  t -> until:float -> on_crossing:(Ode.Events.crossing -> unit) -> unit
+(** Like {!advance} with the guards installed by {!set_guards}. With no
+    guards and an in-place rhs this advances allocation-free
+    ({!Ode.Integrator.advance_to}); mesh times are then computed as
+    [t0 + i*dt] rather than accumulated, so trajectories can differ from
+    {!advance} in the last ulp. *)
 
 val steps_taken : t -> int
 val crossings_seen : t -> int

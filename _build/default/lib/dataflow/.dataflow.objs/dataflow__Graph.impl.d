@@ -1,1 +1,1 @@
-lib/dataflow/graph.ml: Flow_type Hashtbl List Option Port Printf Queue String
+lib/dataflow/graph.ml: Array Flow_type Hashtbl List Port Printf Queue String Value

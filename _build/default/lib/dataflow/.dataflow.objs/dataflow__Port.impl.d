@@ -1,1 +1,1 @@
-lib/dataflow/port.ml: Flow_type Printf Value
+lib/dataflow/port.ml: Array Flow_type Printf Value

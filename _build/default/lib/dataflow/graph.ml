@@ -1,9 +1,34 @@
+(* Propagation runs on a compiled routing plan: per node, the full
+   downstream write sequence (through relays) with pre-resolved ports.
+   All-scalar-float subtrees flatten to raw float-cell copies; anything
+   else replays the reference walk's exact instruction order against a
+   value register. Plans are compiled lazily on first propagation and
+   invalidated by bumping [version] on [connect]. The original list-walk
+   survives as [propagate_from_reference] for differential testing. *)
+
 type node = {
   name : string;
   relay : bool;
   inputs : (string * Port.t) list;
   outputs : (string * Port.t) list;
+  mutable routes : route_item array;
+  mutable routes_version : int;  (* graph version the plan was built at *)
 }
+
+and route_item =
+  | Fast of fast_route
+  | Slow of gop array
+
+and fast_route = {
+  fsrc : Port.t;
+  fsrc_cell : float array;
+  fdsts : Port.t array;
+  fdst_cells : float array array;
+}
+
+and gop =
+  | GRead of Port.t * int  (* load register; skip to index when empty *)
+  | GWrite of Port.t       (* write register *)
 
 type flow = {
   src_node : node;
@@ -15,6 +40,8 @@ type flow = {
 type t = {
   mutable node_list : node list;  (* reverse insertion order *)
   mutable flows : flow list;
+  nodes_tbl : (string, node) Hashtbl.t;
+  mutable version : int;  (* bumped on connect: invalidates all plans *)
 }
 
 type error =
@@ -34,23 +61,28 @@ let error_to_string = function
   | Not_an_output (n, p) -> Printf.sprintf "%s.%s is not an output port" n p
   | Not_an_input (n, p) -> Printf.sprintf "%s.%s is not an input port" n p
 
-let create () = { node_list = []; flows = [] }
+let create () =
+  { node_list = []; flows = []; nodes_tbl = Hashtbl.create 32; version = 0 }
 
 let mk_ports direction decls =
   List.map (fun (pname, ty) -> (pname, Port.create ~name:pname direction ty)) decls
 
 let check_fresh t name =
-  if List.exists (fun n -> String.equal n.name name) t.node_list then
+  if Hashtbl.mem t.nodes_tbl name then
     invalid_arg (Printf.sprintf "Dataflow.Graph.add_node: duplicate node %S" name)
+
+let register t node =
+  t.node_list <- node :: t.node_list;
+  Hashtbl.replace t.nodes_tbl node.name node;
+  node
 
 let add_node t ~name ~inputs ~outputs =
   check_fresh t name;
-  let node = { name; relay = false;
-               inputs = mk_ports Port.In inputs;
-               outputs = mk_ports Port.Out outputs }
-  in
-  t.node_list <- node :: t.node_list;
-  node
+  register t
+    { name; relay = false;
+      inputs = mk_ports Port.In inputs;
+      outputs = mk_ports Port.Out outputs;
+      routes = [||]; routes_version = -1 }
 
 let add_relay_node t ~name ty ~fanout =
   check_fresh t name;
@@ -59,12 +91,10 @@ let add_relay_node t ~name ty ~fanout =
         let pname = Printf.sprintf "out%d" (i + 1) in
         (pname, Port.create ~name:pname Port.Out ty))
   in
-  let node = { name; relay = true;
-               inputs = [ ("in", Port.create ~name:"in" Port.In ty) ];
-               outputs }
-  in
-  t.node_list <- node :: t.node_list;
-  node
+  register t
+    { name; relay = true;
+      inputs = [ ("in", Port.create ~name:"in" Port.In ty) ];
+      outputs; routes = [||]; routes_version = -1 }
 
 let add_relay t ~name ty ~fanout =
   if fanout < 2 then invalid_arg "Dataflow.Graph.add_relay: fanout must be >= 2";
@@ -75,7 +105,7 @@ let add_junction t ~name ty = add_relay_node t ~name ty ~fanout:1
 let is_relay node = node.relay
 let node_name node = node.name
 let nodes t = List.rev t.node_list
-let find_node t name = List.find_opt (fun n -> String.equal n.name name) t.node_list
+let find_node t name = Hashtbl.find_opt t.nodes_tbl name
 
 let input_port node pname = List.assoc_opt pname node.inputs
 let output_port node pname = List.assoc_opt pname node.outputs
@@ -109,6 +139,7 @@ let connect t ~src:(src_node, src_port) ~dst:(dst_node, dst_port) =
     then Error (Input_already_driven (dst_node.name, dst_port))
     else begin
       t.flows <- { src_node; src_port; dst_node; dst_port } :: t.flows;
+      t.version <- t.version + 1;
       Ok ()
     end
 
@@ -156,45 +187,58 @@ let flow_list t =
     (fun f -> ((f.src_node.name, f.src_port), (f.dst_node.name, f.dst_port)))
     t.flows
 
+(* ---------------- topological order (Kahn, O(V + E)) ---------------- *)
+
 let topo_order t =
   let all = nodes t in
-  let indegree = Hashtbl.create 16 in
+  let n_nodes = List.length all in
+  let indegree = Hashtbl.create (2 * (n_nodes + 1)) in
   List.iter (fun n -> Hashtbl.replace indegree n.name 0) all;
-  let edges =
-    (* Node-level dependency edges, deduplicated. *)
-    List.sort_uniq compare
-      (List.map (fun f -> (f.src_node.name, f.dst_node.name)) t.flows)
-  in
+  (* Node-level dependency edges, deduplicated; successors of each node
+     are visited in destination-name order (the historical order of the
+     sorted edge list), which keeps the resulting order stable. *)
+  let seen = Hashtbl.create 64 in
+  let succs = Hashtbl.create 64 in
   List.iter
-    (fun (_, dst) ->
-       Hashtbl.replace indegree dst (1 + Option.value ~default:0 (Hashtbl.find_opt indegree dst)))
-    edges;
+    (fun f ->
+       let pair = (f.src_node.name, f.dst_node.name) in
+       if not (Hashtbl.mem seen pair) then begin
+         Hashtbl.add seen pair ();
+         Hashtbl.replace indegree f.dst_node.name
+           (1 + Hashtbl.find indegree f.dst_node.name);
+         let prev = try Hashtbl.find succs f.src_node.name with Not_found -> [] in
+         Hashtbl.replace succs f.src_node.name (f.dst_node :: prev)
+       end)
+    t.flows;
   let ready = Queue.create () in
   List.iter (fun n -> if Hashtbl.find indegree n.name = 0 then Queue.push n ready) all;
   let order = ref [] in
+  let placed = Hashtbl.create (2 * (n_nodes + 1)) in
   while not (Queue.is_empty ready) do
     let n = Queue.pop ready in
     order := n :: !order;
+    Hashtbl.replace placed n.name ();
+    let ss =
+      List.sort
+        (fun a b -> String.compare a.name b.name)
+        (try Hashtbl.find succs n.name with Not_found -> [])
+    in
     List.iter
-      (fun (src, dst) ->
-         if String.equal src n.name then begin
-           let d = Hashtbl.find indegree dst - 1 in
-           Hashtbl.replace indegree dst d;
-           if d = 0 then
-             match find_node t dst with
-             | Some node -> Queue.push node ready
-             | None -> ()
-         end)
-      edges
+      (fun m ->
+         let d = Hashtbl.find indegree m.name - 1 in
+         Hashtbl.replace indegree m.name d;
+         if d = 0 then Queue.push m ready)
+      ss
   done;
   let order = List.rev !order in
-  if List.length order = List.length all then Ok order
+  if Hashtbl.length placed = n_nodes then Ok order
   else
-    let placed = List.map (fun n -> n.name) order in
     Error
       (List.filter_map
-         (fun n -> if List.mem n.name placed then None else Some n.name)
+         (fun n -> if Hashtbl.mem placed n.name then None else Some n.name)
          all)
+
+(* ---------------- reference propagation (list walk) ----------------- *)
 
 let rec forward t flow writes =
   match output_port flow.src_node flow.src_port with
@@ -224,11 +268,132 @@ and relay_through t relay_node v writes =
        else acc)
     writes t.flows
 
-let propagate_from t node =
+let propagate_from_reference t node =
   List.fold_left
     (fun acc f ->
        if String.equal f.src_node.name node.name then forward t f acc else acc)
     0 t.flows
+
+(* ---------------- compiled propagation ------------------------------ *)
+
+(* Intermediate tree mirroring the reference walk: one [CRead] per flow
+   (skipping its whole subtree when the source port is empty), relay
+   fan-out expanded inline. *)
+type cop =
+  | CRead of Port.t * cop list
+  | CWrite of Port.t
+
+let flows_from t node =
+  List.filter (fun f -> String.equal f.src_node.name node.name) t.flows
+
+let rec compile_flow t visiting f =
+  match (output_port f.src_node f.src_port, input_port f.dst_node f.dst_port) with
+  | Some sp, Some dp ->
+    let rest =
+      if f.dst_node.relay then begin
+        if List.memq f.dst_node visiting then
+          failwith
+            (Printf.sprintf "Dataflow.Graph: relay cycle through %S" f.dst_node.name);
+        let visiting = f.dst_node :: visiting in
+        List.map (fun (_, p) -> CWrite p) f.dst_node.outputs
+        @ List.concat_map (compile_flow t visiting) (flows_from t f.dst_node)
+      end
+      else []
+    in
+    [ CRead (sp, CWrite dp :: rest) ]
+  | None, _ | _, None -> []
+
+let rec cop_size = function
+  | CWrite _ -> 1
+  | CRead (_, body) -> 1 + List.fold_left (fun a c -> a + cop_size c) 0 body
+
+let rec cop_ports acc = function
+  | CWrite p -> p :: acc
+  | CRead (p, body) -> List.fold_left cop_ports (p :: acc) body
+
+let rec cop_writes acc = function
+  | CWrite p -> p :: acc
+  | CRead (_, body) -> List.fold_left cop_writes acc body
+
+let flatten_cops cops =
+  let ops = Array.make (List.fold_left (fun a c -> a + cop_size c) 0 cops)
+      (GWrite (Port.create ~name:"" Port.Out Flow_type.float_flow))
+  in
+  let rec fill i = function
+    | CWrite p -> ops.(i) <- GWrite p; i + 1
+    | CRead (p, body) ->
+      let after = List.fold_left fill (i + 1) body in
+      ops.(i) <- GRead (p, after);
+      after
+  in
+  ignore (List.fold_left fill 0 cops);
+  ops
+
+(* One route item per outgoing flow of the origin node. A subtree whose
+   every port is scalar-float flattens to a plain float-cell fan-out: the
+   register value cannot change across its relay boundaries (normalizing
+   a {value: float} sample is the identity on the carried float). *)
+let compile_route t f =
+  match compile_flow t [ ] f with
+  | [] -> None
+  | cops ->
+    let ports = List.fold_left cop_ports [] cops in
+    if List.for_all Port.is_scalar_float ports then
+      match cops with
+      | [ CRead (sp, _) ] ->
+        let dsts = Array.of_list (List.rev (List.fold_left cop_writes [] cops)) in
+        Some (Fast { fsrc = sp; fsrc_cell = Port.fcell sp; fdsts = dsts;
+                     fdst_cells = Array.map Port.fcell dsts })
+      | _ -> Some (Slow (flatten_cops cops))
+    else Some (Slow (flatten_cops cops))
+
+let compile_plan t node =
+  Array.of_list (List.filter_map (compile_route t) (flows_from t node))
+
+let ensure_plan t node =
+  if node.routes_version <> t.version then begin
+    node.routes <- compile_plan t node;
+    node.routes_version <- t.version
+  end
+
+let run_fast r =
+  if Port.has_value r.fsrc then begin
+    let x = r.fsrc_cell.(0) in
+    let dsts = r.fdsts in
+    let cells = r.fdst_cells in
+    for j = 0 to Array.length dsts - 1 do
+      cells.(j).(0) <- x;
+      Port.note_float_write dsts.(j)
+    done;
+    Array.length dsts
+  end
+  else 0
+
+let run_slow ops =
+  let n = Array.length ops in
+  let rec go i reg writes =
+    if i >= n then writes
+    else
+      match ops.(i) with
+      | GWrite p -> Port.write p reg; go (i + 1) reg (writes + 1)
+      | GRead (p, skip) ->
+        (match Port.read p with
+         | Some v -> go (i + 1) v writes
+         | None -> go skip reg writes)
+  in
+  go 0 Value.Unit 0
+
+(* Top-level (not a local closure) so a steady-state propagation of an
+   all-fast plan allocates nothing. *)
+let rec run_plan plan i acc =
+  if i >= Array.length plan then acc
+  else
+    run_plan plan (i + 1)
+      (acc + match plan.(i) with Fast r -> run_fast r | Slow ops -> run_slow ops)
+
+let propagate_from t node =
+  ensure_plan t node;
+  run_plan node.routes 0 0
 
 let propagate_all t =
   match topo_order t with

@@ -15,6 +15,28 @@ val name : t -> string
 val direction : t -> direction
 val flow_type : t -> Flow_type.t
 
+val is_scalar_float : t -> bool
+(** The port's flow type is exactly [{value: float}] — such ports carry
+    their latest sample in an unboxed float cell alongside the boxed
+    representation, which is materialized lazily on {!read}. *)
+
+val fcell : t -> float array
+(** The 1-element float cell of a scalar-float port. Hot paths write the
+    sample into [fcell.(0)] and then call {!note_float_write}; reading it
+    is only meaningful when the latest write was a float write (compiled
+    routing plans guarantee this by construction). *)
+
+val note_float_write : t -> unit
+(** Commit a direct [fcell] store as a write: bumps the write counter and
+    marks the boxed representation stale. *)
+
+val write_float : t -> float -> unit
+(** [write t (Value.Float f)] without allocating on scalar-float ports
+    (falls back to {!write} on any other flow type). *)
+
+val has_value : t -> bool
+(** The port has been written at least once. *)
+
 val write : t -> Value.t -> unit
 (** Store a value. Raises [Invalid_argument] when the value does not
     conform to the port's flow type; the stored value is normalized to

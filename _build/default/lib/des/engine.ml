@@ -60,19 +60,15 @@ let step t =
 let run_until t bound =
   if bound < t.clock then
     invalid_arg "Des.Engine.run_until: bound is before the current time";
-  let executed = ref 0 in
-  let rec loop () =
+  let rec loop executed =
     match Event_queue.peek_time t.queue with
     | Some time when time <= bound ->
-      if step t then begin
-        incr executed;
-        loop ()
-      end
-    | Some _ | None -> ()
+      if step t then loop (executed + 1) else executed
+    | Some _ | None -> executed
   in
-  loop ();
+  let executed = loop 0 in
   t.clock <- bound;
-  !executed
+  executed
 
 let run_to_completion t ?(max_events = 10_000_000) () =
   let executed = ref 0 in

@@ -9,16 +9,33 @@ type entry = {
 
 type handle = entry
 
+(* Shared filler for free slots. Payloads live in a parallel [option]
+   array so a freed slot really is [None]: the historical single
+   [(entry * 'a) array] representation kept popped payloads reachable
+   (and [Array.make] pinned the first payload in every slot), which is a
+   space leak when payloads are large. *)
+let dummy_live = ref 0
+
+let dummy_entry =
+  { time = neg_infinity; priority = 0; seq = -1; cancelled = true;
+    popped = true; live = dummy_live }
+
 type 'a t = {
-  mutable heap : (entry * 'a) array;  (* prefix [0, size) is the heap *)
+  mutable entries : entry array;     (* prefix [0, size) is the heap *)
+  mutable payloads : 'a option array;
   mutable size : int;
   mutable next_seq : int;
   live : int ref;  (* live (scheduled, not cancelled, not popped) entries *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; live = ref 0 }
+let min_capacity = 8
+
+let create () =
+  { entries = [||]; payloads = [||]; size = 0; next_seq = 0; live = ref 0 }
 
 let live_count t = !(t.live)
+
+let capacity t = Array.length t.entries
 
 (* Cancelled entries stay in the heap until they reach the top (lazy
    deletion), so [length] walks the array — it is only used by tests and
@@ -26,25 +43,27 @@ let live_count t = !(t.live)
 let length t =
   let n = ref 0 in
   for i = 0 to t.size - 1 do
-    let e, _ = t.heap.(i) in
-    if not e.cancelled then incr n
+    if not t.entries.(i).cancelled then incr n
   done;
   !n
 
-let before (a, _) (b, _) =
+let before a b =
   a.time < b.time
   || (a.time = b.time
       && (a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let e = t.entries.(i) in
+  t.entries.(i) <- t.entries.(j);
+  t.entries.(j) <- e;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t.entries.(i) t.entries.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -54,12 +73,20 @@ let rec sift_down t i =
   let l = (2 * i) + 1 in
   let r = l + 1 in
   let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && before t.entries.(l) t.entries.(!smallest) then smallest := l;
+  if r < t.size && before t.entries.(r) t.entries.(!smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
+
+let resize t cap =
+  let entries' = Array.make cap dummy_entry in
+  let payloads' = Array.make cap None in
+  Array.blit t.entries 0 entries' 0 t.size;
+  Array.blit t.payloads 0 payloads' 0 t.size;
+  t.entries <- entries';
+  t.payloads <- payloads'
 
 let push t ~time ?(priority = 0) payload =
   if Float.is_nan time then invalid_arg "Des.Event_queue.push: NaN time";
@@ -69,13 +96,11 @@ let push t ~time ?(priority = 0) payload =
   in
   t.next_seq <- t.next_seq + 1;
   incr t.live;
-  if Array.length t.heap = 0 then t.heap <- Array.make 8 (entry, payload)
-  else if t.size >= Array.length t.heap then begin
-    let heap' = Array.make (2 * Array.length t.heap) t.heap.(0) in
-    Array.blit t.heap 0 heap' 0 t.size;
-    t.heap <- heap'
-  end;
-  t.heap.(t.size) <- (entry, payload);
+  if t.size >= Array.length t.entries then
+    resize t (if Array.length t.entries = 0 then min_capacity
+              else 2 * Array.length t.entries);
+  t.entries.(t.size) <- entry;
+  t.payloads.(t.size) <- Some payload;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   entry
@@ -88,15 +113,27 @@ let cancel entry =
 
 let is_cancelled entry = entry.cancelled
 
-let rec drop_cancelled t =
+(* Remove the root: move the last pair onto it and clear the freed slot
+   so the payload is collectable. When occupancy falls below a quarter,
+   halve the arrays so a burst of scheduling does not pin its high-water
+   capacity (and the stale payloads in it) forever. *)
+let remove_top t =
+  t.size <- t.size - 1;
   if t.size > 0 then begin
-    let top, _ = t.heap.(0) in
-    if top.cancelled then begin
-      t.size <- t.size - 1;
-      t.heap.(0) <- t.heap.(t.size);
-      if t.size > 0 then sift_down t 0;
-      drop_cancelled t
-    end
+    t.entries.(0) <- t.entries.(t.size);
+    t.payloads.(0) <- t.payloads.(t.size)
+  end;
+  t.entries.(t.size) <- dummy_entry;
+  t.payloads.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  let cap = Array.length t.entries in
+  if cap > min_capacity && t.size < cap / 4 then
+    resize t (let c = cap / 2 in if c < min_capacity then min_capacity else c)
+
+let rec drop_cancelled t =
+  if t.size > 0 && t.entries.(0).cancelled then begin
+    remove_top t;
+    drop_cancelled t
   end
 
 let is_empty t =
@@ -105,21 +142,19 @@ let is_empty t =
 
 let peek_time t =
   drop_cancelled t;
-  if t.size = 0 then None
-  else
-    let e, _ = t.heap.(0) in
-    Some e.time
+  if t.size = 0 then None else Some t.entries.(0).time
 
 let pop t =
   drop_cancelled t;
   if t.size = 0 then None
   else begin
-    let e, payload = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
+    let e = t.entries.(0) in
+    let payload =
+      match t.payloads.(0) with
+      | Some p -> p
+      | None -> assert false  (* heap prefix slots always hold payloads *)
+    in
+    remove_top t;
     e.popped <- true;
     decr t.live;
     Some (e.time, payload)

@@ -18,6 +18,13 @@ val length : 'a t -> int
 val live_count : 'a t -> int
 (** Same value as [length], maintained incrementally — O(1). *)
 
+val capacity : 'a t -> int
+(** Current backing-array capacity. Grows by doubling and halves when
+    occupancy drops below a quarter (never below the initial 8), so a
+    scheduling burst does not pin its high-water storage. Freed slots are
+    cleared, so popped payloads are collectable immediately — exposed for
+    the retention regression tests. *)
+
 val is_empty : 'a t -> bool
 
 val push : 'a t -> time:float -> ?priority:int -> 'a -> handle

@@ -108,11 +108,12 @@ and leaf_of_decl checked (s : Ast.streamer_decl) =
             | None -> 0.)
          s.Ast.s_states)
   in
-  let outputs env time y =
-    let scope = solver_scope s env time y in
-    List.map
-      (fun (port, e) -> (port, Dataflow.Value.Float (Expr.eval scope e)))
-      s.Ast.s_outputs
+  let outputs =
+    Hybrid.Streamer.output_fn (fun env time y ->
+        let scope = solver_scope s env time y in
+        List.map
+          (fun (port, e) -> (port, Dataflow.Value.Float (Expr.eval scope e)))
+          s.Ast.s_outputs)
   in
   let dports =
     List.map

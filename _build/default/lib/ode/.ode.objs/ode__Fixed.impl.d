@@ -1,1 +1,1 @@
-lib/ode/fixed.ml: Float Linalg List System
+lib/ode/fixed.ml: Array Float Linalg List System

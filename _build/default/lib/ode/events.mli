@@ -26,6 +26,11 @@ val sign_change : guard -> float -> float -> bool
 (** [sign_change g g0 g1] — does the value pair represent a crossing in the
     guard's direction? Exact zeros at the step start do not retrigger. *)
 
+val sign_change_dir : direction -> float -> float -> bool
+(** {!sign_change} on a bare direction, for callers that track guard
+    values out-of-band (e.g. in flat arrays) and have no [guard] record
+    at hand. *)
+
 val locate :
   ?tol:float -> ?max_bisect:int -> guard -> Dense.t -> crossing option
 (** Locate the first crossing of the guard inside the interpolant's span

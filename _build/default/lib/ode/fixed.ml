@@ -46,6 +46,152 @@ let step scheme sys ~t ~dt y =
     in
     Linalg.axpy (dt /. 6.) incr y
 
+(* ------------------------------------------------------------------ *)
+(* Allocation-free stepping                                             *)
+(*                                                                      *)
+(* A preallocated workspace holds every intermediate stage array plus   *)
+(* three 1-element float cells used to pass times across call           *)
+(* boundaries without boxing. The stage arithmetic is written out       *)
+(* loop-by-loop (rather than through Linalg) so no computed float ever  *)
+(* crosses a function boundary; each expression keeps the exact IEEE    *)
+(* association of the allocating [step] path, so the two agree          *)
+(* bit-for-bit on a single step.                                        *)
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  wdim : int;
+  k1 : float array;
+  k2 : float array;
+  k3 : float array;
+  k4 : float array;
+  ytmp : float array;
+  tcell : float array;  (* evaluation time handed to the in-place rhs *)
+  targ : float array;   (* step start time input to [step_cells] *)
+  harg : float array;   (* step size input to [step_cells] *)
+}
+
+let workspace ~dim =
+  if dim <= 0 then invalid_arg "Ode.Fixed.workspace: dimension must be positive";
+  { wdim = dim;
+    k1 = Array.make dim 0.; k2 = Array.make dim 0.;
+    k3 = Array.make dim 0.; k4 = Array.make dim 0.;
+    ytmp = Array.make dim 0.;
+    tcell = [| 0. |]; targ = [| 0. |]; harg = [| 0. |] }
+
+let step_cells scheme sys ws y =
+  match System.rhs_into_opt sys with
+  | None -> invalid_arg "Ode.Fixed.step_cells: system has no in-place rhs"
+  | Some f ->
+    let n = Array.length y in
+    let t = ws.targ.(0) in
+    let dt = ws.harg.(0) in
+    let tc = ws.tcell in
+    let k1 = ws.k1 in
+    (match scheme with
+     | Euler ->
+       tc.(0) <- t;
+       f tc y k1;
+       for i = 0 to n - 1 do
+         y.(i) <- (dt *. k1.(i)) +. y.(i)
+       done;
+       System.note_evals sys 1
+     | Midpoint ->
+       let k2 = ws.k2 and ytmp = ws.ytmp in
+       tc.(0) <- t;
+       f tc y k1;
+       for i = 0 to n - 1 do
+         ytmp.(i) <- ((dt /. 2.) *. k1.(i)) +. y.(i)
+       done;
+       tc.(0) <- t +. (dt /. 2.);
+       f tc ytmp k2;
+       for i = 0 to n - 1 do
+         y.(i) <- (dt *. k2.(i)) +. y.(i)
+       done;
+       System.note_evals sys 2
+     | Heun ->
+       let k2 = ws.k2 and ytmp = ws.ytmp in
+       tc.(0) <- t;
+       f tc y k1;
+       for i = 0 to n - 1 do
+         ytmp.(i) <- (dt *. k1.(i)) +. y.(i)
+       done;
+       tc.(0) <- t +. dt;
+       f tc ytmp k2;
+       for i = 0 to n - 1 do
+         y.(i) <- ((dt /. 2.) *. (k1.(i) +. k2.(i))) +. y.(i)
+       done;
+       System.note_evals sys 2
+     | Rk4 ->
+       let k2 = ws.k2 and k3 = ws.k3 and k4 = ws.k4 and ytmp = ws.ytmp in
+       let half = dt /. 2. in
+       tc.(0) <- t;
+       f tc y k1;
+       for i = 0 to n - 1 do
+         ytmp.(i) <- (half *. k1.(i)) +. y.(i)
+       done;
+       tc.(0) <- t +. half;
+       f tc ytmp k2;
+       for i = 0 to n - 1 do
+         ytmp.(i) <- (half *. k2.(i)) +. y.(i)
+       done;
+       f tc ytmp k3;
+       for i = 0 to n - 1 do
+         ytmp.(i) <- (dt *. k3.(i)) +. y.(i)
+       done;
+       tc.(0) <- t +. dt;
+       f tc ytmp k4;
+       for i = 0 to n - 1 do
+         y.(i) <-
+           ((dt /. 6.)
+            *. ((((1. *. k1.(i)) +. (2. *. k2.(i))) +. (2. *. k3.(i)))
+                +. (1. *. k4.(i))))
+           +. y.(i)
+       done;
+       System.note_evals sys 4)
+
+let step_into scheme sys ~ws ~t ~dt y =
+  if dt <= 0. then invalid_arg "Ode.Fixed.step_into: dt must be positive";
+  if Array.length y <> ws.wdim || Array.length y <> System.dim sys then
+    invalid_arg "Ode.Fixed.step_into: state dimension mismatch";
+  match System.rhs_into_opt sys with
+  | Some _ ->
+    ws.targ.(0) <- t;
+    ws.harg.(0) <- dt;
+    step_cells scheme sys ws y
+  | None ->
+    (* No in-place rhs: take the allocating path, land in place. *)
+    let y' = step scheme sys ~t ~dt y in
+    Array.blit y' 0 y 0 (Array.length y)
+
+let advance_into scheme sys ~ws ~t0 ~t1 ~dt y =
+  if dt <= 0. then invalid_arg "Ode.Fixed.advance_into: dt must be positive";
+  if t1 < t0 then invalid_arg "Ode.Fixed.advance_into: t1 must be >= t0";
+  if Array.length y <> ws.wdim || Array.length y <> System.dim sys then
+    invalid_arg "Ode.Fixed.advance_into: state dimension mismatch";
+  let a = Float.abs t1 in
+  let eps = 1e-12 *. (if a > 1. then a else 1.) in
+  let span = t1 -. t0 in
+  let raw = (span -. eps) /. dt in
+  let n = if raw <= 0. then 0 else int_of_float (ceil raw) in
+  (match System.rhs_into_opt sys with
+   | Some _ ->
+     for i = 0 to n - 1 do
+       let ti = t0 +. (float_of_int i *. dt) in
+       let remaining = t1 -. ti in
+       ws.targ.(0) <- ti;
+       ws.harg.(0) <- (if dt <= remaining then dt else remaining);
+       step_cells scheme sys ws y
+     done
+   | None ->
+     for i = 0 to n - 1 do
+       let ti = t0 +. (float_of_int i *. dt) in
+       let remaining = t1 -. ti in
+       let h = if dt <= remaining then dt else remaining in
+       let y' = step scheme sys ~t:ti ~dt:h y in
+       Array.blit y' 0 y 0 (Array.length y)
+     done);
+  n
+
 (* Walks the uniform mesh, shortening the final step so the trajectory lands
    exactly on [t1] even when [t1 - t0] is not a multiple of [dt]. *)
 let fold scheme sys ~t0 ~t1 ~dt y0 ~init ~record =

@@ -25,6 +25,45 @@ val step : scheme -> System.t -> t:float -> dt:float -> float array -> float arr
 (** One step of the scheme from state [y] at time [t], returning the state
     at [t +. dt]. Raises [Invalid_argument] if [dt <= 0]. *)
 
+type workspace = {
+  wdim : int;
+  k1 : float array;
+  k2 : float array;
+  k3 : float array;
+  k4 : float array;
+  ytmp : float array;
+  tcell : float array;  (** evaluation time handed to the in-place rhs *)
+  targ : float array;   (** step start time input to {!step_cells} *)
+  harg : float array;   (** step size input to {!step_cells} *)
+}
+(** Preallocated stage storage for allocation-free stepping. Times travel
+    through the 1-element cells so no boxed float crosses a call
+    boundary on the hot path. One workspace per solver; never shared. *)
+
+val workspace : dim:int -> workspace
+
+val step_into : scheme -> System.t -> ws:workspace -> t:float -> dt:float
+  -> float array -> unit
+(** One step, advancing [y] in place. When the system has an in-place rhs
+    ({!System.create_inplace}) this performs zero heap allocation and
+    agrees bit-for-bit with {!step}; otherwise it falls back to the
+    allocating path and copies the result into [y]. *)
+
+val step_cells : scheme -> System.t -> workspace -> float array -> unit
+(** Core of {!step_into}: step start time and size are read from
+    [ws.targ.(0)] / [ws.harg.(0)] instead of float arguments (so driver
+    loops can invoke it without boxing). No argument validation — callers
+    are expected to have checked dimensions and [dt] once outside their
+    loop. Raises [Invalid_argument] when the system has no in-place
+    rhs. *)
+
+val advance_into : scheme -> System.t -> ws:workspace -> t0:float -> t1:float
+  -> dt:float -> float array -> int
+(** Walk the uniform mesh from [t0] to [t1] in place (final step
+    shortened to land on [t1]), returning the number of steps taken.
+    Mesh times are computed as [t0 + i*dt] (not accumulated), so
+    trajectories can differ from {!integrate} in the last ulp. *)
+
 val integrate :
   scheme -> System.t -> t0:float -> t1:float -> dt:float -> float array -> float array
 (** Advance from [t0] to [t1] in uniform steps of at most [dt] (the final

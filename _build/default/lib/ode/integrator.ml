@@ -15,15 +15,18 @@ type t = {
   mutable now : float;
   mutable y : float array;
   mutable steps : int;
+  ws : Fixed.workspace;  (* stage storage for the allocation-free path *)
 }
 
 let create ?(method_ = Fixed (Fixed.Rk4, 1e-3)) sys ~t0 y0 =
   if Array.length y0 <> System.dim sys then
     invalid_arg "Ode.Integrator.create: state dimension mismatch";
-  { sys; method_; now = t0; y = Linalg.copy y0; steps = 0 }
+  { sys; method_; now = t0; y = Linalg.copy y0; steps = 0;
+    ws = Fixed.workspace ~dim:(System.dim sys) }
 
 let time t = t.now
 let state t = Linalg.copy t.y
+let state_view t = t.y
 
 let set_state t y =
   if Array.length y <> System.dim t.sys then
@@ -69,7 +72,40 @@ let raw_step t ~limit =
 
 let eps_for target = 1e-12 *. Float.max 1. (Float.abs target)
 
-let advance t target =
+(* Allocation-free advance for fixed-step methods with an in-place rhs:
+   the mesh is walked with [Fixed.step_cells] (times through workspace
+   cells, state updated in place) and the clock lands exactly on
+   [target]. Mesh times are [now + i*dt] rather than accumulated, so the
+   trajectory can differ from {!advance} in the last ulp. *)
+let rec advance_to t target =
+  if target < t.now then invalid_arg "Ode.Integrator.advance_to: target in the past";
+  match t.method_ with
+  | Fixed (scheme, dt) ->
+    (match System.rhs_into_opt t.sys with
+     | Some _ ->
+       let t0 = t.now in
+       let a = Float.abs target in
+       let eps = 1e-12 *. (if a > 1. then a else 1.) in
+       let span = target -. t0 in
+       if span > eps && dt <= 0. then
+         invalid_arg "Ode.Fixed.step: dt must be positive";
+       let raw = (span -. eps) /. dt in
+       let n = if raw <= 0. then 0 else int_of_float (ceil raw) in
+       let ws = t.ws in
+       let y = t.y in
+       for i = 0 to n - 1 do
+         let ti = t0 +. (float_of_int i *. dt) in
+         let remaining = target -. ti in
+         ws.Fixed.targ.(0) <- ti;
+         ws.Fixed.harg.(0) <- (if dt <= remaining then dt else remaining);
+         Fixed.step_cells scheme t.sys ws y
+       done;
+       t.steps <- t.steps + n;
+       t.now <- target
+     | None -> ignore (advance t target))
+  | Implicit _ | Adaptive _ -> ignore (advance t target)
+
+and advance t target =
   if target < t.now then invalid_arg "Ode.Integrator.advance: target in the past";
   let eps = eps_for target in
   while t.now < target -. eps do

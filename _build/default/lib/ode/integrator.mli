@@ -18,6 +18,10 @@ val time : t -> float
 val state : t -> float array
 (** A copy of the current state. *)
 
+val state_view : t -> float array
+(** The live state array, without copying — read-only by convention, and
+    invalidated by {!set_state}. For hot paths that must not allocate. *)
+
 val set_state : t -> float array -> unit
 (** Replace the continuous state (used by strategies on mode switches). *)
 
@@ -34,6 +38,15 @@ type outcome =
 
 val advance : t -> float -> outcome
 (** [advance t target] integrates up to [target] (>= current time). *)
+
+val advance_to : t -> float -> unit
+(** Like [advance] ignoring the outcome, but allocation-free for
+    fixed-step methods whose system has an in-place rhs
+    ({!System.create_inplace}): stage arrays come from a preallocated
+    workspace and the state advances in place. Mesh times are computed as
+    [now + i*dt] (not accumulated), so results can differ from
+    {!advance} in the last ulp. Falls back to {!advance} for other
+    methods. *)
 
 val advance_guarded : t -> float -> Events.guard list -> outcome
 (** Like {!advance} but stops at the earliest guard crossing; the

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Array Gc Hybrid Ode

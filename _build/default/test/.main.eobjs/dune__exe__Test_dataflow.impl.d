@@ -1,1 +1,1 @@
-test/test_dataflow.ml: Alcotest Dataflow Flow_type Graph List Port QCheck QCheck_alcotest String Value
+test/test_dataflow.ml: Alcotest Dataflow Flow_type Graph List Option Port Printf QCheck QCheck_alcotest String Value

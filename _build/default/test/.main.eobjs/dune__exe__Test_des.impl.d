@@ -1,1 +1,1 @@
-test/test_des.ml: Alcotest Des Float Fun Gen List Printf QCheck QCheck_alcotest
+test/test_des.ml: Alcotest Bytes Des Float Fun Gc Gen List Printf QCheck QCheck_alcotest Weak

@@ -12,6 +12,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("hybrid-engine", Test_hybrid.suite);
       ("hybrid-core", Test_core.suite);
+      ("alloc", Test_alloc.suite);
       ("dsl", Test_dsl.suite);
       ("lint", Test_lint.suite);
       ("codegen", Test_codegen.suite);

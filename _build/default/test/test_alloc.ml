@@ -1,0 +1,95 @@
+(* Allocation regressions for the hot paths: the claims "zero heap
+   allocation in steady state" are enforced with Gc.minor_words deltas,
+   not by eye. Gc.minor_words is [@@noalloc] with an unboxed float
+   return, so the measurement itself does not disturb the counter. *)
+
+let minor_delta f =
+  (* Warm twice: first call builds/caches (routing plans, interned
+     parameter lookups, lazily-created stage storage), second confirms
+     the code paths are settled before we measure. *)
+  f ();
+  f ();
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+(* Bare RK4 step through the preallocated workspace: zero words. *)
+let test_step_into_alloc_free () =
+  let sys =
+    Ode.System.create_inplace ~dim:2 (fun tcell y dy ->
+        dy.(0) <- y.(1);
+        dy.(1) <- (-.y.(0)) -. (0.1 *. y.(1)) +. (0.01 *. tcell.(0)))
+  in
+  let ws = Ode.Fixed.workspace ~dim:2 in
+  let y = [| 1.0; 0.0 |] in
+  let words =
+    minor_delta (fun () ->
+        Ode.Fixed.step_into Ode.Fixed.Rk4 sys ~ws ~t:0.5 ~dt:0.001 y)
+  in
+  Alcotest.(check (float 0.)) "rk4 step_into allocates nothing" 0. words
+
+(* Mesh walk (the inner loop of Integrator.advance_to): zero words. *)
+let test_advance_into_alloc_free () =
+  let sys =
+    Ode.System.create_inplace ~dim:1 (fun _t y dy -> dy.(0) <- -.y.(0))
+  in
+  let ws = Ode.Fixed.workspace ~dim:1 in
+  let y = [| 1.0 |] in
+  let words =
+    minor_delta (fun () ->
+        ignore
+          (Ode.Fixed.advance_into Ode.Fixed.Rk4 sys ~ws ~t0:0. ~t1:0.1
+             ~dt:0.001 y))
+  in
+  Alcotest.(check (float 0.)) "advance_into allocates nothing" 0. words
+
+(* Full guard-free engine tick in steady state: solver advance through
+   the prepared path (interned params, in-place rhs), fast output plan
+   (direct float-cell stores), compiled flow routing into a sink. The
+   rhs reads a parameter — the pointer-equality interning cache makes
+   that allocation-free too. *)
+let test_engine_tick_alloc_free () =
+  let plant =
+    Hybrid.Streamer.leaf "plant" ~rate:0.3 ~dim:1 ~init:[| 18. |]
+      ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.002))
+      ~params:[ ("ambient", 5.); ("tau", 30.) ]
+      ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+      ~rhs_into:(fun env _tcell y dy ->
+          dy.(0) <-
+            -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+            /. env.Hybrid.Solver.param "tau")
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+      ~rhs:(fun env _t y ->
+          [| -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+             /. env.Hybrid.Solver.param "tau" |])
+  in
+  let sink =
+    Hybrid.Streamer.leaf "sink" ~rate:0.3 ~dim:1 ~init:[| 0. |]
+      ~dports:[ Hybrid.Streamer.dport_in "temp_in" ]
+      ~rhs_into:(fun _env _tcell _y dy -> dy.(0) <- 0.)
+      ~outputs:(Hybrid.Streamer.state_outputs [])
+      ~rhs:(fun _env _t _y -> [| 0. |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"plant" plant;
+  Hybrid.Engine.add_streamer engine ~role:"sink" sink;
+  Hybrid.Engine.connect_flow_exn engine ~src:("plant", "temp")
+    ~dst:("sink", "temp_in");
+  (* Drive the model normally first so every lazy structure (routing
+     plan, interned lookups, output plan) exists, then measure direct
+     ticks. The DES clock sits past the last timer tick, so each
+     tick_now advances the solver to "now" once and then re-syncs
+     (write + propagate only) — both shapes must be allocation-free. *)
+  Hybrid.Engine.run_until engine 1.0;
+  let words =
+    minor_delta (fun () -> Hybrid.Engine.tick_now engine ~role:"plant")
+  in
+  Alcotest.(check (float 0.)) "steady-state tick allocates nothing" 0. words
+
+let suite =
+  [ Alcotest.test_case "ode: step_into zero minor words" `Quick
+      test_step_into_alloc_free;
+    Alcotest.test_case "ode: advance_into zero minor words" `Quick
+      test_advance_into_alloc_free;
+    Alcotest.test_case "engine: guard-free tick zero minor words" `Quick
+      test_engine_tick_alloc_free ]

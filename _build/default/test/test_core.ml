@@ -216,7 +216,7 @@ let reporting_streamer =
   Hybrid.Streamer.leaf "reporter" ~rate:0.1 ~dim:1 ~init:[| 0. |]
     ~sports:[ Hybrid.Streamer.sport "sp" simple_protocol ]
     ~strategy
-    ~outputs:(fun _ _ _ -> [])
+    ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
     ~rhs:(fun _ _ _ -> [| 0. |])
 
 (* Root with a relay border port so signals pass in/out unchanged. *)
@@ -303,7 +303,7 @@ let test_engine_guard_payload_api () =
             expr = (fun _ _ y -> y.(0) -. 0.5);
             payload =
               Some (fun _env _t y -> Dataflow.Value.Float (y.(0) *. 10.)) } ]
-      ~outputs:(fun _ _ _ -> [])
+      ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
       ~rhs:(fun _ _ _ -> [| 1. |])
   in
   let engine = Hybrid.Engine.create ~root:relay_root () in
@@ -351,7 +351,7 @@ let prop_thermostat_band =
                  direction = Ode.Events.Rising;
                  expr = (fun _ _ y -> y.(0) -. high); payload = None } ]
            ~strategy
-           ~outputs:(fun _ _ _ -> [])
+           ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
            ~rhs:(fun (env : Hybrid.Solver.env) _ y ->
                [| (-.(y.(0) -. 15.) /. 20.) +. (0.8 *. env.Hybrid.Solver.param "duty") |])
        in
@@ -487,3 +487,61 @@ let sampled_suite =
       test_trace_sampled_junction ]
 
 let suite = suite @ sampled_suite
+
+(* ---- interned parameter cells + prepared guards ---- *)
+
+(* env.param resolves through a pointer-equality cache over mutable
+   cells; set_param must be visible through the cache, both for updates
+   to cached names and for names created after the first lookup. *)
+let test_param_interning_semantics () =
+  let s = make_solver () in
+  let env = Hybrid.Solver.env s in
+  check_float 0. "initial" 1. (env.Hybrid.Solver.param "k");
+  check_float 0. "cached repeat" 1. (env.Hybrid.Solver.param "k");
+  Hybrid.Solver.set_param s "k" 5.;
+  check_float 0. "update visible through cache" 5.
+    (env.Hybrid.Solver.param "k");
+  Hybrid.Solver.set_param s "fresh" 7.;
+  check_float 0. "late-created parameter" 7.
+    (env.Hybrid.Solver.param "fresh");
+  Alcotest.(check bool) "unknown parameter raises" true
+    (try ignore (env.Hybrid.Solver.param "nope"); false
+     with Failure _ -> true)
+
+(* advance_prepared with cached guards matches the per-call advance. *)
+let test_advance_prepared_matches_advance () =
+  let mk () =
+    let clock = Hybrid.Time_service.create (Des.Engine.create ()) in
+    Hybrid.Solver.create ~dim:1 ~init:[| 1. |] ~params:[ ("k", 1.) ]
+      ~input:(fun _ -> 0.) ~clock ~t0:0.
+      ~rhs_into:(fun env _tcell y dy ->
+          dy.(0) <- -.(env.Hybrid.Solver.param "k") *. y.(0))
+      (fun env _t y -> [| -.(env.Hybrid.Solver.param "k") *. y.(0) |])
+  in
+  let guard =
+    { Hybrid.Solver.guard_name = "half"; direction = Ode.Events.Falling;
+      expr = (fun _env _t y -> y.(0) -. 0.5) }
+  in
+  let a = mk () in
+  let hits_a = ref [] in
+  Hybrid.Solver.advance a ~until:2. ~guards:[ guard ]
+    ~on_crossing:(fun c -> hits_a := c.Ode.Events.time :: !hits_a);
+  let b = mk () in
+  let hits_b = ref [] in
+  Hybrid.Solver.set_guards b [ guard ];
+  Hybrid.Solver.advance_prepared b ~until:2.
+    ~on_crossing:(fun c -> hits_b := c.Ode.Events.time :: !hits_b);
+  Alcotest.(check int) "same crossing count" (List.length !hits_a)
+    (List.length !hits_b);
+  List.iter2 (fun ta tb -> check_float 1e-9 "same crossing time" ta tb)
+    !hits_a !hits_b;
+  check_float 1e-9 "same final state" (Hybrid.Solver.state a).(0)
+    (Hybrid.Solver.state b).(0)
+
+let interning_suite =
+  [ Alcotest.test_case "solver: param interning semantics" `Quick
+      test_param_interning_semantics;
+    Alcotest.test_case "solver: advance_prepared matches advance" `Quick
+      test_advance_prepared_matches_advance ]
+
+let suite = suite @ interning_suite

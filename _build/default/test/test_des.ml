@@ -271,3 +271,60 @@ let suite =
     QCheck_alcotest.to_alcotest prop_rng_range;
     QCheck_alcotest.to_alcotest prop_rng_int_bound;
     Alcotest.test_case "rng: gaussian moments" `Quick test_rng_gaussian_moments ]
+
+(* ---- queue storage: retention + shrink regressions ---- *)
+
+(* A popped payload must be collectable immediately: the heap clears
+   freed slots instead of leaving stale pointers behind the size index. *)
+let test_queue_releases_popped_payloads () =
+  let q = Des.Event_queue.create () in
+  let weaks =
+    List.init 50 (fun i ->
+        let payload = Bytes.make 256 'x' in
+        let w = Weak.create 1 in
+        Weak.set w 0 (Some payload);
+        ignore (Des.Event_queue.push q ~time:(float_of_int i) payload);
+        w)
+  in
+  let rec drain () =
+    match Des.Event_queue.pop q with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Gc.full_major ();
+  Gc.full_major ();
+  let alive =
+    List.fold_left (fun acc w -> if Weak.check w 0 then acc + 1 else acc) 0 weaks
+  in
+  Alcotest.(check int) "popped payloads are collectable" 0 alive
+
+(* A burst must not pin its high-water storage: capacity halves as the
+   queue drains, and surviving entries still pop in order. *)
+let test_queue_capacity_shrinks () =
+  let q = Des.Event_queue.create () in
+  for i = 1 to 1024 do
+    ignore (Des.Event_queue.push q ~time:(float_of_int i) i)
+  done;
+  Alcotest.(check bool) "grew to hold the burst" true
+    (Des.Event_queue.capacity q >= 1024);
+  for _ = 1 to 1020 do ignore (Des.Event_queue.pop q) done;
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank after drain (capacity %d)"
+       (Des.Event_queue.capacity q))
+    true
+    (Des.Event_queue.capacity q <= 64);
+  let rest =
+    List.init 4 (fun _ ->
+        match Des.Event_queue.pop q with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "survivors pop in order"
+    [ 1021; 1022; 1023; 1024 ] rest;
+  Alcotest.(check bool) "never below the floor" true
+    (Des.Event_queue.capacity q >= 8)
+
+let storage_suite =
+  [ Alcotest.test_case "queue: popped payloads released" `Quick
+      test_queue_releases_popped_payloads;
+    Alcotest.test_case "queue: capacity shrinks after burst" `Quick
+      test_queue_capacity_shrinks ]
+
+let suite = suite @ storage_suite

@@ -176,10 +176,12 @@ let cruise_engine () =
                        -. env.Hybrid.Solver.input "speed"));
             payload = None } ]
       ~strategy
-      ~outputs:(fun (env : Hybrid.Solver.env) _t y ->
-          let p = env.Hybrid.Solver.param in
-          let err = p "ref" -. env.Hybrid.Solver.input "speed" in
-          [ ("force", Dataflow.Value.Float ((p "kp" *. err) +. (p "ki" *. y.(0)))) ])
+      ~outputs:
+        (Hybrid.Streamer.output_fn (fun (env : Hybrid.Solver.env) _t y ->
+             let p = env.Hybrid.Solver.param in
+             let err = p "ref" -. env.Hybrid.Solver.input "speed" in
+             [ ("force",
+                Dataflow.Value.Float ((p "kp" *. err) +. (p "ki" *. y.(0)))) ]))
       ~rhs:(fun (env : Hybrid.Solver.env) _t _y ->
           [| env.Hybrid.Solver.param "ref" -. env.Hybrid.Solver.input "speed" |])
   in

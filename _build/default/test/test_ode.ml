@@ -291,3 +291,77 @@ let extra_suite =
     Alcotest.test_case "rhs dimension checked" `Quick test_bad_rhs_dimension ]
 
 let suite = suite @ extra_suite
+
+(* ---- allocation-free stepping: bit-exactness vs the boxed path ---- *)
+
+(* step_into with an in-place rhs must agree bit-for-bit with step for
+   every scheme — the hand-rolled kernels preserve the exact IEEE
+   association of the reference formulas. *)
+let test_step_into_bitexact () =
+  let f0 t y = y.(1) +. (0.25 *. t) in
+  let f1 t y = (-.y.(0)) -. (0.1 *. y.(1)) +. sin t in
+  let boxed = Ode.System.create ~dim:2 (fun t y -> [| f0 t y; f1 t y |]) in
+  let inplace =
+    Ode.System.create_inplace ~dim:2 (fun tcell y dy ->
+        let t = tcell.(0) in
+        dy.(0) <- f0 t y;
+        dy.(1) <- f1 t y)
+  in
+  List.iter
+    (fun scheme ->
+       let expected =
+         Ode.Fixed.step scheme boxed ~t:0.3 ~dt:0.07 [| 1.0; -0.5 |]
+       in
+       let y = [| 1.0; -0.5 |] in
+       let ws = Ode.Fixed.workspace ~dim:2 in
+       Ode.Fixed.step_into scheme inplace ~ws ~t:0.3 ~dt:0.07 y;
+       Array.iteri
+         (fun i v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: component %d bit-exact (%h vs %h)"
+                 (Ode.Fixed.scheme_name scheme) i v expected.(i))
+              true
+              (Int64.equal (Int64.bits_of_float v)
+                 (Int64.bits_of_float expected.(i))))
+         y)
+    Ode.Fixed.all_schemes
+
+(* step_into also works (allocating fallback) without an in-place rhs,
+   and still matches step exactly. *)
+let test_step_into_fallback () =
+  let boxed = Ode.System.create ~dim:1 (fun t y -> [| (-.y.(0)) +. t |]) in
+  let expected = Ode.Fixed.step Ode.Fixed.Rk4 boxed ~t:0.1 ~dt:0.05 [| 2. |] in
+  let y = [| 2. |] in
+  let ws = Ode.Fixed.workspace ~dim:1 in
+  Ode.Fixed.step_into Ode.Fixed.Rk4 boxed ~ws ~t:0.1 ~dt:0.05 y;
+  check_float 0. "fallback path matches step" expected.(0) y.(0)
+
+(* advance_into: lands on t1 with the expected step count and matches
+   the analytic solution of y' = -y to the scheme's accuracy. *)
+let test_advance_into_decay () =
+  let sys =
+    Ode.System.create_inplace ~dim:1 (fun _t y dy -> dy.(0) <- -.y.(0))
+  in
+  let ws = Ode.Fixed.workspace ~dim:1 in
+  let y = [| 1. |] in
+  let steps =
+    Ode.Fixed.advance_into Ode.Fixed.Rk4 sys ~ws ~t0:0. ~t1:1. ~dt:0.01 y
+  in
+  Alcotest.(check int) "100 mesh steps" 100 steps;
+  check_float 1e-9 "matches e^{-1}" (exp (-1.)) y.(0);
+  (* partial final step: 1.0 / 0.3 -> 4 steps, last one shortened *)
+  let y2 = [| 1. |] in
+  let steps2 =
+    Ode.Fixed.advance_into Ode.Fixed.Rk4 sys ~ws ~t0:0. ~t1:1. ~dt:0.3 y2
+  in
+  Alcotest.(check int) "partial final step counted" 4 steps2;
+  check_float 1e-4 "still lands on t1" (exp (-1.)) y2.(0)
+
+let inplace_suite =
+  [ Alcotest.test_case "step_into bit-exact vs step" `Quick
+      test_step_into_bitexact;
+    Alcotest.test_case "step_into fallback path" `Quick
+      test_step_into_fallback;
+    Alcotest.test_case "advance_into decay" `Quick test_advance_into_decay ]
+
+let suite = suite @ inplace_suite

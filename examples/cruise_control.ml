@@ -87,7 +87,9 @@ let cruise_streamer =
     ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
     ~guards:[ at_speed_guard ]
     ~strategy
-    ~outputs:(fun env _t y -> [ ("force", Dataflow.Value.Float (control env y)) ])
+    ~outputs:
+      (Hybrid.Streamer.output_fn (fun env _t y ->
+           [ ("force", Dataflow.Value.Float (control env y)) ]))
     ~rhs
 
 let driver =

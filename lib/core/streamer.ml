@@ -27,10 +27,23 @@ type guard_decl = {
   payload : (Solver.env -> float -> float array -> Dataflow.Value.t) option;
 }
 
-type output_map = Solver.env -> float -> float array -> (string * Dataflow.Value.t) list
+type output_fn =
+  Solver.env -> float -> float array -> (string * Dataflow.Value.t) list
 
-let state_outputs mapping _env _time y =
-  List.map (fun (i, port) -> (port, Dataflow.Value.Float y.(i))) mapping
+type output_map =
+  | Output_fn of output_fn
+  | Output_states of (int * string) array
+
+let output_fn f = Output_fn f
+
+let state_outputs mapping = Output_states (Array.of_list mapping)
+
+let run_output_map m env time y =
+  match m with
+  | Output_fn f -> f env time y
+  | Output_states mapping ->
+    Array.to_list
+      (Array.map (fun (i, port) -> (port, Dataflow.Value.Float y.(i))) mapping)
 
 type solver_spec = {
   method_ : Ode.Integrator.method_;
@@ -38,6 +51,7 @@ type solver_spec = {
   init : float array;
   params : (string * float) list;
   rhs : Solver.rhs;
+  rhs_into : Solver.rhs_into option;
   outputs : output_map;
   guards : guard_decl list;
 }
@@ -74,15 +88,18 @@ let border port = { child = None; port }
 let child_port child port = { child = Some child; port }
 
 let leaf ?(method_ = Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)) ?(params = [])
-    ?(guards = []) ?strategy ?(sports = []) ?(dports = []) ~rate ~dim ~init
-    ~outputs ~rhs name =
+    ?(guards = []) ?strategy ?(sports = []) ?(dports = []) ?rhs_into ~rate ~dim
+    ~init ~outputs ~rhs name =
   if rate <= 0. then invalid_arg "Hybrid.Streamer.leaf: rate must be positive";
   if dim <= 0 then invalid_arg "Hybrid.Streamer.leaf: dim must be positive";
   if Array.length init <> dim then
     invalid_arg "Hybrid.Streamer.leaf: init state dimension mismatch";
   let strategy = match strategy with Some s -> s | None -> Strategy.create () in
   { name; rate; dports; sports;
-    behavior = Equations { method_; dim; init = Array.copy init; params; rhs; outputs; guards };
+    behavior =
+      Equations
+        { method_; dim; init = Array.copy init; params; rhs; rhs_into; outputs;
+          guards };
     strategy }
 
 let rec fastest_rate t =

@@ -38,12 +38,30 @@ type guard_decl = {
     (** payload built from (env, crossing time, state) *)
 }
 
-type output_map = Solver.env -> float -> float array -> (string * Dataflow.Value.t) list
-(** Which output DPorts to write after each tick: (port, value) pairs. *)
+type output_fn =
+  Solver.env -> float -> float array -> (string * Dataflow.Value.t) list
+
+type output_map =
+  | Output_fn of output_fn
+      (** arbitrary mapping, run boxed after each tick *)
+  | Output_states of (int * string) array
+      (** direct (state index, port) pairs — the engine compiles these to
+          port handles at instantiation and writes them through the
+          scalar-float fast path without allocating *)
+(** Which output DPorts to write after each tick. *)
+
+val output_fn : output_fn -> output_map
+(** Wrap an arbitrary output closure. *)
 
 val state_outputs : (int * string) list -> output_map
 (** Map state components to scalar output ports:
     [state_outputs [(0, "angle"); (1, "speed")]]. *)
+
+val run_output_map :
+  output_map -> Solver.env -> float -> float array
+  -> (string * Dataflow.Value.t) list
+(** Evaluate either form as (port, value) pairs (the boxed reference
+    semantics; hot paths bypass this for [Output_states]). *)
 
 type solver_spec = {
   method_ : Ode.Integrator.method_;
@@ -51,6 +69,8 @@ type solver_spec = {
   init : float array;
   params : (string * float) list;
   rhs : Solver.rhs;
+  rhs_into : Solver.rhs_into option;
+    (** optional allocation-free rhs; see {!Solver.rhs_into} *)
   outputs : output_map;
   guards : guard_decl list;
 }
@@ -76,6 +96,7 @@ val leaf :
   -> ?strategy:Strategy.t
   -> ?sports:sport_decl list
   -> ?dports:dport_decl list
+  -> ?rhs_into:Solver.rhs_into
   -> rate:float
   -> dim:int
   -> init:float array
@@ -83,7 +104,8 @@ val leaf :
   -> rhs:Solver.rhs
   -> string -> t
 (** Leaf streamer with its own solver. [rate] is the tick period of the
-    thread it is assigned to (seconds, > 0). *)
+    thread it is assigned to (seconds, > 0). Supplying [rhs_into] lets a
+    guard-free steady-state tick run without heap allocation. *)
 
 val composite :
   ?sports:sport_decl list

@@ -73,7 +73,19 @@ val topo_order : t -> (node list, string list) result
 val propagate_from : t -> node -> int
 (** Copy this node's written output values along outgoing flows into the
     connected input ports, flowing through relays transitively. Returns
-    the number of port writes performed. *)
+    the number of port writes performed.
+
+    Runs on a compiled routing plan: the node's full downstream write
+    sequence (relay fan-out pre-expanded, ports pre-resolved) is built on
+    first use and cached; {!connect} invalidates every cached plan.
+    All-scalar-float subtrees execute as raw float-cell copies with no
+    allocation. Raises [Failure] on a relay cycle reachable from
+    [node]. *)
+
+val propagate_from_reference : t -> node -> int
+(** The original list-walk propagation (scan all flows, compare node
+    names, rescan through relays). Semantically identical to
+    {!propagate_from}; kept as the oracle for differential tests. *)
 
 val propagate_all : t -> int
 (** Propagate from every node in topological order. Raises [Failure] on a

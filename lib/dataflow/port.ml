@@ -2,39 +2,98 @@ type direction = In | Out
 
 let direction_name = function In -> "in" | Out -> "out"
 
+(* Scalar-float ports ({value: float}) carry their latest value in a
+   1-element float array [fcell] so the steady-state tick pipeline can
+   move samples between ports without allocating a boxed [Value.t].
+   Invariants:
+   - [ffresh] (scalar-float ports only): [fcell.(0)] holds the latest
+     written value;
+   - [vfresh]: [value] holds the latest written value (normalized);
+   - after any write at least one of the two is true; [read] lazily
+     materializes the boxed representation when only [ffresh] holds. *)
 type t = {
   name : string;
   direction : direction;
   flow_type : Flow_type.t;
+  is_scalar_float : bool;
+  fcell : float array;
+  mutable ffresh : bool;
+  mutable vfresh : bool;
   mutable value : Value.t option;
   mutable writes : int;
 }
 
+let scalar_float_type ty =
+  match Flow_type.fields ty with
+  | [ ("value", Flow_type.TFloat) ] -> true
+  | _ -> false
+
 let create ~name direction flow_type =
-  { name; direction; flow_type; value = None; writes = 0 }
+  { name; direction; flow_type;
+    is_scalar_float = scalar_float_type flow_type;
+    fcell = [| 0. |]; ffresh = false; vfresh = false;
+    value = None; writes = 0 }
 
 let name t = t.name
 let direction t = t.direction
 let flow_type t = t.flow_type
+let is_scalar_float t = t.is_scalar_float
 
 let write t v =
   match Value.normalize v t.flow_type with
   | Some normalized ->
     t.value <- Some normalized;
+    t.vfresh <- true;
+    if t.is_scalar_float then begin
+      (match normalized with
+       | Value.Record [ (_, Value.Float f) ] -> t.fcell.(0) <- f
+       | _ -> assert false (* normalize against {value: float} *));
+      t.ffresh <- true
+    end;
     t.writes <- t.writes + 1
   | None ->
     invalid_arg
       (Printf.sprintf "Dataflow.Port.write: value %s does not conform to %s on port %S"
          (Value.to_string v) (Flow_type.to_string t.flow_type) t.name)
 
-let read t = t.value
+(* Hot-path primitives: the caller stores into [fcell t] directly (a
+   float-array store never allocates) and then calls [note_float_write].
+   Only meaningful on scalar-float ports. *)
+let fcell t = t.fcell
+
+let[@inline] note_float_write t =
+  t.ffresh <- true;
+  t.vfresh <- false;
+  t.writes <- t.writes + 1
+
+let write_float t f =
+  if t.is_scalar_float then begin
+    t.fcell.(0) <- f;
+    note_float_write t
+  end
+  else write t (Value.Float f)
+
+let has_value t = t.ffresh || t.value <> None
+
+let read t =
+  if t.ffresh && not t.vfresh then begin
+    t.value <- Some (Value.Record [ ("value", Value.Float t.fcell.(0)) ]);
+    t.vfresh <- true
+  end;
+  t.value
 
 let read_float t =
-  match t.value with
-  | Some v -> Value.to_float v
-  | None -> None
+  if t.ffresh then Some t.fcell.(0)
+  else
+    match t.value with
+    | Some v -> Value.to_float v
+    | None -> None
 
 let read_float_default t default =
-  match read_float t with Some f -> f | None -> default
+  if t.ffresh then t.fcell.(0)
+  else
+    match t.value with
+    | Some v -> (match Value.to_float v with Some f -> f | None -> default)
+    | None -> default
 
 let writes t = t.writes

@@ -14,11 +14,13 @@ type crossing = {
   state : float array;
 }
 
-let sign_change g g0 g1 =
-  match g.direction with
+let sign_change_dir dir g0 g1 =
+  match dir with
   | Rising -> g0 < 0. && g1 >= 0.
   | Falling -> g0 > 0. && g1 <= 0.
   | Both -> (g0 < 0. && g1 >= 0.) || (g0 > 0. && g1 <= 0.)
+
+let sign_change g g0 g1 = sign_change_dir g.direction g0 g1
 
 let locate ?tol ?(max_bisect = 80) g interp =
   let t0, t1 = Dense.span interp in

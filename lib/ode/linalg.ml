@@ -25,6 +25,23 @@ let axpy_into ~dst a x =
     dst.(i) <- dst.(i) +. (a *. x.(i))
   done
 
+let copy_into ~dst x =
+  check_dims "copy_into" dst x;
+  Array.blit x 0 dst 0 (Array.length x)
+
+let scale_into ~dst k x =
+  check_dims "scale_into" dst x;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- k *. x.(i)
+  done
+
+let add_into ~dst a b =
+  check_dims "add_into" dst a;
+  check_dims "add_into" a b;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- a.(i) +. b.(i)
+  done
+
 let dot a b =
   check_dims "dot" a b;
   let acc = ref 0. in

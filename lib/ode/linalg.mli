@@ -22,6 +22,23 @@ val axpy : float -> float array -> float array -> float array
 val axpy_into : dst:float array -> float -> float array -> unit
 (** [axpy_into ~dst a x] performs [dst <- dst + a*x] in place. *)
 
+val copy_into : dst:float array -> float array -> unit
+(** [copy_into ~dst x] performs [dst <- x] in place. *)
+
+val scale_into : dst:float array -> float -> float array -> unit
+(** [scale_into ~dst k x] performs [dst <- k*x] in place ([dst == x]
+    allowed). *)
+
+val add_into : dst:float array -> float array -> float array -> unit
+(** [add_into ~dst a b] performs [dst <- a + b] in place (aliasing
+    allowed).
+
+    Note for zero-allocation call sites: the float coefficient of these
+    kernels still boxes at the call boundary on a non-flambda compiler —
+    the fixed-step hot loops in {!Fixed} hand-roll their stage arithmetic
+    for exactly that reason. These kernels are for warm paths that want
+    to avoid fresh arrays, not for strict zero-allocation loops. *)
+
 val dot : float array -> float array -> float
 (** Inner product. *)
 

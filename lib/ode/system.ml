@@ -1,14 +1,31 @@
+type inplace = float array -> float array -> float array -> unit
+
 type t = {
   dim : int;
   rhs : float -> float array -> float array;
+  rhs_into : inplace option;
   evals : int ref;
 }
 
-let create ~dim rhs =
+let create ?rhs_into ~dim rhs =
   if dim <= 0 then invalid_arg "Ode.System.create: dimension must be positive";
-  { dim; rhs; evals = ref 0 }
+  { dim; rhs; rhs_into; evals = ref 0 }
+
+let create_inplace ~dim f =
+  if dim <= 0 then invalid_arg "Ode.System.create_inplace: dimension must be positive";
+  (* Derived allocating view, for guard location and dense output. *)
+  let rhs time y =
+    let dy = Array.make dim 0. in
+    f [| time |] y dy;
+    dy
+  in
+  { dim; rhs; rhs_into = Some f; evals = ref 0 }
 
 let dim t = t.dim
+
+let rhs_into_opt t = t.rhs_into
+
+let note_evals t n = t.evals := !(t.evals) + n
 
 let eval t time y =
   if Array.length y <> t.dim then

@@ -6,9 +6,29 @@
 type t
 (** An ODE system with a fixed dimension. *)
 
-val create : dim:int -> (float -> float array -> float array) -> t
+type inplace = float array -> float array -> float array -> unit
+(** [f tcell y dy] writes dy/dt into [dy]; the evaluation time is
+    [tcell.(0)]. Passing time through a 1-element float cell (instead of
+    a [float] argument) keeps it unboxed across the call, which is what
+    makes allocation-free stepping possible. *)
+
+val create :
+  ?rhs_into:inplace -> dim:int -> (float -> float array -> float array) -> t
 (** [create ~dim rhs] wraps [rhs t y] returning dy/dt. Raises
-    [Invalid_argument] if [dim <= 0]. *)
+    [Invalid_argument] if [dim <= 0]. When [rhs_into] is given, fixed-step
+    solvers use it to evaluate without allocating; the two callbacks must
+    agree. *)
+
+val create_inplace : dim:int -> inplace -> t
+(** A system defined only by its in-place right-hand side; the allocating
+    view needed by guard location and dense output is derived from it. *)
+
+val rhs_into_opt : t -> inplace option
+(** The in-place right-hand side, when the system has one. *)
+
+val note_evals : t -> int -> unit
+(** Count [n] right-hand-side evaluations performed directly through
+    {!rhs_into_opt} (callers of {!eval} are counted automatically). *)
 
 val dim : t -> int
 (** State-space dimension. *)

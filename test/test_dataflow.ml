@@ -296,3 +296,132 @@ let junction_suite =
       test_junction_pass_through ]
 
 let suite = suite @ junction_suite
+
+(* ---- compiled routing plan: differential + invalidation ---- *)
+
+(* The compiled plan (propagate_from) must be observationally identical
+   to the original list-walk (propagate_from_reference). We build the
+   same randomized relay/sink topology twice, push identical writes
+   through each twin with a different propagation engine, and compare
+   every port's value and write count plus the returned write totals. *)
+
+type route_spec = {
+  rs_chain : int;          (* relays chained after the source *)
+  rs_fan : int;            (* fan-out of each chained relay *)
+  rs_sinks : int;          (* plain sinks on the chain tail *)
+  rs_rich : bool;          (* rich record flow type (slow route) *)
+  rs_values : float list;  (* successive samples *)
+}
+
+let route_spec_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((chain, fan, sinks), (rich_flow, raw)) ->
+       { rs_chain = chain; rs_fan = fan; rs_sinks = sinks;
+         rs_rich = rich_flow;
+         rs_values = List.map (fun i -> float_of_int i /. 7.) raw })
+    (pair
+       (triple (int_range 0 2) (int_range 2 3) (int_range 1 3))
+       (pair bool (list_size (int_range 1 4) (int_range (-50) 50))))
+
+let build_route_graph spec =
+  let fty = if spec.rs_rich then rich else scalar in
+  let g = Graph.create () in
+  let src = Graph.add_node g ~name:"src" ~inputs:[] ~outputs:[ ("out", fty) ] in
+  let add_sink name ty =
+    ignore (Graph.add_node g ~name ~inputs:[ ("in", ty) ] ~outputs:[])
+  in
+  let tail = ref (src, "out") in
+  for i = 1 to spec.rs_chain do
+    let r =
+      Graph.add_relay g ~name:(Printf.sprintf "r%d" i) fty ~fanout:spec.rs_fan
+    in
+    Graph.connect_exn g ~src:!tail ~dst:(r, "in");
+    for leg = 2 to spec.rs_fan do
+      let name = Printf.sprintf "s%d_%d" i leg in
+      add_sink name fty;
+      let s = Option.get (Graph.find_node g name) in
+      Graph.connect_exn g ~src:(r, Printf.sprintf "out%d" leg) ~dst:(s, "in")
+    done;
+    tail := (r, "out1")
+  done;
+  for k = 1 to spec.rs_sinks do
+    let name = Printf.sprintf "t%d" k in
+    add_sink name fty;
+    let s = Option.get (Graph.find_node g name) in
+    Graph.connect_exn g ~src:!tail ~dst:(s, "in")
+  done;
+  (g, src)
+
+let route_value spec v =
+  if spec.rs_rich then
+    Value.record [ ("value", Value.float v); ("quality", Value.int 1) ]
+  else Value.float v
+
+(* All ports of the graph in construction order: (value, write count). *)
+let port_snapshot g =
+  Graph.nodes g
+  |> List.concat_map (fun n -> Graph.input_ports n @ Graph.output_ports n)
+  |> List.map (fun p -> (Port.read p, Port.writes p))
+
+let prop_compiled_matches_reference =
+  QCheck.Test.make ~count:200
+    ~name:"compiled routing plan matches reference propagation"
+    (QCheck.make route_spec_gen)
+    (fun spec ->
+       let g_fast, src_fast = build_route_graph spec in
+       let g_ref, src_ref = build_route_graph spec in
+       let out_fast = Option.get (Graph.output_port src_fast "out") in
+       let out_ref = Option.get (Graph.output_port src_ref "out") in
+       List.for_all
+         (fun v ->
+            Port.write out_fast (route_value spec v);
+            Port.write out_ref (route_value spec v);
+            let n_fast = Graph.propagate_from g_fast src_fast in
+            let n_ref = Graph.propagate_from_reference g_ref src_ref in
+            n_fast = n_ref
+            && List.for_all2
+                 (fun (va, wa) (vb, wb) ->
+                    wa = wb
+                    && (match (va, vb) with
+                        | None, None -> true
+                        | Some a, Some b -> Value.equal a b
+                        | _ -> false))
+                 (port_snapshot g_fast) (port_snapshot g_ref))
+         spec.rs_values)
+
+(* connect after a propagation must invalidate the cached plan: the
+   freshly attached sink sees the next sample. *)
+let test_plan_invalidated_on_connect () =
+  let g = Graph.create () in
+  let src = Graph.add_node g ~name:"src" ~inputs:[]
+      ~outputs:[ ("out", scalar) ] in
+  let s1 = Graph.add_node g ~name:"s1" ~inputs:[ ("in", scalar) ]
+      ~outputs:[] in
+  Graph.connect_exn g ~src:(src, "out") ~dst:(s1, "in");
+  let out = Option.get (Graph.output_port src "out") in
+  Port.write out (Value.float 1.);
+  Alcotest.(check int) "one write before rewire" 1 (Graph.propagate_from g src);
+  let s2 = Graph.add_node g ~name:"s2" ~inputs:[ ("in", scalar) ]
+      ~outputs:[] in
+  Graph.connect_exn g ~src:(src, "out") ~dst:(s2, "in");
+  Port.write out (Value.float 2.);
+  Alcotest.(check int) "two writes after rewire" 2 (Graph.propagate_from g src);
+  let p2 = Option.get (Graph.input_port s2 "in") in
+  Alcotest.(check (float 0.)) "new sink got the fresh sample" 2.
+    (Port.read_float_default p2 nan)
+
+let test_find_node () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~name:"a" ~inputs:[] ~outputs:[ ("out", scalar) ] in
+  Alcotest.(check bool) "found" true
+    (match Graph.find_node g "a" with Some n -> n == a | None -> false);
+  Alcotest.(check bool) "missing" true (Graph.find_node g "zz" = None)
+
+let routing_suite =
+  [ QCheck_alcotest.to_alcotest prop_compiled_matches_reference;
+    Alcotest.test_case "plan invalidated by connect" `Quick
+      test_plan_invalidated_on_connect;
+    Alcotest.test_case "find_node" `Quick test_find_node ]
+
+let suite = suite @ routing_suite

@@ -221,7 +221,7 @@ let test_composite_streamer_flattens () =
   let source =
     Hybrid.Streamer.leaf "one" ~rate:0.01 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_out "x" ]
-      ~outputs:(fun _ _ _ -> [ ("x", Dataflow.Value.Float 1.) ])
+      ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> [ ("x", Dataflow.Value.Float 1.) ]))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   let engine = Hybrid.Engine.create () in
@@ -253,7 +253,7 @@ let test_flow_type_subset_rule () =
   let consumer_rich =
     Hybrid.Streamer.leaf "c" ~rate:0.1 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_in ~dtype:rich "u" ]
-      ~outputs:(fun _ _ _ -> [])
+      ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   let engine = Hybrid.Engine.create () in
@@ -268,13 +268,13 @@ let test_flow_type_subset_rule () =
   let producer_rich =
     Hybrid.Streamer.leaf "pr" ~rate:0.1 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_out ~dtype:rich "x" ]
-      ~outputs:(fun _ _ _ -> [])
+      ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   let consumer_scalar =
     Hybrid.Streamer.leaf "cs" ~rate:0.1 ~dim:1 ~init:[| 0. |]
       ~dports:[ Hybrid.Streamer.dport_in "u" ]
-      ~outputs:(fun _ _ _ -> [])
+      ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
       ~rhs:(fun _ _ _ -> [| 0. |])
   in
   Hybrid.Engine.add_streamer engine ~role:"pr" producer_rich;
@@ -289,7 +289,7 @@ let test_streamer_validation () =
     (fun () ->
        ignore
          (Hybrid.Streamer.leaf "bad" ~rate:0.1 ~dim:2 ~init:[| 0. |]
-            ~outputs:(fun _ _ _ -> [])
+            ~outputs:(Hybrid.Streamer.output_fn (fun _ _ _ -> []))
             ~rhs:(fun _ _ _ -> [| 0.; 0. |])))
 
 let test_stats_and_ticks () =
