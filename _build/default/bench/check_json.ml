@@ -51,4 +51,16 @@ let () =
     (fun field -> require_float field (Obs.Json.member field e4))
     [ "raw_ms"; "hybrid_ms"; "translation_ms"; "hybrid_over_raw";
       "translation_over_raw" ];
+  (* faults: the overhead comparison the fault layer's zero-cost claim
+     rests on *)
+  let faults =
+    match Obs.Json.member "faults" json with
+    | Some j -> j
+    | None -> fail "missing section \"faults\""
+  in
+  List.iter
+    (fun field -> require_float field (Obs.Json.member field faults))
+    [ "baseline_ms"; "empty_spec_ms"; "active_ms"; "supervised_ms";
+      "empty_over_baseline"; "active_over_baseline";
+      "supervised_over_baseline" ];
   Printf.printf "check_json: %s ok (%d e3 points)\n" path (List.length points)

@@ -46,7 +46,7 @@ let check_cmd_run path = exit (report_check path (load_checked path))
 
 (* ---- simulate ---- *)
 
-let simulate_run path duration trace_spec csv_out verify show_stats =
+let simulate_run path duration trace_spec csv_out verify show_stats faults_file =
   (* [--trace FILE.json] means a Chrome trace of the whole run;
      [--trace ROLE.DPORT] keeps its original meaning (signal trace). *)
   let chrome_out, trace_spec =
@@ -62,6 +62,22 @@ let simulate_run path duration trace_spec csv_out verify show_stats =
     with Dsl.Elaborate.Elab_error msg ->
       Printf.eprintf "%s: elaboration error: %s\n" path msg;
       exit 2
+  in
+  let injector =
+    match faults_file with
+    | None -> None
+    | Some file ->
+      let spec =
+        match Fault.Spec.of_file file with
+        | Ok spec -> spec
+        | Error msg ->
+          Printf.eprintf "%s: fault spec error: %s\n" file msg;
+          exit 2
+        | exception Sys_error msg ->
+          Printf.eprintf "--faults: %s\n" msg;
+          exit 2
+      in
+      Some (Hybrid.Engine.apply_fault_spec engine spec)
   in
   let traces =
     match trace_spec with
@@ -97,6 +113,27 @@ let simulate_run path duration trace_spec csv_out verify show_stats =
         | None -> ());
        print_newline ())
     streamer_roles;
+  (match injector with
+   | Some inj ->
+     let counts = Fault.Injector.injected_counts inj in
+     Printf.printf "  faults: %d injected%s\n" (Fault.Injector.injected inj)
+       (match counts with
+        | [] -> ""
+        | _ ->
+          Printf.sprintf " (%s)"
+            (String.concat ", "
+               (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) counts)));
+     let solver_faults = Hybrid.Engine.solver_faults engine in
+     let restarts = Hybrid.Engine.supervisor_restarts engine in
+     let degraded = Hybrid.Engine.degraded_time engine in
+     if solver_faults > 0 || restarts > 0 || degraded > 0. then
+       Printf.printf
+         "  supervision: %d solver faults, %d restarts, %.3fs degraded (%s)\n"
+         solver_faults restarts degraded
+         (match Hybrid.Engine.degraded_roles engine with
+          | [] -> "none degraded"
+          | roles -> String.concat ", " roles)
+   | None -> ());
   (match (verify, traces) with
    | Some formula_text, (_, trace) :: _ ->
      let formula =
@@ -299,6 +336,12 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
            ~doc:"Write the trace as CSV.")
   in
+  let faults =
+    Arg.(value & opt (some file) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault-injection spec file: seeded drop/delay/duplicate/reorder \
+                 of signals, corrupt/NaN/freeze of flows, solver stalls, plus \
+                 $(b,supervise) and $(b,degrade-signal) directives.")
+  in
   let verify =
     Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"STL"
            ~doc:"Check an STL requirement over the traced signal x, e.g. \
@@ -306,7 +349,8 @@ let simulate_cmd =
                  violation.")
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats)
+    Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats
+          $ faults)
 
 let codegen_cmd =
   let doc = "Generate C sources from a model." in

@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Check Dataflow Des Hashtbl List Obs Ode Option Printf Queue Rt Sigtrace Solver Statechart Strategy Streamer String Time_service Umlrt
+lib/core/engine.ml: Array Check Dataflow Des Fault Float Hashtbl List Obs Ode Option Printf Queue Rt Sigtrace Solver Statechart Strategy Streamer String Time_service Umlrt

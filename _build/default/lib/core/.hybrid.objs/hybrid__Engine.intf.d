@@ -1,1 +1,1 @@
-lib/core/engine.mli: Dataflow Des Rt Sigtrace Solver Statechart Streamer Time_service Umlrt
+lib/core/engine.mli: Dataflow Des Fault Rt Sigtrace Solver Statechart Streamer Time_service Umlrt

@@ -1,1 +1,1 @@
-lib/core/solver.ml: Array Hashtbl List Obs Ode Printf String Time_service
+lib/core/solver.ml: Array Float Hashtbl List Obs Ode Printf String Time_service

@@ -1,6 +1,8 @@
 exception Invalid_streamer of string list
 exception Invalid_link of string
 
+exception Diverged of string
+
 (* How a streamer's outputs reach its graph ports, decided once at
    instantiation. [Out_fast] holds pre-resolved (state index, port,
    float cell) triples so a steady-state tick writes outputs with plain
@@ -25,6 +27,11 @@ type sinst = {
        guards that only move between integration intervals (input-driven) *)
   gfired : bool array;               (* per-sync scratch: fired during ODE advance *)
   mutable gprimed : bool;            (* gprev holds real values (set by start) *)
+  out_names : string array;
+    (* qualified "role.dport" per Out_fast cell, precomputed so flow-fault
+       targeting allocates nothing per tick; [||] for Out_fn *)
+  mutable frozen : bool;             (* supervision froze this streamer *)
+  mutable degraded_since : float;    (* nan while healthy *)
 }
 
 type pentry = {
@@ -58,6 +65,15 @@ type t = {
   mutable signals_to_capsules : int;
   mutable signals_dropped : int;
   mutable seed_counter : int;
+  (* Fault layer. [faults = None] is the pristine path: every hook site
+     is one load + branch, so a run without a spec stays bit-identical
+     and allocation-free. *)
+  mutable faults : Fault.Injector.t option;
+  held : (string, unit -> unit) Hashtbl.t;  (* reorder: held deliveries *)
+  mutable supervisor : Fault.Supervisor.policy option;
+  mutable degrade_signal : string option;   (* default: Strategy.degrade_signal *)
+  mutable solver_faults : int;
+  mutable supervisor_restarts : int;
 }
 
 type stats = {
@@ -89,7 +105,9 @@ let create ?(signal_latency = Rt.Channel.Immediate)
     links = []; signal_latency; signal_drop_probability;
     outbox = Queue.create (); started = false;
     signals_to_streamers = 0; signals_to_capsules = 0; signals_dropped = 0;
-    seed_counter = 0 }
+    seed_counter = 0;
+    faults = None; held = Hashtbl.create 8; supervisor = None;
+    degrade_signal = None; solver_faults = 0; supervisor_restarts = 0 }
 
 let des t = t.des
 let clock t = t.clock
@@ -117,6 +135,61 @@ let drop_signal (t : t) =
   t.signals_dropped <- t.signals_dropped + 1;
   Obs.Metrics.incr m_dropped
 
+(* Reorder faults are pairwise swaps: a held delivery waits (keyed by
+   direction + role) for the next signal heading the same way, and is
+   released right after it. A DES flush event bounds the hold so a lone
+   held signal is delayed, not lost; the physical-equality check keeps a
+   stale flush from releasing a later hold on the same key. *)
+let release_held t key =
+  match Hashtbl.find_opt t.held key with
+  | Some deliver ->
+    Hashtbl.remove t.held key;
+    deliver ()
+  | None -> ()
+
+let hold_signal t key ~within deliver =
+  match Hashtbl.find_opt t.held key with
+  | Some _ ->
+    (* Already holding one: deliver the newcomer first, then the held
+       one — the swap the rule asked for. *)
+    deliver ();
+    release_held t key
+  | None ->
+    Hashtbl.replace t.held key deliver;
+    ignore
+      (Des.Engine.schedule t.des ~delay:within (fun () ->
+           match Hashtbl.find_opt t.held key with
+           | Some d when d == deliver ->
+             Hashtbl.remove t.held key;
+             d ()
+           | Some _ | None -> ()))
+
+(* Decide one signal's fate at the capsule/streamer border. [deliver]
+   performs the un-faulted delivery; [dir] disambiguates the two
+   directions in the reorder key space. *)
+let apply_signal_fate t ~dir ~role ~sport deliver =
+  match t.faults with
+  | None -> deliver ()
+  | Some inj when not (Fault.Injector.has_signal_rules inj) -> deliver ()
+  | Some inj ->
+    let now = Des.Engine.now t.des in
+    let key = dir ^ role in
+    (match Fault.Injector.signal_fate inj ~role ~sport ~now with
+     | Fault.Injector.Pass ->
+       deliver ();
+       release_held t key
+     | Fault.Injector.Lose ->
+       drop_signal t;
+       release_held t key
+     | Fault.Injector.Postpone extra ->
+       ignore (Des.Engine.schedule t.des ~delay:extra deliver);
+       release_held t key
+     | Fault.Injector.Duplicate ->
+       deliver ();
+       deliver ();
+       release_held t key
+     | Fault.Injector.Hold within -> hold_signal t key ~within deliver)
+
 let note_signal_to_capsule (t : t) si event =
   t.signals_to_capsules <- t.signals_to_capsules + 1;
   Obs.Metrics.incr m_to_capsules;
@@ -138,32 +211,35 @@ let emit_signal t si ~sport event =
       invalid_arg
         (Printf.sprintf "Hybrid.Engine: SPort %s.%s cannot send signal %S"
            si.role sport (Statechart.Event.signal event));
-    (match (find_link t ~role:si.role ~sport, t.runtime) with
-     | Some link, Some rt ->
-       (* Route INWARD from the border port. A plain [inject] would hand
-          unconnected borders back to the environment listener, which
-          would bounce the signal straight back to this streamer. *)
-       let root = Umlrt.Runtime.root_path rt in
-       (match Umlrt.Runtime.resolve rt ~path:root ~port:link.l_border with
-        | Umlrt.Runtime.To_instance (path, port) ->
-          note_signal_to_capsule t si event;
-          ignore (Umlrt.Runtime.deliver_to rt ~path ~port event)
-        | Umlrt.Runtime.To_environment port ->
-          (* Border End port owned by the root's own behaviour? *)
-          (match t.root_class with
-           | Some cls
-             when (match Umlrt.Capsule.find_port cls port with
-                   | Some decl ->
-                     decl.Umlrt.Capsule.kind = Umlrt.Capsule.End
-                     && Umlrt.Capsule.behavior cls <> None
-                   | None -> false) ->
-             note_signal_to_capsule t si event;
-             ignore (Umlrt.Runtime.deliver_to rt ~path:root ~port event)
-           | Some _ | None ->
-             (* Nothing inside listens on this border: true environment. *)
-             Queue.push (port, event) t.outbox)
-        | Umlrt.Runtime.Unconnected -> drop_signal t)
-     | Some _, None | None, _ -> drop_signal t)
+    let deliver () =
+      match (find_link t ~role:si.role ~sport, t.runtime) with
+      | Some link, Some rt ->
+        (* Route INWARD from the border port. A plain [inject] would hand
+           unconnected borders back to the environment listener, which
+           would bounce the signal straight back to this streamer. *)
+        let root = Umlrt.Runtime.root_path rt in
+        (match Umlrt.Runtime.resolve rt ~path:root ~port:link.l_border with
+         | Umlrt.Runtime.To_instance (path, port) ->
+           note_signal_to_capsule t si event;
+           ignore (Umlrt.Runtime.deliver_to rt ~path ~port event)
+         | Umlrt.Runtime.To_environment port ->
+           (* Border End port owned by the root's own behaviour? *)
+           (match t.root_class with
+            | Some cls
+              when (match Umlrt.Capsule.find_port cls port with
+                    | Some decl ->
+                      decl.Umlrt.Capsule.kind = Umlrt.Capsule.End
+                      && Umlrt.Capsule.behavior cls <> None
+                    | None -> false) ->
+              note_signal_to_capsule t si event;
+              ignore (Umlrt.Runtime.deliver_to rt ~path:root ~port event)
+            | Some _ | None ->
+              (* Nothing inside listens on this border: true environment. *)
+              Queue.push (port, event) t.outbox)
+         | Umlrt.Runtime.Unconnected -> drop_signal t)
+      | Some _, None | None, _ -> drop_signal t
+    in
+    apply_signal_fate t ~dir:"s2c:" ~role:si.role ~sport deliver
 
 let control_of t si =
   { Strategy.set_param = Solver.set_param si.solver;
@@ -263,6 +339,72 @@ let sync_solver t si =
     si.gprimed <- true
   end
 
+(* ---- supervision ----
+
+   Solver faults (step underflow, step-budget exhaustion, a non-finite
+   state) are caught at the step boundary and routed to the configured
+   policy instead of killing the run. Degradation is dispatched through
+   the streamer's own strategy as an ordinary signal, so fallback modes
+   live in the model. *)
+
+let effective_degrade_signal t =
+  match t.degrade_signal with
+  | Some s -> s
+  | None -> Strategy.degrade_signal
+
+let mark_degraded t si =
+  if Float.is_nan si.degraded_since then begin
+    si.degraded_since <- Des.Engine.now t.des;
+    ignore
+      (Strategy.handle (Streamer.strategy si.def) (control_of t si)
+         (Statechart.Event.make (effective_degrade_signal t)))
+  end
+
+let handle_solver_fault t si policy reraise =
+  t.solver_faults <- t.solver_faults + 1;
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant ~track:si.role ~cat:"fault" ~name:"solver_fault"
+      ~sim_time:(Des.Engine.now t.des) ();
+  (* Escalation re-raises before any degraded-mode dispatch: the run is
+     over, the strategy must not observe a half-supervised state. *)
+  (match policy with Fault.Supervisor.Escalate -> reraise () | _ -> ());
+  mark_degraded t si;
+  match policy with
+  | Fault.Supervisor.Restart ->
+    (* Clock AND state: step underflow strands the integrator
+       mid-interval, and restarting only the state would replay the same
+       doomed interval forever. *)
+    Solver.reset si.solver ~t0:(Des.Engine.now t.des) si.spec.Streamer.init;
+    t.supervisor_restarts <- t.supervisor_restarts + 1;
+    Fault.Supervisor.note_restart ()
+  | Fault.Supervisor.Freeze_last -> si.frozen <- true
+  | Fault.Supervisor.Escalate -> ()
+
+(* Solver synchronization with the fault layer in front: a stall rule
+   suspends integration (the solver catches up when the window closes),
+   and with a supervisor installed the sync runs under watch. Both
+   gates are single loads + branches when the fault layer is off. *)
+let sync_streamer t si =
+  let stalled =
+    match t.faults with
+    | Some inj ->
+      Fault.Injector.has_solver_rules inj
+      && Fault.Injector.solver_stalled inj ~target:si.role
+           ~now:(Des.Engine.now t.des)
+    | None -> false
+  in
+  if not stalled then
+    match t.supervisor with
+    | None -> sync_solver t si
+    | Some policy ->
+      (try sync_solver t si with
+       | Ode.Adaptive.Step_underflow _ as e ->
+         handle_solver_fault t si policy (fun () -> raise e)
+       | Ode.Adaptive.Too_many_steps _ as e ->
+         handle_solver_fault t si policy (fun () -> raise e));
+      if not si.frozen && not (Solver.state_finite si.solver) then
+        handle_solver_fault t si policy (fun () -> raise (Diverged si.role))
+
 let record_traces t si =
   match si.traces with
   | [] -> ()
@@ -282,14 +424,27 @@ let write_outputs t si =
   match si.outplan with
   | Out_fast cells ->
     (* Pre-resolved state->port triples: plain float stores, then the
-       compiled routing plan. Zero allocation when no traces are on. *)
+       compiled routing plan. Zero allocation when no traces are on and
+       no flow-fault rules exist (one load + branch decides). *)
     let y = Solver.state_view si.solver in
     let n = Array.length cells in
-    for i = 0 to n - 1 do
-      let (idx, p, cell) = cells.(i) in
-      cell.(0) <- y.(idx);
-      Dataflow.Port.note_float_write p
-    done;
+    (match t.faults with
+     | Some inj when Fault.Injector.has_flow_rules inj ->
+       let now = Des.Engine.now t.des in
+       for i = 0 to n - 1 do
+         let (idx, p, cell) = cells.(i) in
+         let target = si.out_names.(i) in
+         if not (Fault.Injector.flow_frozen inj ~target ~now) then begin
+           cell.(0) <- Fault.Injector.flow_value inj ~target ~now y.(idx);
+           Dataflow.Port.note_float_write p
+         end
+       done
+     | Some _ | None ->
+       for i = 0 to n - 1 do
+         let (idx, p, cell) = cells.(i) in
+         cell.(0) <- y.(idx);
+         Dataflow.Port.note_float_write p
+       done);
     ignore (Dataflow.Graph.propagate_from t.graph si.node);
     record_traces t si;
     Obs.Metrics.add m_flow_samples n
@@ -300,7 +455,16 @@ let write_outputs t si =
     List.iter
       (fun (port, value) ->
          match Dataflow.Graph.output_port si.node port with
-         | Some p -> Dataflow.Port.write p value
+         | Some p ->
+           (match t.faults with
+            | Some inj when Fault.Injector.has_flow_rules inj ->
+              let target = si.role ^ "." ^ port in
+              if not (Fault.Injector.flow_frozen inj ~target ~now) then
+                Dataflow.Port.write p
+                  (Dataflow.Value.map_float
+                     (fun v -> Fault.Injector.flow_value inj ~target ~now v)
+                     value)
+            | Some _ | None -> Dataflow.Port.write p value)
          | None ->
            invalid_arg
              (Printf.sprintf "Hybrid.Engine: streamer %s writes unknown DPort %S"
@@ -311,16 +475,21 @@ let write_outputs t si =
     Obs.Metrics.add m_flow_samples (List.length outs)
 
 let tick t si =
-  if Obs.Tracer.enabled () then begin
-    let start = Obs.Tracer.now_ns () in
-    sync_solver t si;
-    write_outputs t si;
-    Obs.Tracer.complete ~track:si.role ~cat:"hybrid" ~name:"tick"
-      ~sim_time:(Des.Engine.now t.des) ~start_ns:start ()
-  end
-  else begin
-    sync_solver t si;
-    write_outputs t si
+  (* A frozen streamer (Freeze_last policy) stops integrating and holds
+     its last outputs; its thread keeps ticking so recovery is possible
+     and the tick accounting stays uniform. *)
+  if not si.frozen then begin
+    if Obs.Tracer.enabled () then begin
+      let start = Obs.Tracer.now_ns () in
+      sync_streamer t si;
+      if not si.frozen then write_outputs t si;
+      Obs.Tracer.complete ~track:si.role ~cat:"hybrid" ~name:"tick"
+        ~sim_time:(Des.Engine.now t.des) ~start_ns:start ()
+    end
+    else begin
+      sync_streamer t si;
+      if not si.frozen then write_outputs t si
+    end
   end;
   si.ticks <- si.ticks + 1;
   Obs.Metrics.incr m_ticks
@@ -329,7 +498,7 @@ let tick t si =
    solver, then let the strategy interpret the signal. *)
 let deliver_to_streamer t si (sport, event) =
   ignore sport;
-  sync_solver t si;
+  if not si.frozen then sync_streamer t si;
   t.signals_to_streamers <- t.signals_to_streamers + 1;
   Obs.Metrics.incr m_to_streamers;
   if Obs.Tracer.enabled () then
@@ -398,9 +567,9 @@ let rec instantiate t ~path (def : Streamer.t) =
         ~clock:t.clock ~t0:(Des.Engine.now t.des) spec.Streamer.rhs
     in
     Solver.set_guards solver (solver_guards spec);
-    let outplan =
+    let outplan, out_names =
       match spec.Streamer.outputs with
-      | Streamer.Output_fn f -> Out_fn f
+      | Streamer.Output_fn f -> (Out_fn f, [||])
       | Streamer.Output_states mapping ->
         let resolved =
           Array.map
@@ -412,11 +581,12 @@ let rec instantiate t ~path (def : Streamer.t) =
             mapping
         in
         if Array.for_all Option.is_some resolved then
-          Out_fast (Array.map Option.get resolved)
+          ( Out_fast (Array.map Option.get resolved),
+            Array.map (fun (_, pname) -> path ^ "." ^ pname) mapping )
         else
           (* Unknown or non-scalar port: fall back to the boxed path so
              the historical error/coercion behaviour is preserved. *)
-          Out_fn (Streamer.run_output_map spec.Streamer.outputs)
+          (Out_fn (Streamer.run_output_map spec.Streamer.outputs), [||])
     in
     let channel =
       Rt.Channel.create t.des ~model:t.signal_latency
@@ -427,7 +597,8 @@ let rec instantiate t ~path (def : Streamer.t) =
       { role = path; def; spec; solver; node; outplan; channel; ticks = 0;
         traces = []; garr = Array.of_list spec.Streamer.guards;
         gprev = Array.make ng 0.; gfired = Array.make ng false;
-        gprimed = false }
+        gprimed = false; out_names; frozen = false;
+        degraded_since = Float.nan }
     in
     Des.Mailbox.set_listener (Rt.Channel.mailbox channel)
       (fun mb ->
@@ -554,7 +725,9 @@ let route_border_message t ~port event =
   match find_link_by_border t port with
   | Some link ->
     (match Hashtbl.find_opt t.streamers link.l_role with
-     | Some si -> Rt.Channel.send si.channel (link.l_sport, event)
+     | Some si ->
+       apply_signal_fate t ~dir:"c2s:" ~role:si.role ~sport:link.l_sport
+         (fun () -> Rt.Channel.send si.channel (link.l_sport, event))
      | None -> drop_signal t)
   | None -> Queue.push (port, event) t.outbox
 
@@ -587,8 +760,8 @@ let start t =
            write_outputs t si;
            prime_guards si;
            ignore
-             (Des.Timer.periodic t.des ~period:(Streamer.rate si.def) (fun _ ->
-                  tick t si)))
+             (Des.Timer.periodic t.des ~name:role ~period:(Streamer.rate si.def)
+                (fun _ -> tick t si)))
       leaves;
     (match t.runtime with
      | Some rt -> Umlrt.Runtime.start_behaviors rt
@@ -694,3 +867,54 @@ let stats t =
     signals_to_streamers = t.signals_to_streamers;
     signals_to_capsules = t.signals_to_capsules;
     signals_dropped = t.signals_dropped }
+
+(* ---- fault layer configuration ---- *)
+
+let set_faults t inj = t.faults <- inj
+let faults t = t.faults
+
+let set_supervisor t ?degrade_signal policy =
+  t.supervisor <- Some policy;
+  match degrade_signal with
+  | Some s -> t.degrade_signal <- Some s
+  | None -> ()
+
+let apply_fault_spec t spec =
+  let inj = Fault.Injector.create spec in
+  t.faults <- Some inj;
+  (match spec.Fault.Spec.policy with
+   | Some p -> t.supervisor <- Some p
+   | None -> ());
+  (match spec.Fault.Spec.degrade_signal with
+   | Some s ->
+     t.degrade_signal <- Some s;
+     (* A degrade signal implies supervision; detection must be armed for
+        the signal to ever fire. *)
+     (match t.supervisor with
+      | None -> t.supervisor <- Some Fault.Supervisor.Restart
+      | Some _ -> ())
+   | None -> ());
+  inj
+
+let solver_faults t = t.solver_faults
+let supervisor_restarts t = t.supervisor_restarts
+
+let degraded_time t =
+  let now = Des.Engine.now t.des in
+  let total =
+    Hashtbl.fold
+      (fun _ si acc ->
+         if Float.is_nan si.degraded_since then acc
+         else acc +. (now -. si.degraded_since))
+      t.streamers 0.
+  in
+  Fault.Supervisor.set_degraded_time total;
+  total
+
+let degraded_roles t =
+  List.filter
+    (fun role ->
+       match Hashtbl.find_opt t.streamers role with
+       | Some si -> not (Float.is_nan si.degraded_since)
+       | None -> false)
+    (streamer_roles t)

@@ -19,6 +19,10 @@
 exception Invalid_streamer of string list
 exception Invalid_link of string
 
+exception Diverged of string
+(** Raised (with the streamer role) when a supervised solver's state goes
+    non-finite under the [Escalate] policy. *)
+
 type t
 
 val create :
@@ -117,3 +121,46 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {2 Fault injection and supervision}
+
+    With no injector and no supervisor the engine takes exactly the
+    pre-fault-layer code paths (bit-identical output, no added
+    allocation); an injector whose spec has no rules of a given kind
+    costs one load and branch per hook site. *)
+
+val set_faults : t -> Fault.Injector.t option -> unit
+(** Attach (or detach) a fault injector. Signal rules apply at the
+    capsule/streamer border in both directions, flow rules at DPort
+    writes, solver rules at solver sync. *)
+
+val faults : t -> Fault.Injector.t option
+
+val set_supervisor : t -> ?degrade_signal:string -> Fault.Supervisor.policy -> unit
+(** Install solver supervision: step underflow / step-budget exhaustion
+    ({!Ode.Adaptive} exceptions) and non-finite states are caught at step
+    boundaries and handled per policy — [Restart] resets the solver to
+    its initial state at the current time, [Freeze_last] stops the
+    streamer holding its last outputs, [Escalate] re-raises. The first
+    fault on a streamer also dispatches [degrade_signal] (default
+    {!Strategy.degrade_signal}) through its strategy, so degraded modes
+    are ordinary strategy handlers. *)
+
+val apply_fault_spec : t -> Fault.Spec.t -> Fault.Injector.t
+(** Attach an injector built from the spec and install any [supervise] /
+    [degrade-signal] directives it carries (a degrade signal without an
+    explicit policy arms [Restart]). Returns the injector for stats. *)
+
+val solver_faults : t -> int
+(** Solver faults caught by the supervisor so far. *)
+
+val supervisor_restarts : t -> int
+(** Solver restarts performed by this engine (also aggregated into the
+    process-wide ["supervisor.restarts"] counter). *)
+
+val degraded_time : t -> float
+(** Total streamer-seconds spent degraded (per streamer, from its first
+    fault to now); also published to the ["degraded.time"] gauge. *)
+
+val degraded_roles : t -> string list
+(** Streamers that have suffered at least one supervised fault. *)

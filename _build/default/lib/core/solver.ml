@@ -85,6 +85,21 @@ let time t = Ode.Integrator.time t.integ
 let state t = Ode.Integrator.state t.integ
 let state_view t = Ode.Integrator.state_view t.integ
 let set_state t y = Ode.Integrator.set_state t.integ y
+let reset t ~t0 y = Ode.Integrator.reset t.integ ~t0 y
+
+(* Allocation-free finiteness scan over the live state — the supervisor's
+   divergence probe, run at every step boundary when supervision is on. *)
+let state_finite t =
+  (* A plain loop, not a local recursive function: the closure the
+     compiler builds for the latter costs a handful of minor words per
+     probe, which shows up in every supervised tick. *)
+  let y = Ode.Integrator.state_view t.integ in
+  let n = Array.length y in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (Float.is_finite y.(i)) then ok := false
+  done;
+  !ok
 
 let get_param t name = t.env.param name
 

@@ -77,6 +77,12 @@ let get_float v =
   | Some f -> f
   | None -> invalid_arg "Dataflow.Value.get_float: not a numeric value"
 
+let rec map_float f = function
+  | Float x -> Float (f x)
+  | Vec v -> Vec (Array.map f v)
+  | Record fields -> Record (List.map (fun (n, v) -> (n, map_float f v)) fields)
+  | (Unit | Bool _ | Int _) as v -> v
+
 let rec equal a b =
   match (a, b) with
   | Unit, Unit -> true

@@ -39,6 +39,12 @@ val to_float : t -> float option
 val get_float : t -> float
 (** Like {!to_float} but raises [Invalid_argument]. *)
 
+val map_float : (float -> float) -> t -> t
+(** Apply a function to every float leaf ([Float], [Vec] components,
+    recursively through [Record] fields); other leaves are unchanged.
+    Used by fault injection to corrupt rich flow values in place of a
+    plain scalar rewrite. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

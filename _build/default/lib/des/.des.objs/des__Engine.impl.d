@@ -1,1 +1,1 @@
-lib/des/engine.ml: Event_queue Obs Printf
+lib/des/engine.ml: Event_queue Float Obs Printf

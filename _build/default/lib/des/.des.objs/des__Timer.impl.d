@@ -1,1 +1,1 @@
-lib/des/timer.ml: Engine Float
+lib/des/timer.ml: Engine Float Printf

@@ -4,7 +4,7 @@ type t = {
   mutable executed : int;
 }
 
-type handle = Event_queue.handle
+type handle = (unit -> unit) Event_queue.handle
 
 (* Process-wide observability: one event counter and a queue-depth gauge
    (the gauge tracks the engine that scheduled/dispatched most recently,
@@ -20,6 +20,7 @@ let now t = t.clock
 let queue_depth t = Event_queue.live_count t.queue
 
 let schedule_at t ?priority ~time callback =
+  if Float.is_nan time then invalid_arg "Des.Engine.schedule_at: NaN time";
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Des.Engine.schedule_at: time %g is before now %g" time t.clock);
@@ -28,6 +29,7 @@ let schedule_at t ?priority ~time callback =
   h
 
 let schedule t ?priority ~delay callback =
+  if Float.is_nan delay then invalid_arg "Des.Engine.schedule: NaN delay";
   if delay < 0. then invalid_arg "Des.Engine.schedule: negative delay";
   schedule_at t ?priority ~time:(t.clock +. delay) callback
 
@@ -58,6 +60,7 @@ let step t =
     true
 
 let run_until t bound =
+  if Float.is_nan bound then invalid_arg "Des.Engine.run_until: NaN bound";
   if bound < t.clock then
     invalid_arg "Des.Engine.run_until: bound is before the current time";
   let rec loop executed =

@@ -15,13 +15,13 @@ val now : t -> float
 (** Current simulated time. *)
 
 val schedule_at : t -> ?priority:int -> time:float -> (unit -> unit) -> handle
-(** Run the callback when the clock reaches [time]. Scheduling in the past
-    raises [Invalid_argument]. Lower priority runs first among equal
-    times; ties break in scheduling order. *)
+(** Run the callback when the clock reaches [time]. Scheduling in the
+    past or at a NaN time raises [Invalid_argument]. Lower priority runs
+    first among equal times; ties break in scheduling order. *)
 
 val schedule : t -> ?priority:int -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] is [schedule_at t ~time:(now t +. delay) f];
-    negative delays raise [Invalid_argument]. *)
+    negative or NaN delays raise [Invalid_argument]. *)
 
 val cancel : handle -> unit
 (** Idempotent. *)

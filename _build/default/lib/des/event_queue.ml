@@ -1,28 +1,25 @@
-type entry = {
+(* The payload lives INSIDE its heap entry as a mutable option and is
+   nulled the moment the entry leaves the live set: at [pop], and — since
+   deletion is lazy, so a cancelled entry stays in the heap until it
+   bubbles to the top — also at [cancel]. A cancelled far-future event
+   therefore cannot pin a large payload for the rest of the run. Free
+   heap slots point at a per-queue payload-free dummy, so a freed slot
+   really is [None]. *)
+type 'a entry = {
   time : float;
   priority : int;
   seq : int;
   mutable cancelled : bool;
   mutable popped : bool;
+  mutable payload : 'a option;
   live : int ref;  (* the owning queue's live-entry counter *)
 }
 
-type handle = entry
-
-(* Shared filler for free slots. Payloads live in a parallel [option]
-   array so a freed slot really is [None]: the historical single
-   [(entry * 'a) array] representation kept popped payloads reachable
-   (and [Array.make] pinned the first payload in every slot), which is a
-   space leak when payloads are large. *)
-let dummy_live = ref 0
-
-let dummy_entry =
-  { time = neg_infinity; priority = 0; seq = -1; cancelled = true;
-    popped = true; live = dummy_live }
+type 'a handle = 'a entry
 
 type 'a t = {
-  mutable entries : entry array;     (* prefix [0, size) is the heap *)
-  mutable payloads : 'a option array;
+  mutable entries : 'a entry array;  (* prefix [0, size) is the heap *)
+  dummy : 'a entry;                  (* filler for free slots *)
   mutable size : int;
   mutable next_seq : int;
   live : int ref;  (* live (scheduled, not cancelled, not popped) entries *)
@@ -31,7 +28,11 @@ type 'a t = {
 let min_capacity = 8
 
 let create () =
-  { entries = [||]; payloads = [||]; size = 0; next_seq = 0; live = ref 0 }
+  let dummy =
+    { time = neg_infinity; priority = 0; seq = -1; cancelled = true;
+      popped = true; payload = None; live = ref 0 }
+  in
+  { entries = [||]; dummy; size = 0; next_seq = 0; live = ref 0 }
 
 let live_count t = !(t.live)
 
@@ -55,10 +56,7 @@ let before a b =
 let swap t i j =
   let e = t.entries.(i) in
   t.entries.(i) <- t.entries.(j);
-  t.entries.(j) <- e;
-  let p = t.payloads.(i) in
-  t.payloads.(i) <- t.payloads.(j);
-  t.payloads.(j) <- p
+  t.entries.(j) <- e
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -81,18 +79,15 @@ let rec sift_down t i =
   end
 
 let resize t cap =
-  let entries' = Array.make cap dummy_entry in
-  let payloads' = Array.make cap None in
+  let entries' = Array.make cap t.dummy in
   Array.blit t.entries 0 entries' 0 t.size;
-  Array.blit t.payloads 0 payloads' 0 t.size;
-  t.entries <- entries';
-  t.payloads <- payloads'
+  t.entries <- entries'
 
 let push t ~time ?(priority = 0) payload =
   if Float.is_nan time then invalid_arg "Des.Event_queue.push: NaN time";
   let entry =
     { time; priority; seq = t.next_seq; cancelled = false; popped = false;
-      live = t.live }
+      payload = Some payload; live = t.live }
   in
   t.next_seq <- t.next_seq + 1;
   incr t.live;
@@ -100,7 +95,6 @@ let push t ~time ?(priority = 0) payload =
     resize t (if Array.length t.entries = 0 then min_capacity
               else 2 * Array.length t.entries);
   t.entries.(t.size) <- entry;
-  t.payloads.(t.size) <- Some payload;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   entry
@@ -108,23 +102,20 @@ let push t ~time ?(priority = 0) payload =
 let cancel entry =
   if not entry.cancelled && not entry.popped then begin
     entry.cancelled <- true;
+    entry.payload <- None;
     decr entry.live
   end
 
 let is_cancelled entry = entry.cancelled
 
-(* Remove the root: move the last pair onto it and clear the freed slot
-   so the payload is collectable. When occupancy falls below a quarter,
-   halve the arrays so a burst of scheduling does not pin its high-water
-   capacity (and the stale payloads in it) forever. *)
+(* Remove the root: move the last entry onto it and clear the freed slot
+   so the entry (and its payload) is collectable. When occupancy falls
+   below a quarter, halve the array so a burst of scheduling does not pin
+   its high-water capacity forever. *)
 let remove_top t =
   t.size <- t.size - 1;
-  if t.size > 0 then begin
-    t.entries.(0) <- t.entries.(t.size);
-    t.payloads.(0) <- t.payloads.(t.size)
-  end;
-  t.entries.(t.size) <- dummy_entry;
-  t.payloads.(t.size) <- None;
+  if t.size > 0 then t.entries.(0) <- t.entries.(t.size);
+  t.entries.(t.size) <- t.dummy;
   if t.size > 0 then sift_down t 0;
   let cap = Array.length t.entries in
   if cap > min_capacity && t.size < cap / 4 then
@@ -150,12 +141,13 @@ let pop t =
   else begin
     let e = t.entries.(0) in
     let payload =
-      match t.payloads.(0) with
+      match e.payload with
       | Some p -> p
-      | None -> assert false  (* heap prefix slots always hold payloads *)
+      | None -> assert false  (* live heap entries always hold payloads *)
     in
     remove_top t;
     e.popped <- true;
+    e.payload <- None;
     decr t.live;
     Some (e.time, payload)
   end

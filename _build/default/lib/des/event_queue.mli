@@ -6,8 +6,9 @@
 
 type 'a t
 
-type handle
-(** Token for one scheduled entry. *)
+type 'a handle
+(** Token for one scheduled entry. The handle carries the payload type
+    because cancellation releases the payload in place. *)
 
 val create : unit -> 'a t
 
@@ -27,13 +28,17 @@ val capacity : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-val push : 'a t -> time:float -> ?priority:int -> 'a -> handle
-(** Lower [priority] runs first among equal times (default 0). *)
+val push : 'a t -> time:float -> ?priority:int -> 'a -> 'a handle
+(** Lower [priority] runs first among equal times (default 0). Raises
+    [Invalid_argument] on NaN time. *)
 
-val cancel : handle -> unit
-(** Idempotent; cancelling after the entry was popped is a no-op. *)
+val cancel : 'a handle -> unit
+(** Idempotent; cancelling after the entry was popped is a no-op.
+    Releases the entry's payload immediately: deletion is lazy (the heap
+    slot is reclaimed only when the entry reaches the top), but the
+    payload becomes collectable at cancel time. *)
 
-val is_cancelled : handle -> bool
+val is_cancelled : 'a handle -> bool
 
 val peek_time : 'a t -> float option
 (** Time of the earliest live entry. *)

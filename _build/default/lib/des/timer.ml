@@ -12,7 +12,18 @@ let cancel t =
 let is_active t = t.active
 let fired t = t.fired
 
-let one_shot engine ~delay callback =
+(* NaN passes every [< 0.] / [<= 0.] guard, so each numeric input is
+   checked for NaN explicitly at the API boundary — otherwise the failure
+   surfaces as an [Invalid_argument] deep inside [Event_queue.push]
+   mid-simulation, far from the timer that caused it. *)
+let describe = function
+  | Some name -> Printf.sprintf " %S" name
+  | None -> ""
+
+let one_shot engine ?name ~delay callback =
+  if Float.is_nan delay then
+    invalid_arg
+      (Printf.sprintf "Des.Timer.one_shot: timer%s: NaN delay" (describe name));
   if delay < 0. then invalid_arg "Des.Timer.one_shot: negative delay";
   let t = { active = true; fired = 0; handle = None } in
   let fire () =
@@ -29,8 +40,14 @@ let one_shot engine ~delay callback =
 (* The k-th nominal release is [start + phase + k*period]; computing each
    release from the origin (rather than from the previous firing) avoids
    cumulative floating-point drift over long runs. *)
-let periodic_impl engine ~phase ~period ~jitter callback =
+let periodic_impl engine ~name ~phase ~period ~jitter callback =
+  if Float.is_nan period then
+    invalid_arg
+      (Printf.sprintf "Des.Timer.periodic: timer%s: NaN period" (describe name));
   if period <= 0. then invalid_arg "Des.Timer.periodic: period must be positive";
+  if Float.is_nan phase then
+    invalid_arg
+      (Printf.sprintf "Des.Timer.periodic: timer%s: NaN phase" (describe name));
   if phase < 0. then invalid_arg "Des.Timer.periodic: negative phase";
   let t = { active = true; fired = 0; handle = None } in
   let origin = Engine.now engine in
@@ -38,6 +55,11 @@ let periodic_impl engine ~phase ~period ~jitter callback =
     if t.active then begin
       let nominal = origin +. phase +. (float_of_int k *. period) in
       let displaced = nominal +. jitter k in
+      if Float.is_nan displaced then
+        invalid_arg
+          (Printf.sprintf
+             "Des.Timer.periodic_jittered: timer%s: jitter for release %d \
+              (period %g) is NaN" (describe name) k period);
       let time = Float.max displaced (Engine.now engine) in
       let fire () =
         if t.active then begin
@@ -52,10 +74,10 @@ let periodic_impl engine ~phase ~period ~jitter callback =
   arm 0;
   t
 
-let periodic engine ?phase ~period callback =
+let periodic engine ?name ?phase ~period callback =
   let phase = match phase with Some p -> p | None -> period in
-  periodic_impl engine ~phase ~period ~jitter:(fun _ -> 0.) callback
+  periodic_impl engine ~name ~phase ~period ~jitter:(fun _ -> 0.) callback
 
-let periodic_jittered engine ?phase ~period ~jitter callback =
+let periodic_jittered engine ?name ?phase ~period ~jitter callback =
   let phase = match phase with Some p -> p | None -> period in
-  periodic_impl engine ~phase ~period ~jitter callback
+  periodic_impl engine ~name ~phase ~period ~jitter callback

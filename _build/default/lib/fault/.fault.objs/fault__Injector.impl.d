@@ -1,0 +1,1 @@
+lib/fault/injector.ml: Array Des Float List Obs Spec

@@ -1,0 +1,1 @@
+lib/fault/injector.mli: Spec

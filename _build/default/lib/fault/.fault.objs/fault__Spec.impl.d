@@ -1,0 +1,1 @@
+lib/fault/spec.ml: Buffer Float In_channel List Printf String

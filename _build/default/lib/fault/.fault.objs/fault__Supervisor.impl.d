@@ -1,0 +1,1 @@
+lib/fault/supervisor.ml: Des Float Obs Printf Spec

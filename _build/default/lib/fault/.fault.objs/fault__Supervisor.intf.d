@@ -1,0 +1,1 @@
+lib/fault/supervisor.mli: Des Spec

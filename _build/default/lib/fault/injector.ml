@@ -1,0 +1,173 @@
+(* Per-rule runtime state: [noted] makes window-scoped faults (freeze,
+   stall) count as one injection per activation instead of one per
+   query, since the hot paths ask every tick. *)
+type arule = { r : Spec.rule; mutable noted : bool }
+
+type t = {
+  spec : Spec.t;
+  rng : Des.Rng.t;
+  signal_rules : arule array;
+  flow_rules : arule array;
+  solver_rules : arule array;
+  mutable n_drop : int;
+  mutable n_delay : int;
+  mutable n_duplicate : int;
+  mutable n_reorder : int;
+  mutable n_corrupt : int;
+  mutable n_nan : int;
+  mutable n_freeze : int;
+  mutable n_stall : int;
+}
+
+let m_injected = Obs.Metrics.counter "fault.injected"
+
+let create spec =
+  let of_kind kind =
+    spec.Spec.rules
+    |> List.filter (fun r -> r.Spec.kind = kind)
+    |> List.map (fun r -> { r; noted = false })
+    |> Array.of_list
+  in
+  { spec;
+    rng = Des.Rng.create spec.Spec.seed;
+    signal_rules = of_kind Spec.Signal;
+    flow_rules = of_kind Spec.Flow;
+    solver_rules = of_kind Spec.Solver;
+    n_drop = 0; n_delay = 0; n_duplicate = 0; n_reorder = 0;
+    n_corrupt = 0; n_nan = 0; n_freeze = 0; n_stall = 0 }
+
+let spec t = t.spec
+
+let has_signal_rules t = Array.length t.signal_rules > 0
+let has_flow_rules t = Array.length t.flow_rules > 0
+let has_solver_rules t = Array.length t.solver_rules > 0
+
+(* Probability-1 rules skip the draw so deterministic specs stay
+   RNG-free; below 1 the private stream decides. *)
+let hit t p = p >= 1. || Des.Rng.float t.rng < p
+
+let note t = Obs.Metrics.incr m_injected; ignore t
+
+type signal_fate =
+  | Pass
+  | Lose
+  | Postpone of float
+  | Duplicate
+  | Hold of float
+
+let rule_applies ar ~target ~now =
+  Spec.matches ~pattern:ar.r.Spec.target target
+  && Spec.in_window ar.r.Spec.window now
+
+let signal_fate t ~role ~sport ~now =
+  let rules = t.signal_rules in
+  let n = Array.length rules in
+  let qualified = role ^ "." ^ sport in
+  let applies ar =
+    (Spec.matches ~pattern:ar.r.Spec.target role
+     || Spec.matches ~pattern:ar.r.Spec.target qualified)
+    && Spec.in_window ar.r.Spec.window now
+  in
+  let rec go i =
+    if i >= n then Pass
+    else begin
+      let ar = rules.(i) in
+      if applies ar then
+        (* First matching rule decides, hit or miss — later rules never
+           see a signal an earlier rule already claimed. *)
+        match ar.r.Spec.action with
+        | Spec.Drop p ->
+          if hit t p then begin t.n_drop <- t.n_drop + 1; note t; Lose end
+          else Pass
+        | Spec.Delay (p, by) ->
+          if hit t p then begin t.n_delay <- t.n_delay + 1; note t; Postpone by end
+          else Pass
+        | Spec.Duplicate p ->
+          if hit t p then begin
+            t.n_duplicate <- t.n_duplicate + 1; note t; Duplicate
+          end
+          else Pass
+        | Spec.Reorder (p, within) ->
+          if hit t p then begin
+            t.n_reorder <- t.n_reorder + 1; note t; Hold within
+          end
+          else Pass
+        | Spec.Corrupt _ | Spec.Nan_poison _ | Spec.Freeze | Spec.Stall ->
+          go (i + 1)  (* unreachable: rules are partitioned by kind *)
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let flow_frozen t ~target ~now =
+  let rules = t.flow_rules in
+  let n = Array.length rules in
+  let rec go i =
+    if i >= n then false
+    else begin
+      let ar = rules.(i) in
+      match ar.r.Spec.action with
+      | Spec.Freeze when rule_applies ar ~target ~now ->
+        if not ar.noted then begin
+          ar.noted <- true;
+          t.n_freeze <- t.n_freeze + 1;
+          note t
+        end;
+        true
+      | _ -> go (i + 1)
+    end
+  in
+  go 0
+
+let flow_value t ~target ~now v =
+  let rules = t.flow_rules in
+  let n = Array.length rules in
+  let rec go i =
+    if i >= n then v
+    else begin
+      let ar = rules.(i) in
+      match ar.r.Spec.action with
+      | Spec.Corrupt (p, scale, bias) when rule_applies ar ~target ~now ->
+        if hit t p then begin
+          t.n_corrupt <- t.n_corrupt + 1;
+          note t;
+          (scale *. v) +. bias
+        end
+        else v
+      | Spec.Nan_poison p when rule_applies ar ~target ~now ->
+        if hit t p then begin t.n_nan <- t.n_nan + 1; note t; Float.nan end
+        else v
+      | _ -> go (i + 1)
+    end
+  in
+  go 0
+
+let solver_stalled t ~target ~now =
+  let rules = t.solver_rules in
+  let n = Array.length rules in
+  let rec go i =
+    if i >= n then false
+    else begin
+      let ar = rules.(i) in
+      match ar.r.Spec.action with
+      | Spec.Stall when rule_applies ar ~target ~now ->
+        if not ar.noted then begin
+          ar.noted <- true;
+          t.n_stall <- t.n_stall + 1;
+          note t
+        end;
+        true
+      | _ -> go (i + 1)
+    end
+  in
+  go 0
+
+let injected t =
+  t.n_drop + t.n_delay + t.n_duplicate + t.n_reorder + t.n_corrupt + t.n_nan
+  + t.n_freeze + t.n_stall
+
+let injected_counts t =
+  [ ("corrupt", t.n_corrupt); ("delay", t.n_delay); ("drop", t.n_drop);
+    ("duplicate", t.n_duplicate); ("freeze", t.n_freeze); ("nan", t.n_nan);
+    ("reorder", t.n_reorder); ("stall", t.n_stall) ]
+  |> List.filter (fun (_, n) -> n > 0)

@@ -1,0 +1,59 @@
+type policy = Spec.policy = Restart | Freeze_last | Escalate
+
+let m_restarts = Obs.Metrics.counter "supervisor.restarts"
+let m_degraded = Obs.Metrics.gauge "degraded.time"
+
+let note_restart () = Obs.Metrics.incr m_restarts
+let restarts_total () = Obs.Metrics.value m_restarts
+let set_degraded_time seconds = Obs.Metrics.set m_degraded seconds
+
+type watchdog = {
+  engine : Des.Engine.t;
+  name : string;
+  timeout : float;
+  on_timeout : unit -> unit;
+  mutable timer : Des.Timer.t option;
+  mutable expirations : int;
+  mutable stopped : bool;
+}
+
+(* Re-arm by cancelling and re-scheduling a one-shot: pets are rare
+   (one per supervised delivery) next to DES dispatch volume, so the
+   extra cancelled heap entry is cheap — and since PR 4 a cancelled
+   entry releases its closure immediately. *)
+let rec arm w =
+  let timer =
+    Des.Timer.one_shot w.engine ~name:w.name ~delay:w.timeout (fun () ->
+        w.expirations <- w.expirations + 1;
+        w.on_timeout ();
+        if not w.stopped then arm w)
+  in
+  w.timer <- Some timer
+
+let watchdog engine ?(name = "watchdog") ~timeout on_timeout =
+  if Float.is_nan timeout || timeout <= 0. || timeout = infinity then
+    invalid_arg
+      (Printf.sprintf
+         "Fault.Supervisor.watchdog: timer %S: timeout must be positive and \
+          finite" name);
+  let w =
+    { engine; name; timeout; on_timeout; timer = None; expirations = 0;
+      stopped = false }
+  in
+  arm w;
+  w
+
+let pet w =
+  if not w.stopped then begin
+    (match w.timer with Some t -> Des.Timer.cancel t | None -> ());
+    arm w
+  end
+
+let stop w =
+  w.stopped <- true;
+  (match w.timer with Some t -> Des.Timer.cancel t | None -> ());
+  w.timer <- None
+
+let expirations w = w.expirations
+
+let is_active w = not w.stopped

@@ -1,1 +1,1 @@
-lib/ode/adaptive.ml: Array Float Linalg List Obs System
+lib/ode/adaptive.ml: Array Float Linalg List Obs Printf System

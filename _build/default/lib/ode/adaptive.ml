@@ -17,6 +17,31 @@ let default_control =
   { rtol = 1e-6; atol = 1e-9; dt_min = 1e-12; dt_max = infinity;
     safety = 0.9; max_steps = 1_000_000 }
 
+(* A malformed control record does not fail loudly on its own: NaN
+   tolerances poison the error norm (every comparison false → endless
+   rejection), [dt_min > dt_max] stalls, [safety <= 0.] collapses every
+   step to the 0.2/0.1 clamp. Reject all of it up front. *)
+let validate_control c =
+  let bad what value =
+    invalid_arg
+      (Printf.sprintf "Ode.Adaptive: invalid control: %s %g" what value)
+  in
+  if Float.is_nan c.rtol || c.rtol < 0. then bad "rtol" c.rtol;
+  if Float.is_nan c.atol || c.atol < 0. then bad "atol" c.atol;
+  if c.rtol = 0. && c.atol = 0. then
+    invalid_arg "Ode.Adaptive: invalid control: rtol and atol are both zero";
+  if Float.is_nan c.dt_min || c.dt_min <= 0. then bad "dt_min" c.dt_min;
+  if Float.is_nan c.dt_max || c.dt_max <= 0. then bad "dt_max" c.dt_max;
+  if c.dt_min > c.dt_max then
+    invalid_arg
+      (Printf.sprintf "Ode.Adaptive: invalid control: dt_min %g > dt_max %g"
+         c.dt_min c.dt_max);
+  if Float.is_nan c.safety || c.safety <= 0. then bad "safety" c.safety;
+  if c.max_steps <= 0 then
+    invalid_arg
+      (Printf.sprintf "Ode.Adaptive: invalid control: max_steps %d"
+         c.max_steps)
+
 type stats = { accepted : int; rejected : int; last_dt : float }
 
 (* Process-wide step-control observability, aggregated across every
@@ -123,6 +148,7 @@ let step scheme sys ~t ~dt y =
   (y_high, err)
 
 let drive ?(scheme = Dormand_prince) ?(control = default_control) sys ~t0 ~t1 y0 ~record ~init =
+  validate_control control;
   if t1 < t0 then invalid_arg "Ode.Adaptive: t1 must be >= t0";
   let tbl = tableau_of scheme in
   let expo = -1. /. float_of_int (tbl.order_low + 1) in

@@ -12,7 +12,9 @@ val method_name : method_ -> string
 type t
 
 val create : ?method_:method_ -> System.t -> t0:float -> float array -> t
-(** Default method is [Fixed (Rk4, 1e-3)]. *)
+(** Default method is [Fixed (Rk4, 1e-3)]. An adaptive method's control
+    record is validated here ({!Adaptive.validate_control}), so absurd
+    tolerances fail at construction, not mid-run. *)
 
 val time : t -> float
 val state : t -> float array
@@ -24,6 +26,13 @@ val state_view : t -> float array
 
 val set_state : t -> float array -> unit
 (** Replace the continuous state (used by strategies on mode switches). *)
+
+val reset : t -> t0:float -> float array -> unit
+(** Replace both clock and state — the supervisor's restart primitive.
+    Unlike {!set_state} alone, this un-strands an integrator left
+    mid-interval by a solver fault (step underflow leaves [time] short of
+    the requested target, and every retry would replay the same doomed
+    interval). *)
 
 val system : t -> System.t
 

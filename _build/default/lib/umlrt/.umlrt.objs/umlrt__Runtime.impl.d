@@ -1,1 +1,1 @@
-lib/umlrt/runtime.ml: Capsule Des Hashtbl List Obs Printf Protocol Queue Statechart String
+lib/umlrt/runtime.ml: Capsule Des Fault Hashtbl List Obs Printf Protocol Queue Statechart String

@@ -1,1 +1,1 @@
-lib/umlrt/runtime.mli: Capsule Des Statechart
+lib/umlrt/runtime.mli: Capsule Des Fault Statechart

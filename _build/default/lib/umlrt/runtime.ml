@@ -1,10 +1,14 @@
 exception Invalid_model of string list
+exception Watchdog_expired of string
 
 type instance = {
   path : string;
   klass : Capsule.t;
   mailbox : (string * Statechart.Event.t) Des.Mailbox.t;
   mutable behavior : Capsule.behavior option;
+  mutable watchdog : Fault.Supervisor.watchdog option;
+  mutable quarantined : bool;
+  mutable restarts : int;
 }
 
 type target =
@@ -24,6 +28,9 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable supervisor : Fault.Supervisor.policy option;
+  mutable max_restarts : int;
+  mutable restarts : int;
 }
 
 (* Process-wide observability of capsule messaging. *)
@@ -124,39 +131,6 @@ let send_from t inst ~port event =
         ~sim_time:(Des.Engine.now t.engine) ();
     deliver_target t event (resolve_from t (inst.path, port))
 
-(* Each delivery invokes the listener once; popping exactly one message
-   gives one run-to-completion step per mailbox event. *)
-let on_delivery t inst mailbox =
-  match Des.Mailbox.pop mailbox with
-  | None -> ()
-  | Some (port, event) ->
-    (match inst.behavior with
-     | Some b ->
-       t.delivered <- t.delivered + 1;
-       Obs.Metrics.incr m_delivered;
-       Obs.Metrics.incr m_rtc;
-       let handled =
-         if Obs.Tracer.enabled () then begin
-           let start = Obs.Tracer.now_ns () in
-           let handled = b.Capsule.on_event ~port event in
-           Obs.Tracer.complete ~track:inst.path ~cat:"umlrt" ~name:"rtc"
-             ~args:
-               [ ("port", Obs.Tracer.Str port);
-                 ("signal", Obs.Tracer.Str (Statechart.Event.signal event));
-                 ("handled", Obs.Tracer.Bool handled) ]
-             ~sim_time:(Des.Engine.now t.engine) ~start_ns:start ();
-           handled
-         end
-         else b.Capsule.on_event ~port event
-       in
-       if not handled then begin
-         t.dropped <- t.dropped + 1;
-         Obs.Metrics.incr m_unhandled
-       end
-     | None ->
-       if String.equal inst.path t.root_path then to_environment t port event
-       else drop t)
-
 let self_port = "^timer"
 
 let services_for t inst =
@@ -175,9 +149,99 @@ let services_for t inst =
     now = (fun () -> Des.Engine.now t.engine);
   }
 
+(* Throw away the failed behaviour and build a fresh one from the capsule's
+   factory — state is lost by design (the paper's restartable-component
+   view); timers armed by the old behaviour still feed the mailbox and are
+   simply handled by the replacement. *)
+let restart_instance (t : t) (inst : instance) =
+  match Capsule.behavior inst.klass with
+  | None -> false
+  | Some factory ->
+    let b = factory (services_for t inst) in
+    inst.behavior <- Some b;
+    inst.quarantined <- false;
+    inst.restarts <- inst.restarts + 1;
+    t.restarts <- t.restarts + 1;
+    Fault.Supervisor.note_restart ();
+    if Obs.Tracer.enabled () then
+      Obs.Tracer.instant ~track:inst.path ~cat:"fault" ~name:"capsule_restart"
+        ~sim_time:(Des.Engine.now t.engine) ();
+    b.Capsule.on_start ();
+    true
+
+let quarantine (t : t) (inst : instance) =
+  if not inst.quarantined then begin
+    inst.quarantined <- true;
+    if Obs.Tracer.enabled () then
+      Obs.Tracer.instant ~track:inst.path ~cat:"fault" ~name:"capsule_quarantined"
+        ~sim_time:(Des.Engine.now t.engine) ()
+  end
+
+let handle_capsule_fault (t : t) (inst : instance) ~reraise =
+  match t.supervisor with
+  | None | Some Fault.Supervisor.Escalate -> reraise ()
+  | Some Fault.Supervisor.Restart ->
+    if inst.restarts >= t.max_restarts || not (restart_instance t inst) then
+      quarantine t inst
+  | Some Fault.Supervisor.Freeze_last -> quarantine t inst
+
+(* Behaviour dispatch with optional supervision: without a supervisor the
+   exception path is exactly the pre-supervision one (no handler frame). *)
+let dispatch t inst (b : Capsule.behavior) ~port event =
+  match t.supervisor with
+  | None -> b.Capsule.on_event ~port event
+  | Some _ ->
+    (try b.Capsule.on_event ~port event
+     with e ->
+       handle_capsule_fault t inst ~reraise:(fun () -> raise e);
+       (* The fault was absorbed by the policy; the message is accounted
+          for rather than reported as an unhandled drop. *)
+       true)
+
+(* Each delivery invokes the listener once; popping exactly one message
+   gives one run-to-completion step per mailbox event. *)
+let on_delivery t inst mailbox =
+  match Des.Mailbox.pop mailbox with
+  | None -> ()
+  | Some (port, event) ->
+    if inst.quarantined then drop t
+    else
+    (match inst.behavior with
+     | Some b ->
+       (match inst.watchdog with
+        | Some w -> Fault.Supervisor.pet w
+        | None -> ());
+       t.delivered <- t.delivered + 1;
+       Obs.Metrics.incr m_delivered;
+       Obs.Metrics.incr m_rtc;
+       let handled =
+         if Obs.Tracer.enabled () then begin
+           let start = Obs.Tracer.now_ns () in
+           let handled = dispatch t inst b ~port event in
+           Obs.Tracer.complete ~track:inst.path ~cat:"umlrt" ~name:"rtc"
+             ~args:
+               [ ("port", Obs.Tracer.Str port);
+                 ("signal", Obs.Tracer.Str (Statechart.Event.signal event));
+                 ("handled", Obs.Tracer.Bool handled) ]
+             ~sim_time:(Des.Engine.now t.engine) ~start_ns:start ();
+           handled
+         end
+         else dispatch t inst b ~port event
+       in
+       if not handled then begin
+         t.dropped <- t.dropped + 1;
+         Obs.Metrics.incr m_unhandled
+       end
+     | None ->
+       if String.equal inst.path t.root_path then to_environment t port event
+       else drop t)
+
 let rec instantiate t ~latency ~path klass =
   let mailbox = Des.Mailbox.create t.engine ~latency path in
-  let inst = { path; klass; mailbox; behavior = None } in
+  let inst =
+    { path; klass; mailbox; behavior = None; watchdog = None;
+      quarantined = false; restarts = 0 }
+  in
   Hashtbl.replace t.instances path inst;
   t.order <- path :: t.order;
   Des.Mailbox.set_listener mailbox (fun mb -> on_delivery t inst mb);
@@ -207,7 +271,8 @@ let create engine ?(latency = 0.) ?(defer_start = false) root =
   let t =
     { engine; root_path = Capsule.name root; instances = Hashtbl.create 16;
       order = []; links = []; outbox = Queue.create (); env_listener = None;
-      pending_starts = []; sent = 0; delivered = 0; dropped = 0 }
+      pending_starts = []; sent = 0; delivered = 0; dropped = 0;
+      supervisor = None; max_restarts = max_int; restarts = 0 }
   in
   instantiate t ~latency ~path:t.root_path root;
   (* Create behaviours parent-first, then start them in the same order. *)
@@ -271,3 +336,67 @@ let drain_outbox t =
 type stats = { sent : int; delivered : int; dropped : int }
 
 let stats (t : t) = { sent = t.sent; delivered = t.delivered; dropped = t.dropped }
+
+let set_supervisor t ?(max_restarts = max_int) policy =
+  if max_restarts < 0 then
+    invalid_arg "Umlrt.Runtime.set_supervisor: max_restarts must be non-negative";
+  t.supervisor <- Some policy;
+  t.max_restarts <- max_restarts
+
+let supervisor t = t.supervisor
+
+let restart_capsule t ~path =
+  match find_instance t path with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Umlrt.Runtime.restart_capsule: unknown capsule %S" path)
+  | Some inst -> restart_instance t inst
+
+let watch_capsule t ~path ~timeout =
+  match find_instance t path with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Umlrt.Runtime.watch_capsule: unknown capsule %S" path)
+  | Some inst ->
+    (match inst.watchdog with
+     | Some w -> Fault.Supervisor.stop w
+     | None -> ());
+    let w =
+      Fault.Supervisor.watchdog t.engine ~name:(path ^ ".watchdog") ~timeout
+        (fun () ->
+           match t.supervisor with
+           | None | Some Fault.Supervisor.Restart ->
+             if inst.restarts >= t.max_restarts || not (restart_instance t inst)
+             then quarantine t inst
+           | Some Fault.Supervisor.Freeze_last -> quarantine t inst
+           | Some Fault.Supervisor.Escalate -> raise (Watchdog_expired path))
+    in
+    inst.watchdog <- Some w
+
+let unwatch_capsule t ~path =
+  match find_instance t path with
+  | None -> ()
+  | Some inst ->
+    (match inst.watchdog with
+     | Some w -> Fault.Supervisor.stop w; inst.watchdog <- None
+     | None -> ())
+
+let watchdog_expirations t ~path =
+  match find_instance t path with
+  | Some { watchdog = Some w; _ } -> Fault.Supervisor.expirations w
+  | Some { watchdog = None; _ } | None -> 0
+
+let capsule_restarts t = t.restarts
+
+let is_quarantined t ~path =
+  match find_instance t path with
+  | Some inst -> inst.quarantined
+  | None -> false
+
+let quarantined_paths t =
+  List.filter
+    (fun path ->
+       match find_instance t path with
+       | Some inst -> inst.quarantined
+       | None -> false)
+    (instance_paths t)

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Des Fault Float Hybrid Int64 List Ode Printf Sigtrace Statechart String Umlrt

@@ -1,1 +1,1 @@
-test/test_ode.ml: Alcotest Array Float Gen Int64 List Ode Printf QCheck QCheck_alcotest
+test/test_ode.ml: Alcotest Array Float Gen Int64 List Ode Printf QCheck QCheck_alcotest String

@@ -16,4 +16,5 @@ let () =
       ("dsl", Test_dsl.suite);
       ("lint", Test_lint.suite);
       ("codegen", Test_codegen.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite) ]

@@ -86,10 +86,41 @@ let test_engine_tick_alloc_free () =
   in
   Alcotest.(check (float 0.)) "steady-state tick allocates nothing" 0. words
 
+(* The fault layer's zero-cost contract: an attached injector with no
+   rules plus an armed supervisor must leave the steady-state tick
+   allocation-free — the hook sites are loads and branches only. *)
+let test_engine_tick_alloc_free_with_empty_faults () =
+  let plant =
+    Hybrid.Streamer.leaf "plant" ~rate:0.3 ~dim:1 ~init:[| 18. |]
+      ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.002))
+      ~params:[ ("ambient", 5.); ("tau", 30.) ]
+      ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+      ~rhs_into:(fun env _tcell y dy ->
+          dy.(0) <-
+            -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+            /. env.Hybrid.Solver.param "tau")
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+      ~rhs:(fun env _t y ->
+          [| -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+             /. env.Hybrid.Solver.param "tau" |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"plant" plant;
+  ignore (Hybrid.Engine.apply_fault_spec engine Fault.Spec.empty);
+  Hybrid.Engine.set_supervisor engine Fault.Supervisor.Restart;
+  Hybrid.Engine.run_until engine 1.0;
+  let words =
+    minor_delta (fun () -> Hybrid.Engine.tick_now engine ~role:"plant")
+  in
+  Alcotest.(check (float 0.))
+    "tick with empty fault layer + supervisor allocates nothing" 0. words
+
 let suite =
   [ Alcotest.test_case "ode: step_into zero minor words" `Quick
       test_step_into_alloc_free;
     Alcotest.test_case "ode: advance_into zero minor words" `Quick
       test_advance_into_alloc_free;
     Alcotest.test_case "engine: guard-free tick zero minor words" `Quick
-      test_engine_tick_alloc_free ]
+      test_engine_tick_alloc_free;
+    Alcotest.test_case "engine: empty fault layer stays zero-alloc" `Quick
+      test_engine_tick_alloc_free_with_empty_faults ]

@@ -328,3 +328,81 @@ let storage_suite =
       test_queue_capacity_shrinks ]
 
 let suite = suite @ storage_suite
+
+(* ---- fault-sweep regressions: payload release at cancel, NaN guards ---- *)
+
+(* A cancelled entry's payload must be collectable immediately — under
+   lazy deletion the entry stays in the heap array, but it must not pin
+   the payload until it bubbles out. *)
+let test_queue_cancel_releases_payload () =
+  let q = Des.Event_queue.create () in
+  let w =
+    let payload = Bytes.make 256 'x' in
+    let wk = Weak.create 1 in
+    Weak.set wk 0 (Some payload);
+    let h = Des.Event_queue.push q ~time:1. payload in
+    ignore (Des.Event_queue.push q ~time:2. (Bytes.make 8 'y'));
+    Des.Event_queue.cancel h;
+    wk
+  in
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "cancelled payload collectable while still queued"
+    false (Weak.check w 0);
+  (* the lazily-deleted slot still skips cleanly on pop *)
+  match Des.Event_queue.pop q with
+  | Some (t, _) -> Alcotest.(check (float 0.)) "survivor pops" 2. t
+  | None -> Alcotest.fail "survivor expected"
+
+let test_timer_nan_guards () =
+  let e = Des.Engine.create () in
+  Alcotest.check_raises "one_shot NaN delay names the timer"
+    (Invalid_argument "Des.Timer.one_shot: timer \"t1\": NaN delay")
+    (fun () ->
+       ignore (Des.Timer.one_shot e ~name:"t1" ~delay:Float.nan ignore));
+  Alcotest.check_raises "periodic NaN period names the timer"
+    (Invalid_argument "Des.Timer.periodic: timer \"t2\": NaN period")
+    (fun () ->
+       ignore (Des.Timer.periodic e ~name:"t2" ~period:Float.nan (fun _ -> ())));
+  Alcotest.check_raises "periodic NaN phase names the timer"
+    (Invalid_argument "Des.Timer.periodic: timer \"t3\": NaN phase")
+    (fun () ->
+       ignore
+         (Des.Timer.periodic e ~name:"t3" ~phase:Float.nan ~period:1.
+            (fun _ -> ())));
+  (* jitter is evaluated per release: the guard sits where the number is
+     produced, not at construction *)
+  Alcotest.check_raises "NaN jitter names timer and release"
+    (Invalid_argument
+       "Des.Timer.periodic_jittered: timer \"j\": jitter for release 0 \
+        (period 1) is NaN")
+    (fun () ->
+       ignore
+         (Des.Timer.periodic_jittered e ~name:"j" ~phase:0. ~period:1.
+            ~jitter:(fun _ -> Float.nan) (fun _ -> ())));
+  (* the non-NaN diagnostics kept their exact wording *)
+  Alcotest.check_raises "non-positive period message unchanged"
+    (Invalid_argument "Des.Timer.periodic: period must be positive")
+    (fun () -> ignore (Des.Timer.periodic e ~period:0. (fun _ -> ())))
+
+let test_engine_nan_guards () =
+  let e = Des.Engine.create () in
+  Alcotest.check_raises "schedule_at NaN"
+    (Invalid_argument "Des.Engine.schedule_at: NaN time")
+    (fun () -> ignore (Des.Engine.schedule_at e ~time:Float.nan ignore));
+  Alcotest.check_raises "schedule NaN"
+    (Invalid_argument "Des.Engine.schedule: NaN delay")
+    (fun () -> ignore (Des.Engine.schedule e ~delay:Float.nan ignore));
+  Alcotest.check_raises "run_until NaN"
+    (Invalid_argument "Des.Engine.run_until: NaN bound")
+    (fun () -> ignore (Des.Engine.run_until e Float.nan))
+
+let nan_suite =
+  [ Alcotest.test_case "queue: cancel releases payload" `Quick
+      test_queue_cancel_releases_payload;
+    Alcotest.test_case "timer: NaN rejected at every entry point" `Quick
+      test_timer_nan_guards;
+    Alcotest.test_case "engine: NaN rejected at every entry point" `Quick
+      test_engine_nan_guards ]
+
+let suite = suite @ nan_suite

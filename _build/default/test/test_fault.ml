@@ -1,0 +1,601 @@
+(* Fault layer: spec parsing, deterministic injection, the differential
+   bit-identity guarantee of an attached-but-empty layer, supervision at
+   both the solver (hybrid engine) and capsule (UML-RT runtime) level,
+   and graceful degradation as strategy switching. *)
+
+let spec_of text =
+  match Fault.Spec.of_string text with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "spec parse failed: %s" msg
+
+(* ---- spec parsing ---- *)
+
+let full_spec_text =
+  "# chaos for the thermostat demo\n\
+   seed 42\n\
+   supervise freeze\n\
+   degrade-signal fallback\n\
+   drop signal room p=0.25\n\
+   delay signal room.ctl by=0.5 from=10 until=20\n\
+   duplicate signal * p=0.5\n\
+   reorder signal room within=0.1\n\
+   corrupt flow room.temp scale=1.05 bias=-0.2\n\
+   nan flow room.* from=30 until=31\n\
+   freeze flow room.temp from=40\n\
+   stall solver room from=5 until=7\n"
+
+let test_spec_parse_and_round_trip () =
+  let s = spec_of full_spec_text in
+  Alcotest.(check int) "seed" 42 s.Fault.Spec.seed;
+  Alcotest.(check int) "rule count" 8 (List.length s.Fault.Spec.rules);
+  Alcotest.(check bool) "policy" true
+    (s.Fault.Spec.policy = Some Fault.Spec.Freeze_last);
+  Alcotest.(check (option string)) "degrade signal" (Some "fallback")
+    s.Fault.Spec.degrade_signal;
+  (* canonical form is a fixpoint of parse-then-print *)
+  let printed = Fault.Spec.to_string s in
+  let reparsed = spec_of printed in
+  Alcotest.(check string) "round-trips" printed (Fault.Spec.to_string reparsed)
+
+let test_spec_rejects_malformed () =
+  let bad text =
+    match Fault.Spec.of_string text with
+    | Ok _ -> Alcotest.failf "accepted bad spec: %s" text
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error names a line (%s)" text msg)
+        true
+        (String.length msg > 7 && String.sub msg 0 5 = "line ")
+  in
+  bad "drop signal";
+  bad "drop signal x p=1.5";
+  bad "drop signal x p=-0.1";
+  bad "delay signal x";            (* missing by= *)
+  bad "delay signal x by=nan";
+  bad "delay signal x by=-1";
+  bad "drop flow x";               (* action/kind mismatch *)
+  bad "nan signal x";
+  bad "corrupt flow x";            (* corrupt needs scale= or bias= *)
+  bad "reorder signal x within=0";
+  bad "drop signal x from=5 until=5";
+  bad "drop signal x from=-1";
+  bad "seed banana";
+  bad "supervise never";
+  bad "frobnicate signal x"
+
+let test_spec_target_matching () =
+  Alcotest.(check bool) "exact" true (Fault.Spec.matches ~pattern:"room" "room");
+  Alcotest.(check bool) "exact miss" false
+    (Fault.Spec.matches ~pattern:"room" "roomy");
+  Alcotest.(check bool) "prefix" true
+    (Fault.Spec.matches ~pattern:"room.*" "room.temp");
+  Alcotest.(check bool) "prefix miss" false
+    (Fault.Spec.matches ~pattern:"room.*" "rook.temp");
+  Alcotest.(check bool) "wildcard" true (Fault.Spec.matches ~pattern:"*" "x");
+  Alcotest.(check bool) "window half-open" true
+    (Fault.Spec.in_window { Fault.Spec.from_ = 1.; until = 2. } 1.
+     && not (Fault.Spec.in_window { Fault.Spec.from_ = 1.; until = 2. } 2.))
+
+(* ---- injector ---- *)
+
+let test_injector_deterministic_replay () =
+  let s = spec_of "seed 9\ndrop signal * p=0.5\n" in
+  let fates inj =
+    List.init 200 (fun i ->
+        match
+          Fault.Injector.signal_fate inj ~role:"r" ~sport:"s"
+            ~now:(float_of_int i)
+        with
+        | Fault.Injector.Lose -> 1
+        | _ -> 0)
+  in
+  let a = fates (Fault.Injector.create s) in
+  let b = fates (Fault.Injector.create s) in
+  Alcotest.(check (list int)) "same seed, same schedule" a b;
+  let dropped = List.fold_left ( + ) 0 a in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=0.5 drops roughly half (%d/200)" dropped)
+    true
+    (dropped > 60 && dropped < 140)
+
+let test_injector_first_match_and_window () =
+  let inj =
+    Fault.Injector.create
+      (spec_of
+         "seed 1\n\
+          drop signal a p=0 from=0 until=10\n\
+          drop signal a p=1\n\
+          drop signal b p=1\n")
+  in
+  let fate ~role ~now = Fault.Injector.signal_fate inj ~role ~sport:"s" ~now in
+  (* the first matching rule decides, hit or miss *)
+  Alcotest.(check bool) "p=0 miss still consumes the signal" true
+    (fate ~role:"a" ~now:5. = Fault.Injector.Pass);
+  (* outside its window the first rule stops matching *)
+  Alcotest.(check bool) "window bounds the rule" true
+    (fate ~role:"a" ~now:15. = Fault.Injector.Lose);
+  Alcotest.(check bool) "other target has its own rule" true
+    (fate ~role:"b" ~now:0. = Fault.Injector.Lose);
+  Alcotest.(check bool) "unmatched passes" true
+    (fate ~role:"c" ~now:0. = Fault.Injector.Pass)
+
+let test_injector_signal_fates () =
+  let inj =
+    Fault.Injector.create
+      (spec_of
+         "seed 1\n\
+          duplicate signal d\n\
+          delay signal e by=0.5\n\
+          reorder signal f within=0.25\n\
+          drop signal g.out\n")
+  in
+  let fate role = Fault.Injector.signal_fate inj ~role ~sport:"out" ~now:0. in
+  Alcotest.(check bool) "duplicate" true (fate "d" = Fault.Injector.Duplicate);
+  Alcotest.(check bool) "delay" true (fate "e" = Fault.Injector.Postpone 0.5);
+  Alcotest.(check bool) "reorder" true (fate "f" = Fault.Injector.Hold 0.25);
+  (* qualified role.sport names match too *)
+  Alcotest.(check bool) "qualified target" true (fate "g" = Fault.Injector.Lose);
+  Alcotest.(check bool) "injected counted" true (Fault.Injector.injected inj = 4);
+  Alcotest.(check bool) "per-action counts" true
+    (Fault.Injector.injected_counts inj
+     = [ ("delay", 1); ("drop", 1); ("duplicate", 1); ("reorder", 1) ])
+
+let test_injector_flow_faults () =
+  let inj =
+    Fault.Injector.create
+      (spec_of
+         "seed 1\n\
+          corrupt flow x.y scale=2 bias=1\n\
+          nan flow z.*\n\
+          freeze flow w from=10\n")
+  in
+  Alcotest.(check (float 1e-12)) "corrupt is scale*v+bias" 7.
+    (Fault.Injector.flow_value inj ~target:"x.y" ~now:0. 3.);
+  Alcotest.(check bool) "nan poison" true
+    (Float.is_nan (Fault.Injector.flow_value inj ~target:"z.q" ~now:0. 3.));
+  Alcotest.(check (float 0.)) "unmatched untouched" 3.
+    (Fault.Injector.flow_value inj ~target:"other" ~now:0. 3.);
+  Alcotest.(check bool) "frozen inside window" true
+    (Fault.Injector.flow_frozen inj ~target:"w" ~now:11.);
+  Alcotest.(check bool) "not frozen before" false
+    (Fault.Injector.flow_frozen inj ~target:"w" ~now:5.);
+  Alcotest.(check bool) "freeze rule is not a stall rule" false
+    (Fault.Injector.solver_stalled inj ~target:"w" ~now:11.)
+
+(* ---- thermostat fixture (mirrors test_hybrid's model) ---- *)
+
+let temp_protocol =
+  Umlrt.Protocol.create "Thermo"
+    ~incoming:
+      [ Umlrt.Protocol.signal "too_cold"; Umlrt.Protocol.signal "too_hot" ]
+    ~outgoing:
+      [ Umlrt.Protocol.signal "heater_on"; Umlrt.Protocol.signal "heater_off" ]
+
+let thermal_streamer () =
+  let rhs (env : Hybrid.Solver.env) _t y =
+    let duty = env.Hybrid.Solver.param "duty" in
+    [| (-.(y.(0) -. 15.) /. 20.) +. (0.8 *. duty) |]
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"heater_on"
+    (Hybrid.Strategy.set_param_const "duty" 1.);
+  Hybrid.Strategy.on strategy ~signal:"heater_off"
+    (Hybrid.Strategy.set_param_const "duty" 0.);
+  let guards =
+    [ { Hybrid.Streamer.guard_id = "low"; signal = "too_cold"; via_sport = "ctl";
+        direction = Ode.Events.Falling;
+        expr = (fun _env _t y -> y.(0) -. 19.); payload = None };
+      { Hybrid.Streamer.guard_id = "high"; signal = "too_hot"; via_sport = "ctl";
+        direction = Ode.Events.Rising;
+        expr = (fun _env _t y -> y.(0) -. 21.); payload = None } ]
+  in
+  Hybrid.Streamer.leaf "room" ~rate:0.05 ~dim:1 ~init:[| 20.0 |]
+    ~params:[ ("duty", 0.) ]
+    ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+    ~sports:[ Hybrid.Streamer.sport ~conjugated:true "ctl" temp_protocol ]
+    ~guards ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+    ~rhs
+
+let thermostat_behavior (services : Umlrt.Capsule.services) =
+  let m = Statechart.Machine.create "thermostat" in
+  Statechart.Machine.add_state m "Idle";
+  Statechart.Machine.add_state m "Heating";
+  Statechart.Machine.set_initial m "Idle";
+  let send signal _ctx _event =
+    services.Umlrt.Capsule.send ~port:"plant" (Statechart.Event.make signal)
+  in
+  Statechart.Machine.add_transition m ~src:"Idle" ~dst:"Heating"
+    ~trigger:"too_cold" ~action:(send "heater_on") ();
+  Statechart.Machine.add_transition m ~src:"Heating" ~dst:"Idle"
+    ~trigger:"too_hot" ~action:(send "heater_off") ();
+  let instance = ref None in
+  { Umlrt.Capsule.on_start =
+      (fun () -> instance := Some (Statechart.Instance.start m ()));
+    on_event =
+      (fun ~port:_ event ->
+         match !instance with
+         | Some i -> Statechart.Instance.handle i event
+         | None -> false);
+    configuration = (fun () -> []) }
+
+let make_thermostat_engine () =
+  let root =
+    Umlrt.Capsule.create "controller"
+      ~ports:[ Umlrt.Capsule.port "plant" temp_protocol ]
+      ~behavior:thermostat_behavior
+  in
+  let engine = Hybrid.Engine.create ~root () in
+  Hybrid.Engine.add_streamer engine ~role:"room" (thermal_streamer ());
+  Hybrid.Engine.link_sport_exn engine ~role:"room" ~sport:"ctl"
+    ~border_port:"plant";
+  engine
+
+let fingerprint trace =
+  List.map
+    (fun (t, v) -> (Int64.bits_of_float t, Int64.bits_of_float v))
+    (Sigtrace.Trace.samples trace)
+
+let run_thermostat ?spec duration =
+  let engine = make_thermostat_engine () in
+  (match spec with
+   | Some s -> ignore (Hybrid.Engine.apply_fault_spec engine s)
+   | None -> ());
+  let trace = Hybrid.Engine.trace_dport engine ~role:"room" ~dport:"temp" in
+  Hybrid.Engine.run_until engine duration;
+  (engine, fingerprint trace)
+
+(* ---- differential guarantees ---- *)
+
+let final_state_bits engine =
+  match Hybrid.Engine.solver_of engine "room" with
+  | Some s -> Int64.bits_of_float (Hybrid.Solver.state s).(0)
+  | None -> Alcotest.fail "room solver missing"
+
+let test_empty_layer_bit_identical () =
+  let e1, f1 = run_thermostat 120. in
+  let e2, f2 = run_thermostat ~spec:Fault.Spec.empty 120. in
+  Alcotest.(check int) "same sample count" (List.length f1) (List.length f2);
+  List.iter2
+    (fun (ta, va) (tb, vb) ->
+       if not (Int64.equal ta tb && Int64.equal va vb) then
+         Alcotest.failf "trace diverged: (%Ld, %Ld) vs (%Ld, %Ld)" ta va tb vb)
+    f1 f2;
+  Alcotest.(check bool) "final state bit-identical" true
+    (Int64.equal (final_state_bits e1) (final_state_bits e2));
+  let s1 = Hybrid.Engine.stats e1 and s2 = Hybrid.Engine.stats e2 in
+  Alcotest.(check bool) "same discrete history" true (s1 = s2)
+
+let chaos_text =
+  "seed 1234\ndrop signal * p=0.3\ncorrupt flow room.temp scale=1.01 p=0.5\n"
+
+let test_same_seed_same_run () =
+  let _, f1 = run_thermostat ~spec:(spec_of chaos_text) 120. in
+  let _, f2 = run_thermostat ~spec:(spec_of chaos_text) 120. in
+  let _, f0 = run_thermostat 120. in
+  Alcotest.(check bool) "chaotic runs replay bit-for-bit" true (f1 = f2);
+  Alcotest.(check bool) "and actually differ from the pristine run" true
+    (f1 <> f0)
+
+let test_drop_all_disables_control () =
+  let engine, _ =
+    run_thermostat ~spec:(spec_of "seed 1\ndrop signal *\n") 300.
+  in
+  (* Every border signal is lost, so the heater never turns on and the
+     room relaxes toward the 15-degree ambient. *)
+  (match Hybrid.Engine.solver_of engine "room" with
+   | Some s ->
+     Alcotest.(check bool) "room drifted below the control band" true
+       ((Hybrid.Solver.state s).(0) < 18.)
+   | None -> Alcotest.fail "room solver missing");
+  (match Hybrid.Engine.faults engine with
+   | Some inj ->
+     Alcotest.(check bool) "drops counted" true
+       (List.mem_assoc "drop" (Fault.Injector.injected_counts inj))
+   | None -> Alcotest.fail "injector attached")
+
+(* ---- flow faults end-to-end (capsule-less cooling plant) ---- *)
+
+let cooling_engine () =
+  let leaf =
+    Hybrid.Streamer.leaf "plant" ~rate:0.1 ~dim:1 ~init:[| 20. |]
+      ~params:[ ("ambient", 15.); ("tau", 20.) ]
+      ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+      ~rhs:(fun env _t y ->
+          [| -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+             /. env.Hybrid.Solver.param "tau" |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"plant" leaf;
+  engine
+
+let read_temp engine =
+  match Hybrid.Engine.read_dport engine ~role:"plant" ~dport:"temp" with
+  | Some v -> v
+  | None -> Alcotest.fail "temp dport readable"
+
+let test_nan_flow_poisons_dport () =
+  let engine = cooling_engine () in
+  ignore
+    (Hybrid.Engine.apply_fault_spec engine
+       (spec_of "seed 1\nnan flow plant.temp\n"));
+  Hybrid.Engine.run_until engine 1.0;
+  Alcotest.(check bool) "NaN on the wire" true (Float.is_nan (read_temp engine));
+  (* the state itself stays healthy — only the flow write is poisoned *)
+  match Hybrid.Engine.solver_of engine "plant" with
+  | Some s ->
+    Alcotest.(check bool) "state unharmed" true
+      (Float.is_finite (Hybrid.Solver.state s).(0))
+  | None -> Alcotest.fail "plant solver missing"
+
+let test_freeze_flow_holds_last_value () =
+  let engine = cooling_engine () in
+  ignore
+    (Hybrid.Engine.apply_fault_spec engine
+       (spec_of "seed 1\nfreeze flow plant.temp from=1\n"));
+  Hybrid.Engine.run_until engine 30.;
+  let dport = read_temp engine in
+  let state =
+    match Hybrid.Engine.solver_of engine "plant" with
+    | Some s -> (Hybrid.Solver.state s).(0)
+    | None -> Alcotest.fail "plant solver missing"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dport froze near its t=1 value (%g)" dport)
+    true
+    (dport > 19.5 && dport < 20.);
+  Alcotest.(check bool)
+    (Printf.sprintf "state kept cooling underneath (%g)" state)
+    true (state < 17.)
+
+let test_stall_solver_halts_state () =
+  let engine = cooling_engine () in
+  ignore
+    (Hybrid.Engine.apply_fault_spec engine
+       (spec_of "seed 1\nstall solver plant\n"));
+  Hybrid.Engine.run_until engine 10.;
+  (match Hybrid.Engine.solver_of engine "plant" with
+   | Some s ->
+     Alcotest.(check (float 0.)) "state pinned at init" 20.
+       (Hybrid.Solver.state s).(0)
+   | None -> Alcotest.fail "plant solver missing");
+  Alcotest.(check bool) "streamer still ticked" true
+    (Hybrid.Engine.ticks_of engine "plant" > 50)
+
+(* ---- solver supervision ---- *)
+
+(* A plant whose rhs turns NaN at [t0]: divergence the supervisor must
+   catch at the next step boundary. *)
+let sick_streamer ?method_ ~t0 degraded_hits =
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on_degrade strategy (fun _ctl _e -> incr degraded_hits);
+  Hybrid.Streamer.leaf "sick" ~rate:0.1 ~dim:1 ~init:[| 1. |] ?method_
+    ~dports:[ Hybrid.Streamer.dport_out "x" ]
+    ~strategy
+    ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+    ~rhs:(fun _env t y -> if t >= t0 then [| Float.nan |] else [| -.y.(0) |])
+
+let sick_engine ?method_ policy degraded_hits =
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"sick"
+    (sick_streamer ?method_ ~t0:0.45 degraded_hits);
+  Hybrid.Engine.set_supervisor engine policy;
+  engine
+
+let test_supervisor_restart_on_divergence () =
+  let degraded = ref 0 in
+  let engine = sick_engine Fault.Supervisor.Restart degraded in
+  Hybrid.Engine.run_until engine 2.0;
+  Alcotest.(check bool) "faults detected" true
+    (Hybrid.Engine.solver_faults engine >= 1);
+  Alcotest.(check bool) "restarts performed" true
+    (Hybrid.Engine.supervisor_restarts engine >= 1);
+  Alcotest.(check (list string)) "role degraded" [ "sick" ]
+    (Hybrid.Engine.degraded_roles engine);
+  Alcotest.(check bool) "degraded time accumulates" true
+    (Hybrid.Engine.degraded_time engine > 0.);
+  Alcotest.(check int) "degrade strategy ran exactly once" 1 !degraded;
+  (* restart leaves the streamer at its initial condition, not NaN *)
+  match Hybrid.Engine.solver_of engine "sick" with
+  | Some s ->
+    Alcotest.(check bool) "state finite after restart" true
+      (Float.is_finite (Hybrid.Solver.state s).(0))
+  | None -> Alcotest.fail "sick solver missing"
+
+let test_supervisor_freeze_on_divergence () =
+  let degraded = ref 0 in
+  let engine = sick_engine Fault.Supervisor.Freeze_last degraded in
+  Hybrid.Engine.run_until engine 2.0;
+  Alcotest.(check bool) "frozen, not restarted" true
+    (Hybrid.Engine.supervisor_restarts engine = 0
+     && Hybrid.Engine.solver_faults engine = 1);
+  Alcotest.(check (list string)) "role degraded" [ "sick" ]
+    (Hybrid.Engine.degraded_roles engine);
+  (* outputs hold the last healthy write — never a NaN *)
+  (match Hybrid.Engine.read_dport engine ~role:"sick" ~dport:"x" with
+   | Some v -> Alcotest.(check bool) "dport holds a finite value" true
+                 (Float.is_finite v)
+   | None -> Alcotest.fail "x dport readable");
+  Alcotest.(check bool) "ticks keep counting while frozen" true
+    (Hybrid.Engine.ticks_of engine "sick" > 10)
+
+let test_supervisor_escalate_raises () =
+  let degraded = ref 0 in
+  let engine = sick_engine Fault.Supervisor.Escalate degraded in
+  Alcotest.check_raises "escalation surfaces the divergence"
+    (Hybrid.Engine.Diverged "sick")
+    (fun () -> Hybrid.Engine.run_until engine 2.0);
+  Alcotest.(check int) "escalate never degrades" 0 !degraded
+
+let test_supervisor_catches_adaptive_blowup () =
+  (* With an adaptive method the NaN rhs surfaces as an Ode.Adaptive
+     exception out of the sync — the supervisor must catch that path
+     too, not just the finite-state probe. *)
+  let degraded = ref 0 in
+  let control = { Ode.Adaptive.default_control with max_steps = 500 } in
+  let engine =
+    sick_engine
+      ~method_:(Ode.Integrator.Adaptive (Ode.Adaptive.Dormand_prince, control))
+      Fault.Supervisor.Freeze_last degraded
+  in
+  Hybrid.Engine.run_until engine 2.0;
+  Alcotest.(check bool) "adaptive fault caught" true
+    (Hybrid.Engine.solver_faults engine >= 1);
+  Alcotest.(check (list string)) "role degraded" [ "sick" ]
+    (Hybrid.Engine.degraded_roles engine)
+
+let test_fault_spec_installs_supervision () =
+  let degraded = ref 0 in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"sick"
+    (sick_streamer ~t0:0.45 degraded);
+  ignore
+    (Hybrid.Engine.apply_fault_spec engine (spec_of "seed 1\nsupervise restart\n"));
+  Hybrid.Engine.run_until engine 2.0;
+  Alcotest.(check bool) "spec directive armed the supervisor" true
+    (Hybrid.Engine.supervisor_restarts engine >= 1)
+
+(* ---- capsule supervision (UML-RT runtime) ---- *)
+
+let event = Statechart.Event.make
+
+(* A capsule whose handler raises on "boom" and counts everything else. *)
+let bomb_capsule started handled =
+  Umlrt.Capsule.create "bomb"
+    ~behavior:(fun _services ->
+        incr started;
+        { Umlrt.Capsule.on_start = (fun () -> ());
+          on_event =
+            (fun ~port:_ e ->
+               match Statechart.Event.signal e with
+               | "boom" -> failwith "kaboom"
+               | _ -> incr handled; true);
+          configuration = (fun () -> []) })
+
+let bomb_runtime () =
+  let started = ref 0 and handled = ref 0 in
+  let des = Des.Engine.create () in
+  let rt = Umlrt.Runtime.create des (bomb_capsule started handled) in
+  (des, rt, started, handled)
+
+let poke rt signal =
+  ignore (Umlrt.Runtime.deliver_to rt ~path:"bomb" ~port:"p" (event signal))
+
+let test_capsule_restart_policy () =
+  let des, rt, started, handled = bomb_runtime () in
+  Umlrt.Runtime.set_supervisor rt Fault.Supervisor.Restart;
+  poke rt "ping"; poke rt "boom"; poke rt "ping";
+  ignore (Des.Engine.run_until des 1.0);
+  Alcotest.(check int) "messages around the fault handled" 2 !handled;
+  Alcotest.(check int) "behaviour rebuilt once" 2 !started;
+  Alcotest.(check int) "restart counted" 1 (Umlrt.Runtime.capsule_restarts rt);
+  Alcotest.(check bool) "not quarantined" false
+    (Umlrt.Runtime.is_quarantined rt ~path:"bomb")
+
+let test_capsule_freeze_policy () =
+  let des, rt, _, handled = bomb_runtime () in
+  Umlrt.Runtime.set_supervisor rt Fault.Supervisor.Freeze_last;
+  poke rt "boom"; poke rt "ping"; poke rt "ping";
+  ignore (Des.Engine.run_until des 1.0);
+  Alcotest.(check int) "quarantined capsule hears nothing" 0 !handled;
+  Alcotest.(check (list string)) "quarantine listed" [ "bomb" ]
+    (Umlrt.Runtime.quarantined_paths rt);
+  Alcotest.(check int) "no restarts under freeze" 0
+    (Umlrt.Runtime.capsule_restarts rt)
+
+let test_capsule_max_restarts_quarantines () =
+  let des, rt, _, handled = bomb_runtime () in
+  Umlrt.Runtime.set_supervisor rt ~max_restarts:1 Fault.Supervisor.Restart;
+  poke rt "boom"; poke rt "boom"; poke rt "ping";
+  ignore (Des.Engine.run_until des 1.0);
+  Alcotest.(check int) "restart budget respected" 1
+    (Umlrt.Runtime.capsule_restarts rt);
+  Alcotest.(check bool) "exhausted budget quarantines" true
+    (Umlrt.Runtime.is_quarantined rt ~path:"bomb");
+  Alcotest.(check int) "nothing delivered after quarantine" 0 !handled
+
+let test_capsule_escalate_reraises () =
+  let des, rt, _, _ = bomb_runtime () in
+  Umlrt.Runtime.set_supervisor rt Fault.Supervisor.Escalate;
+  poke rt "boom";
+  Alcotest.check_raises "behaviour exception escapes" (Failure "kaboom")
+    (fun () -> ignore (Des.Engine.run_until des 1.0))
+
+let test_watchdog_restarts_silent_capsule () =
+  let des, rt, started, _ = bomb_runtime () in
+  Umlrt.Runtime.watch_capsule rt ~path:"bomb" ~timeout:1.0;
+  ignore (Des.Engine.run_until des 3.5);
+  Alcotest.(check int) "three missed deadlines" 3
+    (Umlrt.Runtime.watchdog_expirations rt ~path:"bomb");
+  Alcotest.(check int) "restart per expiry (default policy)" 3
+    (Umlrt.Runtime.capsule_restarts rt);
+  Alcotest.(check int) "factory re-ran" 4 !started
+
+let test_watchdog_petted_by_traffic () =
+  let des, rt, _, handled = bomb_runtime () in
+  Umlrt.Runtime.watch_capsule rt ~path:"bomb" ~timeout:1.0;
+  ignore
+    (Des.Timer.periodic des ~period:0.4 (fun _ -> poke rt "ping"));
+  ignore (Des.Engine.run_until des 3.0);
+  Alcotest.(check int) "no deadline missed" 0
+    (Umlrt.Runtime.watchdog_expirations rt ~path:"bomb");
+  Alcotest.(check int) "no restarts" 0 (Umlrt.Runtime.capsule_restarts rt);
+  Alcotest.(check bool) "traffic flowed" true (!handled >= 6)
+
+let test_watchdog_escalates () =
+  let des, rt, _, _ = bomb_runtime () in
+  Umlrt.Runtime.set_supervisor rt Fault.Supervisor.Escalate;
+  Umlrt.Runtime.watch_capsule rt ~path:"bomb" ~timeout:0.5;
+  Alcotest.check_raises "missed deadline escalates"
+    (Umlrt.Runtime.Watchdog_expired "bomb")
+    (fun () -> ignore (Des.Engine.run_until des 2.0))
+
+let suite =
+  [ Alcotest.test_case "spec: parse + round-trip" `Quick
+      test_spec_parse_and_round_trip;
+    Alcotest.test_case "spec: malformed rejected with line numbers" `Quick
+      test_spec_rejects_malformed;
+    Alcotest.test_case "spec: target matching + windows" `Quick
+      test_spec_target_matching;
+    Alcotest.test_case "injector: deterministic replay" `Quick
+      test_injector_deterministic_replay;
+    Alcotest.test_case "injector: first match wins, windows bound" `Quick
+      test_injector_first_match_and_window;
+    Alcotest.test_case "injector: signal fates" `Quick
+      test_injector_signal_fates;
+    Alcotest.test_case "injector: flow faults" `Quick test_injector_flow_faults;
+    Alcotest.test_case "engine: empty layer is bit-identical" `Quick
+      test_empty_layer_bit_identical;
+    Alcotest.test_case "engine: same seed replays the chaos" `Quick
+      test_same_seed_same_run;
+    Alcotest.test_case "engine: drop-all severs the control loop" `Quick
+      test_drop_all_disables_control;
+    Alcotest.test_case "engine: nan flow poisons only the wire" `Quick
+      test_nan_flow_poisons_dport;
+    Alcotest.test_case "engine: freeze flow holds last value" `Quick
+      test_freeze_flow_holds_last_value;
+    Alcotest.test_case "engine: stalled solver halts state" `Quick
+      test_stall_solver_halts_state;
+    Alcotest.test_case "supervisor: restart on divergence" `Quick
+      test_supervisor_restart_on_divergence;
+    Alcotest.test_case "supervisor: freeze-last on divergence" `Quick
+      test_supervisor_freeze_on_divergence;
+    Alcotest.test_case "supervisor: escalate raises Diverged" `Quick
+      test_supervisor_escalate_raises;
+    Alcotest.test_case "supervisor: adaptive blowup caught" `Quick
+      test_supervisor_catches_adaptive_blowup;
+    Alcotest.test_case "supervisor: spec directive arms it" `Quick
+      test_fault_spec_installs_supervision;
+    Alcotest.test_case "umlrt: restart policy" `Quick test_capsule_restart_policy;
+    Alcotest.test_case "umlrt: freeze quarantines" `Quick
+      test_capsule_freeze_policy;
+    Alcotest.test_case "umlrt: max_restarts budget" `Quick
+      test_capsule_max_restarts_quarantines;
+    Alcotest.test_case "umlrt: escalate re-raises" `Quick
+      test_capsule_escalate_reraises;
+    Alcotest.test_case "umlrt: watchdog restarts silent capsule" `Quick
+      test_watchdog_restarts_silent_capsule;
+    Alcotest.test_case "umlrt: watchdog petted by traffic" `Quick
+      test_watchdog_petted_by_traffic;
+    Alcotest.test_case "umlrt: watchdog escalates" `Quick test_watchdog_escalates ]

@@ -365,3 +365,57 @@ let inplace_suite =
     Alcotest.test_case "advance_into decay" `Quick test_advance_into_decay ]
 
 let suite = suite @ inplace_suite
+
+(* ---- fault-sweep regressions: adaptive control validation ---- *)
+
+let test_adaptive_control_validated () =
+  let d = Ode.Adaptive.default_control in
+  let bad ?(msg = "") c =
+    match Ode.Adaptive.validate_control c with
+    | () -> Alcotest.failf "accepted invalid control %s" msg
+    | exception Invalid_argument m ->
+      Alcotest.(check bool) (msg ^ " message is specific") true
+        (String.length m > String.length "Ode.Adaptive: invalid control: ")
+  in
+  bad ~msg:"dt_min > dt_max" { d with dt_min = 1.; dt_max = 0.5 };
+  bad ~msg:"safety <= 0" { d with safety = 0. };
+  bad ~msg:"NaN safety" { d with safety = Float.nan };
+  bad ~msg:"NaN rtol" { d with rtol = Float.nan };
+  bad ~msg:"both tolerances zero" { d with rtol = 0.; atol = 0. };
+  bad ~msg:"NaN dt_min" { d with dt_min = Float.nan };
+  bad ~msg:"max_steps <= 0" { d with max_steps = 0 };
+  Ode.Adaptive.validate_control d (* the default must pass *)
+
+let test_integrator_rejects_bad_control () =
+  let sys = Ode.System.create ~dim:1 (fun _ y -> [| -.y.(0) |]) in
+  let bad = { Ode.Adaptive.default_control with dt_min = 1.; dt_max = 0.5 } in
+  Alcotest.(check bool) "Integrator.create validates adaptive control" true
+    (try
+       ignore
+         (Ode.Integrator.create
+            ~method_:(Ode.Integrator.Adaptive (Ode.Adaptive.Dormand_prince, bad))
+            sys ~t0:0. [| 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_integrator_reset () =
+  let sys = Ode.System.create ~dim:1 (fun _ y -> [| -.y.(0) |]) in
+  let integ = Ode.Integrator.create sys ~t0:0. [| 1. |] in
+  Ode.Integrator.advance_to integ 1.;
+  Ode.Integrator.reset integ ~t0:5. [| 2. |];
+  Alcotest.(check (float 0.)) "clock reset" 5. (Ode.Integrator.time integ);
+  Alcotest.(check (float 0.)) "state reset" 2. (Ode.Integrator.state integ).(0);
+  (* the integrator keeps working from the new origin *)
+  Ode.Integrator.advance_to integ 6.;
+  Alcotest.(check bool) "advances from the reset point" true
+    (Float.abs ((Ode.Integrator.state integ).(0) -. (2. *. exp (-1.))) < 1e-6)
+
+let validation_suite =
+  [ Alcotest.test_case "adaptive: control record validated" `Quick
+      test_adaptive_control_validated;
+    Alcotest.test_case "integrator: bad adaptive control rejected" `Quick
+      test_integrator_rejects_bad_control;
+    Alcotest.test_case "integrator: reset rebases time and state" `Quick
+      test_integrator_reset ]
+
+let suite = suite @ validation_suite

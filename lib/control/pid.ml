@@ -16,8 +16,14 @@ type t = {
 
 let create ?(output_min = neg_infinity) ?(output_max = infinity)
     ?(derivative_filter = 0.) g =
+  (* NaN bounds defeat both the range check below (NaN comparisons are
+     all false) and the output clamp in [update], so reject them here. *)
+  if Float.is_nan output_min || Float.is_nan output_max then
+    invalid_arg "Control.Pid.create: NaN output bound";
   if output_min > output_max then
     invalid_arg "Control.Pid.create: output_min > output_max";
+  if Float.is_nan derivative_filter then
+    invalid_arg "Control.Pid.create: NaN derivative filter constant";
   if derivative_filter < 0. then
     invalid_arg "Control.Pid.create: negative derivative filter constant";
   { g; output_min; output_max; derivative_filter;

@@ -14,8 +14,9 @@ val create :
   -> ?derivative_filter:float
      (** time constant of the derivative low-pass, 0 = unfiltered *)
   -> gains -> t
-(** Raises [Invalid_argument] when [output_min > output_max] or the
-    filter constant is negative. *)
+(** Raises [Invalid_argument] when [output_min > output_max], when either
+    bound or the filter constant is NaN, or when the filter constant is
+    negative. *)
 
 val gains : t -> gains
 val set_gains : t -> gains -> unit

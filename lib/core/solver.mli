@@ -65,6 +65,15 @@ val state_view : t -> float array
 
 val set_state : t -> float array -> unit
 
+val reset : t -> t0:float -> float array -> unit
+(** Reset both the solver clock and state ({!Ode.Integrator.reset}) — the
+    supervisor's restart primitive after divergence or step underflow. *)
+
+val state_finite : t -> bool
+(** Every component of the live state is finite (no NaN/inf). Runs over
+    {!state_view} without allocating — supervision probes it at step
+    boundaries. *)
+
 val get_param : t -> string -> float
 (** Raises [Failure] for unknown parameters. *)
 

@@ -41,6 +41,15 @@ let set_param_from_payload name control event =
 
 let set_param_const name v control _event = control.set_param name v
 
+(* Graceful degradation: the engine's supervisor dispatches this signal
+   through the ordinary [handle] path when a solver fault is detected, so
+   a degraded mode (e.g. an LQR strategy falling back to bang-bang) is
+   just another registered handler — modeled in the formalism, per the
+   paper's strategy stereotype, not bolted on. *)
+let degrade_signal = "__degrade"
+
+let on_degrade t handler = on t ~signal:degrade_signal handler
+
 let reset_state y control _event = control.set_state y
 
 let reply ~sport ~make control event = control.emit ~sport (make control event)

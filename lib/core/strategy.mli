@@ -38,6 +38,17 @@ val handle : t -> control -> Statechart.Event.t -> bool
 (** Run every handler registered for the event's signal; [false] when
     none is registered (the signal is dropped, mirroring UML-RT). *)
 
+val degrade_signal : string
+(** The signal the engine's supervisor dispatches (through the ordinary
+    {!handle} path) when a solver fault degrades this streamer — unless
+    the fault spec names a different one. *)
+
+val on_degrade : t -> handler -> unit
+(** [on_degrade t h] is [on t ~signal:degrade_signal h]: register the
+    degraded-mode fallback (e.g. switch an optimal controller to
+    bang-bang). Degradation is thereby modeled as strategy switching in
+    the formalism itself. *)
+
 (** {2 Canned handlers} *)
 
 val set_param_from_payload : string -> handler

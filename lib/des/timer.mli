@@ -6,20 +6,25 @@
 
 type t
 
-val one_shot : Engine.t -> delay:float -> (unit -> unit) -> t
-(** Fire once after [delay]. *)
+val one_shot : Engine.t -> ?name:string -> delay:float -> (unit -> unit) -> t
+(** Fire once after [delay]. Negative or NaN delays raise
+    [Invalid_argument]; [name] labels the timer in error messages. *)
 
-val periodic : Engine.t -> ?phase:float -> period:float -> (int -> unit) -> t
+val periodic :
+  Engine.t -> ?name:string -> ?phase:float -> period:float -> (int -> unit)
+  -> t
 (** Fire forever every [period] (first firing after [phase], default one
     full period), passing the 0-based tick index. Raises
-    [Invalid_argument] when [period <= 0]. *)
+    [Invalid_argument] when [period <= 0], or when [period] or [phase]
+    is NaN; [name] labels the timer in error messages. *)
 
 val periodic_jittered :
-  Engine.t -> ?phase:float -> period:float -> jitter:(int -> float)
-  -> (int -> unit) -> t
+  Engine.t -> ?name:string -> ?phase:float -> period:float
+  -> jitter:(int -> float) -> (int -> unit) -> t
 (** Periodic timer whose k-th firing is displaced by [jitter k] (clamped
     so time never goes backwards) — models release jitter of an RTOS
-    periodic task. *)
+    periodic task. A NaN jitter raises [Invalid_argument] naming the
+    timer and the release index instead of corrupting the schedule. *)
 
 val cancel : t -> unit
 (** Stop the timer; idempotent. Pending firings are dropped. *)

@@ -1,0 +1,53 @@
+(** Deterministic fault injection.
+
+    An injector turns a {!Spec.t} into queryable runtime hooks. All
+    randomness comes from one private xorshift stream seeded by the
+    spec's seed — independent of the engine's own RNGs — so the same
+    spec replays the same fault schedule against the same model, and
+    attaching a fault layer never perturbs the run's existing random
+    draws.
+
+    Hot-path contract: the [has_*_rules] flags are precomputed, so an
+    engine holding an injector with no rules of a kind pays one load and
+    branch per query site — an attached-but-empty spec leaves the
+    simulation bit-identical and allocation-free. *)
+
+type t
+
+val create : Spec.t -> t
+val spec : t -> Spec.t
+
+val has_signal_rules : t -> bool
+val has_flow_rules : t -> bool
+val has_solver_rules : t -> bool
+
+type signal_fate =
+  | Pass
+  | Lose                (** drop the signal *)
+  | Postpone of float   (** deliver after an extra delay *)
+  | Duplicate           (** deliver twice *)
+  | Hold of float       (** hold to swap with the next signal; flush after
+                            the given time if none arrives *)
+
+val signal_fate : t -> role:string -> sport:string -> now:float -> signal_fate
+(** Fate of one signal crossing the capsule/streamer border. Rules match
+    the role or the qualified [role.sport] name; the first match decides
+    and consumes at most one random draw. *)
+
+val flow_frozen : t -> target:string -> now:float -> bool
+(** Whether a [freeze] rule holds this [role.dport] flow right now. *)
+
+val flow_value : t -> target:string -> now:float -> float -> float
+(** Value actually written to the flow: corrupted ([scale * v + bias]),
+    NaN-poisoned, or unchanged. Allocation-free. *)
+
+val solver_stalled : t -> target:string -> now:float -> bool
+(** Whether a [stall] rule suspends this streamer's solver right now. *)
+
+val injected : t -> int
+(** Total faults injected (also mirrored in the process-wide
+    ["fault.injected"] metrics counter). *)
+
+val injected_counts : t -> (string * int) list
+(** Per-action injection counts (["drop"], ["delay"], ...), only
+    non-zero entries, sorted by action name. *)

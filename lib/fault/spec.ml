@@ -1,0 +1,252 @@
+type window = { from_ : float; until : float }
+
+type action =
+  | Drop of float
+  | Delay of float * float
+  | Duplicate of float
+  | Reorder of float * float
+  | Corrupt of float * float * float
+  | Nan_poison of float
+  | Freeze
+  | Stall
+
+type kind = Signal | Flow | Solver
+
+let kind_of_action = function
+  | Drop _ | Delay _ | Duplicate _ | Reorder _ -> Signal
+  | Corrupt _ | Nan_poison _ | Freeze -> Flow
+  | Stall -> Solver
+
+type rule = {
+  kind : kind;
+  target : string;
+  window : window;
+  action : action;
+}
+
+type policy = Restart | Freeze_last | Escalate
+
+let policy_name = function
+  | Restart -> "restart"
+  | Freeze_last -> "freeze"
+  | Escalate -> "escalate"
+
+let policy_of_string = function
+  | "restart" -> Some Restart
+  | "freeze" -> Some Freeze_last
+  | "escalate" -> Some Escalate
+  | _ -> None
+
+type t = {
+  seed : int;
+  rules : rule list;
+  policy : policy option;
+  degrade_signal : string option;
+}
+
+let empty = { seed = 0; rules = []; policy = None; degrade_signal = None }
+
+let in_window w now = now >= w.from_ && now < w.until
+
+(* Exact match, trailing-[*] prefix match, or the universal ["*"] — written
+   without String.sub so matching on the per-tick flow path allocates
+   nothing. *)
+let matches ~pattern name =
+  String.equal pattern "*"
+  ||
+  let lp = String.length pattern in
+  if lp > 0 && pattern.[lp - 1] = '*' then begin
+    let prefix_len = lp - 1 in
+    prefix_len <= String.length name
+    &&
+    let rec eq i = i >= prefix_len || (pattern.[i] = name.[i] && eq (i + 1)) in
+    eq 0
+  end
+  else String.equal pattern name
+
+(* ---- parser ---- *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let key_value tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | None -> None
+
+exception Parse_error of string
+
+type parsed_opts = {
+  mutable p : float option;
+  mutable by : float option;
+  mutable within : float option;
+  mutable scale : float option;
+  mutable bias : float option;
+  mutable from : float option;
+  mutable until : float option;
+}
+
+let parse_rule_line ~line verb tail =
+  let err msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg)) in
+  let kind_tok, target, opts_toks =
+    match tail with
+    | kind :: target :: rest -> (kind, target, rest)
+    | _ -> err "expected: <action> signal|flow|solver <target> [key=value ...]"
+  in
+  let kind =
+    match kind_tok with
+    | "signal" -> Signal
+    | "flow" -> Flow
+    | "solver" -> Solver
+    | other -> err (Printf.sprintf "unknown fault kind %S" other)
+  in
+  let opts =
+    { p = None; by = None; within = None; scale = None; bias = None;
+      from = None; until = None }
+  in
+  List.iter
+    (fun tok ->
+       match key_value tok with
+       | None -> err (Printf.sprintf "expected key=value, got %S" tok)
+       | Some (key, value) ->
+         let f =
+           match float_of_string_opt value with
+           | Some f when not (Float.is_nan f) -> f
+           | Some _ -> err (Printf.sprintf "NaN value for %s" key)
+           | None -> err (Printf.sprintf "bad number %S for %s" value key)
+         in
+         (match key with
+          | "p" -> opts.p <- Some f
+          | "by" -> opts.by <- Some f
+          | "within" -> opts.within <- Some f
+          | "scale" -> opts.scale <- Some f
+          | "bias" -> opts.bias <- Some f
+          | "from" -> opts.from <- Some f
+          | "until" -> opts.until <- Some f
+          | other -> err (Printf.sprintf "unknown option %S" other)))
+    opts_toks;
+  let p =
+    let v = match opts.p with Some p -> p | None -> 1. in
+    if v < 0. || v > 1. then err (Printf.sprintf "p=%g outside [0, 1]" v);
+    v
+  in
+  let window =
+    let from_ = match opts.from with Some f -> f | None -> 0. in
+    let until = match opts.until with Some u -> u | None -> infinity in
+    if from_ < 0. then err "from must be >= 0";
+    if until <= from_ then err "until must be > from";
+    { from_; until }
+  in
+  let positive key = function
+    | Some v when v <= 0. -> err (Printf.sprintf "%s must be positive" key)
+    | Some v -> v
+    | None -> err (Printf.sprintf "missing %s=" key)
+  in
+  let action =
+    match verb with
+    | "drop" -> Drop p
+    | "delay" -> Delay (p, positive "by" opts.by)
+    | "duplicate" -> Duplicate p
+    | "reorder" ->
+      let within = match opts.within with Some w -> w | None -> 0.1 in
+      if within <= 0. then err "within must be positive";
+      Reorder (p, within)
+    | "corrupt" ->
+      let scale = match opts.scale with Some s -> s | None -> 1. in
+      let bias = match opts.bias with Some b -> b | None -> 0. in
+      if scale = 1. && bias = 0. then err "corrupt needs scale= or bias=";
+      Corrupt (p, scale, bias)
+    | "nan" -> Nan_poison p
+    | "freeze" -> Freeze
+    | "stall" -> Stall
+    | other -> err (Printf.sprintf "unknown action %S" other)
+  in
+  if kind_of_action action <> kind then
+    err
+      (Printf.sprintf "action %S applies to %s targets, not %s" verb
+         (match kind_of_action action with
+          | Signal -> "signal" | Flow -> "flow" | Solver -> "solver")
+         kind_tok);
+  { kind; target; window; action }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let spec = ref empty in
+  let rules = ref [] in
+  try
+    List.iteri
+      (fun i line ->
+         let err msg =
+           raise (Parse_error (Printf.sprintf "line %d: %s" (i + 1) msg))
+         in
+         match tokens (strip_comment line) with
+         | [] -> ()
+         | [ "seed"; n ] ->
+           (match int_of_string_opt n with
+            | Some s -> spec := { !spec with seed = s }
+            | None -> err (Printf.sprintf "bad seed %S" n))
+         | [ "supervise"; p ] ->
+           (match policy_of_string p with
+            | Some policy -> spec := { !spec with policy = Some policy }
+            | None ->
+              err (Printf.sprintf "unknown policy %S (restart|freeze|escalate)" p))
+         | [ "degrade-signal"; s ] ->
+           spec := { !spec with degrade_signal = Some s }
+         | verb :: tail ->
+           rules := parse_rule_line ~line:(i + 1) verb tail :: !rules)
+      lines;
+    Ok { !spec with rules = List.rev !rules }
+  with Parse_error msg -> Error msg
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let string_of_window w =
+  let b = Buffer.create 16 in
+  if w.from_ <> 0. then Buffer.add_string b (Printf.sprintf " from=%g" w.from_);
+  if w.until <> infinity then
+    Buffer.add_string b (Printf.sprintf " until=%g" w.until);
+  Buffer.contents b
+
+let string_of_rule r =
+  let kind =
+    match r.kind with Signal -> "signal" | Flow -> "flow" | Solver -> "solver"
+  in
+  let head =
+    match r.action with
+    | Drop p -> Printf.sprintf "drop %s %s p=%g" kind r.target p
+    | Delay (p, by) -> Printf.sprintf "delay %s %s by=%g p=%g" kind r.target by p
+    | Duplicate p -> Printf.sprintf "duplicate %s %s p=%g" kind r.target p
+    | Reorder (p, within) ->
+      Printf.sprintf "reorder %s %s within=%g p=%g" kind r.target within p
+    | Corrupt (p, scale, bias) ->
+      Printf.sprintf "corrupt %s %s scale=%g bias=%g p=%g" kind r.target scale
+        bias p
+    | Nan_poison p -> Printf.sprintf "nan %s %s p=%g" kind r.target p
+    | Freeze -> Printf.sprintf "freeze %s %s" kind r.target
+    | Stall -> Printf.sprintf "stall %s %s" kind r.target
+  in
+  head ^ string_of_window r.window
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "seed %d\n" t.seed);
+  (match t.policy with
+   | Some p -> Buffer.add_string b (Printf.sprintf "supervise %s\n" (policy_name p))
+   | None -> ());
+  (match t.degrade_signal with
+   | Some s -> Buffer.add_string b (Printf.sprintf "degrade-signal %s\n" s)
+   | None -> ());
+  List.iter (fun r -> Buffer.add_string b (string_of_rule r); Buffer.add_char b '\n')
+    t.rules;
+  Buffer.contents b

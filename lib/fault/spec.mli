@@ -1,0 +1,83 @@
+(** Declarative fault specifications.
+
+    A spec is a seed, a list of fault rules, and optional supervision
+    directives, written in a small line-oriented text format so scenarios
+    can live in version-controlled [.fault] files and be replayed
+    bit-for-bit from the seed:
+
+    {v
+    # chaos for the thermostat demo
+    seed 42
+    supervise restart
+    degrade-signal fallback
+
+    drop signal room p=0.3
+    delay signal room.ctl by=0.5 p=1 from=10 until=20
+    duplicate signal room p=0.25
+    reorder signal room within=0.1 p=0.5
+    corrupt flow room.temp scale=1.05 bias=-0.2 p=0.2
+    nan flow room.temp from=30 until=31
+    freeze flow room.temp from=40
+    stall solver room from=5 until=7
+    v}
+
+    Targets match a qualified name ([role] for signals and solvers,
+    [role.port] for flows and sports): exactly, by trailing-[*] prefix,
+    or everything with ["*"]. Windows default to \[0, infinity). The
+    first rule matching a given target decides the outcome. *)
+
+type window = { from_ : float; until : float }
+
+type action =
+  | Drop of float                     (** signal: lose with probability p *)
+  | Delay of float * float            (** signal: probability, extra delay *)
+  | Duplicate of float                (** signal: deliver twice, probability *)
+  | Reorder of float * float          (** signal: probability, hold window —
+                                          swap with the next signal, flush
+                                          after the hold expires *)
+  | Corrupt of float * float * float  (** flow: probability, scale, bias *)
+  | Nan_poison of float               (** flow: write NaN, probability *)
+  | Freeze                            (** flow: hold last value in window *)
+  | Stall                             (** solver: no advance inside window *)
+
+type kind = Signal | Flow | Solver
+
+val kind_of_action : action -> kind
+
+type rule = {
+  kind : kind;
+  target : string;
+  window : window;
+  action : action;
+}
+
+type policy =
+  | Restart       (** reset the faulty component to its initial config *)
+  | Freeze_last   (** stop it, holding its last outputs *)
+  | Escalate      (** re-raise: fail the run *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type t = {
+  seed : int;
+  rules : rule list;
+  policy : policy option;          (** [supervise] directive *)
+  degrade_signal : string option;  (** [degrade-signal] directive *)
+}
+
+val empty : t
+(** Seed 0, no rules, no supervision — attaching it must be free. *)
+
+val of_string : string -> (t, string) result
+(** Parse the text format; errors carry the 1-based line number. *)
+
+val of_file : string -> (t, string) result
+
+val to_string : t -> string
+(** Canonical text form; [of_string (to_string s)] round-trips. *)
+
+val matches : pattern:string -> string -> bool
+(** Allocation-free target match: exact, trailing-[*] prefix, or ["*"]. *)
+
+val in_window : window -> float -> bool

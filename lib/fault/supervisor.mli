@@ -1,0 +1,42 @@
+(** Supervision policies and watchdog timers.
+
+    The policy type is shared by both halves of the unified model: the
+    hybrid engine applies it to solver faults (divergence, step
+    underflow), the UML-RT runtime to capsule behavior faults and missed
+    watchdog deadlines. Restart counts aggregate into the process-wide
+    ["supervisor.restarts"] counter and degraded wall-clock into the
+    ["degraded.time"] gauge, whichever layer they come from. *)
+
+type policy = Spec.policy =
+  | Restart
+  | Freeze_last
+  | Escalate
+
+val note_restart : unit -> unit
+(** Bump the shared ["supervisor.restarts"] counter. *)
+
+val restarts_total : unit -> int
+
+val set_degraded_time : float -> unit
+(** Publish accumulated degraded time to the ["degraded.time"] gauge. *)
+
+type watchdog
+(** A deadline monitor on the DES clock: re-armed one-shot that calls
+    [on_timeout] whenever [timeout] elapses without a {!pet}, then
+    re-arms itself (a dead component keeps getting supervision
+    attempts). *)
+
+val watchdog :
+  Des.Engine.t -> ?name:string -> timeout:float -> (unit -> unit) -> watchdog
+(** Raises [Invalid_argument] unless [timeout] is positive and finite. *)
+
+val pet : watchdog -> unit
+(** Push the deadline back one full [timeout] from now. *)
+
+val stop : watchdog -> unit
+(** Disarm permanently; idempotent. *)
+
+val expirations : watchdog -> int
+(** Number of times the deadline was missed. *)
+
+val is_active : watchdog -> bool

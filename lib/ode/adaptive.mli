@@ -22,6 +22,13 @@ type control = {
 
 val default_control : control
 
+val validate_control : control -> unit
+(** Raises [Invalid_argument] on NaN or non-positive tolerances/steps,
+    [dt_min > dt_max], [safety <= 0.], both tolerances zero, or
+    [max_steps <= 0]. Called by [integrate]/[trajectory] and by
+    [Integrator.create] for adaptive methods, so a bad control fails at
+    construction instead of silently stalling mid-run. *)
+
 type stats = {
   accepted : int;
   rejected : int;

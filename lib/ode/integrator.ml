@@ -21,6 +21,9 @@ type t = {
 let create ?(method_ = Fixed (Fixed.Rk4, 1e-3)) sys ~t0 y0 =
   if Array.length y0 <> System.dim sys then
     invalid_arg "Ode.Integrator.create: state dimension mismatch";
+  (match method_ with
+   | Adaptive (_, control) -> Adaptive.validate_control control
+   | Fixed _ | Implicit _ -> ());
   { sys; method_; now = t0; y = Linalg.copy y0; steps = 0;
     ws = Fixed.workspace ~dim:(System.dim sys) }
 
@@ -31,6 +34,16 @@ let state_view t = t.y
 let set_state t y =
   if Array.length y <> System.dim t.sys then
     invalid_arg "Ode.Integrator.set_state: state dimension mismatch";
+  t.y <- Linalg.copy y
+
+(* Supervision primitive: after a solver fault (divergence, step
+   underflow) the integrator may be stranded mid-interval; a restart must
+   move the clock as well as the state or the next advance replays the
+   same doomed interval forever. *)
+let reset t ~t0 y =
+  if Array.length y <> System.dim t.sys then
+    invalid_arg "Ode.Integrator.reset: state dimension mismatch";
+  t.now <- t0;
   t.y <- Linalg.copy y
 
 let system t = t.sys

@@ -9,6 +9,10 @@
 exception Invalid_model of string list
 (** Raised by {!create} when {!Capsule.validate} reports errors. *)
 
+exception Watchdog_expired of string
+(** Raised (with the capsule path) when a watched capsule misses its
+    deadline under the [Escalate] supervision policy. *)
+
 type t
 
 val create : Des.Engine.t -> ?latency:float -> ?defer_start:bool -> Capsule.t -> t
@@ -73,3 +77,48 @@ type target =
 val resolve : t -> path:string -> port:string -> target
 (** Follow connectors (through relays) from the given port to its
     final destination — exposed for tests and the model checker. *)
+
+(** {2 Supervision}
+
+    Without a supervisor the runtime behaves exactly as before this
+    layer existed: behaviour exceptions propagate out of the DES run and
+    no per-delivery checks beyond two [None] matches are added. *)
+
+val set_supervisor :
+  t -> ?max_restarts:int -> Fault.Supervisor.policy -> unit
+(** Install capsule supervision. An exception escaping a behaviour's
+    event handler is then caught and handled per policy: [Restart]
+    rebuilds the behaviour from its capsule factory (fresh state,
+    [on_start] re-run) and counts it; [Freeze_last] quarantines the
+    instance (subsequent deliveries are dropped); [Escalate] re-raises.
+    After [max_restarts] restarts of one instance, further [Restart]
+    faults quarantine it instead. *)
+
+val supervisor : t -> Fault.Supervisor.policy option
+
+val restart_capsule : t -> path:string -> bool
+(** Force a restart of the instance at [path]; [false] when its capsule
+    has no behaviour factory. Raises [Invalid_argument] for unknown
+    paths. *)
+
+val watch_capsule : t -> path:string -> timeout:float -> unit
+(** Arm a watchdog on the instance: every received message pets it, and
+    [timeout] sim-seconds of silence trigger the supervision policy
+    (default [Restart] when none is installed). Re-watching replaces the
+    previous watchdog. Raises [Invalid_argument] for unknown paths or a
+    non-positive timeout. *)
+
+val unwatch_capsule : t -> path:string -> unit
+(** Disarm the instance's watchdog, if any. *)
+
+val watchdog_expirations : t -> path:string -> int
+(** Deadline misses recorded by the instance's current watchdog. *)
+
+val capsule_restarts : t -> int
+(** Capsule restarts performed by this runtime (also aggregated into the
+    process-wide ["supervisor.restarts"] counter). *)
+
+val is_quarantined : t -> path:string -> bool
+
+val quarantined_paths : t -> string list
+(** Instances currently quarantined, in instantiation order. *)

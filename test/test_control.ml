@@ -327,3 +327,28 @@ let lqr_suite =
     Alcotest.test_case "lqr: validation" `Quick test_lqr_validation ]
 
 let suite = suite @ lqr_suite
+
+(* ---- fault-sweep regressions: construction-time validation ---- *)
+
+let test_pid_rejects_bad_construction () =
+  let g = { Control.Pid.kp = 1.; ki = 0.; kd = 0. } in
+  Alcotest.check_raises "NaN output_min"
+    (Invalid_argument "Control.Pid.create: NaN output bound")
+    (fun () -> ignore (Control.Pid.create ~output_min:Float.nan g));
+  Alcotest.check_raises "NaN output_max"
+    (Invalid_argument "Control.Pid.create: NaN output bound")
+    (fun () -> ignore (Control.Pid.create ~output_max:Float.nan g));
+  Alcotest.check_raises "inverted range"
+    (Invalid_argument "Control.Pid.create: output_min > output_max")
+    (fun () -> ignore (Control.Pid.create ~output_min:1. ~output_max:(-1.) g));
+  Alcotest.check_raises "NaN derivative filter"
+    (Invalid_argument "Control.Pid.create: NaN derivative filter constant")
+    (fun () -> ignore (Control.Pid.create ~derivative_filter:Float.nan g));
+  (* healthy saturating controller still constructs *)
+  ignore (Control.Pid.create ~output_min:(-1.) ~output_max:1. g)
+
+let validation_suite =
+  [ Alcotest.test_case "pid: NaN/inverted bounds rejected" `Quick
+      test_pid_rejects_bad_construction ]
+
+let suite = suite @ validation_suite
