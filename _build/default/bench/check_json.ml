@@ -63,4 +63,32 @@ let () =
     [ "baseline_ms"; "empty_spec_ms"; "active_ms"; "supervised_ms";
       "empty_over_baseline"; "active_over_baseline";
       "supervised_over_baseline" ];
+  (* causal: flight-recorder overhead numbers and the crash-report shape
+     the post-mortem pipeline promises *)
+  let causal =
+    match Obs.Json.member "causal" json with
+    | Some j -> j
+    | None -> fail "missing section \"causal\""
+  in
+  List.iter
+    (fun field -> require_float field (Obs.Json.member field causal))
+    [ "flight_off_ms"; "flight_on_ms"; "on_over_off" ];
+  let crash =
+    match Obs.Json.member "crash_report" causal with
+    | Some j -> j
+    | None -> fail "missing \"causal\".crash_report"
+  in
+  (match Obs.Json.member "schema" crash with
+   | Some (Obs.Json.Str "umh-crash-report") -> ()
+   | Some _ -> fail "crash_report.schema is not \"umh-crash-report\""
+   | None -> fail "missing crash_report.schema");
+  (match Obs.Json.member "reason" crash with
+   | Some (Obs.Json.Str _) -> ()
+   | _ -> fail "missing crash_report.reason");
+  (match Obs.Json.member "chain_hops" crash with
+   | Some (Obs.Json.Int n) when n > 0 -> ()
+   | _ -> fail "crash_report.chain_hops must be a positive int");
+  (match Obs.Json.member "flight_entries" crash with
+   | Some (Obs.Json.Int n) when n > 0 -> ()
+   | _ -> fail "crash_report.flight_entries must be a positive int");
   Printf.printf "check_json: %s ok (%d e3 points)\n" path (List.length points)

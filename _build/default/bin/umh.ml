@@ -46,7 +46,8 @@ let check_cmd_run path = exit (report_check path (load_checked path))
 
 (* ---- simulate ---- *)
 
-let simulate_run path duration trace_spec csv_out verify show_stats faults_file =
+let simulate_run path duration trace_spec csv_out verify show_stats faults_file
+    crash_dir =
   (* [--trace FILE.json] means a Chrome trace of the whole run;
      [--trace ROLE.DPORT] keeps its original meaning (signal trace). *)
   let chrome_out, trace_spec =
@@ -55,6 +56,11 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file 
     | other -> (None, other)
   in
   if chrome_out <> None then Obs.Tracer.set_enabled true;
+  (match crash_dir with
+   | Some dir ->
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+     Obs.Crash_report.set_dir (Some dir)
+   | None -> ());
   let checked = load_checked path in
   if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
   let { Dsl.Elaborate.engine; streamer_roles; _ } =
@@ -96,7 +102,18 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file 
          exit 2)
     | None -> []
   in
-  Hybrid.Engine.run_until engine duration;
+  (try Hybrid.Engine.run_until engine duration with
+   | e when crash_dir <> None ->
+     (* A fatal escalation with a crash directory armed: the trigger
+        site already wrote the post-mortem. Point at it and exit like
+        any other fatal simulation error. *)
+     Printf.eprintf "%s: fatal: %s\n" path (Printexc.to_string e);
+     (match Obs.Crash_report.last_report () with
+      | Some report ->
+        Printf.eprintf "crash report -> %s (render with `umh report %s`)\n"
+          report report
+      | None -> ());
+     exit 3);
   let stats = Hybrid.Engine.stats engine in
   Printf.printf "simulated %s for %gs: %d streamer ticks, %d signals ->streamers, %d ->capsules, %d dropped\n"
     (Filename.basename path) duration stats.Hybrid.Engine.ticks_total
@@ -181,6 +198,99 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file 
     Printf.printf "  runtime metrics:\n";
     Format.printf "%a@?" Obs.Metrics.pp Obs.Metrics.default
   end
+
+(* ---- report ---- *)
+
+(* Render a crash report (written by `simulate --crash-dir`) for humans:
+   header, the offending causal chain as an indented tree with per-hop
+   latencies, then the flight-recorder window summary. *)
+
+let json_str ?(default = "?") j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> default
+
+let json_int j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Int i) -> i
+  | Some (Obs.Json.Float f) -> int_of_float f
+  | _ -> 0
+
+let json_float j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | _ -> Float.nan
+
+let pp_latency ns =
+  if ns <= 0 then "+0"
+  else if ns < 1_000 then Printf.sprintf "+%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "+%.1fus" (float_of_int ns /. 1e3)
+  else Printf.sprintf "+%.2fms" (float_of_int ns /. 1e6)
+
+let report_run file =
+  let json =
+    match Obs.Json.of_string (read_file file) with
+    | j -> j
+    | exception Obs.Json.Parse_error msg ->
+      Printf.eprintf "%s: not a crash report: %s\n" file msg;
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "umh report: %s\n" msg;
+      exit 2
+  in
+  if json_str json "schema" <> "umh-crash-report" then begin
+    Printf.eprintf "%s: not a crash report (missing schema tag)\n" file;
+    exit 2
+  end;
+  Printf.printf "crash report %s (schema v%d)\n" file (json_int json "version");
+  Printf.printf "  reason: %s\n" (json_str json "reason");
+  (match Obs.Json.member "role" json with
+   | Some (Obs.Json.Str role) -> Printf.printf "  role:   %s\n" role
+   | _ -> ());
+  let cause = json_int json "cause" in
+  let hops =
+    match Obs.Json.member "chain" json with
+    | Some chain -> Obs.Json.to_list
+                      (Option.value ~default:(Obs.Json.List [])
+                         (Obs.Json.member "hops" chain))
+    | None -> []
+  in
+  Printf.printf "  causal chain #%d (%d hops):\n" cause (List.length hops);
+  List.iteri
+    (fun i hop ->
+       let who = json_str ~default:"" hop "who" in
+       let what = json_str ~default:"" hop "what" in
+       let label =
+         String.concat " "
+           (List.filter (fun s -> s <> "") [ json_str hop "kind"; who; what ])
+       in
+       Printf.printf "  %s%s %-42s t=%-10g %s\n"
+         (String.make (2 * i) ' ')
+         (if i = 0 then "*" else "\xe2\x94\x94")  (* └ *)
+         label (json_float hop "sim_time")
+         (pp_latency (json_int hop "latency_ns")))
+    hops;
+  (match Obs.Json.member "flight_recorder" json with
+   | Some fr ->
+     Printf.printf "  flight recorder: %d entries held (%d recorded, %d dropped)\n"
+       (List.length
+          (Obs.Json.to_list
+             (Option.value ~default:(Obs.Json.List [])
+                (Obs.Json.member "entries" fr))))
+       (json_int fr "recorded") (json_int fr "dropped")
+   | None -> ());
+  (match Obs.Json.member "context" json with
+   | Some (Obs.Json.Obj fields) ->
+     Printf.printf "  context:\n";
+     List.iter
+       (fun (k, v) -> Printf.printf "    %-14s %s\n" k (Obs.Json.to_string v))
+       fields
+   | Some _ | None -> ());
+  (match Obs.Json.member "metrics" json with
+   | Some (Obs.Json.Obj fields) ->
+     Printf.printf "  metrics: %d recorded\n" (List.length fields)
+   | Some _ | None -> ())
 
 (* ---- codegen ---- *)
 
@@ -348,9 +458,17 @@ let simulate_cmd =
                  'always[60,200] x >= 18.5 and x <= 21.5'. Exit code 3 on \
                  violation.")
   in
+  let crash_dir =
+    Arg.(value & opt (some string) None & info [ "crash-dir" ] ~docv:"DIR"
+           ~doc:"Arm post-mortem crash reporting: on supervisor escalation, \
+                 watchdog expiry or solver divergence, write a self-contained \
+                 JSON report (flight-recorder window, reconstructed causal \
+                 chain with per-hop latencies, state summaries, metrics) into \
+                 DIR, created if missing. Render with $(b,umh report).")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats
-          $ faults)
+          $ faults $ crash_dir)
 
 let codegen_cmd =
   let doc = "Generate C sources from a model." in
@@ -398,6 +516,18 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const lint_run $ models $ format $ select $ ignore $ werror)
 
+let report_cmd =
+  let doc =
+    "Render a crash report written by $(b,umh simulate --crash-dir): the \
+     fatal reason, the offending causal chain as an indented tree with \
+     per-hop wall-clock latencies, and the flight-recorder window summary."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT.json"
+           ~doc:"The crash-report file.")
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report_run $ file)
+
 let stereotypes_cmd =
   let doc = "Print the paper's Table 1 (stereotype registry)." in
   Cmd.v (Cmd.info "stereotypes" ~doc) Term.(const stereotypes_run $ const ())
@@ -413,8 +543,8 @@ let sched_cmd =
 let main =
   let doc = "unified modeling of complex real-time control systems (DATE 2005)" in
   Cmd.group (Cmd.info "umh" ~version:"1.0.0" ~doc)
-    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; lint_cmd; stereotypes_cmd;
-      sched_cmd ]
+    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; lint_cmd; report_cmd;
+      stereotypes_cmd; sched_cmd ]
 
 (* Usage errors (unknown subcommand, bad flags) print to stderr and exit 2
    — cmdliner's default for these is 124, which scripts read as a timeout. *)

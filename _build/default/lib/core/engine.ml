@@ -13,6 +13,7 @@ type outplan =
 
 type sinst = {
   role : string;
+  flight_id : int;                 (* [role] interned for the flight recorder *)
   def : Streamer.t;                (* the leaf definition *)
   spec : Streamer.solver_spec;
   solver : Solver.t;
@@ -193,6 +194,10 @@ let apply_signal_fate t ~dir ~role ~sport deliver =
 let note_signal_to_capsule (t : t) si event =
   t.signals_to_capsules <- t.signals_to_capsules + 1;
   Obs.Metrics.incr m_to_capsules;
+  Obs.Flightrec.record ~kind:Obs.Flightrec.k_signal_to_capsule
+    ~a:si.flight_id
+    ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
+    ~sim:(Des.Engine.now t.des);
   if Obs.Tracer.enabled () then
     Obs.Tracer.instant ~track:si.role ~cat:"hybrid" ~name:"signal_to_capsule"
       ~args:[ ("signal", Obs.Tracer.Str (Statechart.Event.signal event)) ]
@@ -267,6 +272,9 @@ let on_crossing t si (crossing : Ode.Events.crossing) =
   match guard_decl si crossing.Ode.Events.guard_name with
   | None -> ()
   | Some g ->
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_crossing ~a:si.flight_id
+      ~b:(Obs.Flightrec.intern crossing.Ode.Events.guard_name)
+      ~sim:crossing.Ode.Events.time;
     let value =
       match g.Streamer.payload with
       | Some f ->
@@ -289,6 +297,8 @@ let ignore_crossing (_ : Ode.Events.crossing) = ()
    the guard-free steady state allocates nothing here. *)
 let sync_solver t si =
   let now = Des.Engine.now t.des in
+  Obs.Flightrec.record ~kind:Obs.Flightrec.k_solver_advance ~a:si.flight_id
+    ~b:Obs.Flightrec.no_label ~sim:now;
   let ng = Array.length si.garr in
   if ng = 0 then begin
     if Obs.Tracer.enabled () then begin
@@ -360,11 +370,37 @@ let mark_degraded t si =
          (Statechart.Event.make (effective_degrade_signal t)))
   end
 
-let handle_solver_fault t si policy reraise =
+(* Solver state summary for crash reports — evaluated lazily, only when
+   a report is actually written. *)
+let solver_context t si () =
+  Obs.Json.Obj
+    [ ("role", Obs.Json.Str si.role);
+      ("sim_time", Obs.Json.Float (Des.Engine.now t.des));
+      ("solver_time", Obs.Json.Float (Solver.time si.solver));
+      ("steps_taken", Obs.Json.Int (Solver.steps_taken si.solver));
+      ("state",
+       Obs.Json.List
+         (Array.to_list
+            (Array.map (fun v -> Obs.Json.Float v) (Solver.state si.solver))));
+      ("state_finite", Obs.Json.Bool (Solver.state_finite si.solver));
+      ("ticks", Obs.Json.Int si.ticks);
+      ("frozen", Obs.Json.Bool si.frozen) ]
+
+let handle_solver_fault t si policy ~reason reraise =
   t.solver_faults <- t.solver_faults + 1;
+  Obs.Flightrec.record ~kind:Obs.Flightrec.k_fault ~a:si.flight_id
+    ~b:(Obs.Flightrec.intern reason) ~sim:(Des.Engine.now t.des);
   if Obs.Tracer.enabled () then
     Obs.Tracer.instant ~track:si.role ~cat:"fault" ~name:"solver_fault"
       ~sim_time:(Des.Engine.now t.des) ();
+  (* Divergence and escalation are post-mortem events: snapshot before
+     the policy acts (escalation unwinds; restart destroys the offending
+     state). No-op unless a crash directory is configured. *)
+  if policy = Fault.Supervisor.Escalate || String.equal reason "solver_divergence"
+  then
+    ignore
+      (Obs.Crash_report.trigger ~reason ~role:si.role
+         ~context:(solver_context t si) ());
   (* Escalation re-raises before any degraded-mode dispatch: the run is
      over, the strategy must not observe a half-supervised state. *)
   (match policy with Fault.Supervisor.Escalate -> reraise () | _ -> ());
@@ -399,11 +435,14 @@ let sync_streamer t si =
     | Some policy ->
       (try sync_solver t si with
        | Ode.Adaptive.Step_underflow _ as e ->
-         handle_solver_fault t si policy (fun () -> raise e)
+         handle_solver_fault t si policy ~reason:"solver_step_underflow"
+           (fun () -> raise e)
        | Ode.Adaptive.Too_many_steps _ as e ->
-         handle_solver_fault t si policy (fun () -> raise e));
+         handle_solver_fault t si policy ~reason:"solver_step_budget"
+           (fun () -> raise e));
       if not si.frozen && not (Solver.state_finite si.solver) then
-        handle_solver_fault t si policy (fun () -> raise (Diverged si.role))
+        handle_solver_fault t si policy ~reason:"solver_divergence"
+          (fun () -> raise (Diverged si.role))
 
 let record_traces t si =
   match si.traces with
@@ -445,6 +484,8 @@ let write_outputs t si =
          cell.(0) <- y.(idx);
          Dataflow.Port.note_float_write p
        done);
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_flow_write ~a:si.flight_id
+      ~b:Obs.Flightrec.no_label ~sim:(Des.Engine.now t.des);
     ignore (Dataflow.Graph.propagate_from t.graph si.node);
     record_traces t si;
     Obs.Metrics.add m_flow_samples n
@@ -470,6 +511,8 @@ let write_outputs t si =
              (Printf.sprintf "Hybrid.Engine: streamer %s writes unknown DPort %S"
                 si.role port))
       outs;
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_flow_write ~a:si.flight_id
+      ~b:Obs.Flightrec.no_label ~sim:now;
     ignore (Dataflow.Graph.propagate_from t.graph si.node);
     record_traces t si;
     Obs.Metrics.add m_flow_samples (List.length outs)
@@ -479,6 +522,10 @@ let tick t si =
      its last outputs; its thread keeps ticking so recovery is possible
      and the tick accounting stays uniform. *)
   if not si.frozen then begin
+    (* No separate k_tick record here: every live tick immediately
+       records k_solver_advance in [sync_solver], and one entry per tick
+       keeps the always-on recorder inside its overhead budget. k_tick
+       marks ticks recorded outside the solver path (tests, tools). *)
     if Obs.Tracer.enabled () then begin
       let start = Obs.Tracer.now_ns () in
       sync_streamer t si;
@@ -501,12 +548,27 @@ let deliver_to_streamer t si (sport, event) =
   if not si.frozen then sync_streamer t si;
   t.signals_to_streamers <- t.signals_to_streamers + 1;
   Obs.Metrics.incr m_to_streamers;
+  Obs.Flightrec.record ~kind:Obs.Flightrec.k_signal_to_streamer
+    ~a:si.flight_id
+    ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
+    ~sim:(Des.Engine.now t.des);
   if Obs.Tracer.enabled () then
     Obs.Tracer.instant ~track:si.role ~cat:"hybrid" ~name:"signal_to_streamer"
       ~args:[ ("signal", Obs.Tracer.Str (Statechart.Event.signal event)) ]
       ~sim_time:(Des.Engine.now t.des) ();
   if not (Strategy.handle (Streamer.strategy si.def) (control_of t si) event) then
-    drop_signal t
+    drop_signal t;
+  (* A strategy reaction can poison the continuous state (e.g. a faulted
+     parameter write feeding a NaN into the next reselection). Under
+     supervision, detect it at the delivery — while the ambient cause is
+     still the chain that carried the signal — instead of at the next
+     periodic tick, where the attribution would be lost. Unsupervised
+     runs keep the historical behaviour bit for bit. *)
+  match t.supervisor with
+  | Some policy when not si.frozen && not (Solver.state_finite si.solver) ->
+    handle_solver_fault t si policy ~reason:"solver_divergence"
+      (fun () -> raise (Diverged si.role))
+  | Some _ | None -> ()
 
 let fresh_seed t =
   t.seed_counter <- t.seed_counter + 1;
@@ -594,7 +656,8 @@ let rec instantiate t ~path (def : Streamer.t) =
     in
     let ng = List.length spec.Streamer.guards in
     let si =
-      { role = path; def; spec; solver; node; outplan; channel; ticks = 0;
+      { role = path; flight_id = Obs.Flightrec.intern path;
+        def; spec; solver; node; outplan; channel; ticks = 0;
         traces = []; garr = Array.of_list spec.Streamer.guards;
         gprev = Array.make ng 0.; gfired = Array.make ng false;
         gprimed = false; out_names; frozen = false;

@@ -1,1 +1,1 @@
-lib/dataflow/graph.ml: Array Flow_type Hashtbl List Port Printf Queue String Value
+lib/dataflow/graph.ml: Array Flow_type Hashtbl List Obs Port Printf Queue String Value

@@ -13,6 +13,9 @@ type node = {
   outputs : (string * Port.t) list;
   mutable routes : route_item array;
   mutable routes_version : int;  (* graph version the plan was built at *)
+  mutable flight_id : int;  (* [name] interned for the flight recorder; -1 until first propagation *)
+  mutable flight_relay : bool;  (* routes fan out through a relay: worth a
+                                   flight-recorder hop of its own *)
 }
 
 and route_item =
@@ -82,7 +85,8 @@ let add_node t ~name ~inputs ~outputs =
     { name; relay = false;
       inputs = mk_ports Port.In inputs;
       outputs = mk_ports Port.Out outputs;
-      routes = [||]; routes_version = -1 }
+      routes = [||]; routes_version = -1; flight_id = -1;
+      flight_relay = false }
 
 let add_relay_node t ~name ty ~fanout =
   check_fresh t name;
@@ -94,7 +98,8 @@ let add_relay_node t ~name ty ~fanout =
   register t
     { name; relay = true;
       inputs = [ ("in", Port.create ~name:"in" Port.In ty) ];
-      outputs; routes = [||]; routes_version = -1 }
+      outputs; routes = [||]; routes_version = -1; flight_id = -1;
+      flight_relay = false }
 
 let add_relay t ~name ty ~fanout =
   if fanout < 2 then invalid_arg "Dataflow.Graph.add_relay: fanout must be >= 2";
@@ -353,7 +358,9 @@ let compile_plan t node =
 let ensure_plan t node =
   if node.routes_version <> t.version then begin
     node.routes <- compile_plan t node;
-    node.routes_version <- t.version
+    node.routes_version <- t.version;
+    node.flight_relay <-
+      List.exists (fun f -> f.src_node == node && f.dst_node.relay) t.flows
   end
 
 let run_fast r =
@@ -393,6 +400,18 @@ let rec run_plan plan i acc =
 
 let propagate_from t node =
   ensure_plan t node;
+  (* Interning hits the hashtable once per node; steady-state
+     propagations reuse the cached id, so the flight record below is
+     allocation-free. *)
+  (* Only relay fan-out earns a routing hop of its own: a plain
+     point-to-point propagation is already visible as the upstream
+     [k_flow_write], so recording it again would double the hot-path
+     cost for no extra causal information. *)
+  if node.flight_relay then begin
+    if node.flight_id < 0 then node.flight_id <- Obs.Flightrec.intern node.name;
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_flow_route ~a:node.flight_id
+      ~b:Obs.Flightrec.no_label ~sim:0.
+  end;
   run_plan node.routes 0 0
 
 let propagate_all t =

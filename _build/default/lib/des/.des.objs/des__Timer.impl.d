@@ -1,1 +1,1 @@
-lib/des/timer.ml: Engine Float Printf
+lib/des/timer.ml: Engine Float Obs Printf

@@ -24,7 +24,23 @@ let schedule_at t ?priority ~time callback =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Des.Engine.schedule_at: time %g is before now %g" time t.clock);
-  let h = Event_queue.push t.queue ~time ?priority callback in
+  (* Causal propagation across the queue hop: capture the ambient cause
+     now, restore it when the callback runs. A callback scheduled with no
+     ambient cause is an external stimulus — a fresh chain is minted at
+     dispatch. The wrapper also refreshes the coarse wall clock and logs
+     the dispatch in the flight recorder, so every hop is book-ended;
+     scheduling already allocates (queue push), so the closure is free
+     of zero-cost-contract concerns. *)
+  let cause = Obs.Causal.current () in
+  let run () =
+    if cause = Obs.Causal.none then ignore (Obs.Causal.mint ())
+    else Obs.Causal.set cause;
+    Obs.Clock.refresh_coarse ();
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_dispatch
+      ~a:Obs.Flightrec.no_label ~b:Obs.Flightrec.no_label ~sim:t.clock;
+    callback ()
+  in
+  let h = Event_queue.push t.queue ~time ?priority run in
   Obs.Metrics.set m_depth (float_of_int (Event_queue.live_count t.queue));
   h
 
@@ -57,6 +73,10 @@ let step t =
         (float_of_int depth)
     end
     else callback ();
+    (* The chain ends with the dispatch (after the span above, so it
+       still carries the cause); anything the callback scheduled has
+       already captured it. *)
+    Obs.Causal.set Obs.Causal.none;
     true
 
 let run_until t bound =

@@ -68,7 +68,14 @@ let periodic_impl engine ~name ~phase ~period ~jitter callback =
           arm (k + 1)
         end
       in
-      t.handle <- Some (Engine.schedule_at engine ~time fire)
+      (* Each periodic release is its own external stimulus: re-arming
+         happens inside the previous firing's dispatch, so without
+         clearing the ambient cause every release would chain into one
+         endless causal thread. *)
+      let ambient = Obs.Causal.current () in
+      Obs.Causal.set Obs.Causal.none;
+      t.handle <- Some (Engine.schedule_at engine ~time fire);
+      Obs.Causal.set ambient
     end
   in
   arm 0;

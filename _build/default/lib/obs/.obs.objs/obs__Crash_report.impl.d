@@ -1,0 +1,1 @@
+lib/obs/crash_report.ml: Causal Filename Flightrec Fun Json List Metrics Printf

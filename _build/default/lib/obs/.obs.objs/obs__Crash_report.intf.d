@@ -1,0 +1,1 @@
+lib/obs/crash_report.mli: Json

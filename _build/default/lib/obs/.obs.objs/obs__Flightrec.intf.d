@@ -1,0 +1,1 @@
+lib/obs/flightrec.mli: Json

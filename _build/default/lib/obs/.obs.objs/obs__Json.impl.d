@@ -1,1 +1,1 @@
-lib/obs/json.ml: Buffer Char Float List Printf String
+lib/obs/json.ml: Buffer Char Float Int64 List Printf String

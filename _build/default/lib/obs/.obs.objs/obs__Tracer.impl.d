@@ -1,1 +1,1 @@
-lib/obs/tracer.ml: Array Clock Hashtbl List String
+lib/obs/tracer.ml: Array Causal Clock Hashtbl List String

@@ -1,0 +1,24 @@
+(* Cause IDs are plain ints: 0 means "no cause", positive values name a
+   chain rooted at one external stimulus. The current cause is ambient
+   state read by the tracer and flight recorder, set by the DES dispatch
+   loop around each callback — propagation through queues happens by
+   capturing [current ()] when work is scheduled and restoring it when
+   the work runs. *)
+
+let none = 0
+
+let counter = ref 0
+let cur = ref none
+
+let mint () =
+  incr counter;
+  cur := !counter;
+  !counter
+
+let[@inline] current () = !cur
+let set id = cur := id
+let minted () = !counter
+
+let reset () =
+  counter := 0;
+  cur := none

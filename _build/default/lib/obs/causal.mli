@@ -1,0 +1,27 @@
+(** Causal chain identifiers.
+
+    A cause ID is a plain [int] minted when an external stimulus enters
+    the system (a timer firing, an event posted from outside the
+    dispatch loop, an injected fault) and propagated — allocation-free —
+    through every queue hop: whoever schedules deferred work captures
+    {!current} and restores it around the callback. Tracer events and
+    flight-recorder entries read the ambient value, so every record
+    carries the chain that produced it. *)
+
+val none : int
+(** [0]: no ambient cause. *)
+
+val mint : unit -> int
+(** Allocate a fresh cause ID and make it current. *)
+
+val current : unit -> int
+(** The ambient cause, or {!none} outside any chain. *)
+
+val set : int -> unit
+(** Restore a previously captured cause ({!none} to leave the chain). *)
+
+val minted : unit -> int
+(** Number of IDs minted since start (or the last {!reset}). *)
+
+val reset : unit -> unit
+(** Reset the counter and ambient cause — test isolation only. *)

@@ -9,3 +9,12 @@ val now_ns : unit -> int
 val ns_to_us : int -> float
 (** Nanoseconds to (fractional) microseconds — the unit Chrome trace
     files use. *)
+
+val refresh_coarse : unit -> unit
+(** Re-read the wall clock into the coarse cache. Called once per DES
+    dispatch, where allocation is already happening. *)
+
+val coarse_ns : unit -> int
+(** Last cached {!now_ns} value. Reading it neither allocates nor hits
+    the OS clock, so it is safe on zero-allocation hot paths; resolution
+    is one DES dispatch. *)

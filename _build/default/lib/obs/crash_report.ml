@@ -1,0 +1,120 @@
+(* Post-mortem crash reports: when a supervisor escalates, a watchdog
+   fires, or the hybrid engine detects divergence, snapshot everything a
+   post-mortem needs into one self-contained JSON file — the flight
+   recorder window, the offending causal chain reconstructed hop by hop
+   with wall-clock latencies, whatever state summary the trigger site
+   can provide, and a metrics dump.
+
+   Reports are written only when a crash directory has been configured
+   ([set_dir]); otherwise [trigger] is a load and a branch, preserving
+   the zero-cost contract. File names are a per-process sequence
+   (crash-001.json, ...) so tests and tooling can predict them. *)
+
+let schema_version = 1
+
+let dir : string option ref = ref None
+let set_dir d = dir := d
+let get_dir () = !dir
+
+let seq = ref 0
+let last = ref None
+let last_report () = !last
+
+(* A trigger site can itself fault (context closures touch engine state
+   mid-crash); never let report writing recurse or mask the original
+   exception. *)
+let in_trigger = ref false
+
+let hop_json prev_wall (e : Flightrec.entry) =
+  let fields =
+    [ ("kind", Json.Str (Flightrec.kind_name e.Flightrec.e_kind));
+      ("sim_time", Json.Float e.Flightrec.e_sim);
+      ("wall_ns", Json.Int e.Flightrec.e_wall_ns);
+      ("latency_ns",
+       match prev_wall with
+       | None -> Json.Int 0
+       | Some w -> Json.Int (e.Flightrec.e_wall_ns - w)) ]
+  in
+  let fields =
+    if e.Flightrec.e_a = "" then fields
+    else fields @ [ ("who", Json.Str e.Flightrec.e_a) ]
+  in
+  let fields =
+    if e.Flightrec.e_b = "" then fields
+    else fields @ [ ("what", Json.Str e.Flightrec.e_b) ]
+  in
+  let fields =
+    match e.Flightrec.e_value with
+    | None -> fields
+    | Some v -> fields @ [ ("value", Json.Float v) ]
+  in
+  Json.Obj fields
+
+(* Reconstruct one causal chain from the flight-recorder window: the
+   entries carrying [cause], oldest first, each hop stamped with the
+   wall-clock delta from the previous hop. *)
+let chain_json cause =
+  let hops =
+    List.filter
+      (fun (e : Flightrec.entry) -> e.Flightrec.e_cause = cause)
+      (Flightrec.entries ())
+  in
+  let rec build prev_wall = function
+    | [] -> []
+    | (e : Flightrec.entry) :: rest ->
+      hop_json prev_wall e :: build (Some e.Flightrec.e_wall_ns) rest
+  in
+  Json.Obj
+    [ ("cause", Json.Int cause);
+      ("hops", Json.List (build None hops)) ]
+
+let write_report path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc (Json.to_string json);
+       output_char oc '\n')
+
+let trigger ~reason ?role ?(context : (unit -> Json.t) option) () =
+  match !dir with
+  | None -> None
+  | Some _ when !in_trigger -> None
+  | Some d ->
+    in_trigger := true;
+    Fun.protect
+      ~finally:(fun () -> in_trigger := false)
+      (fun () ->
+         match
+           let cause = Causal.current () in
+           let context_json =
+             match context with
+             | None -> Json.Null
+             | Some f -> (try f () with _ -> Json.Str "<context unavailable>")
+           in
+           incr seq;
+           let path = Filename.concat d (Printf.sprintf "crash-%03d.json" !seq) in
+           let report =
+             Json.Obj
+               [ ("schema", Json.Str "umh-crash-report");
+                 ("version", Json.Int schema_version);
+                 ("reason", Json.Str reason);
+                 ("role",
+                  match role with None -> Json.Null | Some r -> Json.Str r);
+                 ("cause", Json.Int cause);
+                 ("chain", chain_json cause);
+                 ("flight_recorder", Flightrec.to_json ());
+                 ("context", context_json);
+                 ("metrics", Metrics.to_json Metrics.default) ]
+           in
+           write_report path report;
+           path
+         with
+         | path ->
+           last := Some path;
+           Some path
+         | exception _ -> None)
+
+let reset () =
+  seq := 0;
+  last := None

@@ -1,0 +1,37 @@
+(** Post-mortem crash reports.
+
+    When a fatal condition is detected — supervisor escalation, watchdog
+    expiry, NaN divergence — the trigger site calls {!trigger} and a
+    self-contained JSON report is written to the configured crash
+    directory: the {!Flightrec} window, the offending causal chain
+    reconstructed end to end with per-hop wall-clock latencies, a
+    trigger-supplied state summary, and a {!Metrics} snapshot.
+
+    Without {!set_dir}, {!trigger} is a load and a branch — the
+    zero-cost contract holds when crash reporting is not requested. *)
+
+val schema_version : int
+
+val set_dir : string option -> unit
+(** Configure (or clear) the directory reports are written into. The
+    directory must already exist. *)
+
+val get_dir : unit -> string option
+
+val trigger :
+  reason:string -> ?role:string -> ?context:(unit -> Json.t) -> unit ->
+  string option
+(** Write a crash report and return its path, or [None] when no crash
+    directory is configured (or writing failed — a crash report must
+    never mask the original fault). [reason] names the fatal condition
+    ("supervisor_escalation", "watchdog_expired", "solver_divergence");
+    [role] the offending capsule path or streamer role; [context] is
+    evaluated lazily, only when a report is actually written, and its
+    exceptions are swallowed. File names are sequential per process:
+    [crash-001.json], [crash-002.json], ... *)
+
+val last_report : unit -> string option
+(** Path of the most recently written report, if any. *)
+
+val reset : unit -> unit
+(** Reset the sequence counter and last-report path — test isolation. *)

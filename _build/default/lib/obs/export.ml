@@ -53,6 +53,32 @@ let event_json tids (ev : Tracer.event) =
   in
   Json.Obj (base @ dur @ scope @ [ ("args", Json.Obj args) ])
 
+(* Causal chains as Chrome/Perfetto flow arrows: every event carrying a
+   cause id gets a companion flow event with the cause as the flow [id] —
+   "s" (start) at the chain's first appearance, "t" (step) afterwards.
+   The flow event shares the slice's name/ts/pid/tid so viewers bind the
+   arrow to it. *)
+let flow_json tids seen (ev : Tracer.event) =
+  if ev.Tracer.cause = 0 then []
+  else begin
+    let ph =
+      if Hashtbl.mem seen ev.Tracer.cause then "t"
+      else begin
+        Hashtbl.replace seen ev.Tracer.cause ();
+        "s"
+      end
+    in
+    [ Json.Obj
+        [ ("name", Json.Str ev.Tracer.name);
+          ("cat", Json.Str "causal");
+          ("ph", Json.Str ph);
+          ("id", Json.Int ev.Tracer.cause);
+          ("ts", Json.Float (Clock.ns_to_us ev.Tracer.ts_ns));
+          ("pid", Json.Int pid);
+          ("tid",
+           Json.Int (try Hashtbl.find tids ev.Tracer.track with Not_found -> 0)) ] ]
+  end
+
 let thread_metadata name tid =
   Json.Obj
     [ ("name", Json.Str "thread_name");
@@ -76,8 +102,14 @@ let to_chrome_trace ?metrics tracer =
        | Some registry -> [ ("metrics", Metrics.to_json registry) ]
        | None -> [])
   in
+  let seen_causes = Hashtbl.create 64 in
+  let body =
+    List.concat_map
+      (fun ev -> event_json tids ev :: flow_json tids seen_causes ev)
+      events
+  in
   Json.Obj
-    [ ("traceEvents", Json.List (metadata @ List.map (event_json tids) events));
+    [ ("traceEvents", Json.List (metadata @ body));
       ("displayTimeUnit", Json.Str "ms");
       ("otherData", Json.Obj other) ]
 

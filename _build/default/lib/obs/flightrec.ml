@@ -1,0 +1,231 @@
+(* Always-on flight recorder: a small fixed ring of the most recent
+   runtime steps (deliveries, ticks, flow writes), kept cheap enough to
+   leave enabled in production runs. Unlike the opt-in tracer it stores
+   no per-entry heap values: entries live in preallocated parallel
+   arrays (ints plus one float array), labels are interned to small ints
+   up front, and timestamps come from the coarse cached clock — so a
+   [record] on the tick path allocates nothing. *)
+
+(* Kind codes. Kept as plain ints (not a variant) so hot call sites pass
+   a constant without construction; [kind_name] maps them back. *)
+let k_dispatch = 1
+let k_rtc = 2
+let k_signal_send = 3
+let k_signal_to_capsule = 4
+let k_signal_to_streamer = 5
+let k_tick = 6
+let k_flow_write = 7
+let k_flow_route = 8
+let k_solver_advance = 9
+let k_fault = 10
+let k_restart = 11
+let k_quarantine = 12
+let k_watchdog = 13
+let k_inject = 14
+let k_crossing = 15
+
+let kind_name = function
+  | 1 -> "dispatch"
+  | 2 -> "rtc"
+  | 3 -> "signal_send"
+  | 4 -> "signal_to_capsule"
+  | 5 -> "signal_to_streamer"
+  | 6 -> "tick"
+  | 7 -> "flow_write"
+  | 8 -> "flow_route"
+  | 9 -> "solver_advance"
+  | 10 -> "fault"
+  | 11 -> "restart"
+  | 12 -> "quarantine"
+  | 13 -> "watchdog"
+  | 14 -> "inject"
+  | 15 -> "crossing"
+  | _ -> "?"
+
+(* Label interning: strings (roles, port names, signal names) map to
+   small ints once, at setup or first use — never inside a steady-state
+   loop (call sites cache the returned id). *)
+let no_label = 0
+
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let labels = ref (Array.make 64 "")
+let n_labels = ref 1 (* slot 0 = no label *)
+
+let intern s =
+  match Hashtbl.find_opt intern_tbl s with
+  | Some id -> id
+  | None ->
+      let id = !n_labels in
+      if id > 0x1FFFFFF then no_label (* 25-bit packing limit; unreachable *)
+      else begin
+        if id >= Array.length !labels then begin
+          let bigger = Array.make (2 * Array.length !labels) "" in
+          Array.blit !labels 0 bigger 0 (Array.length !labels);
+          labels := bigger
+        end;
+        !labels.(id) <- s;
+        incr n_labels;
+        Hashtbl.add intern_tbl s id;
+        id
+      end
+
+let label id = if id > 0 && id < !n_labels then !labels.(id) else ""
+
+let capacity = 4096
+
+(* The int fields of an entry live interleaved in one flat array
+   (array-of-structs) so a [record] touches adjacent cache lines instead
+   of one line per field, and kind plus both interned labels are packed
+   into a single word — the ring cycles through ~128 KB, so the stores
+   are the cost and fewer, denser stores is the whole game. Layout of
+   the packed word: bits 0-8 kind (incl. [value_bit]), 9-33 label a
+   (who: role / capsule path / node), 34-58 label b (what: port /
+   signal / detail). *)
+let stride = 3
+let f_pack = 0
+let f_cause = 1
+let f_wall = 2
+
+let label_mask = 0x1FFFFFF (* 25 bits per interned label *)
+
+let pack ~kind ~a ~b = kind lor (a lsl 9) lor (b lsl 34)
+let pack_kind p = p land 0x1FF
+let pack_a p = (p lsr 9) land label_mask
+let pack_b p = (p lsr 34) land label_mask
+
+type t = {
+  ints : int array; (* capacity * stride *)
+  sim : float array;
+  value : float array; (* payload for [record_v]; live iff the kind slot
+                          carries [value_bit] *)
+  mutable next : int;
+  mutable total : int;
+}
+
+let create () =
+  {
+    ints = Array.make (capacity * stride) 0;
+    sim = Array.make capacity 0.;
+    value = Array.make capacity Float.nan;
+    next = 0;
+    total = 0;
+  }
+
+let default = create ()
+
+let flag = ref true
+let enabled () = !flag
+let set_enabled on = flag := on
+
+(* [record_v] tags the kind slot with this bit instead of the hot path
+   writing a NaN sentinel into the value array on every record: whether
+   a slot's payload is live is carried by the kind, so [record] never
+   touches the float array and stale payloads from lapped [record_v]
+   slots are never misattributed. *)
+let value_bit = 0x100
+
+(* Hot-path record: ints only plus a sim-time float that call sites read
+   from an already-boxed field (so passing it does not box). Cause and
+   wall clock are read from ambient state here, keeping call sites to a
+   bare call. The unsafe stores are sound: [i] is [t.next], which is
+   only ever assigned values in [0, capacity). *)
+let record ~kind ~a ~b ~sim =
+  if !flag then begin
+    let t = default in
+    let i = t.next in
+    let base = i * stride in
+    Array.unsafe_set t.ints (base + f_pack) (pack ~kind ~a ~b);
+    Array.unsafe_set t.ints (base + f_cause) (Causal.current ());
+    Array.unsafe_set t.ints (base + f_wall) (Clock.coarse_ns ());
+    Array.unsafe_set t.sim i sim;
+    t.next <- (if i + 1 = capacity then 0 else i + 1);
+    t.total <- t.total + 1
+  end
+
+(* Cold-path variant carrying a float payload (fault values, watchdog
+   budgets). Only used off the steady-state tick path. *)
+let record_v ~kind ~a ~b ~sim v =
+  if !flag then begin
+    let t = default in
+    let i = t.next in
+    let base = i * stride in
+    t.ints.(base + f_pack) <- pack ~kind:(kind lor value_bit) ~a ~b;
+    t.ints.(base + f_cause) <- Causal.current ();
+    t.ints.(base + f_wall) <- Clock.coarse_ns ();
+    t.sim.(i) <- sim;
+    t.value.(i) <- v;
+    t.next <- (if i + 1 = capacity then 0 else i + 1);
+    t.total <- t.total + 1
+  end
+
+type entry = {
+  e_kind : int;
+  e_cause : int;
+  e_wall_ns : int;
+  e_a : string;
+  e_b : string;
+  e_sim : float;
+  e_value : float option;
+}
+
+let length () =
+  let t = default in
+  if t.total < capacity then t.total else capacity
+
+let total () = default.total
+
+let clear () =
+  let t = default in
+  Array.fill t.ints 0 (capacity * stride) 0;
+  Array.fill t.sim 0 capacity 0.;
+  Array.fill t.value 0 capacity Float.nan;
+  t.next <- 0;
+  t.total <- 0
+
+(* Oldest-first snapshot of the window. Allocates freely — only called
+   when building a crash report or in tests. *)
+let entries () =
+  let t = default in
+  let n = length () in
+  let start = if t.total < capacity then 0 else t.next in
+  List.init n (fun i ->
+      let j = (start + i) mod capacity in
+      let base = j * stride in
+      let p = t.ints.(base + f_pack) in
+      {
+        e_kind = pack_kind p land (value_bit - 1);
+        e_cause = t.ints.(base + f_cause);
+        e_wall_ns = t.ints.(base + f_wall);
+        e_a = label (pack_a p);
+        e_b = label (pack_b p);
+        e_sim = t.sim.(j);
+        e_value =
+          (if pack_kind p land value_bit = 0 then None else Some t.value.(j));
+      })
+
+let entry_json e =
+  let base =
+    [
+      ("kind", Json.Str (kind_name e.e_kind));
+      ("cause", Json.Int e.e_cause);
+      ("wall_ns", Json.Int e.e_wall_ns);
+      ("sim_time", Json.Float e.e_sim);
+    ]
+  in
+  let base = if e.e_a = "" then base else base @ [ ("who", Json.Str e.e_a) ] in
+  let base = if e.e_b = "" then base else base @ [ ("what", Json.Str e.e_b) ] in
+  let base =
+    match e.e_value with
+    | None -> base
+    | Some v -> base @ [ ("value", Json.Float v) ]
+  in
+  Json.Obj base
+
+let to_json () =
+  Json.Obj
+    [
+      ("capacity", Json.Int capacity);
+      ("recorded", Json.Int (total ()));
+      ("dropped", Json.Int (max 0 (total () - capacity)));
+      ("entries", Json.List (List.map entry_json (entries ())));
+    ]

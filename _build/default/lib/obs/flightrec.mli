@@ -1,0 +1,89 @@
+(** Always-on flight recorder.
+
+    A small fixed ring of the most recent runtime steps — DES
+    deliveries, capsule RTC passes, streamer ticks, flow writes —
+    recorded into preallocated parallel arrays with interned labels and
+    the coarse cached clock, so recording on the steady-state tick path
+    allocates nothing. Independent of the opt-in {!Tracer}: it is on by
+    default and survives until a crash report snapshots its window. *)
+
+(** {2 Kind codes}
+
+    Plain ints so hot call sites pass a constant without constructing a
+    variant. *)
+
+val k_dispatch : int
+val k_rtc : int
+val k_signal_send : int
+val k_signal_to_capsule : int
+val k_signal_to_streamer : int
+val k_tick : int
+val k_flow_write : int
+val k_flow_route : int
+val k_solver_advance : int
+val k_fault : int
+val k_restart : int
+val k_quarantine : int
+val k_watchdog : int
+val k_inject : int
+val k_crossing : int
+
+val kind_name : int -> string
+
+(** {2 Label interning} *)
+
+val no_label : int
+(** [0]: entry carries no label in that slot. *)
+
+val intern : string -> int
+(** Map a label (role, port, signal, capsule path) to a small int.
+    Hashtable lookup — call at setup or first use and cache the id;
+    never inside a steady-state loop. *)
+
+val label : int -> string
+(** Inverse of {!intern}; [""] for {!no_label} or unknown ids. *)
+
+(** {2 Recording} *)
+
+val capacity : int
+(** Ring size (entries retained). *)
+
+val enabled : unit -> bool
+(** On by default. *)
+
+val set_enabled : bool -> unit
+
+val record : kind:int -> a:int -> b:int -> sim:float -> unit
+(** Record one entry: kind code, two interned labels ({!no_label} when
+    absent), simulated time. The cause ({!Causal.current}) and wall
+    clock ({!Clock.coarse_ns}) are read internally. Allocation-free. *)
+
+val record_v : kind:int -> a:int -> b:int -> sim:float -> float -> unit
+(** Like {!record} with a float payload (boxes the float — keep off the
+    zero-alloc tick path). *)
+
+(** {2 Inspection} *)
+
+type entry = {
+  e_kind : int;
+  e_cause : int;
+  e_wall_ns : int;
+  e_a : string;
+  e_b : string;
+  e_sim : float;
+  e_value : float option;
+}
+
+val length : unit -> int
+(** Entries currently held (≤ {!capacity}). *)
+
+val total : unit -> int
+(** Entries recorded since start (or the last {!clear}). *)
+
+val entries : unit -> entry list
+(** Oldest first. Allocates; crash-report/test use only. *)
+
+val to_json : unit -> Json.t
+(** The whole window as a self-contained JSON object. *)
+
+val clear : unit -> unit

@@ -28,9 +28,21 @@ let add_escaped buf s =
 let add_float buf f =
   if Float.is_nan f || Float.abs f = infinity then Buffer.add_string buf "null"
   else begin
-    (* Shortest decimal that round-trips. *)
-    let s15 = Printf.sprintf "%.15g" f in
-    let s = if float_of_string s15 = f then s15 else Printf.sprintf "%.17g" f in
+    (* Shortest decimal that round-trips, judged on the bit pattern —
+       [=] would accept "0" for -0.0 and lose the sign on re-read. *)
+    let bits = Int64.bits_of_float f in
+    let round_trips s =
+      match float_of_string_opt s with
+      | Some f' -> Int64.bits_of_float f' = bits
+      | None -> false
+    in
+    let rec shortest p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if round_trips s then s else shortest (p + 1)
+    in
+    let s = shortest 1 in
     Buffer.add_string buf s;
     (* "%g" may print an integer-valued float without a mark that keeps it
        a float on re-read ("3" rather than "3.0"). *)

@@ -163,10 +163,26 @@ let pp ppf registry =
            Format.fprintf ppf "%-32s histogram (empty)@." h.h_name
          else
            Format.fprintf ppf
-             "%-32s histogram n=%d mean=%.3g min=%.3g p50<=%.3g p95<=%.3g max=%.3g@."
+             "%-32s histogram n=%d mean=%.3g min=%.3g p50<=%.3g p90<=%.3g p99<=%.3g max=%.3g@."
              h.h_name h.h_count
              (h.h_sum /. float_of_int h.h_count)
-             h.h_min (quantile h 0.5) (quantile h 0.95) h.h_max)
+             h.h_min (quantile h 0.5) (quantile h 0.9) (quantile h 0.99)
+             h.h_max)
+    (metrics registry)
+
+type value =
+  | Vcounter of int
+  | Vgauge of float
+  | Vhistogram of { vh_count : int; vh_sum : float }
+
+let snapshot registry =
+  List.map
+    (fun (name, m) ->
+       ( name,
+         match m with
+         | Counter c -> Vcounter c.count
+         | Gauge g -> Vgauge g.gvalue
+         | Histogram h -> Vhistogram { vh_count = h.h_count; vh_sum = h.h_sum } ))
     (metrics registry)
 
 let histogram_json h =
@@ -177,7 +193,9 @@ let histogram_json h =
       ("min", finite h.h_min);
       ("max", finite h.h_max);
       ("p50", finite (quantile h 0.5));
+      ("p90", finite (quantile h 0.9));
       ("p95", finite (quantile h 0.95));
+      ("p99", finite (quantile h 0.99));
       ("buckets",
        Json.List
          (List.concat

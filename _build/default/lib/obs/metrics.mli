@@ -57,14 +57,28 @@ val quantile : histogram -> float -> float
     the q-th observation (nearest-rank over buckets); [nan] when empty. *)
 
 val reset : t -> unit
-(** Zero every metric in the registry (histogram buckets included). *)
+(** Zero every metric in the registry (histogram buckets included).
+    Metric handles held by instrumented modules stay valid — only the
+    accumulated values are cleared, so differential tests can isolate
+    runs sharing the {!default} registry. *)
+
+type value =
+  | Vcounter of int
+  | Vgauge of float
+  | Vhistogram of { vh_count : int; vh_sum : float }
+
+val snapshot : t -> (string * value) list
+(** Point-in-time copy of every metric's accumulated value, sorted by
+    name. Two snapshots from the same registry can be diffed to isolate
+    what one run contributed, regardless of what ran before. *)
 
 val metrics : t -> (string * metric) list
 (** Sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
-(** Human-readable dump, one metric per line, sorted by name. *)
+(** Human-readable dump, one metric per line, sorted by name;
+    histograms summarised as n/mean/min/p50/p90/p99/max. *)
 
 val to_json : t -> Json.t
 (** [Obj] keyed by metric name; counters as ints, gauges as floats,
-    histograms as [{count; sum; min; max; p50; p95; buckets}]. *)
+    histograms as [{count; sum; min; max; p50; p90; p95; p99; buckets}]. *)

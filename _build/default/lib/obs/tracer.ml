@@ -10,6 +10,7 @@ type event = {
   name : string;
   phase : phase;
   track : string;
+  cause : int;
   args : (string * arg) list;
 }
 
@@ -47,27 +48,29 @@ let emit ?(tracer = default) ?(track = "") ?(args = []) ?(dur_ns = 0)
     ~cat ~name ~sim_time phase =
   if !flag then
     push tracer
-      { ts_ns = Clock.now_ns (); dur_ns; sim_time; cat; name; phase; track; args }
+      { ts_ns = Clock.now_ns (); dur_ns; sim_time; cat; name; phase; track;
+        cause = Causal.current (); args }
 
 let complete ?(tracer = default) ?(track = "") ?(args = []) ~cat ~name
     ~sim_time ~start_ns () =
   if !flag then
     push tracer
       { ts_ns = start_ns; dur_ns = Clock.now_ns () - start_ns; sim_time;
-        cat; name; phase = Complete; track; args }
+        cat; name; phase = Complete; track; cause = Causal.current (); args }
 
 let instant ?(tracer = default) ?(track = "") ?(args = []) ~cat ~name
     ~sim_time () =
   if !flag then
     push tracer
       { ts_ns = Clock.now_ns (); dur_ns = 0; sim_time; cat; name;
-        phase = Instant; track; args }
+        phase = Instant; track; cause = Causal.current (); args }
 
 let sample ?(tracer = default) ~cat ~name ~sim_time value =
   if !flag then
     push tracer
       { ts_ns = Clock.now_ns (); dur_ns = 0; sim_time; cat; name;
-        phase = Sample; track = ""; args = [ ("value", Float value) ] }
+        phase = Sample; track = ""; cause = Causal.current ();
+        args = [ ("value", Float value) ] }
 
 let with_span ?(tracer = default) ?(track = "") ~cat ~name ~sim_time f =
   if !flag then begin

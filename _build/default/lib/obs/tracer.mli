@@ -28,6 +28,7 @@ type event = {
   name : string;
   phase : phase;
   track : string;     (** capsule instance path / streamer role; "" = engine *)
+  cause : int;        (** ambient {!Causal} chain id; 0 = no chain *)
   args : (string * arg) list;
 }
 

@@ -3,6 +3,7 @@ exception Watchdog_expired of string
 
 type instance = {
   path : string;
+  flight_id : int;  (* [path] interned for the flight recorder *)
   klass : Capsule.t;
   mailbox : (string * Statechart.Event.t) Des.Mailbox.t;
   mutable behavior : Capsule.behavior option;
@@ -123,6 +124,9 @@ let send_from t inst ~port event =
            inst.path port (Statechart.Event.signal event));
     t.sent <- t.sent + 1;
     Obs.Metrics.incr m_sent;
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_signal_send ~a:inst.flight_id
+      ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
+      ~sim:(Des.Engine.now t.engine);
     if Obs.Tracer.enabled () then
       Obs.Tracer.instant ~track:inst.path ~cat:"umlrt" ~name:"send"
         ~args:
@@ -163,6 +167,8 @@ let restart_instance (t : t) (inst : instance) =
     inst.restarts <- inst.restarts + 1;
     t.restarts <- t.restarts + 1;
     Fault.Supervisor.note_restart ();
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_restart ~a:inst.flight_id
+      ~b:Obs.Flightrec.no_label ~sim:(Des.Engine.now t.engine);
     if Obs.Tracer.enabled () then
       Obs.Tracer.instant ~track:inst.path ~cat:"fault" ~name:"capsule_restart"
         ~sim_time:(Des.Engine.now t.engine) ();
@@ -172,14 +178,35 @@ let restart_instance (t : t) (inst : instance) =
 let quarantine (t : t) (inst : instance) =
   if not inst.quarantined then begin
     inst.quarantined <- true;
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_quarantine ~a:inst.flight_id
+      ~b:Obs.Flightrec.no_label ~sim:(Des.Engine.now t.engine);
     if Obs.Tracer.enabled () then
       Obs.Tracer.instant ~track:inst.path ~cat:"fault" ~name:"capsule_quarantined"
         ~sim_time:(Des.Engine.now t.engine) ()
   end
 
+(* Capsule state summary for crash reports — evaluated lazily, only when
+   a report is actually written. *)
+let capsule_context t inst () =
+  Obs.Json.Obj
+    [ ("path", Obs.Json.Str inst.path);
+      ("sim_time", Obs.Json.Float (Des.Engine.now t.engine));
+      ("restarts", Obs.Json.Int inst.restarts);
+      ("quarantined", Obs.Json.Bool inst.quarantined);
+      ("configuration",
+       match inst.behavior with
+       | Some b ->
+         Obs.Json.List
+           (List.map (fun s -> Obs.Json.Str s) (b.Capsule.configuration ()))
+       | None -> Obs.Json.Null) ]
+
 let handle_capsule_fault (t : t) (inst : instance) ~reraise =
   match t.supervisor with
-  | None | Some Fault.Supervisor.Escalate -> reraise ()
+  | None | Some Fault.Supervisor.Escalate ->
+    ignore
+      (Obs.Crash_report.trigger ~reason:"capsule_escalation" ~role:inst.path
+         ~context:(capsule_context t inst) ());
+    reraise ()
   | Some Fault.Supervisor.Restart ->
     if inst.restarts >= t.max_restarts || not (restart_instance t inst) then
       quarantine t inst
@@ -214,6 +241,9 @@ let on_delivery t inst mailbox =
        t.delivered <- t.delivered + 1;
        Obs.Metrics.incr m_delivered;
        Obs.Metrics.incr m_rtc;
+       Obs.Flightrec.record ~kind:Obs.Flightrec.k_rtc ~a:inst.flight_id
+         ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
+         ~sim:(Des.Engine.now t.engine);
        let handled =
          if Obs.Tracer.enabled () then begin
            let start = Obs.Tracer.now_ns () in
@@ -239,8 +269,8 @@ let on_delivery t inst mailbox =
 let rec instantiate t ~latency ~path klass =
   let mailbox = Des.Mailbox.create t.engine ~latency path in
   let inst =
-    { path; klass; mailbox; behavior = None; watchdog = None;
-      quarantined = false; restarts = 0 }
+    { path; flight_id = Obs.Flightrec.intern path; klass; mailbox;
+      behavior = None; watchdog = None; quarantined = false; restarts = 0 }
   in
   Hashtbl.replace t.instances path inst;
   t.order <- path :: t.order;
@@ -315,6 +345,16 @@ let inject t ~port event =
   | Some decl ->
     t.sent <- t.sent + 1;
     Obs.Metrics.incr m_sent;
+    (* An injection is an external stimulus: it roots a fresh causal
+       chain, which the mailbox hop captures; the ambient cause of
+       whoever called us (e.g. a test poking mid-dispatch) is restored
+       after. *)
+    let ambient = Obs.Causal.current () in
+    ignore (Obs.Causal.mint ());
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_inject
+      ~a:(Obs.Flightrec.intern port)
+      ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
+      ~sim:(Des.Engine.now t.engine);
     (match decl.Capsule.kind with
      | Capsule.End ->
        (* Border End port: the root's own behaviour receives it. *)
@@ -323,7 +363,8 @@ let inject t ~port event =
           Des.Mailbox.send inst.mailbox (port, event)
         | Some _ | None -> drop t)
      | Capsule.Relay ->
-       deliver_target t event (resolve_from t (t.root_path, port)))
+       deliver_target t event (resolve_from t (t.root_path, port)));
+    Obs.Causal.set ambient
 
 let set_environment_listener t f = t.env_listener <- Some f
 let clear_environment_listener t = t.env_listener <- None
@@ -364,12 +405,19 @@ let watch_capsule t ~path ~timeout =
     let w =
       Fault.Supervisor.watchdog t.engine ~name:(path ^ ".watchdog") ~timeout
         (fun () ->
+           Obs.Flightrec.record ~kind:Obs.Flightrec.k_watchdog
+             ~a:inst.flight_id ~b:Obs.Flightrec.no_label
+             ~sim:(Des.Engine.now t.engine);
            match t.supervisor with
            | None | Some Fault.Supervisor.Restart ->
              if inst.restarts >= t.max_restarts || not (restart_instance t inst)
              then quarantine t inst
            | Some Fault.Supervisor.Freeze_last -> quarantine t inst
-           | Some Fault.Supervisor.Escalate -> raise (Watchdog_expired path))
+           | Some Fault.Supervisor.Escalate ->
+             ignore
+               (Obs.Crash_report.trigger ~reason:"watchdog_expired" ~role:path
+                  ~context:(capsule_context t inst) ());
+             raise (Watchdog_expired path))
     in
     inst.watchdog <- Some w
 

@@ -1,0 +1,1 @@
+test/test_causal.ml: Alcotest Array Dataflow Des Fault Filename Float Fun Gc Hybrid List Obs Ode Option Printf Statechart String Sys Umlrt Unix

@@ -1,1 +1,1 @@
-test/test_obs.ml: Alcotest Array Dataflow Float Fun Hybrid List Obs Ode Option Printf Statechart String Sys Umlrt
+test/test_obs.ml: Alcotest Array Dataflow Float Format Fun Hybrid Int64 List Obs Ode Option Printf QCheck QCheck_alcotest Statechart String Sys Umlrt

@@ -17,4 +17,5 @@ let () =
       ("lint", Test_lint.suite);
       ("codegen", Test_codegen.suite);
       ("obs", Test_obs.suite);
+      ("causal", Test_causal.suite);
       ("fault", Test_fault.suite) ]

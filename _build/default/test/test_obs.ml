@@ -48,6 +48,49 @@ let test_json_accessors () =
    | None -> Alcotest.fail "member chain");
   Alcotest.(check bool) "missing member" true (Obs.Json.member "z" v = None)
 
+(* Shortest round-trip float emission: every float must survive emit +
+   parse with its exact bit pattern — including the awkward ones a fixed
+   "%g" precision mangles — and integer-valued floats must come back as
+   floats, not ints. *)
+let float_bits_survive f =
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+  | Obs.Json.Float f' -> Int64.bits_of_float f' = Int64.bits_of_float f
+  | Obs.Json.Int _ -> false
+  | _ -> false
+
+let test_json_float_roundtrip_awkward () =
+  List.iter
+    (fun f ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%h round-trips bit-exactly" f)
+         true (float_bits_survive f))
+    [ 1e-9; 0.1; Float.max_float; -0.0; 0.; Float.min_float; 1. /. 3.;
+      2.5e-323 (* subnormal *); 1.7976931348623155e308; 0.30000000000000004;
+      -1e22; 6.02214076e23; Float.epsilon ]
+
+let qcheck_json_float_roundtrip =
+  (* Uniform bit patterns find the hard cases (deep significands,
+     subnormals) that uniform-in-value generators miss. *)
+  let gen =
+    QCheck.map
+      (fun bits ->
+         let f = Int64.float_of_bits bits in
+         if Float.is_nan f || Float.abs f = infinity then 0.5 else f)
+      QCheck.int64
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"json: float bits survive emit+parse"
+       gen float_bits_survive)
+
+let test_json_float_shortest () =
+  (* Shortest means pretty: common decimals come back out as typed. *)
+  Alcotest.(check string) "0.1 stays short" "0.1"
+    (Obs.Json.to_string (Obs.Json.Float 0.1));
+  Alcotest.(check string) "3 marked as float" "3.0"
+    (Obs.Json.to_string (Obs.Json.Float 3.));
+  Alcotest.(check string) "negative zero keeps its sign" "-0.0"
+    (Obs.Json.to_string (Obs.Json.Float (-0.0)))
+
 (* ---- Metrics ---- *)
 
 let test_metrics_get_or_create () =
@@ -91,6 +134,44 @@ let test_metrics_reset_and_json () =
   Alcotest.(check int) "counter zeroed" 0 (Obs.Metrics.value c);
   Alcotest.(check (float 0.)) "gauge zeroed" 0. (Obs.Metrics.gauge_value g)
 
+let test_metrics_pp_percentiles () =
+  (* Golden line: `--stats` output must carry p50/p90/p99 so operators
+     can read tail latency off the console without the JSON dump. *)
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram ~registry:reg ~bounds:[| 1.; 2.; 4.; 8. |] "lat"
+  in
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (if i <= 50 then 1. else if i <= 90 then 2. else 8.)
+  done;
+  let rendered = Format.asprintf "%a" Obs.Metrics.pp reg in
+  Alcotest.(check string) "histogram line carries p50/p90/p99"
+    "lat                              histogram n=100 mean=2.1 min=1 p50<=1 p90<=2 p99<=8 max=8\n"
+    rendered
+
+let test_metrics_snapshot () =
+  (* Snapshot gives differential tests a value-level view they can diff
+     without depending on accumulation order or registry internals. *)
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~registry:reg "n" in
+  let g = Obs.Metrics.gauge ~registry:reg "depth" in
+  let h = Obs.Metrics.histogram ~registry:reg "lat" in
+  Obs.Metrics.add c 3;
+  Obs.Metrics.set g 1.5;
+  Obs.Metrics.observe h 2.;
+  Obs.Metrics.observe h 4.;
+  (match Obs.Metrics.snapshot reg with
+   | [ ("depth", Obs.Metrics.Vgauge 1.5);
+       ("lat", Obs.Metrics.Vhistogram { vh_count = 2; vh_sum = 6. });
+       ("n", Obs.Metrics.Vcounter 3) ] -> ()
+   | _ -> Alcotest.fail "snapshot shape/order");
+  Obs.Metrics.reset reg;
+  Alcotest.(check bool) "snapshot after reset is all zeros" true
+    (Obs.Metrics.snapshot reg
+     = [ ("depth", Obs.Metrics.Vgauge 0.);
+         ("lat", Obs.Metrics.Vhistogram { vh_count = 0; vh_sum = 0. });
+         ("n", Obs.Metrics.Vcounter 0) ])
+
 (* ---- Tracer ring ---- *)
 
 let with_tracing f =
@@ -133,6 +214,68 @@ let test_tracer_span_duration () =
     Alcotest.(check bool) "non-negative duration" true (e.Obs.Tracer.dur_ns >= 0);
     Alcotest.(check (float 0.)) "sim time kept" 1. e.Obs.Tracer.sim_time
   | es -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length es))
+
+let test_export_wraparound_accounting () =
+  (* After the ring laps, the export must say so: exact dropped count in
+     otherData, and the surviving window emitted oldest-first. *)
+  let tr = Obs.Tracer.create ~capacity:4 () in
+  with_tracing (fun () ->
+      for i = 1 to 7 do
+        Obs.Tracer.instant ~tracer:tr ~cat:"t" ~name:(string_of_int i)
+          ~sim_time:(float_of_int i) ()
+      done);
+  Alcotest.(check int) "ring reports exact dropped" 3 (Obs.Tracer.dropped tr);
+  let parsed = Obs.Export.to_chrome_trace tr in
+  let other k = Option.bind (Obs.Json.member "otherData" parsed) (Obs.Json.member k) in
+  Alcotest.(check bool) "otherData.events_dropped matches" true
+    (other "events_dropped" = Some (Obs.Json.Int 3));
+  Alcotest.(check bool) "otherData.events_recorded counts all" true
+    (other "events_recorded" = Some (Obs.Json.Int 7));
+  let events =
+    match Obs.Json.member "traceEvents" parsed with
+    | Some l -> Obs.Json.to_list l
+    | None -> []
+  in
+  let field name e = Option.bind (Obs.Json.member name e) Obs.Json.string_value in
+  let slices = List.filter (fun e -> field "ph" e = Some "i") events in
+  Alcotest.(check (list string)) "oldest surviving event first"
+    [ "4"; "5"; "6"; "7" ]
+    (List.filter_map (field "name") slices)
+
+let test_export_flow_arrows () =
+  (* Events recorded under a cause id grow companion flow events: "s" at
+     the chain's first appearance, "t" on every later hop, bound to the
+     slice by name/ts so Perfetto draws the arrows. *)
+  let tr = Obs.Tracer.create ~capacity:8 () in
+  let cause =
+    with_tracing (fun () ->
+        let c = Obs.Causal.mint () in
+        Obs.Tracer.instant ~tracer:tr ~cat:"des" ~name:"root" ~sim_time:0. ();
+        Obs.Tracer.instant ~tracer:tr ~cat:"hybrid" ~name:"hop" ~sim_time:0. ();
+        Obs.Tracer.instant ~tracer:tr ~cat:"hybrid" ~name:"hop2" ~sim_time:0. ();
+        Obs.Causal.set Obs.Causal.none;
+        Obs.Tracer.instant ~tracer:tr ~cat:"des" ~name:"free" ~sim_time:0. ();
+        c)
+  in
+  let events =
+    match Obs.Json.member "traceEvents" (Obs.Export.to_chrome_trace tr) with
+    | Some l -> Obs.Json.to_list l
+    | None -> []
+  in
+  let field name e = Option.bind (Obs.Json.member name e) Obs.Json.string_value in
+  let flows =
+    List.filter (fun e -> field "cat" e = Some "causal") events
+  in
+  Alcotest.(check (list string)) "one start then steps, in event order"
+    [ "s"; "t"; "t" ]
+    (List.filter_map (field "ph") flows);
+  Alcotest.(check bool) "flow id is the cause id" true
+    (List.for_all
+       (fun e -> Obs.Json.member "id" e = Some (Obs.Json.Int cause))
+       flows);
+  Alcotest.(check (list string)) "arrows bind to the caused slices only"
+    [ "root"; "hop"; "hop2" ]
+    (List.filter_map (field "name") flows)
 
 (* ---- Chrome trace from an instrumented run ---- *)
 
@@ -261,12 +404,23 @@ let suite =
     Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
     Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
     Alcotest.test_case "json: accessors" `Quick test_json_accessors;
+    Alcotest.test_case "json: awkward float round-trips" `Quick
+      test_json_float_roundtrip_awkward;
+    qcheck_json_float_roundtrip;
+    Alcotest.test_case "json: shortest float emission" `Quick
+      test_json_float_shortest;
     Alcotest.test_case "metrics: get-or-create" `Quick test_metrics_get_or_create;
     Alcotest.test_case "metrics: histogram" `Quick test_metrics_histogram;
     Alcotest.test_case "metrics: reset + json dump" `Quick test_metrics_reset_and_json;
+    Alcotest.test_case "metrics: pp percentiles" `Quick test_metrics_pp_percentiles;
+    Alcotest.test_case "metrics: snapshot" `Quick test_metrics_snapshot;
     Alcotest.test_case "tracer: disabled is silent" `Quick
       test_tracer_disabled_records_nothing;
     Alcotest.test_case "tracer: ring overflow" `Quick test_tracer_ring_overflow;
     Alcotest.test_case "tracer: span duration" `Quick test_tracer_span_duration;
+    Alcotest.test_case "export: wraparound accounting" `Quick
+      test_export_wraparound_accounting;
+    Alcotest.test_case "export: causal flow arrows" `Quick
+      test_export_flow_arrows;
     Alcotest.test_case "chrome trace from a cruise run" `Quick
       test_chrome_trace_export ]

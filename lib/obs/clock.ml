@@ -7,3 +7,13 @@ let now_ns () =
   if dt <= 0. then 0 else int_of_float (dt *. 1e9)
 
 let ns_to_us ns = float_of_int ns /. 1e3
+
+(* Coarse cached timestamp for always-on instrumentation: [now_ns] calls
+   [Unix.gettimeofday], which both costs a syscall-ish hop and allocates
+   a boxed float — unacceptable inside the zero-alloc tick path. The
+   dispatch loop refreshes this once per event (where it already
+   allocates); hot recorders read the cached int for free. *)
+let coarse = ref 0
+
+let refresh_coarse () = coarse := now_ns ()
+let[@inline] coarse_ns () = !coarse

@@ -1,0 +1,313 @@
+(* Causality layer tests: cause-ID minting and propagation through the
+   DES queue, the always-on flight recorder, and the post-mortem crash
+   report — including the acceptance chain that must span DES dispatch,
+   capsule RTC, SPort signal, solver reaction and DPort flow write. *)
+
+let reset_obs () =
+  Obs.Causal.reset ();
+  Obs.Flightrec.clear ();
+  Obs.Crash_report.reset ();
+  Obs.Crash_report.set_dir None
+
+(* ---- Causal minting and propagation ---- *)
+
+let test_dispatch_mints_roots () =
+  reset_obs ();
+  let engine = Des.Engine.create () in
+  let seen = ref [] in
+  let observe () = seen := Obs.Causal.current () :: !seen in
+  ignore (Des.Engine.schedule_at engine ~time:1. observe);
+  ignore (Des.Engine.schedule_at engine ~time:2. observe);
+  ignore (Des.Engine.run_until engine 3.);
+  (match List.rev !seen with
+   | [ a; b ] ->
+     Alcotest.(check bool) "both dispatches carry a cause" true
+       (a <> Obs.Causal.none && b <> Obs.Causal.none);
+     Alcotest.(check bool) "externally posted events are distinct roots" true
+       (a <> b)
+   | _ -> Alcotest.fail "expected two dispatches");
+  Alcotest.(check int) "no ambient cause between dispatches"
+    Obs.Causal.none (Obs.Causal.current ())
+
+let test_scheduled_work_inherits_chain () =
+  reset_obs ();
+  let engine = Des.Engine.create () in
+  let root_cause = ref Obs.Causal.none in
+  let child_cause = ref Obs.Causal.none in
+  let grandchild_cause = ref Obs.Causal.none in
+  ignore
+    (Des.Engine.schedule_at engine ~time:1. (fun () ->
+         root_cause := Obs.Causal.current ();
+         ignore
+           (Des.Engine.schedule_at engine ~time:2. (fun () ->
+                child_cause := Obs.Causal.current ();
+                ignore
+                  (Des.Engine.schedule_at engine ~time:3. (fun () ->
+                       grandchild_cause := Obs.Causal.current ()))))));
+  ignore (Des.Engine.run_until engine 4.);
+  Alcotest.(check bool) "root minted" true (!root_cause <> Obs.Causal.none);
+  Alcotest.(check int) "work scheduled during a dispatch inherits its chain"
+    !root_cause !child_cause;
+  Alcotest.(check int) "inheritance crosses any number of hops"
+    !root_cause !grandchild_cause
+
+let test_periodic_releases_are_fresh_roots () =
+  reset_obs ();
+  let engine = Des.Engine.create () in
+  let causes = ref [] in
+  ignore
+    (Des.Timer.periodic engine ~period:1. (fun _i ->
+         causes := Obs.Causal.current () :: !causes));
+  ignore (Des.Engine.run_until engine 3.5);
+  let cs = List.rev !causes in
+  Alcotest.(check int) "three releases" 3 (List.length cs);
+  Alcotest.(check bool) "every release carries a cause" true
+    (List.for_all (fun c -> c <> Obs.Causal.none) cs);
+  Alcotest.(check int) "each release is its own root"
+    3 (List.length (List.sort_uniq compare cs))
+
+(* ---- Flight recorder ---- *)
+
+let test_flightrec_records_and_wraps () =
+  reset_obs ();
+  let who = Obs.Flightrec.intern "who" in
+  let n = Obs.Flightrec.capacity + 5 in
+  for i = 1 to n do
+    Obs.Flightrec.record ~kind:Obs.Flightrec.k_tick ~a:who
+      ~b:Obs.Flightrec.no_label ~sim:(float_of_int i)
+  done;
+  Alcotest.(check int) "ring holds capacity"
+    Obs.Flightrec.capacity (Obs.Flightrec.length ());
+  Alcotest.(check int) "total counts every record" n (Obs.Flightrec.total ());
+  (match Obs.Flightrec.entries () with
+   | oldest :: _ ->
+     Alcotest.(check (float 0.)) "oldest surviving entry first"
+       6. oldest.Obs.Flightrec.e_sim;
+     Alcotest.(check string) "label survives interning"
+       "who" oldest.Obs.Flightrec.e_a
+   | [] -> Alcotest.fail "empty window");
+  let dropped =
+    Option.bind (Obs.Json.member "dropped" (Obs.Flightrec.to_json ()))
+      (function Obs.Json.Int i -> Some i | _ -> None)
+  in
+  Alcotest.(check (option int)) "json window reports exact dropped"
+    (Some 5) dropped;
+  Obs.Flightrec.clear ();
+  Alcotest.(check int) "clear empties" 0 (Obs.Flightrec.length ())
+
+let test_flightrec_record_is_alloc_free () =
+  reset_obs ();
+  Obs.Flightrec.set_enabled true;
+  let who = Obs.Flightrec.intern "alloc_probe" in
+  let record () =
+    for _ = 1 to 100 do
+      Obs.Flightrec.record ~kind:Obs.Flightrec.k_dispatch ~a:who
+        ~b:Obs.Flightrec.no_label ~sim:0.5
+    done
+  in
+  record ();
+  record ();
+  let before = Gc.minor_words () in
+  record ();
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.)) "recording allocates nothing" 0. words
+
+(* ---- The acceptance chain: a crash report spanning all five hops ---- *)
+
+(* Cruise-control fixture with a vengeful driver: when the streamer
+   signals at_speed, the capsule replies with a "poison" signal whose
+   strategy handler corrupts the solver state to NaN. The post-handle
+   finiteness check then escalates *during the delivery*, so the report's
+   causal chain runs from the timer dispatch that produced the crossing
+   all the way to the fault — crossing DES, UML-RT, signal and dataflow
+   layers in one chain. *)
+let poisoned_cruise () =
+  let protocol =
+    Umlrt.Protocol.create "Cruise"
+      ~incoming:
+        [ Umlrt.Protocol.signal ~payload:Dataflow.Flow_type.float_flow
+            "set_speed";
+          Umlrt.Protocol.signal "poison" ]
+      ~outgoing:[ Umlrt.Protocol.signal "at_speed" ]
+  in
+  let vehicle =
+    Hybrid.Streamer.leaf "vehicle" ~rate:0.05 ~dim:1 ~init:[| 0. |]
+      ~dports:
+        [ Hybrid.Streamer.dport_in "force"; Hybrid.Streamer.dport_out "speed" ]
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "speed") ])
+      ~rhs:(fun (env : Hybrid.Solver.env) _t y ->
+          [| (env.Hybrid.Solver.input "force" -. (0.5 *. y.(0))) /. 10. |])
+  in
+  let strategy = Hybrid.Strategy.create () in
+  Hybrid.Strategy.on strategy ~signal:"set_speed"
+    (Hybrid.Strategy.set_param_from_payload "ref");
+  Hybrid.Strategy.on strategy ~signal:"poison" (fun ctl _event ->
+      ctl.Hybrid.Strategy.set_state [| Float.nan |]);
+  let cruise =
+    Hybrid.Streamer.leaf "cruise" ~rate:0.05 ~dim:1 ~init:[| 0. |]
+      ~params:[ ("ref", 5.); ("kp", 8.); ("ki", 2.) ]
+      ~dports:
+        [ Hybrid.Streamer.dport_in "speed"; Hybrid.Streamer.dport_out "force" ]
+      ~sports:[ Hybrid.Streamer.sport "cmd" protocol ]
+      ~guards:
+        [ { Hybrid.Streamer.guard_id = "at_speed"; signal = "at_speed";
+            via_sport = "cmd"; direction = Ode.Events.Rising;
+            expr =
+              (fun (env : Hybrid.Solver.env) _t _y ->
+                 0.2
+                 -. Float.abs
+                      (env.Hybrid.Solver.param "ref"
+                       -. env.Hybrid.Solver.input "speed"));
+            payload = None } ]
+      ~strategy
+      ~outputs:
+        (Hybrid.Streamer.output_fn (fun (env : Hybrid.Solver.env) _t y ->
+             let p = env.Hybrid.Solver.param in
+             let err = p "ref" -. env.Hybrid.Solver.input "speed" in
+             [ ("force",
+                Dataflow.Value.Float ((p "kp" *. err) +. (p "ki" *. y.(0)))) ]))
+      ~rhs:(fun (env : Hybrid.Solver.env) _t _y ->
+          [| env.Hybrid.Solver.param "ref" -. env.Hybrid.Solver.input "speed" |])
+  in
+  let driver =
+    Umlrt.Capsule.create "driver"
+      ~ports:[ Umlrt.Capsule.port ~conjugated:true "cruise" protocol ]
+      ~behavior:(fun (services : Umlrt.Capsule.services) ->
+          { Umlrt.Capsule.on_start =
+              (fun () ->
+                 services.Umlrt.Capsule.send ~port:"cruise"
+                   (Statechart.Event.make ~value:(Dataflow.Value.Float 5.)
+                      "set_speed"));
+            on_event =
+              (fun ~port:_ event ->
+                 if String.equal (Statechart.Event.signal event) "at_speed"
+                 then
+                   services.Umlrt.Capsule.send ~port:"cruise"
+                     (Statechart.Event.make "poison");
+                 true);
+            configuration = (fun () -> []) })
+  in
+  let engine = Hybrid.Engine.create ~root:driver () in
+  Hybrid.Engine.add_streamer engine ~role:"vehicle" vehicle;
+  Hybrid.Engine.add_streamer engine ~role:"cruise" cruise;
+  Hybrid.Engine.connect_flow_exn engine ~src:("vehicle", "speed")
+    ~dst:("cruise", "speed");
+  Hybrid.Engine.connect_flow_exn engine ~src:("cruise", "force")
+    ~dst:("vehicle", "force");
+  Hybrid.Engine.link_sport_exn engine ~role:"cruise" ~sport:"cmd"
+    ~border_port:"cruise";
+  engine
+
+let with_crash_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "umh_causal_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  Obs.Crash_report.set_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+        Obs.Crash_report.set_dir None;
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_crash_report_chain_spans_five_hops () =
+  reset_obs ();
+  with_crash_dir (fun _dir ->
+      let engine = poisoned_cruise () in
+      Hybrid.Engine.set_supervisor engine Fault.Supervisor.Escalate;
+      let diverged =
+        try
+          Hybrid.Engine.run_until engine 10.;
+          None
+        with Hybrid.Engine.Diverged role -> Some role
+      in
+      Alcotest.(check (option string)) "poison escalates as divergence"
+        (Some "cruise") diverged;
+      let report_path =
+        match Obs.Crash_report.last_report () with
+        | Some p -> p
+        | None -> Alcotest.fail "no crash report written"
+      in
+      let report = Obs.Json.of_string (read_file report_path) in
+      Alcotest.(check bool) "schema tag" true
+        (Obs.Json.member "schema" report
+         = Some (Obs.Json.Str "umh-crash-report"));
+      Alcotest.(check bool) "reason is divergence" true
+        (Obs.Json.member "reason" report
+         = Some (Obs.Json.Str "solver_divergence"));
+      let hops =
+        match
+          Option.bind (Obs.Json.member "chain" report) (Obs.Json.member "hops")
+        with
+        | Some l -> Obs.Json.to_list l
+        | None -> Alcotest.fail "report carries no causal chain"
+      in
+      let kinds =
+        List.filter_map
+          (fun hop ->
+             Option.bind (Obs.Json.member "kind" hop) Obs.Json.string_value)
+          hops
+      in
+      List.iter
+        (fun required ->
+           Alcotest.(check bool)
+             (Printf.sprintf "chain reaches the %s hop (got: %s)" required
+                (String.concat " -> " kinds))
+             true
+             (List.mem required kinds))
+        [ "dispatch"; "rtc"; "signal_send"; "solver_advance"; "flow_write" ];
+      Alcotest.(check bool) "the chain terminates in the fault" true
+        (List.mem "fault" kinds);
+      Alcotest.(check bool) "every hop carries a latency" true
+        (List.for_all
+           (fun hop ->
+              match Obs.Json.member "latency_ns" hop with
+              | Some (Obs.Json.Int ns) -> ns >= 0
+              | _ -> false)
+           hops);
+      Alcotest.(check bool) "flight recorder window rides along" true
+        (Option.bind (Obs.Json.member "flight_recorder" report)
+           (Obs.Json.member "entries")
+         <> None);
+      Alcotest.(check bool) "context summarises the solver" true
+        (Option.bind (Obs.Json.member "context" report)
+           (Obs.Json.member "state_finite")
+         = Some (Obs.Json.Bool false)));
+  reset_obs ()
+
+(* Without a crash dir the same run must escalate identically and write
+   nothing — trigger is a load and a branch. *)
+let test_no_crash_dir_writes_nothing () =
+  reset_obs ();
+  let engine = poisoned_cruise () in
+  Hybrid.Engine.set_supervisor engine Fault.Supervisor.Escalate;
+  (try Hybrid.Engine.run_until engine 10. with Hybrid.Engine.Diverged _ -> ());
+  Alcotest.(check bool) "no report without a configured directory" true
+    (Obs.Crash_report.last_report () = None);
+  reset_obs ()
+
+let suite =
+  [ Alcotest.test_case "causal: dispatch mints roots" `Quick
+      test_dispatch_mints_roots;
+    Alcotest.test_case "causal: scheduled work inherits chain" `Quick
+      test_scheduled_work_inherits_chain;
+    Alcotest.test_case "causal: periodic releases are fresh roots" `Quick
+      test_periodic_releases_are_fresh_roots;
+    Alcotest.test_case "flightrec: record + wraparound" `Quick
+      test_flightrec_records_and_wraps;
+    Alcotest.test_case "flightrec: record is alloc-free" `Quick
+      test_flightrec_record_is_alloc_free;
+    Alcotest.test_case "crash report spans the five-hop chain" `Quick
+      test_crash_report_chain_spans_five_hops;
+    Alcotest.test_case "no crash dir, no report" `Quick
+      test_no_crash_dir_writes_nothing ]
