@@ -91,4 +91,57 @@ let () =
   (match Obs.Json.member "flight_entries" crash with
    | Some (Obs.Json.Int n) when n > 0 -> ()
    | _ -> fail "crash_report.flight_entries must be a positive int");
-  Printf.printf "check_json: %s ok (%d e3 points)\n" path (List.length points)
+  (* telemetry / profile: optional (older reports predate them — the
+     perf trajectory must keep validating PR5-era files) but strict when
+     present: a malformed section fails, never silently passes. Both are
+     schema-versioned so a future shape change must bump the int. *)
+  let positive_int section name = function
+    | Some (Obs.Json.Int n) when n > 0 -> ()
+    | Some _ -> fail "%s.%s must be a positive int" section name
+    | None -> fail "missing %s.%s" section name
+  in
+  let telemetry_present =
+    match Obs.Json.member "telemetry" json with
+    | None -> false
+    | Some tel ->
+      (match Obs.Json.member "schema_version" tel with
+       | Some (Obs.Json.Int 1) -> ()
+       | Some _ -> fail "telemetry.schema_version must be 1"
+       | None -> fail "missing telemetry.schema_version");
+      List.iter
+        (fun field -> require_float field (Obs.Json.member field tel))
+        [ "every_s"; "telemetry_off_ms"; "telemetry_on_ms";
+          "emit_us_per_record"; "on_over_off" ];
+      positive_int "telemetry" "records" (Obs.Json.member "records" tel);
+      positive_int "telemetry" "streamers" (Obs.Json.member "streamers" tel);
+      true
+  in
+  let profile_present =
+    match Obs.Json.member "profile" json with
+    | None -> false
+    | Some prof ->
+      (match Obs.Json.member "schema_version" prof with
+       | Some (Obs.Json.Int 1) -> ()
+       | Some _ -> fail "profile.schema_version must be 1"
+       | None -> fail "missing profile.schema_version");
+      List.iter
+        (fun field -> require_float field (Obs.Json.member field prof))
+        [ "profile_off_ms"; "profile_on_ms"; "on_over_off" ];
+      positive_int "profile" "entities" (Obs.Json.member "entities" prof);
+      (match Obs.Json.member "top" prof with
+       | Some (Obs.Json.List (_ :: _ as rows)) ->
+         List.iter
+           (fun r ->
+              (match Obs.Json.member "name" r with
+               | Some (Obs.Json.Str _) -> ()
+               | _ -> fail "profile.top entry missing string \"name\"");
+              positive_int "profile.top" "count" (Obs.Json.member "count" r))
+           rows
+       | Some _ -> fail "profile.top is not a non-empty list"
+       | None -> fail "missing profile.top");
+      true
+  in
+  Printf.printf "check_json: %s ok (%d e3 points%s%s)\n" path
+    (List.length points)
+    (if telemetry_present then ", telemetry" else "")
+    (if profile_present then ", profile" else "")

@@ -1044,6 +1044,210 @@ let run_causal () =
     (if on /. off < 1.03 then "under" else "MORE THAN") (on /. off)
 
 (* ------------------------------------------------------------------ *)
+(* TELEMETRY — snapshot-stream overhead at the default cadence          *)
+(* ------------------------------------------------------------------ *)
+
+let run_telemetry () =
+  section_header "TELEMETRY"
+    "telemetry stream — JSONL emitter overhead at the default cadence";
+  let streamers = if !quick then 4 else 16 in
+  let horizon = if !quick then 2. else 10. in
+  let sink = Buffer.create (1 lsl 16) in
+  let records = ref 0 and bytes = ref 0 and dense_records = ref 1 in
+  let workload_off () =
+    let engine = e3_engine streamers in
+    Hybrid.Engine.run_until engine horizon
+  in
+  let workload_on () =
+    Buffer.clear sink;
+    Obs.Telemetry.configure (Buffer.add_string sink);
+    let engine = e3_engine streamers in
+    Hybrid.Engine.run_until engine horizon;
+    records := Obs.Telemetry.records ();
+    bytes := Buffer.length sink;
+    Obs.Telemetry.stop ()
+  in
+  (* Third arm at a 10x denser cadence: the default-cadence delta is a
+     couple hundred microseconds, which a shared machine's load jitter
+     swamps in a direct A/B; 10x the records makes the slope (marginal
+     cost per record) stand well clear of the noise floor. *)
+  let workload_dense () =
+    Buffer.clear sink;
+    Obs.Telemetry.configure ~every:(Obs.Telemetry.default_every /. 10.)
+      (Buffer.add_string sink);
+    let engine = e3_engine streamers in
+    Hybrid.Engine.run_until engine horizon;
+    dense_records := Obs.Telemetry.records ();
+    Obs.Telemetry.stop ()
+  in
+  workload_off () (* warm-up *);
+  workload_on ();
+  (* Paired rounds: each round times off and on back to back (order
+     alternating) and contributes one on/off ratio; the recorded ratio is
+     the median over rounds. A machine-wide slowdown inflates both arms
+     of a pair together, so per-pair ratios stay honest where a ratio of
+     cross-round minima would not — at this workload size the true delta
+     is a few hundred microseconds, well under shared-machine jitter. *)
+  let off = ref infinity and on = ref infinity and dense = ref infinity in
+  let ratios = ref [] in
+  let rounds = if !quick then 3 else 21 in
+  (* Each arm starts from an empty minor heap: the on arm allocates the
+     record strings, and without this the pair can differ by a whole
+     minor collection landing inside one timed window but not the
+     other. *)
+  let timed w = Gc.full_major (); wall w in
+  for i = 1 to rounds do
+    let t_off, t_on =
+      if i land 1 = 0 then begin
+        let (), t_on = timed workload_on in
+        let (), t_off = timed workload_off in
+        (t_off, t_on)
+      end
+      else begin
+        let (), t_off = timed workload_off in
+        let (), t_on = timed workload_on in
+        (t_off, t_on)
+      end
+    in
+    if t_off < !off then off := t_off;
+    if t_on < !on then on := t_on;
+    ratios := (t_on /. t_off) :: !ratios;
+    let (), t = timed workload_dense in
+    if t < !dense then dense := t
+  done;
+  let off = !off and on = !on in
+  let ratio =
+    let sorted = List.sort compare !ratios in
+    List.nth sorted (rounds / 2)
+  in
+  let us_per_record =
+    (!dense -. off) /. float_of_int !dense_records *. 1e6
+  in
+  (* Best estimate of the default-cadence overhead: records x marginal
+     cost over the off baseline. The direct A/B delta at the default
+     cadence is ~0.1 ms — under shared-machine load jitter — so the
+     slope-derived ratio is the better-conditioned number; the raw
+     paired median is recorded alongside for honesty. *)
+  let slope_ratio =
+    (off +. (float_of_int !records *. us_per_record *. 1e-6)) /. off
+  in
+  Printf.printf "workload: %d thermal streamers at 100 Hz, %g simulated seconds\n\n"
+    streamers horizon;
+  Printf.printf "  %-36s %10.2f ms\n" "telemetry off" (off *. 1e3);
+  Printf.printf "  %-36s %10.2f ms  (x%.3f median of %d pairs)\n"
+    (Printf.sprintf "telemetry on (every %gs sim)" Obs.Telemetry.default_every)
+    (on *. 1e3) ratio rounds;
+  Printf.printf "  %-36s %10s    (x%.4f from slope)\n"
+    "overhead estimate" "" slope_ratio;
+  Printf.printf "  %-36s %10.2f us  (slope at 10x cadence, %d records)\n"
+    "marginal cost per record" us_per_record !dense_records;
+  Printf.printf "  %-36s %10d (%d bytes)\n" "records per run" !records !bytes;
+  record_json "telemetry"
+    (Obs.Json.Obj
+       [ ("schema_version", Obs.Json.Int 1);
+         ("streamers", Obs.Json.Int streamers);
+         ("horizon_s", Obs.Json.Float horizon);
+         ("every_s", Obs.Json.Float Obs.Telemetry.default_every);
+         ("records", Obs.Json.Int !records);
+         ("bytes", Obs.Json.Int !bytes);
+         ("telemetry_off_ms", Obs.Json.Float (off *. 1e3));
+         ("telemetry_on_ms", Obs.Json.Float (on *. 1e3));
+         ("emit_us_per_record", Obs.Json.Float us_per_record);
+         ("on_over_off", Obs.Json.Float slope_ratio);
+         ("on_over_off_direct", Obs.Json.Float ratio) ]);
+  Printf.printf
+    "\nClaim check: streaming one record per 0.1 simulated seconds costs %s\n\
+     2%% on the E3 workload (x%.4f, slope-derived; direct paired median\n\
+     x%.3f) — the tick hook is a float compare and emission happens on\n\
+     cadence boundaries only.\n"
+    (if slope_ratio < 1.02 then "under" else "MORE THAN") slope_ratio ratio
+
+(* ------------------------------------------------------------------ *)
+(* PROFILE — per-entity attribution overhead and rollup shape           *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile () =
+  section_header "PROFILE"
+    "profiler — per-entity attribution overhead and top rollup";
+  let streamers = if !quick then 4 else 16 in
+  let horizon = if !quick then 2. else 10. in
+  let workload () =
+    let engine = e3_engine streamers in
+    Hybrid.Engine.run_until engine horizon
+  in
+  workload () (* warm-up *);
+  (* Paired rounds with a median ratio, as in the telemetry section. *)
+  let off = ref infinity and on = ref infinity in
+  let ratios = ref [] in
+  let rounds = if !quick then 3 else 11 in
+  let arm enabled =
+    Obs.Profile.set_enabled enabled;
+    Gc.full_major ();
+    let (), t = wall workload in
+    t
+  in
+  for i = 1 to rounds do
+    let t_off, t_on =
+      if i land 1 = 0 then begin
+        let t_on = arm true in
+        let t_off = arm false in
+        (t_off, t_on)
+      end
+      else begin
+        let t_off = arm false in
+        let t_on = arm true in
+        (t_off, t_on)
+      end
+    in
+    if t_off < !off then off := t_off;
+    if t_on < !on then on := t_on;
+    ratios := (t_on /. t_off) :: !ratios
+  done;
+  let ratio =
+    let sorted = List.sort compare !ratios in
+    List.nth sorted (rounds / 2)
+  in
+  (* One clean accounting run for the recorded rollup (the timing reps
+     accumulated into the same slots). *)
+  Obs.Profile.reset ();
+  workload ();
+  Obs.Profile.set_enabled false;
+  let off = !off and on = !on in
+  Printf.printf "workload: %d thermal streamers at 100 Hz, %g simulated seconds\n\n"
+    streamers horizon;
+  Printf.printf "  %-36s %10.2f ms\n" "profiler off" (off *. 1e3);
+  Printf.printf "  %-36s %10.2f ms  (x%.3f median of %d pairs)\n"
+    "profiler on" (on *. 1e3) ratio rounds;
+  Printf.printf "\n  top entities by self time:\n";
+  Format.printf "%a@?" Obs.Profile.pp_top 5;
+  let rows = Obs.Profile.top 3 in
+  record_json "profile"
+    (Obs.Json.Obj
+       [ ("schema_version", Obs.Json.Int 1);
+         ("streamers", Obs.Json.Int streamers);
+         ("horizon_s", Obs.Json.Float horizon);
+         ("entities", Obs.Json.Int (List.length (Obs.Profile.rows ())));
+         ("profile_off_ms", Obs.Json.Float (off *. 1e3));
+         ("profile_on_ms", Obs.Json.Float (on *. 1e3));
+         ("on_over_off", Obs.Json.Float ratio);
+         ("top",
+          Obs.Json.List
+            (List.map
+               (fun r ->
+                  Obs.Json.Obj
+                    [ ("kind", Obs.Json.Str r.Obs.Profile.r_kind);
+                      ("name", Obs.Json.Str r.Obs.Profile.r_name);
+                      ("count", Obs.Json.Int r.Obs.Profile.r_count);
+                      ("self_ns", Obs.Json.Int r.Obs.Profile.r_self_ns) ])
+               rows)) ]);
+  Obs.Profile.reset ();
+  Printf.printf
+    "\nClaim check: full per-entity attribution (two clock reads + two\n\
+     minor-word reads per frame) costs x%.3f on the E3 workload; solver\n\
+     kernels dominate self time, as the architecture predicts.\n"
+    ratio
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1212,6 +1416,8 @@ let sections =
     ("obs", run_obs);
     ("faults", run_faults);
     ("causal", run_causal);
+    ("telemetry", run_telemetry);
+    ("profile", run_profile);
     ("micro", run_micro) ]
 
 let write_json_report path =

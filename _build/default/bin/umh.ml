@@ -47,7 +47,7 @@ let check_cmd_run path = exit (report_check path (load_checked path))
 (* ---- simulate ---- *)
 
 let simulate_run path duration trace_spec csv_out verify show_stats faults_file
-    crash_dir =
+    crash_dir telemetry_out telemetry_every profile flight_dump =
   (* [--trace FILE.json] means a Chrome trace of the whole run;
      [--trace ROLE.DPORT] keeps its original meaning (signal trace). *)
   let chrome_out, trace_spec =
@@ -56,6 +56,24 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
     | other -> (None, other)
   in
   if chrome_out <> None then Obs.Tracer.set_enabled true;
+  if profile then Obs.Profile.set_enabled true;
+  if Float.is_nan telemetry_every || telemetry_every <= 0. then begin
+    Printf.eprintf "--telemetry-every: cadence must be positive\n";
+    exit 2
+  end;
+  let telemetry_oc =
+    match telemetry_out with
+    | None -> None
+    | Some file ->
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "--telemetry: %s\n" msg;
+          exit 2
+      in
+      Obs.Telemetry.configure ~every:telemetry_every (output_string oc);
+      Some (file, oc)
+  in
   (match crash_dir with
    | Some dir ->
      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
@@ -194,6 +212,48 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
        out (Obs.Tracer.length tracer) (Obs.Tracer.dropped tracer)
        (String.concat ", " (Obs.Tracer.categories tracer))
    | None -> ());
+  (match telemetry_oc with
+   | Some (file, oc) ->
+     let n = Obs.Telemetry.records () in
+     Obs.Telemetry.stop ();
+     close_out oc;
+     Printf.printf "  telemetry -> %s (%d records, every %gs)\n" file n
+       telemetry_every
+   | None -> ());
+  (match flight_dump with
+   | Some out ->
+     let dump =
+       Obs.Json.Obj
+         [ ("schema", Obs.Json.Str "umh-flight-dump");
+           ("version", Obs.Json.Int 1);
+           ("model", Obs.Json.Str path);
+           ("duration_s", Obs.Json.Float duration);
+           ("flight_recorder", Obs.Flightrec.to_json ()) ]
+     in
+     let oc = open_out out in
+     output_string oc (Obs.Json.to_string dump);
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf
+       "  flight dump -> %s (%d entries held, %d recorded, %d dropped; render \
+        with `umh report %s`)\n"
+       out (Obs.Flightrec.length ()) (Obs.Flightrec.total ())
+       (Obs.Flightrec.dropped ()) out
+   | None -> ());
+  if profile then begin
+    Printf.printf "  profile (top 20 entities by self time):\n";
+    Format.printf "%a@?" Obs.Profile.pp_top 20;
+    List.iter
+      (fun name ->
+         let h = Obs.Metrics.histogram name in
+         let n = Obs.Metrics.histogram_count h in
+         if n > 0 then
+           Printf.printf
+             "  %-34s n=%d mean=%.3gs p90<=%.3gs p99<=%.3gs\n" name n
+             (Obs.Metrics.histogram_sum h /. float_of_int n)
+             (Obs.Metrics.quantile h 0.9) (Obs.Metrics.quantile h 0.99))
+      [ "profile.latency.capsule_rtc_s"; "profile.latency.streamer_signal_s" ]
+  end;
   if show_stats then begin
     Printf.printf "  runtime metrics:\n";
     Format.printf "%a@?" Obs.Metrics.pp Obs.Metrics.default
@@ -228,21 +288,76 @@ let pp_latency ns =
   else if ns < 1_000_000 then Printf.sprintf "+%.1fus" (float_of_int ns /. 1e3)
   else Printf.sprintf "+%.2fms" (float_of_int ns /. 1e6)
 
+(* Render a flight dump (written by `simulate --flight-dump`): window
+   summary, entry counts by kind, then the most recent entries. *)
+let report_flight_dump file json =
+  Printf.printf "flight dump %s (schema v%d)\n" file (json_int json "version");
+  (match Obs.Json.member "model" json with
+   | Some (Obs.Json.Str m) -> Printf.printf "  model:  %s\n" m
+   | _ -> ());
+  let fr =
+    Option.value ~default:(Obs.Json.Obj [])
+      (Obs.Json.member "flight_recorder" json)
+  in
+  let entries =
+    Obs.Json.to_list
+      (Option.value ~default:(Obs.Json.List []) (Obs.Json.member "entries" fr))
+  in
+  Printf.printf "  flight recorder: %d entries held (%d recorded, %d dropped)\n"
+    (List.length entries) (json_int fr "recorded") (json_int fr "dropped");
+  let by_kind = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+       let k = json_str e "kind" in
+       Hashtbl.replace by_kind k
+         (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k)))
+    entries;
+  let counts =
+    List.sort
+      (fun (_, a) (_, b) -> compare (b : int) a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind [])
+  in
+  Printf.printf "  by kind: %s\n"
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) counts));
+  let n = List.length entries in
+  let show = 20 in
+  if n > show then Printf.printf "  last %d entries:\n" show
+  else Printf.printf "  entries:\n";
+  List.iteri
+    (fun i e ->
+       if i >= n - show then begin
+         let who = json_str ~default:"" e "who" in
+         let what = json_str ~default:"" e "what" in
+         let label =
+           String.concat " "
+             (List.filter (fun s -> s <> "") [ json_str e "kind"; who; what ])
+         in
+         Printf.printf "    %-46s t=%-10g cause=#%d\n" label
+           (json_float e "sim_time") (json_int e "cause")
+       end)
+    entries
+
 let report_run file =
   let json =
     match Obs.Json.of_string (read_file file) with
     | j -> j
     | exception Obs.Json.Parse_error msg ->
-      Printf.eprintf "%s: not a crash report: %s\n" file msg;
+      Printf.eprintf "%s: not a crash report or flight dump: %s\n" file msg;
       exit 2
     | exception Sys_error msg ->
       Printf.eprintf "umh report: %s\n" msg;
       exit 2
   in
-  if json_str json "schema" <> "umh-crash-report" then begin
-    Printf.eprintf "%s: not a crash report (missing schema tag)\n" file;
-    exit 2
-  end;
+  (match json_str json "schema" with
+   | "umh-crash-report" -> ()
+   | "umh-flight-dump" ->
+     report_flight_dump file json;
+     exit 0
+   | _ ->
+     Printf.eprintf "%s: not a crash report or flight dump (missing schema tag)\n"
+       file;
+     exit 2);
   Printf.printf "crash report %s (schema v%d)\n" file (json_int json "version");
   Printf.printf "  reason: %s\n" (json_str json "reason");
   (match Obs.Json.member "role" json with
@@ -291,6 +406,35 @@ let report_run file =
    | Some (Obs.Json.Obj fields) ->
      Printf.printf "  metrics: %d recorded\n" (List.length fields)
    | Some _ | None -> ())
+
+(* ---- perf ---- *)
+
+(* Summarize / diff performance records: telemetry JSONL streams from
+   `simulate --telemetry` or BENCH_*.json bench records, shape detected
+   from content. Diff exits 1 on regression so it can gate CI. *)
+
+let perf_load file =
+  match Obs.Perfcmp.summarize ~label:file (read_file file) with
+  | s -> s
+  | exception Failure msg ->
+    Printf.eprintf "umh perf: %s\n" msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "umh perf: %s\n" msg;
+    exit 2
+
+let perf_summarize_run file =
+  Format.printf "%a@?" Obs.Perfcmp.pp_summary (perf_load file)
+
+let perf_diff_run old_file new_file tol =
+  if Float.is_nan tol || tol < 0. then begin
+    Printf.eprintf "--tolerance must be a non-negative fraction\n";
+    exit 2
+  end;
+  let a = perf_load old_file and b = perf_load new_file in
+  let r = Obs.Perfcmp.diff ~tol a b in
+  Format.printf "%a@?" (fun ppf () -> Obs.Perfcmp.pp_diff ppf ~tol a b r) ();
+  if r.Obs.Perfcmp.regressions <> [] then exit 1
 
 (* ---- codegen ---- *)
 
@@ -466,9 +610,33 @@ let simulate_cmd =
                  chain with per-hop latencies, state summaries, metrics) into \
                  DIR, created if missing. Render with $(b,umh report).")
   in
+  let telemetry =
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"OUT.jsonl"
+           ~doc:"Stream one self-contained telemetry record per interval \
+                 (JSON lines: metric deltas, queue depths, flight-recorder \
+                 drop counts, profile rollups when $(b,--profile) is on). \
+                 Summarize or diff with $(b,umh perf).")
+  in
+  let telemetry_every =
+    Arg.(value & opt float Obs.Telemetry.default_every
+           & info [ "telemetry-every" ] ~docv:"DT"
+             ~doc:"Telemetry snapshot cadence in simulated seconds.")
+  in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Attribute self time and allocation to every capsule, \
+                 streamer and solver kernel, plus stimulus-to-reaction \
+                 latency histograms; print a top-N table after the run.")
+  in
+  let flight_dump =
+    Arg.(value & opt (some string) None & info [ "flight-dump" ] ~docv:"OUT.json"
+           ~doc:"Dump the always-on flight-recorder ring as JSON at end of \
+                 run, crash or no crash. Render with $(b,umh report).")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats
-          $ faults $ crash_dir)
+          $ faults $ crash_dir $ telemetry $ telemetry_every $ profile
+          $ flight_dump)
 
 let codegen_cmd =
   let doc = "Generate C sources from a model." in
@@ -528,6 +696,43 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(const report_run $ file)
 
+let perf_cmd =
+  let record_pos n docv =
+    Arg.(required & pos n (some file) None & info [] ~docv
+           ~doc:"A telemetry JSONL stream (from $(b,simulate --telemetry)) or \
+                 a BENCH_*.json bench record; the shape is detected from \
+                 content.")
+  in
+  let summarize_cmd =
+    let doc =
+      "Reduce a performance record to its indicators: wall time per \
+       simulated second, per-sim-second event rates, merged histogram \
+       totals (telemetry), or cost/overhead leaves (bench records)."
+    in
+    Cmd.v (Cmd.info "summarize" ~doc)
+      Term.(const perf_summarize_run $ record_pos 0 "RECORD")
+  in
+  let diff_cmd =
+    let doc =
+      "Compare two performance records indicator by indicator (higher is \
+       worse). Exits 1 when any shared indicator regressed beyond the \
+       tolerance, so BENCH_PR3..PR6 and successive telemetry runs form a \
+       mechanically checked trajectory; indicators present in only one \
+       record are reported but never fail."
+    in
+    let tolerance =
+      Arg.(value & opt float Obs.Perfcmp.default_tolerance
+             & info [ "tolerance" ] ~docv:"FRACTION"
+               ~doc:"Relative regression threshold: flag when new > old * \
+                     (1 + FRACTION).")
+    in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(const perf_diff_run $ record_pos 0 "OLD" $ record_pos 1 "NEW"
+            $ tolerance)
+  in
+  let doc = "Summarize and diff performance records (telemetry streams, bench files)." in
+  Cmd.group (Cmd.info "perf" ~doc) [ summarize_cmd; diff_cmd ]
+
 let stereotypes_cmd =
   let doc = "Print the paper's Table 1 (stereotype registry)." in
   Cmd.v (Cmd.info "stereotypes" ~doc) Term.(const stereotypes_run $ const ())
@@ -544,7 +749,7 @@ let main =
   let doc = "unified modeling of complex real-time control systems (DATE 2005)" in
   Cmd.group (Cmd.info "umh" ~version:"1.0.0" ~doc)
     [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; lint_cmd; report_cmd;
-      stereotypes_cmd; sched_cmd ]
+      perf_cmd; stereotypes_cmd; sched_cmd ]
 
 (* Usage errors (unknown subcommand, bad flags) print to stderr and exit 2
    — cmdliner's default for these is 124, which scripts read as a timeout. *)

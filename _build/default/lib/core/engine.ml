@@ -14,6 +14,8 @@ type outplan =
 type sinst = {
   role : string;
   flight_id : int;                 (* [role] interned for the flight recorder *)
+  prof_id : int;                   (* profiler slot for this streamer *)
+  prof_solver : int;               (* profiler slot for its solver kernel *)
   def : Streamer.t;                (* the leaf definition *)
   spec : Streamer.solver_spec;
   solver : Solver.t;
@@ -295,7 +297,7 @@ let ignore_crossing (_ : Ode.Events.crossing) = ()
    The solver carries its guard closures pre-compiled (set at
    instantiation), and the guard bookkeeping lives in flat arrays, so
    the guard-free steady state allocates nothing here. *)
-let sync_solver t si =
+let sync_solver_body t si =
   let now = Des.Engine.now t.des in
   Obs.Flightrec.record ~kind:Obs.Flightrec.k_solver_advance ~a:si.flight_id
     ~b:Obs.Flightrec.no_label ~sim:now;
@@ -348,6 +350,18 @@ let sync_solver t si =
     done;
     si.gprimed <- true
   end
+
+(* Solver advance under the profiler: the nested frame attributes
+   integration cost to the kernel slot (shared across streamers with the
+   same method), leaving the streamer slot with routing/output self
+   time. Disabled, this is one load + branch in front of the body. *)
+let sync_solver t si =
+  if Obs.Profile.enabled () then begin
+    Obs.Profile.enter si.prof_solver;
+    sync_solver_body t si;
+    Obs.Profile.exit_ si.prof_solver
+  end
+  else sync_solver_body t si
 
 (* ---- supervision ----
 
@@ -517,6 +531,19 @@ let write_outputs t si =
     record_traces t si;
     Obs.Metrics.add m_flow_samples (List.length outs)
 
+let tick_body t si =
+  if Obs.Tracer.enabled () then begin
+    let start = Obs.Tracer.now_ns () in
+    sync_streamer t si;
+    if not si.frozen then write_outputs t si;
+    Obs.Tracer.complete ~track:si.role ~cat:"hybrid" ~name:"tick"
+      ~sim_time:(Des.Engine.now t.des) ~start_ns:start ()
+  end
+  else begin
+    sync_streamer t si;
+    if not si.frozen then write_outputs t si
+  end
+
 let tick t si =
   (* A frozen streamer (Freeze_last policy) stops integrating and holds
      its last outputs; its thread keeps ticking so recovery is possible
@@ -526,20 +553,16 @@ let tick t si =
        records k_solver_advance in [sync_solver], and one entry per tick
        keeps the always-on recorder inside its overhead budget. k_tick
        marks ticks recorded outside the solver path (tests, tools). *)
-    if Obs.Tracer.enabled () then begin
-      let start = Obs.Tracer.now_ns () in
-      sync_streamer t si;
-      if not si.frozen then write_outputs t si;
-      Obs.Tracer.complete ~track:si.role ~cat:"hybrid" ~name:"tick"
-        ~sim_time:(Des.Engine.now t.des) ~start_ns:start ()
+    if Obs.Profile.enabled () then begin
+      Obs.Profile.enter si.prof_id;
+      tick_body t si;
+      Obs.Profile.exit_ si.prof_id
     end
-    else begin
-      sync_streamer t si;
-      if not si.frozen then write_outputs t si
-    end
+    else tick_body t si
   end;
   si.ticks <- si.ticks + 1;
-  Obs.Metrics.incr m_ticks
+  Obs.Metrics.incr m_ticks;
+  Obs.Telemetry.on_tick ~sim:(Des.Engine.now t.des)
 
 (* Capsule -> streamer delivery (after channel latency): synchronize the
    solver, then let the strategy interpret the signal. *)
@@ -552,6 +575,9 @@ let deliver_to_streamer t si (sport, event) =
     ~a:si.flight_id
     ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
     ~sim:(Des.Engine.now t.des);
+  (* The streamer-side reaction point of a causal chain: measure
+     stimulus→reaction latency against the cause's birth stamp. *)
+  Obs.Profile.note_streamer_reaction ();
   if Obs.Tracer.enabled () then
     Obs.Tracer.instant ~track:si.role ~cat:"hybrid" ~name:"signal_to_streamer"
       ~args:[ ("signal", Obs.Tracer.Str (Statechart.Event.signal event)) ]
@@ -657,6 +683,10 @@ let rec instantiate t ~path (def : Streamer.t) =
     let ng = List.length spec.Streamer.guards in
     let si =
       { role = path; flight_id = Obs.Flightrec.intern path;
+        prof_id = Obs.Profile.register ~kind:Obs.Profile.k_streamer path;
+        prof_solver =
+          Obs.Profile.register ~kind:Obs.Profile.k_solver
+            (Ode.Integrator.method_name spec.Streamer.method_);
         def; spec; solver; node; outplan; channel; ticks = 0;
         traces = []; garr = Array.of_list spec.Streamer.guards;
         gprev = Array.make ng 0.; gfired = Array.make ng false;
@@ -826,6 +856,22 @@ let start t =
              (Des.Timer.periodic t.des ~name:role ~period:(Streamer.rate si.def)
                 (fun _ -> tick t si)))
       leaves;
+    (* Telemetry: a seq-0 record at start (so every stream opens with
+       its baseline), then the sim-time cadence rides the per-tick hook
+       — an emitter timer in the event queue would deepen the heap for
+       every push/pop of the run, which costs more than the records
+       themselves on tick-dense models. Engines with no streamers have
+       no ticks (and no hot queue), so they arm the timer instead. The
+       emitter only reads runtime state — a run with telemetry on stays
+       bit-identical to one without. *)
+    if Obs.Telemetry.enabled () then begin
+      Obs.Telemetry.begin_stream ~sim:(Des.Engine.now t.des);
+      if Hashtbl.length t.streamers = 0 then
+        ignore
+          (Des.Timer.periodic t.des ~name:"umh.telemetry"
+             ~period:(Obs.Telemetry.every ())
+             (fun _ -> Obs.Telemetry.emit ~sim:(Des.Engine.now t.des)))
+    end;
     (match t.runtime with
      | Some rt -> Umlrt.Runtime.start_behaviors rt
      | None -> ())

@@ -33,9 +33,12 @@ let schedule_at t ?priority ~time callback =
      of zero-cost-contract concerns. *)
   let cause = Obs.Causal.current () in
   let run () =
+    (* Clock before cause: minting may stamp the fresh chain's birth
+       with the coarse clock, which must reflect this dispatch, not the
+       previous one. *)
+    Obs.Clock.refresh_coarse ();
     if cause = Obs.Causal.none then ignore (Obs.Causal.mint ())
     else Obs.Causal.set cause;
-    Obs.Clock.refresh_coarse ();
     Obs.Flightrec.record ~kind:Obs.Flightrec.k_dispatch
       ~a:Obs.Flightrec.no_label ~b:Obs.Flightrec.no_label ~sim:t.clock;
     callback ()

@@ -1,1 +1,1 @@
-lib/obs/causal.ml:
+lib/obs/causal.ml: Array Clock Int

@@ -1,1 +1,1 @@
-lib/obs/flightrec.ml: Array Causal Clock Float Hashtbl Json List
+lib/obs/flightrec.ml: Array Causal Clock Float Hashtbl Int Json List

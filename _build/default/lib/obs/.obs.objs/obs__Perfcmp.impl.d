@@ -1,0 +1,1 @@
+lib/obs/perfcmp.ml: Format Hashtbl Json List Option Printf String Telemetry

@@ -1,0 +1,1 @@
+lib/obs/perfcmp.mli: Format Json

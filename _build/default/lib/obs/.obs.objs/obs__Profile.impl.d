@@ -1,0 +1,1 @@
+lib/obs/profile.ml: Array Causal Clock Format Gc Hashtbl Json List Metrics

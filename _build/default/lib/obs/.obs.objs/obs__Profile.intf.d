@@ -1,0 +1,1 @@
+lib/obs/profile.mli: Format Json

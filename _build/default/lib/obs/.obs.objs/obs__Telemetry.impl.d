@@ -1,0 +1,1 @@
+lib/obs/telemetry.ml: Array Buffer Bytes Char Clock Flightrec Float Hashtbl Json List Metrics Printf Profile String

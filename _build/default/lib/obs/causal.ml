@@ -10,9 +10,41 @@ let none = 0
 let counter = ref 0
 let cur = ref none
 
+(* Birth timestamps, indexed by cause ID: the coarse wall clock at mint
+   time. Off by default — the profiler switches tracking on so its
+   stimulus→reaction latency histograms can subtract the birth from the
+   reaction's clock without a per-mint hashtable. The array grows by
+   doubling (mint already happens on allocating dispatch paths), and
+   reads are a bounds check + load. *)
+let track = ref false
+let births = ref [||]
+
+let set_track_births on =
+  track := on;
+  if not on then births := [||]
+
+let track_births () = !track
+
+let note_birth id =
+  let arr = !births in
+  let n = Array.length arr in
+  if id >= n then begin
+    let n' = Int.max 1024 (Int.max (n * 2) (id + 1)) in
+    let arr' = Array.make n' 0 in
+    Array.blit arr 0 arr' 0 n;
+    arr'.(id) <- Clock.coarse_ns ();
+    births := arr'
+  end
+  else arr.(id) <- Clock.coarse_ns ()
+
+let birth_ns id =
+  let arr = !births in
+  if id > 0 && id < Array.length arr then arr.(id) else 0
+
 let mint () =
   incr counter;
   cur := !counter;
+  if !track then note_birth !counter;
   !counter
 
 let[@inline] current () = !cur
@@ -21,4 +53,5 @@ let minted () = !counter
 
 let reset () =
   counter := 0;
-  cur := none
+  cur := none;
+  if !track then births := [||]

@@ -23,5 +23,18 @@ val set : int -> unit
 val minted : unit -> int
 (** Number of IDs minted since start (or the last {!reset}). *)
 
+val set_track_births : bool -> unit
+(** When on, {!mint} stamps each fresh cause with {!Clock.coarse_ns} so
+    reaction points can measure stimulus→reaction latency. Off by
+    default (the stamp store is dropped when switched off); enabled by
+    {!Profile.set_enabled}. *)
+
+val track_births : unit -> bool
+
+val birth_ns : int -> int
+(** Coarse wall clock captured when the given cause was minted, or [0]
+    when unknown (tracking off, ID from before tracking started, or
+    {!none}). *)
+
 val reset : unit -> unit
 (** Reset the counter and ambient cause — test isolation only. *)

@@ -174,6 +174,8 @@ let length () =
 
 let total () = default.total
 
+let dropped () = Int.max 0 (default.total - capacity)
+
 let clear () =
   let t = default in
   Array.fill t.ints 0 (capacity * stride) 0;

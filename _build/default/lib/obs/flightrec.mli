@@ -80,6 +80,11 @@ val length : unit -> int
 val total : unit -> int
 (** Entries recorded since start (or the last {!clear}). *)
 
+val dropped : unit -> int
+(** Entries that have fallen out of the ring: [max 0 (total - capacity)].
+    The telemetry stream reports deltas of this so consumers can tell
+    how much history each interval lost. *)
+
 val entries : unit -> entry list
 (** Oldest first. Allocates; crash-report/test use only. *)
 

@@ -133,6 +133,39 @@ let quantile h q =
     walk 0 0
   end
 
+let same_bounds a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> b.(i) then ok := false) a;
+  !ok
+
+let merge_histogram ~into src =
+  if not (same_bounds into.bounds src.bounds) then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Metrics.merge_histogram: %S and %S have different bucket bounds"
+         into.h_name src.h_name);
+  for i = 0 to Array.length into.buckets - 1 do
+    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+  done;
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum +. src.h_sum;
+  if src.h_min < into.h_min then into.h_min <- src.h_min;
+  if src.h_max > into.h_max then into.h_max <- src.h_max
+
+let merge ~into src =
+  List.iter
+    (fun (name, m) ->
+       match m with
+       | Counter c -> add (counter ~registry:into name) c.count
+       | Gauge g -> set (gauge ~registry:into name) g.gvalue
+       | Histogram h ->
+         merge_histogram ~into:(histogram ~registry:into ~bounds:h.bounds name) h)
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) src.table []))
+
 let reset registry =
   Hashtbl.iter
     (fun _ m ->
@@ -174,6 +207,8 @@ type value =
   | Vcounter of int
   | Vgauge of float
   | Vhistogram of { vh_count : int; vh_sum : float }
+
+let size registry = Hashtbl.length registry.table
 
 let snapshot registry =
   List.map

@@ -56,6 +56,20 @@ val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1]: upper bound of the bucket holding
     the q-th observation (nearest-rank over buckets); [nan] when empty. *)
 
+val merge_histogram : into:histogram -> histogram -> unit
+(** Accumulate [src]'s buckets, count, sum and min/max into [into].
+    Raises [Invalid_argument] when the bucket bounds differ — merging
+    across mismatched layouts would silently misbin, so it is an error,
+    never a best-effort. Merging an empty histogram is a no-op on the
+    observations and leaves min/max untouched. *)
+
+val merge : into:t -> t -> unit
+(** Merge every metric of [src] into [into], creating missing metrics
+    (histograms with [src]'s bounds): counters add, histograms
+    {!merge_histogram}, gauges take [src]'s value (last-writer-wins —
+    a gauge is a level, not an accumulation). Needed by [umh perf]
+    summarize and, later, the sharded runtime's per-shard registries. *)
+
 val reset : t -> unit
 (** Zero every metric in the registry (histogram buckets included).
     Metric handles held by instrumented modules stay valid — only the
@@ -66,6 +80,10 @@ type value =
   | Vcounter of int
   | Vgauge of float
   | Vhistogram of { vh_count : int; vh_sum : float }
+
+val size : t -> int
+(** Number of registered metrics. O(1) — the telemetry emitter polls it
+    every record to detect registry growth without allocating. *)
 
 val snapshot : t -> (string * value) list
 (** Point-in-time copy of every metric's accumulated value, sorted by

@@ -1,0 +1,235 @@
+(* Per-entity cost attribution: every capsule, streamer and solver
+   kernel registers a slot at elaboration time and the engine brackets
+   its work with [enter]/[exit_]. Slot state lives in preallocated
+   parallel arrays indexed by the slot int — the same packed/flat
+   discipline as [Flightrec] — so the enabled path costs two clock
+   reads, two [Gc.minor_words] reads and a handful of array stores, and
+   the disabled path is a single load + branch with no closure.
+
+   Self time is inclusive time minus child time: a frame stack (also
+   flat arrays) accumulates each frame's child totals so a streamer tick
+   that nests a solver advance attributes the integration cost to the
+   kernel slot, not the streamer. Allocation attribution uses the same
+   scheme over [Gc.minor_words] deltas. *)
+
+(* {2 Entity kinds} — plain ints, mirroring Flightrec's kind codes. *)
+
+let k_streamer = 1
+let k_capsule = 2
+let k_solver = 3
+let k_other = 4
+
+let kind_name = function
+  | 1 -> "streamer"
+  | 2 -> "capsule"
+  | 3 -> "solver"
+  | 4 -> "other"
+  | _ -> "?"
+
+(* {2 Slot store} — parallel growable arrays; [slot] indexes all of them. *)
+
+type store = {
+  mutable kinds : int array;
+  mutable names : string array;
+  mutable count : int array;        (* completed frames *)
+  mutable self_ns : int array;      (* exclusive wall time *)
+  mutable total_ns : int array;     (* inclusive wall time *)
+  mutable alloc_w : float array;    (* exclusive minor words *)
+  mutable n : int;
+}
+
+let store =
+  { kinds = Array.make 64 0;
+    names = Array.make 64 "";
+    count = Array.make 64 0;
+    self_ns = Array.make 64 0;
+    total_ns = Array.make 64 0;
+    alloc_w = Array.make 64 0.;
+    n = 0 }
+
+(* (kind, name) -> slot, so re-elaborating the same model reuses slots
+   instead of growing the store across bench repetitions. *)
+let index : (int * string, int) Hashtbl.t = Hashtbl.create 64
+
+let grow () =
+  let cap = Array.length store.kinds in
+  let cap' = cap * 2 in
+  let copy mk arr =
+    let a = mk cap' in
+    Array.blit arr 0 a 0 cap; a
+  in
+  store.kinds <- copy (fun n -> Array.make n 0) store.kinds;
+  store.names <- copy (fun n -> Array.make n "") store.names;
+  store.count <- copy (fun n -> Array.make n 0) store.count;
+  store.self_ns <- copy (fun n -> Array.make n 0) store.self_ns;
+  store.total_ns <- copy (fun n -> Array.make n 0) store.total_ns;
+  store.alloc_w <- copy (fun n -> Array.make n 0.) store.alloc_w
+
+let register ~kind name =
+  match Hashtbl.find_opt index (kind, name) with
+  | Some slot -> slot
+  | None ->
+    if store.n >= Array.length store.kinds then grow ();
+    let slot = store.n in
+    store.kinds.(slot) <- kind;
+    store.names.(slot) <- name;
+    store.n <- store.n + 1;
+    Hashtbl.replace index (kind, name) slot;
+    slot
+
+let registered () = store.n
+
+(* {2 Frame stack} — fixed depth; entity nesting in the engine is
+   streamer→solver or capsule→(nothing), so 64 is generous. Frames past
+   the limit are silently not measured rather than corrupting state. *)
+
+let max_depth = 64
+let stack_slot = Array.make max_depth 0
+let stack_t0 = Array.make max_depth 0
+let stack_w0 = Array.make max_depth 0.
+let stack_child_ns = Array.make max_depth 0
+let stack_child_w = Array.make max_depth 0.
+let depth = ref 0
+
+let on = ref false
+
+let[@inline] enabled () = !on
+
+let set_enabled flag =
+  on := flag;
+  depth := 0;
+  (* Latency histograms need birth stamps on causal IDs. *)
+  Causal.set_track_births flag
+
+let enter slot =
+  if !on && !depth < max_depth then begin
+    let d = !depth in
+    stack_slot.(d) <- slot;
+    stack_child_ns.(d) <- 0;
+    stack_child_w.(d) <- 0.;
+    stack_w0.(d) <- Gc.minor_words ();
+    stack_t0.(d) <- Clock.now_ns ();
+    depth := d + 1
+  end
+
+let exit_ slot =
+  if !on && !depth > 0 then begin
+    let d = !depth - 1 in
+    if stack_slot.(d) = slot then begin
+      let elapsed = Clock.now_ns () - stack_t0.(d) in
+      let dw = Gc.minor_words () -. stack_w0.(d) in
+      store.count.(slot) <- store.count.(slot) + 1;
+      store.total_ns.(slot) <- store.total_ns.(slot) + elapsed;
+      store.self_ns.(slot) <- store.self_ns.(slot) + elapsed - stack_child_ns.(d);
+      store.alloc_w.(slot) <- store.alloc_w.(slot) +. dw -. stack_child_w.(d);
+      depth := d;
+      if d > 0 then begin
+        stack_child_ns.(d - 1) <- stack_child_ns.(d - 1) + elapsed;
+        stack_child_w.(d - 1) <- stack_child_w.(d - 1) +. dw
+      end
+    end
+    else
+      (* Mismatched exit (an exception unwound past intermediate frames):
+         drop the stack rather than attribute garbage. *)
+      depth := 0
+  end
+
+(* {2 Stimulus→reaction latency} — the reaction point subtracts the
+   cause's birth stamp from the coarse clock (refreshed at the start of
+   the dispatch that delivered the reaction, so same granularity as the
+   birth). Recorded only while enabled; zero when the cause predates
+   tracking. Bounds reach down to 100ns — queue hops are fast. *)
+
+let latency_bounds = Metrics.log_bounds ~lo:1e-7 ~hi:1e2 ~per_decade:3
+
+let lat_capsule =
+  Metrics.histogram ~bounds:latency_bounds "profile.latency.capsule_rtc_s"
+
+let lat_streamer =
+  Metrics.histogram ~bounds:latency_bounds "profile.latency.streamer_signal_s"
+
+let note_latency hist =
+  let birth = Causal.birth_ns (Causal.current ()) in
+  if birth > 0 then begin
+    let dt_ns = Clock.coarse_ns () - birth in
+    if dt_ns >= 0 then
+      Metrics.observe hist (float_of_int dt_ns /. 1e9)
+  end
+
+let note_capsule_reaction () = if !on then note_latency lat_capsule
+let note_streamer_reaction () = if !on then note_latency lat_streamer
+
+(* {2 Reporting} *)
+
+type row = {
+  r_kind : string;
+  r_name : string;
+  r_count : int;
+  r_self_ns : int;
+  r_total_ns : int;
+  r_alloc_w : float;
+}
+
+let rows () =
+  let out = ref [] in
+  for slot = store.n - 1 downto 0 do
+    if store.count.(slot) > 0 then
+      out :=
+        { r_kind = kind_name store.kinds.(slot);
+          r_name = store.names.(slot);
+          r_count = store.count.(slot);
+          r_self_ns = store.self_ns.(slot);
+          r_total_ns = store.total_ns.(slot);
+          r_alloc_w = store.alloc_w.(slot) }
+        :: !out
+  done;
+  List.sort (fun a b -> compare b.r_self_ns a.r_self_ns) !out
+
+let top n =
+  let all = rows () in
+  List.filteri (fun i _ -> i < n) all
+
+let pp_top ppf n =
+  let all = rows () in
+  let shown = List.filteri (fun i _ -> i < n) all in
+  let total_self =
+    List.fold_left (fun acc r -> acc + r.r_self_ns) 0 all
+  in
+  Format.fprintf ppf "%-9s %-28s %10s %12s %8s %12s@." "kind" "entity"
+    "calls" "self" "self%" "alloc_w";
+  List.iter
+    (fun r ->
+       let pct =
+         if total_self = 0 then 0.
+         else 100. *. float_of_int r.r_self_ns /. float_of_int total_self
+       in
+       Format.fprintf ppf "%-9s %-28s %10d %9.3f ms %7.1f%% %12.0f@."
+         r.r_kind r.r_name r.r_count
+         (float_of_int r.r_self_ns /. 1e6)
+         pct r.r_alloc_w)
+    shown;
+  let hidden = List.length all - List.length shown in
+  if hidden > 0 then Format.fprintf ppf "  ... %d more entities@." hidden
+
+let row_json r =
+  Json.Obj
+    [ ("kind", Json.Str r.r_kind);
+      ("name", Json.Str r.r_name);
+      ("count", Json.Int r.r_count);
+      ("self_ns", Json.Int r.r_self_ns);
+      ("total_ns", Json.Int r.r_total_ns);
+      ("alloc_words", Json.Float r.r_alloc_w) ]
+
+let to_json ?top:(n = max_int) () =
+  let all = rows () in
+  let shown = List.filteri (fun i _ -> i < n) all in
+  Json.Obj
+    [ ("entities", Json.Int (List.length all));
+      ("rows", Json.List (List.map row_json shown)) ]
+
+let reset () =
+  depth := 0;
+  Array.fill store.count 0 store.n 0;
+  Array.fill store.self_ns 0 store.n 0;
+  Array.fill store.total_ns 0 store.n 0;
+  Array.fill store.alloc_w 0 store.n 0.

@@ -1,0 +1,88 @@
+(** Per-entity cost profiler.
+
+    Capsules, streamers and solver kernels register a {e slot} at
+    elaboration time; the engine brackets each unit of work with
+    {!enter}/{!exit_}. Totals (call count, self/inclusive wall time,
+    allocated minor words) accumulate into preallocated flat arrays
+    indexed by the slot int — the same discipline as {!Flightrec} — so
+    the disabled hot path is one load + branch and the enabled path does
+    no allocation beyond the clock read.
+
+    Self time excludes nested frames: a streamer tick wrapping a solver
+    advance attributes the integration to the solver slot. Stimulus →
+    reaction latency is recorded into {!Metrics} histograms from
+    {!Causal} birth stamps (tracking is switched on together with the
+    profiler). *)
+
+(** {2 Entity kinds} *)
+
+val k_streamer : int
+val k_capsule : int
+val k_solver : int
+val k_other : int
+
+val kind_name : int -> string
+
+(** {2 Registration} *)
+
+val register : kind:int -> string -> int
+(** Get-or-create the slot for [(kind, name)]. Hashtable lookup — call
+    at elaboration, never per tick. *)
+
+val registered : unit -> int
+(** Slots registered so far (process-wide; registrations survive
+    {!reset}). *)
+
+(** {2 Recording} *)
+
+val enabled : unit -> bool
+(** Off by default. *)
+
+val set_enabled : bool -> unit
+(** Also toggles {!Causal.set_track_births} and clears the frame stack. *)
+
+val enter : int -> unit
+(** Open a frame for the slot. No-op when disabled; frames nested deeper
+    than an internal fixed limit are not measured. *)
+
+val exit_ : int -> unit
+(** Close the innermost frame, which must match the slot ([enter]/
+    [exit_] bracket like parentheses). On mismatch — an exception
+    unwound past frames — the stack is dropped rather than attributing
+    garbage. *)
+
+val note_capsule_reaction : unit -> unit
+(** Record stimulus→reaction latency for the ambient cause into the
+    ["profile.latency.capsule_rtc_s"] histogram. No-op when disabled or
+    when the cause has no birth stamp. *)
+
+val note_streamer_reaction : unit -> unit
+(** Same, into ["profile.latency.streamer_signal_s"]. *)
+
+(** {2 Reporting} *)
+
+type row = {
+  r_kind : string;
+  r_name : string;
+  r_count : int;
+  r_self_ns : int;
+  r_total_ns : int;
+  r_alloc_w : float;
+}
+
+val rows : unit -> row list
+(** Every slot with at least one completed frame, sorted by self time
+    descending. Allocates — reporting only. *)
+
+val top : int -> row list
+
+val pp_top : Format.formatter -> int -> unit
+(** Flat top-N table: kind, entity, calls, self ms, self %, minor
+    words. *)
+
+val to_json : ?top:int -> unit -> Json.t
+(** [{entities; rows}] — [rows] limited to [top] when given. *)
+
+val reset : unit -> unit
+(** Zero all accumulators and drop open frames; registrations and the
+    enabled flag are kept. *)

@@ -1,0 +1,68 @@
+(** Continuous telemetry stream.
+
+    When configured, the hybrid engine opens the stream with
+    {!begin_stream} and drives both cadences — one record per sim-time
+    interval, plus optionally every N engine ticks — from its per-tick
+    {!on_tick} hook (engines with no streamers arm a DES timer
+    instead); each emission appends one self-contained JSONL record to
+    the sink:
+
+    {v
+    {"schema":"umh-telemetry","version":1,"seq":3,"sim_time":0.3,
+     "wall_ns":...,
+     "counters":{...deltas since previous record; zero deltas omitted...},
+     "gauges":{...absolute values (queue depth etc.)...},
+     "histograms":{name:{"count":Δcount,"sum":Δsum}, ...},
+     "flightrec":{"recorded":Δ,"dropped":Δ},
+     "profile":{...top-N rollup, only when the profiler is on...}}
+    v}
+
+    Zero-cost-when-off: unconfigured, {!on_tick} (the only hook on a hot
+    path) is one int load + branch, and simulation results are
+    bit-identical to a run without telemetry — the emitter reads runtime
+    state but never writes model state. *)
+
+val schema : string
+(** ["umh-telemetry"]. *)
+
+val schema_version : int
+
+val default_every : float
+(** [0.1] simulated seconds. *)
+
+val configure :
+  ?every:float -> ?every_ticks:int -> ?top:int -> (string -> unit) -> unit
+(** Arm telemetry: [every] is the sim-time cadence in simulated seconds
+    (default {!default_every}), [every_ticks] additionally emits a
+    record every N engine ticks (0 = off), [top] bounds the profile
+    rollup rows per record (default 8). The sink receives each record as
+    one complete JSON line, terminating ["\n"] included. Resets the
+    sequence number and delta baselines. *)
+
+val stop : unit -> unit
+
+val enabled : unit -> bool
+
+val every : unit -> float
+(** The configured sim-time cadence (meaningful while {!enabled}). *)
+
+val records : unit -> int
+(** Records emitted since {!configure}. *)
+
+val emit : sim:float -> unit
+(** Build and write one record at the given sim time. No-op when off.
+    Allocates — called on cadence boundaries only, never per tick. *)
+
+val begin_stream : sim:float -> unit
+(** Called by the engine at simulation start: emits the seq-0 record
+    (every stream opens with its baseline) and anchors the sim-time
+    cadence at [sim]. No-op when off. *)
+
+val on_tick : sim:float -> unit
+(** Cadence hook, called by the engine once per streamer tick. Emits
+    when [sim] has crossed the next sim-time boundary since
+    {!begin_stream} (boundaries are computed from the anchor, never
+    accumulated, so long streams do not drift) and/or when the tick
+    countdown reaches zero. One load + branch when off; two compares
+    per tick when on. Ticks sparser than the sim cadence yield one
+    record per tick rather than a burst. *)

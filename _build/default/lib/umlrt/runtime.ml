@@ -4,6 +4,7 @@ exception Watchdog_expired of string
 type instance = {
   path : string;
   flight_id : int;  (* [path] interned for the flight recorder *)
+  prof_id : int;    (* profiler slot for this capsule *)
   klass : Capsule.t;
   mailbox : (string * Statechart.Event.t) Des.Mailbox.t;
   mutable behavior : Capsule.behavior option;
@@ -244,6 +245,12 @@ let on_delivery t inst mailbox =
        Obs.Flightrec.record ~kind:Obs.Flightrec.k_rtc ~a:inst.flight_id
          ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
          ~sim:(Des.Engine.now t.engine);
+       (* The capsule-side reaction point of a causal chain: the RTC
+          step about to run is the reaction to whatever stimulus minted
+          the ambient cause. *)
+       Obs.Profile.note_capsule_reaction ();
+       let profiling = Obs.Profile.enabled () in
+       if profiling then Obs.Profile.enter inst.prof_id;
        let handled =
          if Obs.Tracer.enabled () then begin
            let start = Obs.Tracer.now_ns () in
@@ -258,6 +265,7 @@ let on_delivery t inst mailbox =
          end
          else dispatch t inst b ~port event
        in
+       if profiling then Obs.Profile.exit_ inst.prof_id;
        if not handled then begin
          t.dropped <- t.dropped + 1;
          Obs.Metrics.incr m_unhandled
@@ -269,7 +277,9 @@ let on_delivery t inst mailbox =
 let rec instantiate t ~latency ~path klass =
   let mailbox = Des.Mailbox.create t.engine ~latency path in
   let inst =
-    { path; flight_id = Obs.Flightrec.intern path; klass; mailbox;
+    { path; flight_id = Obs.Flightrec.intern path;
+      prof_id = Obs.Profile.register ~kind:Obs.Profile.k_capsule path;
+      klass; mailbox;
       behavior = None; watchdog = None; quarantined = false; restarts = 0 }
   in
   Hashtbl.replace t.instances path inst;
@@ -350,6 +360,10 @@ let inject t ~port event =
        whoever called us (e.g. a test poking mid-dispatch) is restored
        after. *)
     let ambient = Obs.Causal.current () in
+    (* Injections happen outside the dispatch loop, so the coarse clock
+       may be stale from the last event; refresh it before minting so
+       the chain's birth stamp reflects the injection itself. *)
+    Obs.Clock.refresh_coarse ();
     ignore (Obs.Causal.mint ());
     Obs.Flightrec.record ~kind:Obs.Flightrec.k_inject
       ~a:(Obs.Flightrec.intern port)

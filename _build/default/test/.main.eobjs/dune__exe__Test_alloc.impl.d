@@ -1,1 +1,1 @@
-test/test_alloc.ml: Alcotest Array Fault Gc Hybrid Ode
+test/test_alloc.ml: Alcotest Array Fault Gc Hybrid Obs Ode

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Array Buffer Float Fun Hybrid Int64 List Obs Ode String

@@ -18,4 +18,5 @@ let () =
       ("codegen", Test_codegen.suite);
       ("obs", Test_obs.suite);
       ("causal", Test_causal.suite);
-      ("fault", Test_fault.suite) ]
+      ("fault", Test_fault.suite);
+      ("telemetry", Test_telemetry.suite) ]

@@ -115,6 +115,42 @@ let test_engine_tick_alloc_free_with_empty_faults () =
   Alcotest.(check (float 0.))
     "tick with empty fault layer + supervisor allocates nothing" 0. words
 
+(* The telemetry/profiler zero-cost contract: with the emitter stopped
+   and the profiler disabled — including after having been armed once,
+   the worst case for lingering state — the steady-state tick must stay
+   allocation-free. The hooks on the hot path ([Telemetry.on_tick], the
+   profiler enter/exit pair) are loads and branches only. *)
+let test_engine_tick_alloc_free_telemetry_off () =
+  let plant =
+    Hybrid.Streamer.leaf "plant" ~rate:0.3 ~dim:1 ~init:[| 18. |]
+      ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.002))
+      ~params:[ ("ambient", 5.); ("tau", 30.) ]
+      ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+      ~rhs_into:(fun env _tcell y dy ->
+          dy.(0) <-
+            -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+            /. env.Hybrid.Solver.param "tau")
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+      ~rhs:(fun env _t y ->
+          [| -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+             /. env.Hybrid.Solver.param "tau" |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"plant" plant;
+  (* Arm both subsystems, then disarm: the stopped state must be as
+     cheap as the never-configured state. *)
+  Obs.Telemetry.configure ignore;
+  Obs.Telemetry.stop ();
+  Obs.Profile.set_enabled true;
+  Obs.Profile.set_enabled false;
+  Hybrid.Engine.run_until engine 1.0;
+  let words =
+    minor_delta (fun () -> Hybrid.Engine.tick_now engine ~role:"plant")
+  in
+  Alcotest.(check (float 0.))
+    "tick with telemetry stopped + profiler disabled allocates nothing" 0.
+    words
+
 let suite =
   [ Alcotest.test_case "ode: step_into zero minor words" `Quick
       test_step_into_alloc_free;
@@ -123,4 +159,6 @@ let suite =
     Alcotest.test_case "engine: guard-free tick zero minor words" `Quick
       test_engine_tick_alloc_free;
     Alcotest.test_case "engine: empty fault layer stays zero-alloc" `Quick
-      test_engine_tick_alloc_free_with_empty_faults ]
+      test_engine_tick_alloc_free_with_empty_faults;
+    Alcotest.test_case "engine: telemetry off stays zero-alloc" `Quick
+      test_engine_tick_alloc_free_telemetry_off ]

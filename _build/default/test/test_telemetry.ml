@@ -1,0 +1,302 @@
+(* Telemetry stream: the zero-cost-when-off differential guarantee, the
+   drift-free sim-time cadence, the tick cadence, record shape, and the
+   Perfcmp analysis core behind `umh perf`. All tests stop the global
+   emitter on exit — telemetry is process-wide state, like the metrics
+   registry it reads. *)
+
+let with_telemetry f = Fun.protect ~finally:Obs.Telemetry.stop f
+
+(* A one-streamer thermal plant; [rate] is the tick period. Cadence
+   tests pass binary-exact rates (0.125, 0.25, ...) so tick times carry
+   no accumulated FP lag and boundary counts are exact. *)
+let plant_engine ~rate () =
+  let plant =
+    Hybrid.Streamer.leaf "plant" ~rate ~dim:1 ~init:[| 18. |]
+      ~method_:(Ode.Integrator.Fixed (Ode.Fixed.Rk4, 0.002))
+      ~params:[ ("ambient", 5.); ("tau", 30.) ]
+      ~dports:[ Hybrid.Streamer.dport_out "temp" ]
+      ~rhs_into:(fun env _tcell y dy ->
+          dy.(0) <-
+            -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+            /. env.Hybrid.Solver.param "tau")
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "temp") ])
+      ~rhs:(fun env _t y ->
+          [| -.(y.(0) -. env.Hybrid.Solver.param "ambient")
+             /. env.Hybrid.Solver.param "tau" |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"plant" plant;
+  engine
+
+let final_state_bits engine =
+  match Hybrid.Engine.solver_of engine "plant" with
+  | Some s -> Int64.bits_of_float (Hybrid.Solver.state s).(0)
+  | None -> Alcotest.fail "plant solver missing"
+
+(* ---- zero-cost-when-off: differential bit-identity ---- *)
+
+(* The emitter reads runtime state but never writes model state, so a
+   telemetry-on run must be bit-identical to a telemetry-off run of the
+   same model — same solver trajectory, same discrete history. *)
+let test_on_off_bit_identical () =
+  with_telemetry (fun () ->
+      let run ~telemetry =
+        Obs.Telemetry.stop ();
+        if telemetry then
+          Obs.Telemetry.configure ~every:0.5 (fun _line -> ());
+        let engine = plant_engine ~rate:0.125 () in
+        Hybrid.Engine.run_until engine 10.;
+        let bits = final_state_bits engine in
+        let stats = Hybrid.Engine.stats engine in
+        let ticks = Hybrid.Engine.ticks_of engine "plant" in
+        (bits, stats, ticks)
+      in
+      let b_off, s_off, t_off = run ~telemetry:false in
+      let b_on, s_on, t_on = run ~telemetry:true in
+      Alcotest.(check bool) "final state bit-identical" true
+        (Int64.equal b_off b_on);
+      Alcotest.(check bool) "same discrete history" true (s_off = s_on);
+      Alcotest.(check int) "same tick count" t_off t_on)
+
+(* ---- sim-time cadence ---- *)
+
+(* Binary-exact everything: rate 0.125, cadence 0.25, horizon 10.
+   Boundaries at 0.25 k for k = 1..40 plus the seq-0 stream-open record
+   = exactly floor(horizon/every) + 1 records. *)
+let test_sim_cadence_count () =
+  with_telemetry (fun () ->
+      let lines = ref [] in
+      Obs.Telemetry.configure ~every:0.25 (fun l -> lines := l :: !lines);
+      let engine = plant_engine ~rate:0.125 () in
+      Hybrid.Engine.run_until engine 10.;
+      let expected = int_of_float (Float.floor (10. /. 0.25)) + 1 in
+      Alcotest.(check int) "record count" expected (List.length !lines);
+      Alcotest.(check int) "records () agrees" expected
+        (Obs.Telemetry.records ()))
+
+(* Ticks sparser than the cadence: one record per tick, never a burst
+   of catch-up records. Rate 0.5 against cadence 0.125 crosses four
+   boundaries per tick but must emit once. *)
+let test_sparse_ticks_no_burst () =
+  with_telemetry (fun () ->
+      let n = ref 0 in
+      Obs.Telemetry.configure ~every:0.125 (fun _ -> incr n);
+      let engine = plant_engine ~rate:0.5 () in
+      Hybrid.Engine.run_until engine 10.;
+      let ticks = Hybrid.Engine.ticks_of engine "plant" in
+      Alcotest.(check int) "one record per tick plus stream open"
+        (ticks + 1) !n)
+
+(* ---- tick cadence ---- *)
+
+let test_tick_cadence () =
+  with_telemetry (fun () ->
+      let n = ref 0 in
+      (* A huge sim cadence suppresses time-based emission; every_ticks
+         drives the stream alone. *)
+      Obs.Telemetry.configure ~every:1e6 ~every_ticks:4 (fun _ -> incr n);
+      let engine = plant_engine ~rate:0.125 () in
+      Hybrid.Engine.run_until engine 10.;
+      let ticks = Hybrid.Engine.ticks_of engine "plant" in
+      Alcotest.(check int) "every 4th tick plus stream open"
+        ((ticks / 4) + 1) !n)
+
+(* ---- record shape ---- *)
+
+let member_exn name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "record missing %S" name
+
+let test_record_shape () =
+  with_telemetry (fun () ->
+      let buf = Buffer.create 4096 in
+      Obs.Telemetry.configure ~every:0.25 (Buffer.add_string buf);
+      let engine = plant_engine ~rate:0.125 () in
+      Hybrid.Engine.run_until engine 2.;
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check bool) "got records" true (lines <> []);
+      List.iteri
+        (fun i line ->
+           let j =
+             match Obs.Json.of_string line with
+             | j -> j
+             | exception Obs.Json.Parse_error msg ->
+               Alcotest.failf "record %d unparseable: %s" i msg
+           in
+           (match member_exn "schema" j with
+            | Obs.Json.Str s ->
+              Alcotest.(check string) "schema" Obs.Telemetry.schema s
+            | _ -> Alcotest.fail "schema is not a string");
+           (match member_exn "version" j with
+            | Obs.Json.Int v ->
+              Alcotest.(check int) "version" Obs.Telemetry.schema_version v
+            | _ -> Alcotest.fail "version is not an int");
+           (* seq ascends from 0 in emission order *)
+           (match member_exn "seq" j with
+            | Obs.Json.Int s -> Alcotest.(check int) "seq" i s
+            | _ -> Alcotest.fail "seq is not an int");
+           (match member_exn "sim_time" j with
+            | Obs.Json.Float _ | Obs.Json.Int _ -> ()
+            | _ -> Alcotest.fail "sim_time is not a number");
+           (match member_exn "counters" j with
+            | Obs.Json.Obj _ -> ()
+            | _ -> Alcotest.fail "counters is not an object");
+           (match member_exn "flightrec" j with
+            | Obs.Json.Obj _ -> ()
+            | _ -> Alcotest.fail "flightrec is not an object"))
+        lines)
+
+(* The delta contract: summing per-record counter deltas over the whole
+   stream reproduces the run's totals (zero deltas are omitted, which a
+   summing consumer never notices). Perfcmp's summarize does exactly
+   that sum, so drive it end-to-end: total tick rate over the stream
+   must equal ticks / sim span. *)
+let test_deltas_sum_to_totals () =
+  with_telemetry (fun () ->
+      let buf = Buffer.create 4096 in
+      (* The default registry is process-global; zero it so the seq-0
+         record's deltas baseline at this run, not at process start. *)
+      Obs.Metrics.reset Obs.Metrics.default;
+      Obs.Telemetry.configure ~every:0.25 (Buffer.add_string buf);
+      let engine = plant_engine ~rate:0.125 () in
+      Hybrid.Engine.run_until engine 10.;
+      let s =
+        Obs.Perfcmp.summarize ~label:"stream" (Buffer.contents buf)
+      in
+      Alcotest.(check bool) "kind is telemetry" true
+        (s.Obs.Perfcmp.s_kind = Obs.Perfcmp.Telemetry);
+      match
+        List.assoc_opt "rate.hybrid.ticks_per_sim_s" s.Obs.Perfcmp.s_indicators
+      with
+      | Some rate ->
+        (* 1 streamer at 0.125 s over a 10 s span recorded from sim 0
+           to sim 10 -> 8 ticks per simulated second. *)
+        Alcotest.(check (float 1e-9)) "tick rate" 8. rate
+      | None ->
+        Alcotest.failf "no tick-rate indicator; have: %s"
+          (String.concat ", "
+             (List.map fst s.Obs.Perfcmp.s_indicators)))
+
+(* ---- configure validation ---- *)
+
+let test_configure_rejects_bad_cadence () =
+  let bad f =
+    match f () with
+    | () -> Alcotest.fail "configure accepted a bad cadence"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (fun () -> Obs.Telemetry.configure ~every:0. ignore);
+  bad (fun () -> Obs.Telemetry.configure ~every:(-1.) ignore);
+  bad (fun () -> Obs.Telemetry.configure ~every:Float.nan ignore);
+  bad (fun () -> Obs.Telemetry.configure ~every_ticks:(-1) ignore);
+  Alcotest.(check bool) "still off after rejections" false
+    (Obs.Telemetry.enabled ())
+
+(* ---- Perfcmp: the umh perf analysis core ---- *)
+
+let bench_summary label fields =
+  Obs.Perfcmp.summarize ~label
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [ ("e4", Obs.Json.Obj
+               (List.map (fun (k, v) -> (k, Obs.Json.Float v)) fields)) ]))
+
+let test_perfcmp_detects_regression () =
+  let a = bench_summary "old" [ ("raw_ms", 10.); ("hybrid_ms", 20.) ] in
+  let b = bench_summary "new" [ ("raw_ms", 30.); ("hybrid_ms", 21.) ] in
+  let d = Obs.Perfcmp.diff ~tol:0.5 a b in
+  Alcotest.(check int) "compared" 2 d.Obs.Perfcmp.compared;
+  (match d.Obs.Perfcmp.regressions with
+   | [ r ] ->
+     Alcotest.(check string) "regressed key" "e4.raw_ms" r.Obs.Perfcmp.c_key;
+     Alcotest.(check (float 1e-9)) "ratio" 3. r.Obs.Perfcmp.c_ratio
+   | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs));
+  Alcotest.(check int) "within tolerance is not a regression" 0
+    (List.length d.Obs.Perfcmp.improvements)
+
+let test_perfcmp_improvement_and_clean () =
+  let a = bench_summary "old" [ ("raw_ms", 10.) ] in
+  let faster = bench_summary "new" [ ("raw_ms", 2.) ] in
+  let d = Obs.Perfcmp.diff ~tol:0.5 a faster in
+  Alcotest.(check int) "no regressions" 0 (List.length d.Obs.Perfcmp.regressions);
+  Alcotest.(check int) "one improvement" 1
+    (List.length d.Obs.Perfcmp.improvements);
+  let same = Obs.Perfcmp.diff ~tol:0.5 a a in
+  Alcotest.(check int) "self-diff clean" 0
+    (List.length same.Obs.Perfcmp.regressions
+     + List.length same.Obs.Perfcmp.improvements)
+
+let test_perfcmp_disjoint_keys_never_fail () =
+  let a = bench_summary "old" [ ("raw_ms", 10.) ] in
+  let b = bench_summary "new" [ ("hybrid_ms", 10.) ] in
+  let d = Obs.Perfcmp.diff a b in
+  Alcotest.(check int) "nothing compared" 0 d.Obs.Perfcmp.compared;
+  Alcotest.(check int) "no regressions" 0 (List.length d.Obs.Perfcmp.regressions);
+  Alcotest.(check (list string)) "only_a" [ "e4.raw_ms" ] d.Obs.Perfcmp.only_a;
+  Alcotest.(check (list string)) "only_b" [ "e4.hybrid_ms" ] d.Obs.Perfcmp.only_b
+
+let test_perfcmp_telemetry_summary () =
+  let stream =
+    String.concat ""
+      [ "{\"schema\":\"umh-telemetry\",\"version\":1,\"seq\":0,\
+         \"sim_time\":0.0,\"wall_ns\":1000000,\"counters\":{},\
+         \"flightrec\":{\"recorded\":0,\"dropped\":0}}\n";
+        "{\"schema\":\"umh-telemetry\",\"version\":1,\"seq\":1,\
+         \"sim_time\":2.0,\"wall_ns\":5000000,\
+         \"counters\":{\"des.events\":10},\
+         \"flightrec\":{\"recorded\":4,\"dropped\":0}}\n" ]
+  in
+  let s = Obs.Perfcmp.summarize ~label:"t" stream in
+  Alcotest.(check bool) "telemetry kind" true
+    (s.Obs.Perfcmp.s_kind = Obs.Perfcmp.Telemetry);
+  (* 4 ms of wall over 2 simulated seconds *)
+  Alcotest.(check (float 1e-9)) "wall_ms_per_sim_s" 2.
+    (List.assoc "wall_ms_per_sim_s" s.Obs.Perfcmp.s_indicators);
+  Alcotest.(check (float 1e-9)) "counter rate" 5.
+    (List.assoc "rate.des.events_per_sim_s" s.Obs.Perfcmp.s_indicators)
+
+let test_perfcmp_rejects_malformed () =
+  let rejected content =
+    match Obs.Perfcmp.summarize ~label:"x" content with
+    | _ -> Alcotest.failf "accepted malformed input: %s" content
+    | exception Failure _ -> ()
+  in
+  rejected "this is not json";
+  (* telemetry-shaped first line, then a broken record: strict, never
+     silently skipped *)
+  rejected
+    "{\"schema\":\"umh-telemetry\",\"version\":1,\"sim_time\":0.0,\
+     \"wall_ns\":1}\n{\"schema\":\"umh-telemetry\"}\n";
+  (* a version from the future must be refused, not misread *)
+  rejected
+    "{\"schema\":\"umh-telemetry\",\"version\":99,\"sim_time\":0.0,\
+     \"wall_ns\":1}\n"
+
+let suite =
+  [ Alcotest.test_case "telemetry: on/off runs bit-identical" `Quick
+      test_on_off_bit_identical;
+    Alcotest.test_case "telemetry: sim cadence record count exact" `Quick
+      test_sim_cadence_count;
+    Alcotest.test_case "telemetry: sparse ticks emit once, no burst" `Quick
+      test_sparse_ticks_no_burst;
+    Alcotest.test_case "telemetry: tick cadence" `Quick test_tick_cadence;
+    Alcotest.test_case "telemetry: record shape and seq order" `Quick
+      test_record_shape;
+    Alcotest.test_case "telemetry: counter deltas sum to run totals" `Quick
+      test_deltas_sum_to_totals;
+    Alcotest.test_case "telemetry: configure rejects bad cadences" `Quick
+      test_configure_rejects_bad_cadence;
+    Alcotest.test_case "perfcmp: detects regression beyond tolerance" `Quick
+      test_perfcmp_detects_regression;
+    Alcotest.test_case "perfcmp: improvement and clean self-diff" `Quick
+      test_perfcmp_improvement_and_clean;
+    Alcotest.test_case "perfcmp: disjoint keys reported, never fail" `Quick
+      test_perfcmp_disjoint_keys_never_fail;
+    Alcotest.test_case "perfcmp: telemetry stream summary rates" `Quick
+      test_perfcmp_telemetry_summary;
+    Alcotest.test_case "perfcmp: malformed input rejected" `Quick
+      test_perfcmp_rejects_malformed ]

@@ -1,0 +1,352 @@
+(* Performance-record comparison: the analysis core of `umh perf`.
+
+   Two input shapes are understood, detected from content rather than
+   file extension: BENCH_*.json-style bench records (one JSON object of
+   sections) and telemetry JSONL streams (one "umh-telemetry" record per
+   line). Each is reduced to a flat, name-sorted list of numeric
+   indicators where higher always means worse — wall-clock milliseconds,
+   per-streamer costs, overhead ratios, per-sim-second rates — so a diff
+   is a merge join plus a relative-tolerance check per shared key.
+   Indicators present in only one input are reported but never fail the
+   diff: older BENCH files legitimately lack newer sections. *)
+
+type kind = Bench | Telemetry
+
+let kind_name = function Bench -> "bench" | Telemetry -> "telemetry"
+
+type summary = {
+  s_kind : kind;
+  s_label : string;
+  s_meta : (string * Json.t) list;      (* informational, for summarize *)
+  s_indicators : (string * float) list; (* sorted by key; higher is worse *)
+}
+
+(* {2 Bench records} *)
+
+(* Only leaves whose name declares a cost are indicators; counts,
+   horizons, schema versions and nested crash-report detail are workload
+   descriptors, not performance. *)
+let indicator_suffixes =
+  [ "_ms"; "_ns"; "_over_baseline"; "_over_off"; "_over_raw";
+    "us_per_streamer_sec" ]
+
+let is_indicator_key key =
+  let has_suffix s = String.ends_with ~suffix:s key in
+  List.exists has_suffix indicator_suffixes
+  || String.starts_with ~prefix:"micro." key
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let rec walk prefix j acc =
+  match j with
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+         let key = if prefix = "" then k else prefix ^ "." ^ k in
+         walk key v acc)
+      acc fields
+  | Json.List items ->
+    (* Point lists are keyed by their identifying field (streamers for
+       E3 scaling curves) so quick and full runs align on shared
+       points; anonymous lists fall back to positional keys. *)
+    List.fold_left
+      (fun (i, acc) item ->
+         let label =
+           match Json.member "streamers" item with
+           | Some (Json.Int n) ->
+             Printf.sprintf "%s[streamers=%d]" prefix n
+           | _ -> Printf.sprintf "%s[%d]" prefix i
+         in
+         (i + 1, walk label item acc))
+      (0, acc) items
+    |> snd
+  | Json.Int _ | Json.Float _ -> (
+      match number j with
+      | Some v when is_indicator_key prefix -> (prefix, v) :: acc
+      | _ -> acc)
+  | Json.Null | Json.Bool _ | Json.Str _ -> acc
+
+let bench_meta j =
+  match j with
+  | Json.Obj fields ->
+    [ ("sections", Json.List (List.map (fun (k, _) -> Json.Str k) fields)) ]
+  | _ -> []
+
+let summarize_bench ~label j =
+  { s_kind = Bench;
+    s_label = label;
+    s_meta = bench_meta j;
+    s_indicators =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) (walk "" j []) }
+
+(* {2 Telemetry streams} *)
+
+type telemetry_acc = {
+  mutable t_records : int;
+  mutable t_first_sim : float;
+  mutable t_last_sim : float;
+  mutable t_first_wall : int;
+  mutable t_last_wall : int;
+  mutable t_flight_recorded : int;
+  mutable t_flight_dropped : int;
+  t_counters : (string, int) Hashtbl.t;
+  t_hists : (string, int * float) Hashtbl.t; (* total count, total sum *)
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let int_member name j =
+  match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+
+let float_member name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let telemetry_line acc lineno line =
+  let j =
+    try Json.of_string line
+    with Json.Parse_error msg ->
+      fail "telemetry line %d: %s" lineno msg
+  in
+  (match Json.member "schema" j with
+   | Some (Json.Str s) when s = Telemetry.schema -> ()
+   | _ -> fail "telemetry line %d: missing schema %S" lineno Telemetry.schema);
+  (match int_member "version" j with
+   | Some v when v <= Telemetry.schema_version -> ()
+   | Some v -> fail "telemetry line %d: unsupported version %d" lineno v
+   | None -> fail "telemetry line %d: missing version" lineno);
+  let sim =
+    match float_member "sim_time" j with
+    | Some s -> s
+    | None -> fail "telemetry line %d: missing sim_time" lineno
+  in
+  let wall =
+    match int_member "wall_ns" j with
+    | Some w -> w
+    | None -> fail "telemetry line %d: missing wall_ns" lineno
+  in
+  if acc.t_records = 0 then begin
+    acc.t_first_sim <- sim;
+    acc.t_first_wall <- wall
+  end;
+  acc.t_last_sim <- sim;
+  acc.t_last_wall <- wall;
+  acc.t_records <- acc.t_records + 1;
+  (match Json.member "counters" j with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun (name, v) ->
+          match v with
+          | Json.Int d ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt acc.t_counters name) in
+            Hashtbl.replace acc.t_counters name (cur + d)
+          | _ -> fail "telemetry line %d: counter %S is not an int" lineno name)
+       fields
+   | _ -> ());
+  (match Json.member "histograms" j with
+   | Some (Json.Obj fields) ->
+     List.iter
+       (fun (name, v) ->
+          match (int_member "count" v, float_member "sum" v) with
+          | Some dc, Some ds ->
+            let c, s =
+              Option.value ~default:(0, 0.) (Hashtbl.find_opt acc.t_hists name)
+            in
+            Hashtbl.replace acc.t_hists name (c + dc, s +. ds)
+          | _ -> fail "telemetry line %d: malformed histogram %S" lineno name)
+       fields
+   | _ -> ());
+  match Json.member "flightrec" j with
+  | Some fr ->
+    acc.t_flight_recorded <-
+      acc.t_flight_recorded + Option.value ~default:0 (int_member "recorded" fr);
+    acc.t_flight_dropped <-
+      acc.t_flight_dropped + Option.value ~default:0 (int_member "dropped" fr)
+  | None -> ()
+
+let summarize_telemetry ~label content =
+  let acc =
+    { t_records = 0; t_first_sim = 0.; t_last_sim = 0.; t_first_wall = 0;
+      t_last_wall = 0; t_flight_recorded = 0; t_flight_dropped = 0;
+      t_counters = Hashtbl.create 16; t_hists = Hashtbl.create 16 }
+  in
+  let lineno = ref 0 in
+  String.split_on_char '\n' content
+  |> List.iter (fun line ->
+      incr lineno;
+      if String.trim line <> "" then telemetry_line acc !lineno line);
+  if acc.t_records = 0 then fail "telemetry stream %s has no records" label;
+  let sim_span = acc.t_last_sim -. acc.t_first_sim in
+  let wall_span_ms = float_of_int (acc.t_last_wall - acc.t_first_wall) /. 1e6 in
+  let sorted_counters =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) acc.t_counters [])
+  in
+  let indicators =
+    if sim_span > 0. then
+      ("wall_ms_per_sim_s", wall_span_ms /. sim_span)
+      :: List.filter_map
+        (fun (name, total) ->
+           if total > 0 then
+             Some ("rate." ^ name ^ "_per_sim_s", float_of_int total /. sim_span)
+           else None)
+        sorted_counters
+    else []
+  in
+  let meta =
+    [ ("records", Json.Int acc.t_records);
+      ("sim_span_s", Json.Float sim_span);
+      ("wall_span_ms", Json.Float wall_span_ms);
+      ("flightrec_recorded", Json.Int acc.t_flight_recorded);
+      ("flightrec_dropped", Json.Int acc.t_flight_dropped);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) sorted_counters) );
+      ( "histograms",
+        Json.Obj
+          (List.sort compare
+             (Hashtbl.fold
+                (fun k (c, s) acc ->
+                   ( k,
+                     Json.Obj
+                       [ ("count", Json.Int c); ("sum", Json.Float s);
+                         ( "mean",
+                           if c = 0 then Json.Null
+                           else Json.Float (s /. float_of_int c) ) ] )
+                   :: acc)
+                acc.t_hists [])) ) ]
+  in
+  { s_kind = Telemetry;
+    s_label = label;
+    s_meta = meta;
+    s_indicators =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) indicators }
+
+(* {2 Detection and entry point} *)
+
+let first_line content =
+  match String.index_opt content '\n' with
+  | Some i -> String.sub content 0 i
+  | None -> content
+
+let summarize ~label content =
+  let head = String.trim (first_line content) in
+  let is_telemetry =
+    head <> ""
+    &&
+    match Json.of_string head with
+    | j -> (
+        match Json.member "schema" j with
+        | Some (Json.Str s) -> s = Telemetry.schema
+        | _ -> false)
+    | exception Json.Parse_error _ -> false
+  in
+  if is_telemetry then summarize_telemetry ~label content
+  else
+    match Json.of_string content with
+    | j -> summarize_bench ~label j
+    | exception Json.Parse_error msg ->
+      fail "%s: neither a telemetry stream nor a JSON bench record: %s" label
+        msg
+
+(* {2 Diff} *)
+
+type comparison = { c_key : string; c_a : float; c_b : float; c_ratio : float }
+
+type diff_result = {
+  compared : int;
+  regressions : comparison list;   (* worst first *)
+  improvements : comparison list;  (* best first *)
+  only_a : string list;
+  only_b : string list;
+}
+
+let default_tolerance = 0.5
+
+let diff ?(tol = default_tolerance) a b =
+  if tol < 0. then invalid_arg "Obs.Perfcmp.diff: negative tolerance";
+  let compared = ref 0 in
+  let regs = ref [] and imps = ref [] in
+  let only_a = ref [] and only_b = ref [] in
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> ()
+    | (k, _) :: xt, [] ->
+      only_a := k :: !only_a;
+      go xt []
+    | [], (k, _) :: yt ->
+      only_b := k :: !only_b;
+      go [] yt
+    | (ka, va) :: xt, (kb, vb) :: yt ->
+      let o = String.compare ka kb in
+      if o < 0 then begin
+        only_a := ka :: !only_a;
+        go xt ys
+      end
+      else if o > 0 then begin
+        only_b := kb :: !only_b;
+        go xs yt
+      end
+      else begin
+        (* Zero-valued baselines admit no relative comparison; both-zero
+           is trivially fine, a fresh nonzero cost against a zero
+           baseline is incomparable rather than an infinite regression. *)
+        (if va > 0. then begin
+            incr compared;
+            let ratio = vb /. va in
+            let cmp = { c_key = ka; c_a = va; c_b = vb; c_ratio = ratio } in
+            if ratio > 1. +. tol then regs := cmp :: !regs
+            else if ratio < 1. /. (1. +. tol) then imps := cmp :: !imps
+          end
+         else if va = 0. && vb = 0. then incr compared);
+        go xt yt
+      end
+  in
+  go a.s_indicators b.s_indicators;
+  { compared = !compared;
+    regressions =
+      List.sort (fun x y -> compare y.c_ratio x.c_ratio) !regs;
+    improvements =
+      List.sort (fun x y -> compare x.c_ratio y.c_ratio) !imps;
+    only_a = List.rev !only_a;
+    only_b = List.rev !only_b }
+
+(* {2 Rendering} *)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%s (%s)@." s.s_label (kind_name s.s_kind);
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %-20s %s@." k (Json.to_string v))
+    s.s_meta;
+  if s.s_indicators <> [] then begin
+    Format.fprintf ppf "  indicators (higher is worse):@.";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "    %-48s %12.4g@." k v)
+      s.s_indicators
+  end
+
+let pp_comparison ppf c =
+  Format.fprintf ppf "    %-48s %10.4g -> %10.4g  (%+.1f%%)@." c.c_key c.c_a
+    c.c_b ((c.c_ratio -. 1.) *. 100.)
+
+let pp_diff ppf ~tol a b r =
+  Format.fprintf ppf "perf diff: %s -> %s (tolerance %+.0f%%)@." a.s_label
+    b.s_label (tol *. 100.);
+  Format.fprintf ppf "  %d indicators compared" r.compared;
+  if r.only_a <> [] || r.only_b <> [] then
+    Format.fprintf ppf " (%d only in old, %d only in new)"
+      (List.length r.only_a) (List.length r.only_b);
+  Format.fprintf ppf "@.";
+  if r.regressions <> [] then begin
+    Format.fprintf ppf "  REGRESSIONS:@.";
+    List.iter (pp_comparison ppf) r.regressions
+  end;
+  if r.improvements <> [] then begin
+    Format.fprintf ppf "  improvements:@.";
+    List.iter (pp_comparison ppf) r.improvements
+  end;
+  if r.regressions = [] then Format.fprintf ppf "  no regressions@."

@@ -1,0 +1,59 @@
+(** Performance-record comparison — the analysis core of [umh perf].
+
+    Reduces a performance record to a flat list of numeric indicators
+    (higher always worse) and diffs two such lists with a relative
+    tolerance. Two record shapes are understood, detected from content:
+
+    - {e bench}: a BENCH_*.json-style object of sections; indicators are
+      leaves whose names declare a cost ([*_ms], [*_ns],
+      [us_per_streamer_sec], [*_over_*] overhead ratios, micro-bench
+      entries), with E3-style point lists keyed by their [streamers]
+      value so quick and full runs align on shared points.
+    - {e telemetry}: an ["umh-telemetry"] JSONL stream; indicators are
+      wall milliseconds per simulated second and per-sim-second counter
+      rates over the whole stream.
+
+    Indicators present in only one input never fail a diff — older
+    BENCH files legitimately lack newer sections. *)
+
+type kind = Bench | Telemetry
+
+val kind_name : kind -> string
+
+type summary = {
+  s_kind : kind;
+  s_label : string;
+  s_meta : (string * Json.t) list;
+  s_indicators : (string * float) list;
+}
+
+val summarize : label:string -> string -> summary
+(** Parse file content (shape auto-detected). Raises [Failure] with a
+    human-readable message on malformed input — a telemetry line with a
+    wrong schema or a missing field is an error, never skipped. *)
+
+type comparison = { c_key : string; c_a : float; c_b : float; c_ratio : float }
+
+type diff_result = {
+  compared : int;
+  regressions : comparison list;   (** worst first *)
+  improvements : comparison list;  (** best first *)
+  only_a : string list;
+  only_b : string list;
+}
+
+val default_tolerance : float
+(** [0.5]: flag only changes beyond +50% — bench noise on shared
+    machines is real, and the point is catching gross regressions
+    mechanically, not adjudicating 5% drift. *)
+
+val diff : ?tol:float -> summary -> summary -> diff_result
+(** [diff ~tol a b]: for every indicator key present in both, the value
+    is a regression when [b > a * (1 + tol)] and an improvement when
+    [b < a / (1 + tol)]. Zero baselines admit no relative comparison and
+    are skipped (both-zero counts as compared). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val pp_diff :
+  Format.formatter -> tol:float -> summary -> summary -> diff_result -> unit

@@ -399,6 +399,70 @@ let test_chrome_trace_export () =
      <> None);
   Obs.Tracer.clear Obs.Tracer.default
 
+(* ---- merge (umh perf summarize; later, per-shard registries) ---- *)
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () in
+  let b = Obs.Metrics.create () in
+  (* empty into empty: nothing appears *)
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check int) "empty merge adds nothing" 0 (Obs.Metrics.size a);
+  Obs.Metrics.add (Obs.Metrics.counter ~registry:a "n") 3;
+  Obs.Metrics.add (Obs.Metrics.counter ~registry:b "n") 4;
+  Obs.Metrics.add (Obs.Metrics.counter ~registry:b "only_b") 7;
+  Obs.Metrics.set (Obs.Metrics.gauge ~registry:a "depth") 2.;
+  Obs.Metrics.set (Obs.Metrics.gauge ~registry:b "depth") 5.;
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7
+    (Obs.Metrics.value (Obs.Metrics.counter ~registry:a "n"));
+  Alcotest.(check int) "missing counters are created" 7
+    (Obs.Metrics.value (Obs.Metrics.counter ~registry:a "only_b"));
+  Alcotest.(check (float 0.)) "gauges take the source level" 5.
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge ~registry:a "depth"));
+  (* merging an empty registry into a populated one changes nothing *)
+  Obs.Metrics.merge ~into:a (Obs.Metrics.create ());
+  Alcotest.(check int) "no-op merge preserves counts" 7
+    (Obs.Metrics.value (Obs.Metrics.counter ~registry:a "n"))
+
+let test_metrics_merge_single_bucket_histogram () =
+  let a = Obs.Metrics.create () in
+  let b = Obs.Metrics.create () in
+  (* one bound = two buckets: [<= 1.0] plus the implicit overflow *)
+  let ha = Obs.Metrics.histogram ~registry:a ~bounds:[| 1.0 |] "lat" in
+  let hb = Obs.Metrics.histogram ~registry:b ~bounds:[| 1.0 |] "lat" in
+  Obs.Metrics.observe ha 0.5;
+  Obs.Metrics.observe hb 0.7;
+  Obs.Metrics.observe hb 2.0;
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check int) "count accumulates" 3 (Obs.Metrics.histogram_count ha);
+  Alcotest.(check (float 1e-9)) "sum accumulates" 3.2
+    (Obs.Metrics.histogram_sum ha);
+  Alcotest.(check (float 0.)) "median lands in the bounded bucket" 1.0
+    (Obs.Metrics.quantile ha 0.5);
+  Alcotest.(check (float 0.)) "overflow bucket reports the merged max" 2.0
+    (Obs.Metrics.quantile ha 1.0)
+
+let test_metrics_merge_mismatched_bounds () =
+  let a = Obs.Metrics.create () in
+  let b = Obs.Metrics.create () in
+  let ha = Obs.Metrics.histogram ~registry:a ~bounds:[| 1.; 2. |] "lat" in
+  let hb = Obs.Metrics.histogram ~registry:b ~bounds:[| 1.; 3. |] "lat" in
+  Obs.Metrics.observe ha 0.5;
+  Obs.Metrics.observe hb 2.5;
+  (match Obs.Metrics.merge ~into:a b with
+   | () -> Alcotest.fail "merge across mismatched bounds must raise"
+   | exception Invalid_argument msg ->
+     (* the message must point at the offending metric *)
+     let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+       at 0
+     in
+     Alcotest.(check bool) "error names the histogram" true
+       (contains msg "lat"));
+  Alcotest.(check int) "into untouched by the failed merge" 1
+    (Obs.Metrics.histogram_count ha)
+
 let suite =
   [ Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
@@ -423,4 +487,9 @@ let suite =
     Alcotest.test_case "export: causal flow arrows" `Quick
       test_export_flow_arrows;
     Alcotest.test_case "chrome trace from a cruise run" `Quick
-      test_chrome_trace_export ]
+      test_chrome_trace_export;
+    Alcotest.test_case "metrics: merge registries" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics: merge single-bucket histograms" `Quick
+      test_metrics_merge_single_bucket_histogram;
+    Alcotest.test_case "metrics: merge rejects mismatched bounds" `Quick
+      test_metrics_merge_mismatched_bounds ]
