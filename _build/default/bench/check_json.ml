@@ -1,7 +1,8 @@
-(* CI validator for the bench harness's --json output: parses the file
-   and checks the sections the perf trajectory relies on are present and
-   well-shaped. Exits non-zero (failing the dune runtest alias) when the
-   report is missing, unparseable, or structurally wrong. *)
+(* CI validator for the machine-readable JSON the toolchain emits:
+   bench reports from the harness's --json flag, plus the analysis and
+   partition files from `umh analyze` (dispatched on the top-level
+   "schema" tag). Exits non-zero (failing the dune runtest alias) when
+   a file is missing, unparseable, or structurally wrong. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_json: " ^ s); exit 1) fmt
 
@@ -19,6 +20,92 @@ let require_float name = function
   | Some _ -> fail "field %S is not a number" name
   | None -> fail "missing field %S" name
 
+let require_str name = function
+  | Some (Obs.Json.Str _) -> ()
+  | Some _ -> fail "field %S is not a string" name
+  | None -> fail "missing field %S" name
+
+let require_bool name = function
+  | Some (Obs.Json.Bool _) -> ()
+  | Some _ -> fail "field %S is not a bool" name
+  | None -> fail "missing field %S" name
+
+let require_list name = function
+  | Some (Obs.Json.List l) -> l
+  | Some _ -> fail "field %S is not a list" name
+  | None -> fail "missing field %S" name
+
+let require_version j =
+  match Obs.Json.member "version" j with
+  | Some (Obs.Json.Int 1) -> ()
+  | Some _ -> fail "\"version\" must be 1"
+  | None -> fail "missing \"version\""
+
+(* One shard of an umh-analysis / umh-partition file. The full analysis
+   shards additionally carry the RTA verdicts. *)
+let check_shard ~verdicts s =
+  require_float "id" (Obs.Json.member "id" s);
+  (match require_list "members" (Obs.Json.member "members" s) with
+   | [] -> fail "shard with no members"
+   | members ->
+     List.iter
+       (fun m ->
+          require_str "member.name" (Obs.Json.member "name" m);
+          require_str "member.kind" (Obs.Json.member "kind" m))
+       members);
+  require_float "utilization" (Obs.Json.member "utilization" s);
+  require_bool "feasible" (Obs.Json.member "feasible" s);
+  if verdicts then
+    List.iter
+      (fun v ->
+         require_str "verdict.task" (Obs.Json.member "task" v);
+         require_float "verdict.priority" (Obs.Json.member "priority" v);
+         require_float "verdict.deadline_s" (Obs.Json.member "deadline_s" v);
+         require_bool "verdict.rm_ok" (Obs.Json.member "rm_ok" v);
+         require_bool "verdict.diverges" (Obs.Json.member "diverges" v))
+      (require_list "verdicts" (Obs.Json.member "verdicts" s))
+
+let check_analysis path json =
+  require_version json;
+  require_str "model" (Obs.Json.member "model" json);
+  require_str "name" (Obs.Json.member "name" json);
+  require_bool "schedulable" (Obs.Json.member "schedulable" json);
+  let tasks = require_list "tasks" (Obs.Json.member "tasks" json) in
+  List.iter
+    (fun t ->
+       require_str "task.name" (Obs.Json.member "name" t);
+       require_str "task.kind" (Obs.Json.member "kind" t);
+       require_float "task.period_s" (Obs.Json.member "period_s" t);
+       require_float "task.wcet_s" (Obs.Json.member "wcet_s" t);
+       require_str "task.wcet_source" (Obs.Json.member "wcet_source" t))
+    tasks;
+  let shards = require_list "shards" (Obs.Json.member "shards" json) in
+  if tasks <> [] && shards = [] then fail "tasks present but no shards";
+  List.iter (check_shard ~verdicts:true) shards;
+  ignore (require_list "issues" (Obs.Json.member "issues" json));
+  ignore (require_list "forced_groups" (Obs.Json.member "forced_groups" json));
+  ignore (require_list "races" (Obs.Json.member "races" json));
+  ignore (require_list "interleavings" (Obs.Json.member "interleavings" json));
+  ignore (require_list "cross_edges" (Obs.Json.member "cross_edges" json));
+  Printf.printf "check_json: %s ok (umh-analysis, %d tasks, %d shards)\n" path
+    (List.length tasks) (List.length shards)
+
+let check_partition path json =
+  require_version json;
+  require_str "model" (Obs.Json.member "model" json);
+  let shards = require_list "shards" (Obs.Json.member "shards" json) in
+  if shards = [] then fail "partition with no shards";
+  List.iter (check_shard ~verdicts:false) shards;
+  ignore (require_list "forced_groups" (Obs.Json.member "forced_groups" json));
+  List.iter
+    (fun e ->
+       require_str "cross_edge.src" (Obs.Json.member "src" e);
+       require_str "cross_edge.dst" (Obs.Json.member "dst" e);
+       require_str "cross_edge.kind" (Obs.Json.member "kind" e))
+    (require_list "cross_edges" (Obs.Json.member "cross_edges" json));
+  Printf.printf "check_json: %s ok (umh-partition, %d shards)\n" path
+    (List.length shards)
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_json FILE" in
   let json =
@@ -26,6 +113,14 @@ let () =
     | j -> j
     | exception Obs.Json.Parse_error msg -> fail "%s: %s" path msg
   in
+  (match Obs.Json.member "schema" json with
+   | Some (Obs.Json.Str "umh-analysis") ->
+     check_analysis path json;
+     exit 0
+   | Some (Obs.Json.Str "umh-partition") ->
+     check_partition path json;
+     exit 0
+   | Some _ | None -> ());
   (* e3: at least one point carrying the scaling metric *)
   let e3 =
     match Obs.Json.member "e3" json with

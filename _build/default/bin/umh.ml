@@ -1,5 +1,6 @@
 (* umh — unified modeling of hybrid real-time control systems.
-   Subcommands: check, simulate, codegen, fmt, lint, stereotypes, sched. *)
+   Subcommands: check, simulate, codegen, fmt, lint, analyze, stereotypes,
+   sched. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -47,7 +48,11 @@ let check_cmd_run path = exit (report_check path (load_checked path))
 (* ---- simulate ---- *)
 
 let simulate_run path duration trace_spec csv_out verify show_stats faults_file
-    crash_dir telemetry_out telemetry_every profile flight_dump =
+    crash_dir telemetry_out telemetry_every profile flight_dump wcet_out =
+  if wcet_out <> None && not profile then begin
+    Printf.eprintf "--wcet-out needs --profile to measure frame times\n";
+    exit 2
+  end;
   (* [--trace FILE.json] means a Chrome trace of the whole run;
      [--trace ROLE.DPORT] keeps its original meaning (signal trace). *)
   let chrome_out, trace_spec =
@@ -254,6 +259,20 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
              (Obs.Metrics.quantile h 0.9) (Obs.Metrics.quantile h 0.99))
       [ "profile.latency.capsule_rtc_s"; "profile.latency.streamer_signal_s" ]
   end;
+  (match wcet_out with
+   | Some out ->
+     let w = Analysis.Wcet.of_profile ~model:path () in
+     let oc = open_out out in
+     output_string oc (Obs.Json.to_string (Analysis.Wcet.to_json w));
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf
+       "  wcet table -> %s (%d entities; feed back with `umh analyze --wcet \
+        %s %s`)\n"
+       out
+       (List.length w.Analysis.Wcet.entries)
+       out path
+   | None -> ());
   if show_stats then begin
     Printf.printf "  runtime metrics:\n";
     Format.printf "%a@?" Obs.Metrics.pp Obs.Metrics.default
@@ -483,9 +502,19 @@ let fmt_run path in_place =
   end
   else print_string printed
 
-(* ---- lint ---- *)
+(* ---- lint / analyze ---- *)
 
-let lint_run paths format select ignore werror =
+let load_wcet = function
+  | None -> None
+  | Some file ->
+    (match Analysis.Wcet.of_file file with
+     | Ok w -> Some w
+     | Error msg ->
+       Printf.eprintf "--wcet: %s: %s\n" file msg;
+       exit 2)
+
+let lint_run paths format select ignore werror wcet_file =
+  let wcet = load_wcet wcet_file in
   let split_codes l =
     List.concat_map
       (fun s ->
@@ -509,13 +538,67 @@ let lint_run paths format select ignore werror =
      exit 2);
   let reports =
     List.map
-      (fun p -> Lint.Linter.apply_options options (Lint.Linter.lint_file p))
+      (fun p -> Lint.Linter.apply_options options (Lint.Linter.lint_file ?wcet p))
       paths
   in
   (match format with
    | `Text -> print_string (Lint.Linter.to_text reports)
    | `Json -> print_endline (Obs.Json.to_string (Lint.Linter.to_json reports)));
   exit (if Lint.Linter.gates reports then 1 else 0)
+
+let analyze_run paths format wcet_file werror partition_out =
+  let wcet = load_wcet wcet_file in
+  (match paths with
+   | _ :: _ :: _ when format = `Json || partition_out <> None ->
+     Printf.eprintf
+       "umh analyze: --format json and --partition-out expect exactly one \
+        model\n";
+     exit 2
+   | _ -> ());
+  let failed = ref false in
+  List.iter
+    (fun path ->
+       let checked = load_checked path in
+       if not (Dsl.Typecheck.is_ok checked) then
+         exit (report_check path checked);
+       match Analysis.Report.run ?wcet ~file:path checked with
+       | None ->
+         Printf.printf "%s: nothing to analyze (no system section)\n" path
+       | Some report ->
+         (match format with
+          | `Text -> Format.printf "%a@." Analysis.Report.pp report
+          | `Json ->
+            print_endline
+              (Obs.Json.to_string (Analysis.Report.to_json report)));
+         (match partition_out with
+          | Some out ->
+            let oc = open_out out in
+            output_string oc
+              (Obs.Json.to_string (Analysis.Report.partition_json report));
+            output_char oc '\n';
+            close_out oc;
+            if format = `Text then
+              Printf.printf "partition -> %s (%d shards)\n" out
+                (List.length
+                   report.Analysis.Report.shard.Analysis.Shard.shards)
+          | None -> ());
+         let s = report.Analysis.Report.shard in
+         let rm_only_miss =
+           List.exists
+             (fun (sh : Analysis.Shard.shard) ->
+                sh.Analysis.Shard.feasible
+                && Analysis.Rta.misses sh.Analysis.Shard.rta <> [])
+             s.Analysis.Shard.shards
+         in
+         if not (Analysis.Report.schedulable report) then failed := true
+         else if
+           werror
+           && (s.Analysis.Shard.races <> []
+               || s.Analysis.Shard.interleavings <> []
+               || rm_only_miss)
+         then failed := true)
+    paths;
+  exit (if !failed then 1 else 0)
 
 (* ---- stereotypes ---- *)
 
@@ -633,10 +716,18 @@ let simulate_cmd =
            ~doc:"Dump the always-on flight-recorder ring as JSON at end of \
                  run, crash or no crash. Render with $(b,umh report).")
   in
+  let wcet_out =
+    Arg.(value & opt (some string) None & info [ "wcet-out" ] ~docv:"OUT.json"
+           ~doc:"Write the measured worst single-frame self time of every \
+                 profiled entity as a wcet table (requires $(b,--profile)). \
+                 Feed it back with $(b,umh analyze --wcet) or \
+                 $(b,umh lint --wcet) to rest the response-time verdicts on \
+                 measurement instead of the default utilization model.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats
           $ faults $ crash_dir $ telemetry $ telemetry_every $ profile
-          $ flight_dump)
+          $ flight_dump $ wcet_out)
 
 let codegen_cmd =
   let doc = "Generate C sources from a model." in
@@ -681,8 +772,51 @@ let lint_cmd =
     Arg.(value & flag & info [ "werror" ]
            ~doc:"Report surviving warnings as errors.")
   in
+  let wcet =
+    Arg.(value & opt (some file) None & info [ "wcet" ] ~docv:"WCET.json"
+           ~doc:"Measured wcet table (from $(b,simulate --profile \
+                 --wcet-out)) feeding the timing rules (UMH042+).")
+  in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const lint_run $ models $ format $ select $ ignore $ werror)
+    Term.(const lint_run $ models $ format $ select $ ignore $ werror $ wcet)
+
+let analyze_cmd =
+  let doc =
+    "Static timing and concurrency analysis of one or more models: task-set \
+     extraction (streamer rates, capsule timers, wcet budgets), exact \
+     response-time analysis per suggested shard under RM and EDF, and \
+     shard safety (forced same-shard feedback groups, write-write parameter \
+     races, nondeterministic signal interleavings). Exits 0 when every model \
+     is schedulable, 1 when one is not (or, under $(b,--werror), has \
+     warning-level findings), 2 on usage errors."
+  in
+  let models =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"MODEL.umh"
+           ~doc:"Model files to analyze.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+           & info [ "format" ] ~docv:"text|json" ~doc:"Output format.")
+  in
+  let wcet =
+    Arg.(value & opt (some file) None & info [ "wcet" ] ~docv:"WCET.json"
+           ~doc:"Measured wcet table (from $(b,simulate --profile \
+                 --wcet-out)); entities not in the table keep their declared \
+                 budget or the default utilization model.")
+  in
+  let werror =
+    Arg.(value & flag & info [ "werror" ]
+           ~doc:"Also exit 1 on warning-level findings: RM-only deadline \
+                 misses, parameter races, signal interleavings.")
+  in
+  let partition_out =
+    Arg.(value & opt (some string) None & info [ "partition-out" ]
+           ~docv:"OUT.json"
+           ~doc:"Write the suggested shard partition (members, utilizations, \
+                 forced groups, cross-shard edges) as JSON.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const analyze_run $ models $ format $ wcet $ werror $ partition_out)
 
 let report_cmd =
   let doc =
@@ -748,8 +882,8 @@ let sched_cmd =
 let main =
   let doc = "unified modeling of complex real-time control systems (DATE 2005)" in
   Cmd.group (Cmd.info "umh" ~version:"1.0.0" ~doc)
-    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; lint_cmd; report_cmd;
-      perf_cmd; stereotypes_cmd; sched_cmd ]
+    [ check_cmd; simulate_cmd; codegen_cmd; fmt_cmd; lint_cmd; analyze_cmd;
+      report_cmd; perf_cmd; stereotypes_cmd; sched_cmd ]
 
 (* Usage errors (unknown subcommand, bad flags) print to stderr and exit 2
    — cmdliner's default for these is 124, which scripts read as a timeout. *)

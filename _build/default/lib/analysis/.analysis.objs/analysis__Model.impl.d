@@ -1,0 +1,1 @@
+lib/analysis/model.ml: Ast Dataflow Dsl List Printf String Typecheck

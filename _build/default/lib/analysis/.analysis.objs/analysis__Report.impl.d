@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Dsl Float Format List Model Obs Printf Rt Rta Shard String Taskset

@@ -1,0 +1,1 @@
+lib/analysis/report.mli: Dsl Format Obs Rta Shard Taskset Wcet

@@ -1,0 +1,1 @@
+lib/analysis/rta.ml: Float List Rt Taskset

@@ -1,0 +1,1 @@
+lib/analysis/rta.mli: Rt Taskset

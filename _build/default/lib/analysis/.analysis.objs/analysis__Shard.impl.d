@@ -1,0 +1,1 @@
+lib/analysis/shard.ml: Array Ast Dataflow Dsl Hashtbl List Model Rt Rta String Taskset

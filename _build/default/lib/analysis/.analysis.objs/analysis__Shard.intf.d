@@ -1,0 +1,1 @@
+lib/analysis/shard.mli: Ast Dsl Model Rta Taskset

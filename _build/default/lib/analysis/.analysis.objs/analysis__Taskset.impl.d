@@ -1,0 +1,1 @@
+lib/analysis/taskset.ml: Ast Dsl Float Hybrid List Model Option Rt String Wcet

@@ -1,0 +1,1 @@
+lib/analysis/taskset.mli: Ast Dsl Model Rt Wcet

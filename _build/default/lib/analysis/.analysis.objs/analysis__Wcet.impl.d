@@ -1,0 +1,1 @@
+lib/analysis/wcet.ml: Float Fun List Obs Option Printf String

@@ -1,0 +1,68 @@
+(** The flattened structural model shared by every static analysis.
+
+    One elaboration-faithful view of a typechecked model, mirroring
+    [Dsl.Elaborate] / [Hybrid.Engine] flattening without instantiating
+    solvers: composite streamers flatten into ["role.child"] leaves,
+    composite border DPorts and capsule relay DPorts become 1-in/1-out
+    junctions named ["owner.port"]. The timing analyses ({!Taskset},
+    {!Rta}), the shard-safety analysis ({!Shard}) and the linter's
+    semantic rules all consume this one structure. *)
+
+open Dsl
+
+type emission = {
+  em_role : string;    (** emitting leaf role, e.g. ["chain.first"] *)
+  em_inst : string;    (** top-level streamer instance the leaf lives in *)
+  em_sport : string;
+  em_signal : string;
+  em_pos : Ast.pos;
+}
+
+type strategy = {
+  str_role : string;   (** leaf role owning the [when] clause *)
+  str_inst : string;
+  str_signal : string;
+  str_param : string;
+  str_pos : Ast.pos;
+}
+
+type capsule_inst = {
+  ci_name : string;    (** instance name; profiler path is ["system/<name>"] *)
+  ci_class : string;
+  ci_timers : (string * float) list;  (** periodic self signals *)
+  ci_triggers : string list;          (** statechart triggers, with dups *)
+  ci_sends : (string * string) list;  (** transition actions: signal, port *)
+  ci_pos : Ast.pos;
+}
+
+type link = {
+  lk_inst : string;    (** streamer instance *)
+  lk_sport : string;
+  lk_capsule : string; (** capsule instance *)
+  lk_port : string;
+  lk_pos : Ast.pos;
+}
+
+type t = {
+  graph : Dataflow.Graph.t;
+  periods : (string * float) list;  (** leaf role -> tick period *)
+  wcets : (string * float) list;    (** leaf role -> declared wcet budget *)
+  emissions : emission list;
+  strategies : strategy list;
+  capsules : capsule_inst list;
+  links : link list;
+  port_pos : ((string * string) * Ast.pos) list;  (** (node, port) -> decl *)
+  flow_pos : ((string * string) * Ast.pos) list;  (** (dst node, dst port) *)
+  leaf_pos : (string * Ast.pos) list;             (** leaf role -> instance decl *)
+  system_pos : Ast.pos;
+}
+
+val of_checked : Typecheck.checked -> t option
+(** [None] when the model has no system section (nothing to analyze) or
+    flattening hits a structural error already reported by the
+    typechecker. Call only on models where [Typecheck.is_ok] holds. *)
+
+val producer : t -> string -> (string * float) option
+(** Walk back through relays and junctions to the leaf streamer whose
+    samples arrive at the node, with its period. [None] for nodes fed by
+    no periodic leaf (or on a cycle). *)

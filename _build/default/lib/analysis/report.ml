@@ -1,0 +1,245 @@
+(* The `umh analyze` entry point: run task extraction, per-shard
+   response-time analysis and shard safety over one typechecked model,
+   then render as text or JSON ("umh-analysis" schema) and emit the
+   suggested partition ("umh-partition" schema). *)
+
+type t = {
+  file : string;
+  model_name : string;
+  taskset : Taskset.t;
+  shard : Shard.t;
+}
+
+let schema_name = "umh-analysis"
+let schema_version = 1
+let partition_schema_name = "umh-partition"
+let partition_schema_version = 1
+
+let run ?wcet ?default_utilization ~file (checked : Dsl.Typecheck.checked) =
+  match Model.of_checked checked with
+  | None -> None
+  | Some m ->
+    let taskset = Taskset.extract ?wcet ?default_utilization m in
+    Some
+      { file;
+        model_name = checked.Dsl.Typecheck.model.Dsl.Ast.m_name;
+        taskset;
+        shard = Shard.analyze m taskset }
+
+let schedulable t =
+  Shard.all_feasible t.shard && t.taskset.Taskset.issues = []
+
+let deadline_misses t =
+  List.concat_map (fun (s : Shard.shard) -> Rta.misses s.Shard.rta)
+    t.shard.Shard.shards
+
+(* ---- JSON ---- *)
+
+let node_json nd =
+  Obs.Json.Obj
+    [ ("name", Obs.Json.Str (Shard.node_name nd));
+      ("kind", Obs.Json.Str (Shard.node_kind nd)) ]
+
+let edge_json (e : Shard.edge) =
+  Obs.Json.Obj
+    [ ("src", Obs.Json.Str (Shard.node_name e.Shard.e_src));
+      ("dst", Obs.Json.Str (Shard.node_name e.Shard.e_dst));
+      ("kind", Obs.Json.Str (Shard.edge_kind_name e.Shard.e_kind)) ]
+
+let verdict_json (v : Rta.verdict) =
+  let task = v.Rta.v_task.Taskset.task in
+  Obs.Json.Obj
+    [ ("task", Obs.Json.Str task.Rt.Task.name);
+      ("priority", Obs.Json.Int v.Rta.v_priority);
+      ("response_s",
+       match v.Rta.v_response with
+       | Rt.Rm.Converged r -> Obs.Json.Float r
+       | Rt.Rm.Diverges _ -> Obs.Json.Null);
+      ("diverges",
+       Obs.Json.Bool
+         (match v.Rta.v_response with
+          | Rt.Rm.Diverges _ -> true
+          | Rt.Rm.Converged _ -> false));
+      ("deadline_s", Obs.Json.Float task.Rt.Task.deadline);
+      ("rm_ok", Obs.Json.Bool v.Rta.v_rm_ok);
+      ("slack_s",
+       if Float.is_finite v.Rta.v_slack then Obs.Json.Float v.Rta.v_slack
+       else Obs.Json.Null) ]
+
+let shard_json (s : Shard.shard) =
+  let r = s.Shard.rta in
+  Obs.Json.Obj
+    [ ("id", Obs.Json.Int s.Shard.shard_id);
+      ("members", Obs.Json.List (List.map node_json s.Shard.members));
+      ("utilization", Obs.Json.Float r.Rta.utilization);
+      ("ll_bound", Obs.Json.Float r.Rta.ll_bound);
+      ("rm_ok", Obs.Json.Bool r.Rta.rm_ok);
+      ("edf_ok", Obs.Json.Bool r.Rta.edf_ok);
+      ("breakdown", Obs.Json.Float r.Rta.breakdown);
+      ("feasible", Obs.Json.Bool s.Shard.feasible);
+      ("verdicts", Obs.Json.List (List.map verdict_json r.Rta.verdicts)) ]
+
+let task_json t (x : Taskset.task) =
+  let task = x.Taskset.task in
+  let shard =
+    List.find_map
+      (fun (s : Shard.shard) ->
+         if List.exists (fun (y : Taskset.task) -> y == x) s.Shard.tasks then
+           Some s.Shard.shard_id
+         else None)
+      t.shard.Shard.shards
+  in
+  Obs.Json.Obj
+    [ ("name", Obs.Json.Str task.Rt.Task.name);
+      ("kind", Obs.Json.Str (Taskset.kind_name x.Taskset.kind));
+      ("period_s", Obs.Json.Float task.Rt.Task.period);
+      ("wcet_s", Obs.Json.Float task.Rt.Task.wcet);
+      ("deadline_s", Obs.Json.Float task.Rt.Task.deadline);
+      ("wcet_source", Obs.Json.Str (Taskset.source_name x.Taskset.source));
+      ("shard",
+       match shard with Some i -> Obs.Json.Int i | None -> Obs.Json.Null) ]
+
+let issue_json = function
+  | Taskset.Budget_exceeds_period { name; wcet; period; _ } ->
+    Obs.Json.Obj
+      [ ("kind", Obs.Json.Str "budget_exceeds_period");
+        ("task", Obs.Json.Str name);
+        ("wcet_s", Obs.Json.Float wcet);
+        ("period_s", Obs.Json.Float period) ]
+
+let race_json (r : Shard.race) =
+  Obs.Json.Obj
+    [ ("role", Obs.Json.Str r.Shard.race_role);
+      ("param", Obs.Json.Str r.Shard.race_param);
+      ("senders",
+       Obs.Json.List
+         (List.map (fun s -> Obs.Json.Str s) r.Shard.race_senders)) ]
+
+let interleaving_json (i : Shard.interleaving) =
+  Obs.Json.Obj
+    [ ("capsule", Obs.Json.Str i.Shard.il_capsule);
+      ("sources",
+       Obs.Json.List (List.map (fun s -> Obs.Json.Str s) i.Shard.il_sources)) ]
+
+let group_json g = Obs.Json.List (List.map node_json g)
+
+let to_json t =
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.Str schema_name);
+      ("version", Obs.Json.Int schema_version);
+      ("model", Obs.Json.Str t.file);
+      ("name", Obs.Json.Str t.model_name);
+      ("schedulable", Obs.Json.Bool (schedulable t));
+      ("tasks",
+       Obs.Json.List (List.map (task_json t) t.taskset.Taskset.tasks));
+      ("issues",
+       Obs.Json.List (List.map issue_json t.taskset.Taskset.issues));
+      ("shards",
+       Obs.Json.List (List.map shard_json t.shard.Shard.shards));
+      ("forced_groups",
+       Obs.Json.List (List.map group_json t.shard.Shard.forced_groups));
+      ("races", Obs.Json.List (List.map race_json t.shard.Shard.races));
+      ("interleavings",
+       Obs.Json.List
+         (List.map interleaving_json t.shard.Shard.interleavings));
+      ("cross_edges",
+       Obs.Json.List (List.map edge_json t.shard.Shard.cross_edges)) ]
+
+let partition_json t =
+  let shard (s : Shard.shard) =
+    Obs.Json.Obj
+      [ ("id", Obs.Json.Int s.Shard.shard_id);
+        ("members", Obs.Json.List (List.map node_json s.Shard.members));
+        ("utilization", Obs.Json.Float s.Shard.rta.Rta.utilization);
+        ("feasible", Obs.Json.Bool s.Shard.feasible) ]
+  in
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.Str partition_schema_name);
+      ("version", Obs.Json.Int partition_schema_version);
+      ("model", Obs.Json.Str t.file);
+      ("shards", Obs.Json.List (List.map shard t.shard.Shard.shards));
+      ("forced_groups",
+       Obs.Json.List (List.map group_json t.shard.Shard.forced_groups));
+      ("cross_edges",
+       Obs.Json.List (List.map edge_json t.shard.Shard.cross_edges)) ]
+
+(* ---- text ---- *)
+
+let pp_members ppf members =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf nd -> Format.pp_print_string ppf (Shard.node_name nd))
+    ppf members
+
+let pp ppf t =
+  let ts = t.taskset in
+  let count source =
+    List.length
+      (List.filter (fun (x : Taskset.task) -> x.Taskset.source = source)
+         ts.Taskset.tasks)
+  in
+  Format.fprintf ppf "@[<v>analysis of %s (%s)@," t.model_name t.file;
+  Format.fprintf ppf
+    "  tasks: %d (wcet: %d measured, %d declared, %d default)@,"
+    (List.length ts.Taskset.tasks)
+    (count Taskset.Measured) (count Taskset.Declared) (count Taskset.Default);
+  List.iter
+    (function
+      | Taskset.Budget_exceeds_period { name; wcet; period; _ } ->
+        Format.fprintf ppf
+          "  issue: task %s: wcet %gs >= period %gs — can never meet its \
+           deadline@,"
+          name wcet period)
+    ts.Taskset.issues;
+  List.iter
+    (fun (s : Shard.shard) ->
+       let r = s.Shard.rta in
+       Format.fprintf ppf
+         "  shard %d: {%a} U=%.3f (LL %.3f) rm=%s edf=%s breakdown=%.2f%s@,"
+         s.Shard.shard_id pp_members s.Shard.members r.Rta.utilization
+         r.Rta.ll_bound
+         (if r.Rta.rm_ok then "ok" else "MISS")
+         (if r.Rta.edf_ok then "ok" else "MISS")
+         r.Rta.breakdown
+         (if s.Shard.feasible then "" else "  INFEASIBLE");
+       List.iter
+         (fun (v : Rta.verdict) ->
+            let task = v.Rta.v_task.Taskset.task in
+            Format.fprintf ppf
+              "    prio %d  %-20s T=%-8g C=%-8g R=%-8s slack=%-8s [%s]%s@,"
+              v.Rta.v_priority task.Rt.Task.name task.Rt.Task.period
+              task.Rt.Task.wcet
+              (match v.Rta.v_response with
+               | Rt.Rm.Converged r -> Printf.sprintf "%g" r
+               | Rt.Rm.Diverges r -> Printf.sprintf ">%g" r)
+              (if Float.is_finite v.Rta.v_slack then
+                 Printf.sprintf "%g" v.Rta.v_slack
+               else "-inf")
+              (Taskset.source_name v.Rta.v_task.Taskset.source)
+              (if v.Rta.v_rm_ok then "" else "  DEADLINE MISS"))
+         r.Rta.verdicts)
+    t.shard.Shard.shards;
+  List.iter
+    (fun g -> Format.fprintf ppf "  forced same-shard group: {%a}@," pp_members g)
+    t.shard.Shard.forced_groups;
+  List.iter
+    (fun (r : Shard.race) ->
+       Format.fprintf ppf
+         "  race: param %s.%s written from capsules %s — last writer wins@,"
+         r.Shard.race_role r.Shard.race_param
+         (String.concat ", " r.Shard.race_senders))
+    t.shard.Shard.races;
+  List.iter
+    (fun (i : Shard.interleaving) ->
+       Format.fprintf ppf
+         "  interleaving: capsule %s hears %s concurrently — delivery order \
+          is nondeterministic@,"
+         i.Shard.il_capsule
+         (String.concat ", " i.Shard.il_sources))
+    t.shard.Shard.interleavings;
+  (match t.shard.Shard.cross_edges with
+   | [] -> ()
+   | edges ->
+     Format.fprintf ppf "  cross-shard interactions: %d@," (List.length edges));
+  Format.fprintf ppf "  verdict: %s@]"
+    (if schedulable t then "schedulable" else "NOT schedulable")

@@ -1,0 +1,40 @@
+(** The [umh analyze] entry point: task extraction, per-shard
+    response-time analysis and shard safety over one typechecked model,
+    rendered as text or JSON.
+
+    Two JSON schemas, both self-contained over {!Obs.Json}:
+    - [umh-analysis] v1 — the full report: tasks (with wcet sources and
+      shard placement), extraction issues, per-shard RTA verdicts,
+      forced groups, races, interleavings, cross-shard edges;
+    - [umh-partition] v1 — just the suggested placement: shards with
+      members and utilizations, forced groups, cross-shard edges. *)
+
+type t = {
+  file : string;
+  model_name : string;
+  taskset : Taskset.t;
+  shard : Shard.t;
+}
+
+val schema_name : string
+val schema_version : int
+val partition_schema_name : string
+val partition_schema_version : int
+
+val run :
+  ?wcet:Wcet.t -> ?default_utilization:float -> file:string
+  -> Dsl.Typecheck.checked -> t option
+(** [None] when the model has no system section. Call only on models
+    where [Dsl.Typecheck.is_ok] holds. *)
+
+val schedulable : t -> bool
+(** Every shard is EDF-feasible and no task's budget reaches its
+    period. An RM-only miss on some shard does {e not} make this false —
+    EDF is the feasibility oracle; RM misses surface as warnings. *)
+
+val deadline_misses : t -> Rta.verdict list
+(** RM deadline misses across all shards. *)
+
+val to_json : t -> Obs.Json.t
+val partition_json : t -> Obs.Json.t
+val pp : Format.formatter -> t -> unit

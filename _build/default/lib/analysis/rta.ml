@@ -1,0 +1,65 @@
+(* Exact response-time analysis over an extracted task set: per-task
+   verdicts under rate-monotonic fixed priorities (iterative RTA with an
+   optional blocking term) cross-checked against the EDF processor-demand
+   criterion, plus the utilization summary the quick tests use. *)
+
+type verdict = {
+  v_task : Taskset.task;
+  v_priority : int;         (* RM priority, 0 = highest (shortest period) *)
+  v_response : Rt.Rm.bound; (* worst-case response, possibly past deadline *)
+  v_rm_ok : bool;
+  v_slack : float;          (* deadline - response; neg_infinity on divergence *)
+}
+
+type t = {
+  verdicts : verdict list;  (* criticality order: RM priority ascending *)
+  utilization : float;
+  ll_bound : float;
+  rm_ok : bool;
+  edf_ok : bool;
+  edf_violation : (float * float) option;  (* window, demand *)
+  breakdown : float;        (* 0 for the empty set *)
+}
+
+let analyze ?(blocking = 0.) (tasks : Taskset.task list) =
+  let rt = List.map (fun (x : Taskset.task) -> x.Taskset.task) tasks in
+  let prio = Rt.Rm.priorities rt in
+  let verdicts =
+    List.map
+      (fun (x : Taskset.task) ->
+         let task = x.Taskset.task in
+         let response = Rt.Rm.response_bound ~blocking rt task in
+         let rm_ok, slack =
+           match response with
+           | Rt.Rm.Converged r ->
+             (r <= task.Rt.Task.deadline, task.Rt.Task.deadline -. r)
+           | Rt.Rm.Diverges _ -> (false, Float.neg_infinity)
+         in
+         let priority =
+           match
+             List.find_opt (fun (t, _) -> t == task) prio
+           with
+           | Some (_, p) -> p
+           | None -> List.length rt
+         in
+         { v_task = x; v_priority = priority; v_response = response;
+           v_rm_ok = rm_ok; v_slack = slack })
+      tasks
+  in
+  let verdicts =
+    List.sort (fun a b -> compare a.v_priority b.v_priority) verdicts
+  in
+  let edf_violation = Rt.Edf.first_violation rt in
+  { verdicts;
+    utilization = Rt.Task.total_utilization rt;
+    ll_bound = Rt.Rm.utilization_bound (List.length rt);
+    rm_ok = List.for_all (fun v -> v.v_rm_ok) verdicts;
+    edf_ok = Rt.Edf.schedulable rt;
+    edf_violation;
+    breakdown = (if rt = [] then 0. else Rt.Rm.breakdown_utilization rt) }
+
+let response_value = function
+  | Rt.Rm.Converged r -> r
+  | Rt.Rm.Diverges r -> r
+
+let misses t = List.filter (fun v -> not v.v_rm_ok) t.verdicts

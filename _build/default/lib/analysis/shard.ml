@@ -1,0 +1,369 @@
+open Dsl
+
+(* Shard-safety analysis over the flattened model.
+
+   A happens-before graph relates the concurrent entities — leaf
+   streamer threads and capsule instances — through the three ways the
+   paper lets them interact: dataflow flows (leaf to leaf through
+   junctions and relays), guard emissions over SPort links into capsule
+   statecharts, and capsule send actions triggering streamer `when`
+   strategies. Cycles in this relation are feedback loops whose phases
+   interleave nondeterministically unless the whole cycle shares one
+   shard, so every strongly connected component becomes a forced group;
+   the partitioner then first-fit-decreasing packs forced groups and
+   singletons into shards using EDF feasibility as the fit test. *)
+
+type node = Streamer of string | Capsule of string
+
+type edge_kind =
+  | Flow      (* dataflow: producer leaf -> consumer leaf *)
+  | Emission  (* guard signal: leaf -> capsule statechart *)
+  | Strategy  (* capsule send action -> leaf `when` clause *)
+
+type edge = { e_src : node; e_dst : node; e_kind : edge_kind }
+
+type race = {
+  race_role : string;       (* leaf role whose param is written *)
+  race_param : string;
+  race_senders : string list;  (* >= 2 distinct capsule instances *)
+  race_pos : Ast.pos;
+}
+
+type interleaving = {
+  il_capsule : string;
+  il_sources : string list;    (* >= 2 distinct emitting leaf roles *)
+  il_pos : Ast.pos;
+}
+
+type shard = {
+  shard_id : int;
+  members : node list;
+  tasks : Taskset.task list;
+  rta : Rta.t;
+  feasible : bool;  (* EDF-feasible in isolation (a forced group that is
+                       not feasible alone cannot be split further) *)
+}
+
+type t = {
+  nodes : node list;
+  edges : edge list;
+  forced_groups : node list list;
+  races : race list;
+  interleavings : interleaving list;
+  shards : shard list;
+  cross_edges : edge list;
+}
+
+let node_name = function Streamer s -> s | Capsule c -> c
+let node_kind = function Streamer _ -> "streamer" | Capsule _ -> "capsule"
+let edge_kind_name = function
+  | Flow -> "flow"
+  | Emission -> "emission"
+  | Strategy -> "strategy"
+
+(* ---- happens-before construction ---- *)
+
+let dedupe l =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+let build_edges (m : Model.t) =
+  let flow_edges =
+    List.filter_map
+      (fun ((sn, _), (dn, _)) ->
+         if not (List.mem_assoc dn m.Model.periods) then None
+         else
+           match Model.producer m sn with
+           | Some (leaf, _) when not (String.equal leaf dn) ->
+             Some { e_src = Streamer leaf; e_dst = Streamer dn; e_kind = Flow }
+           | Some _ | None -> None)
+      (Dataflow.Graph.flow_list m.Model.graph)
+  in
+  let capsule ci_name =
+    List.find_opt
+      (fun (c : Model.capsule_inst) -> String.equal c.Model.ci_name ci_name)
+      m.Model.capsules
+  in
+  let emission_edges =
+    List.concat_map
+      (fun (em : Model.emission) ->
+         List.filter_map
+           (fun (lk : Model.link) ->
+              if
+                String.equal lk.Model.lk_inst em.Model.em_inst
+                && String.equal lk.Model.lk_sport em.Model.em_sport
+              then
+                match capsule lk.Model.lk_capsule with
+                | Some ci when List.mem em.Model.em_signal ci.Model.ci_triggers
+                  ->
+                  Some
+                    { e_src = Streamer em.Model.em_role;
+                      e_dst = Capsule lk.Model.lk_capsule;
+                      e_kind = Emission }
+                | Some _ | None -> None
+              else None)
+           m.Model.links)
+      m.Model.emissions
+  in
+  let strategy_edges =
+    List.concat_map
+      (fun (ci : Model.capsule_inst) ->
+         List.concat_map
+           (fun (signal, port) ->
+              List.concat_map
+                (fun (lk : Model.link) ->
+                   if
+                     String.equal lk.Model.lk_capsule ci.Model.ci_name
+                     && String.equal lk.Model.lk_port port
+                   then
+                     List.filter_map
+                       (fun (st : Model.strategy) ->
+                          if
+                            String.equal st.Model.str_inst lk.Model.lk_inst
+                            && String.equal st.Model.str_signal signal
+                          then
+                            Some
+                              { e_src = Capsule ci.Model.ci_name;
+                                e_dst = Streamer st.Model.str_role;
+                                e_kind = Strategy }
+                          else None)
+                       m.Model.strategies
+                   else [])
+                m.Model.links)
+           ci.Model.ci_sends)
+      m.Model.capsules
+  in
+  dedupe (flow_edges @ emission_edges @ strategy_edges)
+
+(* ---- nondeterminism findings ---- *)
+
+let find_interleavings (m : Model.t) edges =
+  List.filter_map
+    (fun (ci : Model.capsule_inst) ->
+       let sources =
+         dedupe
+           (List.filter_map
+              (fun e ->
+                 match e with
+                 | { e_src = Streamer s; e_dst = Capsule c; e_kind = Emission }
+                   when String.equal c ci.Model.ci_name ->
+                   Some s
+                 | _ -> None)
+              edges)
+       in
+       if List.length sources >= 2 then
+         Some
+           { il_capsule = ci.Model.ci_name; il_sources = sources;
+             il_pos = ci.Model.ci_pos }
+       else None)
+    m.Model.capsules
+
+let find_races (m : Model.t) =
+  (* Capsule instances whose send actions reach this strategy's signal on
+     the strategy's streamer instance. *)
+  let senders (st : Model.strategy) =
+    List.filter_map
+      (fun (ci : Model.capsule_inst) ->
+         let reaches =
+           List.exists
+             (fun (signal, port) ->
+                String.equal signal st.Model.str_signal
+                && List.exists
+                     (fun (lk : Model.link) ->
+                        String.equal lk.Model.lk_capsule ci.Model.ci_name
+                        && String.equal lk.Model.lk_port port
+                        && String.equal lk.Model.lk_inst st.Model.str_inst)
+                     m.Model.links)
+             ci.Model.ci_sends
+         in
+         if reaches then Some ci.Model.ci_name else None)
+      m.Model.capsules
+  in
+  let cells =
+    dedupe
+      (List.map
+         (fun (st : Model.strategy) -> (st.Model.str_role, st.Model.str_param))
+         m.Model.strategies)
+  in
+  List.filter_map
+    (fun (role, param) ->
+       let writers =
+         List.filter
+           (fun (st : Model.strategy) ->
+              String.equal st.Model.str_role role
+              && String.equal st.Model.str_param param)
+           m.Model.strategies
+       in
+       let all_senders = dedupe (List.concat_map senders writers) in
+       if List.length all_senders >= 2 then
+         Some
+           { race_role = role; race_param = param;
+             race_senders = all_senders;
+             race_pos = (List.hd writers).Model.str_pos }
+       else None)
+    cells
+
+(* ---- strongly connected components (Tarjan) ---- *)
+
+let sccs nodes edges =
+  let n = Array.length nodes in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i nd -> Hashtbl.replace index_of nd i) nodes;
+  let adj = Array.make n [] in
+  List.iter
+    (fun e ->
+       match (Hashtbl.find_opt index_of e.e_src, Hashtbl.find_opt index_of e.e_dst)
+       with
+       | Some s, Some d when s <> d -> adj.(s) <- d :: adj.(s)
+       | _, _ -> ())
+    edges;
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+         if index.(w) < 0 then begin
+           strongconnect w;
+           lowlink.(v) <- min lowlink.(v) lowlink.(w)
+         end
+         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  List.rev_map (List.map (fun i -> nodes.(i))) !out
+
+(* ---- partitioning ---- *)
+
+let util (tasks : Taskset.task list) =
+  Rt.Task.total_utilization
+    (List.map (fun (x : Taskset.task) -> x.Taskset.task) tasks)
+
+let feasible (tasks : Taskset.task list) =
+  Rt.Edf.schedulable (List.map (fun (x : Taskset.task) -> x.Taskset.task) tasks)
+
+let analyze (m : Model.t) (ts : Taskset.t) =
+  let nodes =
+    List.map (fun (role, _) -> Streamer role) m.Model.periods
+    @ List.map
+        (fun (ci : Model.capsule_inst) -> Capsule ci.Model.ci_name)
+        m.Model.capsules
+  in
+  let edges = build_edges m in
+  let groups = sccs (Array.of_list nodes) edges in
+  let forced_groups = List.filter (fun g -> List.length g >= 2) groups in
+  let tasks_of_node nd =
+    match Taskset.find ts (node_name nd) with
+    | Some x -> [ x ]
+    | None -> []
+  in
+  (* Units to place: forced groups first, then unconstrained singletons.
+     First-fit-decreasing by utilization; a shard accepts a unit when the
+     combined task set stays EDF-feasible. *)
+  let in_forced nd = List.exists (fun g -> List.mem nd g) forced_groups in
+  let units =
+    List.map (fun g -> (g, List.concat_map tasks_of_node g)) forced_groups
+    @ List.filter_map
+        (fun nd -> if in_forced nd then None else Some ([ nd ], tasks_of_node nd))
+        nodes
+  in
+  let units =
+    List.stable_sort
+      (fun (_, a) (_, b) -> compare (util b) (util a))
+      units
+  in
+  let shards = ref [] in  (* (members, tasks, feasible) in reverse id order *)
+  List.iter
+    (fun (members, tasks) ->
+       if tasks = [] && !shards <> [] then begin
+         (* Taskless unit (event-driven capsule without timers): keep it
+            with the shard it talks to most, to minimize cross-shard
+            signal hops. *)
+         let affinity (ms, _, _) =
+           List.length
+             (List.filter
+                (fun e ->
+                   (List.mem e.e_src members && List.mem e.e_dst ms)
+                   || (List.mem e.e_dst members && List.mem e.e_src ms))
+                edges)
+         in
+         let best =
+           List.fold_left
+             (fun acc s -> match acc with
+                | Some b when affinity b >= affinity s -> acc
+                | _ -> Some s)
+             None !shards
+         in
+         match best with
+         | Some (ms, tks, ok) ->
+           shards :=
+             List.map
+               (fun ((ms', _, _) as s) ->
+                  if ms' == ms then (ms @ members, tks, ok) else s)
+               !shards
+         | None -> shards := (members, tasks, true) :: !shards
+       end
+       else begin
+         let rec place = function
+           | [] ->
+             (* No existing shard fits: open a new one. A unit that is
+                infeasible even alone is a genuinely unschedulable forced
+                group — no partition can save it. *)
+             shards := (members, tasks, feasible tasks) :: !shards
+           | (ms, tks, ok) :: rest ->
+             if ok && feasible (tasks @ tks) then
+               shards :=
+                 List.map
+                   (fun ((ms', _, _) as s) ->
+                      if ms' == ms then (ms @ members, tasks @ tks, ok) else s)
+                   !shards
+             else place rest
+         in
+         place (List.rev !shards)
+       end)
+    units;
+  let shards =
+    List.mapi
+      (fun i (members, tasks, ok) ->
+         { shard_id = i; members; tasks; rta = Rta.analyze tasks;
+           feasible = ok })
+      (List.rev !shards)
+  in
+  let shard_of nd =
+    List.find_map
+      (fun s -> if List.mem nd s.members then Some s.shard_id else None)
+      shards
+  in
+  let cross_edges =
+    List.filter
+      (fun e ->
+         match (shard_of e.e_src, shard_of e.e_dst) with
+         | Some a, Some b -> a <> b
+         | _, _ -> false)
+      edges
+  in
+  { nodes; edges; forced_groups; races = find_races m;
+    interleavings = find_interleavings m edges; shards; cross_edges }
+
+let all_feasible t = List.for_all (fun s -> s.feasible) t.shards

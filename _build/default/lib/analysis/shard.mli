@@ -1,0 +1,63 @@
+(** Shard-safety analysis over the flattened model.
+
+    A happens-before graph relates the concurrent entities — leaf
+    streamer threads and capsule instances — through the three ways the
+    paper lets them interact: dataflow flows, guard emissions over SPort
+    links, and capsule send actions triggering [when] strategies. Every
+    strongly connected component of the relation is a feedback loop
+    whose phases interleave nondeterministically unless the whole cycle
+    shares one shard, so SCCs become {e forced groups}; the partitioner
+    then first-fit-decreasing packs forced groups and singletons into
+    shards, using EDF feasibility of the combined task set as the fit
+    test. A forced group infeasible alone is genuinely unschedulable —
+    no partition can split it. *)
+
+open Dsl
+
+type node = Streamer of string | Capsule of string
+
+type edge_kind =
+  | Flow      (** dataflow: producer leaf -> consumer leaf *)
+  | Emission  (** guard signal: leaf -> capsule statechart *)
+  | Strategy  (** capsule send action -> leaf [when] clause *)
+
+type edge = { e_src : node; e_dst : node; e_kind : edge_kind }
+
+type race = {
+  race_role : string;          (** leaf role whose param is written *)
+  race_param : string;
+  race_senders : string list;  (** >= 2 distinct capsule instances *)
+  race_pos : Ast.pos;
+}
+
+type interleaving = {
+  il_capsule : string;
+  il_sources : string list;    (** >= 2 distinct emitting leaf roles *)
+  il_pos : Ast.pos;
+}
+
+type shard = {
+  shard_id : int;
+  members : node list;
+  tasks : Taskset.task list;
+  rta : Rta.t;
+  feasible : bool;
+}
+
+type t = {
+  nodes : node list;
+  edges : edge list;
+  forced_groups : node list list;  (** SCCs with at least two members *)
+  races : race list;
+  interleavings : interleaving list;
+  shards : shard list;
+  cross_edges : edge list;         (** edges spanning two shards *)
+}
+
+val node_name : node -> string
+val node_kind : node -> string
+val edge_kind_name : edge_kind -> string
+
+val analyze : Model.t -> Taskset.t -> t
+
+val all_feasible : t -> bool

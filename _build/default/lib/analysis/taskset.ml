@@ -1,0 +1,112 @@
+open Dsl
+
+(* Periodic task extraction (paper §5: one thread per streamer, capsules
+   on event-driven threads poked by their timers).
+
+   Streamer tasks come from declared tick rates; timer-driven capsules
+   become one task per instance at their densest timer period. Each
+   task's wcet resolves measured > declared > default: a measurement
+   from a `--wcet` table wins, then the streamer's `wcet` budget from
+   the model text, then the utilization model [Hybrid.Threading] has
+   always used. *)
+
+type kind = Streamer | Capsule
+
+type wcet_source = Measured | Declared | Default
+
+type task = {
+  task : Rt.Task.t;
+  kind : kind;
+  source : wcet_source;
+  pos : Ast.pos;
+}
+
+type issue =
+  | Budget_exceeds_period of {
+      name : string;
+      wcet : float;
+      period : float;
+      pos : Ast.pos;
+    }
+
+type t = {
+  tasks : task list;
+  issues : issue list;
+}
+
+let kind_name = function Streamer -> "streamer" | Capsule -> "capsule"
+
+let source_name = function
+  | Measured -> "measured"
+  | Declared -> "declared"
+  | Default -> "default"
+
+let default_utilization = 0.1
+
+let extract ?(wcet = Wcet.empty) ?(default_utilization = default_utilization)
+    (m : Model.t) =
+  let issues = ref [] in
+  let make ~kind ~pos ~declared name period =
+    let budget, source =
+      match Wcet.find wcet name with
+      | Some w -> (w, Measured)
+      | None ->
+        (match declared with
+         | Some w -> (w, Declared)
+         | None ->
+           ( Hybrid.Threading.default_wcet ~utilization:default_utilization
+               period,
+             Default ))
+    in
+    (* An execution budget at or above the period can never meet the
+       implicit deadline; clamp so the task still participates (at
+       utilization 1) and record the finding for UMH046. *)
+    let budget =
+      if budget >= period then begin
+        issues :=
+          Budget_exceeds_period { name; wcet = budget; period; pos } :: !issues;
+        period
+      end
+      else budget
+    in
+    { task = Rt.Task.create ~period ~wcet:budget name; kind; source; pos }
+  in
+  let streamer_tasks =
+    List.map
+      (fun (role, period) ->
+         let pos =
+           Option.value
+             ~default:{ Ast.line = 0; col = 0 }
+             (List.assoc_opt role m.Model.leaf_pos)
+         in
+         make ~kind:Streamer ~pos
+           ~declared:(List.assoc_opt role m.Model.wcets)
+           role period)
+      m.Model.periods
+  in
+  let capsule_tasks =
+    List.filter_map
+      (fun (ci : Model.capsule_inst) ->
+         match ci.Model.ci_timers with
+         | [] -> None
+         | timers ->
+           let period =
+             List.fold_left
+               (fun acc (_, p) -> if p > 0. then Float.min acc p else acc)
+               Float.infinity timers
+           in
+           if Float.is_finite period then
+             Some
+               (make ~kind:Capsule ~pos:ci.Model.ci_pos ~declared:None
+                  ci.Model.ci_name period)
+           else None)
+      m.Model.capsules
+  in
+  { tasks = streamer_tasks @ capsule_tasks; issues = List.rev !issues }
+
+let rt_tasks t = List.map (fun x -> x.task) t.tasks
+
+let uses_default t = List.exists (fun x -> x.source = Default) t.tasks
+
+let find t name =
+  List.find_opt (fun x -> String.equal x.task.Rt.Task.name name) t.tasks

@@ -1,0 +1,52 @@
+(** Periodic task extraction from the flattened model.
+
+    Streamer tasks come from declared tick rates (paper §5: one thread
+    per streamer); capsules with [timer] declarations become one task
+    per instance at their densest timer period. Each wcet resolves
+    measured > declared > default — a measurement from a [--wcet] table
+    first, then the streamer's [wcet] budget from the model text, then
+    the utilization model {!Hybrid.Threading} has always used. *)
+
+open Dsl
+
+type kind = Streamer | Capsule
+
+type wcet_source = Measured | Declared | Default
+
+type task = {
+  task : Rt.Task.t;
+  kind : kind;
+  source : wcet_source;
+  pos : Ast.pos;  (** instance declaration, for diagnostic spans *)
+}
+
+type issue =
+  | Budget_exceeds_period of {
+      name : string;
+      wcet : float;
+      period : float;
+      pos : Ast.pos;
+    }
+      (** The resolved budget can never meet the implicit deadline. The
+          task is kept with its wcet clamped to the period (utilization
+          1) so downstream analyses still see the overload. *)
+
+type t = {
+  tasks : task list;
+  issues : issue list;
+}
+
+val kind_name : kind -> string
+val source_name : wcet_source -> string
+
+val default_utilization : float
+(** 0.1 — the per-task utilization assumed when nothing is measured or
+    declared (matches {!Hybrid.Threading.tasks_for}). *)
+
+val extract : ?wcet:Wcet.t -> ?default_utilization:float -> Model.t -> t
+
+val rt_tasks : t -> Rt.Task.t list
+val uses_default : t -> bool
+(** At least one task fell back to the default utilization model. *)
+
+val find : t -> string -> task option

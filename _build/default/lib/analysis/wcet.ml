@@ -1,0 +1,133 @@
+(* Measured worst-case execution times, round-tripped through JSON.
+
+   `umh simulate --profile --wcet-out FILE` writes one entry per profiled
+   entity with its worst single-frame self time; `umh analyze --wcet
+   FILE` (and `umh lint --wcet FILE`) read the table back so response
+   times rest on measurement instead of the default utilization model.
+
+   Schema ("umh-wcet", version 1):
+   { "schema": "umh-wcet", "version": 1, "model": "...",
+     "entries": [ { "entity": "room", "kind": "streamer",
+                    "wcet_s": 1.2e-4, "frames": 4000 }, ... ] } *)
+
+type entry = {
+  entity : string;  (** profiler entity name; capsules are ["system/<inst>"] *)
+  kind : string;    (** ["streamer"] / ["capsule"] / ["solver"] / ["other"] *)
+  wcet_s : float;   (** worst single-frame self time, seconds *)
+  frames : int;     (** completed frames behind the measurement *)
+}
+
+type t = {
+  model : string option;
+  entries : entry list;
+}
+
+let schema_name = "umh-wcet"
+let schema_version = 1
+
+let empty = { model = None; entries = [] }
+
+let of_profile ?model () =
+  let entries =
+    List.filter_map
+      (fun (r : Obs.Profile.row) ->
+         if r.Obs.Profile.r_count = 0 || r.Obs.Profile.r_max_ns <= 0 then None
+         else
+           Some
+             { entity = r.Obs.Profile.r_name;
+               kind = r.Obs.Profile.r_kind;
+               wcet_s = float_of_int r.Obs.Profile.r_max_ns *. 1e-9;
+               frames = r.Obs.Profile.r_count })
+      (Obs.Profile.rows ())
+  in
+  { model; entries }
+
+let to_json t =
+  let entry e =
+    Obs.Json.Obj
+      [ ("entity", Obs.Json.Str e.entity);
+        ("kind", Obs.Json.Str e.kind);
+        ("wcet_s", Obs.Json.Float e.wcet_s);
+        ("frames", Obs.Json.Int e.frames) ]
+  in
+  Obs.Json.Obj
+    (("schema", Obs.Json.Str schema_name)
+     :: ("version", Obs.Json.Int schema_version)
+     :: (match t.model with
+         | Some m -> [ ("model", Obs.Json.Str m) ]
+         | None -> [])
+     @ [ ("entries", Obs.Json.List (List.map entry t.entries)) ])
+
+let num = function
+  | Obs.Json.Float f -> Some f
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let of_json json =
+  match Obs.Json.member "schema" json with
+  | Some (Obs.Json.Str s) when String.equal s schema_name ->
+    let entries =
+      List.filter_map
+        (fun e ->
+           match
+             ( Option.bind (Obs.Json.member "entity" e) Obs.Json.string_value,
+               Option.bind (Obs.Json.member "wcet_s" e) num )
+           with
+           | Some entity, Some w when Float.is_finite w && w > 0. ->
+             Some
+               { entity;
+                 kind =
+                   Option.value ~default:"other"
+                     (Option.bind (Obs.Json.member "kind" e)
+                        Obs.Json.string_value);
+                 wcet_s = w;
+                 frames =
+                   (match Obs.Json.member "frames" e with
+                    | Some (Obs.Json.Int n) -> n
+                    | _ -> 0) }
+           | _, _ -> None)
+        (Obs.Json.to_list
+           (Option.value ~default:(Obs.Json.List [])
+              (Obs.Json.member "entries" json)))
+    in
+    Ok
+      { model =
+          Option.bind (Obs.Json.member "model" json) Obs.Json.string_value;
+        entries }
+  | Some _ | None ->
+    Error (Printf.sprintf "not a %s file (missing schema tag)" schema_name)
+
+let of_string s =
+  match Obs.Json.of_string s with
+  | json -> of_json json
+  | exception Obs.Json.Parse_error msg -> Error msg
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+let basename entity =
+  match String.rindex_opt entity '/' with
+  | Some i -> String.sub entity (i + 1) (String.length entity - i - 1)
+  | None -> entity
+
+(* Streamer entities register under their dotted role path, matching
+   leaf roles exactly; capsules register under the capsule tree path
+   ("system/<inst>"), so fall back to the path basename. *)
+let find t name =
+  match
+    List.find_opt (fun e -> String.equal e.entity name) t.entries
+  with
+  | Some e -> Some e.wcet_s
+  | None ->
+    (match
+       List.find_opt (fun e -> String.equal (basename e.entity) name) t.entries
+     with
+     | Some e -> Some e.wcet_s
+     | None -> None)

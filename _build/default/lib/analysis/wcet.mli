@@ -1,0 +1,44 @@
+(** Measured worst-case execution times, round-tripped through JSON.
+
+    [umh simulate --profile --wcet-out FILE] writes one entry per
+    profiled entity with its worst single-frame self time (the
+    profiler's [r_max_ns]); [umh analyze --wcet FILE] reads the table
+    back so the response-time analysis rests on measurement instead of
+    the default utilization model.
+
+    Schema ([umh-wcet], version 1):
+    [{ "schema": "umh-wcet", "version": 1, "model": "...",
+       "entries": [ { "entity": ..., "kind": ..., "wcet_s": ...,
+                      "frames": ... }, ... ] }] *)
+
+type entry = {
+  entity : string;  (** profiler entity name; capsules are ["system/<inst>"] *)
+  kind : string;    (** ["streamer"] / ["capsule"] / ["solver"] / ["other"] *)
+  wcet_s : float;   (** worst single-frame self time, seconds *)
+  frames : int;     (** completed frames behind the measurement *)
+}
+
+type t = {
+  model : string option;
+  entries : entry list;
+}
+
+val schema_name : string
+val schema_version : int
+
+val empty : t
+
+val of_profile : ?model:string -> unit -> t
+(** Snapshot {!Obs.Profile.rows}: every entity with at least one
+    completed frame and a positive worst frame. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val find : t -> string -> float option
+(** Look an entity up by exact name first, then by the basename of the
+    slash-separated entity path (capsules register as
+    ["system/<inst>"]). Entries with non-positive or non-finite wcets
+    were dropped at parse time. *)

@@ -1,1 +1,1 @@
-lib/dsl/typecheck.ml: Ast Bool Dataflow Expr Hashtbl List Printf String Umlrt
+lib/dsl/typecheck.ml: Ast Bool Dataflow Expr Float Hashtbl List Printf String Umlrt

@@ -72,6 +72,7 @@ type internal_endpoint = {
 type streamer_decl = {
   s_name : string;
   s_rate : float option;
+  s_wcet : float option;  (** declared per-tick execution budget, seconds *)
   s_method : method_decl option;
   s_dports : dport_decl list;
   s_sports : sport_decl list;

@@ -263,6 +263,7 @@ let parse_streamer st =
   let name = ident st in
   expect st Lexer.LBRACE;
   let rate = ref None in
+  let wcet = ref None in
   let method_ = ref None in
   let dports = ref [] in
   let sports = ref [] in
@@ -286,6 +287,10 @@ let parse_streamer st =
     | Lexer.IDENT "rate" ->
       advance st;
       rate := Some (number st);
+      expect st Lexer.SEMI
+    | Lexer.IDENT "wcet" ->
+      advance st;
+      wcet := Some (number st);
       expect st Lexer.SEMI
     | Lexer.IDENT "method" ->
       advance st;
@@ -389,7 +394,7 @@ let parse_streamer st =
     | other -> fail st "unexpected %s in streamer body" (Lexer.token_to_string other)
   done;
   expect st Lexer.RBRACE;
-  { Ast.s_name = name; s_rate = !rate; s_method = !method_;
+  { Ast.s_name = name; s_rate = !rate; s_wcet = !wcet; s_method = !method_;
     s_dports = List.rev !dports; s_sports = List.rev !sports;
     s_params = List.rev !params; s_states = List.rev !states;
     s_eqs = List.rev !eqs; s_outputs = List.rev !outputs;

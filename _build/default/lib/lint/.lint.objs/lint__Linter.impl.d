@@ -1,1 +1,1 @@
-lib/lint/linter.ml: Buffer Diagnostic Dsl Fun List Obs Printf Rules String
+lib/lint/linter.ml: Analysis Buffer Diagnostic Dsl Fun List Obs Printf Rules String

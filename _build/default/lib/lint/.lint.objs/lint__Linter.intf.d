@@ -1,1 +1,1 @@
-lib/lint/linter.mli: Diagnostic Obs
+lib/lint/linter.mli: Analysis Diagnostic Obs

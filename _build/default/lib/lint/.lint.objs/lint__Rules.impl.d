@@ -1,1 +1,1 @@
-lib/lint/rules.ml: Ast Dataflow Diagnostic Dsl Hybrid List Option Printf Statechart String Typecheck
+lib/lint/rules.ml: Analysis Ast Dataflow Diagnostic Dsl Hybrid List Option Printf Rt Statechart String Typecheck

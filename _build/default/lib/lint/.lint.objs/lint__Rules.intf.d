@@ -1,1 +1,1 @@
-lib/lint/rules.mli: Diagnostic Dsl
+lib/lint/rules.mli: Analysis Diagnostic Dsl

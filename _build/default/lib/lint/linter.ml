@@ -46,7 +46,7 @@ let syntax_diag file msg line col =
     ~code:Rules.meta_syntax.Rules.code
     ~severity:Rules.meta_syntax.Rules.severity msg
 
-let lint_source ~file source =
+let lint_source ?(wcet = Analysis.Wcet.empty) ~file source =
   let diagnostics =
     match Dsl.Parser.parse source with
     | exception Dsl.Parser.Parse_error (msg, line, col) ->
@@ -65,7 +65,7 @@ let lint_source ~file source =
       in
       if not (Dsl.Typecheck.is_ok checked) then front
       else
-        let input = { Rules.file; checked } in
+        let input = { Rules.file; checked; wcet } in
         front
         @ List.concat_map (fun (_, check) -> check input) Rules.semantic
   in
@@ -77,7 +77,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file path = lint_source ~file:path (read_file path)
+let lint_file ?wcet path = lint_source ?wcet ~file:path (read_file path)
 
 let apply_options o r =
   let keep d =

@@ -20,12 +20,14 @@ type report = {
   diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
 }
 
-val lint_source : file:string -> string -> report
+val lint_source : ?wcet:Analysis.Wcet.t -> file:string -> string -> report
 (** Lint source text. Parse and lexical errors become a single [UMH001]
     diagnostic; well-formedness errors/warnings become [UMH002]/[UMH003];
-    semantic rules run only when the model typechecks cleanly. *)
+    semantic rules run only when the model typechecks cleanly. [wcet]
+    (default empty) feeds measured budgets into the timing rules
+    (UMH042+). *)
 
-val lint_file : string -> report
+val lint_file : ?wcet:Analysis.Wcet.t -> string -> report
 (** {!lint_source} on the file's contents. *)
 
 val apply_options : options -> report -> report

@@ -3,6 +3,7 @@ open Dsl
 type input = {
   file : string;
   checked : Typecheck.checked;
+  wcet : Analysis.Wcet.t;  (** measured budgets from [--wcet] (may be empty) *)
 }
 
 type meta = {
@@ -34,197 +35,43 @@ let find_capsule (model : Ast.model) name =
     (fun (c : Ast.capsule_decl) -> String.equal c.Ast.c_name name)
     model.Ast.m_capsules
 
-let is_leaf (s : Ast.streamer_decl) = s.Ast.s_contains = []
-
 let rec capsule_triggers (st : Ast.state_decl) =
   List.map (fun (tr : Ast.transition_decl) -> tr.Ast.tr_trigger)
     st.Ast.st_transitions
   @ List.concat_map capsule_triggers st.Ast.st_children
 
 (* ---------------------------------------------------------------- *)
-(* The elaborated dataflow graph, built structurally                 *)
+(* The flattened model and the timing/shard analyses over it          *)
 (* ---------------------------------------------------------------- *)
 
-(* Mirror of [Dsl.Elaborate] / [Hybrid.Engine] flattening, without
-   instantiating solvers: composite streamers flatten into "role.child"
-   leaves, every composite border DPort and capsule relay DPort becomes a
-   1-in/1-out junction node named "owner.port". Alongside the graph we
-   keep the tick period of each leaf node and a source position for each
-   port and each flow, so findings can carry file:line:col spans. *)
-type built = {
-  graph : Dataflow.Graph.t;
-  periods : (string * float) list;                 (* leaf role -> period *)
-  port_pos : ((string * string) * Ast.pos) list;   (* (node, port) -> decl *)
-  flow_pos : ((string * string) * Ast.pos) list;   (* (dst node, dst port) *)
-}
+(* The structural flattening used to be built here; it moved to
+   [Analysis.Model] so the timing analyses and the linter share one
+   elaboration-faithful view. Computed once per lint run: the driver
+   passes each rule the same input value, so a keyed memo of size 1 is
+   enough. *)
+let memo_model : (input * Analysis.Model.t option) option ref = ref None
 
-let build_graph input =
-  let model = input.checked.Typecheck.model in
-  match model.Ast.m_system with
-  | None -> None
-  | Some sys ->
-    let g = Dataflow.Graph.create () in
-    let periods = ref [] in
-    let port_pos = ref [] in
-    let flow_pos = ref [] in
-    let ft name = Typecheck.flow_type_of input.checked name in
-    let record node port pos = port_pos := ((node, port), pos) :: !port_pos in
-    let connect ~pos ~src ~dst =
-      match
-        ( Dataflow.Graph.find_node g (fst src),
-          Dataflow.Graph.find_node g (fst dst) )
-      with
-      | Some sn, Some dn ->
-        (* Structural errors here (type subset, double drivers) were
-           already reported by the typechecker as UMH002. *)
-        (match Dataflow.Graph.connect g ~src:(sn, snd src) ~dst:(dn, snd dst) with
-         | Ok () -> flow_pos := ((fst dst, snd dst), pos) :: !flow_pos
-         | Error _ -> ())
-      | _, _ -> ()
-    in
-    let rec add_streamer role (s : Ast.streamer_decl) =
-      if is_leaf s then begin
-        let dir d (x : Ast.dport_decl) = x.Ast.dp_dir = Some d in
-        let ports d =
-          List.filter_map
-            (fun (x : Ast.dport_decl) ->
-               if dir d x then Some (x.Ast.dp_name, ft x.Ast.dp_type) else None)
-            s.Ast.s_dports
-        in
-        ignore
-          (Dataflow.Graph.add_node g ~name:role ~inputs:(ports Ast.Din)
-             ~outputs:(ports Ast.Dout));
-        List.iter
-          (fun (x : Ast.dport_decl) -> record role x.Ast.dp_name x.Ast.dp_pos)
-          s.Ast.s_dports;
-        match s.Ast.s_rate with
-        | Some r when r > 0. -> periods := (role, r) :: !periods
-        | Some _ | None -> ()
-      end
-      else begin
-        List.iter
-          (fun (child, cls) ->
-             match find_streamer model cls with
-             | Some sub -> add_streamer (role ^ "." ^ child) sub
-             | None -> ())
-          s.Ast.s_contains;
-        List.iter
-          (fun (x : Ast.dport_decl) ->
-             let name = role ^ "." ^ x.Ast.dp_name in
-             ignore (Dataflow.Graph.add_junction g ~name (ft x.Ast.dp_type));
-             record name "in" x.Ast.dp_pos;
-             record name "out1" x.Ast.dp_pos)
-          s.Ast.s_dports;
-        let resolve (ep : Ast.internal_endpoint) ~as_source =
-          match ep.Ast.ie_child with
-          | None ->
-            Some (role ^ "." ^ ep.Ast.ie_port, if as_source then "out1" else "in")
-          | Some child ->
-            (match List.assoc_opt child s.Ast.s_contains with
-             | None -> None
-             | Some cls ->
-               (match find_streamer model cls with
-                | None -> None
-                | Some sub ->
-                  if is_leaf sub then Some (role ^ "." ^ child, ep.Ast.ie_port)
-                  else
-                    Some
-                      ( role ^ "." ^ child ^ "." ^ ep.Ast.ie_port,
-                        if as_source then "out1" else "in" )))
-        in
-        List.iter
-          (fun (se, de) ->
-             match (resolve se ~as_source:true, resolve de ~as_source:false) with
-             | Some src, Some dst -> connect ~pos:s.Ast.s_pos ~src ~dst
-             | _, _ -> ())
-          s.Ast.s_flows
-      end
-    in
-    let streamer_class iname =
-      List.find_map
-        (function
-          | Ast.Istreamer { iname = n; iclass; _ } when String.equal n iname ->
-            find_streamer model iclass
-          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
-        sys.Ast.sys_instances
-    in
-    let capsule_class iname =
-      List.find_map
-        (function
-          | Ast.Icapsule { iname = n; iclass; _ } when String.equal n iname ->
-            find_capsule model iclass
-          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
-        sys.Ast.sys_instances
-    in
-    let is_relay iname =
-      List.exists
-        (function
-          | Ast.Irelay { iname = n; _ } -> String.equal n iname
-          | Ast.Istreamer _ | Ast.Icapsule _ -> false)
-        sys.Ast.sys_instances
-    in
-    List.iter
-      (function
-        | Ast.Istreamer { iname; iclass; _ } ->
-          (match find_streamer model iclass with
-           | Some d -> add_streamer iname d
-           | None -> ())
-        | Ast.Irelay { iname; itype; ifanout; ipos } ->
-          if ifanout >= 2 then begin
-            ignore (Dataflow.Graph.add_relay g ~name:iname (ft itype) ~fanout:ifanout);
-            record iname "in" ipos;
-            for k = 1 to ifanout do
-              record iname (Printf.sprintf "out%d" k) ipos
-            done
-          end
-        | Ast.Icapsule { iname; iclass; _ } ->
-          (match find_capsule model iclass with
-           | None -> ()
-           | Some c ->
-             List.iter
-               (fun (x : Ast.dport_decl) ->
-                  let name = iname ^ "." ^ x.Ast.dp_name in
-                  ignore (Dataflow.Graph.add_junction g ~name (ft x.Ast.dp_type));
-                  record name "in" x.Ast.dp_pos;
-                  record name "out1" x.Ast.dp_pos)
-               c.Ast.c_dports))
-      sys.Ast.sys_instances;
-    let resolve_sys (inst, port) ~as_source =
-      match streamer_class inst with
-      | Some s ->
-        if is_leaf s then Some (inst, port)
-        else Some (inst ^ "." ^ port, if as_source then "out1" else "in")
-      | None ->
-        if is_relay inst then Some (inst, port)
-        else if capsule_class inst <> None then
-          Some (inst ^ "." ^ port, if as_source then "out1" else "in")
-        else None
-    in
-    List.iter
-      (function
-        | Ast.Cflow { cf_src; cf_dst; cf_pos } ->
-          (match
-             ( resolve_sys cf_src ~as_source:true,
-               resolve_sys cf_dst ~as_source:false )
-           with
-           | Some src, Some dst -> connect ~pos:cf_pos ~src ~dst
-           | _, _ -> ())
-        | Ast.Clink _ -> ())
-      sys.Ast.sys_connections;
-    Some
-      { graph = g; periods = !periods; port_pos = !port_pos;
-        flow_pos = !flow_pos }
-
-(* Computed once per lint run: the driver passes each rule the same
-   input value, so a keyed memo of size 1 is enough. *)
-let memo_graph : (input * built option) option ref = ref None
-
-let graph_of input =
-  match !memo_graph with
+let model_of input =
+  match !memo_model with
   | Some (k, v) when k == input -> v
   | _ ->
-    let v = try build_graph input with Invalid_argument _ -> None in
-    memo_graph := Some (input, v);
+    let v = Analysis.Model.of_checked input.checked in
+    memo_model := Some (input, v);
+    v
+
+let memo_report : (input * Analysis.Report.t option) option ref = ref None
+
+let report_of input =
+  match !memo_report with
+  | Some (k, v) when k == input -> v
+  | _ ->
+    let v =
+      match model_of input with
+      | None -> None
+      | Some _ ->
+        Analysis.Report.run ~wcet:input.wcet ~file:input.file input.checked
+    in
+    memo_report := Some (input, v);
     v
 
 (* ---------------------------------------------------------------- *)
@@ -237,17 +84,17 @@ let meta_loop =
     paper = "Fig. 3 (flows are directed; propagation needs an order)" }
 
 let check_loop input =
-  match graph_of input with
+  match model_of input with
   | None -> []
   | Some b ->
-    (match Dataflow.Graph.topo_order b.graph with
+    (match Dataflow.Graph.topo_order b.Analysis.Model.graph with
      | Ok _ -> []
      | Error names ->
        let pos =
          List.find_map
            (fun ((dst, _), pos) ->
               if List.mem dst names then Some pos else None)
-           b.flow_pos
+           b.Analysis.Model.flow_pos
        in
        [ diag input meta_loop ?pos ~rule:"R2"
            "algebraic loop through %s — every dataflow cycle needs a state \
@@ -260,16 +107,16 @@ let meta_orphan_in =
     paper = "Fig. 2 (DPorts carry flows between streamers)" }
 
 let check_orphan_inputs input =
-  match graph_of input with
+  match model_of input with
   | None -> []
   | Some b ->
     List.map
       (fun (node, port) ->
-         let pos = List.assoc_opt (node, port) b.port_pos in
+         let pos = List.assoc_opt (node, port) b.Analysis.Model.port_pos in
          diag input meta_orphan_in ?pos ~rule:"R2"
            "DPort input %s.%s has no driving flow — it reads as a constant 0"
            node port)
-      (Dataflow.Graph.unconnected_inputs b.graph)
+      (Dataflow.Graph.unconnected_inputs b.Analysis.Model.graph)
 
 let meta_orphan_out =
   { code = "UMH012"; severity = Diagnostic.Info;
@@ -277,16 +124,16 @@ let meta_orphan_out =
     paper = "Fig. 2 (DPorts carry flows between streamers)" }
 
 let check_orphan_outputs input =
-  match graph_of input with
+  match model_of input with
   | None -> []
   | Some b ->
     List.map
       (fun (node, port) ->
-         let pos = List.assoc_opt (node, port) b.port_pos in
+         let pos = List.assoc_opt (node, port) b.Analysis.Model.port_pos in
          diag input meta_orphan_out ?pos ~rule:"R2"
            "DPort output %s.%s is computed every tick but never consumed"
            node port)
-      (Dataflow.Graph.unconnected_outputs b.graph)
+      (Dataflow.Graph.unconnected_outputs b.Analysis.Model.graph)
 
 (* ---------------------------------------------------------------- *)
 (* UMH02x — capsule statecharts                                     *)
@@ -587,33 +434,20 @@ let meta_rate =
     paper = "§5 (one thread per streamer, declared tick rates)" }
 
 let check_rates input =
-  match graph_of input with
+  match model_of input with
   | None -> []
   | Some b ->
-    let flows = Dataflow.Graph.flow_list b.graph in
-    (* Walk back through relays/junctions to the leaf streamer that
-       actually produces the samples arriving at a node. *)
-    let rec producer visited node =
-      if List.mem node visited then None
-      else
-        match List.assoc_opt node b.periods with
-        | Some p -> Some (node, p)
-        | None ->
-          (match
-             List.find_opt (fun (_, (dn, _)) -> String.equal dn node) flows
-           with
-           | Some ((sn, _), _) -> producer (node :: visited) sn
-           | None -> None)
-    in
+    let flows = Dataflow.Graph.flow_list b.Analysis.Model.graph in
     List.filter_map
       (fun ((sn, _), (dn, dp)) ->
-         match List.assoc_opt dn b.periods with
+         match List.assoc_opt dn b.Analysis.Model.periods with
          | None -> None
          | Some consumer_period ->
-           (match producer [ dn ] sn with
+           (match Analysis.Model.producer b sn with
             | Some (pn, producer_period)
-              when producer_period < consumer_period *. (1. -. 1e-9) ->
-              let pos = List.assoc_opt (dn, dp) b.flow_pos in
+              when producer_period < consumer_period *. (1. -. 1e-9)
+                   && not (String.equal pn dn) ->
+              let pos = List.assoc_opt (dn, dp) b.Analysis.Model.flow_pos in
               Some
                 (diag input meta_rate ?pos
                    "fast producer into slow consumer: %s ticks every %gs but \
@@ -629,12 +463,12 @@ let meta_sched =
     paper = "§5 / E5 (capsules and streamers on different threads)" }
 
 let check_schedulability input =
-  match graph_of input with
+  match model_of input with
   | None -> []
   | Some b ->
-    if b.periods = [] then []
+    if b.Analysis.Model.periods = [] then []
     else
-      let tasks = Hybrid.Threading.tasks_for (List.rev b.periods) in
+      let tasks = Hybrid.Threading.tasks_for b.Analysis.Model.periods in
       let r = Hybrid.Threading.analyze tasks in
       if r.Hybrid.Threading.rm_exact && r.Hybrid.Threading.edf_ok
          && r.Hybrid.Threading.utilization <= 1.0
@@ -652,6 +486,273 @@ let check_schedulability input =
             (List.length b.periods) r.Hybrid.Threading.utilization
             (if r.Hybrid.Threading.rm_exact then "passes" else "fails")
             (if r.Hybrid.Threading.edf_ok then "passes" else "fails") ]
+
+(* ---------------------------------------------------------------- *)
+(* UMH042-UMH046 — exact timing analysis (Analysis.Rta)             *)
+(* ---------------------------------------------------------------- *)
+
+let task_pos (v : Analysis.Rta.verdict) =
+  let p = v.Analysis.Rta.v_task.Analysis.Taskset.pos in
+  if p.Ast.line > 0 then Some p else None
+
+(* Shard-level diagnostics anchor to the first member task's declaration. *)
+let shard_pos (s : Analysis.Shard.shard) =
+  List.find_map task_pos s.Analysis.Shard.rta.Analysis.Rta.verdicts
+
+let over_shards input f =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    List.concat_map (fun s -> f rep s) rep.Analysis.Report.shard.Analysis.Shard.shards
+
+let meta_deadline_miss =
+  { code = "UMH042"; severity = Diagnostic.Error;
+    title = "deadline miss under every scheduling policy";
+    paper = "§5 / E5 (response-time analysis of the thread assignment)" }
+
+let check_deadline_miss input =
+  over_shards input
+    (fun _ (s : Analysis.Shard.shard) ->
+       if s.Analysis.Shard.feasible then []
+       else
+         match Analysis.Rta.misses s.Analysis.Shard.rta with
+         | [] ->
+           [ diag input meta_deadline_miss ?pos:(shard_pos s)
+               "shard %d (utilization %.2f) is not feasible under any \
+                scheduling policy"
+               s.Analysis.Shard.shard_id
+               s.Analysis.Shard.rta.Analysis.Rta.utilization ]
+         | misses ->
+           List.map
+             (fun (v : Analysis.Rta.verdict) ->
+                let task = v.Analysis.Rta.v_task.Analysis.Taskset.task in
+                diag input meta_deadline_miss ?pos:(task_pos v)
+                  "task %s misses its deadline under every policy: worst-case \
+                   response %s vs deadline %gs (period %gs, shard %d \
+                   infeasible at utilization %.2f)"
+                  task.Rt.Task.name
+                  (match v.Analysis.Rta.v_response with
+                   | Rt.Rm.Converged r -> Printf.sprintf "%gs" r
+                   | Rt.Rm.Diverges r -> Printf.sprintf "beyond %gs" r)
+                  task.Rt.Task.deadline task.Rt.Task.period
+                  s.Analysis.Shard.shard_id
+                  s.Analysis.Shard.rta.Analysis.Rta.utilization)
+             misses)
+
+let meta_rm_miss =
+  { code = "UMH043"; severity = Diagnostic.Warning;
+    title = "deadline miss under RM only";
+    paper = "§5 / E5 (RM vs EDF on the same shard)" }
+
+let check_rm_miss input =
+  over_shards input
+    (fun _ (s : Analysis.Shard.shard) ->
+       if not s.Analysis.Shard.feasible then []
+       else
+         List.map
+           (fun (v : Analysis.Rta.verdict) ->
+              let task = v.Analysis.Rta.v_task.Analysis.Taskset.task in
+              diag input meta_rm_miss ?pos:(task_pos v)
+                "task %s misses its deadline under rate-monotonic priorities \
+                 (worst-case response %s vs deadline %gs) though shard %d \
+                 stays EDF-feasible — schedule this shard EDF or repartition"
+                task.Rt.Task.name
+                (match v.Analysis.Rta.v_response with
+                 | Rt.Rm.Converged r -> Printf.sprintf "%gs" r
+                 | Rt.Rm.Diverges r -> Printf.sprintf "beyond %gs" r)
+                task.Rt.Task.deadline s.Analysis.Shard.shard_id)
+           (Analysis.Rta.misses s.Analysis.Shard.rta))
+
+let meta_above_ll =
+  { code = "UMH044"; severity = Diagnostic.Info;
+    title = "utilization above the Liu-Layland bound";
+    paper = "§5 (the LL bound is sufficient, not necessary)" }
+
+let check_above_ll input =
+  over_shards input
+    (fun _ (s : Analysis.Shard.shard) ->
+       let r = s.Analysis.Shard.rta in
+       if
+         r.Analysis.Rta.rm_ok
+         && List.length r.Analysis.Rta.verdicts >= 2
+         && r.Analysis.Rta.utilization > r.Analysis.Rta.ll_bound +. 1e-9
+       then
+         [ diag input meta_above_ll ?pos:(shard_pos s)
+             "shard %d runs at utilization %.3f, above the Liu-Layland bound \
+              %.3f — the quick test is inconclusive but exact response-time \
+              analysis passes"
+             s.Analysis.Shard.shard_id r.Analysis.Rta.utilization
+             r.Analysis.Rta.ll_bound ]
+       else [])
+
+let meta_default_wcet =
+  { code = "UMH045"; severity = Diagnostic.Info;
+    title = "timing verdicts rest on the default wcet model";
+    paper = "§5 (measured costs sharpen the analysis)" }
+
+let check_default_wcet input =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    let ts = rep.Analysis.Report.taskset in
+    let defaulted =
+      List.filter
+        (fun (x : Analysis.Taskset.task) ->
+           x.Analysis.Taskset.source = Analysis.Taskset.Default)
+        ts.Analysis.Taskset.tasks
+    in
+    if defaulted = [] then []
+    else
+      let pos =
+        match defaulted with
+        | (x : Analysis.Taskset.task) :: _ when x.Analysis.Taskset.pos.Ast.line > 0 ->
+          Some x.Analysis.Taskset.pos
+        | _ -> None
+      in
+      [ diag input meta_default_wcet ?pos
+          "%d of %d tasks use the default wcet model (%.0f%% of the period) \
+           — declare `wcet` budgets or measure with `umh simulate --profile \
+           --wcet-out` and pass `--wcet`"
+          (List.length defaulted)
+          (List.length ts.Analysis.Taskset.tasks)
+          (100. *. Analysis.Taskset.default_utilization) ]
+
+let meta_budget =
+  { code = "UMH046"; severity = Diagnostic.Error;
+    title = "execution budget at or above the period";
+    paper = "§5 (a task must fit inside its own period)" }
+
+let check_budget input =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    List.map
+      (function
+        | Analysis.Taskset.Budget_exceeds_period { name; wcet; period; pos } ->
+          let pos = if pos.Ast.line > 0 then Some pos else None in
+          diag input meta_budget ?pos
+            "task %s has wcet %gs >= its period %gs — it can never meet its \
+             deadline"
+            name wcet period)
+      rep.Analysis.Report.taskset.Analysis.Taskset.issues
+
+(* ---------------------------------------------------------------- *)
+(* UMH05x — shard safety (Analysis.Shard)                           *)
+(* ---------------------------------------------------------------- *)
+
+let meta_forced_group =
+  { code = "UMH050"; severity = Diagnostic.Info;
+    title = "feedback cycle forces same-shard placement";
+    paper = "Fig. 1 (closed loop through streamers and capsules)" }
+
+let check_forced_groups input =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    let ts = rep.Analysis.Report.taskset in
+    List.map
+      (fun group ->
+         (* Anchor the cycle to its first member that owns a task. *)
+         let pos =
+           List.find_map
+             (fun n ->
+                match Analysis.Taskset.find ts (Analysis.Shard.node_name n) with
+                | Some (x : Analysis.Taskset.task)
+                  when x.Analysis.Taskset.pos.Ast.line > 0 ->
+                  Some x.Analysis.Taskset.pos
+                | _ -> None)
+             group
+         in
+         diag input meta_forced_group ?pos
+           "feedback cycle through {%s} — these entities must share a shard \
+            or the loop phases interleave nondeterministically"
+           (String.concat ", " (List.map Analysis.Shard.node_name group)))
+      rep.Analysis.Report.shard.Analysis.Shard.forced_groups
+
+let meta_interleaving =
+  { code = "UMH051"; severity = Diagnostic.Warning;
+    title = "nondeterministic signal interleaving at a capsule";
+    paper = "R4 / §5 (signals from concurrent streamer threads)" }
+
+let check_interleavings input =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    List.map
+      (fun (i : Analysis.Shard.interleaving) ->
+         let pos = i.Analysis.Shard.il_pos in
+         let pos = if pos.Ast.line > 0 then Some pos else None in
+         diag input meta_interleaving ?pos
+           "capsule %s hears signals from %d concurrent streamers (%s) — \
+            their delivery order is nondeterministic across runs"
+           i.Analysis.Shard.il_capsule
+           (List.length i.Analysis.Shard.il_sources)
+           (String.concat ", " i.Analysis.Shard.il_sources))
+      rep.Analysis.Report.shard.Analysis.Shard.interleavings
+
+let meta_race =
+  { code = "UMH052"; severity = Diagnostic.Warning;
+    title = "write-write race on a strategy parameter";
+    paper = "R4 (strategies rewrite streamer parameters)" }
+
+let check_races input =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    List.map
+      (fun (r : Analysis.Shard.race) ->
+         let pos = r.Analysis.Shard.race_pos in
+         let pos = if pos.Ast.line > 0 then Some pos else None in
+         diag input meta_race ?pos
+           "parameter %s.%s is rewritten by strategies triggered from %d \
+            capsules (%s) — the surviving value depends on delivery order"
+           r.Analysis.Shard.race_role r.Analysis.Shard.race_param
+           (List.length r.Analysis.Shard.race_senders)
+           (String.concat ", " r.Analysis.Shard.race_senders))
+      rep.Analysis.Report.shard.Analysis.Shard.races
+
+let meta_partition =
+  { code = "UMH053"; severity = Diagnostic.Info;
+    title = "suggested shard partition";
+    paper = "§5 (deployment onto concurrent shards)" }
+
+let check_partition input =
+  match report_of input with
+  | None -> []
+  | Some rep ->
+    let shards = rep.Analysis.Report.shard.Analysis.Shard.shards in
+    if List.length shards < 2 then []
+    else
+      [ diag input meta_partition
+          ?pos:(List.find_map shard_pos shards)
+          "the workload partitions into %d shards (%d cross-shard \
+           interactions) — export the placement with `umh analyze \
+           --partition-out`"
+          (List.length shards)
+          (List.length rep.Analysis.Report.shard.Analysis.Shard.cross_edges) ]
+
+let meta_thin_margin =
+  { code = "UMH054"; severity = Diagnostic.Warning;
+    title = "breakdown margin under 5%";
+    paper = "§5 (breakdown utilization as a robustness measure)" }
+
+let breakdown_margin_floor = 1.05
+
+let check_thin_margin input =
+  over_shards input
+    (fun _ (s : Analysis.Shard.shard) ->
+       let r = s.Analysis.Shard.rta in
+       if
+         s.Analysis.Shard.feasible && r.Analysis.Rta.rm_ok
+         && r.Analysis.Rta.verdicts <> []
+         && r.Analysis.Rta.breakdown < breakdown_margin_floor
+       then
+         [ diag input meta_thin_margin ?pos:(shard_pos s)
+             "shard %d survives only a %.1f%% uniform wcet inflation before \
+              a deadline miss — any measurement noise erases the margin"
+             s.Analysis.Shard.shard_id
+             (100. *. (r.Analysis.Rta.breakdown -. 1.)) ]
+       else [])
 
 (* ---------------------------------------------------------------- *)
 (* Registry                                                         *)
@@ -682,7 +783,17 @@ let semantic =
     (meta_unlinked_sport, check_unlinked_sports);
     (meta_unheard_signal, check_unheard_signals);
     (meta_rate, check_rates);
-    (meta_sched, check_schedulability) ]
+    (meta_sched, check_schedulability);
+    (meta_deadline_miss, check_deadline_miss);
+    (meta_rm_miss, check_rm_miss);
+    (meta_above_ll, check_above_ll);
+    (meta_default_wcet, check_default_wcet);
+    (meta_budget, check_budget);
+    (meta_forced_group, check_forced_groups);
+    (meta_interleaving, check_interleavings);
+    (meta_race, check_races);
+    (meta_partition, check_partition);
+    (meta_thin_margin, check_thin_margin) ]
 
 let registry =
   meta_syntax :: meta_typecheck :: meta_typecheck_warn

@@ -9,12 +9,23 @@
       DSL path);
     - [UMH03x] declaration hygiene (unused flow types / protocols,
       unlinked or unheard SPort signals);
-    - [UMH04x] deployment (streamer thread rates, schedulability via
-      {!Hybrid.Threading}). *)
+    - [UMH04x] deployment and timing: the legacy global checks (rate
+      mismatches, default-wcet schedulability via {!Hybrid.Threading})
+      plus the exact per-shard response-time analysis ({!Analysis.Rta}):
+      deadline misses under every policy (UMH042, error) or under RM
+      only (UMH043), utilization above the Liu-Layland bound (UMH044),
+      verdicts resting on the default wcet model (UMH045), budgets at or
+      above their period (UMH046);
+    - [UMH05x] shard safety ({!Analysis.Shard}): feedback cycles forcing
+      same-shard placement (UMH050), nondeterministic signal
+      interleavings (UMH051), write-write races on strategy parameters
+      (UMH052), the suggested partition (UMH053), thin breakdown margins
+      (UMH054). *)
 
 type input = {
   file : string;
   checked : Dsl.Typecheck.checked;
+  wcet : Analysis.Wcet.t;  (** measured budgets from [--wcet] (may be empty) *)
 }
 
 type meta = {

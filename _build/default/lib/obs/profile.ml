@@ -35,6 +35,7 @@ type store = {
   mutable self_ns : int array;      (* exclusive wall time *)
   mutable total_ns : int array;     (* inclusive wall time *)
   mutable alloc_w : float array;    (* exclusive minor words *)
+  mutable max_ns : int array;       (* worst exclusive time of one frame *)
   mutable n : int;
 }
 
@@ -45,6 +46,7 @@ let store =
     self_ns = Array.make 64 0;
     total_ns = Array.make 64 0;
     alloc_w = Array.make 64 0.;
+    max_ns = Array.make 64 0;
     n = 0 }
 
 (* (kind, name) -> slot, so re-elaborating the same model reuses slots
@@ -63,7 +65,8 @@ let grow () =
   store.count <- copy (fun n -> Array.make n 0) store.count;
   store.self_ns <- copy (fun n -> Array.make n 0) store.self_ns;
   store.total_ns <- copy (fun n -> Array.make n 0) store.total_ns;
-  store.alloc_w <- copy (fun n -> Array.make n 0.) store.alloc_w
+  store.alloc_w <- copy (fun n -> Array.make n 0.) store.alloc_w;
+  store.max_ns <- copy (fun n -> Array.make n 0) store.max_ns
 
 let register ~kind name =
   match Hashtbl.find_opt index (kind, name) with
@@ -120,7 +123,9 @@ let exit_ slot =
       let dw = Gc.minor_words () -. stack_w0.(d) in
       store.count.(slot) <- store.count.(slot) + 1;
       store.total_ns.(slot) <- store.total_ns.(slot) + elapsed;
-      store.self_ns.(slot) <- store.self_ns.(slot) + elapsed - stack_child_ns.(d);
+      let self = elapsed - stack_child_ns.(d) in
+      store.self_ns.(slot) <- store.self_ns.(slot) + self;
+      if self > store.max_ns.(slot) then store.max_ns.(slot) <- self;
       store.alloc_w.(slot) <- store.alloc_w.(slot) +. dw -. stack_child_w.(d);
       depth := d;
       if d > 0 then begin
@@ -167,6 +172,7 @@ type row = {
   r_count : int;
   r_self_ns : int;
   r_total_ns : int;
+  r_max_ns : int;
   r_alloc_w : float;
 }
 
@@ -180,6 +186,7 @@ let rows () =
           r_count = store.count.(slot);
           r_self_ns = store.self_ns.(slot);
           r_total_ns = store.total_ns.(slot);
+          r_max_ns = store.max_ns.(slot);
           r_alloc_w = store.alloc_w.(slot) }
         :: !out
   done;
@@ -218,6 +225,7 @@ let row_json r =
       ("count", Json.Int r.r_count);
       ("self_ns", Json.Int r.r_self_ns);
       ("total_ns", Json.Int r.r_total_ns);
+      ("max_ns", Json.Int r.r_max_ns);
       ("alloc_words", Json.Float r.r_alloc_w) ]
 
 let to_json ?top:(n = max_int) () =
@@ -232,4 +240,5 @@ let reset () =
   Array.fill store.count 0 store.n 0;
   Array.fill store.self_ns 0 store.n 0;
   Array.fill store.total_ns 0 store.n 0;
-  Array.fill store.alloc_w 0 store.n 0.
+  Array.fill store.alloc_w 0 store.n 0.;
+  Array.fill store.max_ns 0 store.n 0

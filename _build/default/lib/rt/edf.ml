@@ -25,32 +25,39 @@ let check_points tasks ~horizon =
 let implicit_deadlines tasks =
   List.for_all (fun t -> Float.abs (t.Task.deadline -. t.Task.period) < 1e-12) tasks
 
+let default_horizon tasks =
+  let u = Task.total_utilization tasks in
+  let la =
+    (* Busy-period style bound for constrained deadlines; guard the
+       division when utilization approaches 1. *)
+    if u >= 1. -. 1e-9 then
+      List.fold_left (fun acc t -> acc +. t.Task.period) 0. tasks *. 4.
+    else
+      List.fold_left
+        (fun acc t -> acc +. ((t.Task.period -. t.Task.deadline) *. Task.utilization t))
+        0. tasks
+      /. (1. -. u)
+  in
+  let max_period =
+    List.fold_left (fun acc t -> Float.max acc t.Task.period) 0. tasks
+  in
+  Float.max la (2. *. max_period)
+
+let first_violation ?horizon tasks =
+  if tasks = [] || implicit_deadlines tasks then None
+  else begin
+    let bound =
+      match horizon with Some h -> h | None -> default_horizon tasks
+    in
+    List.find_map
+      (fun t ->
+         let d = demand_bound tasks t in
+         if d <= t +. 1e-9 then None else Some (t, d))
+      (check_points tasks ~horizon:bound)
+  end
+
 let schedulable ?horizon tasks =
   if tasks = [] then true
   else if not (utilization_test tasks) then false
   else if implicit_deadlines tasks then true
-  else begin
-    let u = Task.total_utilization tasks in
-    let la =
-      (* Busy-period style bound for constrained deadlines; guard the
-         division when utilization approaches 1. *)
-      if u >= 1. -. 1e-9 then
-        List.fold_left (fun acc t -> acc +. t.Task.period) 0. tasks *. 4.
-      else
-        List.fold_left
-          (fun acc t -> acc +. ((t.Task.period -. t.Task.deadline) *. Task.utilization t))
-          0. tasks
-        /. (1. -. u)
-    in
-    let max_period =
-      List.fold_left (fun acc t -> Float.max acc t.Task.period) 0. tasks
-    in
-    let bound =
-      match horizon with
-      | Some h -> h
-      | None -> Float.max la (2. *. max_period)
-    in
-    List.for_all
-      (fun t -> demand_bound tasks t <= t +. 1e-9)
-      (check_points tasks ~horizon:bound)
-  end
+  else first_violation ?horizon tasks = None

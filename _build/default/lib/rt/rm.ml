@@ -10,10 +10,12 @@ let utilization_bound n =
 type verdict = Schedulable | Inconclusive | Overloaded
 
 let utilization_test tasks =
-  let u = Task.total_utilization tasks in
-  if u <= utilization_bound (List.length tasks) +. 1e-12 then Schedulable
-  else if u > 1. +. 1e-12 then Overloaded
-  else Inconclusive
+  if tasks = [] then Schedulable
+  else
+    let u = Task.total_utilization tasks in
+    if u <= utilization_bound (List.length tasks) +. 1e-12 then Schedulable
+    else if u > 1. +. 1e-12 then Overloaded
+    else Inconclusive
 
 let higher_priority tasks task =
   List.filter
@@ -21,25 +23,49 @@ let higher_priority tasks task =
        Task.compare_by_period other task < 0)
     tasks
 
-(* Classic fixed-point iteration R_{k+1} = C + sum_j ceil(R_k / T_j) C_j. *)
-let response_time tasks task =
+let interference hp r =
+  List.fold_left
+    (fun acc j -> acc +. (Float.of_int (int_of_float (Float.ceil (r /. j.Task.period))) *. j.Task.wcet))
+    0. hp
+
+(* Classic fixed-point iteration R_{k+1} = C + B + sum_j ceil(R_k / T_j) C_j,
+   where B is a blocking term (non-preemptible sections of lower-priority
+   work, e.g. a shared flow-cell update). *)
+let response_time ?(blocking = 0.) tasks task =
   if not (List.exists (fun t -> String.equal t.Task.name task.Task.name) tasks) then
     invalid_arg "Rt.Rm.response_time: task not in the set";
   let hp = higher_priority tasks task in
-  let interference r =
-    List.fold_left
-      (fun acc j -> acc +. (Float.of_int (int_of_float (Float.ceil (r /. j.Task.period))) *. j.Task.wcet))
-      0. hp
-  in
   let rec iterate r iters =
     if iters > 10_000 then None
     else
-      let r' = task.Task.wcet +. interference r in
+      let r' = task.Task.wcet +. blocking +. interference hp r in
       if r' > task.Task.deadline +. 1e-12 then None
       else if Float.abs (r' -. r) <= 1e-12 then Some r'
       else iterate r' (iters + 1)
   in
-  iterate task.Task.wcet 0
+  iterate (task.Task.wcet +. blocking) 0
+
+type bound = Converged of float | Diverges of float
+
+(* Like [response_time] but keeps iterating past the deadline so a miss
+   can be reported with a concrete number. Converges whenever the
+   higher-priority utilization (plus this task) admits a fixed point;
+   otherwise returns the last iterate as a lower bound. *)
+let response_bound ?(blocking = 0.) tasks task =
+  if not (List.exists (fun t -> String.equal t.Task.name task.Task.name) tasks) then
+    invalid_arg "Rt.Rm.response_bound: task not in the set";
+  let hp = higher_priority tasks task in
+  let cap =
+    (* Far past any plausible deadline: the busy period cannot close. *)
+    100. *. Float.max task.Task.period task.Task.deadline
+  in
+  let rec iterate r iters =
+    let r' = task.Task.wcet +. blocking +. interference hp r in
+    if Float.abs (r' -. r) <= 1e-12 then Converged r'
+    else if iters > 10_000 || r' > cap then Diverges r'
+    else iterate r' (iters + 1)
+  in
+  iterate (task.Task.wcet +. blocking) 0
 
 let schedulable tasks =
   List.for_all (fun t -> response_time tasks t <> None) tasks

@@ -70,7 +70,8 @@ let pick policy ready =
     Some (List.fold_left (fun best j -> if better j best then j else best) first rest)
 
 let simulate policy tasks ~horizon =
-  if horizon <= 0. then invalid_arg "Rt.Sched_sim.simulate: horizon must be positive";
+  if not (Float.is_finite horizon) || horizon <= 0. then
+    invalid_arg "Rt.Sched_sim.simulate: horizon must be finite and positive";
   let all = jobs_of tasks ~horizon in
   let segments = ref [] in
   let busy = ref 0. in

@@ -16,7 +16,9 @@ type t = {
 val create : ?deadline:float -> ?phase:float -> period:float -> wcet:float -> string -> t
 (** [deadline] defaults to [period], [phase] to 0. Raises
     [Invalid_argument] unless [0 < wcet <= deadline <= period] and
-    [phase >= 0]. *)
+    [phase >= 0], with every field additionally required finite — zero,
+    negative and NaN/infinite periods are rejected with a message naming
+    the offending field. *)
 
 val utilization : t -> float
 (** [wcet /. period]. *)

@@ -1,1 +1,1 @@
-test/test_alloc.ml: Alcotest Array Fault Gc Hybrid Obs Ode
+test/test_alloc.ml: Alcotest Analysis Array Fault Gc Hybrid List Obs Ode

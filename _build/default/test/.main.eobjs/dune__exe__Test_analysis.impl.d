@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Dsl Fun Hybrid Int64 List Obs Option Rt String

@@ -1,1 +1,1 @@
-test/test_lint.ml: Alcotest Filename Lint List Obs Option String
+test/test_lint.ml: Alcotest Analysis Filename Lint List Obs Option Printf String

@@ -15,6 +15,7 @@ let () =
       ("alloc", Test_alloc.suite);
       ("dsl", Test_dsl.suite);
       ("lint", Test_lint.suite);
+      ("analysis", Test_analysis.suite);
       ("codegen", Test_codegen.suite);
       ("obs", Test_obs.suite);
       ("causal", Test_causal.suite);

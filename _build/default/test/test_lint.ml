@@ -26,7 +26,14 @@ let check_span name = function
 let test_registry () =
   let codes = List.map (fun m -> m.Lint.Rules.code) Lint.Rules.registry in
   let uniq = List.sort_uniq String.compare codes in
-  Alcotest.(check bool) "at least 8 distinct codes" true (List.length uniq >= 8);
+  Alcotest.(check bool) "at least 20 distinct codes" true
+    (List.length uniq >= 20);
+  List.iter
+    (fun c ->
+       Alcotest.(check bool) (c ^ " registered") true
+         (Lint.Rules.is_known_code c))
+    [ "UMH042"; "UMH043"; "UMH044"; "UMH045"; "UMH046";
+      "UMH050"; "UMH051"; "UMH052"; "UMH053"; "UMH054" ];
   Alcotest.(check int) "codes are unique" (List.length codes)
     (List.length uniq);
   List.iter
@@ -75,13 +82,66 @@ let test_orphan_dport () =
 
 let test_rate_mismatch () = golden "rate_mismatch.umh" "UMH040"
 
+let test_unschedulable () =
+  let r = lint "models/unschedulable.umh" in
+  (match find_code r "UMH042" with
+   | Some d ->
+     Alcotest.(check string) "deadline miss is an error" "error"
+       (Lint.Diagnostic.severity_name d.Lint.Diagnostic.severity);
+     (* The acceptance contract: the message names the task, its
+        concrete response time and its period. *)
+     List.iter
+       (fun needle ->
+          let msg = d.Lint.Diagnostic.message in
+          let rec contains i =
+            i + String.length needle <= String.length msg
+            && (String.sub msg i (String.length needle) = needle
+                || contains (i + 1))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "message mentions %S" needle) true (contains 0))
+       [ "slow"; "0.27s"; "0.15s" ]
+   | None -> Alcotest.fail "UMH042 missing");
+  Alcotest.(check bool) "forced group rides along" true
+    (find_code r "UMH050" <> None);
+  golden "unschedulable.umh" "UMH042"
+
+let test_racy_shard () =
+  let r = lint "models/racy_shard.umh" in
+  (match find_code r "UMH052" with
+   | Some d ->
+     Alcotest.(check string) "race is a warning" "warning"
+       (Lint.Diagnostic.severity_name d.Lint.Diagnostic.severity)
+   | None -> Alcotest.fail "UMH052 missing");
+  golden "racy_shard.umh" "UMH052"
+
+(* A measured wcet table fed through ?wcet flips water_tank from clean
+   to gating: the seeded tank measurement breaches its period (UMH046). *)
+let test_lint_with_wcet () =
+  let path = "../examples/models/water_tank.umh" in
+  Alcotest.(check bool) "clean without measurements" false
+    (Lint.Linter.gates [ lint path ]);
+  let wcet =
+    match Analysis.Wcet.of_file "wcet/water_tank_slow.json" with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let r = Lint.Linter.lint_file ~wcet path in
+  (match find_code r "UMH046" with
+   | Some d ->
+     Alcotest.(check string) "budget breach is an error" "error"
+       (Lint.Diagnostic.severity_name d.Lint.Diagnostic.severity)
+   | None -> Alcotest.fail "UMH046 missing");
+  Alcotest.(check bool) "gates with measurements" true
+    (Lint.Linter.gates [ r ])
+
 let test_examples_clean () =
   List.iter
     (fun name ->
        let r = lint (Filename.concat "../examples/models" name) in
        Alcotest.(check bool) (name ^ " has no gating findings") false
          (Lint.Linter.gates [ r ]))
-    [ "thermostat.umh"; "filter_chain.umh" ]
+    [ "thermostat.umh"; "filter_chain.umh"; "water_tank.umh"; "e3_grid.umh" ]
 
 (* ---- front-end mapping ---- *)
 
@@ -164,6 +224,10 @@ let suite =
     Alcotest.test_case "golden: unreachable state" `Quick test_unreachable_state;
     Alcotest.test_case "golden: orphan dport" `Quick test_orphan_dport;
     Alcotest.test_case "golden: rate mismatch" `Quick test_rate_mismatch;
+    Alcotest.test_case "golden: unschedulable shard" `Quick test_unschedulable;
+    Alcotest.test_case "golden: racy shard" `Quick test_racy_shard;
+    Alcotest.test_case "measured wcet table gates the lint" `Quick
+      test_lint_with_wcet;
     Alcotest.test_case "shipped examples lint clean" `Quick test_examples_clean;
     Alcotest.test_case "front end: syntax -> UMH001" `Quick test_syntax_diag;
     Alcotest.test_case "front end: R3 -> UMH002 + rule ref" `Quick

@@ -1,0 +1,305 @@
+open Dsl
+
+(* The flattened structural model shared by every static analysis.
+
+   This used to live inside [Lint.Rules] as [build_graph]; it moved here
+   so the timing and shard analyses (and the linter on top of them) all
+   read one elaboration-faithful view: composite streamers flatten into
+   "role.child" leaves, every composite border DPort and capsule relay
+   DPort becomes a 1-in/1-out junction named "owner.port", relays keep
+   their fanout. Alongside the graph we keep the tick period, declared
+   wcet budget and guard/strategy inventory of each leaf, the SPort
+   links, and capsule instances with their timers — everything the
+   task-set extraction and happens-before construction need, plus source
+   positions so findings can carry file:line:col spans. *)
+
+type emission = {
+  em_role : string;    (** emitting leaf role, e.g. ["chain.first"] *)
+  em_inst : string;    (** top-level streamer instance the leaf lives in *)
+  em_sport : string;
+  em_signal : string;
+  em_pos : Ast.pos;
+}
+
+type strategy = {
+  str_role : string;   (** leaf role owning the [when] clause *)
+  str_inst : string;
+  str_signal : string;
+  str_param : string;
+  str_pos : Ast.pos;
+}
+
+type capsule_inst = {
+  ci_name : string;    (** instance name; profiler path is ["system/<name>"] *)
+  ci_class : string;
+  ci_timers : (string * float) list;  (** periodic self signals *)
+  ci_triggers : string list;          (** statechart triggers, with dups *)
+  ci_sends : (string * string) list;  (** transition actions: signal, port *)
+  ci_pos : Ast.pos;
+}
+
+type link = {
+  lk_inst : string;    (** streamer instance *)
+  lk_sport : string;
+  lk_capsule : string; (** capsule instance *)
+  lk_port : string;
+  lk_pos : Ast.pos;
+}
+
+type t = {
+  graph : Dataflow.Graph.t;
+  periods : (string * float) list;  (** leaf role -> tick period *)
+  wcets : (string * float) list;    (** leaf role -> declared wcet budget *)
+  emissions : emission list;
+  strategies : strategy list;
+  capsules : capsule_inst list;
+  links : link list;
+  port_pos : ((string * string) * Ast.pos) list;  (** (node, port) -> decl *)
+  flow_pos : ((string * string) * Ast.pos) list;  (** (dst node, dst port) *)
+  leaf_pos : (string * Ast.pos) list;             (** leaf role -> instance decl *)
+  system_pos : Ast.pos;
+}
+
+let find_streamer (model : Ast.model) name =
+  List.find_opt
+    (fun (s : Ast.streamer_decl) -> String.equal s.Ast.s_name name)
+    model.Ast.m_streamers
+
+let find_capsule (model : Ast.model) name =
+  List.find_opt
+    (fun (c : Ast.capsule_decl) -> String.equal c.Ast.c_name name)
+    model.Ast.m_capsules
+
+let is_leaf (s : Ast.streamer_decl) = s.Ast.s_contains = []
+
+let rec capsule_triggers (st : Ast.state_decl) =
+  List.map (fun (tr : Ast.transition_decl) -> tr.Ast.tr_trigger)
+    st.Ast.st_transitions
+  @ List.concat_map capsule_triggers st.Ast.st_children
+
+let rec capsule_sends (st : Ast.state_decl) =
+  List.filter_map (fun (tr : Ast.transition_decl) -> tr.Ast.tr_send)
+    st.Ast.st_transitions
+  @ List.concat_map capsule_sends st.Ast.st_children
+
+let build (checked : Typecheck.checked) =
+  let model = checked.Typecheck.model in
+  match model.Ast.m_system with
+  | None -> None
+  | Some sys ->
+    let g = Dataflow.Graph.create () in
+    let periods = ref [] in
+    let wcets = ref [] in
+    let emissions = ref [] in
+    let strategies = ref [] in
+    let port_pos = ref [] in
+    let flow_pos = ref [] in
+    let leaf_pos = ref [] in
+    let ft name = Typecheck.flow_type_of checked name in
+    let record node port pos = port_pos := ((node, port), pos) :: !port_pos in
+    let connect ~pos ~src ~dst =
+      match
+        ( Dataflow.Graph.find_node g (fst src),
+          Dataflow.Graph.find_node g (fst dst) )
+      with
+      | Some sn, Some dn ->
+        (* Structural errors here (type subset, double drivers) were
+           already reported by the typechecker as UMH002. *)
+        (match Dataflow.Graph.connect g ~src:(sn, snd src) ~dst:(dn, snd dst) with
+         | Ok () -> flow_pos := ((fst dst, snd dst), pos) :: !flow_pos
+         | Error _ -> ())
+      | _, _ -> ()
+    in
+    let rec add_streamer ~inst ~ipos role (s : Ast.streamer_decl) =
+      if is_leaf s then begin
+        let dir d (x : Ast.dport_decl) = x.Ast.dp_dir = Some d in
+        let ports d =
+          List.filter_map
+            (fun (x : Ast.dport_decl) ->
+               if dir d x then Some (x.Ast.dp_name, ft x.Ast.dp_type) else None)
+            s.Ast.s_dports
+        in
+        ignore
+          (Dataflow.Graph.add_node g ~name:role ~inputs:(ports Ast.Din)
+             ~outputs:(ports Ast.Dout));
+        List.iter
+          (fun (x : Ast.dport_decl) -> record role x.Ast.dp_name x.Ast.dp_pos)
+          s.Ast.s_dports;
+        leaf_pos := (role, ipos) :: !leaf_pos;
+        List.iter
+          (fun (gd : Ast.guard_decl) ->
+             emissions :=
+               { em_role = role; em_inst = inst; em_sport = gd.Ast.g_sport;
+                 em_signal = gd.Ast.g_signal; em_pos = gd.Ast.g_pos }
+               :: !emissions)
+          s.Ast.s_guards;
+        List.iter
+          (fun (st : Ast.strategy_decl) ->
+             strategies :=
+               { str_role = role; str_inst = inst;
+                 str_signal = st.Ast.st_signal; str_param = st.Ast.st_param;
+                 str_pos = st.Ast.st_pos }
+               :: !strategies)
+          s.Ast.s_strategies;
+        (match s.Ast.s_wcet with
+         | Some w when w > 0. -> wcets := (role, w) :: !wcets
+         | Some _ | None -> ());
+        match s.Ast.s_rate with
+        | Some r when r > 0. -> periods := (role, r) :: !periods
+        | Some _ | None -> ()
+      end
+      else begin
+        List.iter
+          (fun (child, cls) ->
+             match find_streamer model cls with
+             | Some sub -> add_streamer ~inst ~ipos (role ^ "." ^ child) sub
+             | None -> ())
+          s.Ast.s_contains;
+        List.iter
+          (fun (x : Ast.dport_decl) ->
+             let name = role ^ "." ^ x.Ast.dp_name in
+             ignore (Dataflow.Graph.add_junction g ~name (ft x.Ast.dp_type));
+             record name "in" x.Ast.dp_pos;
+             record name "out1" x.Ast.dp_pos)
+          s.Ast.s_dports;
+        let resolve (ep : Ast.internal_endpoint) ~as_source =
+          match ep.Ast.ie_child with
+          | None ->
+            Some (role ^ "." ^ ep.Ast.ie_port, if as_source then "out1" else "in")
+          | Some child ->
+            (match List.assoc_opt child s.Ast.s_contains with
+             | None -> None
+             | Some cls ->
+               (match find_streamer model cls with
+                | None -> None
+                | Some sub ->
+                  if is_leaf sub then Some (role ^ "." ^ child, ep.Ast.ie_port)
+                  else
+                    Some
+                      ( role ^ "." ^ child ^ "." ^ ep.Ast.ie_port,
+                        if as_source then "out1" else "in" )))
+        in
+        List.iter
+          (fun (se, de) ->
+             match (resolve se ~as_source:true, resolve de ~as_source:false) with
+             | Some src, Some dst -> connect ~pos:s.Ast.s_pos ~src ~dst
+             | _, _ -> ())
+          s.Ast.s_flows
+      end
+    in
+    let streamer_class iname =
+      List.find_map
+        (function
+          | Ast.Istreamer { iname = n; iclass; _ } when String.equal n iname ->
+            find_streamer model iclass
+          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
+        sys.Ast.sys_instances
+    in
+    let capsule_class iname =
+      List.find_map
+        (function
+          | Ast.Icapsule { iname = n; iclass; _ } when String.equal n iname ->
+            find_capsule model iclass
+          | Ast.Istreamer _ | Ast.Icapsule _ | Ast.Irelay _ -> None)
+        sys.Ast.sys_instances
+    in
+    let is_relay iname =
+      List.exists
+        (function
+          | Ast.Irelay { iname = n; _ } -> String.equal n iname
+          | Ast.Istreamer _ | Ast.Icapsule _ -> false)
+        sys.Ast.sys_instances
+    in
+    let capsules = ref [] in
+    List.iter
+      (function
+        | Ast.Istreamer { iname; iclass; ipos; _ } ->
+          (match find_streamer model iclass with
+           | Some d -> add_streamer ~inst:iname ~ipos iname d
+           | None -> ())
+        | Ast.Irelay { iname; itype; ifanout; ipos } ->
+          if ifanout >= 2 then begin
+            ignore (Dataflow.Graph.add_relay g ~name:iname (ft itype) ~fanout:ifanout);
+            record iname "in" ipos;
+            for k = 1 to ifanout do
+              record iname (Printf.sprintf "out%d" k) ipos
+            done
+          end
+        | Ast.Icapsule { iname; iclass; ipos } ->
+          (match find_capsule model iclass with
+           | None -> ()
+           | Some c ->
+             capsules :=
+               { ci_name = iname; ci_class = iclass;
+                 ci_timers = c.Ast.c_timers;
+                 ci_triggers = List.concat_map capsule_triggers c.Ast.c_states;
+                 ci_sends = List.concat_map capsule_sends c.Ast.c_states;
+                 ci_pos = ipos }
+               :: !capsules;
+             List.iter
+               (fun (x : Ast.dport_decl) ->
+                  let name = iname ^ "." ^ x.Ast.dp_name in
+                  ignore (Dataflow.Graph.add_junction g ~name (ft x.Ast.dp_type));
+                  record name "in" x.Ast.dp_pos;
+                  record name "out1" x.Ast.dp_pos)
+               c.Ast.c_dports))
+      sys.Ast.sys_instances;
+    let resolve_sys (inst, port) ~as_source =
+      match streamer_class inst with
+      | Some s ->
+        if is_leaf s then Some (inst, port)
+        else Some (inst ^ "." ^ port, if as_source then "out1" else "in")
+      | None ->
+        if is_relay inst then Some (inst, port)
+        else if capsule_class inst <> None then
+          Some (inst ^ "." ^ port, if as_source then "out1" else "in")
+        else None
+    in
+    let links = ref [] in
+    List.iter
+      (function
+        | Ast.Cflow { cf_src; cf_dst; cf_pos } ->
+          (match
+             ( resolve_sys cf_src ~as_source:true,
+               resolve_sys cf_dst ~as_source:false )
+           with
+           | Some src, Some dst -> connect ~pos:cf_pos ~src ~dst
+           | _, _ -> ())
+        | Ast.Clink { cl_streamer = (si, sp); cl_capsule = (ci, cp); cl_pos } ->
+          links :=
+            { lk_inst = si; lk_sport = sp; lk_capsule = ci; lk_port = cp;
+              lk_pos = cl_pos }
+            :: !links)
+      sys.Ast.sys_connections;
+    Some
+      { graph = g;
+        periods = List.rev !periods;
+        wcets = List.rev !wcets;
+        emissions = List.rev !emissions;
+        strategies = List.rev !strategies;
+        capsules = List.rev !capsules;
+        links = List.rev !links;
+        port_pos = !port_pos;
+        flow_pos = !flow_pos;
+        leaf_pos = !leaf_pos;
+        system_pos = sys.Ast.sys_pos }
+
+let of_checked checked = try build checked with Invalid_argument _ -> None
+
+(* Walk back through relays/junctions to the leaf streamer that actually
+   produces the samples arriving at [node]. *)
+let producer t node =
+  let flows = Dataflow.Graph.flow_list t.graph in
+  let rec walk visited node =
+    if List.mem node visited then None
+    else
+      match List.assoc_opt node t.periods with
+      | Some p -> Some (node, p)
+      | None ->
+        (match
+           List.find_opt (fun (_, (dn, _)) -> String.equal dn node) flows
+         with
+         | Some ((sn, _), _) -> walk (node :: visited) sn
+         | None -> None)
+  in
+  walk [] node

@@ -1,0 +1,34 @@
+(** Exact response-time analysis over an extracted task set.
+
+    Per-task verdicts under rate-monotonic fixed priorities — the least
+    fixed point of [R = C + B + sum_hp ceil(R/T_j) C_j], iterated past
+    the deadline so a miss reports its concrete response time — plus the
+    EDF processor-demand cross-check and the utilization summary. *)
+
+type verdict = {
+  v_task : Taskset.task;
+  v_priority : int;   (** RM priority, 0 = highest (shortest period) *)
+  v_response : Rt.Rm.bound;
+      (** worst-case response; [Diverges] when the busy period never
+          closes (higher-priority utilization at or above 1) *)
+  v_rm_ok : bool;
+  v_slack : float;    (** deadline - response; [neg_infinity] on divergence *)
+}
+
+type t = {
+  verdicts : verdict list;  (** criticality order: RM priority ascending *)
+  utilization : float;
+  ll_bound : float;         (** Liu-Layland bound for this set's size *)
+  rm_ok : bool;
+  edf_ok : bool;
+  edf_violation : (float * float) option;
+      (** earliest window where demand exceeds supply, with the demand *)
+  breakdown : float;        (** breakdown utilization; 0 for the empty set *)
+}
+
+val analyze : ?blocking:float -> Taskset.task list -> t
+(** [blocking] models a non-preemptible lower-priority section added to
+    every response-time fixpoint (default 0). *)
+
+val response_value : Rt.Rm.bound -> float
+val misses : t -> verdict list

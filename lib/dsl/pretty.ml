@@ -57,6 +57,9 @@ let pp_streamer ppf (s : Ast.streamer_decl) =
   (match s.Ast.s_rate with
    | Some r -> Format.fprintf ppf "rate %g;@ " r
    | None -> ());
+  (match s.Ast.s_wcet with
+   | Some w -> Format.fprintf ppf "wcet %g;@ " w
+   | None -> ());
   (match s.Ast.s_method with
    | Some m -> pp_method ppf m
    | None -> ());

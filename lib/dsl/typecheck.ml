@@ -132,6 +132,17 @@ let check model =
      | Some r when r <= 0. ->
        err s.Ast.s_pos "streamer %S: rate must be positive (rule R7)" s.Ast.s_name
      | Some _ | None -> ());
+    (match s.Ast.s_wcet with
+     | Some w when w <= 0. || not (Float.is_finite w) ->
+       err s.Ast.s_pos
+         "streamer %S: wcet budget must be finite and positive (rule 9)"
+         s.Ast.s_name
+     | Some _ when composite ->
+       err s.Ast.s_pos
+         "streamer %S: a composite streamer has no thread of its own; declare \
+          wcet on its leaf sub-streamers (rule 9)"
+         s.Ast.s_name
+     | Some _ | None -> ());
     if composite then begin
       if s.Ast.s_states <> [] || s.Ast.s_eqs <> [] || s.Ast.s_guards <> []
          || s.Ast.s_outputs <> [] || s.Ast.s_strategies <> []

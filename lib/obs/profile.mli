@@ -67,6 +67,7 @@ type row = {
   r_count : int;
   r_self_ns : int;
   r_total_ns : int;
+  r_max_ns : int;   (** worst single-frame self time — a measured wcet *)
   r_alloc_w : float;
 }
 

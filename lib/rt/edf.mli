@@ -10,6 +10,12 @@ val demand_bound : Task.t list -> float -> float
 val check_points : Task.t list -> horizon:float -> float list
 (** Absolute deadlines up to the horizon — where [dbf] can jump. *)
 
+val first_violation : ?horizon:float -> Task.t list -> (float * float) option
+(** The earliest check point [t] where [dbf(t) > t], with the demand at
+    that point — the window a deadline-miss diagnostic should blame.
+    [None] for empty sets, implicit-deadline sets (covered by the
+    utilization test) and demand-feasible sets. *)
+
 val schedulable : ?horizon:float -> Task.t list -> bool
 (** Processor-demand criterion: [dbf(t) <= t] at every deadline up to the
     horizon (default: min(hyperperiod-ish bound, busy-period bound

@@ -11,13 +11,25 @@ type verdict = Schedulable | Inconclusive | Overloaded
 
 val utilization_test : Task.t list -> verdict
 (** [Schedulable] when U <= the LL bound, [Overloaded] when U > 1,
-    [Inconclusive] in between (the exact test below decides). *)
+    [Inconclusive] in between (the exact test below decides). The empty
+    set is trivially [Schedulable]. *)
 
-val response_time : Task.t list -> Task.t -> float option
+val response_time : ?blocking:float -> Task.t list -> Task.t -> float option
 (** Exact response-time analysis for the given task under RM priorities
-    among [tasks] (which must contain it). [None] when the fixed-point
-    iteration exceeds the deadline (unschedulable). Assumes phases are
-    ignored (critical-instant analysis). *)
+    among [tasks] (which must contain it): the least fixed point of
+    [R = C + B + sum_hp ceil(R/T_j) C_j], where [B] ([blocking],
+    default 0) models non-preemptible lower-priority sections. [None]
+    when the iteration exceeds the deadline (unschedulable). Assumes
+    phases are ignored (critical-instant analysis). *)
+
+type bound = Converged of float | Diverges of float
+
+val response_bound : ?blocking:float -> Task.t list -> Task.t -> bound
+(** Like {!response_time} but keeps iterating past the deadline so a
+    deadline miss can be reported with a concrete response time:
+    [Converged r] is the exact worst-case response (possibly beyond the
+    deadline), [Diverges r] means the busy period never closes
+    (higher-priority utilization >= 1) and [r] is a lower bound. *)
 
 val schedulable : Task.t list -> bool
 (** Every task's worst-case response time meets its deadline. *)

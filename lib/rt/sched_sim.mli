@@ -28,8 +28,10 @@ type result = {
 }
 
 val simulate : policy -> Task.t list -> horizon:float -> result
-(** Raises [Invalid_argument] on a non-positive horizon. Jobs released
-    before the horizon are tracked to completion or recorded as misses. *)
+(** Raises [Invalid_argument] on a non-positive or non-finite horizon.
+    Jobs released before the horizon are tracked to completion or
+    recorded as misses. The empty task set yields an empty, fully idle
+    result. *)
 
 val miss_count : result -> int
 val utilization_observed : result -> float

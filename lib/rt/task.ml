@@ -7,11 +7,20 @@ type t = {
 }
 
 let create ?deadline ?(phase = 0.) ~period ~wcet name =
+  (* Validate each field on its own so degenerate inputs (zero, negative
+     or non-finite periods) get a precise message instead of tripping a
+     downstream comparison whose wording points at the wrong field. *)
+  if not (Float.is_finite period) || period <= 0. then
+    invalid_arg "Rt.Task.create: period must be finite and positive";
+  if not (Float.is_finite wcet) || wcet <= 0. then
+    invalid_arg "Rt.Task.create: wcet must be finite and positive";
   let deadline = match deadline with Some d -> d | None -> period in
-  if wcet <= 0. then invalid_arg "Rt.Task.create: wcet must be positive";
+  if not (Float.is_finite deadline) then
+    invalid_arg "Rt.Task.create: deadline must be finite";
   if deadline < wcet then invalid_arg "Rt.Task.create: deadline must be >= wcet";
   if period < deadline then invalid_arg "Rt.Task.create: period must be >= deadline";
-  if phase < 0. then invalid_arg "Rt.Task.create: negative phase";
+  if not (Float.is_finite phase) || phase < 0. then
+    invalid_arg "Rt.Task.create: phase must be finite and >= 0";
   { name; period; wcet; deadline; phase }
 
 let utilization t = t.wcet /. t.period

@@ -151,6 +151,33 @@ let test_engine_tick_alloc_free_telemetry_off () =
     "tick with telemetry stopped + profiler disabled allocates nothing" 0.
     words
 
+(* The static analysis layer is opt-in: with the profiler off, a wcet
+   snapshot sees nothing (no measurement ever ran), and linking the
+   analysis library must leave the engine's hot tick path untouched —
+   the tick below runs with analysis code resident and stays at zero
+   words, same as test_engine_tick_alloc_free. *)
+let test_analysis_is_opt_in () =
+  Obs.Profile.set_enabled false;
+  Obs.Profile.reset ();
+  let w = Analysis.Wcet.of_profile () in
+  Alcotest.(check int) "no profiling -> empty wcet table" 0
+    (List.length w.Analysis.Wcet.entries);
+  let plant =
+    Hybrid.Streamer.leaf "plant" ~rate:0.3 ~dim:1 ~init:[| 1.0 |]
+      ~dports:[ Hybrid.Streamer.dport_out "x" ]
+      ~rhs_into:(fun _env _tcell y dy -> dy.(0) <- -.y.(0))
+      ~outputs:(Hybrid.Streamer.state_outputs [ (0, "x") ])
+      ~rhs:(fun _env _t y -> [| -.y.(0) |])
+  in
+  let engine = Hybrid.Engine.create () in
+  Hybrid.Engine.add_streamer engine ~role:"plant" plant;
+  Hybrid.Engine.run_until engine 1.0;
+  let words =
+    minor_delta (fun () -> Hybrid.Engine.tick_now engine ~role:"plant")
+  in
+  Alcotest.(check (float 0.))
+    "tick with analysis linked in allocates nothing" 0. words
+
 let suite =
   [ Alcotest.test_case "ode: step_into zero minor words" `Quick
       test_step_into_alloc_free;
@@ -161,4 +188,6 @@ let suite =
     Alcotest.test_case "engine: empty fault layer stays zero-alloc" `Quick
       test_engine_tick_alloc_free_with_empty_faults;
     Alcotest.test_case "engine: telemetry off stays zero-alloc" `Quick
-      test_engine_tick_alloc_free_telemetry_off ]
+      test_engine_tick_alloc_free_telemetry_off;
+    Alcotest.test_case "analysis: opt-in, hot path untouched" `Quick
+      test_analysis_is_opt_in ]

@@ -1,0 +1,393 @@
+(* The static timing / concurrency analysis layer: task extraction
+   (rates, capsule timers, wcet resolution), the wcet table round trip,
+   response-time verdicts, shard partitioning, and the zero-cost
+   contract — analysis runs must not perturb simulation. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = Dsl.Typecheck.check (Dsl.Parser.parse (read_file path))
+
+let check_source src =
+  let checked = Dsl.Typecheck.check (Dsl.Parser.parse src) in
+  Alcotest.(check bool) "model typechecks" true (Dsl.Typecheck.is_ok checked);
+  checked
+
+let report ?wcet path =
+  let checked = load path in
+  Alcotest.(check bool) (path ^ " typechecks") true
+    (Dsl.Typecheck.is_ok checked);
+  match Analysis.Report.run ?wcet ~file:path checked with
+  | Some r -> r
+  | None -> Alcotest.fail (path ^ ": no system section to analyze")
+
+(* ---- task extraction ---- *)
+
+(* One streamer with a declared budget, one without, and a capsule with
+   two timers (the densest one sets the task period). *)
+let extraction_src =
+  {|
+model Extraction
+flowtype Sig { value: float }
+protocol P { in poke; out hit; }
+streamer Budgeted {
+  rate 0.1;
+  wcet 0.02;
+  dport out y : Sig;
+  init x = 0.0;
+  eq x' = 1.0 - x;
+  output y = x;
+  guard hi : rising (x - 0.5) emits hit via ctl;
+  sport ctl : P;
+}
+streamer Plain {
+  rate 0.2;
+  dport in u : Sig;
+  init x = 0.0;
+  eq x' = u - x;
+}
+capsule Ticker {
+  port b : P conjugated;
+  timer fast = 0.25;
+  timer slow = 2.0;
+  statemachine {
+    initial Idle;
+    state Idle { on hit -> Idle; on fast -> Idle; on slow -> Idle; }
+  }
+}
+system {
+  capsule tick : Ticker;
+  streamer budgeted : Budgeted in tick;
+  streamer plain : Plain in tick;
+  flow budgeted.y -> plain.u;
+  link budgeted.ctl -- tick.b;
+}
+|}
+
+let test_extraction () =
+  let checked = check_source extraction_src in
+  let model =
+    match Analysis.Model.of_checked checked with
+    | Some m -> m
+    | None -> Alcotest.fail "no flattened model"
+  in
+  let ts = Analysis.Taskset.extract model in
+  Alcotest.(check int) "three tasks" 3 (List.length ts.Analysis.Taskset.tasks);
+  (match Analysis.Taskset.find ts "budgeted" with
+   | Some x ->
+     Alcotest.(check bool) "declared source" true
+       (x.Analysis.Taskset.source = Analysis.Taskset.Declared);
+     Alcotest.(check (float 1e-9)) "declared wcet" 0.02
+       x.Analysis.Taskset.task.Rt.Task.wcet
+   | None -> Alcotest.fail "budgeted task missing");
+  (match Analysis.Taskset.find ts "plain" with
+   | Some x ->
+     Alcotest.(check bool) "default source" true
+       (x.Analysis.Taskset.source = Analysis.Taskset.Default);
+     Alcotest.(check (float 1e-9)) "default wcet = 10% of period" 0.02
+       x.Analysis.Taskset.task.Rt.Task.wcet
+   | None -> Alcotest.fail "plain task missing");
+  (match Analysis.Taskset.find ts "tick" with
+   | Some x ->
+     Alcotest.(check bool) "capsule kind" true
+       (x.Analysis.Taskset.kind = Analysis.Taskset.Capsule);
+     Alcotest.(check (float 1e-9)) "densest timer period" 0.25
+       x.Analysis.Taskset.task.Rt.Task.period
+   | None -> Alcotest.fail "capsule timer task missing");
+  Alcotest.(check bool) "uses_default reported" true
+    (Analysis.Taskset.uses_default ts)
+
+(* A measured table overrides declared budgets, and an over-period
+   budget is clamped with an issue recorded. *)
+let test_wcet_resolution () =
+  let checked = check_source extraction_src in
+  let model = Option.get (Analysis.Model.of_checked checked) in
+  let wcet =
+    { Analysis.Wcet.model = None;
+      entries =
+        [ { Analysis.Wcet.entity = "budgeted"; kind = "streamer";
+            wcet_s = 0.05; frames = 10 };
+          { Analysis.Wcet.entity = "system/tick"; kind = "capsule";
+            wcet_s = 0.5; frames = 3 } ] }
+  in
+  let ts = Analysis.Taskset.extract ~wcet model in
+  (match Analysis.Taskset.find ts "budgeted" with
+   | Some x ->
+     Alcotest.(check bool) "measured beats declared" true
+       (x.Analysis.Taskset.source = Analysis.Taskset.Measured);
+     Alcotest.(check (float 1e-9)) "measured wcet" 0.05
+       x.Analysis.Taskset.task.Rt.Task.wcet
+   | None -> Alcotest.fail "budgeted task missing");
+  (* tick's measurement (0.5s) exceeds its 0.25s timer period: clamped,
+     and the overload surfaces as an issue. *)
+  (match Analysis.Taskset.find ts "tick" with
+   | Some x ->
+     Alcotest.(check (float 1e-9)) "clamped to period" 0.25
+       x.Analysis.Taskset.task.Rt.Task.wcet
+   | None -> Alcotest.fail "tick task missing");
+  Alcotest.(check int) "one budget issue" 1
+    (List.length ts.Analysis.Taskset.issues)
+
+(* ---- wcet table round trip ---- *)
+
+let test_wcet_roundtrip () =
+  let t =
+    { Analysis.Wcet.model = Some "m.umh";
+      entries =
+        [ { Analysis.Wcet.entity = "chain.first"; kind = "streamer";
+            wcet_s = 0.001; frames = 42 };
+          { Analysis.Wcet.entity = "system/ctl"; kind = "capsule";
+            wcet_s = 2e-4; frames = 7 } ] }
+  in
+  let json = Obs.Json.to_string (Analysis.Wcet.to_json t) in
+  match Analysis.Wcet.of_string json with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    Alcotest.(check int) "entries survive" 2
+      (List.length back.Analysis.Wcet.entries);
+    Alcotest.(check (option (float 1e-12))) "exact lookup" (Some 0.001)
+      (Analysis.Wcet.find back "chain.first");
+    Alcotest.(check (option (float 1e-12)))
+      "capsule found by path basename" (Some 2e-4)
+      (Analysis.Wcet.find back "ctl");
+    Alcotest.(check (option (float 1e-12))) "unknown entity" None
+      (Analysis.Wcet.find back "nobody")
+
+let test_wcet_rejects_garbage () =
+  (match Analysis.Wcet.of_string "{\"schema\":\"umh-bench\"}" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "wrong schema accepted");
+  (match Analysis.Wcet.of_string "not json" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "garbage accepted");
+  (* Non-positive and non-finite entries are dropped, not kept. *)
+  match
+    Analysis.Wcet.of_string
+      {|{"schema":"umh-wcet","version":1,"entries":[
+         {"entity":"a","wcet_s":0},
+         {"entity":"b","wcet_s":-1.0},
+         {"entity":"c","wcet_s":1e999},
+         {"entity":"d","wcet_s":0.01}]}|}
+  with
+  | Error _ -> ()  (* the malformed float may fail the whole parse *)
+  | Ok t ->
+    Alcotest.(check (option (float 0.))) "only the sane entry survives"
+      (Some 0.01)
+      (Analysis.Wcet.find t "d");
+    Alcotest.(check (option (float 0.))) "zero dropped" None
+      (Analysis.Wcet.find t "a")
+
+(* ---- response-time verdicts ---- *)
+
+let mk_task name period wcet =
+  { Analysis.Taskset.task = Rt.Task.create ~period ~wcet name;
+    kind = Analysis.Taskset.Streamer;
+    source = Analysis.Taskset.Declared;
+    pos = { Dsl.Ast.line = 0; col = 0 } }
+
+let test_rta_verdicts () =
+  (* Harmonic pair at full utilization: RM schedulable, R2 exactly 2. *)
+  let r =
+    Analysis.Rta.analyze [ mk_task "hi" 1.0 0.5; mk_task "lo" 2.0 1.0 ]
+  in
+  Alcotest.(check bool) "rm ok at U=1 (harmonic)" true r.Analysis.Rta.rm_ok;
+  Alcotest.(check bool) "edf ok at U=1" true r.Analysis.Rta.edf_ok;
+  (match r.Analysis.Rta.verdicts with
+   | [ v1; v2 ] ->
+     Alcotest.(check int) "priority order" 0 v1.Analysis.Rta.v_priority;
+     Alcotest.(check string) "shortest period first" "hi"
+       v1.Analysis.Rta.v_task.Analysis.Taskset.task.Rt.Task.name;
+     Alcotest.(check (float 1e-9)) "exact response" 2.0
+       (Analysis.Rta.response_value v2.Analysis.Rta.v_response);
+     Alcotest.(check (float 1e-9)) "zero slack" 0.0 v2.Analysis.Rta.v_slack
+   | vs -> Alcotest.failf "expected 2 verdicts, got %d" (List.length vs));
+  (* Overload: the low task's response converges past its deadline. *)
+  let r = Analysis.Rta.analyze [ mk_task "a" 0.1 0.06; mk_task "b" 0.15 0.09 ] in
+  Alcotest.(check bool) "rm miss" false r.Analysis.Rta.rm_ok;
+  Alcotest.(check bool) "edf miss (U=1.2)" false r.Analysis.Rta.edf_ok;
+  (match Analysis.Rta.misses r with
+   | [ v ] ->
+     Alcotest.(check string) "the low task misses" "b"
+       v.Analysis.Rta.v_task.Analysis.Taskset.task.Rt.Task.name;
+     Alcotest.(check (float 1e-9)) "concrete response past deadline" 0.27
+       (Analysis.Rta.response_value v.Analysis.Rta.v_response)
+   | vs -> Alcotest.failf "expected 1 miss, got %d" (List.length vs));
+  (* Blocking term tightens the verdict. *)
+  let free = Analysis.Rta.analyze [ mk_task "t" 1.0 0.6 ] in
+  let blocked = Analysis.Rta.analyze ~blocking:0.5 [ mk_task "t" 1.0 0.6 ] in
+  Alcotest.(check bool) "no blocking: fits" true free.Analysis.Rta.rm_ok;
+  Alcotest.(check bool) "blocking pushes past deadline" false
+    blocked.Analysis.Rta.rm_ok;
+  (* Empty set is trivially fine. *)
+  let empty = Analysis.Rta.analyze [] in
+  Alcotest.(check bool) "empty rm" true empty.Analysis.Rta.rm_ok;
+  Alcotest.(check bool) "empty edf" true empty.Analysis.Rta.edf_ok
+
+(* ---- end-to-end reports over the committed models ---- *)
+
+let test_unschedulable_model () =
+  let r = report "models/unschedulable.umh" in
+  Alcotest.(check bool) "not schedulable" false
+    (Analysis.Report.schedulable r);
+  (match r.Analysis.Report.shard.Analysis.Shard.forced_groups with
+   | [ g ] -> Alcotest.(check int) "whole loop in one group" 3 (List.length g)
+   | gs -> Alcotest.failf "expected 1 forced group, got %d" (List.length gs));
+  (match Analysis.Report.deadline_misses r with
+   | [ v ] ->
+     Alcotest.(check string) "slow streamer misses" "slow"
+       v.Analysis.Rta.v_task.Analysis.Taskset.task.Rt.Task.name;
+     Alcotest.(check (float 1e-9)) "response 0.27s vs 0.15s deadline" 0.27
+       (Analysis.Rta.response_value v.Analysis.Rta.v_response)
+   | vs -> Alcotest.failf "expected 1 miss, got %d" (List.length vs));
+  Alcotest.(check int) "gov hears both streamers" 1
+    (List.length r.Analysis.Report.shard.Analysis.Shard.interleavings)
+
+let test_racy_model () =
+  let r = report "models/racy_shard.umh" in
+  Alcotest.(check bool) "schedulable (races are a liveness issue)" true
+    (Analysis.Report.schedulable r);
+  match r.Analysis.Report.shard.Analysis.Shard.races with
+  | [ race ] ->
+    Alcotest.(check string) "the plant param races" "gain"
+      race.Analysis.Shard.race_param;
+    Alcotest.(check (list string)) "both writers named" [ "down"; "up" ]
+      (List.sort String.compare race.Analysis.Shard.race_senders)
+  | races -> Alcotest.failf "expected 1 race, got %d" (List.length races)
+
+let test_measured_wcet_flips_verdict () =
+  let path = "../examples/models/water_tank.umh" in
+  let before = report path in
+  Alcotest.(check bool) "default model: schedulable" true
+    (Analysis.Report.schedulable before);
+  let wcet =
+    match Analysis.Wcet.of_file "wcet/water_tank_slow.json" with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let after = report ~wcet path in
+  Alcotest.(check bool) "slow measurement: not schedulable" false
+    (Analysis.Report.schedulable after);
+  Alcotest.(check int) "tank budget >= period reported" 1
+    (List.length after.Analysis.Report.taskset.Analysis.Taskset.issues)
+
+let test_partition () =
+  let r = report "../examples/models/e3_grid.umh" in
+  let shard = r.Analysis.Report.shard in
+  Alcotest.(check bool) "multiple shards" true
+    (List.length shard.Analysis.Shard.shards >= 2);
+  Alcotest.(check bool) "every shard feasible" true
+    (Analysis.Shard.all_feasible shard);
+  (* The forced pair always lands in one shard. *)
+  let shard_of name =
+    List.find_map
+      (fun (s : Analysis.Shard.shard) ->
+         if
+           List.exists
+             (fun n -> String.equal (Analysis.Shard.node_name n) name)
+             s.Analysis.Shard.members
+         then Some s.Analysis.Shard.shard_id
+         else None)
+      shard.Analysis.Shard.shards
+  in
+  Alcotest.(check bool) "mon and bal colocated" true
+    (shard_of "mon" = shard_of "bal" && shard_of "mon" <> None);
+  (* Members partition the node set: no duplicates, nothing dropped. *)
+  let members =
+    List.concat_map
+      (fun (s : Analysis.Shard.shard) ->
+         List.map Analysis.Shard.node_name s.Analysis.Shard.members)
+      shard.Analysis.Shard.shards
+  in
+  Alcotest.(check int) "all nodes placed exactly once"
+    (List.length shard.Analysis.Shard.nodes)
+    (List.length (List.sort_uniq String.compare members));
+  (* Cross edges never leave a forced group. *)
+  List.iter
+    (fun (e : Analysis.Shard.edge) ->
+       List.iter
+         (fun g ->
+            let mem n = List.mem n g in
+            if mem e.Analysis.Shard.e_src then
+              Alcotest.(check bool) "group not split by the partition" true
+                (mem e.Analysis.Shard.e_dst
+                 || not (mem e.Analysis.Shard.e_src)))
+         shard.Analysis.Shard.forced_groups)
+    shard.Analysis.Shard.cross_edges;
+  let json = Analysis.Report.partition_json r in
+  match Obs.Json.member "schema" json with
+  | Some (Obs.Json.Str s) ->
+    Alcotest.(check string) "partition schema tag" "umh-partition" s
+  | _ -> Alcotest.fail "partition json missing schema"
+
+let test_analysis_json () =
+  let r = report "models/unschedulable.umh" in
+  let json =
+    Obs.Json.of_string (Obs.Json.to_string (Analysis.Report.to_json r))
+  in
+  (match Obs.Json.member "schedulable" json with
+   | Some (Obs.Json.Bool false) -> ()
+   | _ -> Alcotest.fail "schedulable flag wrong or missing");
+  match Obs.Json.member "shards" json with
+  | Some (Obs.Json.List [ s ]) ->
+    (match Obs.Json.member "feasible" s with
+     | Some (Obs.Json.Bool false) -> ()
+     | _ -> Alcotest.fail "single shard must be infeasible")
+  | _ -> Alcotest.fail "expected exactly one shard"
+
+(* ---- zero-cost contract ---- *)
+
+(* Running the full static analysis between two simulations must not
+   change what the engine computes: same ticks, bit-identical states. *)
+let test_simulation_unperturbed () =
+  let path = "../examples/models/water_tank.umh" in
+  let run () =
+    let checked = load path in
+    let { Dsl.Elaborate.engine; streamer_roles; _ } =
+      Dsl.Elaborate.elaborate checked
+    in
+    Hybrid.Engine.run_until engine 5.0;
+    List.map
+      (fun role ->
+         ( role,
+           Hybrid.Engine.ticks_of engine role,
+           match Hybrid.Engine.solver_of engine role with
+           | Some s -> Array.copy (Hybrid.Solver.state s)
+           | None -> [||] ))
+      streamer_roles
+  in
+  let before = run () in
+  ignore (report path);
+  ignore (report ~wcet:Analysis.Wcet.empty path);
+  let after = run () in
+  List.iter2
+    (fun (role, t1, s1) (role', t2, s2) ->
+       Alcotest.(check string) "same role order" role role';
+       Alcotest.(check int) (role ^ " ticks identical") t1 t2;
+       Alcotest.(check bool) (role ^ " state bit-identical") true
+         (Array.for_all2 (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)) s1 s2))
+    before after
+
+let suite =
+  [ Alcotest.test_case "taskset: rates, timers, budgets" `Quick
+      test_extraction;
+    Alcotest.test_case "taskset: measured > declared, clamping" `Quick
+      test_wcet_resolution;
+    Alcotest.test_case "wcet: json round trip + basename lookup" `Quick
+      test_wcet_roundtrip;
+    Alcotest.test_case "wcet: malformed tables rejected" `Quick
+      test_wcet_rejects_garbage;
+    Alcotest.test_case "rta: exact responses, blocking, overload" `Quick
+      test_rta_verdicts;
+    Alcotest.test_case "report: seeded unschedulable model" `Quick
+      test_unschedulable_model;
+    Alcotest.test_case "report: seeded racy model" `Quick test_racy_model;
+    Alcotest.test_case "report: measured wcet flips the verdict" `Quick
+      test_measured_wcet_flips_verdict;
+    Alcotest.test_case "shard: e3 partition is sound" `Quick test_partition;
+    Alcotest.test_case "report: analysis json shape" `Quick
+      test_analysis_json;
+    Alcotest.test_case "zero-cost: simulation unperturbed" `Quick
+      test_simulation_unperturbed ]
