@@ -236,7 +236,46 @@ let () =
        | None -> fail "missing profile.top");
       true
   in
-  Printf.printf "check_json: %s ok (%d e3 points%s%s)\n" path
+  (* shard: like telemetry/profile, optional (pre-sharding reports lack
+     it) but strict when present. *)
+  let shard_present =
+    match Obs.Json.member "shard" json with
+    | None -> false
+    | Some sh ->
+      (match Obs.Json.member "schema_version" sh with
+       | Some (Obs.Json.Int 1) -> ()
+       | Some _ -> fail "shard.schema_version must be 1"
+       | None -> fail "missing shard.schema_version");
+      List.iter
+        (fun field -> require_float field (Obs.Json.member field sh))
+        [ "horizon_s"; "lookahead_s"; "single_domain_ms" ];
+      positive_int "shard" "streamers" (Obs.Json.member "streamers" sh);
+      positive_int "shard" "cells" (Obs.Json.member "cells" sh);
+      positive_int "shard" "host_cores" (Obs.Json.member "host_cores" sh);
+      (match Obs.Json.member "points" sh with
+       | Some (Obs.Json.List (_ :: _ as pts)) ->
+         List.iter
+           (fun p ->
+              positive_int "shard.points" "domains"
+                (Obs.Json.member "domains" p);
+              require_float "shard.points.wall_ms"
+                (Obs.Json.member "wall_ms" p);
+              require_float "shard.points.speedup_over_single"
+                (Obs.Json.member "speedup_over_single" p))
+           pts
+       | Some _ -> fail "shard.points is not a non-empty list"
+       | None -> fail "missing shard.points");
+      (match Obs.Json.member "event_queue" sh with
+       | Some eq ->
+         positive_int "shard.event_queue" "streamers"
+           (Obs.Json.member "streamers" eq);
+         require_float "shard.event_queue.us_per_streamer_sec"
+           (Obs.Json.member "us_per_streamer_sec" eq)
+       | None -> fail "missing shard.event_queue");
+      true
+  in
+  Printf.printf "check_json: %s ok (%d e3 points%s%s%s)\n" path
     (List.length points)
     (if telemetry_present then ", telemetry" else "")
     (if profile_present then ", profile" else "")
+    (if shard_present then ", shard" else "")

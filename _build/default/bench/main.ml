@@ -1365,6 +1365,200 @@ let micro_tests () =
   in
   [ t1; f1; f2; f3; e1; e2; e3; e4; e5 ]
 
+(* ------------------------------------------------------------------ *)
+(* SHARD — domain-sharded runtime vs the single-domain engine           *)
+(* ------------------------------------------------------------------ *)
+
+(* An e3_cells-style model at bench scale: [cells] independent
+   Src -> Flt -> Flt chains, one pacer capsule linked to the first four
+   sources. Each cell is its own runtime co-location group, so with a
+   constant signal latency the plan spreads cells round-robin over the
+   domains. Generated as DSL source because only the DSL path reaches
+   the sharded engine. *)
+let shard_model cells =
+  let b = Buffer.create (4096 + (cells * 160)) in
+  Buffer.add_string b
+    "model ShardBench\n\n\
+     flowtype Sig { value: float }\n\n\
+     protocol Pace {\n\
+    \  in nudge;\n\
+     }\n\n\
+     streamer Src {\n\
+    \  rate 0.05;\n\
+    \  dport out y : Sig;\n\
+    \  sport ctl : Pace;\n\
+    \  param bias = 0.0;\n\
+    \  init x = 0.1;\n\
+    \  eq x' = -x + bias;\n\
+    \  output y = x + sin(0.7 * t);\n\
+    \  when nudge set bias = 1.0 - bias;\n\
+     }\n\n\
+     streamer Flt {\n\
+    \  rate 0.05;\n\
+    \  dport in u : Sig;\n\
+    \  dport out y : Sig;\n\
+    \  param tau = 0.4;\n\
+    \  init x = 0.0;\n\
+    \  eq x' = (u - x) / tau;\n\
+    \  output y = x;\n\
+     }\n\n\
+     capsule Pacer {\n\
+    \  port c1 : Pace conjugated;\n\
+    \  port c2 : Pace conjugated;\n\
+    \  port c3 : Pace conjugated;\n\
+    \  port c4 : Pace conjugated;\n\
+    \  timer tick = 0.23;\n\
+    \  statemachine {\n\
+    \    initial S1;\n\
+    \    state S1 { on tick -> S2 send nudge via c1; }\n\
+    \    state S2 { on tick -> S3 send nudge via c2; }\n\
+    \    state S3 { on tick -> S4 send nudge via c3; }\n\
+    \    state S4 { on tick -> S1 send nudge via c4; }\n\
+    \  }\n\
+     }\n\n\
+     system {\n\
+    \  capsule pace : Pacer;\n";
+  for c = 0 to cells - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "  streamer g%ds : Src in pace;\n\
+        \  streamer g%df : Flt in pace;\n\
+        \  streamer g%dg : Flt in pace;\n"
+         c c c)
+  done;
+  for c = 0 to cells - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "  flow g%ds.y -> g%df.u;\n  flow g%df.y -> g%dg.u;\n"
+         c c c c)
+  done;
+  for i = 1 to 4 do
+    Buffer.add_string b
+      (Printf.sprintf "  link g%ds.ctl -- pace.c%d;\n" (i - 1) i)
+  done;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* The committed "before" for the event-queue rework: BENCH_PR6's e3
+   point at the same streamer count, recorded with the binary-heap
+   queue. Informational — the file is only present when benching from
+   the repo root. *)
+let pr6_e3_us_per ~streamers =
+  let candidates = [ "BENCH_PR6.json"; "../BENCH_PR6.json" ] in
+  let of_file path =
+    match Obs.Json.of_string (read_file path) with
+    | exception (Sys_error _ | Obs.Json.Parse_error _) -> None
+    | j ->
+      Option.bind (Obs.Json.member "e3" j) (fun e3 ->
+          Option.bind (Obs.Json.member "points" e3) (function
+            | Obs.Json.List pts ->
+              List.find_map
+                (fun p ->
+                   match
+                     ( Obs.Json.member "streamers" p,
+                       Obs.Json.member "us_per_streamer_sec" p )
+                   with
+                   | Some (Obs.Json.Int n), Some (Obs.Json.Float v)
+                     when n = streamers -> Some v
+                   | _ -> None)
+                pts
+            | _ -> None))
+  in
+  List.find_map of_file candidates
+
+let run_shard () =
+  section_header "SHARD"
+    "domain-sharded runtime — epoch-synchronized domains vs one engine";
+  let cells = if !quick then 8 else 341 in
+  let horizon = if !quick then 2. else 5. in
+  let domain_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let lookahead = 0.013 in
+  let latency = Rt.Channel.Constant lookahead in
+  let checked = Dsl.Typecheck.check (Dsl.Parser.parse (shard_model cells)) in
+  let streamers = 3 * cells in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "%d streamers in %d cells (Src -> Flt -> Flt), 20 Hz, %g simulated s,\n\
+     signal latency (= lookahead) %g s; host reports %d usable core(s)\n\n"
+    streamers cells horizon lookahead host_cores;
+  (* The event-queue rework (bucketed near-term wheel replacing the
+     binary heap for the aligned-grid common case), measured on the raw
+     E3 workload at the 256-streamer point where the heap's O(log n)
+     pop cost set the PR6 scaling cliff. Measured before the big
+     sharded workload, from a compacted heap, so earlier sections don't
+     distort it. *)
+  let eq_streamers = 256 in
+  let eq_horizon = if !quick then 2. else 10. in
+  let eq_engine = e3_engine eq_streamers in
+  Gc.compact ();
+  let (), eq_wall =
+    wall (fun () -> Hybrid.Engine.run_until eq_engine eq_horizon)
+  in
+  let eq_after = eq_wall *. 1e6 /. (float_of_int eq_streamers *. eq_horizon) in
+  let eq_before = pr6_e3_us_per ~streamers:eq_streamers in
+  Printf.printf
+    "event queue, raw E3 at %d streamers: %.2f us/streamer-sec%s\n\n"
+    eq_streamers eq_after
+    (match eq_before with
+     | Some b ->
+       Printf.sprintf " (BENCH_PR6 heap: %.2f, x%.2f)" b (b /. eq_after)
+     | None -> " (BENCH_PR6 baseline not found here)");
+  let single_ms =
+    let { Dsl.Elaborate.engine; _ } =
+      Dsl.Elaborate.elaborate ~signal_latency:latency checked
+    in
+    let (), t = wall (fun () -> Hybrid.Engine.run_until engine horizon) in
+    t *. 1e3
+  in
+  Printf.printf "  %-26s %10.1f ms\n" "single-domain engine" single_ms;
+  let points =
+    List.map
+      (fun domains ->
+         let plan =
+           match
+             Shard.Plan.compute ~signal_latency:latency ~shards:domains
+               checked
+           with
+           | Ok p -> p
+           | Error msgs -> failwith (String.concat "; " msgs)
+         in
+         let eng = Shard.Engine.create ~signal_latency:latency plan checked in
+         let (), t = wall (fun () -> Shard.Engine.run eng ~until:horizon) in
+         let ms = t *. 1e3 in
+         Printf.printf "  %-26s %10.1f ms  (x%.2f vs single)\n"
+           (Printf.sprintf "sharded, %d domain(s)" domains)
+           ms (single_ms /. ms);
+         Obs.Json.Obj
+           [ ("domains", Obs.Json.Int domains);
+             ("wall_ms", Obs.Json.Float ms);
+             ("speedup_over_single", Obs.Json.Float (single_ms /. ms)) ])
+      domain_counts
+  in
+  record_json "shard"
+    (Obs.Json.Obj
+       [ ("schema_version", Obs.Json.Int 1);
+         ("streamers", Obs.Json.Int streamers);
+         ("cells", Obs.Json.Int cells);
+         ("horizon_s", Obs.Json.Float horizon);
+         ("lookahead_s", Obs.Json.Float lookahead);
+         ("host_cores", Obs.Json.Int host_cores);
+         ("single_domain_ms", Obs.Json.Float single_ms);
+         ("points", Obs.Json.List points);
+         ("event_queue",
+          Obs.Json.Obj
+            [ ("streamers", Obs.Json.Int eq_streamers);
+              ("horizon_s", Obs.Json.Float eq_horizon);
+              ("us_per_streamer_sec", Obs.Json.Float eq_after);
+              ("us_per_streamer_sec_heap_before",
+               match eq_before with
+               | Some b -> Obs.Json.Float b
+               | None -> Obs.Json.Null) ]) ]);
+  Printf.printf
+    "\nClaim check: the sharded runs stay bit-identical to the single\n\
+     domain while paying one barrier per %g s lookahead window; actual\n\
+     speedup needs real cores (host_cores above) — on a one-core host\n\
+     the extra domains measure pure protocol overhead.\n"
+    lookahead
+
 let run_micro () =
   section_header "MICRO" "Bechamel microbenchmarks (one kernel per experiment)";
   let open Bechamel in
@@ -1418,6 +1612,7 @@ let sections =
     ("causal", run_causal);
     ("telemetry", run_telemetry);
     ("profile", run_profile);
+    ("shard", run_shard);
     ("micro", run_micro) ]
 
 let write_json_report path =

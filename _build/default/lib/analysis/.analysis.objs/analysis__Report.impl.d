@@ -1,1 +1,1 @@
-lib/analysis/report.ml: Dsl Float Format List Model Obs Printf Rt Rta Shard String Taskset
+lib/analysis/report.ml: Digest Dsl Float Format List Model Obs Printf Rt Rta Shard String Taskset

@@ -64,6 +64,7 @@ type t = {
   signal_drop_probability : float;
   outbox : (string * Statechart.Event.t) Queue.t;
   mutable started : bool;
+  mutable outputs_started : bool;
   mutable signals_to_streamers : int;
   mutable signals_to_capsules : int;
   mutable signals_dropped : int;
@@ -77,6 +78,20 @@ type t = {
   mutable degrade_signal : string option;   (* default: Strategy.degrade_signal *)
   mutable solver_faults : int;
   mutable supervisor_restarts : int;
+  (* Cross-shard outbound links: border port -> (remote role, sport,
+     send). Installed by the sharded runtime on the capsule-hosting
+     shard for streamers that live on another domain; the send closure
+     pushes onto an SPSC ring. Empty in single-domain runs. *)
+  remote_links :
+    (string, string * string * (Statechart.Event.t -> unit)) Hashtbl.t;
+  (* Observability handles, resolved against the creating domain's
+     ambient registry so an engine built inside a shard worker counts
+     into that shard's private registry. *)
+  m_ticks : Obs.Metrics.counter;
+  m_flow_samples : Obs.Metrics.counter;
+  m_to_streamers : Obs.Metrics.counter;
+  m_to_capsules : Obs.Metrics.counter;
+  m_dropped : Obs.Metrics.counter;
 }
 
 type stats = {
@@ -85,13 +100,6 @@ type stats = {
   signals_to_capsules : int;
   signals_dropped : int;
 }
-
-(* Process-wide observability of the hybrid execution layer. *)
-let m_ticks = Obs.Metrics.counter "hybrid.ticks"
-let m_flow_samples = Obs.Metrics.counter "hybrid.flow_samples"
-let m_to_streamers = Obs.Metrics.counter "hybrid.signals_to_streamers"
-let m_to_capsules = Obs.Metrics.counter "hybrid.signals_to_capsules"
-let m_dropped = Obs.Metrics.counter "hybrid.signals_dropped"
 
 let create ?(signal_latency = Rt.Channel.Immediate)
     ?(signal_drop_probability = 0.) ?(capsule_latency = 0.) ?root () =
@@ -106,11 +114,17 @@ let create ?(signal_latency = Rt.Channel.Immediate)
     graph = Dataflow.Graph.create (); streamers = Hashtbl.create 16; roles = [];
     dport_map = Hashtbl.create 64; nodes_by_name = Hashtbl.create 32;
     links = []; signal_latency; signal_drop_probability;
-    outbox = Queue.create (); started = false;
+    outbox = Queue.create (); started = false; outputs_started = false;
     signals_to_streamers = 0; signals_to_capsules = 0; signals_dropped = 0;
     seed_counter = 0;
     faults = None; held = Hashtbl.create 8; supervisor = None;
-    degrade_signal = None; solver_faults = 0; supervisor_restarts = 0 }
+    degrade_signal = None; solver_faults = 0; supervisor_restarts = 0;
+    remote_links = Hashtbl.create 4;
+    m_ticks = Obs.Metrics.counter "hybrid.ticks";
+    m_flow_samples = Obs.Metrics.counter "hybrid.flow_samples";
+    m_to_streamers = Obs.Metrics.counter "hybrid.signals_to_streamers";
+    m_to_capsules = Obs.Metrics.counter "hybrid.signals_to_capsules";
+    m_dropped = Obs.Metrics.counter "hybrid.signals_dropped" }
 
 let des t = t.des
 let clock t = t.clock
@@ -136,7 +150,7 @@ let find_link_by_border t border =
 
 let drop_signal (t : t) =
   t.signals_dropped <- t.signals_dropped + 1;
-  Obs.Metrics.incr m_dropped
+  Obs.Metrics.incr t.m_dropped
 
 (* Reorder faults are pairwise swaps: a held delivery waits (keyed by
    direction + role) for the next signal heading the same way, and is
@@ -195,7 +209,7 @@ let apply_signal_fate t ~dir ~role ~sport deliver =
 
 let note_signal_to_capsule (t : t) si event =
   t.signals_to_capsules <- t.signals_to_capsules + 1;
-  Obs.Metrics.incr m_to_capsules;
+  Obs.Metrics.incr t.m_to_capsules;
   Obs.Flightrec.record ~kind:Obs.Flightrec.k_signal_to_capsule
     ~a:si.flight_id
     ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
@@ -502,7 +516,7 @@ let write_outputs t si =
       ~b:Obs.Flightrec.no_label ~sim:(Des.Engine.now t.des);
     ignore (Dataflow.Graph.propagate_from t.graph si.node);
     record_traces t si;
-    Obs.Metrics.add m_flow_samples n
+    Obs.Metrics.add t.m_flow_samples n
   | Out_fn f ->
     let now = Des.Engine.now t.des in
     let state = Solver.state si.solver in
@@ -529,7 +543,7 @@ let write_outputs t si =
       ~b:Obs.Flightrec.no_label ~sim:now;
     ignore (Dataflow.Graph.propagate_from t.graph si.node);
     record_traces t si;
-    Obs.Metrics.add m_flow_samples (List.length outs)
+    Obs.Metrics.add t.m_flow_samples (List.length outs)
 
 let tick_body t si =
   if Obs.Tracer.enabled () then begin
@@ -561,7 +575,7 @@ let tick t si =
     else tick_body t si
   end;
   si.ticks <- si.ticks + 1;
-  Obs.Metrics.incr m_ticks;
+  Obs.Metrics.incr t.m_ticks;
   Obs.Telemetry.on_tick ~sim:(Des.Engine.now t.des)
 
 (* Capsule -> streamer delivery (after channel latency): synchronize the
@@ -570,7 +584,7 @@ let deliver_to_streamer t si (sport, event) =
   ignore sport;
   if not si.frozen then sync_streamer t si;
   t.signals_to_streamers <- t.signals_to_streamers + 1;
-  Obs.Metrics.incr m_to_streamers;
+  Obs.Metrics.incr t.m_to_streamers;
   Obs.Flightrec.record ~kind:Obs.Flightrec.k_signal_to_streamer
     ~a:si.flight_id
     ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
@@ -809,6 +823,22 @@ let link_sport t ~role ~sport ~border_port =
        Ok ()
      | e :: _ -> Error e)
 
+(* Sharded runtime: the streamer behind this border port lives on
+   another domain; capsule sends to it leave through [send] (an SPSC
+   push) instead of a local channel. *)
+let link_sport_remote t ~role ~sport ~border_port ~send =
+  Hashtbl.replace t.remote_links border_port (role, sport, send)
+
+(* Sharded runtime, receiving side: a cross-shard signal sent at
+   [sent] arrives through the streamer's own channel so latency
+   sampling, stats and mailbox FIFO order are identical to a local
+   send — only the scheduling anchor differs (the original send time,
+   not the current clock). *)
+let deliver_remote t ~role ~sport ~sent event =
+  match Hashtbl.find_opt t.streamers role with
+  | Some si -> Rt.Channel.send_stamped si.channel ~sent (sport, event)
+  | None -> drop_signal t
+
 let link_sport_exn t ~role ~sport ~border_port =
   match link_sport t ~role ~sport ~border_port with
   | Ok () -> ()
@@ -822,7 +852,11 @@ let route_border_message t ~port event =
        apply_signal_fate t ~dir:"c2s:" ~role:si.role ~sport:link.l_sport
          (fun () -> Rt.Channel.send si.channel (link.l_sport, event))
      | None -> drop_signal t)
-  | None -> Queue.push (port, event) t.outbox
+  | None ->
+    (match Hashtbl.find_opt t.remote_links port with
+     | Some (role, sport, send) ->
+       apply_signal_fate t ~dir:"c2s:" ~role ~sport (fun () -> send event)
+     | None -> Queue.push (port, event) t.outbox)
 
 let prime_guards si =
   let ng = Array.length si.garr in
@@ -836,9 +870,18 @@ let prime_guards si =
     si.gprimed <- true
   end
 
-let start t =
-  if not t.started then begin
-    t.started <- true;
+(* [start] in two phases so the shard coordinator can interleave them
+   across engines: phase one installs the border interceptor, writes
+   initial outputs, primes guards and arms the tick timers; phase two
+   starts the capsule behaviours. The telemetry seq-0 record sits
+   exactly between the phases — in a sharded run the coordinator runs
+   phase one on EVERY shard, emits the merged seq-0 record itself, then
+   runs phase two everywhere, so the baseline record's content (initial
+   outputs written, tick timers armed, no behaviours yet) is the same
+   sum the single-domain record reads. *)
+let start_outputs t =
+  if not t.outputs_started then begin
+    t.outputs_started <- true;
     (match t.runtime with
      | Some rt ->
        Umlrt.Runtime.set_environment_listener rt (fun ~port event ->
@@ -855,26 +898,30 @@ let start t =
            ignore
              (Des.Timer.periodic t.des ~name:role ~period:(Streamer.rate si.def)
                 (fun _ -> tick t si)))
-      leaves;
-    (* Telemetry: a seq-0 record at start (so every stream opens with
-       its baseline), then the sim-time cadence rides the per-tick hook
-       — an emitter timer in the event queue would deepen the heap for
-       every push/pop of the run, which costs more than the records
-       themselves on tick-dense models. Engines with no streamers have
-       no ticks (and no hot queue), so they arm the timer instead. The
-       emitter only reads runtime state — a run with telemetry on stays
-       bit-identical to one without. *)
-    if Obs.Telemetry.enabled () then begin
-      Obs.Telemetry.begin_stream ~sim:(Des.Engine.now t.des);
-      if Hashtbl.length t.streamers = 0 then
-        ignore
-          (Des.Timer.periodic t.des ~name:"umh.telemetry"
-             ~period:(Obs.Telemetry.every ())
-             (fun _ -> Obs.Telemetry.emit ~sim:(Des.Engine.now t.des)))
-    end;
+      leaves
+  end
+
+let start_rest t =
+  if not t.started then begin
+    t.started <- true;
     (match t.runtime with
      | Some rt -> Umlrt.Runtime.start_behaviors rt
      | None -> ())
+  end
+
+let start t =
+  if not t.started then begin
+    start_outputs t;
+    (* Telemetry: a seq-0 record at start (so every stream opens with
+       its baseline); the sim-time cadence is driven by the DES loop
+       itself ([Obs.Telemetry.advance_before] in [Des.Engine.step]), so
+       records are cut at quiescent points — a pure function of the
+       event history, reproducible by the sharded coordinator. The
+       emitter only reads runtime state — a run with telemetry on stays
+       bit-identical to one without. *)
+    if Obs.Telemetry.enabled () then
+      Obs.Telemetry.begin_stream ~sim:(Des.Engine.now t.des);
+    start_rest t
   end
 
 let run_until t time =

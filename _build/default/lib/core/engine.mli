@@ -67,9 +67,34 @@ val link_sport :
 
 val link_sport_exn : t -> role:string -> sport:string -> border_port:string -> unit
 
+val link_sport_remote :
+  t -> role:string -> sport:string -> border_port:string
+  -> send:(Statechart.Event.t -> unit) -> unit
+(** Sharded runtime only: the streamer behind [border_port] lives on
+    another domain; capsule messages routed to that border leave through
+    [send] (an SPSC-ring push installed by the shard coordinator)
+    instead of a local channel. *)
+
+val deliver_remote :
+  t -> role:string -> sport:string -> sent:float -> Statechart.Event.t -> unit
+(** Sharded runtime only, receiving side: inject a cross-shard signal
+    that was sent at the (earlier) instant [sent] on the capsule shard.
+    It flows through the streamer's own channel ({!Rt.Channel.send_stamped}),
+    so latency sampling, stats and delivery order are bit-identical to a
+    local send at that instant. *)
+
 val start : t -> unit
 (** Write initial outputs, arm streamer tick timers, install the border
     interceptor. Idempotent. *)
+
+val start_outputs : t -> unit
+(** Phase one of {!start} alone (border interceptor, initial outputs,
+    guard priming, tick timers — no capsule behaviours, no telemetry
+    record). The shard coordinator runs this on every shard before
+    emitting the merged seq-0 telemetry record itself. Idempotent. *)
+
+val start_rest : t -> unit
+(** Phase two of {!start} alone (capsule behaviours). Idempotent. *)
 
 val run_until : t -> float -> unit
 (** {!start} if needed, then run the DES until the given time. *)

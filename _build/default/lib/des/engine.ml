@@ -2,18 +2,19 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : float;
   mutable executed : int;
+  (* Resolved against the creating domain's ambient registry, so an
+     engine built inside a shard worker counts into that shard's private
+     registry — hot-path updates are a field store, never a lookup. *)
+  m_events : Obs.Metrics.counter;
+  m_depth : Obs.Metrics.gauge;
 }
 
 type handle = (unit -> unit) Event_queue.handle
 
-(* Process-wide observability: one event counter and a queue-depth gauge
-   (the gauge tracks the engine that scheduled/dispatched most recently,
-   which is the only engine in every CLI and bench entry point). *)
-let m_events = Obs.Metrics.counter "des.events_executed"
-let m_depth = Obs.Metrics.gauge "des.queue_depth"
-
 let create ?(start = 0.) () =
-  { queue = Event_queue.create (); clock = start; executed = 0 }
+  { queue = Event_queue.create (); clock = start; executed = 0;
+    m_events = Obs.Metrics.counter "des.events_executed";
+    m_depth = Obs.Metrics.gauge "des.queue_depth" }
 
 let now t = t.clock
 
@@ -44,7 +45,7 @@ let schedule_at t ?priority ~time callback =
     callback ()
   in
   let h = Event_queue.push t.queue ~time ?priority run in
-  Obs.Metrics.set m_depth (float_of_int (Event_queue.live_count t.queue));
+  Obs.Metrics.set t.m_depth (float_of_int (Event_queue.live_count t.queue));
   h
 
 let schedule t ?priority ~delay callback =
@@ -59,14 +60,21 @@ let pending t = Event_queue.length t.queue
 let next_time t = Event_queue.peek_time t.queue
 
 let step t =
+  (* Telemetry sim-cadence: cut the record at the quiescent point just
+     before the event that crosses a boundary. The [enabled] guard keeps
+     the extra peek off the path when telemetry is off. *)
+  if Obs.Telemetry.enabled () then
+    (match Event_queue.peek_time t.queue with
+     | Some next -> Obs.Telemetry.advance_before ~next
+     | None -> ());
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, callback) ->
     t.clock <- time;
     t.executed <- t.executed + 1;
-    Obs.Metrics.incr m_events;
+    Obs.Metrics.incr t.m_events;
     let depth = Event_queue.live_count t.queue in
-    Obs.Metrics.set m_depth (float_of_int depth);
+    Obs.Metrics.set t.m_depth (float_of_int depth);
     if Obs.Tracer.enabled () then begin
       let start = Obs.Tracer.now_ns () in
       callback ();
@@ -94,6 +102,7 @@ let run_until t bound =
   in
   let executed = loop 0 in
   t.clock <- bound;
+  Obs.Telemetry.flush_upto ~upto:bound;
   executed
 
 let run_to_completion t ?(max_events = 10_000_000) () =

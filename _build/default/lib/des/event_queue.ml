@@ -1,14 +1,32 @@
-(* The payload lives INSIDE its heap entry as a mutable option and is
-   nulled the moment the entry leaves the live set: at [pop], and — since
-   deletion is lazy, so a cancelled entry stays in the heap until it
-   bubbles to the top — also at [cancel]. A cancelled far-future event
-   therefore cannot pin a large payload for the rest of the run. Free
-   heap slots point at a per-queue payload-free dummy, so a freed slot
-   really is [None]. *)
+(* Bucketed priority queue. The heap used to hold one node per event;
+   on timer-driven workloads where many streamers share a tick grid
+   (the E3 scaling benchmark: hundreds of entries at the same instant)
+   every push/pop paid O(log n) sifts through a deep heap of mostly
+   equal keys — the per-streamer cost cliff at 256+ streamers in
+   BENCH_PR6. Now the heap holds one node per distinct (time, priority)
+   key and events at the same key live in an append-only FIFO array
+   inside the bucket, so the aligned-grid workload degenerates to a
+   handful of buckets with O(1) amortised push/pop regardless of the
+   streamer count. Pop order is still exactly (time, priority,
+   insertion sequence): within a bucket, appends happen in sequence
+   order; across buckets with equal keys (possible when a bucket
+   empties and its key is scheduled again) the bucket creation index
+   breaks the tie, and every entry of an older bucket predates every
+   entry of a younger one with the same key because buckets are only
+   appended to while they are the push cache.
+
+   The payload lives INSIDE its entry as a mutable option and is nulled
+   the moment the entry leaves the live set: at [pop], and — since
+   deletion is lazy, so a cancelled entry stays in its bucket until it
+   reaches the front — also at [cancel]. A cancelled far-future event
+   therefore cannot pin a large payload for the rest of the run. Freed
+   bucket slots point at a per-queue payload-free dummy, and emptied
+   buckets leave the heap immediately, so popped storage really is
+   collectable. *)
 type 'a entry = {
   time : float;
-  priority : int;
-  seq : int;
+  priority : int;  [@warning "-69"]  (* carried for diagnostics *)
+  seq : int;  [@warning "-69"]  (* global insertion order, for diagnostics *)
   mutable cancelled : bool;
   mutable popped : bool;
   mutable payload : 'a option;
@@ -17,51 +35,74 @@ type 'a entry = {
 
 type 'a handle = 'a entry
 
+type 'a bucket = {
+  b_time : float;
+  b_priority : int;
+  b_seq : int;  (* creation index: tie-break between equal-key buckets *)
+  mutable items : 'a entry array;  (* [head, used) are pending, FIFO *)
+  mutable used : int;
+  mutable head : int;
+  mutable in_heap : bool;  (* guards the push cache against stale hits *)
+}
+
 type 'a t = {
-  mutable entries : 'a entry array;  (* prefix [0, size) is the heap *)
-  dummy : 'a entry;                  (* filler for free slots *)
+  dummy : 'a entry;          (* filler for freed item slots *)
+  dummy_bucket : 'a bucket;  (* filler for freed heap slots *)
+  mutable heap : 'a bucket array;  (* prefix [0, size) is the heap *)
   mutable size : int;
   mutable next_seq : int;
+  mutable next_bseq : int;
+  mutable cache : 'a bucket; (* last bucket pushed into *)
   live : int ref;  (* live (scheduled, not cancelled, not popped) entries *)
 }
 
 let min_capacity = 8
+let min_items = 4
 
 let create () =
   let dummy =
     { time = neg_infinity; priority = 0; seq = -1; cancelled = true;
       popped = true; payload = None; live = ref 0 }
   in
-  { entries = [||]; dummy; size = 0; next_seq = 0; live = ref 0 }
+  let dummy_bucket =
+    { b_time = neg_infinity; b_priority = 0; b_seq = -1; items = [||];
+      used = 0; head = 0; in_heap = false }
+  in
+  { dummy; dummy_bucket; heap = [||]; size = 0; next_seq = 0; next_bseq = 0;
+    cache = dummy_bucket; live = ref 0 }
 
 let live_count t = !(t.live)
 
-let capacity t = Array.length t.entries
+let capacity t = Array.length t.heap
 
-(* Cancelled entries stay in the heap until they reach the top (lazy
-   deletion), so [length] walks the array — it is only used by tests and
-   diagnostics, never on the hot path. *)
+(* Cancelled entries stay in their bucket until they reach the front
+   (lazy deletion), so [length] walks everything — it is only used by
+   tests and diagnostics, never on the hot path. *)
 let length t =
   let n = ref 0 in
   for i = 0 to t.size - 1 do
-    if not t.entries.(i).cancelled then incr n
+    let b = t.heap.(i) in
+    for j = b.head to b.used - 1 do
+      if not b.items.(j).cancelled then incr n
+    done
   done;
   !n
 
 let before a b =
-  a.time < b.time
-  || (a.time = b.time
-      && (a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)))
+  a.b_time < b.b_time
+  || (a.b_time = b.b_time
+      && (a.b_priority < b.b_priority
+          || (a.b_priority = b.b_priority && a.b_seq < b.b_seq)))
 
 let swap t i j =
-  let e = t.entries.(i) in
-  t.entries.(i) <- t.entries.(j);
-  t.entries.(j) <- e
+  let b = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- b
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.entries.(i) t.entries.(parent) then begin
+    if before t.heap.(i) t.heap.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -71,17 +112,25 @@ let rec sift_down t i =
   let l = (2 * i) + 1 in
   let r = l + 1 in
   let smallest = ref i in
-  if l < t.size && before t.entries.(l) t.entries.(!smallest) then smallest := l;
-  if r < t.size && before t.entries.(r) t.entries.(!smallest) then smallest := r;
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let resize t cap =
-  let entries' = Array.make cap t.dummy in
-  Array.blit t.entries 0 entries' 0 t.size;
-  t.entries <- entries'
+  let heap' = Array.make cap t.dummy_bucket in
+  Array.blit t.heap 0 heap' 0 t.size;
+  t.heap <- heap'
+
+let heap_push t b =
+  if t.size >= Array.length t.heap then
+    resize t (if Array.length t.heap = 0 then min_capacity
+              else 2 * Array.length t.heap);
+  t.heap.(t.size) <- b;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
 
 let push t ~time ?(priority = 0) payload =
   if Float.is_nan time then invalid_arg "Des.Event_queue.push: NaN time";
@@ -91,12 +140,28 @@ let push t ~time ?(priority = 0) payload =
   in
   t.next_seq <- t.next_seq + 1;
   incr t.live;
-  if t.size >= Array.length t.entries then
-    resize t (if Array.length t.entries = 0 then min_capacity
-              else 2 * Array.length t.entries);
-  t.entries.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1);
+  let b =
+    let c = t.cache in
+    if c.in_heap && c.b_time = time && c.b_priority = priority then c
+    else begin
+      let b =
+        { b_time = time; b_priority = priority; b_seq = t.next_bseq;
+          items = Array.make min_items t.dummy; used = 0; head = 0;
+          in_heap = true }
+      in
+      t.next_bseq <- t.next_bseq + 1;
+      heap_push t b;
+      t.cache <- b;
+      b
+    end
+  in
+  if b.used >= Array.length b.items then begin
+    let items' = Array.make (2 * Array.length b.items) t.dummy in
+    Array.blit b.items 0 items' 0 b.used;
+    b.items <- items'
+  end;
+  b.items.(b.used) <- entry;
+  b.used <- b.used + 1;
   entry
 
 let cancel entry =
@@ -108,23 +173,35 @@ let cancel entry =
 
 let is_cancelled entry = entry.cancelled
 
-(* Remove the root: move the last entry onto it and clear the freed slot
-   so the entry (and its payload) is collectable. When occupancy falls
-   below a quarter, halve the array so a burst of scheduling does not pin
-   its high-water capacity forever. *)
+(* Remove the root bucket: move the last bucket onto it and clear the
+   freed slot so the bucket (and its item storage) is collectable. When
+   occupancy falls below a quarter, halve the array so a burst of
+   scheduling does not pin its high-water capacity forever. *)
 let remove_top t =
+  let b = t.heap.(0) in
+  b.in_heap <- false;
   t.size <- t.size - 1;
-  if t.size > 0 then t.entries.(0) <- t.entries.(t.size);
-  t.entries.(t.size) <- t.dummy;
+  if t.size > 0 then t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- t.dummy_bucket;
   if t.size > 0 then sift_down t 0;
-  let cap = Array.length t.entries in
+  let cap = Array.length t.heap in
   if cap > min_capacity && t.size < cap / 4 then
     resize t (let c = cap / 2 in if c < min_capacity then min_capacity else c)
 
+(* Advance the root bucket past cancelled entries, dropping the bucket
+   when it empties, until the root's front entry is live (or the heap
+   is empty). *)
 let rec drop_cancelled t =
-  if t.size > 0 && t.entries.(0).cancelled then begin
-    remove_top t;
-    drop_cancelled t
+  if t.size > 0 then begin
+    let b = t.heap.(0) in
+    while b.head < b.used && b.items.(b.head).cancelled do
+      b.items.(b.head) <- t.dummy;
+      b.head <- b.head + 1
+    done;
+    if b.head >= b.used then begin
+      remove_top t;
+      drop_cancelled t
+    end
   end
 
 let is_empty t =
@@ -133,19 +210,22 @@ let is_empty t =
 
 let peek_time t =
   drop_cancelled t;
-  if t.size = 0 then None else Some t.entries.(0).time
+  if t.size = 0 then None else Some t.heap.(0).b_time
 
 let pop t =
   drop_cancelled t;
   if t.size = 0 then None
   else begin
-    let e = t.entries.(0) in
+    let b = t.heap.(0) in
+    let e = b.items.(b.head) in
+    b.items.(b.head) <- t.dummy;
+    b.head <- b.head + 1;
+    if b.head >= b.used then remove_top t;
     let payload =
       match e.payload with
       | Some p -> p
-      | None -> assert false  (* live heap entries always hold payloads *)
+      | None -> assert false  (* live entries always hold payloads *)
     in
-    remove_top t;
     e.popped <- true;
     e.payload <- None;
     decr t.live;

@@ -1,8 +1,13 @@
 (** Priority queue of timestamped events.
 
-    Binary min-heap ordered by (time, priority, insertion sequence), so
-    simultaneous events run in deterministic FIFO order within a priority
-    level. Cancellation is O(1) lazy deletion. *)
+    A binary min-heap of (time, priority) buckets; events sharing a key
+    live in an append-only FIFO array inside their bucket, so workloads
+    where many timers share a tick grid pay O(1) amortised push/pop
+    instead of O(log n) sifts through a heap of equal keys. Pop order is
+    exactly (time, priority, insertion sequence) — simultaneous events
+    run in deterministic FIFO order within a priority level, identical
+    to the former one-node-per-event heap. Cancellation is O(1) lazy
+    deletion. *)
 
 type 'a t
 
@@ -20,11 +25,13 @@ val live_count : 'a t -> int
 (** Same value as [length], maintained incrementally — O(1). *)
 
 val capacity : 'a t -> int
-(** Current backing-array capacity. Grows by doubling and halves when
-    occupancy drops below a quarter (never below the initial 8), so a
-    scheduling burst does not pin its high-water storage. Freed slots are
-    cleared, so popped payloads are collectable immediately — exposed for
-    the retention regression tests. *)
+(** Current bucket-heap capacity (one slot per distinct pending
+    (time, priority) key). Grows by doubling and halves when occupancy
+    drops below a quarter (never below the initial 8), so a scheduling
+    burst does not pin its high-water storage. Freed slots are cleared
+    and emptied buckets leave the heap at once, so popped payloads are
+    collectable immediately — exposed for the retention regression
+    tests. *)
 
 val is_empty : 'a t -> bool
 

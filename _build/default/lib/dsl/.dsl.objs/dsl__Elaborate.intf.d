@@ -1,1 +1,1 @@
-lib/dsl/elaborate.mli: Ast Hybrid Rt Typecheck
+lib/dsl/elaborate.mli: Ast Hybrid Rt Statechart Typecheck

@@ -1,1 +1,1 @@
-lib/obs/causal.ml: Array Clock Int
+lib/obs/causal.ml: Array Clock Domain Int

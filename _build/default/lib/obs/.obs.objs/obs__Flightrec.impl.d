@@ -1,1 +1,1 @@
-lib/obs/flightrec.ml: Array Causal Clock Float Hashtbl Int Json List
+lib/obs/flightrec.ml: Array Causal Clock Domain Float Hashtbl Int Json List Mutex

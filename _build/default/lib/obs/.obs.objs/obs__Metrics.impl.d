@@ -1,1 +1,1 @@
-lib/obs/metrics.ml: Array Float Format Hashtbl Int Json List Printf String
+lib/obs/metrics.ml: Array Domain Float Format Hashtbl Int Json List Printf String

@@ -1,1 +1,1 @@
-lib/obs/telemetry.ml: Array Buffer Bytes Char Clock Flightrec Float Hashtbl Json List Metrics Printf Profile String
+lib/obs/telemetry.ml: Array Buffer Bytes Char Clock Domain Flightrec Float Hashtbl Json List Metrics Printf Profile String

@@ -1,1 +1,1 @@
-lib/obs/telemetry.mli:
+lib/obs/telemetry.mli: Metrics

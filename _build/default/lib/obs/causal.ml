@@ -7,8 +7,32 @@
 
 let none = 0
 
-let counter = ref 0
-let cur = ref none
+(* Minting state is domain-local so worker domains never contend on the
+   counter. Each domain mints from an arithmetic progression
+   [base + k*stride]: the main domain (and any domain that never calls
+   [set_identity]) uses base=0, stride=1 — the historical dense IDs —
+   while the sharded runtime gives worker domain [d] of [n] the identity
+   (base=d, stride=n), so IDs minted on different domains never collide
+   and [id mod n] recovers the minting shard. *)
+type ctx = {
+  mutable counter : int;  (* count of IDs minted by this domain *)
+  mutable cur : int;
+  mutable base : int;
+  mutable stride : int;
+}
+
+let ctx_key : ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { counter = 0; cur = none; base = 0; stride = 1 })
+
+let[@inline] ctx () = Domain.DLS.get ctx_key
+
+let set_identity ~base ~stride =
+  if stride < 1 || base < 0 || base >= stride then
+    invalid_arg "Obs.Causal.set_identity: need 0 <= base < stride";
+  let c = ctx () in
+  c.base <- base;
+  c.stride <- stride
 
 (* Birth timestamps, indexed by cause ID: the coarse wall clock at mint
    time. Off by default — the profiler switches tracking on so its
@@ -42,16 +66,19 @@ let birth_ns id =
   if id > 0 && id < Array.length arr then arr.(id) else 0
 
 let mint () =
-  incr counter;
-  cur := !counter;
-  if !track then note_birth !counter;
-  !counter
+  let c = ctx () in
+  c.counter <- c.counter + 1;
+  let id = c.base + (c.counter * c.stride) in
+  c.cur <- id;
+  if !track then note_birth id;
+  id
 
-let[@inline] current () = !cur
-let set id = cur := id
-let minted () = !counter
+let[@inline] current () = (ctx ()).cur
+let set id = (ctx ()).cur <- id
+let minted () = (ctx ()).counter
 
 let reset () =
-  counter := 0;
-  cur := none;
+  let c = ctx () in
+  c.counter <- 0;
+  c.cur <- none;
   if !track then births := [||]

@@ -51,7 +51,13 @@ let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
 let labels = ref (Array.make 64 "")
 let n_labels = ref 1 (* slot 0 = no label *)
 
+(* The intern table is process-global (ids must agree across domains so
+   entries survive domain hops); a mutex guards it. Interning is a
+   setup-time path, never steady-state, so the lock is uncontended. *)
+let intern_mu = Mutex.create ()
+
 let intern s =
+  Mutex.protect intern_mu @@ fun () ->
   match Hashtbl.find_opt intern_tbl s with
   | Some id -> id
   | None ->
@@ -113,6 +119,19 @@ let create () =
 
 let default = create ()
 
+(* The ambient ring is domain-local: the main domain records into
+   [default]; the sharded runtime gives each worker domain a private
+   ring so hot-path stores never race. Crash reports and telemetry on
+   the main domain read the ambient (= default) ring; the coordinator
+   sums per-ring totals via [ring_total]/[ring_dropped]. *)
+let ring_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> default)
+
+let ambient () = Domain.DLS.get ring_key
+let set_ambient r = Domain.DLS.set ring_key r
+
+let ring_total t = t.total
+let ring_dropped t = Int.max 0 (t.total - capacity)
+
 let flag = ref true
 let enabled () = !flag
 let set_enabled on = flag := on
@@ -131,7 +150,7 @@ let value_bit = 0x100
    only ever assigned values in [0, capacity). *)
 let record ~kind ~a ~b ~sim =
   if !flag then begin
-    let t = default in
+    let t = Domain.DLS.get ring_key in
     let i = t.next in
     let base = i * stride in
     Array.unsafe_set t.ints (base + f_pack) (pack ~kind ~a ~b);
@@ -146,7 +165,7 @@ let record ~kind ~a ~b ~sim =
    budgets). Only used off the steady-state tick path. *)
 let record_v ~kind ~a ~b ~sim v =
   if !flag then begin
-    let t = default in
+    let t = Domain.DLS.get ring_key in
     let i = t.next in
     let base = i * stride in
     t.ints.(base + f_pack) <- pack ~kind:(kind lor value_bit) ~a ~b;
@@ -169,15 +188,15 @@ type entry = {
 }
 
 let length () =
-  let t = default in
+  let t = Domain.DLS.get ring_key in
   if t.total < capacity then t.total else capacity
 
-let total () = default.total
+let total () = (Domain.DLS.get ring_key).total
 
-let dropped () = Int.max 0 (default.total - capacity)
+let dropped () = Int.max 0 ((Domain.DLS.get ring_key).total - capacity)
 
 let clear () =
-  let t = default in
+  let t = Domain.DLS.get ring_key in
   Array.fill t.ints 0 (capacity * stride) 0;
   Array.fill t.sim 0 capacity 0.;
   Array.fill t.value 0 capacity Float.nan;
@@ -187,7 +206,7 @@ let clear () =
 (* Oldest-first snapshot of the window. Allocates freely — only called
    when building a crash report or in tests. *)
 let entries () =
-  let t = default in
+  let t = Domain.DLS.get ring_key in
   let n = length () in
   let start = if t.total < capacity then 0 else t.next in
   List.init n (fun i ->

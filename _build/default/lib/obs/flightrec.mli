@@ -48,6 +48,27 @@ val label : int -> string
 val capacity : int
 (** Ring size (entries retained). *)
 
+type t
+(** One ring. Recording always targets the calling domain's ambient
+    ring ({!ambient}); the main domain's ambient ring is the process
+    default, so single-domain programs never see this type. *)
+
+val create : unit -> t
+
+val ambient : unit -> t
+(** The calling domain's ring — the process default unless the domain
+    called {!set_ambient}. *)
+
+val set_ambient : t -> unit
+(** Give the calling domain a private ring. The sharded runtime does
+    this per worker domain so hot-path stores never race; interned label
+    ids stay valid across domains (the intern table is process-global
+    and locked). *)
+
+val ring_total : t -> int
+val ring_dropped : t -> int
+(** Per-ring totals, for a coordinator summing across shard rings. *)
+
 val enabled : unit -> bool
 (** On by default. *)
 

@@ -23,6 +23,16 @@ let create () = { table = Hashtbl.create 32 }
 
 let default = create ()
 
+(* The ambient registry is domain-local: the main domain (and any domain
+   that never calls [set_ambient]) resolves to [default], so single-domain
+   programs are unchanged. The sharded runtime points each worker domain
+   at its own registry so hot-path counter updates never race across
+   domains; the shard coordinator merges them at sync points. *)
+let ambient_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> default)
+
+let ambient () = Domain.DLS.get ambient_key
+let set_ambient r = Domain.DLS.set ambient_key r
+
 let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
@@ -33,7 +43,7 @@ let mismatch name existing wanted =
     (Printf.sprintf "Obs.Metrics: %S is a %s, not a %s" name
        (kind_name existing) wanted)
 
-let counter ?(registry = default) name =
+let counter ?(registry = ambient ()) name =
   match Hashtbl.find_opt registry.table name with
   | Some (Counter c) -> c
   | Some m -> mismatch name m "counter"
@@ -46,7 +56,7 @@ let incr c = c.count <- c.count + 1
 let add c n = c.count <- c.count + n
 let value c = c.count
 
-let gauge ?(registry = default) name =
+let gauge ?(registry = ambient ()) name =
   match Hashtbl.find_opt registry.table name with
   | Some (Gauge g) -> g
   | Some m -> mismatch name m "gauge"
@@ -77,7 +87,7 @@ let validate_bounds bounds =
       invalid_arg "Obs.Metrics.histogram: bounds must be strictly increasing"
   done
 
-let histogram ?(registry = default) ?(bounds = default_bounds) name =
+let histogram ?(registry = ambient ()) ?(bounds = default_bounds) name =
   match Hashtbl.find_opt registry.table name with
   | Some (Histogram h) -> h
   | Some m -> mismatch name m "histogram"
@@ -154,12 +164,14 @@ let merge_histogram ~into src =
   if src.h_min < into.h_min then into.h_min <- src.h_min;
   if src.h_max > into.h_max then into.h_max <- src.h_max
 
-let merge ~into src =
+let merge ?(sum_gauges = false) ~into src =
   List.iter
     (fun (name, m) ->
        match m with
        | Counter c -> add (counter ~registry:into name) c.count
-       | Gauge g -> set (gauge ~registry:into name) g.gvalue
+       | Gauge g ->
+         let h = gauge ~registry:into name in
+         set h (if sum_gauges then gauge_value h +. g.gvalue else g.gvalue)
        | Histogram h ->
          merge_histogram ~into:(histogram ~registry:into ~bounds:h.bounds name) h)
     (List.sort

@@ -23,6 +23,18 @@ val create : unit -> t
 val default : t
 (** The process-wide registry used by the instrumented runtime layers. *)
 
+val ambient : unit -> t
+(** The calling domain's ambient registry: {!default} unless the domain
+    called {!set_ambient}. This is what [?registry] defaults to, so
+    instrumented modules that register metrics at instance-creation time
+    land in the registry of the domain doing the creating. *)
+
+val set_ambient : t -> unit
+(** Point the calling domain's ambient registry somewhere else. The
+    sharded runtime gives each worker domain a private registry so
+    hot-path updates never race; the coordinator merges them with
+    {!merge} at sync points. *)
+
 val counter : ?registry:t -> string -> counter
 (** Get or create. Raises [Invalid_argument] if the name is already bound
     to a different metric kind. *)
@@ -63,7 +75,7 @@ val merge_histogram : into:histogram -> histogram -> unit
     never a best-effort. Merging an empty histogram is a no-op on the
     observations and leaves min/max untouched. *)
 
-val merge : into:t -> t -> unit
+val merge : ?sum_gauges:bool -> into:t -> t -> unit
 (** Merge every metric of [src] into [into], creating missing metrics
     (histograms with [src]'s bounds): counters add, histograms
     {!merge_histogram}, gauges take [src]'s value (last-writer-wins —

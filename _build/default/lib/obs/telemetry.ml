@@ -37,6 +37,38 @@ let default_every = 0.1
 
 let on = ref false
 let sink : (string -> unit) ref = ref ignore
+
+(* Telemetry state belongs to one domain: the one that called
+   [configure]. Worker domains of a sharded run share the engine code
+   paths (and so reach the same hooks) but must never emit — the
+   coordinator replays the cadence at epoch barriers over the merged
+   registries instead. The guard is one int compare on the hot path. *)
+let primary = ref (-1)
+
+let[@inline] is_primary () = (Domain.self () :> int) = !primary
+
+(* Where a record reads its data: the main registry by default; the
+   shard coordinator retargets both to the merged per-shard view at
+   sync points, then restores. *)
+let source = ref Metrics.default
+
+let flight_stats =
+  ref (fun () -> (Flightrec.total (), Flightrec.dropped ()))
+
+(* Retargeting must invalidate the prebuilt plan: the new registry can
+   have the same size as the old one. [plan_for] is defined below; wire
+   the invalidation through a forward ref. *)
+let invalidate_plan = ref (fun () -> ())
+
+let set_source r =
+  source := r;
+  !invalidate_plan ()
+
+let set_flight_stats f = flight_stats := f
+
+let reset_sources () =
+  source := Metrics.default;
+  flight_stats := (fun () -> (Flightrec.total (), Flightrec.dropped ()))
 let every_s = ref default_every
 let tick_every = ref 0
 let tick_left = ref 0
@@ -68,6 +100,7 @@ type slot = {
 
 let plan : slot array ref = ref [||]
 let plan_for = ref (-1) (* Metrics.size the plan was built against *)
+let () = invalidate_plan := fun () -> plan_for := -1
 let prev_flight_total = ref 0
 let prev_flight_dropped = ref 0
 let buf = Buffer.create 1024
@@ -84,7 +117,7 @@ let render_key name =
 let rebuild_plan () =
   let old = Hashtbl.create (Array.length !plan) in
   Array.iter (fun s -> Hashtbl.replace old s.s_key s) !plan;
-  let entries = Metrics.metrics Metrics.default in
+  let entries = Metrics.metrics !source in
   plan :=
     Array.of_list
       (List.map
@@ -94,7 +127,7 @@ let rebuild_plan () =
             | Some s -> { s with s_metric = m }
             | None -> { s_key = key; s_metric = m; s_prev_i = 0; s_prev_f = 0. })
          entries);
-  plan_for := Metrics.size Metrics.default
+  plan_for := Metrics.size !source
 
 let enabled () = !on
 let every () = !every_s
@@ -111,6 +144,7 @@ let configure ?(every = default_every) ?(every_ticks = 0) ?(top = 8) write =
   tick_every := every_ticks;
   tick_left := every_ticks;
   profile_top := top;
+  primary := (Domain.self () :> int);
   seq := 0;
   due_origin := 0.;
   due_k := 0;
@@ -186,7 +220,7 @@ let add_float b f =
 
 let emit ~sim =
   if !on then begin
-    if Metrics.size Metrics.default <> !plan_for then rebuild_plan ();
+    if Metrics.size !source <> !plan_for then rebuild_plan ();
     let plan = !plan in
     Buffer.clear buf;
     Buffer.add_string buf "{\"schema\":\"";
@@ -252,7 +286,7 @@ let emit ~sim =
            s.s_prev_f <- sum
          | _ -> ())
       plan;
-    let ft = Flightrec.total () and fd = Flightrec.dropped () in
+    let ft, fd = !flight_stats () in
     Buffer.add_string buf "},\"flightrec\":{\"recorded\":";
     add_int buf (ft - !prev_flight_total);
     Buffer.add_string buf ",\"dropped\":";
@@ -270,35 +304,68 @@ let emit ~sim =
   end
 
 let begin_stream ~sim =
-  if !on then begin
+  if !on && is_primary () then begin
     emit ~sim;
     due_origin := sim;
     due_k := 1;
     next_due := sim +. !every_s
   end
 
+(* Sim-time cadence, emitted at quiescent points: the DES loop calls
+   [advance_before ~next] just before executing an event at time [next],
+   and we emit the LARGEST pending boundary strictly below [next] —
+   at that instant every event at or before the boundary has run and
+   none after it, so the record's content is a pure function of the
+   event history, not of who is driving the loop. The sharded
+   coordinator reproduces the exact same rule at epoch barriers (using
+   the global minimum next-event time), which is what makes sharded
+   telemetry byte-identical to the single-domain stream. Emitting only
+   the largest pending boundary keeps the no-burst contract: events
+   sparser than the cadence yield one record per event, not a burst.
+   The floor can land a boundary off by one in either direction when
+   the division rounds (8.5 /. 0.1 = 84.999...) — hence the corrective
+   loops, which guarantee the invariant boundary(k) < next <=
+   boundary(k+1) and run at most twice. *)
+let boundary k = !due_origin +. (float_of_int k *. !every_s)
+
+let advance_before ~next =
+  if !on && next > !next_due && is_primary () then begin
+    let k = ref (int_of_float (Float.floor ((next -. !due_origin) /. !every_s))) in
+    while boundary !k >= next do decr k done;
+    while boundary (!k + 1) < next do incr k done;
+    if !k >= !due_k then begin
+      emit ~sim:(boundary !k);
+      due_k := !k + 1;
+      next_due := boundary !due_k
+    end
+  end
+
+(* End-of-run flush: emit the largest boundary at or below the horizon
+   (every event <= the horizon has run by the time the DES loop calls
+   this). Without it, a run whose horizon outlives its last event would
+   silently drop the trailing boundary. *)
+let flush_upto ~upto =
+  if !on && upto >= !next_due && is_primary () then begin
+    let k = ref (int_of_float (Float.floor ((upto -. !due_origin) /. !every_s))) in
+    while boundary !k > upto do decr k done;
+    while boundary (!k + 1) <= upto do incr k done;
+    if !k >= !due_k then begin
+      emit ~sim:(boundary !k);
+      due_k := !k + 1;
+      next_due := boundary !due_k
+    end
+  end
+
+(* The earliest cadence boundary not yet emitted (infinity when off or
+   before [begin_stream]) — the shard coordinator cuts its epochs here so
+   that no emission opportunity falls strictly inside an epoch. *)
+let next_boundary_due () = !next_due
+
 let on_tick ~sim =
-  if !on then begin
-    if sim >= !next_due then begin
-      emit ~sim;
-      (* Advance past every boundary <= sim: ticks sparser than the
-         cadence yield one record per tick, not a burst. The floor can
-         land a boundary short when sim/every rounds down (8.5 /. 0.1 =
-         84.999...), which would leave next_due <= sim and re-emit on
-         every tick at that instant — hence the corrective loop, which
-         guarantees strict progress and runs at most twice. *)
-      let k =
-        ref (int_of_float (Float.floor ((sim -. !due_origin) /. !every_s)) + 1)
-      in
-      while !due_origin +. (float_of_int !k *. !every_s) <= sim do incr k done;
-      due_k := !k;
-      next_due := !due_origin +. (float_of_int !k *. !every_s)
-    end;
-    if !tick_every > 0 then begin
-      tick_left := !tick_left - 1;
-      if !tick_left <= 0 then begin
-        tick_left := !tick_every;
-        emit ~sim
-      end
+  if !on && !tick_every > 0 && is_primary () then begin
+    tick_left := !tick_left - 1;
+    if !tick_left <= 0 then begin
+      tick_left := !tick_every;
+      emit ~sim
     end
   end

@@ -44,15 +44,12 @@ let validate_control c =
 
 type stats = { accepted : int; rejected : int; last_dt : float }
 
-(* Process-wide step-control observability, aggregated across every
-   adaptive integration in the run. *)
-let m_accepted = Obs.Metrics.counter "ode.adaptive.steps_accepted"
-let m_rejected = Obs.Metrics.counter "ode.adaptive.steps_rejected"
-
-let m_dt =
-  Obs.Metrics.histogram
-    ~bounds:(Obs.Metrics.log_bounds ~lo:1e-12 ~hi:1e3 ~per_decade:3)
-    "ode.adaptive.step_size"
+(* Step-control observability, aggregated across every adaptive
+   integration in the calling domain (the handles resolve against the
+   ambient registry per integration drive, so shard workers count into
+   their own registries; three get-or-create lookups per drive are noise
+   next to the integration itself). *)
+let dt_bounds = Obs.Metrics.log_bounds ~lo:1e-12 ~hi:1e3 ~per_decade:3
 
 exception Step_underflow of float
 exception Too_many_steps of float
@@ -167,6 +164,11 @@ let drive ?(scheme = Dormand_prince) ?(control = default_control) sys ~t0 ~t1 y0
       let y_high = combine tbl k ~dt:h y tbl.b_high in
       let y_low = combine tbl k ~dt:h y tbl.b_low in
       let err = error_norm ~rtol:control.rtol ~atol:control.atol y y_high y_low in
+      let m_accepted = Obs.Metrics.counter "ode.adaptive.steps_accepted" in
+      let m_rejected = Obs.Metrics.counter "ode.adaptive.steps_rejected" in
+      let m_dt =
+        Obs.Metrics.histogram ~bounds:dt_bounds "ode.adaptive.step_size"
+      in
       if err <= 1. then begin
         let t' = t +. h in
         let grow = if err = 0. then 5. else Float.min 5. (control.safety *. (err ** expo)) in

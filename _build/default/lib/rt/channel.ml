@@ -51,6 +51,29 @@ let send t msg =
     Des.Mailbox.send_delayed t.mailbox ~delay:latency msg
   end
 
+(* Cross-domain replay of a send that happened at [sent] on another
+   shard: identical statistics and latency sampling to [send], but the
+   delivery instant is anchored at [sent] so the receiving engine's
+   mailbox event lands on the bit-identical timestamp. *)
+let send_stamped t ~sent:at msg =
+  t.sent <- t.sent + 1;
+  if t.drop_probability > 0. && Des.Rng.float t.rng < t.drop_probability then
+    t.dropped <- t.dropped + 1
+  else begin
+    let latency = sample t.model t.rng in
+    t.last <- Some latency;
+    t.latency_sum <- t.latency_sum +. latency;
+    Des.Mailbox.send_from t.mailbox ~sent:at ~delay:latency msg
+  end
+
+(* The guaranteed lower bound on a latency draw — the sharded runtime's
+   lookahead. Zero means the link cannot cross a shard boundary. *)
+let min_latency = function
+  | Immediate -> 0.
+  | Constant c -> Float.max 0. c
+  | Uniform (lo, _) -> Float.max 0. lo
+  | Gaussian _ -> 0.
+
 let sent t = t.sent
 let dropped t = t.dropped
 let last_latency t = t.last

@@ -33,6 +33,19 @@ val mailbox : 'a t -> 'a Des.Mailbox.t
 val send : 'a t -> 'a -> unit
 (** Deliver after a freshly sampled latency. *)
 
+val send_stamped : 'a t -> sent:float -> 'a -> unit
+(** Replay of a send that happened at the (earlier) instant [sent] on
+    another shard: identical statistics and latency sampling to {!send},
+    but delivery is anchored at [sent], landing on the bit-identical
+    timestamp a local send at that instant would have produced. Raises
+    [Invalid_argument] when that timestamp is already past — the
+    sharded runtime's lookahead bound makes this unreachable. *)
+
+val min_latency : latency_model -> float
+(** Guaranteed lower bound on any latency draw from the model: the
+    sharded runtime's lookahead. Zero means a link with this model
+    cannot cross a shard boundary. *)
+
 val sent : 'a t -> int
 
 val dropped : 'a t -> int

@@ -1,0 +1,1 @@
+lib/shard/engine.ml: Array Condition Des Domain Dsl Float Fun Hybrid List Mutex Obs Plan Queue Spsc Statechart String

@@ -1,0 +1,1 @@
+lib/shard/engine.mli: Dsl Hybrid Obs Plan Rt

@@ -1,0 +1,1 @@
+lib/shard/plan.ml: Ast Digest Dsl Float Format Fun Hashtbl Int List Obs Option Pretty Printf Rt String Typecheck

@@ -1,0 +1,1 @@
+lib/shard/plan.mli: Dsl Format Obs Rt Typecheck

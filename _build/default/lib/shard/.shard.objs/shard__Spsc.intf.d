@@ -1,0 +1,1 @@
+lib/shard/spsc.mli:

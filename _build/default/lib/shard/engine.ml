@@ -1,0 +1,388 @@
+(* The sharded runtime: one OCaml domain per shard of a partition plan,
+   synchronized by conservative lookahead-bounded epochs.
+
+   Structure: the coordinator (the calling domain) elaborates one
+   hybrid engine per shard — each against its own metrics registry and
+   flight-recorder ring — and spawns one worker domain per shard. A
+   run is a sequence of epochs: every worker executes its engine's
+   events up to (and including) the epoch target E_k, then parks at a
+   barrier; the coordinator drains the cross-shard rings, schedules the
+   carried signals on their destination engines, replays the telemetry
+   cadence over the merged registries, picks the next target and
+   releases the workers.
+
+   Bit-identity rests on three invariants:
+
+   - Lookahead. Epoch targets advance by at most L, the minimum
+     latency any cross-shard signal channel can draw (Constant links
+     only — the plan co-locates everything else). A signal sent at
+     time s during epoch k has s > E_{k-1}, so its delivery at
+     s + latency lands strictly after E_k: scheduling it at the barrier
+     is never late, and [Mailbox.send_from] computes the delivery
+     instant with the exact float expression a local send would have
+     used.
+
+   - Quiescent telemetry. Epoch targets also never cross the next
+     pending cadence boundary, so every emission opportunity of the
+     single-domain stream (which cuts records just before the first
+     event past a boundary) falls exactly on a barrier, where the
+     coordinator calls the same [advance_before] rule with the global
+     minimum next-event time over the merged per-shard registries.
+
+   - Single-threaded engines. Each engine is touched by exactly one
+     party at a time: its worker during an epoch, the coordinator at a
+     barrier. The barrier mutexes carry the happens-before edges, so no
+     engine state is ever accessed concurrently.
+
+   Causal identity: worker d mints IDs with base d+1 and stride K+1
+   (the coordinator keeps base 0), so IDs never collide across domains
+   and flight-recorder entries carried over a hop stay attributable.
+
+   Known limit (documented in DESIGN §5h): a cross-shard delivery
+   landing at exactly the same timestamp as an unrelated local event
+   may order differently than single-domain, because the delivery is
+   scheduled at the barrier rather than mid-epoch. Choose latencies off
+   the tick grid (e.g. 0.013) when exact tie order matters. *)
+
+type msg = {
+  m_sent : float;
+  m_cause : int;
+  m_event : Statechart.Event.t;
+}
+
+(* One cross-shard link (capsule shard -> [c_dst]); the ring is pushed
+   by the capsule shard's worker mid-epoch and drained by the
+   coordinator at barriers. When the ring fills, the producer spills to
+   a local overflow queue — safe because the consumer only runs while
+   the producer is parked — so a burst can never be lost or block. *)
+type carrier = {
+  c_role : string;
+  c_sport : string;
+  c_dst : int;
+  c_ring : msg Spsc.t;
+  c_overflow : msg Queue.t;
+}
+
+let carrier_push c m =
+  if not (Queue.is_empty c.c_overflow) || not (Spsc.push c.c_ring m) then
+    Queue.push m c.c_overflow
+
+let carrier_drain c f =
+  let rec ring () =
+    match Spsc.pop c.c_ring with
+    | Some m -> f m; ring ()
+    | None -> ()
+  in
+  ring ();
+  while not (Queue.is_empty c.c_overflow) do f (Queue.pop c.c_overflow) done
+
+type worker = {
+  w_engine : Hybrid.Engine.t;
+  w_registry : Obs.Metrics.t;
+  w_ring : Obs.Flightrec.t;
+  w_mu : Mutex.t;
+  w_cv : Condition.t;
+  mutable w_target : float;
+  mutable w_reached : float;
+  mutable w_stop : bool;
+  mutable w_failure : exn option;
+  mutable w_domain : unit Domain.t option;
+}
+
+type t = {
+  plan : Plan.t;
+  workers : worker array;
+  carriers : carrier list;           (* in link declaration order *)
+  roles : (string * int) list;       (* role -> shard, model order *)
+  scratch : Obs.Metrics.t;
+  mutable started : bool;
+}
+
+let default_ring_capacity = 1024
+
+let create ?signal_latency plan checked =
+  let k = plan.Plan.count in
+  if plan.Plan.remote_roles <> [] && not (plan.Plan.lookahead > 0.) then
+    invalid_arg
+      "Shard.Engine.create: cross-shard links need a latency model with a \
+       strictly positive lower bound (Constant)";
+  (* carriers for every link whose streamer lives off the capsule shard *)
+  let sys_links =
+    match checked.Dsl.Typecheck.model.Dsl.Ast.m_system with
+    | None -> []
+    | Some sys ->
+      List.filter_map
+        (function
+          | Dsl.Ast.Clink { cl_streamer = si, sp; _ } -> Some (si, sp)
+          | Dsl.Ast.Cflow _ -> None)
+        sys.Dsl.Ast.sys_connections
+  in
+  let carriers =
+    List.filter_map
+      (fun (si, sp) ->
+         let d = Plan.shard_of plan si in
+         if d = plan.Plan.capsule_shard then None
+         else
+           Some
+             { c_role = si; c_sport = sp; c_dst = d;
+               c_ring = Spsc.create ~capacity:default_ring_capacity;
+               c_overflow = Queue.create () })
+      sys_links
+  in
+  let find_carrier role sport =
+    List.find
+      (fun c -> String.equal c.c_role role && String.equal c.c_sport sport)
+      carriers
+  in
+  (* the send side needs the source engine's clock, which does not exist
+     until the capsule shard is elaborated — a forward ref closes the
+     cycle (pushes only happen once the run is under way). *)
+  let src_now = ref (fun () -> 0.) in
+  let remote_send ~role ~sport =
+    let c = find_carrier role sport in
+    fun event ->
+      carrier_push c
+        { m_sent = !src_now ();
+          m_cause = Obs.Causal.current ();
+          m_event = event }
+  in
+  let shard_of name = Plan.shard_of plan name in
+  let workers =
+    Array.init k (fun d ->
+        let registry = Obs.Metrics.create () in
+        Obs.Metrics.set_ambient registry;
+        let elaborated =
+          Fun.protect
+            ~finally:(fun () -> Obs.Metrics.set_ambient Obs.Metrics.default)
+            (fun () ->
+               Dsl.Elaborate.elaborate ?signal_latency
+                 ~partition:
+                   { Dsl.Elaborate.shard_of; me = d;
+                     capsule_shard = plan.Plan.capsule_shard; remote_send }
+                 checked)
+        in
+        { w_engine = elaborated.Dsl.Elaborate.engine;
+          w_registry = registry;
+          w_ring = Obs.Flightrec.create ();
+          w_mu = Mutex.create ();
+          w_cv = Condition.create ();
+          w_target = 0.;
+          w_reached = 0.;
+          w_stop = false;
+          w_failure = None;
+          w_domain = None })
+  in
+  let cap_des =
+    Hybrid.Engine.des workers.(plan.Plan.capsule_shard).w_engine
+  in
+  src_now := (fun () -> Des.Engine.now cap_des);
+  let roles =
+    match checked.Dsl.Typecheck.model.Dsl.Ast.m_system with
+    | None -> []
+    | Some sys ->
+      List.filter_map
+        (function
+          | Dsl.Ast.Istreamer { iname; _ } -> Some (iname, shard_of iname)
+          | _ -> None)
+        sys.Dsl.Ast.sys_instances
+  in
+  { plan; workers; carriers; roles; scratch = Obs.Metrics.create ();
+    started = false }
+
+let plan t = t.plan
+let engines t = Array.map (fun w -> w.w_engine) t.workers
+
+let engine_of_role t role =
+  match List.assoc_opt role t.roles with
+  | Some d -> Some t.workers.(d).w_engine
+  | None -> None
+
+let roles t = List.map fst t.roles
+
+let stats t =
+  Array.fold_left
+    (fun acc w ->
+       let s = Hybrid.Engine.stats w.w_engine in
+       { Hybrid.Engine.ticks_total = acc.Hybrid.Engine.ticks_total + s.Hybrid.Engine.ticks_total;
+         signals_to_streamers =
+           acc.Hybrid.Engine.signals_to_streamers + s.Hybrid.Engine.signals_to_streamers;
+         signals_to_capsules =
+           acc.Hybrid.Engine.signals_to_capsules + s.Hybrid.Engine.signals_to_capsules;
+         signals_dropped =
+           acc.Hybrid.Engine.signals_dropped + s.Hybrid.Engine.signals_dropped })
+    { Hybrid.Engine.ticks_total = 0; signals_to_streamers = 0;
+      signals_to_capsules = 0; signals_dropped = 0 }
+    t.workers
+
+(* merged view for telemetry: counters and histograms sum, and so do
+   gauges (every gauge is a per-engine quantity like queue depth, whose
+   single-domain value is the whole-system sum). *)
+let refresh_merge t =
+  Obs.Metrics.reset t.scratch;
+  Obs.Metrics.merge ~sum_gauges:true ~into:t.scratch Obs.Metrics.default;
+  Array.iter
+    (fun w -> Obs.Metrics.merge ~sum_gauges:true ~into:t.scratch w.w_registry)
+    t.workers
+
+let metrics t =
+  refresh_merge t;
+  t.scratch
+
+let flight_totals t () =
+  Array.fold_left
+    (fun (r, d) w ->
+       (r + Obs.Flightrec.ring_total w.w_ring,
+        d + Obs.Flightrec.ring_dropped w.w_ring))
+    (Obs.Flightrec.total (), Obs.Flightrec.dropped ())
+    t.workers
+
+let worker_main k d w () =
+  Obs.Metrics.set_ambient w.w_registry;
+  Obs.Flightrec.set_ambient w.w_ring;
+  Obs.Causal.set_identity ~base:(d + 1) ~stride:(k + 1);
+  let des = Hybrid.Engine.des w.w_engine in
+  let rec loop () =
+    Mutex.lock w.w_mu;
+    while (not w.w_stop) && w.w_target <= w.w_reached do
+      Condition.wait w.w_cv w.w_mu
+    done;
+    if w.w_stop then Mutex.unlock w.w_mu
+    else begin
+      let target = w.w_target in
+      Mutex.unlock w.w_mu;
+      (try ignore (Des.Engine.run_until des target)
+       with e -> w.w_failure <- Some e);
+      Mutex.lock w.w_mu;
+      w.w_reached <- target;
+      Condition.broadcast w.w_cv;
+      Mutex.unlock w.w_mu;
+      if w.w_failure = None then loop ()
+    end
+  in
+  loop ()
+
+let release_to w target =
+  Mutex.lock w.w_mu;
+  w.w_target <- target;
+  Condition.broadcast w.w_cv;
+  Mutex.unlock w.w_mu
+
+let wait_reached w target =
+  Mutex.lock w.w_mu;
+  while w.w_reached < target && w.w_failure = None do
+    Condition.wait w.w_cv w.w_mu
+  done;
+  Mutex.unlock w.w_mu
+
+let shutdown t =
+  Array.iter
+    (fun w ->
+       match w.w_domain with
+       | None -> ()
+       | Some dom ->
+         Mutex.lock w.w_mu;
+         w.w_stop <- true;
+         Condition.broadcast w.w_cv;
+         Mutex.unlock w.w_mu;
+         Domain.join dom;
+         w.w_domain <- None)
+    t.workers
+
+let check_failures t =
+  match
+    Array.fold_left
+      (fun acc w -> match acc with Some _ -> acc | None -> w.w_failure)
+      None t.workers
+  with
+  | None -> ()
+  | Some e ->
+    shutdown t;
+    raise e
+
+let barrier_to t target =
+  Array.iter (fun w -> release_to w target) t.workers;
+  Array.iter (fun w -> wait_reached w target) t.workers;
+  check_failures t
+
+let deliver t c m =
+  let saved = Obs.Causal.current () in
+  Obs.Causal.set m.m_cause;
+  Fun.protect
+    ~finally:(fun () -> Obs.Causal.set saved)
+    (fun () ->
+       Hybrid.Engine.deliver_remote t.workers.(c.c_dst).w_engine
+         ~role:c.c_role ~sport:c.c_sport ~sent:m.m_sent m.m_event)
+
+let drain_all t =
+  List.iter (fun c -> carrier_drain c (deliver t c)) t.carriers
+
+let global_next t =
+  Array.fold_left
+    (fun acc w ->
+       match Des.Engine.next_time (Hybrid.Engine.des w.w_engine) with
+       | Some v -> Float.min acc v
+       | None -> acc)
+    infinity t.workers
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    if Obs.Telemetry.enabled () then begin
+      Obs.Telemetry.set_source t.scratch;
+      Obs.Telemetry.set_flight_stats (flight_totals t)
+    end;
+    (* phase one everywhere, then the merged seq-0 record, then phase
+       two — the same baseline the single-domain record reads (initial
+       outputs written, tick timers armed, behaviours not yet started). *)
+    Array.iter (fun w -> Hybrid.Engine.start_outputs w.w_engine) t.workers;
+    if Obs.Telemetry.enabled () then begin
+      refresh_merge t;
+      Obs.Telemetry.begin_stream ~sim:0.
+    end;
+    Obs.Causal.set_identity ~base:0 ~stride:(t.plan.Plan.count + 1);
+    Array.iter (fun w -> Hybrid.Engine.start_rest w.w_engine) t.workers
+  end
+
+let run t ~until =
+  start t;
+  let k = t.plan.Plan.count in
+  Array.iteri
+    (fun d w ->
+       if w.w_domain = None then begin
+         w.w_stop <- false;
+         w.w_domain <- Some (Domain.spawn (worker_main k d w))
+       end)
+    t.workers;
+  let telemetry = Obs.Telemetry.enabled () in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+       let rec loop prev =
+         if prev < until then begin
+           let cut =
+             Float.min
+               (prev +. t.plan.Plan.lookahead)
+               (Float.min until (Obs.Telemetry.next_boundary_due ()))
+           in
+           let e = if cut <= prev then until else cut in
+           barrier_to t e;
+           drain_all t;
+           let next = global_next t in
+           if telemetry && next <= until
+              && next > Obs.Telemetry.next_boundary_due ()
+           then begin
+             refresh_merge t;
+             Obs.Telemetry.advance_before ~next
+           end;
+           if next > until then
+             (* nothing left before the horizon: one final hop *)
+             (if e < until then barrier_to t until)
+           else loop e
+         end
+       in
+       loop (Des.Engine.now (Hybrid.Engine.des t.workers.(0).w_engine));
+       if telemetry then begin
+         refresh_merge t;
+         Obs.Telemetry.flush_upto ~upto:until
+       end);
+  Obs.Causal.set_identity ~base:0 ~stride:1

@@ -1,0 +1,54 @@
+(** The sharded runtime: one OCaml 5 domain per shard of a
+    {!Plan.t}, synchronized by conservative lookahead-bounded epochs.
+
+    Results are bit-identical to the single-domain engine — solver
+    states, signal traces and the telemetry stream (all but the
+    [wall_ns] and per-ring flight-recorder [dropped] fields) — because
+    epoch targets never outrun the minimum cross-shard signal latency,
+    cross-shard deliveries are re-anchored at their send instant with
+    the exact float arithmetic of a local send, and the telemetry
+    cadence is replayed at barriers over merged per-shard registries.
+    See DESIGN §5h for the protocol and its one documented limit
+    (cross-shard vs local tie order at exactly equal timestamps).
+
+    Not supported in sharded mode (the CLI rejects the combinations):
+    fault injection, the profiler, Chrome tracing, crash reports and
+    lossy signal channels — their observability state is process-global
+    by design. *)
+
+type t
+
+val create :
+  ?signal_latency:Rt.Channel.latency_model ->
+  Plan.t -> Dsl.Typecheck.checked -> t
+(** Elaborate one engine per shard (each with its own metrics registry
+    and flight-recorder ring) and wire cross-shard SPort links through
+    SPSC rings. Raises [Invalid_argument] when the plan has cross-shard
+    links but no strictly positive latency floor. *)
+
+val run : t -> until:float -> unit
+(** Spawn the worker domains, run the epoch protocol to the horizon,
+    join the workers. Callable again with a later horizon. Re-raises
+    the first worker failure after stopping every domain. *)
+
+val plan : t -> Plan.t
+val engines : t -> Hybrid.Engine.t array
+
+val engine_of_role : t -> string -> Hybrid.Engine.t option
+(** The engine hosting a leaf streamer role (for traces and solver
+    inspection). *)
+
+val roles : t -> string list
+(** Leaf streamer roles in model declaration order, across all shards. *)
+
+val stats : t -> Hybrid.Engine.stats
+(** Per-shard engine stats, summed. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The merged view over every shard's registry (plus the default one),
+    freshly rebuilt — the same registry the telemetry stream reads. The
+    returned registry is reused by later merges; read, don't keep. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains (idempotent; [run] does this on
+    exit, so it is only needed after an exceptional escape). *)

@@ -1,0 +1,27 @@
+(** Bounded lock-free single-producer single-consumer ring.
+
+    Exactly one domain may call {!push} and exactly one domain may call
+    {!pop} (they can be the same domain). FIFO, no loss, no locks;
+    memory is bounded by the fixed capacity — {!push} reports failure
+    when the ring is full instead of growing or blocking, so a stalled
+    consumer can never make the producer allocate unboundedly through
+    this channel. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to the next power of two. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently queued (exact when called from either endpoint,
+    a snapshot otherwise). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** Producer side: enqueue, or return [false] if the ring is full. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: dequeue the oldest element. *)

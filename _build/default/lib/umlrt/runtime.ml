@@ -33,14 +33,14 @@ type t = {
   mutable supervisor : Fault.Supervisor.policy option;
   mutable max_restarts : int;
   mutable restarts : int;
+  (* Messaging observability, resolved against the registry that was
+     ambient when this runtime was created (per-domain under sharding). *)
+  m_sent : Obs.Metrics.counter;
+  m_delivered : Obs.Metrics.counter;
+  m_dropped : Obs.Metrics.counter;
+  m_rtc : Obs.Metrics.counter;
+  m_unhandled : Obs.Metrics.counter;
 }
-
-(* Process-wide observability of capsule messaging. *)
-let m_sent = Obs.Metrics.counter "umlrt.signals_sent"
-let m_delivered = Obs.Metrics.counter "umlrt.signals_delivered"
-let m_dropped = Obs.Metrics.counter "umlrt.signals_dropped"
-let m_rtc = Obs.Metrics.counter "umlrt.rtc_steps"
-let m_unhandled = Obs.Metrics.counter "umlrt.events_unhandled"
 
 let engine t = t.engine
 
@@ -101,7 +101,7 @@ let to_environment t port event =
 
 let drop t =
   t.dropped <- t.dropped + 1;
-  Obs.Metrics.incr m_dropped
+  Obs.Metrics.incr t.m_dropped
 
 let deliver_target t event = function
   | To_instance (path, port) ->
@@ -124,7 +124,7 @@ let send_from t inst ~port event =
         (Printf.sprintf "Umlrt.Runtime.send: port %s.%s cannot send signal %S"
            inst.path port (Statechart.Event.signal event));
     t.sent <- t.sent + 1;
-    Obs.Metrics.incr m_sent;
+    Obs.Metrics.incr t.m_sent;
     Obs.Flightrec.record ~kind:Obs.Flightrec.k_signal_send ~a:inst.flight_id
       ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
       ~sim:(Des.Engine.now t.engine);
@@ -240,8 +240,8 @@ let on_delivery t inst mailbox =
         | Some w -> Fault.Supervisor.pet w
         | None -> ());
        t.delivered <- t.delivered + 1;
-       Obs.Metrics.incr m_delivered;
-       Obs.Metrics.incr m_rtc;
+       Obs.Metrics.incr t.m_delivered;
+       Obs.Metrics.incr t.m_rtc;
        Obs.Flightrec.record ~kind:Obs.Flightrec.k_rtc ~a:inst.flight_id
          ~b:(Obs.Flightrec.intern (Statechart.Event.signal event))
          ~sim:(Des.Engine.now t.engine);
@@ -268,7 +268,7 @@ let on_delivery t inst mailbox =
        if profiling then Obs.Profile.exit_ inst.prof_id;
        if not handled then begin
          t.dropped <- t.dropped + 1;
-         Obs.Metrics.incr m_unhandled
+         Obs.Metrics.incr t.m_unhandled
        end
      | None ->
        if String.equal inst.path t.root_path then to_environment t port event
@@ -312,7 +312,12 @@ let create engine ?(latency = 0.) ?(defer_start = false) root =
     { engine; root_path = Capsule.name root; instances = Hashtbl.create 16;
       order = []; links = []; outbox = Queue.create (); env_listener = None;
       pending_starts = []; sent = 0; delivered = 0; dropped = 0;
-      supervisor = None; max_restarts = max_int; restarts = 0 }
+      supervisor = None; max_restarts = max_int; restarts = 0;
+      m_sent = Obs.Metrics.counter "umlrt.signals_sent";
+      m_delivered = Obs.Metrics.counter "umlrt.signals_delivered";
+      m_dropped = Obs.Metrics.counter "umlrt.signals_dropped";
+      m_rtc = Obs.Metrics.counter "umlrt.rtc_steps";
+      m_unhandled = Obs.Metrics.counter "umlrt.events_unhandled" }
   in
   instantiate t ~latency ~path:t.root_path root;
   (* Create behaviours parent-first, then start them in the same order. *)
@@ -343,7 +348,7 @@ let deliver_to t ~path ~port event =
   match find_instance t path with
   | Some inst ->
     t.sent <- t.sent + 1;
-    Obs.Metrics.incr m_sent;
+    Obs.Metrics.incr t.m_sent;
     Des.Mailbox.send inst.mailbox (port, event);
     true
   | None -> false
@@ -354,7 +359,7 @@ let inject t ~port event =
     invalid_arg (Printf.sprintf "Umlrt.Runtime.inject: root has no port %S" port)
   | Some decl ->
     t.sent <- t.sent + 1;
-    Obs.Metrics.incr m_sent;
+    Obs.Metrics.incr t.m_sent;
     (* An injection is an external stimulus: it roots a fresh causal
        chain, which the mailbox hop captures; the ambient cause of
        whoever called us (e.g. a test poking mid-dispatch) is restored

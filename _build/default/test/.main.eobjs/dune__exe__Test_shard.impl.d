@@ -1,0 +1,1 @@
+test/test_shard.ml: Alcotest Dsl Hybrid In_channel List Obs Printf Rt Shard Sigtrace Stdlib String

@@ -1,0 +1,1 @@
+test/test_spsc.ml: Alcotest Domain List QCheck QCheck_alcotest Queue Shard

@@ -20,4 +20,6 @@ let () =
       ("obs", Test_obs.suite);
       ("causal", Test_causal.suite);
       ("fault", Test_fault.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("spsc", Test_spsc.suite);
+      ("shard", Test_shard.suite) ]

@@ -1,0 +1,268 @@
+(* The sharded runtime against its contract: bit-identical results to
+   the single-domain engine (solver state vectors, params, tick counts,
+   signal traces — exact float equality, no tolerance), the runtime
+   co-location closure, and the UMH055 plan-file validation. *)
+
+let load path =
+  Dsl.Typecheck.check
+    (Dsl.Parser.parse (In_channel.with_open_bin path In_channel.input_all))
+
+let cells = "../examples/models/e3_cells.umh"
+let tank = "../examples/models/water_tank.umh"
+let lat = Rt.Channel.Constant 0.013
+
+let plan_of ?signal_latency ~shards checked =
+  match Shard.Plan.compute ?signal_latency ~shards checked with
+  | Ok p -> p
+  | Error e -> Alcotest.fail (String.concat "; " e)
+
+let run_single ?signal_latency path ~until =
+  let checked = load path in
+  let { Dsl.Elaborate.engine; streamer_roles; _ } =
+    Dsl.Elaborate.elaborate ?signal_latency checked
+  in
+  Hybrid.Engine.run_until engine until;
+  (engine, streamer_roles)
+
+(* Exact equality everywhere: a single ULP of drift means the sharded
+   run integrated or delivered something differently. *)
+let exact = Alcotest.float 0.
+
+let assert_equiv single roles sharded =
+  List.iter
+    (fun role ->
+       let owner =
+         match Shard.Engine.engine_of_role sharded role with
+         | Some e -> e
+         | None -> Alcotest.fail (role ^ ": no owning shard")
+       in
+       Alcotest.(check int) (role ^ " ticks")
+         (Hybrid.Engine.ticks_of single role)
+         (Hybrid.Engine.ticks_of owner role);
+       match
+         (Hybrid.Engine.solver_of single role,
+          Hybrid.Engine.solver_of owner role)
+       with
+       | Some a, Some b ->
+         Alcotest.(check (array exact)) (role ^ " state")
+           (Hybrid.Solver.state a) (Hybrid.Solver.state b);
+         Alcotest.(check (list (pair string exact))) (role ^ " params")
+           (Hybrid.Solver.params a) (Hybrid.Solver.params b)
+       | None, None -> ()
+       | _ -> Alcotest.fail (role ^ ": solver presence differs"))
+    roles
+
+let test_plan_groups () =
+  let checked = load cells in
+  let plan = plan_of ~signal_latency:lat ~shards:2 checked in
+  Alcotest.(check int) "four co-location groups" 4
+    (List.length plan.Shard.Plan.groups);
+  Alcotest.(check int) "capsule pinned to shard 0" 0
+    plan.Shard.Plan.capsule_shard;
+  Alcotest.(check (float 0.)) "lookahead is the constant latency" 0.013
+    plan.Shard.Plan.lookahead;
+  (* every group lands on exactly one shard *)
+  List.iter
+    (fun g ->
+       let shards =
+         List.sort_uniq compare
+           (List.map (Shard.Plan.shard_of plan) g)
+       in
+       Alcotest.(check int) "group unsplit" 1 (List.length shards))
+    plan.Shard.Plan.groups;
+  (* flow partners co-locate *)
+  Alcotest.(check int) "a0 with a1"
+    (Shard.Plan.shard_of plan "a0") (Shard.Plan.shard_of plan "a1");
+  (* with four cells over two shards, some cell is off the capsule shard *)
+  Alcotest.(check bool) "cross-shard links exist" true
+    (plan.Shard.Plan.remote_roles <> [])
+
+let test_plan_zero_latency_merges () =
+  let checked = load cells in
+  (* no latency floor: every linked streamer joins the capsule group *)
+  let plan = plan_of ~shards:4 checked in
+  Alcotest.(check int) "one merged group" 1
+    (List.length plan.Shard.Plan.groups);
+  Alcotest.(check (list (pair string int))) "nothing remote" []
+    plan.Shard.Plan.remote_roles;
+  Alcotest.(check bool) "lookahead unbounded" true
+    (plan.Shard.Plan.lookahead = infinity)
+
+let differential path ?signal_latency ~shards ~until () =
+  let single, roles = run_single ?signal_latency path ~until in
+  let checked = load path in
+  let plan = plan_of ?signal_latency ~shards checked in
+  let sharded = Shard.Engine.create ?signal_latency plan checked in
+  Shard.Engine.run sharded ~until;
+  assert_equiv single roles sharded;
+  let s1 = Hybrid.Engine.stats single in
+  let s2 = Shard.Engine.stats sharded in
+  Alcotest.(check int) "ticks_total" s1.Hybrid.Engine.ticks_total
+    s2.Hybrid.Engine.ticks_total;
+  Alcotest.(check int) "signals_to_streamers"
+    s1.Hybrid.Engine.signals_to_streamers
+    s2.Hybrid.Engine.signals_to_streamers;
+  Alcotest.(check int) "signals_dropped" s1.Hybrid.Engine.signals_dropped
+    s2.Hybrid.Engine.signals_dropped
+
+let test_trace_identical () =
+  let until = 3.0 in
+  let checked = load cells in
+  let { Dsl.Elaborate.engine = single; _ } =
+    Dsl.Elaborate.elaborate ~signal_latency:lat checked
+  in
+  let t_single =
+    Hybrid.Engine.trace_dport single ~role:"a2" ~dport:"y"
+  in
+  Hybrid.Engine.run_until single until;
+  let plan = plan_of ~signal_latency:lat ~shards:4 checked in
+  let sharded = Shard.Engine.create ~signal_latency:lat plan checked in
+  let owner =
+    match Shard.Engine.engine_of_role sharded "a2" with
+    | Some e -> e
+    | None -> Alcotest.fail "a2 unplaced"
+  in
+  let t_sharded = Hybrid.Engine.trace_dport owner ~role:"a2" ~dport:"y" in
+  Shard.Engine.run sharded ~until;
+  Alcotest.(check (list (pair exact exact))) "a2.y trace"
+    (Sigtrace.Trace.samples t_single) (Sigtrace.Trace.samples t_sharded)
+
+(* Stopping at an epoch-unaligned horizon and resuming must land on the
+   same trajectory: the protocol may not leak partial epochs. *)
+let test_resume_identical () =
+  let single, roles = run_single ~signal_latency:lat cells ~until:3.0 in
+  let checked = load cells in
+  let plan = plan_of ~signal_latency:lat ~shards:2 checked in
+  let sharded = Shard.Engine.create ~signal_latency:lat plan checked in
+  Shard.Engine.run sharded ~until:1.37;
+  Shard.Engine.run sharded ~until:3.0;
+  assert_equiv single roles sharded
+
+(* ---- UMH055 plan-file validation ---- *)
+
+let plan_json ?(schema = "umh-partition") ?(version = 1) ?hash shards_members
+    ~checked =
+  let open Obs.Json in
+  let shard (id, members) =
+    Obj
+      [ ("id", Int id);
+        ("members",
+         List
+           (Stdlib.List.map
+              (fun n -> Obj [ ("name", Str n); ("kind", Str "streamer") ])
+              members)) ]
+  in
+  let hash =
+    match hash with
+    | Some h -> h
+    | None -> Shard.Plan.model_hash checked
+  in
+  Obj
+    [ ("schema", Str schema);
+      ("version", Int version);
+      ("model_hash", Str hash);
+      ("shards", List (Stdlib.List.map shard shards_members)) ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_error ~needle result =
+  match result with
+  | Ok _ -> Alcotest.fail ("accepted a plan that should fail: " ^ needle)
+  | Error msgs ->
+    let found = List.exists (fun m -> contains m needle) msgs in
+    if not found then
+      Alcotest.fail
+        (Printf.sprintf "no message mentioning %S in: %s" needle
+           (String.concat " | " msgs))
+
+let full_placement =
+  [ (0, [ "pace"; "a0"; "a1"; "a2" ]);
+    (1, [ "b0"; "b1"; "b2"; "c0"; "c1"; "c2" ]) ]
+
+let test_plan_file_ok () =
+  let checked = load cells in
+  let json = plan_json full_placement ~checked in
+  match Shard.Plan.of_json ~signal_latency:lat json checked with
+  | Error e -> Alcotest.fail (String.concat "; " e)
+  | Ok plan ->
+    Alcotest.(check int) "two domains" 2 plan.Shard.Plan.count;
+    (* the capsule's plan shard becomes domain 0 *)
+    Alcotest.(check int) "capsule domain" 0 plan.Shard.Plan.capsule_shard;
+    Alcotest.(check int) "b0 follows the file" 1
+      (Shard.Plan.shard_of plan "b0")
+
+let test_plan_file_rejections () =
+  let checked = load cells in
+  expect_error ~needle:"schema"
+    (Shard.Plan.of_json ~signal_latency:lat
+       (plan_json ~schema:"bogus" full_placement ~checked) checked);
+  expect_error ~needle:"version"
+    (Shard.Plan.of_json ~signal_latency:lat
+       (plan_json ~version:9 full_placement ~checked) checked);
+  expect_error ~needle:"model_hash"
+    (Shard.Plan.of_json ~signal_latency:lat
+       (plan_json ~hash:"deadbeef" full_placement ~checked) checked);
+  (* a placement splitting a flow chain *)
+  expect_error ~needle:"co-location"
+    (Shard.Plan.of_json ~signal_latency:lat
+       (plan_json
+          [ (0, [ "pace"; "a0"; "a1"; "b0"; "b1"; "b2" ]);
+            (1, [ "a2"; "c0"; "c1"; "c2" ]) ]
+          ~checked)
+       checked);
+  (* an incomplete placement *)
+  expect_error ~needle:"not placed"
+    (Shard.Plan.of_json ~signal_latency:lat
+       (plan_json [ (0, [ "pace"; "a0"; "a1"; "a2" ]) ] ~checked) checked);
+  (* without a latency floor the links force everything together *)
+  expect_error ~needle:"co-location"
+    (Shard.Plan.of_json (plan_json full_placement ~checked) checked)
+
+let test_plan_file_split_scc () =
+  let checked = load cells in
+  let json =
+    match plan_json full_placement ~checked with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (fields
+         @ [ ("forced_groups",
+              Obs.Json.List
+                [ Obs.Json.List
+                    [ Obs.Json.Obj [ ("name", Obs.Json.Str "a0") ];
+                      Obs.Json.Obj [ ("name", Obs.Json.Str "b0") ] ] ]) ])
+    | _ -> assert false
+  in
+  expect_error ~needle:"feedback SCC"
+    (Shard.Plan.of_json ~signal_latency:lat json checked)
+
+let test_degenerate_one_group () =
+  (* water_tank: guard emissions force one group; sharding it is legal
+     but everything lands on the capsule shard, workers idle *)
+  differential tank ~shards:2 ~until:10.0 ()
+
+let suite =
+  [ Alcotest.test_case "plan: runtime co-location groups" `Quick
+      test_plan_groups;
+    Alcotest.test_case "plan: zero lookahead merges links" `Quick
+      test_plan_zero_latency_merges;
+    Alcotest.test_case "differential: e3_cells, 1 shard" `Quick
+      (differential cells ~signal_latency:lat ~shards:1 ~until:3.0);
+    Alcotest.test_case "differential: e3_cells, 2 shards" `Quick
+      (differential cells ~signal_latency:lat ~shards:2 ~until:3.0);
+    Alcotest.test_case "differential: e3_cells, 4 shards" `Quick
+      (differential cells ~signal_latency:lat ~shards:4 ~until:3.0);
+    Alcotest.test_case "differential: trace bit-identical" `Quick
+      test_trace_identical;
+    Alcotest.test_case "differential: stop/resume mid-epoch" `Quick
+      test_resume_identical;
+    Alcotest.test_case "differential: one-group model degenerates" `Quick
+      test_degenerate_one_group;
+    Alcotest.test_case "plan file: valid placement accepted" `Quick
+      test_plan_file_ok;
+    Alcotest.test_case "plan file: UMH055 rejections" `Quick
+      test_plan_file_rejections;
+    Alcotest.test_case "plan file: split feedback SCC" `Quick
+      test_plan_file_split_scc ]

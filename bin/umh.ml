@@ -47,12 +47,86 @@ let check_cmd_run path = exit (report_check path (load_checked path))
 
 (* ---- simulate ---- *)
 
+(* Post-run reporting shared by the single-domain and sharded paths. *)
+let check_verify verify traces =
+  match (verify, traces) with
+  | Some formula_text, (_, trace) :: _ ->
+    let formula =
+      try Dsl.Parser.parse_stl formula_text
+      with Dsl.Parser.Parse_error (msg, _, col) ->
+        Printf.eprintf "--verify: parse error at column %d: %s\n" col msg;
+        exit 2
+    in
+    let ok, robustness = Sigtrace.Stl.check formula trace in
+    Printf.printf "  verify %s: %s (robustness %g)\n" formula_text
+      (if ok then "HOLDS" else "VIOLATED") robustness;
+    if not ok then exit 3
+  | Some _, [] ->
+    Printf.eprintf "--verify needs --trace to name the signal\n";
+    exit 2
+  | None, _ -> ()
+
+let emit_traces traces csv_out =
+  List.iter
+    (fun (name, trace) ->
+       match csv_out with
+       | Some out ->
+         let oc = open_out out in
+         output_string oc (Sigtrace.Trace.to_csv trace);
+         close_out oc;
+         Printf.printf "  trace %s -> %s (%d samples)\n" name out
+           (Sigtrace.Trace.length trace)
+       | None ->
+         Printf.printf "  trace %s: %d samples, last=%s\n" name
+           (Sigtrace.Trace.length trace)
+           (match Sigtrace.Trace.last_value trace with
+            | Some v -> Printf.sprintf "%g" v
+            | None -> "n/a"))
+    traces
+
+let close_telemetry telemetry_oc telemetry_every =
+  match telemetry_oc with
+  | Some (file, oc) ->
+    let n = Obs.Telemetry.records () in
+    Obs.Telemetry.stop ();
+    close_out oc;
+    Printf.printf "  telemetry -> %s (%d records, every %gs)\n" file n
+      telemetry_every
+  | None -> ()
+
+let print_role_line role ~ticks ~solver =
+  Printf.printf "  %-16s ticks=%d" role ticks;
+  (match solver with
+   | Some solver ->
+     let y = Hybrid.Solver.state solver in
+     Printf.printf " state=[%s]"
+       (String.concat "; " (List.map (Printf.sprintf "%g") (Array.to_list y)))
+   | None -> ());
+  print_newline ()
+
 let simulate_run path duration trace_spec csv_out verify show_stats faults_file
-    crash_dir telemetry_out telemetry_every profile flight_dump wcet_out =
+    crash_dir telemetry_out telemetry_every profile flight_dump wcet_out shards
+    shards_from signal_latency =
   if wcet_out <> None && not profile then begin
     Printf.eprintf "--wcet-out needs --profile to measure frame times\n";
     exit 2
   end;
+  if shards < 1 then begin
+    Printf.eprintf "--shards: need at least one shard\n";
+    exit 2
+  end;
+  if shards > 1 && shards_from <> None then begin
+    Printf.eprintf "--shards and --shards-from are exclusive: the plan file \
+                    already fixes the shard count\n";
+    exit 2
+  end;
+  (match signal_latency with
+   | Some s when Float.is_nan s || s < 0. ->
+     Printf.eprintf "--signal-latency: latency must be non-negative\n";
+     exit 2
+   | _ -> ());
+  let latency = Option.map (fun s -> Rt.Channel.Constant s) signal_latency in
+  let sharded = shards > 1 || shards_from <> None in
   (* [--trace FILE.json] means a Chrome trace of the whole run;
      [--trace ROLE.DPORT] keeps its original meaning (signal trace). *)
   let chrome_out, trace_spec =
@@ -60,6 +134,24 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
     | Some spec when Filename.check_suffix spec ".json" -> (Some spec, None)
     | other -> (None, other)
   in
+  if sharded then
+    (* These all funnel into process-global observability sinks (one
+       injector, one profiler table, one crash/flight recorder, one
+       tracer); per-domain variants are future work, so reject up front
+       rather than record cross-shard garbage. *)
+    List.iter
+      (fun (flag, on) ->
+         if on then begin
+           Printf.eprintf
+             "%s is not supported with --shards: its state is process-global\n"
+             flag;
+           exit 2
+         end)
+      [ ("--faults", faults_file <> None);
+        ("--crash-dir", crash_dir <> None);
+        ("--profile", profile);
+        ("--flight-dump", flight_dump <> None);
+        ("--trace FILE.json (chrome trace)", chrome_out <> None) ];
   if chrome_out <> None then Obs.Tracer.set_enabled true;
   if profile then Obs.Profile.set_enabled true;
   if Float.is_nan telemetry_every || telemetry_every <= 0. then begin
@@ -86,8 +178,82 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
    | None -> ());
   let checked = load_checked path in
   if not (Dsl.Typecheck.is_ok checked) then exit (report_check path checked);
+  if sharded then begin
+    let plan =
+      match
+        (match shards_from with
+         | Some file -> Shard.Plan.of_file ?signal_latency:latency file checked
+         | None -> Shard.Plan.compute ?signal_latency:latency ~shards checked)
+      with
+      | Ok plan -> plan
+      | Error msgs ->
+        List.iter
+          (fun m ->
+             Printf.eprintf "%s: error[%s]: %s\n" path Shard.Plan.lint_code m)
+          msgs;
+        exit 2
+    in
+    let eng =
+      try Shard.Engine.create ?signal_latency:latency plan checked with
+      | Dsl.Elaborate.Elab_error msg ->
+        Printf.eprintf "%s: elaboration error: %s\n" path msg;
+        exit 2
+      | Invalid_argument msg ->
+        Printf.eprintf "%s: error[%s]: %s\n" path Shard.Plan.lint_code msg;
+        exit 2
+    in
+    let traces =
+      match trace_spec with
+      | Some spec ->
+        (match String.split_on_char '.' spec with
+         | [ role; dport ] ->
+           let trace =
+             match Shard.Engine.engine_of_role eng role with
+             | Some owner ->
+               (try Hybrid.Engine.trace_dport owner ~role ~dport
+                with Invalid_argument _ ->
+                  Hybrid.Engine.trace_sampled owner ~role ~dport ~period:0.05)
+             | None ->
+               (* composite border / relay ports live with the capsule *)
+               let border =
+                 (Shard.Engine.engines eng).(plan.Shard.Plan.capsule_shard)
+               in
+               Hybrid.Engine.trace_sampled border ~role ~dport ~period:0.05
+           in
+           [ (spec, trace) ]
+         | _ ->
+           Printf.eprintf "--trace expects role.dport\n";
+           exit 2)
+      | None -> []
+    in
+    Shard.Engine.run eng ~until:duration;
+    let stats = Shard.Engine.stats eng in
+    Printf.printf
+      "simulated %s for %gs across %d shards: %d streamer ticks, %d signals \
+       ->streamers, %d ->capsules, %d dropped\n"
+      (Filename.basename path) duration plan.Shard.Plan.count
+      stats.Hybrid.Engine.ticks_total stats.Hybrid.Engine.signals_to_streamers
+      stats.Hybrid.Engine.signals_to_capsules
+      stats.Hybrid.Engine.signals_dropped;
+    List.iter
+      (fun role ->
+         match Shard.Engine.engine_of_role eng role with
+         | Some owner ->
+           print_role_line role ~ticks:(Hybrid.Engine.ticks_of owner role)
+             ~solver:(Hybrid.Engine.solver_of owner role)
+         | None -> ())
+      (Shard.Engine.roles eng);
+    check_verify verify traces;
+    emit_traces traces csv_out;
+    close_telemetry telemetry_oc telemetry_every;
+    if show_stats then begin
+      Printf.printf "  runtime metrics (all shards merged):\n";
+      Format.printf "%a@?" Obs.Metrics.pp (Shard.Engine.metrics eng)
+    end
+  end
+  else begin
   let { Dsl.Elaborate.engine; streamer_roles; _ } =
-    try Dsl.Elaborate.elaborate checked
+    try Dsl.Elaborate.elaborate ?signal_latency:latency checked
     with Dsl.Elaborate.Elab_error msg ->
       Printf.eprintf "%s: elaboration error: %s\n" path msg;
       exit 2
@@ -144,14 +310,8 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
     stats.Hybrid.Engine.signals_dropped;
   List.iter
     (fun role ->
-       Printf.printf "  %-16s ticks=%d" role (Hybrid.Engine.ticks_of engine role);
-       (match Hybrid.Engine.solver_of engine role with
-        | Some solver ->
-          let y = Hybrid.Solver.state solver in
-          Printf.printf " state=[%s]"
-            (String.concat "; " (List.map (Printf.sprintf "%g") (Array.to_list y)))
-        | None -> ());
-       print_newline ())
+       print_role_line role ~ticks:(Hybrid.Engine.ticks_of engine role)
+         ~solver:(Hybrid.Engine.solver_of engine role))
     streamer_roles;
   (match injector with
    | Some inj ->
@@ -174,38 +334,8 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
           | [] -> "none degraded"
           | roles -> String.concat ", " roles)
    | None -> ());
-  (match (verify, traces) with
-   | Some formula_text, (_, trace) :: _ ->
-     let formula =
-       try Dsl.Parser.parse_stl formula_text
-       with Dsl.Parser.Parse_error (msg, _, col) ->
-         Printf.eprintf "--verify: parse error at column %d: %s\n" col msg;
-         exit 2
-     in
-     let ok, robustness = Sigtrace.Stl.check formula trace in
-     Printf.printf "  verify %s: %s (robustness %g)\n" formula_text
-       (if ok then "HOLDS" else "VIOLATED") robustness;
-     if not ok then exit 3
-   | Some _, [] ->
-     Printf.eprintf "--verify needs --trace to name the signal\n";
-     exit 2
-   | None, _ -> ());
-  List.iter
-    (fun (name, trace) ->
-       match csv_out with
-       | Some out ->
-         let oc = open_out out in
-         output_string oc (Sigtrace.Trace.to_csv trace);
-         close_out oc;
-         Printf.printf "  trace %s -> %s (%d samples)\n" name out
-           (Sigtrace.Trace.length trace)
-       | None ->
-         Printf.printf "  trace %s: %d samples, last=%s\n" name
-           (Sigtrace.Trace.length trace)
-           (match Sigtrace.Trace.last_value trace with
-            | Some v -> Printf.sprintf "%g" v
-            | None -> "n/a"))
-    traces;
+  check_verify verify traces;
+  emit_traces traces csv_out;
   (match chrome_out with
    | Some out ->
      Obs.Tracer.set_enabled false;
@@ -217,14 +347,7 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
        out (Obs.Tracer.length tracer) (Obs.Tracer.dropped tracer)
        (String.concat ", " (Obs.Tracer.categories tracer))
    | None -> ());
-  (match telemetry_oc with
-   | Some (file, oc) ->
-     let n = Obs.Telemetry.records () in
-     Obs.Telemetry.stop ();
-     close_out oc;
-     Printf.printf "  telemetry -> %s (%d records, every %gs)\n" file n
-       telemetry_every
-   | None -> ());
+  close_telemetry telemetry_oc telemetry_every;
   (match flight_dump with
    | Some out ->
      let dump =
@@ -276,6 +399,7 @@ let simulate_run path duration trace_spec csv_out verify show_stats faults_file
   if show_stats then begin
     Printf.printf "  runtime metrics:\n";
     Format.printf "%a@?" Obs.Metrics.pp Obs.Metrics.default
+  end
   end
 
 (* ---- report ---- *)
@@ -445,12 +569,34 @@ let perf_load file =
 let perf_summarize_run file =
   Format.printf "%a@?" Obs.Perfcmp.pp_summary (perf_load file)
 
-let perf_diff_run old_file new_file tol =
+let perf_diff_run old_file new_file tol section =
   if Float.is_nan tol || tol < 0. then begin
     Printf.eprintf "--tolerance must be a non-negative fraction\n";
     exit 2
   end;
   let a = perf_load old_file and b = perf_load new_file in
+  let a, b =
+    match section with
+    | None -> (a, b)
+    | Some prefix ->
+      let keep (k, _) =
+        k = prefix || String.starts_with ~prefix:(prefix ^ ".") k
+      in
+      let restrict s =
+        { s with
+          Obs.Perfcmp.s_indicators =
+            List.filter keep s.Obs.Perfcmp.s_indicators }
+      in
+      let a = restrict a and b = restrict b in
+      if a.Obs.Perfcmp.s_indicators = [] && b.Obs.Perfcmp.s_indicators = []
+      then begin
+        Printf.eprintf
+          "--section %s: neither record has indicators in that section\n"
+          prefix;
+        exit 2
+      end;
+      (a, b)
+  in
   let r = Obs.Perfcmp.diff ~tol a b in
   Format.printf "%a@?" (fun ppf () -> Obs.Perfcmp.pp_diff ppf ~tol a b r) ();
   if r.Obs.Perfcmp.regressions <> [] then exit 1
@@ -724,10 +870,32 @@ let simulate_cmd =
                  $(b,umh lint --wcet) to rest the response-time verdicts on \
                  measurement instead of the default utilization model.")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Run the system across N OCaml domains: runtime co-location \
+                 groups (flow closures, guard emissions, zero-lookahead \
+                 links) are distributed round-robin and synchronized by \
+                 conservative lookahead epochs. Results are bit-identical \
+                 to the default single-domain run. 1 means the plain \
+                 engine, unchanged.")
+  in
+  let shards_from =
+    Arg.(value & opt (some string) None & info [ "shards-from" ] ~docv:"PLAN.json"
+           ~doc:"Follow a umh-partition v1 plan written by $(b,umh analyze \
+                 --partition-out) instead of computing one. Plans whose \
+                 model_hash does not match, or that split a feedback SCC or \
+                 a runtime co-location group, are rejected (UMH055).")
+  in
+  let signal_latency =
+    Arg.(value & opt (some float) None & info [ "signal-latency" ] ~docv:"SECONDS"
+           ~doc:"Constant latency on every capsule<->streamer signal link. \
+                 With $(b,--shards) this is the cross-shard lookahead; links \
+                 that cross shards need a positive value.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ model_arg $ duration $ trace $ csv $ verify $ stats
           $ faults $ crash_dir $ telemetry $ telemetry_every $ profile
-          $ flight_dump $ wcet_out)
+          $ flight_dump $ wcet_out $ shards $ shards_from $ signal_latency)
 
 let codegen_cmd =
   let doc = "Generate C sources from a model." in
@@ -860,9 +1028,16 @@ let perf_cmd =
                ~doc:"Relative regression threshold: flag when new > old * \
                      (1 + FRACTION).")
     in
+    let section =
+      Arg.(value & opt (some string) None & info [ "section" ] ~docv:"NAME"
+             ~doc:"Compare only indicators in this section (key prefix \
+                   before the first dot, e.g. $(b,shard) for the sharded-run \
+                   points of a BENCH record). Exits 2 when neither record \
+                   has any.")
+    in
     Cmd.v (Cmd.info "diff" ~doc)
       Term.(const perf_diff_run $ record_pos 0 "OLD" $ record_pos 1 "NEW"
-            $ tolerance)
+            $ tolerance $ section)
   in
   let doc = "Summarize and diff performance records (telemetry streams, bench files)." in
   Cmd.group (Cmd.info "perf" ~doc) [ summarize_cmd; diff_cmd ]

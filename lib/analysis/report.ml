@@ -6,6 +6,7 @@
 type t = {
   file : string;
   model_name : string;
+  model_hash : string;
   taskset : Taskset.t;
   shard : Shard.t;
 }
@@ -23,6 +24,9 @@ let run ?wcet ?default_utilization ~file (checked : Dsl.Typecheck.checked) =
     Some
       { file;
         model_name = checked.Dsl.Typecheck.model.Dsl.Ast.m_name;
+        model_hash =
+          Digest.to_hex
+            (Digest.string (Dsl.Pretty.print_model checked.Dsl.Typecheck.model));
         taskset;
         shard = Shard.analyze m taskset }
 
@@ -157,6 +161,7 @@ let partition_json t =
     [ ("schema", Obs.Json.Str partition_schema_name);
       ("version", Obs.Json.Int partition_schema_version);
       ("model", Obs.Json.Str t.file);
+      ("model_hash", Obs.Json.Str t.model_hash);
       ("shards", Obs.Json.List (List.map shard t.shard.Shard.shards));
       ("forced_groups",
        Obs.Json.List (List.map group_json t.shard.Shard.forced_groups));

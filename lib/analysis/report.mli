@@ -12,6 +12,9 @@
 type t = {
   file : string;
   model_name : string;
+  model_hash : string;
+    (** hex digest of the pretty-printed model; binds a partition file
+        to the model it was computed for (checked by [--shards-from]) *)
   taskset : Taskset.t;
   shard : Shard.t;
 }

@@ -27,6 +27,7 @@ type t = {
   mutable prepared_guards : guard list;
   mutable prepared_ode : Ode.Events.guard list;
   mutable crossings : int;
+  m_crossings : Obs.Metrics.counter;
 }
 
 let max_interned = 64
@@ -77,8 +78,8 @@ let create ?(method_ = Ode.Integrator.Fixed (Ode.Fixed.Rk4, 1e-3)) ?rhs_into
   let integ =
     Ode.Integrator.create ~method_ (make_system ~dim ?rhs_into env rhs) ~t0 init
   in
-  { table; env; integ; dim;
-    prepared_guards = []; prepared_ode = []; crossings = 0 }
+  { table; env; integ; dim; prepared_guards = []; prepared_ode = [];
+    crossings = 0; m_crossings = Obs.Metrics.counter "ode.guard_crossings" }
 
 let env t = t.env
 let time t = Ode.Integrator.time t.integ
@@ -119,11 +120,9 @@ let to_ode_guard t g =
   Ode.Events.guard ~direction:g.direction g.guard_name
     (fun time y -> g.expr t.env time y)
 
-let m_crossings = Obs.Metrics.counter "ode.guard_crossings"
-
 let note_crossing t crossing =
   t.crossings <- t.crossings + 1;
-  Obs.Metrics.incr m_crossings;
+  Obs.Metrics.incr t.m_crossings;
   if Obs.Tracer.enabled () then
     Obs.Tracer.instant ~cat:"ode" ~name:"crossing"
       ~args:[ ("guard", Obs.Tracer.Str crossing.Ode.Events.guard_name) ]

@@ -38,6 +38,21 @@ let send_delayed t ~delay msg =
   t.in_flight <- t.in_flight + 1;
   ignore (Engine.schedule t.engine ~delay:(t.latency +. delay) (deliver t msg))
 
+(* Delivery anchored at an earlier send instant: the arrival time is
+   computed with the exact float expression a same-instant [send_delayed]
+   would have used ([sent +. (latency +. delay)]), so a message carried
+   across domains and re-scheduled later lands on the bit-identical
+   timestamp. Raises (via [Engine.schedule_at]) if that instant is
+   already in the past — the sharded runtime's lookahead bound exists to
+   make that impossible. *)
+let send_from t ~sent ~delay msg =
+  if delay < 0. then invalid_arg "Des.Mailbox.send_from: negative delay";
+  t.sent <- t.sent + 1;
+  t.in_flight <- t.in_flight + 1;
+  ignore
+    (Engine.schedule_at t.engine ~time:(sent +. (t.latency +. delay))
+       (deliver t msg))
+
 let send t msg = send_delayed t ~delay:0. msg
 
 let pop t = if Queue.is_empty t.fifo then None else Some (Queue.pop t.fifo)

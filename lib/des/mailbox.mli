@@ -21,6 +21,14 @@ val set_listener : 'a t -> ('a t -> unit) -> unit
 
 val clear_listener : 'a t -> unit
 
+val send_from : 'a t -> sent:float -> delay:float -> 'a -> unit
+(** Like {!send_delayed}, but anchored at the (earlier) instant [sent]
+    rather than now: delivery lands at exactly [sent +. (latency +.
+    delay)] — the bit-identical timestamp a [send_delayed] at [sent]
+    would have produced. Raises [Invalid_argument] when that instant is
+    before the engine clock. Used by the sharded runtime to replay
+    cross-domain sends. *)
+
 val send : 'a t -> 'a -> unit
 (** Enqueue for delivery after [latency]. *)
 

@@ -6,6 +6,20 @@ type elaborated = {
   streamer_roles : string list;
 }
 
+(* One shard's view of the system: [shard_of] places every system
+   instance (streamer, relay or capsule), [me] selects which placement
+   this elaboration builds, the root capsule is synthesized only on
+   [capsule_shard], and SPort links whose streamer lives elsewhere are
+   wired through [remote_send] (the coordinator's ring push) instead of
+   a local channel. The placement must be closed under flows — a flow
+   with endpoints on two shards is rejected. *)
+type partition = {
+  shard_of : string -> int;
+  me : int;
+  capsule_shard : int;
+  remote_send : role:string -> sport:string -> Statechart.Event.t -> unit;
+}
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
 
 let method_of = function
@@ -256,7 +270,7 @@ let capsule_class_of checked (c : Ast.capsule_decl) =
   in
   Umlrt.Capsule.create ?behavior ~ports c.Ast.c_name
 
-let elaborate ?signal_latency checked =
+let elaborate ?signal_latency ?partition checked =
   if not (Typecheck.is_ok checked) then
     fail "model has errors:\n%s" (String.concat "\n" checked.Typecheck.errors);
   let model = checked.Typecheck.model in
@@ -265,7 +279,17 @@ let elaborate ?signal_latency checked =
     | Some s -> s
     | None -> fail "model %S has no system block" model.Ast.m_name
   in
-  let capsule_instances =
+  let mine name =
+    match partition with
+    | None -> true
+    | Some p -> p.shard_of name = p.me
+  in
+  let hosts_capsules =
+    match partition with
+    | None -> true
+    | Some p -> p.me = p.capsule_shard
+  in
+  let all_capsule_instances =
     List.filter_map
       (function
         | Ast.Icapsule { iname; iclass; _ } ->
@@ -280,6 +304,7 @@ let elaborate ?signal_latency checked =
         | Ast.Istreamer _ | Ast.Irelay _ -> None)
       sys.Ast.sys_instances
   in
+  let capsule_instances = if hosts_capsules then all_capsule_instances else [] in
   let streamer_instances =
     List.filter_map
       (function
@@ -290,7 +315,7 @@ let elaborate ?signal_latency checked =
               model.Ast.m_streamers
           in
           (match decl with
-           | Some d -> Some (iname, d)
+           | Some d -> if mine iname then Some (iname, d) else None
            | None -> fail "unknown streamer class %S" iclass)
         | Ast.Icapsule _ | Ast.Irelay _ -> None)
       sys.Ast.sys_instances
@@ -298,8 +323,9 @@ let elaborate ?signal_latency checked =
   let relay_instances =
     List.filter_map
       (function
-        | Ast.Irelay { iname; itype; ifanout; _ } ->
+        | Ast.Irelay { iname; itype; ifanout; _ } when mine iname ->
           Some (iname, Typecheck.flow_type_of checked itype, ifanout)
+        | Ast.Irelay _ -> None
         | Ast.Icapsule _ | Ast.Istreamer _ -> None)
       sys.Ast.sys_instances
   in
@@ -314,13 +340,15 @@ let elaborate ?signal_latency checked =
      SPort link. *)
   let border_name si sp = Printf.sprintf "l_%s_%s" si sp in
   let root =
-    if capsule_instances = [] && links = [] then None
+    (* worker shards host streamers only; the root capsule (with every
+       border port) exists solely on the capsule shard *)
+    if not hosts_capsules || (capsule_instances = [] && links = []) then None
     else begin
       let borders =
         List.map
           (fun ((si, sp), (ci, cp)) ->
              let cdecl =
-               match List.assoc_opt ci capsule_instances with
+               match List.assoc_opt ci all_capsule_instances with
                | Some d -> d
                | None -> fail "link: unknown capsule instance %S" ci
              in
@@ -383,22 +411,38 @@ let elaborate ?signal_latency checked =
   List.iter
     (function
       | Ast.Cflow { cf_src; cf_dst; _ } ->
-        let src = resolve_flow_endpoint cf_src ~as_source:true in
-        let dst = resolve_flow_endpoint cf_dst ~as_source:false in
-        (match Hybrid.Engine.connect_flow engine ~src ~dst with
-         | Ok () -> ()
-         | Error e -> fail "flow: %s" e)
+        let src_mine = mine (fst cf_src) and dst_mine = mine (fst cf_dst) in
+        if src_mine <> dst_mine then
+          fail
+            "flow %s.%s -> %s.%s crosses shards: flows must stay inside one co-location group"
+            (fst cf_src) (snd cf_src) (fst cf_dst) (snd cf_dst);
+        if src_mine then begin
+          let src = resolve_flow_endpoint cf_src ~as_source:true in
+          let dst = resolve_flow_endpoint cf_dst ~as_source:false in
+          match Hybrid.Engine.connect_flow engine ~src ~dst with
+          | Ok () -> ()
+          | Error e -> fail "flow: %s" e
+        end
       | Ast.Clink _ -> ())
     sys.Ast.sys_connections;
-  List.iter
-    (fun ((si, sp), _) ->
-       match
-         Hybrid.Engine.link_sport engine ~role:si ~sport:sp
-           ~border_port:(border_name si sp)
-       with
-       | Ok () -> ()
-       | Error e -> fail "link: %s" e)
-    links;
+  if hosts_capsules then
+    List.iter
+      (fun ((si, sp), _) ->
+         if mine si then
+           match
+             Hybrid.Engine.link_sport engine ~role:si ~sport:sp
+               ~border_port:(border_name si sp)
+           with
+           | Ok () -> ()
+           | Error e -> fail "link: %s" e
+         else
+           match partition with
+           | Some p ->
+             Hybrid.Engine.link_sport_remote engine ~role:si ~sport:sp
+               ~border_port:(border_name si sp)
+               ~send:(p.remote_send ~role:si ~sport:sp)
+           | None -> assert false)
+      links;
   { engine;
     capsule_paths =
       List.map (fun (iname, _) -> (iname, "system/" ^ iname)) capsule_instances;

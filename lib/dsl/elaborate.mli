@@ -18,10 +18,26 @@ type elaborated = {
   streamer_roles : string list;
 }
 
+type partition = {
+  shard_of : string -> int;
+    (** placement of every system instance (streamer, relay, capsule) *)
+  me : int;        (** the shard this elaboration builds *)
+  capsule_shard : int;  (** where the synthesized root capsule lives *)
+  remote_send : role:string -> sport:string -> Statechart.Event.t -> unit;
+    (** transport for capsule->streamer links whose streamer is remote *)
+}
+(** One shard's view of the system for the sharded runtime: only the
+    instances placed on [me] are built; the root capsule (and all SPort
+    border ports) exist only on [capsule_shard], where links to remote
+    streamers are wired through [remote_send] instead of a local
+    channel. The placement must be closed under flows. *)
+
 val elaborate :
-  ?signal_latency:Rt.Channel.latency_model -> Typecheck.checked -> elaborated
+  ?signal_latency:Rt.Channel.latency_model -> ?partition:partition ->
+  Typecheck.checked -> elaborated
 (** Raises {!Elab_error} when the model has type errors or when an
-    engine-level operation rejects a construct. *)
+    engine-level operation rejects a construct. Without [?partition]
+    the whole system is built into one engine. *)
 
 val streamer_of_decl :
   Typecheck.checked -> Ast.streamer_decl -> Hybrid.Streamer.t

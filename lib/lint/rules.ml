@@ -770,6 +770,14 @@ let meta_typecheck_warn =
   { code = "UMH003"; severity = Diagnostic.Warning;
     title = "well-formedness warning"; paper = "rules R1-R8, Figs. 2-3" }
 
+(* Applied by `umh simulate --shards-from` when it validates a partition
+   plan file against the model (stale model_hash, split feedback SCC,
+   split runtime co-location group) — registered here so --select /
+   --ignore and the code listing know it. *)
+let meta_shard_plan =
+  { code = "UMH055"; severity = Diagnostic.Error;
+    title = "invalid shard plan"; paper = "multicore deployment, Sec. 5" }
+
 let semantic =
   [ (meta_loop, check_loop);
     (meta_orphan_in, check_orphan_inputs);
@@ -796,7 +804,7 @@ let semantic =
     (meta_thin_margin, check_thin_margin) ]
 
 let registry =
-  meta_syntax :: meta_typecheck :: meta_typecheck_warn
+  meta_syntax :: meta_typecheck :: meta_typecheck_warn :: meta_shard_plan
   :: List.map fst semantic
 
 let find_meta code =

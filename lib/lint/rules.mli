@@ -43,6 +43,12 @@ val meta_syntax : meta
 val meta_typecheck : meta
 val meta_typecheck_warn : meta
 
+val meta_shard_plan : meta
+(** [UMH055]: a partition plan file rejected by
+    [umh simulate --shards-from] — stale model hash, or a placement that
+    splits a feedback SCC or a runtime co-location group. Applied by the
+    simulate driver, not by {!semantic}. *)
+
 val registry : meta list
 (** Every stable code the linter can emit, including the front-end codes
     (UMH001-UMH003) applied by the driver rather than by {!semantic}. *)

@@ -21,7 +21,18 @@ val set : int -> unit
 (** Restore a previously captured cause ({!none} to leave the chain). *)
 
 val minted : unit -> int
-(** Number of IDs minted since start (or the last {!reset}). *)
+(** Number of IDs minted by the calling domain since start (or the last
+    {!reset}). *)
+
+val set_identity : base:int -> stride:int -> unit
+(** Give the calling domain a collision-free minting identity: fresh IDs
+    come from the progression [base + k*stride] ([0 <= base < stride]).
+    The default identity is (0, 1) — dense IDs, unchanged single-domain
+    behaviour. The sharded runtime assigns worker domain [d] of [n] the
+    identity (d, n), so [id mod n] names the minting shard and IDs
+    survive domain hops without renumbering. Minting state is
+    domain-local; [current]/[set] operate on the calling domain's
+    ambient cause. *)
 
 val set_track_births : bool -> unit
 (** When on, {!mint} stamps each fresh cause with {!Clock.coarse_ns} so

@@ -1,11 +1,11 @@
 (** Continuous telemetry stream.
 
     When configured, the hybrid engine opens the stream with
-    {!begin_stream} and drives both cadences — one record per sim-time
-    interval, plus optionally every N engine ticks — from its per-tick
-    {!on_tick} hook (engines with no streamers arm a DES timer
-    instead); each emission appends one self-contained JSONL record to
-    the sink:
+    {!begin_stream}; the DES loop drives the sim-time cadence through
+    {!advance_before}/{!flush_upto} (records are cut at quiescent
+    points, just before the event that crosses a boundary), and the
+    per-tick {!on_tick} hook drives the optional tick cadence; each
+    emission appends one self-contained JSONL record to the sink:
 
     {v
     {"schema":"umh-telemetry","version":1,"seq":3,"sim_time":0.3,
@@ -17,10 +17,16 @@
      "profile":{...top-N rollup, only when the profiler is on...}}
     v}
 
-    Zero-cost-when-off: unconfigured, {!on_tick} (the only hook on a hot
-    path) is one int load + branch, and simulation results are
-    bit-identical to a run without telemetry — the emitter reads runtime
-    state but never writes model state. *)
+    Zero-cost-when-off: unconfigured, the hooks on hot paths
+    ({!on_tick}, {!advance_before}) are one int load + branch, and
+    simulation results are bit-identical to a run without telemetry —
+    the emitter reads runtime state but never writes model state.
+
+    Telemetry state belongs to the domain that called {!configure}; the
+    hooks no-op on any other domain. The sharded runtime's coordinator
+    replays the identical cadence at epoch barriers over merged
+    per-shard registries (see {!set_source}), which is what makes a
+    sharded run's stream byte-identical to the single-domain one. *)
 
 val schema : string
 (** ["umh-telemetry"]. *)
@@ -59,10 +65,37 @@ val begin_stream : sim:float -> unit
     cadence at [sim]. No-op when off. *)
 
 val on_tick : sim:float -> unit
-(** Cadence hook, called by the engine once per streamer tick. Emits
-    when [sim] has crossed the next sim-time boundary since
-    {!begin_stream} (boundaries are computed from the anchor, never
-    accumulated, so long streams do not drift) and/or when the tick
-    countdown reaches zero. One load + branch when off; two compares
-    per tick when on. Ticks sparser than the sim cadence yield one
-    record per tick rather than a burst. *)
+(** Tick-cadence hook, called by the engine once per streamer tick:
+    emits when the tick countdown reaches zero ([every_ticks] > 0).
+    One load + branch when off or when no tick cadence is set. *)
+
+val advance_before : next:float -> unit
+(** Sim-cadence hook, called by the DES loop just before executing an
+    event at time [next]: emits the largest pending cadence boundary
+    strictly below [next] (at that instant every event at or before the
+    boundary has run and none after, so the record is a pure function
+    of the event history). Boundaries are computed from the
+    {!begin_stream} anchor, never accumulated, so long streams do not
+    drift; events sparser than the cadence yield one record per event,
+    never a burst. One load + branch when off. *)
+
+val flush_upto : upto:float -> unit
+(** End-of-run hook, called when the DES loop reaches its horizon:
+    emits the largest pending boundary at or below [upto]. *)
+
+val set_source : Metrics.t -> unit
+(** Retarget record construction at a different registry (the shard
+    coordinator's merged view). The emission plan rebuilds lazily on
+    registry-size change; call {!reset_sources} when done. *)
+
+val set_flight_stats : (unit -> int * int) -> unit
+(** Replace the (recorded, dropped) totals the flightrec section reads
+    — the coordinator sums per-shard rings. *)
+
+val reset_sources : unit -> unit
+(** Restore {!set_source}/{!set_flight_stats} to the process defaults. *)
+
+val next_boundary_due : unit -> float
+(** The earliest cadence boundary not yet emitted ([infinity] when off
+    or before {!begin_stream}). The shard coordinator cuts epochs here
+    so every emission opportunity lands exactly on a barrier. *)

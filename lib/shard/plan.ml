@@ -1,0 +1,355 @@
+(* Runtime partition plans: which system instance runs on which domain.
+
+   The unit of placement is the runtime co-location group — the closure
+   of instances that MUST share an engine for the sharded run to stay
+   bit-identical to the single-domain one:
+
+   - flow edges merge (DPort propagation is a synchronous call);
+   - guard emissions merge (streamer->capsule delivery rides the
+     capsule mailbox, which has no cross-shard transport);
+   - capsule->streamer SPort links merge unless the signal channel's
+     latency model guarantees a strictly positive lower bound — that
+     bound is the conservative lookahead that lets a signal cross a
+     domain boundary without reordering anything;
+   - all capsule instances merge (they are parts of one root capsule on
+     one runtime).
+
+   A plan either distributes those groups round-robin over N shards
+   ([compute]) or follows a `umh-partition` v1 JSON file emitted by
+   `umh analyze --partition-out` ([of_json]), after checking that the
+   file matches the model (content hash) and does not split any forced
+   group — the UMH055 lint. *)
+
+open Dsl
+
+type t = {
+  count : int;
+  capsule_shard : int;
+  assignment : (string * int) list;  (* instance -> shard, decl order *)
+  groups : string list list;         (* runtime co-location groups *)
+  remote_roles : (string * int) list;
+  lookahead : float;                 (* infinity when nothing crosses *)
+}
+
+let lint_code = "UMH055"
+
+let shard_of t name =
+  match List.assoc_opt name t.assignment with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Shard.Plan.shard_of: unknown instance %S" name)
+
+let model_hash checked =
+  Digest.to_hex
+    (Digest.string (Pretty.print_model checked.Typecheck.model))
+
+(* ---- the system graph, shared by both constructors ---- *)
+
+type sys_view = {
+  instances : (string * [ `Streamer | `Relay | `Capsule ]) list;
+  flows : (string * string) list;          (* src inst -> dst inst *)
+  links : (string * string * string) list; (* streamer, sport, capsule *)
+  emitting : (string * string) list;       (* (role, sport) with guards *)
+}
+
+let view_of checked =
+  let model = checked.Typecheck.model in
+  match model.Ast.m_system with
+  | None -> Error [ "model has no system block — nothing to shard" ]
+  | Some sys ->
+    let instances =
+      List.map
+        (function
+          | Ast.Istreamer { iname; _ } -> (iname, `Streamer)
+          | Ast.Irelay { iname; _ } -> (iname, `Relay)
+          | Ast.Icapsule { iname; _ } -> (iname, `Capsule))
+        sys.Ast.sys_instances
+    in
+    let flows, links =
+      List.fold_left
+        (fun (flows, links) -> function
+          | Ast.Cflow { cf_src; cf_dst; _ } ->
+            ((fst cf_src, fst cf_dst) :: flows, links)
+          | Ast.Clink { cl_streamer = si, sp; cl_capsule = ci, _; _ } ->
+            (flows, (si, sp, ci) :: links))
+        ([], []) sys.Ast.sys_connections
+    in
+    let class_of iname =
+      List.find_map
+        (function
+          | Ast.Istreamer { iname = n; iclass; _ } when String.equal n iname ->
+            List.find_opt
+              (fun (s : Ast.streamer_decl) -> String.equal s.Ast.s_name iclass)
+              model.Ast.m_streamers
+          | _ -> None)
+        sys.Ast.sys_instances
+    in
+    let emitting =
+      List.filter_map
+        (fun (si, sp, _) ->
+           match class_of si with
+           | Some decl
+             when List.exists
+                    (fun (g : Ast.guard_decl) -> String.equal g.Ast.g_sport sp)
+                    decl.Ast.s_guards ->
+             Some (si, sp)
+           | _ -> None)
+        links
+    in
+    Ok { instances; flows = List.rev flows; links = List.rev links; emitting }
+
+(* Union-find over instance names, path-halving, union by order of
+   first declaration so group representatives are deterministic. *)
+let closure_groups view ~latency_floor =
+  let parent = Hashtbl.create 32 in
+  let find n =
+    let rec go n =
+      match Hashtbl.find_opt parent n with
+      | None | Some "" -> n
+      | Some p ->
+        let r = go p in
+        Hashtbl.replace parent n r;
+        r
+    in
+    go n
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent rb ra
+  in
+  List.iter (fun (n, _) -> if not (Hashtbl.mem parent n) then Hashtbl.replace parent n "") view.instances;
+  (* capsules are parts of one root: all together *)
+  (match List.filter_map (fun (n, k) -> if k = `Capsule then Some n else None) view.instances with
+   | [] -> ()
+   | first :: rest -> List.iter (union first) rest);
+  List.iter (fun (a, b) -> union a b) view.flows;
+  List.iter
+    (fun (si, sp, ci) ->
+       if List.exists (fun (r, p) -> String.equal r si && String.equal p sp) view.emitting
+       then union si ci           (* guard emissions have no lookahead *)
+       else if latency_floor <= 0. then union si ci)
+    view.links;
+  (* groups in order of first member declaration *)
+  let order = List.mapi (fun i (n, _) -> (n, i)) view.instances in
+  let by_rep = Hashtbl.create 16 in
+  List.iter
+    (fun (n, _) ->
+       let r = find n in
+       Hashtbl.replace by_rep r (n :: (Option.value ~default:[] (Hashtbl.find_opt by_rep r))))
+    (List.rev view.instances);
+  let groups =
+    Hashtbl.fold (fun _ members acc -> members :: acc) by_rep []
+  in
+  let first_idx g =
+    List.fold_left
+      (fun acc n -> Int.min acc (Option.value ~default:max_int (List.assoc_opt n order)))
+      max_int g
+  in
+  List.sort (fun a b -> compare (first_idx a) (first_idx b)) groups
+
+let finish view groups ~count ~latency_floor ~group_shard =
+  let assignment =
+    List.concat_map
+      (fun (i, g) ->
+         (* one decision per group: [group_shard] may carry round-robin
+            state, so call it exactly once *)
+         let s = group_shard i g in
+         List.map (fun n -> (n, s)) g)
+      (List.mapi (fun i g -> (i, g)) groups)
+  in
+  let kind_of n = List.assoc_opt n view.instances in
+  let capsule_shard =
+    match
+      List.find_opt (fun (n, _) -> kind_of n = Some `Capsule) assignment
+    with
+    | Some (_, s) -> s
+    | None -> 0
+  in
+  let remote_roles =
+    List.filter_map
+      (fun (si, _, _) ->
+         match List.assoc_opt si assignment with
+         | Some s when s <> capsule_shard -> Some (si, s)
+         | _ -> None)
+      view.links
+  in
+  let remote_roles = List.sort_uniq compare remote_roles in
+  let lookahead = if remote_roles = [] then infinity else latency_floor in
+  { count; capsule_shard; assignment; groups; remote_roles; lookahead }
+
+let latency_floor_of signal_latency =
+  match signal_latency with
+  | None -> 0.  (* the engine default is Immediate *)
+  | Some m -> Rt.Channel.min_latency m
+
+let compute ?signal_latency ~shards checked =
+  if shards < 1 then Error [ "--shards must be >= 1" ]
+  else
+    match view_of checked with
+    | Error e -> Error e
+    | Ok view ->
+      let latency_floor = latency_floor_of signal_latency in
+      let groups = closure_groups view ~latency_floor in
+      let has_capsule g =
+        List.exists (fun n -> List.assoc_opt n view.instances = Some `Capsule) g
+      in
+      (* the capsule group is pinned to shard 0; the rest round-robin
+         over all shards in declaration order *)
+      let non_capsule = ref (-1) in
+      let group_shard _i g =
+        if has_capsule g then 0
+        else begin
+          incr non_capsule;
+          !non_capsule mod shards
+        end
+      in
+      Ok (finish view groups ~count:shards ~latency_floor ~group_shard)
+
+(* ---- plan files (`umh-partition` v1, written by umh analyze) ---- *)
+
+let str_member name j = Option.bind (Obs.Json.member name j) Obs.Json.string_value
+
+let int_member name j =
+  match Obs.Json.member name j with
+  | Some (Obs.Json.Int i) -> Some i
+  | Some (Obs.Json.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let of_json ?signal_latency json checked =
+  let err fmt = Printf.ksprintf (fun s -> Error [ s ]) fmt in
+  match view_of checked with
+  | Error e -> Error e
+  | Ok view ->
+    if str_member "schema" json <> Some "umh-partition" then
+      err "not a umh-partition file (schema mismatch)"
+    else if int_member "version" json <> Some 1 then
+      err "unsupported umh-partition version (want 1)"
+    else begin
+      match str_member "model_hash" json with
+      | None ->
+        err
+          "plan has no model_hash — regenerate it with `umh analyze \
+           --partition-out` on the current model"
+      | Some h when not (String.equal h (model_hash checked)) ->
+        err
+          "plan was computed for a different model (model_hash mismatch) \
+           — regenerate it with `umh analyze --partition-out`"
+      | Some _ ->
+        let shards_json =
+          match Obs.Json.member "shards" json with
+          | Some l -> Obs.Json.to_list l
+          | None -> []
+        in
+        (* instance -> plan shard id *)
+        let placement = Hashtbl.create 32 in
+        List.iter
+          (fun sj ->
+             let id = Option.value ~default:(-1) (int_member "id" sj) in
+             match Obs.Json.member "members" sj with
+             | None -> ()
+             | Some ms ->
+               List.iter
+                 (fun mj ->
+                    match str_member "name" mj with
+                    | Some n -> Hashtbl.replace placement n id
+                    | None -> ())
+                 (Obs.Json.to_list ms))
+          shards_json;
+        let errors = ref [] in
+        let add_err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+        (* every analyzable instance must be placed *)
+        List.iter
+          (fun (n, k) ->
+             if k <> `Relay && not (Hashtbl.mem placement n) then
+               add_err "instance %S is not placed by the plan" n)
+          view.instances;
+        (* the analysis' forced groups (SCCs) must not be split *)
+        (match Obs.Json.member "forced_groups" json with
+         | None -> ()
+         | Some fg ->
+           List.iter
+             (fun gj ->
+                let names =
+                  List.filter_map (fun mj -> str_member "name" mj)
+                    (Obs.Json.to_list gj)
+                in
+                let shards =
+                  List.sort_uniq compare
+                    (List.filter_map (Hashtbl.find_opt placement) names)
+                in
+                if List.length shards > 1 then
+                  add_err
+                    "forced group {%s} is a feedback SCC but the plan \
+                     splits it across shards %s — its phases would \
+                     interleave nondeterministically"
+                    (String.concat ", " names)
+                    (String.concat ", " (List.map string_of_int shards)))
+             (Obs.Json.to_list fg));
+        (* the runtime closure must not be split either *)
+        let latency_floor = latency_floor_of signal_latency in
+        let groups = closure_groups view ~latency_floor in
+        let group_plan_shard g =
+          List.sort_uniq compare (List.filter_map (Hashtbl.find_opt placement) g)
+        in
+        List.iter
+          (fun g ->
+             match group_plan_shard g with
+             | [] | [ _ ] -> ()
+             | shards ->
+               add_err
+                 "co-location group {%s} is split across shards %s — these \
+                  instances share flows, emissions or a zero-lookahead link \
+                  and must run on one domain"
+                 (String.concat ", " g)
+                 (String.concat ", " (List.map string_of_int shards)))
+          groups;
+        if !errors <> [] then Error (List.rev !errors)
+        else begin
+          (* map plan shard ids -> domains 0..K-1, capsule shard first *)
+          let used =
+            List.sort_uniq compare
+              (List.concat_map group_plan_shard groups)
+          in
+          let capsule_plan =
+            List.find_map
+              (fun (n, k) ->
+                 if k = `Capsule then Hashtbl.find_opt placement n else None)
+              view.instances
+          in
+          let ordered =
+            match capsule_plan with
+            | None -> used
+            | Some c -> c :: List.filter (fun s -> s <> c) used
+          in
+          let domain_of_plan = List.mapi (fun i s -> (s, i)) ordered in
+          let count = Int.max 1 (List.length ordered) in
+          let group_shard _i g =
+            match group_plan_shard g with
+            | [ s ] -> Option.value ~default:0 (List.assoc_opt s domain_of_plan)
+            | _ -> 0  (* all-relay group: ride with the capsule shard *)
+          in
+          Ok (finish view groups ~count ~latency_floor ~group_shard)
+        end
+    end
+
+let of_file ?signal_latency path checked =
+  match
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error [ Printf.sprintf "--shards-from: %s" msg ]
+  | text ->
+    (match Obs.Json.of_string text with
+     | exception _ -> Error [ Printf.sprintf "--shards-from: %s is not valid JSON" path ]
+     | json -> of_json ?signal_latency json checked)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d shard(s), lookahead %s@," t.count
+    (if t.lookahead = infinity then "unbounded (no cross-shard links)"
+     else Printf.sprintf "%gs" t.lookahead);
+  List.iteri
+    (fun i g ->
+       Format.fprintf ppf "  group %d -> shard %d: {%s}@," i
+        (match g with n :: _ -> (match List.assoc_opt n t.assignment with Some s -> s | None -> 0) | [] -> 0)
+        (String.concat ", " g))
+    t.groups

@@ -1,0 +1,52 @@
+(** Runtime partition plans for the sharded engine.
+
+    The unit of placement is the {e runtime co-location group}: the
+    closure of system instances connected by flows, guard emissions, or
+    SPort links whose latency model has no strictly positive lower
+    bound — everything that must share one engine for a sharded run to
+    stay bit-identical to the single-domain one. Capsule instances
+    always co-locate (they are parts of one root capsule).
+
+    {!compute} distributes groups round-robin over N shards;
+    {!of_file}/{!of_json} follow a [umh-partition] v1 file written by
+    [umh analyze --partition-out], rejecting plans whose content hash
+    does not match the model or that split a forced group — both
+    reported under the {!lint_code} (UMH055) diagnostic. *)
+
+open Dsl
+
+type t = {
+  count : int;                       (** number of shards (domains) *)
+  capsule_shard : int;               (** domain hosting the root capsule *)
+  assignment : (string * int) list;  (** instance -> shard, declaration order *)
+  groups : string list list;         (** runtime co-location groups *)
+  remote_roles : (string * int) list;
+    (** linked streamer roles living off the capsule shard *)
+  lookahead : float;
+    (** minimum cross-shard signal latency; [infinity] when no link
+        crosses a shard boundary *)
+}
+
+val lint_code : string
+(** ["UMH055"] — the shard-plan validation diagnostic. *)
+
+val shard_of : t -> string -> int
+(** Raises [Invalid_argument] for instances the plan does not place. *)
+
+val model_hash : Typecheck.checked -> string
+(** Hex digest of the pretty-printed model — the binding between a plan
+    file and the model it was computed for. *)
+
+val compute :
+  ?signal_latency:Rt.Channel.latency_model ->
+  shards:int -> Typecheck.checked -> (t, string list) result
+
+val of_json :
+  ?signal_latency:Rt.Channel.latency_model ->
+  Obs.Json.t -> Typecheck.checked -> (t, string list) result
+
+val of_file :
+  ?signal_latency:Rt.Channel.latency_model ->
+  string -> Typecheck.checked -> (t, string list) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(* Bounded lock-free single-producer single-consumer ring.
+
+   The producer owns [tail], the consumer owns [head]; each side reads
+   the other's index through a sequentially-consistent atomic, which in
+   the OCaml memory model makes the producer's plain write to a slot
+   happen-before the consumer's read of that slot (the consumer only
+   touches index [i] after observing [tail > i]). No CAS, no locks, no
+   allocation on push/pop beyond the [Some] cell.
+
+   Capacity is rounded up to a power of two so the index wrap is a
+   mask. The ring never grows: [push] reports failure when full and the
+   caller decides (the shard coordinator spills to a producer-local
+   overflow queue, which is safe because the consumer only drains at
+   epoch barriers while the producer is parked). Slots are cleared on
+   pop so consumed payloads are collectable. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next index to pop; owned by the consumer *)
+  tail : int Atomic.t;  (* next index to push; owned by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Shard.Spsc.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do cap := !cap * 2 done;
+  { buf = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t <= 0
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end

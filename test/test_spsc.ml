@@ -1,0 +1,110 @@
+(* The cross-shard transport ring: single-producer single-consumer,
+   bounded, lock-free. The properties the epoch protocol leans on:
+   nothing is lost or reordered (FIFO), a full ring refuses the push
+   instead of overwriting, and occupancy never exceeds the (power of
+   two rounded) capacity however mismatched the two sides' rates are.
+   The two-domain test exercises the actual memory-model claim: plain
+   slot writes are published by the SC tail store and observed after
+   the head load, across real domains. *)
+
+let check = Alcotest.(check bool)
+
+(* Replay an arbitrary op pattern single-threaded: true = push next
+   value, false = pop. The ring must behave exactly like a bounded
+   FIFO queue. *)
+let prop_fifo_model =
+  QCheck.Test.make ~count:500 ~name:"spsc matches a bounded FIFO model"
+    QCheck.(pair (int_range 1 32) (small_list bool))
+    (fun (cap, ops) ->
+       let ring = Shard.Spsc.create ~capacity:cap in
+       let model = Queue.create () in
+       let next = ref 0 in
+       List.for_all
+         (fun is_push ->
+            if is_push then begin
+              let v = !next in
+              incr next;
+              let had_room =
+                Queue.length model < Shard.Spsc.capacity ring
+              in
+              let accepted = Shard.Spsc.push ring v in
+              if accepted then Queue.push v model;
+              (* full ring must refuse, non-full must accept *)
+              accepted = had_room
+            end
+            else
+              match (Shard.Spsc.pop ring, Queue.take_opt model) with
+              | None, None -> true
+              | Some a, Some b -> a = b
+              | _ -> false)
+         ops
+       && Shard.Spsc.length ring = Queue.length model)
+
+let prop_bounded =
+  QCheck.Test.make ~count:200
+    ~name:"spsc occupancy never exceeds capacity under rate mismatch"
+    QCheck.(pair (int_range 1 16) (small_list (int_range 0 5)))
+    (fun (cap, bursts) ->
+       let ring = Shard.Spsc.create ~capacity:cap in
+       let pushed = ref 0 in
+       List.iter
+         (fun burst ->
+            (* producer bursts [burst] pushes, consumer drains one *)
+            for _ = 1 to burst do
+              if Shard.Spsc.push ring !pushed then incr pushed
+            done;
+            ignore (Shard.Spsc.pop ring))
+         bursts;
+       Shard.Spsc.length ring <= Shard.Spsc.capacity ring)
+
+let test_full_refuses () =
+  let ring = Shard.Spsc.create ~capacity:4 in
+  for i = 0 to Shard.Spsc.capacity ring - 1 do
+    check "accepts while space" true (Shard.Spsc.push ring i)
+  done;
+  check "refuses when full" false (Shard.Spsc.push ring 99);
+  Alcotest.(check (option int)) "fifo head survives the refusal" (Some 0)
+    (Shard.Spsc.pop ring);
+  check "accepts again after a pop" true (Shard.Spsc.push ring 100)
+
+(* One producer domain, the main domain consuming concurrently: every
+   value arrives exactly once, in order, while the producer spins on a
+   full ring. *)
+let test_two_domain_stream () =
+  let n = 100_000 in
+  let ring = Shard.Spsc.create ~capacity:64 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Shard.Spsc.push ring i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let received = ref 0 in
+  let in_order = ref true in
+  while !received < n do
+    match Shard.Spsc.pop ring with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+      if v <> !received then in_order := false;
+      incr received
+  done;
+  Domain.join producer;
+  check "all values in order" true !in_order;
+  check "ring drained" true (Shard.Spsc.is_empty ring)
+
+let test_capacity_rounding () =
+  Alcotest.(check int) "rounds up to a power of two" 8
+    (Shard.Spsc.capacity (Shard.Spsc.create ~capacity:5));
+  Alcotest.(check int) "power of two is kept" 4
+    (Shard.Spsc.capacity (Shard.Spsc.create ~capacity:4))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_fifo_model;
+    QCheck_alcotest.to_alcotest prop_bounded;
+    Alcotest.test_case "full ring refuses, pop reopens" `Quick
+      test_full_refuses;
+    Alcotest.test_case "two-domain stream, no loss, fifo" `Quick
+      test_two_domain_stream;
+    Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding ]
